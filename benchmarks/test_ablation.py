@@ -1,0 +1,110 @@
+"""A1 — ablation of the design decisions DESIGN.md calls out.
+
+Not a paper table; quantifies, on the same corpus, what each phase of
+Invoke-Deobfuscation buys:
+
+- variable tracing off → the Li et al. failure mode on variable pieces;
+- blocklist off → evaluation wanders into unrelated commands (Fig 6's
+  baseline slowness);
+- token phase off → L1 noise survives into the output;
+- multilayer off → wrapped payloads stay wrapped.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.bench_utils import (
+    fig5_corpus,
+    our_tool_adapter,
+    render_table,
+    write_result,
+)
+from repro.analysis import extract_key_info
+from repro.scoring import score_script
+
+VARIANTS = {
+    "full": {},
+    "no variable tracing": {"trace_variables": False},
+    "no blocklist": {"enforce_blocklist": False},
+    "no token phase": {"token_phase": False},
+    "no multilayer": {"multilayer": False},
+    "no AST phase": {"ast_phase": False},
+    "+ function tracing": {"trace_functions": True},
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return fig5_corpus(count=60, seed=4242)
+
+
+def _evaluate_variant(kwargs, corpus):
+    tool = our_tool_adapter(**kwargs)
+    url_hits = 0
+    url_total = 0
+    times = []
+    score_reductions = []
+    for sample in corpus:
+        result = tool.run(sample.script)
+        times.append(result.elapsed_seconds)
+        truth_urls = set(sample.truth.urls) if sample.truth else set()
+        url_total += len(truth_urls)
+        found = extract_key_info(result.script)
+        url_hits += len(found.urls & truth_urls)
+        before = score_script(sample.script).score
+        if before:
+            after = score_script(result.script).score
+            score_reductions.append(max(0, before - after) / before)
+    return {
+        "url_recovery": url_hits / url_total if url_total else 0.0,
+        "mean_time": statistics.mean(times),
+        "score_reduction": statistics.mean(score_reductions),
+    }
+
+
+def test_ablation(benchmark, corpus):
+    measured = {}
+    for name, kwargs in VARIANTS.items():
+        measured[name] = _evaluate_variant(kwargs, corpus)
+
+    full_tool = our_tool_adapter()
+    benchmark.pedantic(
+        lambda: full_tool.run(corpus[0].script), iterations=1, rounds=3
+    )
+
+    rows = [
+        [
+            name,
+            f"{100 * m['url_recovery']:.1f}%",
+            f"{100 * m['score_reduction']:.1f}%",
+            f"{1000 * m['mean_time']:.1f}",
+        ]
+        for name, m in measured.items()
+    ]
+    text = render_table(
+        f"Ablation over {len(corpus)} samples",
+        ["Variant", "URL recovery", "Score reduction", "mean ms"],
+        rows,
+    )
+    write_result("ablation", text)
+
+    full = measured["full"]
+    # Variable tracing is what recovers split URLs.
+    assert (
+        measured["no variable tracing"]["url_recovery"]
+        < full["url_recovery"]
+    )
+    # The token phase drives L1 mitigation.
+    assert (
+        measured["no token phase"]["score_reduction"]
+        < full["score_reduction"]
+    )
+    # Multilayer unwrapping is needed to reach wrapped payloads.
+    assert (
+        measured["no multilayer"]["url_recovery"] < full["url_recovery"]
+    )
+    # The AST phase carries most of the recovery.
+    assert (
+        measured["no AST phase"]["url_recovery"] < full["url_recovery"]
+    )

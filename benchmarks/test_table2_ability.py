@@ -1,0 +1,173 @@
+"""E2 — Table II: per-technique deobfuscation ability of every tool.
+
+Paper protocol (Section IV-C1): obfuscate ``write-host hello`` with each
+technique, place the obfuscated piece in three positions (separate line,
+assignment expression, part of a pipe), and mark a tool ✓ when it
+recovers all three, O when only some, ✗ when none.
+
+Expected shape: Invoke-Deobfuscation ✓ on every row except Whitespace
+encoding; regex baselines handle only ticking/concat/replace; Li et al.
+partial (position 1 only) on directly executable pieces.
+"""
+
+import random
+from typing import Dict
+
+import pytest
+
+from benchmarks.bench_utils import all_tools, render_table, write_result
+from repro.obfuscation.catalog import TECHNIQUES, get_technique, positions
+
+PAYLOAD = "write-host hello"
+
+# Table II row order.
+ROWS = [
+    ("ticking", "Ticking", 1),
+    ("whitespacing", "Whitespacing", 1),
+    ("random_case", "Random Case", 1),
+    ("random_name", "Random Name", 1),
+    ("alias", "Alias", 1),
+    ("concat", "Concatenate", 2),
+    ("reorder", "Reorder", 2),
+    ("replace", "Replace", 2),
+    ("reverse", "Reverse", 2),
+    ("encode_binary", "Binary/Octal", 3),
+    ("encode_ascii", "ASCII/Hex", 3),
+    ("base64", "Base64", 3),
+    ("whitespace_encoding", "Whitespace", 3),
+    ("specialchar", "Specialchar", 3),
+    ("bxor", "Bxor", 3),
+    ("securestring", "SecureString", 3),
+    ("deflate", "DeflateStream", 3),
+]
+
+PAPER_OURS = {name: "Y" for name, _, _ in ROWS}
+PAPER_OURS["whitespace_encoding"] = "X"
+
+
+# Token techniques need a payload they can actually transform: aliasable
+# commands for "alias", a variable for "random_name".
+_TOKEN_PAYLOADS = {
+    "alias": "write-host hello; dir 'C:\\'",
+    "random_name": "$data = 'stage'; write-host hello $data",
+}
+
+
+def _cases_for(technique_name: str) -> Dict[str, str]:
+    """Build the three position cases (or the whole-script case)."""
+    technique = get_technique(technique_name)
+    rng = random.Random(99)
+    if technique.kind == "string":
+        piece = technique.encode_string(PAYLOAD, rng)
+        return positions(piece)
+    if technique.kind == "script":
+        # Whitespace encoding: the decode loop in the three positions,
+        # without any invoker (the piece is what gets tested).
+        from repro.obfuscation.encoding_obfuscator import (
+            whitespace_decoder_fragment,
+        )
+
+        return {
+            "separate_line": whitespace_decoder_fragment(PAYLOAD, "$wsout"),
+            "assignment": whitespace_decoder_fragment(
+                PAYLOAD, "$fmp = $wsout"
+            ),
+            "pipe": whitespace_decoder_fragment(
+                PAYLOAD, "$wsout | out-null"
+            ),
+        }
+    # Token techniques rewrite a whole script; the "positions" concept
+    # does not apply, so the payload script itself is the test case.
+    payload = _TOKEN_PAYLOADS.get(technique_name, PAYLOAD)
+    return {"whole_script": technique.apply_to_script(payload, rng)}
+
+
+def _recovered(technique_name: str, case_name: str, output: str) -> bool:
+    """Did the tool surface the payload (or its canonical rewrite)?"""
+    lowered = output.lower()
+    technique = get_technique(technique_name)
+    if "write-host hello" not in lowered:
+        return False
+    if technique.kind == "token":
+        # The payload must be present AND the technique gone — use the
+        # Section IV-B2 detectors as the judge.
+        from repro.scoring import detect_techniques
+
+        return technique_name not in detect_techniques(output)
+    return True
+
+
+def _grade(tool, technique_name: str) -> str:
+    cases = _cases_for(technique_name)
+    wins = 0
+    for case_name, script in cases.items():
+        output = tool.final_script(script)
+        if _recovered(technique_name, case_name, output):
+            wins += 1
+    if wins == len(cases):
+        return "Y"
+    if wins > 0:
+        return "O"
+    return "X"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    tools = all_tools()
+    grid = {}
+    for technique_name, _label, _level in ROWS:
+        grid[technique_name] = {
+            tool.name: _grade(tool, technique_name) for tool in tools
+        }
+    return tools, grid
+
+
+def test_table2_ability_matrix(benchmark, matrix):
+    tools, grid = matrix
+    ours = our_name = "Invoke-Deobfuscation"
+
+    def representative():
+        # Benchmark one representative recovery (reorder, hardest L2).
+        tool = [t for t in tools if t.name == our_name][0]
+        case = _cases_for("reorder")["separate_line"]
+        return tool.final_script(case)
+
+    benchmark.pedantic(representative, iterations=1, rounds=3)
+
+    headers = ["Level", "Subtype"] + [t.name for t in tools] + ["Paper(ours)"]
+    rows = []
+    for technique_name, label, level in ROWS:
+        rows.append(
+            [level, label]
+            + [grid[technique_name][t.name] for t in tools]
+            + [PAPER_OURS[technique_name]]
+        )
+    text = render_table(
+        "Table II — deobfuscation ability (Y=all positions, O=some, X=none)",
+        headers,
+        rows,
+    )
+    write_result("table2_ability", text)
+
+    # Shape assertions from the paper.
+    for technique_name, _label, _level in ROWS:
+        expected = PAPER_OURS[technique_name]
+        actual = grid[technique_name][our_name]
+        assert actual == expected, (
+            f"ours on {technique_name}: {actual} != paper {expected}"
+        )
+    # Baselines must NOT handle the encoding rows (beyond partials).
+    for baseline in ("PSDecode", "PowerDrive"):
+        handled = sum(
+            1
+            for name, _l, level in ROWS
+            if level == 3 and grid[name][baseline] == "Y"
+        )
+        assert handled == 0, f"{baseline} should not crack L3 rows"
+    # Ours strictly dominates every baseline in rows fully handled.
+    ours_full = sum(1 for name, _l, _v in ROWS if grid[name][our_name] == "Y")
+    for tool in tools:
+        if tool.name == our_name:
+            continue
+        full = sum(1 for name, _l, _v in ROWS if grid[name][tool.name] == "Y")
+        assert ours_full > full

@@ -1,0 +1,96 @@
+"""E6 — Table IV: behavioural consistency of deobfuscation results.
+
+Paper: of 32 samples with network behaviour, 100% of
+Invoke-Deobfuscation's outputs behave identically to the originals;
+PSDecode/PowerDrive 25%, PowerDecode 37.5%, Li et al. 0%.
+
+A tool's output only counts when it is an *effective* result (changed
+from the input — the paper excludes tools returning the original script).
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    all_tools,
+    fig5_corpus,
+    our_tool_adapter,
+    render_table,
+    write_result,
+)
+from repro.analysis import observe_behavior
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return fig5_corpus(count=100, seed=2022)
+
+
+@pytest.fixture(scope="module")
+def networked(corpus):
+    """Samples whose originals show network behaviour in the sandbox."""
+    kept = []
+    for sample in corpus:
+        report = observe_behavior(sample.script)
+        if report.has_network_behavior:
+            kept.append((sample, report.network_signature))
+    return kept
+
+
+def test_table4_behavior(benchmark, networked):
+    tools = all_tools()
+    rows = []
+    scores = {}
+    for tool in tools:
+        effective = 0
+        consistent = 0
+        for sample, original_signature in networked:
+            result = tool.run(sample.script)
+            if not result.changed:
+                continue  # not an effective deobfuscation result
+            report = observe_behavior(result.script)
+            if report.network_signature:
+                effective += 1
+                if report.network_signature == original_signature:
+                    consistent += 1
+        scores[tool.name] = (effective, consistent)
+        rows.append(
+            [
+                tool.name,
+                effective,
+                consistent,
+                f"{100.0 * consistent / len(networked):.1f}%",
+            ]
+        )
+
+    ours = our_tool_adapter()
+
+    def run_one():
+        sample, _ = networked[0]
+        return observe_behavior(ours.final_script(sample.script))
+
+    benchmark.pedantic(run_one, iterations=1, rounds=3)
+
+    text = render_table(
+        f"Table IV — behavioural consistency "
+        f"({len(networked)} samples with network behaviour; paper: "
+        "ours 100%, PowerDecode 37.5%, PSDecode/PowerDrive 25%, Li 0%)",
+        ["Tool", "#With network", "#Consistent", "Proportion"],
+        rows,
+    )
+    write_result("table4_behavior", text)
+
+    total = len(networked)
+    assert total >= 20  # enough signal, like the paper's 32
+    our_effective, our_consistent = scores["Invoke-Deobfuscation"]
+    # Paper: every one of our results keeps the original behaviour.
+    assert our_consistent == our_effective
+    assert our_consistent / total > 0.9
+    # Every baseline is strictly below ours.  (Paper: ≤37.5%; our
+    # re-implementations never crash like the originals, so they keep
+    # more behaviour — the ordering is the reproducible claim.)
+    for name, (_eff, consistent) in scores.items():
+        if name == "Invoke-Deobfuscation":
+            continue
+        assert consistent < our_consistent, (name, consistent)
+    # Li et al.'s context-free replacement erases behaviour ~entirely.
+    assert scores["Li et al."][1] <= total * 0.15

@@ -1,0 +1,143 @@
+"""E7 — Table V: mitigation of obfuscation on high-score scripts.
+
+Paper (3,346 highest-scoring scripts): Invoke-Deobfuscation produces the
+most valid (changed) results and mitigates L1 by 91.5%, L2 by 64.7%, L3
+by 27%, reducing the average obfuscation score by 46%; the best baseline
+manages 24%.
+
+Mitigation of level *k* = the proportion of detected-technique instances
+at that level that disappear from a tool's output, over its valid
+results.
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    all_tools,
+    fig5_corpus,
+    render_table,
+    write_result,
+)
+from repro.scoring import score_script
+from repro.scoring.detectors import TECHNIQUE_LEVELS
+
+
+@pytest.fixture(scope="module")
+def scored_corpus():
+    # The paper's Table V slice is blob-heavy: "Base64 encoding is the
+    # most common obfuscation at the L3 level in these scripts, which
+    # accounts for 65%" and "base64 strings in most scripts often
+    # represent binary files".  Weight the skeleton mix accordingly.
+    from repro.dataset import generate_corpus
+
+    corpus = generate_corpus(
+        120,
+        seed=77,
+        guard_fraction=0.4,
+        skeletons=(
+            ["blob_dropper"] * 5
+            + ["downloader", "dropper", "two_stage", "string_builder",
+               "encoded_child", "sleeper", "ip_beacon"]
+        ),
+    )
+    scored = [
+        (sample, score_script(sample.script)) for sample in corpus
+    ]
+    scored = [x for x in scored if x[1].score > 0]
+    # The paper selects the scripts with the highest obfuscation score.
+    scored.sort(key=lambda x: -x[1].score)
+    return scored[:80]
+
+
+def _per_level_instances(report):
+    counts = {1: 0, 2: 0, 3: 0}
+    for name in report.techniques:
+        counts[TECHNIQUE_LEVELS[name]] += 1
+    return counts
+
+
+def test_table5_mitigation(benchmark, scored_corpus):
+    tools = all_tools()
+    rows = []
+    summary = {}
+    for tool in tools:
+        valid = 0
+        removed = {1: 0, 2: 0, 3: 0}
+        present = {1: 0, 2: 0, 3: 0}
+        reductions = []
+        for sample, before_report in scored_corpus:
+            result = tool.run(sample.script)
+            if not result.changed:
+                continue
+            valid += 1
+            after_report = score_script(result.script)
+            before_counts = _per_level_instances(before_report)
+            survivors = {
+                name
+                for name in after_report.techniques
+                if name in before_report.techniques
+            }
+            after_counts = {1: 0, 2: 0, 3: 0}
+            for name in survivors:
+                after_counts[TECHNIQUE_LEVELS[name]] += 1
+            for level in (1, 2, 3):
+                present[level] += before_counts[level]
+                removed[level] += (
+                    before_counts[level] - after_counts[level]
+                )
+            if before_report.score:
+                reductions.append(
+                    max(0.0, before_report.score - after_report.score)
+                    / before_report.score
+                )
+        mitigation = {
+            level: (removed[level] / present[level] if present[level] else 0.0)
+            for level in (1, 2, 3)
+        }
+        average_reduction = (
+            sum(reductions) / len(reductions) if reductions else 0.0
+        )
+        summary[tool.name] = (valid, mitigation, average_reduction)
+        rows.append(
+            [
+                tool.name,
+                valid,
+                f"{100 * mitigation[1]:.1f}%",
+                f"{100 * mitigation[2]:.1f}%",
+                f"{100 * mitigation[3]:.1f}%",
+                f"{100 * average_reduction:.1f}%",
+            ]
+        )
+
+    ours_adapter = [t for t in tools if t.name == "Invoke-Deobfuscation"][0]
+
+    def run_one():
+        return ours_adapter.final_script(scored_corpus[0][0].script)
+
+    benchmark.pedantic(run_one, iterations=1, rounds=3)
+
+    text = render_table(
+        f"Table V — obfuscation mitigation over the {len(scored_corpus)} "
+        "highest-scoring samples (paper: ours L1 91.5% / L2 64.7% / "
+        "L3 27% / avg 46%; best baseline avg 24%)",
+        ["Tool", "#Valid", "L1", "L2", "L3", "Avg score reduced"],
+        rows,
+    )
+    write_result("table5_mitigation", text)
+
+    our_valid, our_mitigation, our_reduction = summary[
+        "Invoke-Deobfuscation"
+    ]
+    # Ours produces the most valid results.
+    for name, (valid, _m, _r) in summary.items():
+        if name != "Invoke-Deobfuscation":
+            assert our_valid >= valid, (name, valid, our_valid)
+    # Shape: strong L1/L2 mitigation, weaker L3 (undecodable payload
+    # blobs keep their L3 markers), ~46% average reduction.
+    assert our_mitigation[1] > 0.8
+    assert our_mitigation[2] > 0.5
+    assert our_reduction > 0.35
+    # Every baseline reduces the score less than ours.
+    for name, (_v, _m, reduction) in summary.items():
+        if name != "Invoke-Deobfuscation":
+            assert reduction < our_reduction, (name, reduction)

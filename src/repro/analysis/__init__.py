@@ -1,0 +1,12 @@
+"""Measurement utilities: key-information extraction and the behaviour
+sandbox (the reproduction's TianQiong-sandbox substitute)."""
+
+from repro.analysis.behavior import BehaviorReport, observe_behavior
+from repro.analysis.keyinfo import KeyInfo, extract_key_info
+
+__all__ = [
+    "KeyInfo",
+    "extract_key_info",
+    "BehaviorReport",
+    "observe_behavior",
+]

@@ -1,0 +1,102 @@
+"""AMSI simulation (paper Section V-B).
+
+The Antimalware Scan Interface sees every script buffer that is
+*ultimately supplied to the scripting engine* — i.e. the argument of each
+``Invoke-Expression``/child-shell layer, after the engine has already
+evaluated the deobfuscation code around it.  This module reproduces that
+vantage point: it executes a script in the sandbox and captures each
+buffer at the invocation boundary, still executing it (unlike the
+baselines' overriding functions, which capture *instead of* executing).
+
+The paper's point, reproducible here: AMSI only surfaces content that is
+**invoked**; obfuscated pieces that never pass through an invoker (plain
+string concatenation inside an expression, ``'Amsi'+'Utils'``) are never
+seen, while AST-based recovery handles them — and AMSI's view is defeated
+entirely by scripts that gate execution on the environment.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.cmdlets import CommandContext, lookup_cmdlet
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.values import ScriptBlockValue, to_string
+
+
+@dataclass
+class AmsiReport:
+    """Buffers AMSI would scan for one execution."""
+
+    buffers: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def final_buffer(self) -> Optional[str]:
+        return self.buffers[-1] if self.buffers else None
+
+    def would_match(self, needle: str) -> bool:
+        """Would a literal AMSI signature fire on any scanned buffer?"""
+        lowered = needle.lower()
+        return any(lowered in buffer.lower() for buffer in self.buffers)
+
+
+class _TapAndRun:
+    """Overrides an invoker: record the buffer, then run it for real."""
+
+    def __init__(self, report: AmsiReport, inner_name: str):
+        self.report = report
+        self.inner = lookup_cmdlet(inner_name)
+
+    def __call__(self, ctx: CommandContext):
+        candidate = None
+        for value in ctx.arguments:
+            if isinstance(value, (str, ScriptBlockValue)):
+                candidate = value
+                break
+        if candidate is None and ctx.input_stream:
+            tail = ctx.input_stream[-1]
+            if isinstance(tail, (str, ScriptBlockValue)):
+                candidate = tail
+        if candidate is not None:
+            text = (
+                candidate.text()
+                if isinstance(candidate, ScriptBlockValue)
+                else to_string(candidate)
+            )
+            self.report.buffers.append(text)
+        return self.inner(ctx)
+
+
+def amsi_view(
+    script: str,
+    responses: Optional[dict] = None,
+    step_limit: int = 200_000,
+) -> AmsiReport:
+    """Execute *script* and report every buffer AMSI would scan.
+
+    The top-level script itself is always the first buffer (AMSI scans
+    the initial submission too).
+    """
+    report = AmsiReport(buffers=[script])
+    host = SandboxHost(responses=dict(responses or {}))
+    evaluator = Evaluator(
+        host=host,
+        budget=ExecutionBudget(step_limit=step_limit),
+        enforce_blocklist=False,
+        continue_on_error=True,
+    )
+    evaluator.cmdlet_overrides["invoke-expression"] = _TapAndRun(
+        report, "invoke-expression"
+    )
+    for shell in ("powershell", "powershell.exe", "pwsh", "pwsh.exe"):
+        evaluator.cmdlet_overrides[shell] = _TapAndRun(report, "powershell")
+    try:
+        evaluator.run_script_text(script)
+    except EvaluationError as exc:
+        report.error = str(exc)
+    except RecursionError as exc:  # pragma: no cover - defensive
+        report.error = f"recursion: {exc}"
+    return report

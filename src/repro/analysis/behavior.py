@@ -1,0 +1,77 @@
+"""Behavioural consistency sandbox (paper Section IV-C3 / Table IV).
+
+The paper runs original and deobfuscated samples in the TianQiong sandbox
+and compares *network behaviour* (DNS queries, TCP connections).  Our
+substitute executes scripts in the recording sandbox
+(:mod:`repro.runtime`) with the blocklist off: network objects record
+intent instead of connecting, and the comparison is over the set of
+``(effect kind, host)`` pairs — the same signal the paper's sandbox
+extracts from traffic.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import Effect, SandboxHost
+from repro.runtime.limits import ExecutionBudget
+
+
+@dataclass
+class BehaviorReport:
+    """Recorded behaviour of one script execution."""
+
+    effects: List[Effect] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def network_signature(self) -> Set[Tuple[str, str]]:
+        """The comparison key: kinds + hosts of network effects."""
+        return {
+            (effect.kind, effect.host)
+            for effect in self.effects
+            if effect.kind.startswith("net.")
+        }
+
+    @property
+    def has_network_behavior(self) -> bool:
+        return bool(self.network_signature)
+
+
+def observe_behavior(
+    script: str,
+    responses: Optional[dict] = None,
+    step_limit: int = 200_000,
+) -> BehaviorReport:
+    """Execute *script* in the recording sandbox and report its effects.
+
+    ``responses`` maps URL → synthetic body, letting multi-stage
+    downloaders fetch their second stage hermetically.
+    """
+    host = SandboxHost(responses=dict(responses or {}))
+    evaluator = Evaluator(
+        host=host,
+        budget=ExecutionBudget(step_limit=step_limit),
+        enforce_blocklist=False,
+        continue_on_error=True,
+    )
+    error = None
+    try:
+        evaluator.run_script_text(script)
+    except EvaluationError as exc:
+        error = str(exc)
+    except RecursionError as exc:  # pragma: no cover - defensive
+        error = f"recursion: {exc}"
+    return BehaviorReport(effects=list(host.effects), error=error)
+
+
+def same_network_behavior(
+    original: str,
+    candidate: str,
+    responses: Optional[dict] = None,
+) -> bool:
+    """Table IV's per-sample check: identical network signatures."""
+    first = observe_behavior(original, responses)
+    second = observe_behavior(candidate, responses)
+    return first.network_signature == second.network_signature

@@ -1,0 +1,102 @@
+"""Triage reports: one artifact combining every measurement.
+
+``build_report`` runs the full analyst loop over one sample — deobfuscate,
+score before/after, extract key information, compare sandboxed behaviour —
+and returns a structured report with a readable text rendering.  This is
+the "downstream user" API the individual modules compose into.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.behavior import BehaviorReport, observe_behavior
+from repro.analysis.keyinfo import KeyInfo, extract_key_info
+from repro.core.pipeline import DeobfuscationResult, Deobfuscator
+from repro.scoring import ObfuscationReport, score_script
+
+
+@dataclass
+class TriageReport:
+    """Everything an analyst wants to know about one script."""
+
+    original: str
+    deobfuscation: DeobfuscationResult
+    score_before: ObfuscationReport
+    score_after: ObfuscationReport
+    key_info: KeyInfo
+    behavior_original: BehaviorReport
+    behavior_deobfuscated: BehaviorReport
+
+    @property
+    def behavior_consistent(self) -> bool:
+        return (
+            self.behavior_original.network_signature
+            == self.behavior_deobfuscated.network_signature
+        )
+
+    @property
+    def score_reduction(self) -> float:
+        before = self.score_before.score
+        if before == 0:
+            return 0.0
+        return max(0.0, before - self.score_after.score) / before
+
+    def indicators(self) -> List[str]:
+        """Flat, sorted indicator list (IOC feed shape)."""
+        out = sorted(self.key_info.urls)
+        out.extend(sorted(self.key_info.ips))
+        out.extend(sorted(self.key_info.ps1_files))
+        return out
+
+    def render(self) -> str:
+        lines = ["=== triage report ==="]
+        lines.append(
+            f"obfuscation score: {self.score_before.score} -> "
+            f"{self.score_after.score} "
+            f"({100 * self.score_reduction:.0f}% reduced)"
+        )
+        if self.score_before.techniques:
+            lines.append(
+                "techniques: "
+                + ", ".join(sorted(self.score_before.techniques))
+            )
+        counts = self.key_info.counts()
+        lines.append(
+            "key info: "
+            + ", ".join(f"{k}={v}" for k, v in counts.items())
+        )
+        for indicator in self.indicators():
+            lines.append(f"  ioc: {indicator}")
+        network = sorted(self.behavior_original.network_signature)
+        if network:
+            lines.append("network behaviour:")
+            for kind, host in network:
+                lines.append(f"  {kind} -> {host}")
+        lines.append(
+            "behaviour preserved by deobfuscation: "
+            + ("yes" if self.behavior_consistent else "NO")
+        )
+        lines.append("--- deobfuscated script ---")
+        lines.append(self.deobfuscation.script)
+        return "\n".join(lines)
+
+
+def build_report(
+    script: str,
+    tool: Optional[Deobfuscator] = None,
+    responses: Optional[Dict[str, str]] = None,
+) -> TriageReport:
+    """Run the full triage loop over *script*."""
+    tool = tool or Deobfuscator()
+    deobfuscation = tool.deobfuscate(script)
+    return TriageReport(
+        original=script,
+        deobfuscation=deobfuscation,
+        score_before=score_script(script),
+        score_after=score_script(deobfuscation.script),
+        key_info=extract_key_info(deobfuscation.script),
+        behavior_original=observe_behavior(script, responses=responses),
+        behavior_deobfuscated=observe_behavior(
+            deobfuscation.script, responses=responses
+        ),
+    )

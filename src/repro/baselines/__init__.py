@@ -1,0 +1,36 @@
+"""Re-implementations of the deobfuscators the paper compares against.
+
+Each tool reproduces its original's published *method* — and therefore its
+failure modes, which is what the paper's comparison measures:
+
+- :class:`~repro.baselines.psdecode.PSDecode` — regex rules plus
+  overriding functions, layered output;
+- :class:`~repro.baselines.powerdrive.PowerDrive` — regex rules, joins
+  multi-line scripts into one line (often breaking syntax), single-layer
+  overriding;
+- :class:`~repro.baselines.powerdecode.PowerDecode` — regex rules plus a
+  multi-layer overriding/direct-execution loop (its "Unary Syntax Tree
+  Model"), the strongest baseline on multi-layer samples;
+- :class:`~repro.baselines.li_et_al.LiEtAl` — AST subtree direct
+  execution limited to PipelineAst roots with context-free textual
+  replacement (the semantics-breaking ``New-Object Net.WebClient`` →
+  ``System.Net.WebClient`` behaviour).
+"""
+
+from repro.baselines.common import BaselineResult, BaselineTool
+from repro.baselines.li_et_al import LiEtAl
+from repro.baselines.powerdecode import PowerDecode
+from repro.baselines.powerdrive import PowerDrive
+from repro.baselines.psdecode import PSDecode
+
+ALL_BASELINES = (PSDecode, PowerDrive, PowerDecode, LiEtAl)
+
+__all__ = [
+    "BaselineResult",
+    "BaselineTool",
+    "PSDecode",
+    "PowerDrive",
+    "PowerDecode",
+    "LiEtAl",
+    "ALL_BASELINES",
+]

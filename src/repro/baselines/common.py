@@ -1,0 +1,179 @@
+"""Shared plumbing for baseline tool re-implementations."""
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.cmdlets import CommandContext
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.values import ScriptBlockValue, to_string
+
+
+@dataclass
+class BaselineResult:
+    """Output of one baseline run (the last layer is the final script)."""
+
+    original: str
+    script: str
+    layers: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return self.script != self.original
+
+
+class BaselineTool:
+    """Base class: subclasses implement ``_run(script) -> layers``."""
+
+    name = "baseline"
+
+    def deobfuscate(self, script: str) -> BaselineResult:
+        started = time.perf_counter()
+        try:
+            layers = self._run(script)
+        except Exception:  # baselines crash on wild input; emulate gently
+            layers = []
+        elapsed = time.perf_counter() - started
+        final = layers[-1] if layers else script
+        return BaselineResult(
+            original=script,
+            script=final,
+            layers=layers,
+            elapsed_seconds=elapsed,
+        )
+
+    def _run(self, script: str) -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class CaptureInvoke:
+    """An overriding function for ``Invoke-Expression``/``powershell``.
+
+    Instead of executing its argument it records it — the layered-output
+    trick PSDecode, PowerDrive and PowerDecode use.
+    """
+
+    def __init__(self):
+        self.captured: List[str] = []
+
+    def __call__(self, ctx: CommandContext):
+        candidate = None
+        for value in ctx.arguments:
+            if isinstance(value, ScriptBlockValue):
+                candidate = value.text().strip("{}")
+                break
+            if isinstance(value, str):
+                candidate = value
+                break
+        if candidate is None and ctx.input_stream:
+            tail = ctx.input_stream[-1]
+            if isinstance(tail, str):
+                candidate = tail
+        if candidate is None:
+            for value in ctx.parameters.values():
+                if isinstance(value, str):
+                    candidate = value
+                    break
+        if candidate:
+            self.captured.append(to_string(candidate))
+        return []
+
+
+# Child shells are separate *processes* in reality: an in-runspace
+# function override cannot intercept them, and whatever they execute
+# escapes the instrumented session.  Baselines model that with a no-op.
+_CHILD_SHELLS = ("powershell", "powershell.exe", "pwsh", "pwsh.exe")
+
+
+def _escaped_child_shell(ctx: CommandContext):
+    return []
+
+
+def run_with_overrides(
+    script: str,
+    override_names,
+    sleep_scale: float = 0.02,
+    step_limit: int = 100_000,
+) -> Optional[List[str]]:
+    """Execute *script* with overriding capture functions installed.
+
+    Returns captured layers, or None when execution failed before any
+    capture (the way the real tools return nothing on crashing scripts).
+    Statement failures are non-terminating, like a real runspace.
+    """
+    capture = CaptureInvoke()
+    evaluator = Evaluator(
+        host=SandboxHost(),
+        budget=ExecutionBudget(step_limit=step_limit),
+        enforce_blocklist=False,
+        continue_on_error=True,
+    )
+    evaluator.sleep_scale = sleep_scale
+    for name in override_names:
+        evaluator.cmdlet_overrides[name.lower()] = capture
+    for name in _CHILD_SHELLS:
+        evaluator.cmdlet_overrides.setdefault(name, _escaped_child_shell)
+    try:
+        evaluator.run_script_text(script)
+    except EvaluationError:
+        if not capture.captured:
+            return None
+    except RecursionError:  # pragma: no cover - defensive
+        return None
+    return capture.captured
+
+
+# Regex helpers shared by the regex-based tools.  They are deliberately
+# blind to string boundaries — that imprecision is the failure mode the
+# paper attributes to these tools.
+
+TICK_RE = re.compile(r"`(?![\r\n])")
+
+_CONCAT_SQ = re.compile(r"'([^']*)'\s*\+\s*'([^']*)'")
+_CONCAT_DQ = re.compile(r'"([^"$`]*)"\s*\+\s*"([^"$`]*)"')
+
+
+def regex_remove_ticks(script: str) -> str:
+    return TICK_RE.sub("", script)
+
+
+def regex_merge_concat(script: str) -> str:
+    """Collapse literal string concatenations with regexes, repeatedly."""
+    previous = None
+    current = script
+    for _round in range(200):
+        if current == previous:
+            break
+        previous = current
+        current = _CONCAT_SQ.sub(lambda m: f"'{m.group(1)}{m.group(2)}'",
+                                 current, count=1)
+        current = _CONCAT_DQ.sub(lambda m: f'"{m.group(1)}{m.group(2)}"',
+                                 current, count=1)
+    return current
+
+
+_REPLACE_CALL = re.compile(
+    r"'([^']*)'\s*\.\s*replace\s*\(\s*'([^']*)'\s*,\s*'([^']*)'\s*\)",
+    re.IGNORECASE,
+)
+
+
+def regex_apply_replace_calls(script: str) -> str:
+    """Evaluate literal ``'x'.Replace('a','b')`` calls textually."""
+    previous = None
+    current = script
+    for _round in range(100):
+        if current == previous:
+            break
+        previous = current
+        current = _REPLACE_CALL.sub(
+            lambda m: "'" + m.group(1).replace(m.group(2), m.group(3)) + "'",
+            current,
+            count=1,
+        )
+    return current

@@ -1,0 +1,153 @@
+"""Li et al. re-implementation (CCS 2019, as adapted by the paper).
+
+The paper could not obtain the authors' classifier model, so it "deleted
+the classification module and made their tool traverse all subtrees whose
+root are PipelineAst" (Section IV-C1).  This module reproduces that
+adapted tool: every ``PipelineAst`` subtree (except assignment right-hand
+sides, which their statement-granularity rebuild misses — the Table II "O"
+results) is executed directly **without variable context**, and the result
+replaces every textual occurrence of the subtree — a context-free
+replacement.
+
+Reproduced failure modes:
+
+- assignment-position and pipe-position pieces are missed (Table II "O");
+- pieces with variables fail (no context, Algorithm-1-less);
+- object results are replaced by their *type name* (``New-Object
+  Net.WebClient`` → ``System.Net.WebClient``), which is semantically
+  wrong and erases network behaviour (Table IV: 0%);
+- ``$PSHome`` differs in their C# host, so ``$pshome[4]+$pshome[30]+'x'``
+  recovers garbage (Fig 8c);
+- no token phase and no multi-layer handling (Table III: 0/12).
+"""
+
+from typing import List, Optional
+
+from repro.baselines.common import BaselineTool
+from repro.pslang import ast_nodes as N
+from repro.pslang.parser import try_parse
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.objects import PSObjectBase
+from repro.runtime.values import PSChar, unwrap_single
+
+# The C#-host value of $PSHome (their tool runs inside a .NET project, so
+# the automatic variable points at the S.M.A. assembly directory, not the
+# console home — the paper's Fig 8c failure).
+_CSHARP_PSHOME = (
+    r"C:\project\bin\Debug\System.Management.Automation.dll"
+)
+
+
+class LiEtAl(BaselineTool):
+    name = "Li et al."
+
+    max_piece_length = 50_000
+
+    def _maximal_pipelines(
+        self, ast: N.ScriptBlockAst
+    ) -> List[N.PipelineAst]:
+        """Outermost PipelineAst subtrees, excluding assignment RHSes.
+
+        Their rebuild works at statement granularity: assignments are
+        skipped entirely (the paper's position-2 failure), and nested
+        pipelines are only visited when the outer one fails to execute.
+        """
+        pipelines: List[N.PipelineAst] = []
+
+        def descend(node: N.Ast) -> None:
+            for child in node.children():
+                if isinstance(child, N.AssignmentStatementAst):
+                    continue
+                if isinstance(child, N.PipelineAst):
+                    pipelines.append(child)
+                    continue
+                descend(child)
+
+        descend(ast)
+        return pipelines
+
+    @staticmethod
+    def _nested_pipelines(pipeline: N.PipelineAst) -> List[N.PipelineAst]:
+        nested: List[N.PipelineAst] = []
+
+        def descend(node: N.Ast) -> None:
+            for child in node.children():
+                if isinstance(child, N.AssignmentStatementAst):
+                    continue
+                if isinstance(child, N.PipelineAst):
+                    nested.append(child)
+                    continue
+                descend(child)
+
+        descend(pipeline)
+        return nested
+
+    def _execute_piece(self, piece: str):
+        """Returns ``(executed_ok, replacement_or_None)``."""
+        evaluator = Evaluator(
+            host=SandboxHost(),
+            budget=ExecutionBudget(step_limit=30_000),
+            enforce_blocklist=False,
+        )
+        # Their host's automatic variables differ from powershell.exe.
+        evaluator.scope.set_local("pshome", _CSHARP_PSHOME)
+        try:
+            outputs = evaluator.run_script_text(piece)
+        except EvaluationError:
+            return False, None
+        value = unwrap_single(outputs)
+        return True, self._render(value)
+
+    def _render(self, value) -> Optional[str]:
+        if isinstance(value, str):
+            if value == "":
+                return None
+            return "'" + value.replace("'", "''") + "'"
+        if isinstance(value, bool) or value is None:
+            return None
+        if isinstance(value, (int, float)):
+            return str(value)
+        if isinstance(value, PSChar):
+            return "'" + value.char + "'"
+        if isinstance(value, PSObjectBase):
+            # Context-free replacement with the object's type name — the
+            # semantics-destroying move the paper calls out (Fig 8c).
+            return value.type_name
+        return None
+
+    def _run(self, script: str) -> List[str]:
+        ast, _ = try_parse(script)
+        if ast is None:
+            return []
+        current = script
+        work = list(self._maximal_pipelines(ast))
+        while work:
+            pipeline = work.pop(0)
+            piece = script[pipeline.start:pipeline.end]
+            if len(piece) > self.max_piece_length:
+                continue
+            if self._is_trivial(piece):
+                continue
+            executed, result = self._execute_piece(piece)
+            if not executed:
+                # Only on execution failure do they descend into nested
+                # pipelines (how Fig 8c's inner `New-Object` got hit).
+                work.extend(self._nested_pipelines(pipeline))
+                continue
+            if result is None or result == piece:
+                continue
+            # Context-free: replace EVERY occurrence of the piece text.
+            current = current.replace(piece, result)
+        if current == script:
+            return []
+        return [current]
+
+    @staticmethod
+    def _is_trivial(piece: str) -> bool:
+        stripped = piece.strip()
+        if stripped.startswith("'") and stripped.endswith("'"):
+            return "'" not in stripped[1:-1]
+        return stripped.replace(".", "", 1).isdigit()

@@ -1,0 +1,78 @@
+"""PowerDecode re-implementation (Malandrone et al., ITASEC 2021).
+
+Method: regex rules for string concatenation and literal ``.Replace``
+calls (but, per Table II, *not* ticking), plus a multi-layer loop — its
+"Unary Syntax Tree Model" — that alternates overriding-function capture
+with direct execution of the whole script when it reduces to a single
+expression.  This makes it the strongest baseline on multi-layer samples
+(Table III: 8/12) while still missing invoker spellings that need AST
+recovery (``.($pshome[4]+$pshome[30]+'x')``).
+"""
+
+import base64
+import binascii
+import re
+from typing import List, Optional
+
+from repro.baselines.common import (
+    BaselineTool,
+    regex_apply_replace_calls,
+    regex_merge_concat,
+    run_with_overrides,
+)
+
+# In-runspace function overrides; -EncodedCommand child shells are
+# handled by the regex path below instead (its documented feature).
+_OVERRIDDEN = (
+    "invoke-expression",
+    "invoke-command",
+)
+
+_MAX_LAYERS = 12
+
+# PowerDecode recognizes -EncodedCommand layers with a regex.
+_ENCODED_RE = re.compile(
+    r"-[eE][nNcCoOdDeEmMaA]*\s+([A-Za-z0-9+/=]{8,})"
+)
+
+
+class PowerDecode(BaselineTool):
+    name = "PowerDecode"
+
+    def _regex_pass(self, script: str) -> str:
+        script = regex_merge_concat(script)
+        script = regex_apply_replace_calls(script)
+        return script
+
+    def _try_encoded_command(self, script: str) -> Optional[str]:
+        match = _ENCODED_RE.search(script)
+        if match is None:
+            return None
+        try:
+            decoded = base64.b64decode(match.group(1)).decode("utf-16-le")
+        except (binascii.Error, UnicodeDecodeError, ValueError):
+            return None
+        if "\x00" in decoded:
+            return None
+        return decoded
+
+    def _run(self, script: str) -> List[str]:
+        layers: List[str] = []
+        current = self._regex_pass(script)
+        if current != script:
+            layers.append(current)
+        for _layer in range(_MAX_LAYERS):
+            decoded = self._try_encoded_command(current)
+            if decoded is not None:
+                current = self._regex_pass(decoded)
+                layers.append(current)
+                continue
+            captured = run_with_overrides(current, _OVERRIDDEN)
+            if captured:
+                next_layer = self._regex_pass(captured[-1])
+                if next_layer != current:
+                    current = next_layer
+                    layers.append(current)
+                    continue
+            break
+        return layers

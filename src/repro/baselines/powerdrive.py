@@ -1,0 +1,52 @@
+"""PowerDrive re-implementation (Ugarte et al., DIMVA 2019, per the paper).
+
+Method: regex-based cleanup (backticks, literal string concatenation),
+**joining multi-line scripts into one line** (the move Fig 8b shows often
+breaks syntax), then one layer of overriding-function capture.  Per Table
+II this handles ticking and concatenation only.
+"""
+
+from typing import List
+
+from repro.baselines.common import (
+    BaselineTool,
+    regex_merge_concat,
+    regex_remove_ticks,
+    run_with_overrides,
+)
+
+_OVERRIDDEN = ("invoke-expression",)
+
+
+class PowerDrive(BaselineTool):
+    name = "PowerDrive"
+
+    def _run(self, script: str) -> List[str]:
+        layers: List[str] = []
+        current = script
+        if "\n" in current:
+            # PowerDrive flattens scripts to one line before its regexes —
+            # statement separators are lost, which is its failure mode on
+            # multi-line samples.
+            current = " ".join(
+                line.strip() for line in current.splitlines() if line.strip()
+            )
+        current = regex_remove_ticks(current)
+        current = regex_merge_concat(current)
+        if current != script:
+            layers.append(current)
+        captured = run_with_overrides(current, _OVERRIDDEN)
+        if captured:
+            final = captured[-1]
+            if "\n" in final:
+                # PowerDrive re-runs its one-line normalization on the
+                # captured layer too — multi-line payloads get corrupted.
+                final = " ".join(
+                    line.strip()
+                    for line in final.splitlines()
+                    if line.strip()
+                )
+            final = regex_merge_concat(regex_remove_ticks(final))
+            if final != current:
+                layers.append(final)
+        return layers

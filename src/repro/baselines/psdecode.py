@@ -1,0 +1,45 @@
+"""PSDecode re-implementation (R3MRUM's PSDecode, per the paper).
+
+Method: override ``Invoke-Expression``/``Invoke-Command``/``powershell``
+with capture functions, execute the script, and treat each captured
+argument as the next layer; repeat on the captured layer.  A light regex
+pass removes backticks first.  Per Table II this handles **ticking** and
+single ``iex`` layers but no string-level or encoding obfuscation.
+"""
+
+from typing import List
+
+from repro.baselines.common import (
+    BaselineTool,
+    regex_remove_ticks,
+    run_with_overrides,
+)
+
+# PSDecode overrides in-runspace functions only; `powershell.exe` child
+# shells are separate processes and escape it.
+_OVERRIDDEN = (
+    "invoke-expression",
+    "invoke-command",
+)
+
+_MAX_LAYERS = 9  # PSDecode's documented layer cap.
+
+
+class PSDecode(BaselineTool):
+    name = "PSDecode"
+
+    def _run(self, script: str) -> List[str]:
+        layers: List[str] = []
+        current = regex_remove_ticks(script)
+        if current != script:
+            layers.append(current)
+        for _layer in range(_MAX_LAYERS):
+            captured = run_with_overrides(current, _OVERRIDDEN)
+            if not captured:
+                break
+            next_layer = regex_remove_ticks(captured[-1])
+            if next_layer == current:
+                break
+            current = next_layer
+            layers.append(current)
+        return layers

@@ -1,0 +1,173 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers]
+    Deobfuscate a PowerShell script and print the result.
+score FILE
+    Print the detected obfuscation techniques and the score.
+keyinfo FILE
+    Print URLs, IPs, .ps1 paths and powershell commands found.
+behavior FILE
+    Execute in the recording sandbox and print network effects.
+tokenize FILE
+    Dump the PSParser-style token stream.
+parse FILE
+    Dump the AST.
+"""
+
+import argparse
+import sys
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return handle.read()
+
+
+def _cmd_deobfuscate(args) -> int:
+    from repro import Deobfuscator
+
+    tool = Deobfuscator(
+        rename=not args.no_rename,
+        reformat=not args.no_reformat,
+    )
+    result = tool.deobfuscate(_read(args.file))
+    if not result.valid_input:
+        print("error: input is not a valid PowerShell script",
+              file=sys.stderr)
+        print(result.script)
+        return 1
+    if args.show_layers:
+        for index, layer in enumerate(result.layers):
+            print(f"# --- layer {index + 1} ---")
+            print(layer)
+        print("# --- final ---")
+    print(result.script)
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from repro.scoring import score_script
+    from repro.scoring.detectors import TECHNIQUE_LEVELS
+
+    report = score_script(_read(args.file))
+    for name in sorted(report.techniques):
+        print(f"L{TECHNIQUE_LEVELS[name]} {name}")
+    print(f"score: {report.score}")
+    return 0
+
+
+def _cmd_keyinfo(args) -> int:
+    from repro.analysis import extract_key_info
+
+    info = extract_key_info(_read(args.file))
+    for label, values in (
+        ("url", info.urls),
+        ("ip", info.ips),
+        ("ps1", info.ps1_files),
+        ("powershell", info.powershell_commands),
+    ):
+        for value in sorted(values):
+            print(f"{label}\t{value}")
+    return 0
+
+
+def _cmd_behavior(args) -> int:
+    from repro.analysis import observe_behavior
+
+    report = observe_behavior(_read(args.file))
+    for effect in report.effects:
+        print(f"{effect.kind}\t{effect.target}")
+    if report.error:
+        print(f"error: {report.error}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report
+
+    report = build_report(_read(args.file))
+    print(report.render())
+    return 0
+
+
+def _cmd_tokenize(args) -> int:
+    from repro.pslang import tokenize
+
+    for token in tokenize(_read(args.file)):
+        print(
+            f"{token.start:>6} {token.length:>4} "
+            f"{token.type.value:<20} {token.content!r}"
+        )
+    return 0
+
+
+def _cmd_parse(args) -> int:
+    from repro.pslang import parse
+
+    source = _read(args.file)
+    ast = parse(source)
+
+    def dump(node, depth=0):
+        text = source[node.start:node.end]
+        preview = repr(text[:50])
+        print(f"{'  ' * depth}{node.type_name} {preview}")
+        for child in node.children():
+            dump(child, depth + 1)
+
+    dump(ast)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Invoke-Deobfuscation (DSN 2022) reproduction: AST-based, "
+            "semantics-preserving PowerShell deobfuscation"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("deobfuscate", help="deobfuscate a script")
+    p.add_argument("file", help="script path, or - for stdin")
+    p.add_argument("--no-rename", action="store_true")
+    p.add_argument("--no-reformat", action="store_true")
+    p.add_argument("--show-layers", action="store_true")
+    p.set_defaults(func=_cmd_deobfuscate)
+
+    p = sub.add_parser("score", help="score obfuscation techniques")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_score)
+
+    p = sub.add_parser("keyinfo", help="extract key information")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_keyinfo)
+
+    p = sub.add_parser("behavior", help="record sandboxed behaviour")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_behavior)
+
+    p = sub.add_parser(
+        "report", help="full triage report (deobfuscate+score+behaviour)"
+    )
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("tokenize", help="dump tokens")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_tokenize)
+
+    p = sub.add_parser("parse", help="dump the AST")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_parse)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The Invoke-Deobfuscation pipeline (the paper's contribution).
+
+Phases, in order (paper Fig 2):
+
+1. :mod:`repro.core.token_deobfuscator` — token parsing: ticks, aliases,
+   random case (Section III-A);
+2. :mod:`repro.core.reconstruction` — variable tracing and recovery based
+   on AST with in-place replacement (Sections III-B1..B3, B5);
+3. :mod:`repro.core.multilayer` — ``Invoke-Expression`` / ``powershell
+   -EncodedCommand`` unwrapping, iterated to a fixpoint (Section III-B4);
+4. :mod:`repro.core.rename` + :mod:`repro.core.reformat` — renaming
+   randomized identifiers and reformatting (Section III-C).
+
+:class:`repro.core.pipeline.Deobfuscator` orchestrates all of it.
+"""
+
+from repro.core.pipeline import DeobfuscationResult, Deobfuscator, deobfuscate
+
+__all__ = ["Deobfuscator", "DeobfuscationResult", "deobfuscate"]

@@ -1,0 +1,205 @@
+"""Multi-layer obfuscation: Invoke-Expression / PowerShell (Section III-B4).
+
+Multi-layer obfuscation wraps an obfuscated script string in an invoker:
+``iex '...'``, ``'...' | iex``, ``&'iex' '...'``, ``.('iex') '...'`` or
+``powershell -EncodedCommand <base64>``.  After the AST recovery pass has
+reduced the argument to a string literal, this module unwraps one layer by
+replacing the invocation with the argument's content, validating that the
+resulting script still parses.  The deobfuscation pipeline repeats
+token-parse → AST-recover → unwrap until a fixpoint.
+"""
+
+import base64
+import binascii
+from typing import List, Optional, Tuple
+
+from repro.pslang import ast_nodes as N
+from repro.pslang.aliases import resolve_alias
+from repro.pslang.parser import try_parse
+
+_IEX_NAMES = {"iex", "invoke-expression"}
+_POWERSHELL_NAMES = {"powershell", "powershell.exe", "pwsh", "pwsh.exe"}
+
+
+def _literal_value(node: N.Ast) -> Optional[str]:
+    """The string a literal-ish element denotes, or None."""
+    if isinstance(node, N.StringConstantExpressionAst):
+        return node.value
+    if isinstance(node, N.ExpandableStringExpressionAst):
+        # Only safe when there is nothing left to expand.
+        if "$" not in node.value and "`" not in node.value:
+            return node.value
+        return None
+    if isinstance(node, N.ParenExpressionAst):
+        inner = node.pipeline
+        if isinstance(inner, N.PipelineAst) and len(inner.elements) == 1:
+            element = inner.elements[0]
+            if isinstance(element, N.CommandExpressionAst):
+                return _literal_value(element.expression)
+    return None
+
+
+def _command_name(command: N.CommandAst) -> Optional[str]:
+    """Resolve the (possibly quoted/aliased) name of a command element."""
+    if not command.elements:
+        return None
+    head = command.elements[0]
+    name = _literal_value(head)
+    if name is None and isinstance(head, N.StringConstantExpressionAst):
+        name = head.value
+    if name is None:
+        return None
+    name = name.strip().lower()
+    resolved = resolve_alias(name)
+    if resolved is not None:
+        return resolved.lower()
+    basename = name.rsplit("\\", 1)[-1].rsplit("/", 1)[-1]
+    return basename
+
+
+def is_invoke_expression_command(command: N.CommandAst) -> bool:
+    return _command_name(command) in _IEX_NAMES
+
+
+def is_powershell_command(command: N.CommandAst) -> bool:
+    return _command_name(command) in _POWERSHELL_NAMES
+
+
+def decode_encoded_command(encoded: str) -> Optional[str]:
+    """Base64(UTF-16LE) → script, or None when it does not decode."""
+    text = encoded.strip().strip("'\"")
+    try:
+        raw = base64.b64decode(text, validate=True)
+    except (binascii.Error, ValueError):
+        return None
+    try:
+        script = raw.decode("utf-16-le")
+    except UnicodeDecodeError:
+        return None
+    if "\x00" in script:
+        return None
+    return script
+
+
+def _is_encoded_command_parameter(name: str) -> bool:
+    """Case-insensitive prefix match the way PowerShell binds it (paper:
+    ``'-encodedcommand'.StartsWith($param)``)."""
+    lowered = name.lstrip("-").lower()
+    return bool(lowered) and "encodedcommand".startswith(lowered)
+
+
+def _is_command_parameter(name: str) -> bool:
+    lowered = name.lstrip("-").lower()
+    return lowered == "c" or (
+        bool(lowered) and "command".startswith(lowered)
+    )
+
+
+def _extract_iex_payload(command: N.CommandAst) -> Optional[str]:
+    for element in command.elements[1:]:
+        if isinstance(element, N.CommandParameterAst):
+            continue
+        return _literal_value(element)
+    return None
+
+
+def _extract_powershell_payload(command: N.CommandAst) -> Optional[str]:
+    elements = command.elements[1:]
+    index = 0
+    positional: List[N.Ast] = []
+    while index < len(elements):
+        element = elements[index]
+        if isinstance(element, N.CommandParameterAst):
+            if _is_encoded_command_parameter(element.name):
+                argument = element.argument
+                if argument is None and index + 1 < len(elements):
+                    argument = elements[index + 1]
+                    index += 1
+                if argument is not None:
+                    literal = _literal_value(argument)
+                    if literal is not None:
+                        return decode_encoded_command(literal)
+                return None
+            if _is_command_parameter(element.name):
+                argument = element.argument
+                if argument is None and index + 1 < len(elements):
+                    argument = elements[index + 1]
+                    index += 1
+                if argument is not None:
+                    return _literal_value(argument)
+                return None
+        else:
+            positional.append(element)
+        index += 1
+    # A bare trailing argument: encoded command or inline script.
+    if positional:
+        literal = _literal_value(positional[-1])
+        if literal is not None:
+            decoded = decode_encoded_command(literal)
+            if decoded is not None:
+                return decoded
+            return literal
+    return None
+
+
+def _unwrap_pipeline(pipeline: N.PipelineAst) -> Optional[str]:
+    """The replacement text for a whole pipeline, or None."""
+    elements = pipeline.elements
+    # `'payload' | iex` (possibly with more stages in front).
+    if len(elements) == 2 and isinstance(elements[1], N.CommandAst):
+        tail = elements[1]
+        if is_invoke_expression_command(tail) and isinstance(
+            elements[0], N.CommandExpressionAst
+        ):
+            payload = _literal_value(elements[0].expression)
+            if payload is not None:
+                return payload
+    if len(elements) == 1 and isinstance(elements[0], N.CommandAst):
+        command = elements[0]
+        if is_invoke_expression_command(command):
+            return _extract_iex_payload(command)
+        if is_powershell_command(command):
+            return _extract_powershell_payload(command)
+    return None
+
+
+def unwrap_layers(script: str) -> Tuple[str, int]:
+    """Unwrap every syntactically safe invoker in *script* once.
+
+    Returns ``(new_script, how_many_layers_unwrapped)``.
+    """
+    ast, _ = try_parse(script)
+    if ast is None:
+        return script, 0
+    replacements: List[Tuple[int, int, str]] = []
+    for node in ast.walk_pre_order():
+        if not isinstance(node, N.PipelineAst):
+            continue
+        payload = _unwrap_pipeline(node)
+        if payload is None:
+            continue
+        inner_ast, _ = try_parse(payload)
+        if inner_ast is None:
+            continue
+        replacements.append((node.start, node.end, payload))
+    if not replacements:
+        return script, 0
+    # Drop nested replacements (outermost wins) and apply right-to-left.
+    replacements.sort(key=lambda r: (r[0], -r[1]))
+    accepted: List[Tuple[int, int, str]] = []
+    last_end = -1
+    for start, end, payload in replacements:
+        if start < last_end:
+            continue
+        accepted.append((start, end, payload))
+        last_end = end
+    result = script
+    count = 0
+    for start, end, payload in reversed(accepted):
+        candidate = result[:start] + payload + result[end:]
+        validated, _ = try_parse(candidate)
+        if validated is None:
+            continue
+        result = candidate
+        count += 1
+    return result, count

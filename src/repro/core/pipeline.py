@@ -1,0 +1,151 @@
+"""The Invoke-Deobfuscation orchestrator (paper Fig 2).
+
+``token parse → AST recovery (with variable tracing) → multi-layer
+unwrap`` runs in a loop until the script stops changing (Section III-B4's
+fixpoint), then randomized identifiers are renamed and the script is
+reformatted.  Every phase is individually optional so the ablation bench
+(DESIGN.md A1) can switch pieces off.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.multilayer import unwrap_layers
+from repro.core.recovery import RecoveryEngine
+from repro.core.reconstruction import AstDeobfuscator
+from repro.core.reformat import reformat_script
+from repro.core.rename import rename_random_identifiers
+from repro.core.token_deobfuscator import deobfuscate_tokens
+from repro.pslang.parser import try_parse
+
+DEFAULT_MAX_ITERATIONS = 10
+
+
+@dataclass
+class DeobfuscationResult:
+    """What one deobfuscation run produced."""
+
+    original: str
+    script: str
+    layers: List[str] = field(default_factory=list)
+    iterations: int = 0
+    layers_unwrapped: int = 0
+    valid_input: bool = True
+    elapsed_seconds: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return self.script != self.original
+
+
+class Deobfuscator:
+    """AST-based, semantics-preserving PowerShell deobfuscator.
+
+    Parameters mirror the paper's design decisions so each can be ablated:
+
+    token_phase
+        Run the Section III-A token parsing phase.
+    ast_phase
+        Run Section III-B recovery based on AST.
+    trace_variables
+        Keep Algorithm 1's symbol tables (off → the Li et al. failure
+        mode on variable-carrying pieces).
+    trace_functions
+        EXTENSION (off by default, matching the paper): make user-defined
+        function definitions callable during piece recovery, lifting the
+        paper's Section V-C "recovery algorithm inside a function"
+        limitation for side-effect-free decoders.
+    multilayer
+        Unwrap ``Invoke-Expression``/``powershell -enc`` layers.
+    rename / reformat
+        The Section III-C post-processing.
+    enforce_blocklist
+        Skip pieces containing irrelevant/dangerous commands (off → the
+        Fig 6 slow-baseline behaviour).
+    """
+
+    def __init__(
+        self,
+        token_phase: bool = True,
+        ast_phase: bool = True,
+        trace_variables: bool = True,
+        trace_functions: bool = False,
+        multilayer: bool = True,
+        rename: bool = True,
+        reformat: bool = True,
+        enforce_blocklist: bool = True,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        piece_step_limit: Optional[int] = None,
+    ):
+        self.token_phase = token_phase
+        self.ast_phase = ast_phase
+        self.trace_variables = trace_variables
+        self.trace_functions = trace_functions
+        self.multilayer = multilayer
+        self.rename = rename
+        self.reformat = reformat
+        self.enforce_blocklist = enforce_blocklist
+        self.max_iterations = max_iterations
+        self.piece_step_limit = piece_step_limit
+
+    def _make_recovery(self) -> RecoveryEngine:
+        if self.piece_step_limit is not None:
+            return RecoveryEngine(
+                enforce_blocklist=self.enforce_blocklist,
+                step_limit=self.piece_step_limit,
+            )
+        return RecoveryEngine(enforce_blocklist=self.enforce_blocklist)
+
+    def deobfuscate(self, script: str) -> DeobfuscationResult:
+        started = time.perf_counter()
+        result = DeobfuscationResult(original=script, script=script)
+        ast, _ = try_parse(script)
+        if ast is None:
+            result.valid_input = False
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+
+        current = script
+        stats: Dict[str, int] = {
+            "pieces_recovered": 0,
+            "variables_traced": 0,
+            "variables_substituted": 0,
+        }
+        for _iteration in range(self.max_iterations):
+            step = current
+            if self.token_phase:
+                step = deobfuscate_tokens(step)
+            if self.ast_phase:
+                engine = AstDeobfuscator(
+                    recovery=self._make_recovery(),
+                    trace_variables=self.trace_variables,
+                    trace_functions=self.trace_functions,
+                )
+                step = engine.process(step)
+                for key, value in engine.stats.items():
+                    stats[key] = stats.get(key, 0) + value
+            if self.multilayer:
+                step, unwrapped = unwrap_layers(step)
+                result.layers_unwrapped += unwrapped
+            result.iterations += 1
+            if step == current:
+                break
+            current = step
+            result.layers.append(current)
+
+        if self.rename:
+            current = rename_random_identifiers(current)
+        if self.reformat:
+            current = reformat_script(current)
+
+        result.script = current
+        result.stats = stats
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+def deobfuscate(script: str, **kwargs) -> DeobfuscationResult:
+    """One-call convenience API: ``deobfuscate(script).script``."""
+    return Deobfuscator(**kwargs).deobfuscate(script)

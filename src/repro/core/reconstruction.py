@@ -1,0 +1,312 @@
+"""Recovery based on AST with in-place replacement (Sections III-B1..B5).
+
+One post-order walk does all three jobs of the paper's Algorithm 1:
+
+1. **variable tracing** — ``AssignmentStatementAst`` nodes evaluate their
+   (already child-recovered) right-hand side and record the value/scope in
+   the symbol table; assignments in loops/conditionals or with unknown
+   variables are abandoned;
+2. **use-site substitution** — ``VariableExpressionAst`` uses are replaced
+   with their traced value when it is a string or number and scopes match;
+3. **recovery** — every *recoverable node* (PipelineAst, Unary/Binary/
+   Convert/InvokeMember/SubExpression) is executed via the sandbox and,
+   when the result has a string form, replaced in place.
+
+Because children are processed first, a parent's piece text already
+contains its children's recovery results — the paper's Fig 4 bottom-up
+content update.  Because each node's replacement lands exactly on its own
+source extent, identical pieces in different contexts stay independent,
+which is the semantics-preserving property the baselines lack.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.pslang import ast_nodes as N
+from repro.pslang.parser import try_parse
+from repro.pslang.visitor import scope_path
+from repro.core.recovery import RecoveryEngine, quote_single, stringify_result
+from repro.core.tracing import (
+    SymbolTable,
+    assignment_is_traceable,
+    is_recordable_value,
+    use_is_substitutable_position,
+)
+from repro.runtime.environment import is_automatic, split_scope_prefix
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.values import unwrap_single
+
+
+def _splice(base: str, base_start: int, pieces) -> str:
+    """Replace child extents inside *base* (offsets relative to source)."""
+    out: List[str] = []
+    cursor = 0
+    for start, end, text in pieces:
+        rel_start, rel_end = start - base_start, end - base_start
+        if rel_start < cursor:
+            continue  # overlapping child (defensive; should not happen)
+        out.append(base[cursor:rel_start])
+        out.append(text)
+        cursor = rel_end
+    out.append(base[cursor:])
+    return "".join(out)
+
+
+class AstDeobfuscator:
+    """One pass of AST-based recovery over a script."""
+
+    def __init__(
+        self,
+        recovery: Optional[RecoveryEngine] = None,
+        trace_variables: bool = True,
+        trace_functions: bool = False,
+    ):
+        self.recovery = recovery or RecoveryEngine()
+        self.trace_variables = trace_variables
+        # Extension beyond the paper (its Section V-C limitation): make
+        # user-defined functions callable during piece recovery.
+        self.trace_functions = trace_functions
+        self.symbols = SymbolTable()
+        self.source = ""
+        self.stats: Dict[str, int] = {
+            "pieces_recovered": 0,
+            "variables_traced": 0,
+            "variables_substituted": 0,
+        }
+        # id(node) -> subtree contains a blocklisted command/method.
+        self._blocked_subtree: Dict[int, bool] = {}
+        # Memo for variable-free pieces (state-independent).
+        self._recover_cache: Dict[str, Optional[str]] = {}
+
+    def process(self, script: str) -> str:
+        """Return the recovered script (or *script* when not parseable)."""
+        ast, error = try_parse(script)
+        if ast is None:
+            return script
+        self.source = script
+        self.symbols = SymbolTable()
+        self._recover_cache = {}
+        self._mark_blocked_subtrees(ast)
+        result = self._process(ast)
+        validated, _ = try_parse(result)
+        if validated is None:
+            # The paper skips any step that breaks syntax.
+            return script
+        return result
+
+    def _mark_blocked_subtrees(self, root: N.Ast) -> None:
+        """Precompute which subtrees mention a blocklisted command/method.
+
+        The paper's speed-up: "If recoverable pieces contain these
+        irrelevant commands, we do not execute them."  Checking the AST
+        (not raw text) keeps encoded *data* from triggering the skip.
+        """
+        from repro.pslang.aliases import resolve_alias
+        from repro.runtime import blocklist
+
+        if not self.recovery.enforce_blocklist:
+            for node in root.walk_post_order():
+                self._blocked_subtree[id(node)] = False
+            return
+        for node in root.walk_post_order():
+            blocked = any(
+                self._blocked_subtree.get(id(child), False)
+                for child in node.children()
+            )
+            if not blocked and isinstance(node, N.CommandAst):
+                if node.elements and isinstance(
+                    node.elements[0], N.StringConstantExpressionAst
+                ):
+                    name = node.elements[0].value
+                    resolved = resolve_alias(name.lower()) or name
+                    blocked = blocklist.is_blocked_command(resolved)
+            if not blocked and isinstance(
+                node, N.InvokeMemberExpressionAst
+            ) and isinstance(node.member, N.StringConstantExpressionAst):
+                blocked = blocklist.is_blocked_method(node.member.value)
+            self._blocked_subtree[id(node)] = blocked
+
+    # -- the post-order engine ------------------------------------------------
+
+    def _process(self, node: N.Ast) -> str:
+        children = sorted(node.children(), key=lambda c: c.start)
+        pieces = []
+        for child in children:
+            text = self._process(child)
+            pieces.append((child.start, child.end, text))
+        current = _splice(
+            self.source[node.start:node.end], node.start, pieces
+        )
+
+        if isinstance(node, N.VariableExpressionAst):
+            substituted = self._substitute_use(node, current)
+            if substituted is not None:
+                return substituted
+            return current
+
+        if isinstance(node, N.AssignmentStatementAst):
+            if self.trace_variables:
+                self._trace_assignment(node, current)
+            return current
+
+        if isinstance(node, N.FunctionDefinitionAst):
+            if self.trace_functions and not self._blocked_subtree.get(
+                id(node), False
+            ):
+                self.symbols.function_defs[node.name.lower()] = current
+            return current
+
+        if isinstance(node, N.RECOVERABLE_NODE_TYPES):
+            recovered = self._recover(node, current)
+            if recovered is not None:
+                return recovered
+        return current
+
+    # -- variable tracing -------------------------------------------------------
+
+    def _assignment_target_name(
+        self, node: N.AssignmentStatementAst
+    ) -> Optional[str]:
+        target = node.left
+        if isinstance(target, N.ConvertExpressionAst):
+            target = target.child
+        if isinstance(target, N.VariableExpressionAst):
+            return target.name
+        return None
+
+    def _trace_assignment(
+        self, node: N.AssignmentStatementAst, current_text: str
+    ) -> None:
+        name = self._assignment_target_name(node)
+        if name is None:
+            return
+        prefix, bare = split_scope_prefix(name)
+        if prefix == "env":
+            self._trace_env_assignment(bare, node, current_text)
+            return
+        if prefix is not None and prefix not in (
+            "global", "script", "local", "private",
+        ):
+            return
+        key = bare if prefix else name
+        if not assignment_is_traceable(node):
+            self.symbols.remove(key)
+            return
+        value, ok = self._evaluate_assignment(current_text, key)
+        if not ok or not is_recordable_value(value):
+            self.symbols.remove(key)
+            return
+        self.symbols.record(key, value, scope_path(node))
+        self.stats["variables_traced"] += 1
+
+    def _trace_env_assignment(
+        self, bare_name: str, node: N.AssignmentStatementAst, text: str
+    ) -> None:
+        if not assignment_is_traceable(node):
+            self.symbols.env_overrides.pop(bare_name.lower(), None)
+            return
+        value, ok = self._evaluate_assignment(text, f"env:{bare_name}")
+        if ok and isinstance(value, str):
+            self.symbols.record_env(bare_name, value)
+        else:
+            self.symbols.env_overrides.pop(bare_name.lower(), None)
+
+    def _evaluate_assignment(self, statement_text: str, name: str):
+        """Execute the whole assignment and read the variable back."""
+        evaluator = Evaluator(
+            host=SandboxHost(),
+            budget=ExecutionBudget(step_limit=self.recovery.step_limit),
+            enforce_blocklist=self.recovery.enforce_blocklist,
+            variables=self.symbols.values_for_evaluator(),
+        )
+        evaluator.env_overrides.update(self.symbols.env_overrides)
+        for definition in self.symbols.function_defs.values():
+            try:
+                evaluator.run_script_text(definition)
+            except EvaluationError:
+                continue
+        try:
+            evaluator.run_script_text(statement_text)
+            return evaluator.lookup_variable(name), True
+        except EvaluationError:
+            return None, False
+        except RecursionError:  # pragma: no cover - defensive
+            return None, False
+
+    def _substitute_use(
+        self, node: N.VariableExpressionAst, current: str
+    ) -> Optional[str]:
+        if not self.trace_variables:
+            return None
+        prefix, bare = split_scope_prefix(node.name)
+        if prefix is not None:
+            return None  # env:/scoped names are left to the evaluator
+        if is_automatic(node.name) or node.name in ("_", "$", "?", "^"):
+            return None
+        if not use_is_substitutable_position(node):
+            return None
+        value = self.symbols.substitutable(node.name, scope_path(node))
+        if value is None:
+            return None
+        rendered = stringify_result(value)
+        if rendered is None:
+            return None
+        self.stats["variables_substituted"] += 1
+        return rendered
+
+    # -- recovery ------------------------------------------------------------------
+
+    _LITERAL_PREFIXES = ("'", '"')
+
+    def _recover(self, node: N.Ast, current: str) -> Optional[str]:
+        stripped = current.strip()
+        if not stripped:
+            return None
+        # Nothing to recover in a bare literal.
+        if self._is_plain_literal(stripped):
+            return None
+        # The paper's blocklist skip: pieces mentioning irrelevant or
+        # dangerous commands are never executed.
+        if self._blocked_subtree.get(id(node), False):
+            return None
+        # Interior nodes of a homogeneous '+' chain are subsumed by the
+        # chain's outermost node; evaluating every prefix of a long
+        # chunked-blob concatenation would be quadratic.
+        if (
+            isinstance(node, N.BinaryExpressionAst)
+            and node.operator == "+"
+            and isinstance(node.parent, N.BinaryExpressionAst)
+            and node.parent.operator == "+"
+        ):
+            return None
+        # The memo key is the text alone, so it is only safe for pieces
+        # whose result cannot depend on evolving state (variables or, when
+        # function tracing is on, user function definitions).
+        cacheable = "$" not in current and not self.symbols.function_defs
+        if cacheable and current in self._recover_cache:
+            recovered = self._recover_cache[current]
+        else:
+            recovered = self.recovery.recover_piece(
+                current,
+                variables=self.symbols.values_for_evaluator(),
+                env_overrides=self.symbols.env_overrides,
+                function_defs=self.symbols.function_defs,
+            )
+            if cacheable:
+                self._recover_cache[current] = recovered
+        if recovered is None or recovered == current:
+            return None
+        self.stats["pieces_recovered"] += 1
+        return recovered
+
+    @staticmethod
+    def _is_plain_literal(text: str) -> bool:
+        if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+            inner = text[1:-1]
+            return "'" not in inner.replace("''", "")
+        if text and (text[0].isdigit() or text[0] == "-"):
+            candidate = text.lstrip("-")
+            return candidate.replace(".", "", 1).isdigit()
+        return False

@@ -1,0 +1,128 @@
+"""Recovery based on Invoke (paper Section III-B2).
+
+A recoverable piece is executed in the sandbox; the result is converted to
+its *string form*:
+
+- ``String``/``Char`` results become single-quoted literals,
+- ``Number`` results become bare numeric literals,
+- anything else (objects, ``$null``, booleans, arrays) keeps the original
+  piece, exactly as the paper specifies.
+
+Pieces mentioning blocklisted commands are not executed at all — that is
+the paper's speed-up (and the reason Fig 6's curve is flat).
+"""
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.values import PSChar
+
+# Pieces longer than this are never worth executing for recovery and only
+# burn budget (the paper's 4-minute cap exists for the same reason).
+MAX_PIECE_LENGTH = 200_000
+
+PIECE_STEP_LIMIT = 50_000
+
+
+def quote_single(text: str) -> str:
+    """Render *text* as a PowerShell single-quoted literal."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+def stringify_result(value: Any) -> Optional[str]:
+    """The paper's string form of an execution result, or None to keep.
+
+    Only ``String`` and ``Number`` results are representable (Section
+    III-B2).  ``Char`` is deliberately *not*: replacing ``[char]62`` with
+    ``'>'`` changes ``[int][char]62`` (62) into ``[int]'>'`` (an error),
+    so char-valued pieces are kept until a parent piece produces a string.
+    """
+    if isinstance(value, bool):
+        # Booleans have no faithful literal in replacement position.
+        return None
+    if isinstance(value, (int, float)):
+        from repro.runtime.values import to_string
+
+        return to_string(value)
+    if isinstance(value, PSChar):
+        return None
+    if isinstance(value, str):
+        if value == "":
+            return "''"
+        if any(ord(ch) < 9 for ch in value):
+            return None  # control garbage: likely a decode gone wrong
+        return quote_single(value)
+    return None
+
+
+class RecoveryEngine:
+    """Evaluates piece text under a symbol table and stringifies results."""
+
+    def __init__(
+        self,
+        enforce_blocklist: bool = True,
+        step_limit: int = PIECE_STEP_LIMIT,
+    ):
+        self.enforce_blocklist = enforce_blocklist
+        self.step_limit = step_limit
+
+    def evaluate_piece(
+        self,
+        piece: str,
+        variables: Optional[Dict[str, Any]] = None,
+        env_overrides: Optional[Dict[str, str]] = None,
+        function_defs: Optional[Dict[str, str]] = None,
+    ) -> Tuple[bool, Any]:
+        """Run *piece*; returns ``(ok, value)``.
+
+        ``ok`` is False when the piece is not executable under sandbox
+        policy (unsupported/blocked/failed), in which case the caller
+        keeps the original text.
+
+        ``function_defs`` maps function names to their definition text;
+        each is executed first (which merely registers the function), so
+        pieces that *call* user functions can be recovered — the optional
+        extension past the paper's Section V-C limitation.
+        """
+        if len(piece) > MAX_PIECE_LENGTH:
+            return False, None
+        evaluator = Evaluator(
+            host=SandboxHost(),
+            budget=ExecutionBudget(step_limit=self.step_limit),
+            enforce_blocklist=self.enforce_blocklist,
+            variables=dict(variables or {}),
+        )
+        if env_overrides:
+            evaluator.env_overrides.update(env_overrides)
+        for definition in (function_defs or {}).values():
+            try:
+                evaluator.run_script_text(definition)
+            except EvaluationError:
+                continue  # unparseable definition: skip it
+        try:
+            outputs = evaluator.run_script_text(piece)
+        except EvaluationError:
+            return False, None
+        except RecursionError:  # pragma: no cover - defensive
+            return False, None
+        from repro.runtime.values import unwrap_single
+
+        return True, unwrap_single(outputs)
+
+    def recover_piece(
+        self,
+        piece: str,
+        variables: Optional[Dict[str, Any]] = None,
+        env_overrides: Optional[Dict[str, str]] = None,
+        function_defs: Optional[Dict[str, str]] = None,
+    ) -> Optional[str]:
+        """The recovery result text for *piece*, or None to keep it."""
+        ok, value = self.evaluate_piece(
+            piece, variables, env_overrides, function_defs
+        )
+        if not ok:
+            return None
+        return stringify_result(value)

@@ -1,0 +1,90 @@
+"""Reformatting (paper Section III-C): strip random whitespace, indent.
+
+The reformatter re-emits the token stream with normalized spacing:
+
+- tokens that were *adjacent* in the source stay adjacent (PowerShell
+  adjacency is semantic — ``$a[0]`` indexes, ``$a [0]`` passes an array
+  argument — so this is the only safe whitespace rule);
+- tokens separated by any run of whitespace get exactly one space;
+- newlines collapse to one; backtick line-continuations are joined;
+- lines are indented four spaces per open ``{`` block.
+
+The output is validated by re-parsing; on any failure the input script is
+returned untouched (the paper's per-step syntax check).
+"""
+
+from typing import List
+
+from repro.pslang.parser import try_parse
+from repro.pslang.tokenizer import try_tokenize
+from repro.pslang.tokens import PSToken, PSTokenType
+
+INDENT = "    "
+
+
+def reformat_script(script: str) -> str:
+    tokens, error = try_tokenize(script)
+    if tokens is None:
+        return script
+    rendered = _render(tokens, script)
+    validated, _ = try_parse(rendered)
+    if validated is None:
+        return script
+    return rendered
+
+
+def _token_text(token: PSToken) -> str:
+    """The text to emit for a token (raw text, minus dead constructs)."""
+    return token.text
+
+
+def _render(tokens: List[PSToken], script: str) -> str:
+    out: List[str] = []
+    depth = 0
+    at_line_start = True
+    previous: PSToken = None
+    pending_newline = False
+
+    for token in tokens:
+        if token.type is PSTokenType.NEWLINE:
+            pending_newline = True
+            previous = token
+            continue
+        if token.type is PSTokenType.LINE_CONTINUATION:
+            # Join continued lines with a single space.
+            previous = token
+            continue
+
+        if token.type is PSTokenType.GROUP_END and token.content == "}":
+            depth = max(0, depth - 1)
+
+        if pending_newline:
+            # Drop blank lines entirely.
+            out.append("\n")
+            out.append(INDENT * depth)
+            at_line_start = True
+            pending_newline = False
+
+        if not at_line_start and previous is not None:
+            adjacent = previous.end == token.start and previous.type not in (
+                PSTokenType.NEWLINE,
+                PSTokenType.LINE_CONTINUATION,
+            )
+            if not adjacent:
+                out.append(" ")
+
+        out.append(_token_text(token))
+        at_line_start = False
+
+        if token.type is PSTokenType.GROUP_START and token.content == "{":
+            depth += 1
+        previous = token
+
+    text = "".join(out)
+    lines = [line.rstrip() for line in text.split("\n")]
+    # Trim leading/trailing blank lines but keep interior structure.
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    while lines and not lines[-1].strip():
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Renaming randomized identifiers (paper Section III-C).
+
+Whether names are randomized is decided *statistically over all unique
+variable and function names concatenated*: the General-American-English
+vowel proportion is ~37.4% (Hayden, 1950), so a vowel share outside
+[32%, 42%] of the English letters flags randomness; a string whose
+English-letter share is below 10% is flagged too.  Random names are
+replaced with ``var{num}`` / ``func{num}`` in order of first appearance.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pslang import ast_nodes as N
+from repro.pslang.parser import try_parse
+from repro.runtime.environment import is_automatic
+
+VOWELS = set("aeiouAEIOU")
+VOWEL_LOW, VOWEL_HIGH = 0.32, 0.42
+MIN_LETTER_PROPORTION = 0.10
+
+# Names never renamed: automatic variables and pipeline plumbing.
+_PROTECTED = {"_", "args", "input", "this", "matches", "error", "lastexitcode"}
+
+
+def vowel_proportion(text: str) -> Optional[float]:
+    letters = [ch for ch in text if ch.isascii() and ch.isalpha()]
+    if not letters:
+        return None
+    vowels = sum(1 for ch in letters if ch in VOWELS)
+    return vowels / len(letters)
+
+
+def letter_proportion(text: str) -> float:
+    if not text:
+        return 0.0
+    letters = sum(1 for ch in text if ch.isascii() and ch.isalpha())
+    return letters / len(text)
+
+
+def names_look_random(names: List[str]) -> bool:
+    """The paper's whole-string randomness test."""
+    whole = "".join(names)
+    if not whole:
+        return False
+    if letter_proportion(whole) < MIN_LETTER_PROPORTION:
+        return True
+    vowels = vowel_proportion(whole)
+    if vowels is None:
+        return True
+    return not (VOWEL_LOW <= vowels <= VOWEL_HIGH)
+
+
+@dataclass
+class RenamePlan:
+    variables: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not self.variables and not self.functions
+
+
+def _collect_names(ast: N.ScriptBlockAst) -> Tuple[List[str], List[str]]:
+    """Unique variable and function names in order of first appearance."""
+    variables: List[str] = []
+    seen_vars = set()
+    functions: List[str] = []
+    seen_funcs = set()
+    for node in ast.walk_pre_order():
+        if isinstance(node, N.VariableExpressionAst):
+            name = node.name
+            if ":" in name:
+                continue  # env:/scope-qualified
+            lowered = name.lower()
+            if lowered in _PROTECTED or is_automatic(name):
+                continue
+            if lowered not in seen_vars:
+                seen_vars.add(lowered)
+                variables.append(name)
+        elif isinstance(node, N.FunctionDefinitionAst):
+            lowered = node.name.lower()
+            if lowered not in seen_funcs:
+                seen_funcs.add(lowered)
+                functions.append(node.name)
+    return variables, functions
+
+
+def build_rename_plan(script: str) -> RenamePlan:
+    ast, _ = try_parse(script)
+    if ast is None:
+        return RenamePlan()
+    variables, functions = _collect_names(ast)
+    if not names_look_random(variables + functions):
+        return RenamePlan()
+    plan = RenamePlan()
+    for index, name in enumerate(variables):
+        plan.variables[name.lower()] = f"var{index}"
+    for index, name in enumerate(functions):
+        plan.functions[name.lower()] = f"func{index}"
+    return plan
+
+
+def apply_rename(script: str, plan: RenamePlan) -> str:
+    """Rewrite identifiers per *plan* using AST extents (reverse order)."""
+    if plan.empty:
+        return script
+    ast, _ = try_parse(script)
+    if ast is None:
+        return script
+    replacements: List[Tuple[int, int, str]] = []
+    for node in ast.walk_pre_order():
+        if isinstance(node, N.VariableExpressionAst):
+            new_name = plan.variables.get(node.name.lower())
+            if new_name is not None:
+                sigil = "@" if node.splatted else "$"
+                replacements.append(
+                    (node.start, node.end, sigil + new_name)
+                )
+        elif isinstance(node, N.FunctionDefinitionAst):
+            new_name = plan.functions.get(node.name.lower())
+            if new_name is not None:
+                # Rewrite just the name inside the definition.
+                text = script[node.start:node.end]
+                match = re.search(
+                    re.escape(node.name), text, re.IGNORECASE
+                )
+                if match:
+                    replacements.append(
+                        (
+                            node.start + match.start(),
+                            node.start + match.end(),
+                            new_name,
+                        )
+                    )
+        elif isinstance(node, N.CommandAst):
+            if node.elements and isinstance(
+                node.elements[0], N.StringConstantExpressionAst
+            ):
+                head = node.elements[0]
+                new_name = plan.functions.get(head.value.lower())
+                if new_name is not None and head.quote == "":
+                    replacements.append((head.start, head.end, new_name))
+    result = script
+    for start, end, text in sorted(replacements, reverse=True):
+        result = result[:start] + text + result[end:]
+    validated, _ = try_parse(result)
+    if validated is None:
+        return script
+    return result
+
+
+def rename_random_identifiers(script: str) -> str:
+    """The full Section III-C renaming step."""
+    return apply_rename(script, build_rename_plan(script))

@@ -1,0 +1,174 @@
+"""Phase 1 — token parsing (paper Section III-A).
+
+Works on the flat ``PSParser``-style token list and fixes L1 obfuscation:
+
+- **ticking**: ``nE`w-oBjE`Ct`` — backticks vanish when the token content
+  is re-emitted;
+- **alias**: ``IeX`` → ``Invoke-Expression``;
+- **random case**: ``DoWNlOaDsTrIng`` → canonical casing for known
+  commands/keywords/types, lowercase for operators.
+
+Tokens are replaced in *reverse source order* so earlier token offsets
+stay valid without re-tokenizing (the paper makes the same observation).
+Each rewrite is verified to keep the script tokenizable; a failing rewrite
+is rolled back, mirroring the paper's per-step syntax check.
+"""
+
+from typing import List, Optional
+
+from repro.pslang.aliases import canonical_case, resolve_alias
+from repro.pslang.tokenizer import try_tokenize
+from repro.pslang.tokens import PSToken, PSTokenType
+
+# Canonical casing for type literals commonly abused by random-case
+# obfuscation.  Keys are lowercase type names (without brackets).
+_CANONICAL_TYPES = {
+    "char": "char",
+    "string": "string",
+    "int": "int",
+    "byte": "byte",
+    "convert": "Convert",
+    "array": "array",
+    "regex": "regex",
+    "scriptblock": "scriptblock",
+    "text.encoding": "Text.Encoding",
+    "system.text.encoding": "System.Text.Encoding",
+    "system.convert": "System.Convert",
+    "io.memorystream": "IO.MemoryStream",
+    "system.io.memorystream": "System.IO.MemoryStream",
+    "io.compression.compressionmode": "IO.Compression.CompressionMode",
+    "io.compression.deflatestream": "IO.Compression.DeflateStream",
+    "runtime.interopservices.marshal": "Runtime.InteropServices.Marshal",
+    "system.runtime.interopservices.marshal":
+        "System.Runtime.InteropServices.Marshal",
+}
+
+_CANONICAL_MEMBERS = {
+    name.lower(): name
+    for name in [
+        "DownloadString", "DownloadFile", "DownloadData", "UploadString",
+        "Replace", "Split", "Substring", "ToCharArray", "ToString",
+        "ToUpper", "ToLower", "Trim", "TrimStart", "TrimEnd", "Invoke",
+        "GetString", "GetBytes", "FromBase64String", "ToBase64String",
+        "ToInt32", "ToInt16", "ToInt64", "ToChar", "Join", "Format",
+        "Concat", "Reverse", "GetEnumerator", "ReadToEnd",
+        "PtrToStringAuto", "SecureStringToBSTR", "StartsWith", "EndsWith",
+        "Contains", "IndexOf", "PadLeft", "PadRight", "Create", "Length",
+        "Count",
+    ]
+}
+
+
+def _rewrite_token(token: PSToken) -> Optional[str]:
+    """New raw text for *token*, or None to keep it unchanged."""
+    if token.type is PSTokenType.COMMAND:
+        alias = resolve_alias(token.content)
+        if alias is not None:
+            return alias
+        cased = canonical_case(token.content)
+        if cased is not None and cased != token.text:
+            return cased
+        if "`" in token.text:
+            return token.content
+        return None
+    if token.type is PSTokenType.KEYWORD:
+        lowered = token.content.lower()
+        if token.text != lowered:
+            return lowered
+        return None
+    if token.type is PSTokenType.TYPE:
+        canonical = _CANONICAL_TYPES.get(token.content.lower())
+        if canonical is None:
+            # Unknown type: strip ticks only.
+            if "`" in token.text:
+                return "[" + token.content + "]"
+            return None
+        rewritten = "[" + canonical + "]"
+        if rewritten != token.text:
+            return rewritten
+        return None
+    if token.type is PSTokenType.MEMBER:
+        canonical = _CANONICAL_MEMBERS.get(token.content.lower())
+        if canonical is not None and canonical != token.text:
+            return canonical
+        if "`" in token.text:
+            return token.content
+        return None
+    if token.type is PSTokenType.OPERATOR:
+        # Dash operators: canonical lowercase, unicode dashes folded.
+        if token.text.lower() != token.content and token.content.startswith(
+            "-"
+        ):
+            return token.content
+        return None
+    if token.type is PSTokenType.COMMAND_PARAMETER:
+        if "`" in token.text or any(
+            ch in token.text for ch in "–—―"
+        ):
+            return token.content
+        return None
+    if token.type in (
+        PSTokenType.COMMAND_ARGUMENT,
+        PSTokenType.VARIABLE,
+    ):
+        if "`" in token.text:
+            # Remove meaningless ticks from barewords; variables keep
+            # their sigil/braces so only the bareword case applies.
+            if token.type is PSTokenType.COMMAND_ARGUMENT:
+                return token.content
+        return None
+    return None
+
+
+def deobfuscate_tokens(script: str) -> str:
+    """Run the token-parsing phase over *script*.
+
+    Returns the rewritten script; if the script cannot be tokenized it is
+    returned unchanged (the paper skips steps that would break syntax).
+
+    All rewrites are applied in one reverse-order batch and validated
+    once; only when the batch breaks the syntax does the per-token
+    validate-and-roll-back path run (avoiding a quadratic re-tokenize on
+    scripts with thousands of rewritable tokens).
+    """
+    tokens, error = try_tokenize(script)
+    if tokens is None:
+        return script
+    rewrites = []
+    for token in tokens:
+        replacement = _rewrite_token(token)
+        if replacement is not None and replacement != token.text:
+            rewrites.append((token, replacement))
+    if not rewrites:
+        return script
+
+    batched = script
+    for token, replacement in reversed(rewrites):
+        batched = (
+            batched[:token.start] + replacement + batched[token.end:]
+        )
+    validated, _ = try_tokenize(batched)
+    if validated is not None:
+        return batched
+
+    # Rare fallback: some rewrite broke the syntax — validate one by one.
+    result = script
+    for token, replacement in reversed(rewrites):
+        candidate = (
+            result[:token.start] + replacement + result[token.end:]
+        )
+        fixed_tokens, _fix_error = try_tokenize(candidate)
+        if fixed_tokens is None:
+            continue  # roll back a rewrite that broke the syntax
+        result = candidate
+    return result
+
+
+def token_obfuscation_present(script: str) -> bool:
+    """Quick check used by scoring: does phase 1 have anything to do?"""
+    tokens, _ = try_tokenize(script)
+    if tokens is None:
+        return False
+    return any(
+        _rewrite_token(token) not in (None, token.text) for token in tokens
+    )

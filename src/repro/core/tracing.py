@@ -1,0 +1,142 @@
+"""Variable tracing — the paper's Algorithm 1 symbol tables.
+
+``SymbolTable`` records each traced variable's value (``S_v``) and the
+scope it was assigned in (``S_c``, represented as a *scope path* — the
+chain of scope-introducing ancestors — which is strictly more precise
+than the paper's integer depth).
+
+Policy, following Section III-B3 and Section V-C:
+
+- assignments inside loops or conditional statements remove the variable
+  (its value depends on run-time control flow);
+- assignments whose right-hand side cannot be evaluated (unknown
+  variables, unsupported operations) remove the variable;
+- a use site may be substituted only when the variable is recorded, its
+  value is a string or a number, and the use's scope is within the
+  recorded scope;
+- uses inside loops are never substituted (the value may change between
+  iterations — the whitespace-encoding limitation the paper discusses).
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.pslang import ast_nodes as N
+from repro.pslang.visitor import in_conditional, in_loop, scope_path
+from repro.runtime.values import PSChar, ScriptBlockValue
+
+ScopePath = Tuple[int, ...]
+
+# Values worth recording: data, not live objects.
+_RECORDABLE_TYPES = (
+    str, int, float, bool, PSChar, list, bytes, bytearray, dict,
+    ScriptBlockValue,
+)
+
+
+def is_recordable_value(value: Any) -> bool:
+    return value is not None and isinstance(value, _RECORDABLE_TYPES)
+
+
+def is_substitutable_value(value: Any) -> bool:
+    """Only strings and numbers are substituted at use sites (paper).
+
+    Chars are excluded for the same reason pieces with char results are
+    kept: a quoted single character is not interchangeable with a
+    ``System.Char`` in numeric contexts.
+    """
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, (str, int, float))
+
+
+@dataclass
+class TracedVariable:
+    value: Any
+    scope: ScopePath
+
+
+@dataclass
+class SymbolTable:
+    """``S_v`` and ``S_c`` in one structure (case-insensitive names).
+
+    ``function_defs`` extends the paper (its Section V-C limitation):
+    when function tracing is enabled, user-defined function definitions
+    (by their current, partially recovered text) are made available to
+    piece evaluation, so function-wrapped decoders become recoverable.
+    """
+
+    entries: Dict[str, TracedVariable] = field(default_factory=dict)
+    env_overrides: Dict[str, str] = field(default_factory=dict)
+    function_defs: Dict[str, str] = field(default_factory=dict)
+
+    def record(self, name: str, value: Any, scope: ScopePath) -> None:
+        self.entries[name.lower()] = TracedVariable(value=value, scope=scope)
+
+    def remove(self, name: str) -> None:
+        self.entries.pop(name.lower(), None)
+
+    def lookup(self, name: str) -> Optional[TracedVariable]:
+        return self.entries.get(name.lower())
+
+    def values_for_evaluator(self) -> Dict[str, Any]:
+        return {name: entry.value for name, entry in self.entries.items()}
+
+    def record_env(self, name: str, value: str) -> None:
+        self.env_overrides[name.lower()] = value
+
+    def substitutable(self, name: str, use_scope: ScopePath) -> Optional[Any]:
+        """The value to substitute at a use site, or None."""
+        entry = self.lookup(name)
+        if entry is None:
+            return None
+        if not is_substitutable_value(entry.value):
+            return None
+        if not scope_contains(entry.scope, use_scope):
+            return None
+        return entry.value
+
+
+def scope_contains(assigned: ScopePath, use: ScopePath) -> bool:
+    """True when *use* is the same scope as *assigned* or nested in it."""
+    return use[: len(assigned)] == assigned
+
+
+def assignment_is_traceable(node: N.AssignmentStatementAst) -> bool:
+    """Assignments in loops/conditionals are abandoned (Algorithm 1)."""
+    return not (in_loop(node) or in_conditional(node))
+
+
+def use_is_substitutable_position(node: N.VariableExpressionAst) -> bool:
+    """Structural filter for substituting a variable use.
+
+    Excludes assignment targets, loop-body uses, ``foreach`` iteration
+    variables and splatted uses.
+    """
+    if node.splatted:
+        return False
+    parent = node.parent
+    if isinstance(parent, N.AssignmentStatementAst) and parent.left is node:
+        return False
+    if isinstance(parent, N.ConvertExpressionAst):
+        grand = parent.parent
+        if (
+            isinstance(grand, N.AssignmentStatementAst)
+            and grand.left is parent
+        ):
+            return False
+    if isinstance(parent, N.ForEachStatementAst) and parent.variable is node:
+        return False
+    if isinstance(parent, N.ParameterAst):
+        return False
+    if isinstance(parent, N.UnaryExpressionAst) and parent.operator in (
+        "++", "--",
+    ):
+        return False
+    if in_loop(node):
+        return False
+    return True
+
+
+def variable_scope(node: N.Ast) -> ScopePath:
+    return scope_path(node)

@@ -1,0 +1,13 @@
+"""Synthetic wild-corpus generation and preprocessing (Section IV-B1).
+
+The paper's 39,713-sample QI-ANXIN corpus is not redistributable, so this
+package generates a statistically similar stand-in: malicious-script
+skeletons (downloaders, droppers, beacons, recon...) obfuscated with
+randomized stacks of every Table II technique, plus duplicate/noise
+injection so the paper's preprocessing pipeline has real work to do.
+"""
+
+from repro.dataset.generator import WildSample, generate_corpus
+from repro.dataset.preprocess import PreprocessStats, preprocess
+
+__all__ = ["WildSample", "generate_corpus", "preprocess", "PreprocessStats"]

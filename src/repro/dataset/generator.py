@@ -1,0 +1,272 @@
+"""Seeded wild-corpus generator (the paper's dataset substitute).
+
+A sample is a skeleton script pushed through a randomized obfuscation
+stack:
+
+1. optionally 1-2 *multi-layer* wraps (string encoder + invoker, or
+   ``powershell -EncodedCommand``);
+2. optionally string-encoding of embedded pieces (handled by the layer
+   wrap since techniques operate on whole scripts here);
+3. a random subset of token-level L1 transforms (ticking, case,
+   whitespace, aliases, random names).
+
+The generator records which techniques touched each sample (ground truth
+for Table I), keeps the clean script (ground truth for Fig 5/Table IV)
+and can emit structural duplicates + junk so preprocessing (Section
+IV-B1) has real work.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.dataset.skeletons import (
+    NETWORK_SKELETONS,
+    SKELETONS,
+    GroundTruth,
+    build_skeleton,
+)
+from repro.obfuscation.catalog import TECHNIQUES, get_technique
+from repro.obfuscation.layers import wrap_encoded_command, wrap_invoke_expression
+
+_STRING_TECHNIQUES = [
+    name for name, t in TECHNIQUES.items() if t.kind == "string"
+]
+_TOKEN_TECHNIQUES = ["ticking", "whitespacing", "random_case", "alias"]
+_INNER_L2 = ["concat", "reorder", "replace", "reverse"]
+_INNER_L3 = ["base64", "encode_ascii", "bxor"]
+
+
+def _obfuscate_inner_strings(
+    script: str, rng: random.Random, techniques: Set[str]
+) -> str:
+    """Encode string literals *inside* the script (Invoke-Obfuscation's
+    STRING menu): the reason wild samples carry L2/L3 markers everywhere,
+    not just in their outermost layer."""
+    from repro.pslang import ast_nodes as N
+    from repro.pslang.parser import try_parse
+
+    ast, _ = try_parse(script)
+    if ast is None:
+        return script
+    replacements = []
+    chosen: Set[str] = set()
+    for node in ast.walk_pre_order():
+        if not isinstance(node, N.StringConstantExpressionAst):
+            continue
+        if node.quote != "'" or len(node.value) < 6:
+            continue
+        parent = node.parent
+        if isinstance(parent, N.CommandAst) and parent.elements and (
+            parent.elements[0] is node
+        ):
+            continue  # command names stay
+        if isinstance(parent, N.MemberExpressionAst) and (
+            parent.member is node
+        ):
+            continue  # member names stay
+        if isinstance(parent, N.HashtableAst):
+            continue  # keys stay
+        if rng.random() > 0.6:
+            continue
+        pool = _INNER_L3 if rng.random() < 0.45 else _INNER_L2
+        name = rng.choice(pool)
+        expression = get_technique(name).encode_string(node.value, rng)
+        replacements.append((node.start, node.end, expression, name))
+    if not replacements:
+        return script
+    result = script
+    for start, end, expression, name in sorted(replacements, reverse=True):
+        result = result[:start] + expression + result[end:]
+        chosen.add(name)
+    validated, _ = try_parse(result)
+    if validated is None:
+        return script
+    techniques.update(chosen)
+    return result
+
+
+# Sandbox-evasion guards wild samples prepend: each one *fires* inside
+# the analysis sandbox (the victim-profile checks fail there), which is
+# exactly what defeats execution-based deobfuscators while leaving static
+# AST recovery untouched (the paper's Table III/IV argument).
+EVASION_GUARDS = [
+    "if ($env:USERNAME -eq 'user') { exit }",
+    "if ($env:COMPUTERNAME -like 'DESKTOP-*') { exit }",
+    "if (-not (Test-Path 'C:\\Users\\victim\\Desktop\\doc.docx')) { exit }",
+    "if ($env:PROCESSOR_ARCHITECTURE -eq 'AMD64') "
+    "{ if ($env:USERNAME -eq 'user') { exit } }",
+]
+
+
+@dataclass
+class WildSample:
+    """One generated corpus sample with full ground truth."""
+
+    identifier: str
+    script: str
+    clean_script: str
+    skeleton: str
+    techniques: Set[str] = field(default_factory=set)
+    layers: int = 0
+    truth: Optional[GroundTruth] = None
+    guarded: bool = False
+
+    @property
+    def levels(self) -> Set[int]:
+        return {TECHNIQUES[name].level for name in self.techniques
+                if name in TECHNIQUES}
+
+
+def _wrap_one_layer(script: str, rng: random.Random, techniques: Set[str]):
+    if rng.random() < 0.02:
+        # Whitespace encoding: ~0.1% of the paper's wild corpus; kept
+        # rare here too (it is the one technique nobody unwraps).
+        techniques.add("whitespace_encoding")
+        return get_technique("whitespace_encoding").apply_to_script(
+            script, rng
+        )
+    if rng.random() < 0.3:
+        techniques.add("base64")
+        return wrap_encoded_command(script, rng)
+    # Wild layer-encoder mix: concat/base64/reorder dominate; exotic
+    # encodings are the tail (matching Table I's pervasive L2+L3).
+    encoder_name = rng.choice(
+        ["concat"] * 3
+        + ["reorder"] * 2
+        + ["base64"] * 4
+        + ["replace", "reverse", "deflate", "securestring", "bxor"]
+        + ["encode_ascii", "encode_hex", "encode_octal",
+           "encode_binary", "specialchar"]
+    )
+    technique = get_technique(encoder_name)
+    techniques.add(encoder_name)
+    expression = technique.encode_string(script, rng)
+    return wrap_invoke_expression(expression, rng)
+
+
+def generate_sample(
+    identifier: str,
+    rng: random.Random,
+    skeleton_name: Optional[str] = None,
+    layer_depth: Optional[int] = None,
+    token_count: Optional[int] = None,
+    rename: Optional[bool] = None,
+    guard: Optional[bool] = None,
+) -> WildSample:
+    """Generate one sample; all choices are drawn from *rng*."""
+    name = skeleton_name or rng.choice(list(SKELETONS))
+    clean, truth = build_skeleton(name, rng)
+    guarded = bool(guard) if guard is not None else False
+    if guarded:
+        clean = rng.choice(EVASION_GUARDS) + "\n" + clean
+    script = clean
+    techniques: Set[str] = set()
+
+    if rename is None:
+        rename = rng.random() < 0.5
+    if rename:
+        script = get_technique("random_name").apply_to_script(script, rng)
+        techniques.add("random_name")
+
+    if rng.random() < 0.85:
+        script = _obfuscate_inner_strings(script, rng, techniques)
+
+    depth = layer_depth if layer_depth is not None else rng.choice(
+        [0, 1, 1, 1, 2]
+    )
+    for _layer in range(depth):
+        script = _wrap_one_layer(script, rng, techniques)
+    if depth and rng.random() < 0.9:
+        # A second STRING pass over the wrapped script (stacked
+        # Invoke-Obfuscation runs): chunks/reorders the layer's blob
+        # literals, which is why L2 markers blanket wild samples.
+        script = _obfuscate_inner_strings(script, rng, techniques)
+
+    count = token_count if token_count is not None else rng.randint(1, 3)
+    chosen = rng.sample(_TOKEN_TECHNIQUES, min(count, len(_TOKEN_TECHNIQUES)))
+    for token_name in chosen:
+        new_script = get_technique(token_name).apply_to_script(script, rng)
+        if new_script != script:
+            techniques.add(token_name)
+            script = new_script
+
+    return WildSample(
+        identifier=identifier,
+        script=script,
+        clean_script=clean,
+        skeleton=name,
+        techniques=techniques,
+        layers=depth,
+        truth=truth,
+        guarded=guarded,
+    )
+
+
+def generate_corpus(
+    count: int,
+    seed: int = 2022,
+    duplicate_fraction: float = 0.0,
+    junk_fraction: float = 0.0,
+    skeletons: Optional[Sequence[str]] = None,
+    guard_fraction: float = 0.0,
+) -> List[WildSample]:
+    """Generate *count* samples (plus optional duplicates and junk).
+
+    ``duplicate_fraction`` adds structural near-duplicates (same script,
+    different URLs — what the paper's structure-dedup removes);
+    ``junk_fraction`` adds non-PowerShell noise (HTML/mail fragments that
+    preprocessing must reject).
+    """
+    rng = random.Random(seed)
+    samples: List[WildSample] = []
+    for index in range(count):
+        skeleton_name = (
+            rng.choice(list(skeletons)) if skeletons else None
+        )
+        samples.append(
+            generate_sample(
+                f"sample-{index:05d}",
+                rng,
+                skeleton_name,
+                guard=rng.random() < guard_fraction,
+            )
+        )
+
+    extra = []
+    duplicates = int(count * duplicate_fraction)
+    for index in range(duplicates):
+        donor = rng.choice(samples)
+        clone_rng = random.Random(rng.random())
+        clone = generate_sample(
+            f"dup-{index:05d}",
+            clone_rng,
+            skeleton_name=donor.skeleton,
+            layer_depth=donor.layers,
+        )
+        extra.append(clone)
+
+    junk = int(count * junk_fraction)
+    for index in range(junk):
+        extra.append(
+            WildSample(
+                identifier=f"junk-{index:05d}",
+                script=rng.choice(_JUNK_BODIES),
+                clean_script="",
+                skeleton="junk",
+            )
+        )
+    return samples + extra
+
+
+_JUNK_BODIES = [
+    "<html><body><h1>It works!</h1></body></html>",
+    (
+        "Received: from mail.example.com\n"
+        "Subject: =?utf-8?B?aGVsbG8=?=\n"
+        "Content-Type: text/plain\n\nplease see attachment"
+    ),
+    "MZ\x90\x00\x03\x00\x00\x00\x04\x00",
+    "'just one string'",
+    "% % % = = = not a script % % %",
+]

@@ -1,0 +1,143 @@
+"""Corpus preprocessing (paper Section IV-B1).
+
+Four filters, in the paper's order:
+
+1. **syntax validation** — samples that cannot be parsed into a script
+   block are dropped;
+2. **token filters** — no tokens at all (HTML/mail), or every command
+   unknown, or command tokens containing characters like ``=``/``%``;
+3. **meaningless samples** — a single string token and nothing else;
+4. **structure dedup** — string token contents replaced by a placeholder,
+   then exact-duplicate structures removed (same family, different URLs).
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.dataset.generator import WildSample
+from repro.pslang.aliases import ALIASES, CANONICAL_COMMANDS
+from repro.pslang.parser import try_parse
+from repro.pslang.tokenizer import significant_tokens, try_tokenize
+from repro.pslang.tokens import PSTokenType
+
+_PLACEHOLDER = "<s>"
+
+_KNOWN_COMMAND_PREFIXES = (
+    "get-", "set-", "new-", "invoke-", "write-", "out-", "start-",
+    "stop-", "convertto-", "convertfrom-", "add-", "remove-", "select-",
+    "foreach-", "where-", "import-", "export-", "test-", "join-",
+    "split-", "read-", "clear-", "copy-", "move-", "restart-", "wait-",
+    "register-", "send-", "resolve-", "measure-", "sort-", "group-",
+    "format-", "tee-", "compare-", "rename-", "push-", "pop-",
+)
+
+
+def _command_known(name: str) -> bool:
+    lowered = name.lower().replace("`", "")
+    if lowered in ALIASES or lowered in CANONICAL_COMMANDS:
+        return True
+    if lowered.startswith(_KNOWN_COMMAND_PREFIXES):
+        return True
+    basename = lowered.rsplit("\\", 1)[-1].rsplit("/", 1)[-1]
+    return basename in (
+        "powershell", "powershell.exe", "pwsh", "pwsh.exe", "cmd",
+        "cmd.exe", "iex", "%", "?",
+    )
+
+
+def is_valid_sample(script: str) -> Tuple[bool, str]:
+    """Apply filters 1-3; returns ``(keep, reason_if_dropped)``."""
+    tokens, error = try_tokenize(script)
+    if tokens is None:
+        return False, f"tokenize: {error}"
+    meaningful = significant_tokens(tokens)
+    if not meaningful:
+        return False, "no tokens"
+    ast, parse_error = try_parse(script)
+    if ast is None:
+        return False, f"parse: {parse_error}"
+    commands = [
+        t for t in meaningful if t.type is PSTokenType.COMMAND
+    ]
+    if commands:
+        if any(ch in t.content for t in commands for ch in "=%<>"):
+            # '%' alone is the ForEach-Object alias; reject only when it
+            # appears inside a longer command word.
+            bad = [
+                t
+                for t in commands
+                if t.content not in ("%", "?")
+                and any(ch in t.content for ch in "=%<>")
+            ]
+            if bad:
+                return False, "command token with invalid characters"
+        if not any(_command_known(t.content) for t in commands):
+            return False, "all commands unknown"
+    if len(meaningful) == 1 and meaningful[0].type is PSTokenType.STRING:
+        return False, "single string token"
+    return True, ""
+
+
+def structure_hash(script: str) -> str:
+    """Hash of the script with all string contents replaced (filter 4)."""
+    tokens, _ = try_tokenize(script)
+    if tokens is None:
+        digest_input = script
+    else:
+        pieces: List[str] = []
+        for token in significant_tokens(tokens):
+            if token.type is PSTokenType.STRING:
+                pieces.append(_PLACEHOLDER)
+            else:
+                pieces.append(token.content.lower())
+        digest_input = "\x00".join(pieces)
+    return hashlib.sha256(digest_input.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass
+class PreprocessStats:
+    """Counts mirroring the paper's preprocessing narrative."""
+
+    input_count: int = 0
+    invalid_syntax: int = 0
+    no_tokens: int = 0
+    unknown_commands: int = 0
+    invalid_command_chars: int = 0
+    single_string: int = 0
+    duplicates: int = 0
+    kept: int = 0
+    drop_reasons: List[str] = field(default_factory=list)
+
+
+def preprocess(
+    samples: Iterable[WildSample],
+) -> Tuple[List[WildSample], PreprocessStats]:
+    """Run the full Section IV-B1 pipeline over *samples*."""
+    stats = PreprocessStats()
+    seen_structures: Set[str] = set()
+    kept: List[WildSample] = []
+    for sample in samples:
+        stats.input_count += 1
+        ok, reason = is_valid_sample(sample.script)
+        if not ok:
+            stats.drop_reasons.append(reason)
+            if reason.startswith("tokenize") or reason.startswith("parse"):
+                stats.invalid_syntax += 1
+            elif reason == "no tokens":
+                stats.no_tokens += 1
+            elif reason == "all commands unknown":
+                stats.unknown_commands += 1
+            elif reason == "command token with invalid characters":
+                stats.invalid_command_chars += 1
+            elif reason == "single string token":
+                stats.single_string += 1
+            continue
+        digest = structure_hash(sample.script)
+        if digest in seen_structures:
+            stats.duplicates += 1
+            continue
+        seen_structures.add(digest)
+        kept.append(sample)
+    stats.kept = len(kept)
+    return kept, stats

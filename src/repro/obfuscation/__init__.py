@@ -1,0 +1,33 @@
+"""Obfuscation toolkit — the reproduction's Invoke-Obfuscation equivalent.
+
+Implements every technique in the paper's Table II so evaluation corpora
+can be generated without the (unreleased) wild dataset:
+
+========  =====================================================
+Level     Techniques
+========  =====================================================
+L1        ticking, whitespacing, random case, random names, alias
+L2        concatenate, reorder (``-f``), replace, reverse
+L3        ascii/hex/octal/binary codes, Base64, whitespace
+          encoding, special characters, bxor, SecureString,
+          DeflateStream
+========  =====================================================
+
+plus multi-layer wrapping (``iex`` variants and ``powershell
+-EncodedCommand``).  All randomness flows through a seeded
+:class:`random.Random` so corpora are reproducible.
+"""
+
+from repro.obfuscation.catalog import (
+    TECHNIQUES,
+    Technique,
+    get_technique,
+    techniques_at_level,
+)
+
+__all__ = [
+    "TECHNIQUES",
+    "Technique",
+    "get_technique",
+    "techniques_at_level",
+]

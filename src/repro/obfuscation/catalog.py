@@ -1,0 +1,188 @@
+"""Technique registry: every Table II row as a named, seeded transform.
+
+Two technique kinds exist:
+
+- ``token`` — rewrites an existing script's tokens in place (L1);
+- ``string`` — encodes a payload string into an expression that evaluates
+  back to it (L2/L3); composing with an invoker makes it executable.
+
+``positions`` (paper Section IV-C1) embeds a string-encoded piece in the
+three test positions: separate line, assignment expression, part of a
+pipe.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.obfuscation import (
+    encoding_obfuscator,
+    secure_obfuscator,
+    string_obfuscator,
+    token_obfuscator,
+)
+from repro.obfuscation.rename_obfuscator import randomize_names
+
+TokenTransform = Callable[[str, random.Random], str]
+StringEncoder = Callable[[str, random.Random], str]
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One obfuscation technique from Table II."""
+
+    name: str
+    level: int            # 1, 2 or 3
+    kind: str             # "token" or "string"
+    type_label: str       # Table II "Type" column
+    subtype_label: str    # Table II "Subtype" column
+    transform: Optional[TokenTransform] = None
+    encoder: Optional[StringEncoder] = None
+
+    def apply_to_script(self, script: str, rng: random.Random) -> str:
+        """Obfuscate a whole script with this technique."""
+        if self.kind in ("token", "script"):
+            assert self.transform is not None
+            return self.transform(script, rng)
+        assert self.encoder is not None
+        from repro.obfuscation.layers import wrap_invoke_expression
+
+        return wrap_invoke_expression(self.encoder(script, rng), rng)
+
+    def encode_string(self, payload: str, rng: random.Random) -> str:
+        """Encode a payload string (string-kind techniques only)."""
+        if self.encoder is None:
+            raise ValueError(f"{self.name} is not a string encoder")
+        return self.encoder(payload, rng)
+
+
+TECHNIQUES: Dict[str, Technique] = {}
+
+
+def _register(technique: Technique) -> None:
+    TECHNIQUES[technique.name] = technique
+
+
+_register(Technique(
+    name="ticking", level=1, kind="token",
+    type_label="Randomization", subtype_label="Ticking",
+    transform=token_obfuscator.insert_ticks,
+))
+_register(Technique(
+    name="whitespacing", level=1, kind="token",
+    type_label="Randomization", subtype_label="Whitespacing",
+    transform=token_obfuscator.insert_whitespace,
+))
+_register(Technique(
+    name="random_case", level=1, kind="token",
+    type_label="Randomization", subtype_label="Random Case",
+    transform=token_obfuscator.randomize_case,
+))
+_register(Technique(
+    name="random_name", level=1, kind="token",
+    type_label="Randomization", subtype_label="Random Name",
+    transform=randomize_names,
+))
+_register(Technique(
+    name="alias", level=1, kind="token",
+    type_label="Alias", subtype_label="-",
+    transform=token_obfuscator.apply_aliases,
+))
+
+_register(Technique(
+    name="concat", level=2, kind="string",
+    type_label="String-related", subtype_label="Concatenate",
+    encoder=string_obfuscator.encode_concat,
+))
+_register(Technique(
+    name="reorder", level=2, kind="string",
+    type_label="String-related", subtype_label="Reorder",
+    encoder=string_obfuscator.encode_reorder,
+))
+_register(Technique(
+    name="replace", level=2, kind="string",
+    type_label="String-related", subtype_label="Replace",
+    encoder=string_obfuscator.encode_replace,
+))
+_register(Technique(
+    name="reverse", level=2, kind="string",
+    type_label="String-related", subtype_label="Reverse",
+    encoder=string_obfuscator.encode_reverse,
+))
+
+_register(Technique(
+    name="encode_binary", level=3, kind="string",
+    type_label="Encoding", subtype_label="Binary/Octal",
+    encoder=encoding_obfuscator.encode_binary,
+))
+_register(Technique(
+    name="encode_octal", level=3, kind="string",
+    type_label="Encoding", subtype_label="Binary/Octal",
+    encoder=encoding_obfuscator.encode_octal,
+))
+_register(Technique(
+    name="encode_ascii", level=3, kind="string",
+    type_label="Encoding", subtype_label="ASCII/Hex",
+    encoder=encoding_obfuscator.encode_ascii,
+))
+_register(Technique(
+    name="encode_hex", level=3, kind="string",
+    type_label="Encoding", subtype_label="ASCII/Hex",
+    encoder=encoding_obfuscator.encode_hex,
+))
+_register(Technique(
+    name="base64", level=3, kind="string",
+    type_label="Encoding", subtype_label="Base64",
+    encoder=encoding_obfuscator.encode_base64,
+))
+_register(Technique(
+    name="whitespace_encoding", level=3, kind="script",
+    type_label="Encoding", subtype_label="Whitespace",
+    transform=encoding_obfuscator.wrap_whitespace_script,
+))
+_register(Technique(
+    name="specialchar", level=3, kind="string",
+    type_label="Encoding", subtype_label="Specialchar",
+    encoder=encoding_obfuscator.encode_specialchar,
+))
+_register(Technique(
+    name="bxor", level=3, kind="string",
+    type_label="Encoding", subtype_label="Bxor",
+    encoder=encoding_obfuscator.encode_bxor,
+))
+_register(Technique(
+    name="securestring", level=3, kind="string",
+    type_label="SecureString", subtype_label="-",
+    encoder=secure_obfuscator.encode_securestring,
+))
+_register(Technique(
+    name="deflate", level=3, kind="string",
+    type_label="Compress", subtype_label="DeflateStream",
+    encoder=secure_obfuscator.encode_deflate,
+))
+
+
+def get_technique(name: str) -> Technique:
+    return TECHNIQUES[name]
+
+
+def techniques_at_level(level: int) -> List[Technique]:
+    return [t for t in TECHNIQUES.values() if t.level == level]
+
+
+def string_techniques() -> List[Technique]:
+    return [t for t in TECHNIQUES.values() if t.kind == "string"]
+
+
+def token_techniques() -> List[Technique]:
+    return [t for t in TECHNIQUES.values() if t.kind == "token"]
+
+
+# The paper's three test positions (Section IV-C1).
+def positions(piece: str) -> Dict[str, str]:
+    """Embed an encoded piece in the paper's three positions."""
+    return {
+        "separate_line": piece,
+        "assignment": f"$fmp = {piece}",
+        "pipe": f"{piece} | out-null",
+    }

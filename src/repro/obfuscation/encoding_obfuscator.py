@@ -1,0 +1,161 @@
+"""L3 encoders: numeric codes, Base64, bxor, special chars, whitespace.
+
+All encoders return a parenthesized expression evaluating to the payload,
+matching the shapes Invoke-Obfuscation emits (and the paper's Listing 4).
+"""
+
+import base64
+import random
+from typing import Callable, List
+
+from repro.core.recovery import quote_single
+from repro.obfuscation.random_source import random_case
+
+
+def _join_codes(codes: List[str], converter: str, rng: random.Random) -> str:
+    """``(('c1','c2'...) | %{[char](<converter>)}) -join ''`` shape."""
+    listed = ",".join(quote_single(c) for c in codes)
+    pipeline = (
+        f"(({listed}) | ForEach-Object {{[char]({converter})}}) -join ''"
+    )
+    return "(" + pipeline + ")"
+
+
+def encode_ascii(payload: str, rng: random.Random) -> str:
+    """Decimal char codes: ``((119,114,...) | %{[char]$_}) -join ''``"""
+    codes = ",".join(str(ord(ch)) for ch in payload)
+    return f"((({codes}) | ForEach-Object {{[char]$_}}) -join '')"
+
+
+def encode_hex(payload: str, rng: random.Random) -> str:
+    codes = [format(ord(ch), "x") for ch in payload]
+    return _join_codes(codes, "[convert]::ToInt32($_,16)", rng)
+
+
+def encode_octal(payload: str, rng: random.Random) -> str:
+    codes = [format(ord(ch), "o") for ch in payload]
+    return _join_codes(codes, "[convert]::ToInt32($_,8)", rng)
+
+
+def encode_binary(payload: str, rng: random.Random) -> str:
+    codes = [format(ord(ch), "b") for ch in payload]
+    return _join_codes(codes, "[convert]::ToInt32($_,2)", rng)
+
+
+def chunk_literal(blob: str, rng: random.Random, always: bool = False) -> str:
+    """Render a long literal as a concatenation of chunks.
+
+    Invoke-Obfuscation splits encoded blobs into concatenated pieces,
+    which is why L2 markers blanket wild samples (Table I).
+    """
+    if len(blob) < 24 or (not always and rng.random() < 0.3):
+        return quote_single(blob)
+    pieces: List[str] = []
+    index = 0
+    while index < len(blob):
+        width = rng.randint(12, 40)
+        pieces.append(blob[index:index + width])
+        index += width
+    if len(pieces) < 2:
+        return quote_single(blob)
+    return "(" + "+".join(quote_single(p) for p in pieces) + ")"
+
+
+def encode_base64(payload: str, rng: random.Random) -> str:
+    encoding = rng.choice(["UTF8", "Unicode", "ASCII"])
+    codec = {"UTF8": "utf-8", "Unicode": "utf-16-le", "ASCII": "ascii"}[
+        encoding
+    ]
+    try:
+        blob = base64.b64encode(payload.encode(codec)).decode("ascii")
+    except UnicodeEncodeError:
+        blob = base64.b64encode(payload.encode("utf-16-le")).decode("ascii")
+        encoding = "Unicode"
+    rendered = chunk_literal(blob, rng, always=True)
+    return (
+        f"([Text.Encoding]::{encoding}.GetString("
+        f"[Convert]::FromBase64String({rendered})))"
+    )
+
+
+def encode_bxor(payload: str, rng: random.Random) -> str:
+    """The paper's Listing 4 shape: xored codes split on noise chars."""
+    key = rng.randint(1, 255)
+    separators = rng.sample("~}d!i@j", 3)
+    codes = [str(ord(ch) ^ key) for ch in payload]
+    joined = []
+    for index, code in enumerate(codes):
+        joined.append(code)
+        if index != len(codes) - 1:
+            joined.append(rng.choice(separators))
+    blob = "".join(joined)
+    split_ops = " ".join(
+        f"-split {quote_single(sep)}" for sep in separators
+    )
+    body = (
+        f"(('{blob}' {split_ops} | ForEach-Object "
+        f"{{[char]([int]$_ -bxor '0x{key:02x}')}}) -join '')"
+    )
+    return "(" + body + ")"
+
+
+def encode_specialchar(payload: str, rng: random.Random) -> str:
+    """Chars derived from punctuation: ``[char]([int][char]'!'+N)``."""
+    bases = "!#%&*+,-./:;<=>?@"
+    parts = []
+    for ch in payload:
+        base = rng.choice(bases)
+        delta = ord(ch) - ord(base)
+        parts.append(f"[char]([int][char]{quote_single(base)}+{delta})")
+    return "(-join (" + ",".join(parts) + "))"
+
+
+def whitespace_decoder_fragment(payload: str, tail: str) -> str:
+    """The whitespace decode loop with a custom final statement.
+
+    ``tail`` receives the decoded variable name (``$wsout``), e.g.
+    ``"$fmp = $wsout"`` for the Table II assignment position.  No invoker
+    is included — Table II tests the *piece*, so overriding-function
+    tools have nothing to intercept.
+    """
+    groups = "\t".join(" " * (ord(ch) - 30) for ch in payload)
+    encoded = groups.replace("\t", "`t")
+    return (
+        '$wsenc = "' + encoded + '"\n'
+        "$wsout = ''\n"
+        'foreach($wsg in ($wsenc -split "`t")) '
+        "{ $wsout += [char]($wsg.Length + 30) }\n"
+        + tail
+    )
+
+
+def wrap_whitespace_script(script: str, rng: random.Random) -> str:
+    """Whitespace-run encoding with a loop-based decoder (whole script).
+
+    Each character becomes ``ord(ch) - 30`` spaces; runs are separated by
+    tabs, and a ``foreach`` loop accumulates the decoded characters before
+    invoking them.  The loop-carried ``+=`` is exactly the shape the
+    paper's variable tracing gives up on (Section V-C, Table II's one ✗
+    for Invoke-Deobfuscation) — wild samples use this multi-statement
+    form, not a self-contained subexpression.
+    """
+    groups = "\t".join(" " * (ord(ch) - 30) for ch in script)
+    encoded = groups.replace("\t", "`t")
+    return (
+        '$wsenc = "' + encoded + '"\n'
+        "$wsout = ''\n"
+        'foreach($wsg in ($wsenc -split "`t")) '
+        "{ $wsout += [char]($wsg.Length + 30) }\n"
+        "iex $wsout"
+    )
+
+
+ENCODERS: dict = {
+    "encode_ascii": encode_ascii,
+    "encode_hex": encode_hex,
+    "encode_octal": encode_octal,
+    "encode_binary": encode_binary,
+    "base64": encode_base64,
+    "bxor": encode_bxor,
+    "specialchar": encode_specialchar,
+}

@@ -1,0 +1,67 @@
+"""Function-wrapped decoders — the paper's Section V-C hard case.
+
+"If attackers put the recovery algorithm into function and utilize
+function calls to recover the obfuscated data, our approach hardly traces
+the obfuscated chain."  This module builds exactly those samples so the
+``trace_functions`` extension has something to prove.  It is deliberately
+NOT part of the Table II catalog: the paper's tool (and our default
+configuration) does not handle it.
+"""
+
+import base64
+import random
+
+from repro.obfuscation.random_source import random_identifier
+
+_DECODER_BODIES = [
+    # base64 → string
+    (
+        "param($s) [Text.Encoding]::UTF8.GetString("
+        "[Convert]::FromBase64String($s))"
+    ),
+    # reversed string
+    "param($s) ($s[-1..-($s.Length)] -join '')",
+    # char-shift
+    (
+        "param($s) (($s.ToCharArray() | ForEach-Object "
+        "{ [char]([int]$_ - 1) }) -join '')"
+    ),
+]
+
+
+def _encode_for(body_index: int, payload: str) -> str:
+    if body_index == 0:
+        return base64.b64encode(payload.encode("utf-8")).decode("ascii")
+    if body_index == 1:
+        return payload[::-1]
+    return "".join(chr(ord(ch) + 1) for ch in payload)
+
+
+def wrap_function_decoder(script: str, rng: random.Random) -> str:
+    """Hide *script* behind a user-defined decoder function + iex."""
+    body_index = rng.randrange(len(_DECODER_BODIES))
+    body = _DECODER_BODIES[body_index]
+    encoded = _encode_for(body_index, script)
+    name = "Decode-" + random_identifier(rng).capitalize()
+    blob = encoded.replace("'", "''")
+    return (
+        f"function {name} {{ {body} }}\n"
+        f"iex ({name} '{blob}')"
+    )
+
+
+def nested_function_decoder(script: str, rng: random.Random) -> str:
+    """Two decoder functions, one calling the other (function nesting,
+    the paper's worst case)."""
+    inner = "Inner-" + random_identifier(rng).capitalize()
+    outer = "Outer-" + random_identifier(rng).capitalize()
+    encoded = base64.b64encode(script[::-1].encode("utf-8")).decode("ascii")
+    blob = encoded.replace("'", "''")
+    return (
+        f"function {inner} {{ param($s) "
+        "[Text.Encoding]::UTF8.GetString("
+        "[Convert]::FromBase64String($s)) }\n"
+        f"function {outer} {{ param($s) "
+        f"(({inner} $s)[-1..-(({inner} $s).Length)] -join '') }}\n"
+        f"iex ({outer} '{blob}')"
+    )

@@ -1,0 +1,67 @@
+"""Multi-layer wrapping: invoke an obfuscated string as code.
+
+Sections II-B/III-B4: attackers obfuscate a whole script into a string
+expression and feed it to ``Invoke-Expression`` or ``powershell
+-EncodedCommand``, stacking layers arbitrarily deep.
+"""
+
+import base64
+import random
+from typing import Callable, List
+
+from repro.core.recovery import quote_single
+
+
+def _wrap_iex(expression: str, rng: random.Random) -> str:
+    form = rng.randrange(5)
+    if form == 0:
+        return f"Invoke-Expression {expression}"
+    if form == 1:
+        return f"IEX {expression}"
+    if form == 2:
+        return f"{expression} | IeX"
+    if form == 3:
+        return f"&('i'+'ex') {expression}"
+    return f".($pshome[4]+$pshome[30]+'x') {expression}"
+
+
+def wrap_invoke_expression(expression: str, rng: random.Random) -> str:
+    """Make the string *expression* execute as a script."""
+    return _wrap_iex(expression, rng)
+
+
+def encode_command(script: str) -> str:
+    return base64.b64encode(script.encode("utf-16-le")).decode("ascii")
+
+
+def wrap_encoded_command(script: str, rng: random.Random) -> str:
+    """``powershell -NoP -e <base64>`` with randomized flag spellings."""
+    exe = rng.choice(["powershell", "PowerShell", "powershell.exe"])
+    noise = rng.choice(["", " -NoP", " -NoP -NonI", " -w hidden -NoP"])
+    flag = rng.choice(["-e", "-En", "-eNc", "-encodedcommand", "-EC"])
+    if flag == "-EC":
+        flag = "-e"
+    return f"{exe}{noise} {flag} {encode_command(script)}"
+
+
+def wrap_layer(
+    script: str,
+    rng: random.Random,
+    string_encoder: Callable[[str, random.Random], str],
+) -> str:
+    """One full layer: encode *script* as a string, then invoke it."""
+    if rng.random() < 0.35:
+        return wrap_encoded_command(script, rng)
+    expression = string_encoder(script, rng)
+    return wrap_invoke_expression(expression, rng)
+
+
+def wrap_layers(
+    script: str,
+    rng: random.Random,
+    string_encoder: Callable[[str, random.Random], str],
+    depth: int,
+) -> str:
+    for _ in range(depth):
+        script = wrap_layer(script, rng, string_encoder)
+    return script

@@ -1,0 +1,61 @@
+"""Seeded randomness helpers for reproducible corpus generation."""
+
+import random
+import string
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+CONSONANTS = "bcdfghjklmnpqrstvwxz"
+
+
+def make_rng(seed) -> random.Random:
+    return random.Random(seed)
+
+
+def random_case(text: str, rng: random.Random) -> str:
+    """Randomize the case of every cased character."""
+    return "".join(
+        ch.upper() if rng.random() < 0.5 else ch.lower() for ch in text
+    )
+
+
+def random_identifier(rng: random.Random, length_low=4, length_high=7) -> str:
+    """A consonant-soup identifier like wild droppers use."""
+    length = rng.randint(length_low, length_high)
+    return "".join(rng.choice(CONSONANTS) for _ in range(length))
+
+
+def random_placeholder(rng: random.Random, forbidden: str) -> str:
+    """A short marker string guaranteed absent from *forbidden*."""
+    alphabet = string.ascii_letters
+    for _ in range(1000):
+        candidate = "".join(rng.choice(alphabet) for _ in range(3))
+        if candidate not in forbidden and candidate.lower() not in (
+            forbidden.lower()
+        ):
+            return candidate
+    raise RuntimeError("could not find a placeholder")  # pragma: no cover
+
+
+def split_chunks(
+    text: str, rng: random.Random, low: int = 2, high: int = 5
+) -> List[str]:
+    """Split *text* into 2..high non-empty chunks at random points."""
+    if len(text) < 2:
+        return [text]
+    count = rng.randint(low, min(high, len(text)))
+    cuts = sorted(rng.sample(range(1, len(text)), count - 1))
+    pieces = []
+    previous = 0
+    for cut in cuts:
+        pieces.append(text[previous:cut])
+        previous = cut
+    pieces.append(text[previous:])
+    return pieces
+
+
+def shuffled(items: Sequence[T], rng: random.Random) -> List[T]:
+    out = list(items)
+    rng.shuffle(out)
+    return out

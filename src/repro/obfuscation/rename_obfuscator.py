@@ -1,0 +1,75 @@
+"""Random-name obfuscation (Table II "Random Name").
+
+Renames every user variable and function to a random consonant-soup
+identifier, the signature of wild droppers the paper's renamer undoes.
+"""
+
+import random
+import re
+from typing import Dict, List, Tuple
+
+from repro.pslang import ast_nodes as N
+from repro.pslang.parser import try_parse
+from repro.obfuscation.random_source import random_identifier
+from repro.runtime.environment import is_automatic
+
+_PROTECTED = {"_", "args", "input", "this"}
+
+
+def randomize_names(script: str, rng: random.Random) -> str:
+    ast, _ = try_parse(script)
+    if ast is None:
+        return script
+    variable_map: Dict[str, str] = {}
+    function_map: Dict[str, str] = {}
+    used = set()
+
+    def fresh_name() -> str:
+        for _attempt in range(100):
+            name = random_identifier(rng)
+            if name not in used:
+                used.add(name)
+                return name
+        raise RuntimeError("name space exhausted")  # pragma: no cover
+
+    replacements: List[Tuple[int, int, str]] = []
+    for node in ast.walk_pre_order():
+        if isinstance(node, N.VariableExpressionAst):
+            name = node.name
+            if ":" in name or name.lower() in _PROTECTED or is_automatic(
+                name
+            ):
+                continue
+            new_name = variable_map.setdefault(name.lower(), fresh_name())
+            sigil = "@" if node.splatted else "$"
+            replacements.append((node.start, node.end, sigil + new_name))
+        elif isinstance(node, N.FunctionDefinitionAst):
+            new_name = function_map.setdefault(
+                node.name.lower(), fresh_name()
+            )
+            text = script[node.start:node.end]
+            match = re.search(re.escape(node.name), text, re.IGNORECASE)
+            if match:
+                replacements.append(
+                    (
+                        node.start + match.start(),
+                        node.start + match.end(),
+                        new_name,
+                    )
+                )
+    # Second pass: call sites of renamed functions.
+    for node in ast.walk_pre_order():
+        if isinstance(node, N.CommandAst) and node.elements:
+            head = node.elements[0]
+            if (
+                isinstance(head, N.StringConstantExpressionAst)
+                and head.quote == ""
+                and head.value.lower() in function_map
+            ):
+                replacements.append(
+                    (head.start, head.end, function_map[head.value.lower()])
+                )
+    result = script
+    for start, end, text in sorted(replacements, reverse=True):
+        result = result[:start] + text + result[end:]
+    return result

@@ -1,0 +1,48 @@
+"""SecureString and DeflateStream obfuscation (Table II, L3)."""
+
+import base64
+import random
+import zlib
+
+from repro.runtime.securestring import encrypt_securestring
+
+
+def encode_securestring(payload: str, rng: random.Random) -> str:
+    """Invoke-Obfuscation's SecureString round trip, keyed AES."""
+    key_length = rng.choice([16, 24, 32])
+    start = rng.randint(0, 9)
+    key_range = f"({start}..{start + key_length - 1})"
+    key = list(range(start, start + key_length))
+    blob = encrypt_securestring(payload, key)
+    from repro.obfuscation.encoding_obfuscator import chunk_literal
+
+    rendered = chunk_literal(blob, rng, always=True)
+    return (
+        "([Runtime.InteropServices.Marshal]::PtrToStringAuto("
+        "[Runtime.InteropServices.Marshal]::SecureStringToBSTR("
+        f"(ConvertTo-SecureString {rendered} -Key {key_range}))))"
+    )
+
+
+def encode_deflate(payload: str, rng: random.Random) -> str:
+    """Base64(deflate(payload)) + the stock decompression pipeline."""
+    compressor = zlib.compressobj(9, zlib.DEFLATED, -15)
+    compressed = compressor.compress(payload.encode("utf-8"))
+    compressed += compressor.flush()
+    blob = base64.b64encode(compressed).decode("ascii")
+    from repro.obfuscation.encoding_obfuscator import chunk_literal
+
+    rendered = chunk_literal(blob, rng, always=True)
+    return (
+        "((New-Object IO.StreamReader((New-Object "
+        "IO.Compression.DeflateStream((New-Object IO.MemoryStream("
+        f",[Convert]::FromBase64String({rendered}))),"
+        "[IO.Compression.CompressionMode]::Decompress)),"
+        "[Text.Encoding]::UTF8)).ReadToEnd())"
+    )
+
+
+ENCODERS = {
+    "securestring": encode_securestring,
+    "deflate": encode_deflate,
+}

@@ -1,0 +1,81 @@
+"""L2 string-related encoders: concatenate, reorder, replace, reverse.
+
+Each encoder takes a payload string and returns a parenthesized PowerShell
+*expression* that evaluates back to the payload.
+"""
+
+import random
+from typing import List
+
+from repro.core.recovery import quote_single
+from repro.obfuscation.random_source import (
+    random_placeholder,
+    split_chunks,
+    shuffled,
+)
+
+
+def encode_concat(payload: str, rng: random.Random) -> str:
+    """``('wri'+'te-ho'+'st hello')``"""
+    chunks = split_chunks(payload, rng, low=2, high=5)
+    return "(" + "+".join(quote_single(c) for c in chunks) + ")"
+
+
+def encode_reorder(payload: str, rng: random.Random) -> str:
+    """``("{2}{0}{1}" -f ...)`` — the format-operator shuffle.
+
+    Chunk *k* of the payload is stored in argument slot ``positions[k]``,
+    so the template reads ``{positions[0]}{positions[1]}...`` and the
+    formatted result reassembles the payload in order.
+    """
+    chunks = split_chunks(payload, rng, low=2, high=6)
+    positions = shuffled(range(len(chunks)), rng)
+    template = "".join("{" + str(slot) + "}" for slot in positions)
+    args = [""] * len(chunks)
+    for chunk_index, slot in enumerate(positions):
+        args[slot] = chunks[chunk_index]
+    rendered_args = ",".join(quote_single(a) for a in args)
+    return f'("{template}" -f {rendered_args})'
+
+
+def encode_replace(payload: str, rng: random.Random) -> str:
+    """Hide a substring behind a placeholder + ``.Replace`` call."""
+    if len(payload) < 2:
+        return "(" + quote_single(payload) + ")"
+    # Prefer a quote-free hidden substring; quotes get the [char]39 form
+    # only when they are the entire hidden piece.
+    for _attempt in range(20):
+        start = rng.randrange(0, len(payload) - 1)
+        length = rng.randint(1, min(4, len(payload) - start))
+        hidden = payload[start:start + length]
+        if "'" not in hidden:
+            break
+    else:
+        hidden = "'"
+    placeholder = random_placeholder(rng, payload)
+    mangled = payload.replace(hidden, placeholder)
+    if hidden == "'":
+        return (
+            f"({quote_single(mangled)}.RePlAce({quote_single(placeholder)},"
+            "[sTrInG][cHaR]39))"
+        )
+    return (
+        f"({quote_single(mangled)}.RePlAce({quote_single(placeholder)},"
+        f"{quote_single(hidden)}))"
+    )
+
+
+def encode_reverse(payload: str, rng: random.Random) -> str:
+    """``('olleh'[-1..-5] -join '')``"""
+    reversed_text = payload[::-1]
+    return (
+        f"({quote_single(reversed_text)}[-1..-{len(payload)}] -join '')"
+    )
+
+
+ENCODERS = {
+    "concat": encode_concat,
+    "reorder": encode_reorder,
+    "replace": encode_replace,
+    "reverse": encode_reverse,
+}

@@ -1,0 +1,127 @@
+"""L1 token-level obfuscation: ticking, whitespacing, random case, alias.
+
+These transforms rewrite an existing script's tokens without changing its
+semantics, exactly the way Invoke-Obfuscation's TOKEN menu does.
+"""
+
+import random
+from typing import List, Optional
+
+from repro.pslang.aliases import ALIASES, canonical_case
+from repro.pslang.tokenizer import try_tokenize
+from repro.pslang.tokens import PSToken, PSTokenType
+from repro.obfuscation.random_source import random_case as _random_case
+
+# Characters a backtick must not precede in a bareword (escape meaning).
+_TICK_UNSAFE = set("0abefnrtv`'\"$ ")
+
+# Reverse alias map: canonical command (lower) -> all aliases.
+_REVERSE_ALIASES = {}
+for _alias, _command in ALIASES.items():
+    _REVERSE_ALIASES.setdefault(_command.lower(), []).append(_alias)
+
+_CASEABLE_TOKEN_TYPES = {
+    PSTokenType.COMMAND,
+    PSTokenType.COMMAND_PARAMETER,
+    PSTokenType.KEYWORD,
+    PSTokenType.MEMBER,
+    PSTokenType.TYPE,
+    PSTokenType.VARIABLE,
+}
+
+_TICKABLE_TOKEN_TYPES = {
+    PSTokenType.COMMAND,
+    PSTokenType.MEMBER,
+}
+
+
+def _rewrite_tokens(script: str, rewrite) -> str:
+    """Apply ``rewrite(token) -> Optional[str]`` in reverse order."""
+    tokens, _ = try_tokenize(script)
+    if tokens is None:
+        return script
+    result = script
+    for token in reversed(tokens):
+        replacement = rewrite(token)
+        if replacement is None or replacement == token.text:
+            continue
+        result = result[:token.start] + replacement + result[token.end:]
+    return result
+
+
+def insert_ticks(script: str, rng: random.Random) -> str:
+    """Insert meaningless backticks into command and member names."""
+
+    def rewrite(token: PSToken) -> Optional[str]:
+        if token.type not in _TICKABLE_TOKEN_TYPES:
+            return None
+        if "`" in token.text:
+            return None
+        text = token.text
+        positions = [
+            i
+            for i in range(1, len(text))
+            if text[i].lower() not in _TICK_UNSAFE and text[i].isalpha()
+        ]
+        if not positions:
+            return None
+        how_many = rng.randint(1, min(3, len(positions)))
+        chosen = sorted(rng.sample(positions, how_many), reverse=True)
+        out = text
+        for position in chosen:
+            out = out[:position] + "`" + out[position:]
+        return out
+
+    return _rewrite_tokens(script, rewrite)
+
+
+def randomize_case(script: str, rng: random.Random) -> str:
+    """Randomize the case of case-insensitive tokens."""
+
+    def rewrite(token: PSToken) -> Optional[str]:
+        if token.type not in _CASEABLE_TOKEN_TYPES:
+            return None
+        if token.type is PSTokenType.VARIABLE and token.text.startswith(
+            "${"
+        ):
+            return None  # braced names are case-preserving data-ish
+        return _random_case(token.text, rng)
+
+    return _rewrite_tokens(script, rewrite)
+
+
+def insert_whitespace(script: str, rng: random.Random) -> str:
+    """Widen existing whitespace gaps with random runs of spaces/tabs."""
+    tokens, _ = try_tokenize(script)
+    if tokens is None:
+        return script
+    result = script
+    previous_end = None
+    insertions = []
+    for token in tokens:
+        if previous_end is not None and token.start > previous_end:
+            insertions.append(token.start)
+        previous_end = token.end
+    for index, position in enumerate(reversed(insertions)):
+        # Always pad the first gap so the transform is never a no-op.
+        if index == 0 or rng.random() < 0.6:
+            pad = "".join(
+                rng.choice("  \t") for _ in range(rng.randint(2, 5))
+            )
+            result = result[:position] + pad + result[position:]
+    return result
+
+
+def apply_aliases(script: str, rng: random.Random) -> str:
+    """Replace canonical command names with their aliases."""
+
+    def rewrite(token: PSToken) -> Optional[str]:
+        if token.type is not PSTokenType.COMMAND:
+            return None
+        canonical = canonical_case(token.content) or token.content
+        options = _REVERSE_ALIASES.get(canonical.lower())
+        if not options:
+            return None
+        return rng.choice(options)
+
+    return _rewrite_tokens(script, rewrite)

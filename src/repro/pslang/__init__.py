@@ -1,0 +1,32 @@
+"""Pure-Python PowerShell language front-end.
+
+This subpackage stands in for Microsoft's ``System.Management.Automation``
+tokenizer and AST, which the paper relies on.  It provides:
+
+- :func:`repro.pslang.tokenizer.tokenize` — a flat, ``PSParser.Tokenize``-style
+  token scan used by the token-parsing deobfuscation phase;
+- :func:`repro.pslang.parser.parse` — a recursive-descent parser producing an
+  AST whose node taxonomy mirrors ``System.Management.Automation.Language``
+  (``PipelineAst``, ``BinaryExpressionAst``, ...), with byte-precise source
+  extents so obfuscated pieces can be replaced in place;
+- :mod:`repro.pslang.visitor` — post-order traversal utilities matching the
+  paper's Algorithm 1 walk.
+"""
+
+from repro.pslang.ast_nodes import Ast, ScriptBlockAst
+from repro.pslang.errors import LexError, ParseError, PSSyntaxError
+from repro.pslang.parser import parse
+from repro.pslang.tokenizer import tokenize
+from repro.pslang.tokens import PSToken, PSTokenType
+
+__all__ = [
+    "Ast",
+    "ScriptBlockAst",
+    "LexError",
+    "ParseError",
+    "PSSyntaxError",
+    "parse",
+    "tokenize",
+    "PSToken",
+    "PSTokenType",
+]

@@ -1,0 +1,189 @@
+"""PowerShell alias table and canonical cmdlet casing.
+
+The token-parsing phase (paper Section III-A, Fig 3) replaces alias tokens
+(``IeX``) with their full cmdlet names (``Invoke-Expression``) and fixes
+random case using the canonical spelling.  The table below is the default
+alias set of Windows PowerShell 5.1, which is what wild samples target.
+"""
+
+from typing import Dict, Optional
+
+# alias (lowercase) -> canonical command name.
+ALIASES: Dict[str, str] = {
+    "%": "ForEach-Object",
+    "?": "Where-Object",
+    "ac": "Add-Content",
+    "cat": "Get-Content",
+    "cd": "Set-Location",
+    "chdir": "Set-Location",
+    "clc": "Clear-Content",
+    "clhy": "Clear-History",
+    "cli": "Clear-Item",
+    "clp": "Clear-ItemProperty",
+    "cls": "Clear-Host",
+    "clear": "Clear-Host",
+    "clv": "Clear-Variable",
+    "compare": "Compare-Object",
+    "copy": "Copy-Item",
+    "cp": "Copy-Item",
+    "cpi": "Copy-Item",
+    "curl": "Invoke-WebRequest",
+    "del": "Remove-Item",
+    "diff": "Compare-Object",
+    "dir": "Get-ChildItem",
+    "echo": "Write-Output",
+    "erase": "Remove-Item",
+    "fc": "Format-Custom",
+    "fl": "Format-List",
+    "foreach": "ForEach-Object",
+    "ft": "Format-Table",
+    "fw": "Format-Wide",
+    "gal": "Get-Alias",
+    "gc": "Get-Content",
+    "gci": "Get-ChildItem",
+    "gcm": "Get-Command",
+    "gcs": "Get-PSCallStack",
+    "gdr": "Get-PSDrive",
+    "ghy": "Get-History",
+    "gi": "Get-Item",
+    "gjb": "Get-Job",
+    "gl": "Get-Location",
+    "gm": "Get-Member",
+    "gmo": "Get-Module",
+    "gp": "Get-ItemProperty",
+    "gps": "Get-Process",
+    "group": "Group-Object",
+    "gsv": "Get-Service",
+    "gu": "Get-Unique",
+    "gv": "Get-Variable",
+    "gwmi": "Get-WmiObject",
+    "h": "Get-History",
+    "history": "Get-History",
+    "icm": "Invoke-Command",
+    "iex": "Invoke-Expression",
+    "ihy": "Invoke-History",
+    "ii": "Invoke-Item",
+    "ipal": "Import-Alias",
+    "ipcsv": "Import-Csv",
+    "ipmo": "Import-Module",
+    "irm": "Invoke-RestMethod",
+    "ise": "powershell_ise.exe",
+    "iwmi": "Invoke-WmiMethod",
+    "iwr": "Invoke-WebRequest",
+    "kill": "Stop-Process",
+    "lp": "Out-Printer",
+    "ls": "Get-ChildItem",
+    "man": "help",
+    "md": "mkdir",
+    "measure": "Measure-Object",
+    "mi": "Move-Item",
+    "mount": "New-PSDrive",
+    "move": "Move-Item",
+    "mp": "Move-ItemProperty",
+    "mv": "Move-Item",
+    "nal": "New-Alias",
+    "ndr": "New-PSDrive",
+    "ni": "New-Item",
+    "nmo": "New-Module",
+    "nv": "New-Variable",
+    "ogv": "Out-GridView",
+    "oh": "Out-Host",
+    "popd": "Pop-Location",
+    "ps": "Get-Process",
+    "pushd": "Push-Location",
+    "pwd": "Get-Location",
+    "r": "Invoke-History",
+    "rbp": "Remove-PSBreakpoint",
+    "rd": "Remove-Item",
+    "rdr": "Remove-PSDrive",
+    "ren": "Rename-Item",
+    "ri": "Remove-Item",
+    "rjb": "Remove-Job",
+    "rm": "Remove-Item",
+    "rmdir": "Remove-Item",
+    "rmo": "Remove-Module",
+    "rni": "Rename-Item",
+    "rnp": "Rename-ItemProperty",
+    "rp": "Remove-ItemProperty",
+    "rv": "Remove-Variable",
+    "rvpa": "Resolve-Path",
+    "sajb": "Start-Job",
+    "sal": "Set-Alias",
+    "saps": "Start-Process",
+    "sasv": "Start-Service",
+    "sbp": "Set-PSBreakpoint",
+    "select": "Select-Object",
+    "set": "Set-Variable",
+    "shcm": "Show-Command",
+    "si": "Set-Item",
+    "sl": "Set-Location",
+    "sleep": "Start-Sleep",
+    "sls": "Select-String",
+    "sort": "Sort-Object",
+    "sp": "Set-ItemProperty",
+    "spjb": "Stop-Job",
+    "spps": "Stop-Process",
+    "spsv": "Stop-Service",
+    "start": "Start-Process",
+    "sv": "Set-Variable",
+    "swmi": "Set-WmiInstance",
+    "tee": "Tee-Object",
+    "type": "Get-Content",
+    "wget": "Invoke-WebRequest",
+    "where": "Where-Object",
+    "wjb": "Wait-Job",
+    "write": "Write-Output",
+}
+
+# Canonical capitalization of common commands (for the random-case fix).
+CANONICAL_COMMANDS: Dict[str, str] = {
+    name.lower(): name
+    for name in [
+        "Add-Content", "Add-Member", "Add-Type", "Clear-Content",
+        "Clear-Host", "Clear-Variable", "Compare-Object", "ConvertFrom-Json",
+        "ConvertTo-Json", "ConvertTo-SecureString", "ConvertFrom-SecureString",
+        "Copy-Item", "Export-Csv", "ForEach-Object", "Format-List",
+        "Format-Table", "Get-Alias", "Get-ChildItem", "Get-Command",
+        "Get-Content", "Get-Credential", "Get-Date", "Get-Host", "Get-Item",
+        "Get-ItemProperty", "Get-Location", "Get-Member", "Get-Module",
+        "Get-Process", "Get-Random", "Get-Service", "Get-Variable",
+        "Get-WmiObject", "Group-Object", "Import-Csv", "Import-Module",
+        "Invoke-Command", "Invoke-Expression", "Invoke-Item",
+        "Invoke-RestMethod", "Invoke-WebRequest", "Invoke-WmiMethod",
+        "Join-Path", "Measure-Object", "Move-Item", "New-Alias", "New-Item",
+        "New-ItemProperty", "New-Object", "New-PSDrive", "New-Variable",
+        "Out-File", "Out-GridView", "Out-Host", "Out-Null", "Out-Printer",
+        "Out-String", "Read-Host", "Remove-Item", "Remove-ItemProperty",
+        "Remove-Variable", "Rename-Item", "Resolve-Path", "Restart-Computer",
+        "Restart-Service", "Select-Object", "Select-String", "Send-MailMessage",
+        "Set-Alias", "Set-Content", "Set-ExecutionPolicy", "Set-Item",
+        "Set-ItemProperty", "Set-Location", "Set-MpPreference", "Set-Variable",
+        "Sort-Object", "Split-Path", "Start-BitsTransfer", "Start-Job",
+        "Start-Process", "Start-Service", "Start-Sleep", "Stop-Computer",
+        "Stop-Process", "Stop-Service", "Tee-Object", "Test-Connection",
+        "Test-Path", "Wait-Job", "Wait-Process", "Where-Object", "Write-Debug",
+        "Write-Error", "Write-Host", "Write-Output", "Write-Progress",
+        "Write-Verbose", "Write-Warning",
+    ]
+}
+
+
+def resolve_alias(name: str) -> Optional[str]:
+    """Canonical command for an alias, or None when not an alias."""
+    return ALIASES.get(name.lower())
+
+
+def canonical_case(name: str) -> Optional[str]:
+    """Proper capitalization for a known command name, or None."""
+    return CANONICAL_COMMANDS.get(name.lower())
+
+
+def canonicalize_command(name: str) -> str:
+    """Resolve alias then fix case; unknown names pass through."""
+    resolved = resolve_alias(name)
+    if resolved is not None:
+        return resolved
+    cased = canonical_case(name)
+    if cased is not None:
+        return cased
+    return name

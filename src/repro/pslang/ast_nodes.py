@@ -1,0 +1,530 @@
+"""AST node hierarchy mirroring ``System.Management.Automation.Language``.
+
+Every node carries a byte-precise *extent* (``start``/``end`` offsets into
+the source script).  The paper's reconstruction phase (Section III-B5)
+rewrites scripts by replacing node extents in place; precise extents are
+what make that semantics-preserving.
+
+Node naming follows the real PowerShell AST type names so that the paper's
+algorithms read one-to-one: ``PipelineAst``, ``BinaryExpressionAst``,
+``InvokeMemberExpressionAst`` and so on.
+"""
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass
+class Ast:
+    """Base class: an extent plus tree structure."""
+
+    start: int
+    end: int
+
+    # Parent links are filled in by the parser via ``link_parents``.
+    parent: Optional["Ast"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def type_name(self) -> str:
+        """The PowerShell-style node type name, e.g. ``PipelineAst``."""
+        return type(self).__name__
+
+    def children(self) -> Iterator["Ast"]:
+        """Yield direct children in source order."""
+        return iter(())
+
+    def text(self, source: str) -> str:
+        """The raw source slice this node covers."""
+        return source[self.start:self.end]
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk_post_order(self) -> Iterator["Ast"]:
+        """Yield all nodes, children before parents (Algorithm 1's order)."""
+        for child in self.children():
+            yield from child.walk_post_order()
+        yield self
+
+    def walk_pre_order(self) -> Iterator["Ast"]:
+        yield self
+        for child in self.children():
+            yield from child.walk_pre_order()
+
+    def find_all(self, node_type) -> List["Ast"]:
+        """All descendants (including self) of the given node class."""
+        return [n for n in self.walk_pre_order() if isinstance(n, node_type)]
+
+
+def link_parents(root: Ast) -> None:
+    """Populate ``parent`` pointers below *root*."""
+    for node in root.walk_pre_order():
+        for child in node.children():
+            child.parent = node
+
+
+def _iter(*groups) -> Iterator[Ast]:
+    for group in groups:
+        if group is None:
+            continue
+        if isinstance(group, Ast):
+            yield group
+        else:
+            for item in group:
+                if item is not None:
+                    yield item
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExpressionAst(Ast):
+    pass
+
+
+@dataclass
+class StringConstantExpressionAst(ExpressionAst):
+    """A literal string: single-quoted, here-string single, or bareword."""
+
+    value: str = ""
+    # "'" single, "@'" here-single, "" bareword.
+    quote: str = ""
+
+
+@dataclass
+class ExpandableStringExpressionAst(ExpressionAst):
+    """A double-quoted (or double here-) string, possibly with ``$`` refs.
+
+    ``value`` is the cooked text with backtick escapes already processed but
+    ``$variable`` / ``$( ... )`` references left verbatim, matching
+    ``PSToken.Content`` for string tokens.
+    """
+
+    value: str = ""
+    quote: str = '"'
+
+
+@dataclass
+class ConstantExpressionAst(ExpressionAst):
+    """Numeric (or other primitive) constant with its Python value."""
+
+    value: object = None
+
+
+@dataclass
+class VariableExpressionAst(ExpressionAst):
+    """``$name``, ``${braced}``, ``$env:name`` — name excludes the sigil."""
+
+    name: str = ""
+    splatted: bool = False
+
+
+@dataclass
+class TypeExpressionAst(ExpressionAst):
+    """A bare type literal like ``[char]``."""
+
+    type_name_str: str = ""
+
+
+@dataclass
+class ConvertExpressionAst(ExpressionAst):
+    """A cast: ``[char]0x74``, ``[string][char]39``."""
+
+    type_name_str: str = ""
+    child: Optional[ExpressionAst] = None
+
+    def children(self):
+        return _iter(self.child)
+
+
+@dataclass
+class UnaryExpressionAst(ExpressionAst):
+    """Prefix/postfix unary operator: ``-join``, ``-not``, ``-``, ``++``."""
+
+    operator: str = ""
+    child: Optional[ExpressionAst] = None
+    postfix: bool = False
+
+    def children(self):
+        return _iter(self.child)
+
+
+@dataclass
+class BinaryExpressionAst(ExpressionAst):
+    operator: str = ""
+    left: Optional[ExpressionAst] = None
+    right: Optional[ExpressionAst] = None
+
+    def children(self):
+        return _iter(self.left, self.right)
+
+
+@dataclass
+class ArrayLiteralAst(ExpressionAst):
+    """Comma-separated list: ``1,2,3``."""
+
+    elements: List[ExpressionAst] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.elements)
+
+
+@dataclass
+class MemberExpressionAst(ExpressionAst):
+    """``expr.Member`` or ``[Type]::Member`` (``static=True`` for ``::``)."""
+
+    expression: Optional[ExpressionAst] = None
+    member: Optional[ExpressionAst] = None  # usually StringConstant
+    static: bool = False
+
+    def children(self):
+        return _iter(self.expression, self.member)
+
+
+@dataclass
+class InvokeMemberExpressionAst(MemberExpressionAst):
+    """Method call: ``expr.Member(args...)`` / ``[Type]::Member(args...)``."""
+
+    arguments: List[ExpressionAst] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.expression, self.member, self.arguments)
+
+
+@dataclass
+class IndexExpressionAst(ExpressionAst):
+    target: Optional[ExpressionAst] = None
+    index: Optional[ExpressionAst] = None
+
+    def children(self):
+        return _iter(self.target, self.index)
+
+
+@dataclass
+class ParenExpressionAst(ExpressionAst):
+    """``( pipeline )``."""
+
+    pipeline: Optional["StatementAst"] = None
+
+    def children(self):
+        return _iter(self.pipeline)
+
+
+@dataclass
+class SubExpressionAst(ExpressionAst):
+    """``$( statements )``."""
+
+    statements: List["StatementAst"] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.statements)
+
+
+@dataclass
+class ArrayExpressionAst(ExpressionAst):
+    """``@( statements )``."""
+
+    statements: List["StatementAst"] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.statements)
+
+
+@dataclass
+class HashtableAst(ExpressionAst):
+    pairs: List[Tuple[ExpressionAst, "StatementAst"]] = field(
+        default_factory=list
+    )
+
+    def children(self):
+        for key, value in self.pairs:
+            yield key
+            yield value
+
+
+@dataclass
+class ScriptBlockExpressionAst(ExpressionAst):
+    """``{ ... }`` used as a value."""
+
+    scriptblock: Optional["ScriptBlockAst"] = None
+
+    def children(self):
+        return _iter(self.scriptblock)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StatementAst(Ast):
+    pass
+
+
+@dataclass
+class PipelineAst(StatementAst):
+    """``cmd1 | cmd2 | ...`` — elements are commands or expressions."""
+
+    elements: List[Ast] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.elements)
+
+
+@dataclass
+class CommandAst(Ast):
+    """One command invocation inside a pipeline.
+
+    ``elements[0]`` is the command-name element; the rest are parameters
+    and arguments.  ``invocation_operator`` is ``"&"``, ``"."`` or ``None``.
+    """
+
+    elements: List[Ast] = field(default_factory=list)
+    invocation_operator: Optional[str] = None
+    redirections: List[str] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.elements)
+
+    def command_name(self, source: str) -> Optional[str]:
+        """The literal command name, if statically known."""
+        if not self.elements:
+            return None
+        head = self.elements[0]
+        if isinstance(head, StringConstantExpressionAst):
+            return head.value
+        return None
+
+
+@dataclass
+class CommandParameterAst(Ast):
+    """``-Name`` or ``-Name:arg`` appearing in a command."""
+
+    name: str = ""
+    argument: Optional[ExpressionAst] = None
+
+    def children(self):
+        return _iter(self.argument)
+
+
+@dataclass
+class CommandExpressionAst(Ast):
+    """A pipeline element that is a bare expression."""
+
+    expression: Optional[ExpressionAst] = None
+
+    def children(self):
+        return _iter(self.expression)
+
+
+@dataclass
+class AssignmentStatementAst(StatementAst):
+    left: Optional[ExpressionAst] = None
+    operator: str = "="
+    right: Optional[StatementAst] = None
+
+    def children(self):
+        return _iter(self.left, self.right)
+
+
+@dataclass
+class StatementBlockAst(Ast):
+    """``{ statements }`` in control flow."""
+
+    statements: List[StatementAst] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.statements)
+
+
+@dataclass
+class IfStatementAst(StatementAst):
+    """``if``/``elseif`` clauses plus optional ``else``."""
+
+    clauses: List[Tuple[StatementAst, StatementBlockAst]] = field(
+        default_factory=list
+    )
+    else_body: Optional[StatementBlockAst] = None
+
+    def children(self):
+        for cond, body in self.clauses:
+            yield cond
+            yield body
+        if self.else_body is not None:
+            yield self.else_body
+
+
+@dataclass
+class WhileStatementAst(StatementAst):
+    condition: Optional[StatementAst] = None
+    body: Optional[StatementBlockAst] = None
+
+    def children(self):
+        return _iter(self.condition, self.body)
+
+
+@dataclass
+class DoWhileStatementAst(StatementAst):
+    body: Optional[StatementBlockAst] = None
+    condition: Optional[StatementAst] = None
+    until: bool = False
+
+    def children(self):
+        return _iter(self.body, self.condition)
+
+
+@dataclass
+class ForStatementAst(StatementAst):
+    initializer: Optional[StatementAst] = None
+    condition: Optional[StatementAst] = None
+    iterator: Optional[StatementAst] = None
+    body: Optional[StatementBlockAst] = None
+
+    def children(self):
+        return _iter(self.initializer, self.condition, self.iterator, self.body)
+
+
+@dataclass
+class ForEachStatementAst(StatementAst):
+    variable: Optional[VariableExpressionAst] = None
+    expression: Optional[StatementAst] = None
+    body: Optional[StatementBlockAst] = None
+
+    def children(self):
+        return _iter(self.variable, self.expression, self.body)
+
+
+@dataclass
+class SwitchStatementAst(StatementAst):
+    condition: Optional[StatementAst] = None
+    clauses: List[Tuple[Ast, StatementBlockAst]] = field(default_factory=list)
+    default: Optional[StatementBlockAst] = None
+
+    def children(self):
+        if self.condition is not None:
+            yield self.condition
+        for test, body in self.clauses:
+            yield test
+            yield body
+        if self.default is not None:
+            yield self.default
+
+
+@dataclass
+class TryStatementAst(StatementAst):
+    body: Optional[StatementBlockAst] = None
+    catches: List[StatementBlockAst] = field(default_factory=list)
+    finally_body: Optional[StatementBlockAst] = None
+
+    def children(self):
+        return _iter(self.body, self.catches, self.finally_body)
+
+
+@dataclass
+class FunctionDefinitionAst(StatementAst):
+    name: str = ""
+    parameters: List["ParameterAst"] = field(default_factory=list)
+    body: Optional["ScriptBlockAst"] = None
+    is_filter: bool = False
+
+    def children(self):
+        return _iter(self.parameters, self.body)
+
+
+@dataclass
+class ParameterAst(Ast):
+    variable: Optional[VariableExpressionAst] = None
+    default: Optional[ExpressionAst] = None
+
+    def children(self):
+        return _iter(self.variable, self.default)
+
+
+@dataclass
+class ParamBlockAst(Ast):
+    parameters: List[ParameterAst] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.parameters)
+
+
+@dataclass
+class ReturnStatementAst(StatementAst):
+    pipeline: Optional[StatementAst] = None
+
+    def children(self):
+        return _iter(self.pipeline)
+
+
+@dataclass
+class ThrowStatementAst(StatementAst):
+    pipeline: Optional[StatementAst] = None
+
+    def children(self):
+        return _iter(self.pipeline)
+
+
+@dataclass
+class ExitStatementAst(StatementAst):
+    pipeline: Optional[StatementAst] = None
+
+    def children(self):
+        return _iter(self.pipeline)
+
+
+@dataclass
+class BreakStatementAst(StatementAst):
+    label: Optional[str] = None
+
+
+@dataclass
+class ContinueStatementAst(StatementAst):
+    label: Optional[str] = None
+
+
+@dataclass
+class NamedBlockAst(Ast):
+    """``begin { }`` / ``process { }`` / ``end { }`` block."""
+
+    block_name: str = "end"
+    statements: List[StatementAst] = field(default_factory=list)
+
+    def children(self):
+        return _iter(self.statements)
+
+
+@dataclass
+class ScriptBlockAst(Ast):
+    """Root of a parsed script or of a ``{ ... }`` literal."""
+
+    statements: List[StatementAst] = field(default_factory=list)
+    param_block: Optional[ParamBlockAst] = None
+    named_blocks: List[NamedBlockAst] = field(default_factory=list)
+    # Only the top-level script block carries the source text.
+    source: str = field(default="", repr=False, compare=False)
+
+    def children(self):
+        return _iter(self.param_block, self.named_blocks, self.statements)
+
+
+# Node classes whose content "often can get results in string form after
+# execution" — the paper's *recoverable nodes* (Section III-B1).
+RECOVERABLE_NODE_TYPES = (
+    PipelineAst,
+    UnaryExpressionAst,
+    BinaryExpressionAst,
+    ConvertExpressionAst,
+    InvokeMemberExpressionAst,
+    SubExpressionAst,
+)
+
+AstNode = Ast
+Statement = Union[StatementAst, PipelineAst]
+Expression = ExpressionAst
+Extent = Tuple[int, int]
+AstSequence = Sequence[Ast]

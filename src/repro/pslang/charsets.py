@@ -1,0 +1,114 @@
+"""Character classes and operator/keyword tables shared by lexer and parser.
+
+PowerShell is case-insensitive almost everywhere, so every table here is
+stored lower-case and lookups must lower their key first.
+"""
+
+import string
+
+# Characters PowerShell treats as horizontal whitespace.  NBSP (\xa0) is
+# accepted by the real tokenizer and used by "whitespacing" obfuscation.
+WHITESPACE = " \t\f\v\xa0"
+
+NEWLINES = "\r\n"
+
+# First character of a simple (unbraced) variable name.  ':' participates in
+# drive-qualified names ($env:Path) and scope prefixes ($global:x) and is
+# handled by the lexer, not listed here.
+VARIABLE_START = set(string.ascii_letters + "_?^$")
+VARIABLE_CHARS = set(string.ascii_letters + string.digits + "_?")
+
+# Special single-character automatic variables: $$, $?, $^, $_.
+SPECIAL_VARIABLES = set("$?^_")
+
+BAREWORD_TERMINATORS = set(WHITESPACE + NEWLINES + "|;&(){}[]'\"`,#@<>") - set("@")
+
+DIGITS = set(string.digits)
+HEX_DIGITS = set(string.hexdigits)
+
+# Multiplier suffixes usable on numeric literals: 1kb, 2MB, ...
+NUMERIC_MULTIPLIERS = {
+    "kb": 1024,
+    "mb": 1024**2,
+    "gb": 1024**3,
+    "tb": 1024**4,
+    "pb": 1024**5,
+}
+
+# Dash variants attackers substitute for '-' (en dash, em dash, horizontal
+# bar); the real tokenizer folds them all to '-'.
+DASHES = "-–—―"
+
+# Quote variants folded to ' and " by the real tokenizer.
+SINGLE_QUOTES = "'‘’‚‛"
+DOUBLE_QUOTES = '"“”„'
+
+# --------------------------------------------------------------------------
+# Operators
+# --------------------------------------------------------------------------
+
+# Dash-prefixed operators, lower-case without the dash.  Value is a coarse
+# family used by the parser to pick a precedence level.
+LOGICAL_OPERATORS = {"and", "or", "xor"}
+BITWISE_OPERATORS = {"band", "bor", "bxor", "shl", "shr"}
+COMPARISON_OPERATORS = {
+    "eq", "ne", "gt", "ge", "lt", "le",
+    "ieq", "ine", "igt", "ige", "ilt", "ile",
+    "ceq", "cne", "cgt", "cge", "clt", "cle",
+    "like", "notlike", "ilike", "inotlike", "clike", "cnotlike",
+    "match", "notmatch", "imatch", "inotmatch", "cmatch", "cnotmatch",
+    "contains", "notcontains", "icontains", "inotcontains",
+    "ccontains", "cnotcontains",
+    "in", "notin",
+    "replace", "ireplace", "creplace",
+    "split", "isplit", "csplit",
+    "join",
+    "is", "isnot", "as",
+}
+UNARY_DASH_OPERATORS = {"not", "bnot", "split", "isplit", "csplit", "join"}
+FORMAT_OPERATOR = "f"
+
+ALL_DASH_OPERATORS = (
+    LOGICAL_OPERATORS
+    | BITWISE_OPERATORS
+    | COMPARISON_OPERATORS
+    | UNARY_DASH_OPERATORS
+    | {FORMAT_OPERATOR}
+)
+
+ASSIGNMENT_OPERATORS = {"=", "+=", "-=", "*=", "/=", "%=", "??="}
+
+# --------------------------------------------------------------------------
+# Keywords
+# --------------------------------------------------------------------------
+
+KEYWORDS = {
+    "begin", "break", "catch", "class", "continue", "data", "define", "do",
+    "dynamicparam", "else", "elseif", "end", "enum", "exit", "filter",
+    "finally", "for", "foreach", "from", "function", "hidden", "if", "in",
+    "param", "process", "return", "static", "switch", "throw", "trap", "try",
+    "until", "using", "var", "while", "workflow",
+}
+
+# Keywords that introduce statements the parser knows how to build.
+STATEMENT_KEYWORDS = {
+    "if", "while", "for", "foreach", "do", "function", "filter", "return",
+    "break", "continue", "throw", "try", "switch", "param", "exit", "trap",
+}
+
+
+def is_dash(ch: str) -> bool:
+    """True when *ch* is a dash or a unicode dash variant."""
+    return len(ch) == 1 and ch in DASHES
+
+
+def fold_dash(ch: str) -> str:
+    return "-" if is_dash(ch) else ch
+
+
+def is_single_quote(ch: str) -> bool:
+    return len(ch) == 1 and ch in SINGLE_QUOTES
+
+
+def is_double_quote(ch: str) -> bool:
+    return len(ch) == 1 and ch in DOUBLE_QUOTES

@@ -1,0 +1,27 @@
+"""Error taxonomy for the PowerShell front-end."""
+
+
+class PSSyntaxError(ValueError):
+    """Base class for all lexing/parsing failures.
+
+    Carries the source offset where the problem was detected so callers can
+    report the offending script piece.
+    """
+
+    def __init__(self, message: str, offset: int = -1):
+        super().__init__(message)
+        self.message = message
+        self.offset = offset
+
+    def __str__(self) -> str:
+        if self.offset >= 0:
+            return f"{self.message} (at offset {self.offset})"
+        return self.message
+
+
+class LexError(PSSyntaxError):
+    """Raised when the tokenizer cannot make progress."""
+
+
+class ParseError(PSSyntaxError):
+    """Raised when the parser sees a token sequence it cannot derive."""

@@ -1,0 +1,776 @@
+"""Context-sensitive PowerShell tokenizer.
+
+PowerShell cannot be lexed context-free: a bareword is a command name at
+statement start but an argument after one, ``-split`` is an operator in
+expression context but a parameter in argument context, and ``[`` opens a
+type literal or an index depending on what precedes it.  The real engine
+solves this with a mode-driven tokenizer; :class:`Lexer` reproduces that
+with an explicit mode stack.
+
+The produced :class:`~repro.pslang.tokens.PSToken` stream is consumed both
+by the flat-token deobfuscation phase (via :func:`repro.pslang.tokenizer
+.tokenize`) and by the recursive-descent parser.
+"""
+
+import enum
+from typing import List, Optional
+
+from repro.pslang import charsets
+from repro.pslang.errors import LexError
+from repro.pslang.tokens import PSToken, PSTokenType
+
+
+class Mode(enum.Enum):
+    """What the lexer expects next."""
+
+    START = "start"  # beginning of a statement: command or expression
+    ARGS = "args"    # inside a command's argument list
+    EXPR = "expr"    # inside an expression
+    HASH = "hash"    # inside a hashtable literal, expecting a key
+
+
+class _Group:
+    """Bookkeeping for one open grouping construct."""
+
+    __slots__ = ("opener", "inner_mode", "outer_mode")
+
+    def __init__(self, opener: str, inner_mode: Mode, outer_mode: Mode):
+        self.opener = opener
+        self.inner_mode = inner_mode
+        self.outer_mode = outer_mode
+
+
+# Tokens that can legally end a value; `[` after one of these is an index,
+# `.` after one is member access, a dash-word after one is an operator.
+_VALUE_ENDERS = {
+    PSTokenType.VARIABLE,
+    PSTokenType.STRING,
+    PSTokenType.NUMBER,
+    PSTokenType.MEMBER,
+    PSTokenType.TYPE,
+}
+_VALUE_END_GROUPS = {")", "]", "}"}
+
+
+class Lexer:
+    """Tokenize a full script into a list of :class:`PSToken`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+        self.tokens: List[PSToken] = []
+        self.mode = Mode.START
+        self.groups: List[_Group] = []
+        # True right after a call operator (& or .) - next word is a command.
+        self._pending_command = False
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < self.length:
+            return self.source[index]
+        return ""
+
+    def _at_end(self) -> bool:
+        return self.pos >= self.length
+
+    # -- token emission ----------------------------------------------------
+
+    def _emit(
+        self,
+        type_: PSTokenType,
+        content: str,
+        start: int,
+        quote: str = "",
+    ) -> PSToken:
+        token = PSToken(
+            type=type_,
+            content=content,
+            start=start,
+            length=self.pos - start,
+            text=self.source[start:self.pos],
+            quote=quote,
+        )
+        self.tokens.append(token)
+        return token
+
+    def _last_significant(self) -> Optional[PSToken]:
+        for token in reversed(self.tokens):
+            if token.type in (PSTokenType.COMMENT, PSTokenType.LINE_CONTINUATION):
+                continue
+            return token
+        return None
+
+    def _after_value(self) -> bool:
+        """True when the previous token could end a value expression."""
+        last = self._last_significant()
+        if last is None:
+            return False
+        if last.type in _VALUE_ENDERS:
+            return True
+        return last.type is PSTokenType.GROUP_END and last.content in _VALUE_END_GROUPS
+
+    # -- main loop -----------------------------------------------------------
+
+    def tokenize(self) -> List[PSToken]:
+        while not self._at_end():
+            ch = self._peek()
+            if ch in charsets.WHITESPACE:
+                self.pos += 1
+            elif ch in charsets.NEWLINES:
+                self._lex_newline()
+            elif ch == "`" and self._peek(1) != "" and (
+                self._peek(1) in charsets.NEWLINES
+            ):
+                self._lex_line_continuation()
+            elif ch == "#":
+                self._lex_line_comment()
+            elif ch == "<" and self._peek(1) == "#":
+                self._lex_block_comment()
+            elif charsets.is_single_quote(ch):
+                self._lex_single_quoted()
+            elif charsets.is_double_quote(ch):
+                self._lex_double_quoted()
+            elif ch == "@" and (
+                charsets.is_single_quote(self._peek(1))
+                or charsets.is_double_quote(self._peek(1))
+            ):
+                self._lex_here_string()
+            elif ch == "$":
+                self._lex_variable()
+            elif ch == "@" and self._peek(1) != "" and self._peek(1) in "({":
+                self._lex_at_group()
+            elif ch == "@" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+                self._lex_splat_variable()
+            elif ch in "({":
+                self._lex_group_start(ch)
+            elif ch == "[":
+                self._lex_open_bracket()
+            elif ch in ")}]":
+                self._lex_group_end(ch)
+            elif ch == ";":
+                self._lex_separator()
+            elif ch == "|" or (ch == "&" and self._peek(1) == "&"):
+                self._lex_pipe_or_chain()
+            elif ch == "&":
+                self._lex_call_operator()
+            elif ch == ",":
+                self._lex_simple_operator(",", 1)
+            elif ch == "%" and (
+                self.mode is Mode.START or self._pending_command
+            ):
+                # '%' at command position is the ForEach-Object alias.
+                start = self.pos
+                self.pos += 1
+                self._classify_word("%", start)
+            elif charsets.is_dash(ch):
+                self._lex_dash()
+            elif ch in charsets.DIGITS:
+                self._lex_number()
+            elif ch == ".":
+                self._lex_dot()
+            elif ch == ":" and self._peek(1) == ":":
+                self._lex_simple_operator("::", 2)
+                self._lex_member_name()
+            elif ch in "+*/%!=<>":
+                self._lex_symbol_operator()
+            else:
+                self._lex_word()
+        return self.tokens
+
+    # -- trivial tokens ------------------------------------------------------
+
+    def _lex_newline(self) -> None:
+        start = self.pos
+        if self._peek() == "\r" and self._peek(1) == "\n":
+            self.pos += 2
+        else:
+            self.pos += 1
+        self._emit(PSTokenType.NEWLINE, "\n", start)
+        self._reset_mode_after_terminator()
+
+    def _lex_line_continuation(self) -> None:
+        start = self.pos
+        self.pos += 1  # backtick
+        if self._peek() == "\r" and self._peek(1) == "\n":
+            self.pos += 2
+        else:
+            self.pos += 1
+        self._emit(PSTokenType.LINE_CONTINUATION, "`", start)
+
+    def _lex_line_comment(self) -> None:
+        start = self.pos
+        while not self._at_end() and self._peek() not in charsets.NEWLINES:
+            self.pos += 1
+        self._emit(PSTokenType.COMMENT, self.source[start:self.pos], start)
+
+    def _lex_block_comment(self) -> None:
+        start = self.pos
+        end = self.source.find("#>", self.pos + 2)
+        if end == -1:
+            raise LexError("unterminated block comment", start)
+        self.pos = end + 2
+        self._emit(PSTokenType.COMMENT, self.source[start:self.pos], start)
+
+    def _lex_separator(self) -> None:
+        start = self.pos
+        self.pos += 1
+        self._emit(PSTokenType.STATEMENT_SEPARATOR, ";", start)
+        self._reset_mode_after_terminator()
+
+    def _reset_mode_after_terminator(self) -> None:
+        if self.groups and self.groups[-1].opener == "@{":
+            self.mode = Mode.HASH
+        else:
+            self.mode = Mode.START
+        self._pending_command = False
+
+    # -- strings ---------------------------------------------------------------
+
+    def _lex_single_quoted(self) -> None:
+        start = self.pos
+        self.pos += 1
+        pieces: List[str] = []
+        while True:
+            if self._at_end():
+                raise LexError("unterminated single-quoted string", start)
+            ch = self._peek()
+            if charsets.is_single_quote(ch):
+                if charsets.is_single_quote(self._peek(1)):
+                    pieces.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                break
+            pieces.append(ch)
+            self.pos += 1
+        self._emit(PSTokenType.STRING, "".join(pieces), start, quote="'")
+        self._after_string_mode()
+
+    _ESCAPES = {
+        "0": "\0", "a": "\a", "b": "\b", "e": "\x1b", "f": "\f",
+        "n": "\n", "r": "\r", "t": "\t", "v": "\v",
+    }
+
+    def _lex_double_quoted(self) -> None:
+        start = self.pos
+        self.pos += 1
+        pieces: List[str] = []
+        while True:
+            if self._at_end():
+                raise LexError("unterminated double-quoted string", start)
+            ch = self._peek()
+            if charsets.is_double_quote(ch):
+                if charsets.is_double_quote(self._peek(1)):
+                    pieces.append('"')
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                break
+            if ch == "`":
+                nxt = self._peek(1)
+                if nxt == "":
+                    raise LexError("unterminated escape in string", self.pos)
+                pieces.append(self._ESCAPES.get(nxt.lower(), nxt))
+                self.pos += 2
+                continue
+            if ch == "$" and self._peek(1) == "(":
+                # Embedded subexpression: copy raw, balancing parens so a
+                # quote inside "$( ... )" does not end the string.
+                depth = 0
+                sub_start = self.pos
+                while not self._at_end():
+                    sub = self._peek()
+                    if sub == "(":
+                        depth += 1
+                    elif sub == ")":
+                        depth -= 1
+                        if depth == 0:
+                            self.pos += 1
+                            break
+                    elif sub == "`":
+                        self.pos += 1
+                    self.pos += 1
+                pieces.append(self.source[sub_start:self.pos])
+                continue
+            pieces.append(ch)
+            self.pos += 1
+        self._emit(PSTokenType.STRING, "".join(pieces), start, quote='"')
+        self._after_string_mode()
+
+    def _lex_here_string(self) -> None:
+        start = self.pos
+        quote = self._peek(1)
+        single = charsets.is_single_quote(quote)
+        self.pos += 2
+        # Skip to end of line; content starts on the next line.
+        while not self._at_end() and self._peek() not in charsets.NEWLINES:
+            self.pos += 1
+        if self._peek() == "\r":
+            self.pos += 1
+        if self._peek() == "\n":
+            self.pos += 1
+        content_start = self.pos
+        closer_positions = []
+        while not self._at_end():
+            if self._peek() in charsets.NEWLINES:
+                line_end = self.pos
+                if self._peek() == "\r" and self._peek(1) == "\n":
+                    self.pos += 2
+                else:
+                    self.pos += 1
+                nxt = self._peek()
+                if (
+                    (single and charsets.is_single_quote(nxt))
+                    or (not single and charsets.is_double_quote(nxt))
+                ) and self._peek(1) == "@":
+                    closer_positions.append(line_end)
+                    self.pos += 2
+                    break
+            else:
+                self.pos += 1
+        if not closer_positions:
+            raise LexError("unterminated here-string", start)
+        content = self.source[content_start:closer_positions[0]]
+        if not single:
+            content = content.replace("``", "\x00").replace("`", "")
+            content = content.replace("\x00", "`")
+        self._emit(
+            PSTokenType.STRING, content, start, quote="@'" if single else '@"'
+        )
+        self._after_string_mode()
+
+    def _after_string_mode(self) -> None:
+        if self.mode is Mode.START:
+            self.mode = Mode.EXPR
+        # HASH mode: a string key stays until '=' switches to EXPR.
+
+    # -- variables ---------------------------------------------------------------
+
+    def _lex_variable(self) -> None:
+        start = self.pos
+        self.pos += 1  # $
+        ch = self._peek()
+        if ch == "{":
+            self.pos += 1
+            name_start = self.pos
+            while not self._at_end() and self._peek() != "}":
+                self.pos += 1
+            if self._at_end():
+                raise LexError("unterminated braced variable", start)
+            name = self.source[name_start:self.pos]
+            self.pos += 1
+        elif ch == "(":
+            # "$(" at top level: subexpression group.
+            self.pos += 1
+            self._emit(PSTokenType.GROUP_START, "$(", start)
+            self._push_group("$(", Mode.START)
+            return
+        elif ch in charsets.SPECIAL_VARIABLES:
+            self.pos += 1
+            name = ch
+        elif ch and (ch.isalnum() or ch == "_"):
+            name_start = self.pos
+            while not self._at_end() and (
+                self._peek().isalnum() or self._peek() in "_:"
+            ):
+                # ':' only participates when followed by a name char
+                # ($env:Path yes, "$x:" at end no).
+                if self._peek() == ":" and not (
+                    self._peek(1).isalnum() or self._peek(1) == "_"
+                ):
+                    break
+                self.pos += 1
+            name = self.source[name_start:self.pos]
+        else:
+            # Lone '$' — PowerShell's $$ handled above; treat as variable '$'.
+            name = "$"
+        self._emit(PSTokenType.VARIABLE, name, start)
+        if self.mode in (Mode.START,):
+            self.mode = Mode.EXPR
+        self._pending_command = False
+
+    def _lex_splat_variable(self) -> None:
+        start = self.pos
+        self.pos += 1  # @
+        name_start = self.pos
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            self.pos += 1
+        name = self.source[name_start:self.pos]
+        self._emit(PSTokenType.VARIABLE, name, start)
+
+    # -- groups -------------------------------------------------------------------
+
+    def _push_group(self, opener: str, inner_mode: Mode) -> None:
+        self.groups.append(_Group(opener, inner_mode, self.mode))
+        self.mode = inner_mode
+        self._pending_command = False
+
+    def _lex_at_group(self) -> None:
+        start = self.pos
+        opener = "@" + self._peek(1)
+        self.pos += 2
+        self._emit(PSTokenType.GROUP_START, opener, start)
+        self._push_group(opener, Mode.HASH if opener == "@{" else Mode.START)
+
+    def _lex_group_start(self, ch: str) -> None:
+        start = self.pos
+        self.pos += 1
+        self._emit(PSTokenType.GROUP_START, ch, start)
+        self._push_group(ch, Mode.START)
+
+    def _lex_open_bracket(self) -> None:
+        start = self.pos
+        last = self._last_significant()
+        after_type = last is not None and last.type is PSTokenType.TYPE
+        # Indexing requires adjacency in PowerShell: `$a[0]` indexes but
+        # `$a [0]` does not (it is a cast/type in expression position).
+        adjacent = last is not None and last.end == self.pos
+        if self._after_value() and adjacent and not after_type:
+            # Index access: $a[0]
+            self.pos += 1
+            self._emit(PSTokenType.GROUP_START, "[", start)
+            self._push_group("[", Mode.START)
+            return
+        # Cast chains ([string][char]39) lex the second bracket as a type
+        # too; fall back to an index group when it is not a valid type.
+        type_token = self._try_lex_type(start)
+        if type_token is None:
+            self.pos += 1
+            self._emit(PSTokenType.GROUP_START, "[", start)
+            self._push_group("[", Mode.START)
+
+    def _try_lex_type(self, start: int) -> Optional[PSToken]:
+        """Attempt to lex ``[Some.Type[]]`` starting at ``[``."""
+        pos = self.pos + 1
+        depth = 1
+        while pos < self.length:
+            ch = self.source[pos]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif not (ch.isalnum() or ch in "._,+ `"):
+                return None
+            pos += 1
+        if depth != 0:
+            return None
+        inner = self.source[start + 1:pos].replace("`", "").strip()
+        if not inner or not (inner[0].isalpha() or inner[0] == "_"):
+            return None
+        self.pos = pos + 1
+        token = self._emit(PSTokenType.TYPE, inner, start)
+        if self.mode is Mode.START:
+            self.mode = Mode.EXPR
+        return token
+
+    def _lex_group_end(self, ch: str) -> None:
+        start = self.pos
+        self.pos += 1
+        self._emit(PSTokenType.GROUP_END, ch, start)
+        closed: Optional[_Group] = None
+        if self.groups:
+            closed = self.groups.pop()
+        if closed is not None:
+            # Back in the enclosing context: a command keeps binding
+            # arguments/parameters (ARGS), an expression continues (EXPR).
+            # START means the group *began* an expression statement, so
+            # what follows is expression continuation.
+            if closed.outer_mode is Mode.START:
+                self.mode = Mode.EXPR
+            else:
+                self.mode = closed.outer_mode
+        else:
+            self.mode = Mode.EXPR
+
+    # -- operators -----------------------------------------------------------------
+
+    def _lex_pipe_or_chain(self) -> None:
+        start = self.pos
+        ch = self._peek()
+        if ch == "|" and self._peek(1) == "|":
+            self.pos += 2
+            self._emit(PSTokenType.OPERATOR, "||", start)
+        elif ch == "&":
+            self.pos += 2
+            self._emit(PSTokenType.OPERATOR, "&&", start)
+        else:
+            self.pos += 1
+            self._emit(PSTokenType.OPERATOR, "|", start)
+        self.mode = Mode.START
+        self._pending_command = False
+
+    def _lex_call_operator(self) -> None:
+        start = self.pos
+        self.pos += 1
+        self._emit(PSTokenType.OPERATOR, "&", start)
+        self.mode = Mode.START
+        self._pending_command = True
+
+    def _lex_simple_operator(self, text: str, width: int) -> None:
+        start = self.pos
+        self.pos += width
+        self._emit(PSTokenType.OPERATOR, text, start)
+
+    def _lex_dot(self) -> None:
+        start = self.pos
+        nxt = self._peek(1)
+        if nxt == ".":
+            self.pos += 2
+            self._emit(PSTokenType.OPERATOR, "..", start)
+            return
+        if self._after_value():
+            self.pos += 1
+            self._emit(PSTokenType.OPERATOR, ".", start)
+            self._lex_member_name()
+            return
+        if nxt in charsets.DIGITS:
+            self._lex_number()
+            return
+        # Dot-source / call operator: `. 'iex' args` or `.('iex')`.
+        self.pos += 1
+        self._emit(PSTokenType.OPERATOR, ".", start)
+        self.mode = Mode.START
+        self._pending_command = True
+
+    def _lex_member_name(self) -> None:
+        start = self.pos
+        if self._at_end():
+            return
+        ch = self._peek()
+        if not (ch.isalpha() or ch == "_" or ch == "`"):
+            return
+        while not self._at_end() and (
+            self._peek().isalnum() or self._peek() in "_`"
+        ):
+            self.pos += 1
+        content = self.source[start:self.pos].replace("`", "")
+        self._emit(PSTokenType.MEMBER, content, start)
+
+    def _lex_dash(self) -> None:
+        start = self.pos
+        nxt = self._peek(1)
+        # Dash-word: operator or parameter depending on mode.
+        if nxt.isalpha() or nxt == "`":
+            pos = self.pos + 1
+            while pos < self.length and (
+                self.source[pos].isalnum()
+                or self.source[pos] in "_`"
+                or (
+                    charsets.is_dash(self.source[pos])
+                    and self.mode is Mode.ARGS
+                )
+                or (self.source[pos] == ":" and self.mode is Mode.ARGS)
+            ):
+                pos += 1
+            word = self.source[self.pos + 1:pos].replace("`", "")
+            lowered = word.lower()
+            if self.mode in (Mode.EXPR, Mode.HASH) or (
+                self.mode is Mode.START
+                and lowered in charsets.ALL_DASH_OPERATORS
+            ):
+                if lowered in charsets.ALL_DASH_OPERATORS:
+                    self.pos = pos
+                    self._emit(PSTokenType.OPERATOR, "-" + lowered, start)
+                    return
+            if self.mode in (Mode.ARGS, Mode.START):
+                self.pos = pos
+                if self._peek() == ":":  # -Param:value form
+                    self.pos += 1
+                content = self.source[start:self.pos].replace("`", "")
+                self._emit(PSTokenType.COMMAND_PARAMETER, content, start)
+                return
+            # EXPR-mode dash-word that is not an operator: unary minus of a
+            # bareword makes no sense; treat as argument-ish word.
+            self.pos = pos
+            self._emit(
+                PSTokenType.COMMAND_ARGUMENT,
+                self.source[start:self.pos].replace("`", ""),
+                start,
+            )
+            return
+        if nxt in charsets.DIGITS or (nxt == "." and self._peek(2) in charsets.DIGITS):
+            if not self._after_value():
+                self._lex_number()
+                return
+        if charsets.is_dash(nxt):
+            self.pos += 2
+            self._emit(PSTokenType.OPERATOR, "--", start)
+            return
+        if nxt == "=":
+            self.pos += 2
+            self._emit(PSTokenType.OPERATOR, "-=", start)
+            self.mode = Mode.START if not self.groups else self.mode
+            self._enter_rhs_mode()
+            return
+        self.pos += 1
+        self._emit(PSTokenType.OPERATOR, "-", start)
+
+    def _lex_symbol_operator(self) -> None:
+        start = self.pos
+        ch = self._peek()
+        nxt = self._peek(1)
+        two = ch + nxt
+        if two in ("+=", "*=", "/=", "%=", "==", "!=", ">=", "<=", "++", ">>"):
+            self.pos += 2
+            self._emit(PSTokenType.OPERATOR, two, start)
+            if two.endswith("=") and two not in ("==", "!=", ">=", "<="):
+                self._enter_rhs_mode()
+            return
+        if ch == "2" :  # pragma: no cover - redirections handled in word lexing
+            pass
+        self.pos += 1
+        self._emit(PSTokenType.OPERATOR, ch, start)
+        if ch == "=":
+            self._enter_rhs_mode()
+        elif self.mode is Mode.HASH:
+            pass
+        elif self.mode is Mode.START:
+            self.mode = Mode.EXPR
+
+    def _enter_rhs_mode(self) -> None:
+        """After an assignment operator the RHS is a full statement."""
+        self.mode = Mode.START
+        self._pending_command = False
+
+    # -- numbers and words -------------------------------------------------------
+
+    def _lex_number(self) -> None:
+        start = self.pos
+        if charsets.is_dash(self._peek()) or self._peek() == "+":
+            self.pos += 1
+        if self._peek() == "0" and self._peek(1).lower() == "x":
+            self.pos += 2
+            while not self._at_end() and self._peek() in charsets.HEX_DIGITS:
+                self.pos += 1
+        else:
+            seen_dot = False
+            while not self._at_end():
+                ch = self._peek()
+                if ch in charsets.DIGITS:
+                    self.pos += 1
+                elif ch == "." and not seen_dot and self._peek(1) in charsets.DIGITS:
+                    seen_dot = True
+                    self.pos += 1
+                elif ch.lower() == "e" and (
+                    self._peek(1) in charsets.DIGITS
+                    or (self._peek(1) in "+-" and self._peek(2) in charsets.DIGITS)
+                ):
+                    self.pos += 2
+                    while not self._at_end() and self._peek() in charsets.DIGITS:
+                        self.pos += 1
+                    break
+                else:
+                    break
+        # Multiplier / type suffix: kb, mb, gb, tb, pb, l, d.
+        suffix_start = self.pos
+        while not self._at_end() and self._peek().isalpha():
+            self.pos += 1
+        suffix = self.source[suffix_start:self.pos].lower()
+        if suffix and suffix not in charsets.NUMERIC_MULTIPLIERS and suffix not in (
+            "l", "d", "kb", "mb", "gb", "tb", "pb",
+        ):
+            # Not a number after all (e.g. bareword '2fa'): rewind and lex
+            # the whole thing as a word.
+            self.pos = start
+            self._lex_word()
+            return
+        if self.mode is Mode.ARGS:
+            # In argument position a number must end at a word boundary,
+            # otherwise the whole thing is a string argument ("3.txt").
+            nxt = self._peek()
+            if nxt and not (
+                nxt in self._WORD_TERMINATORS
+                or charsets.is_single_quote(nxt)
+                or charsets.is_double_quote(nxt)
+            ):
+                self.pos = start
+                self._lex_word()
+                return
+        self._emit(PSTokenType.NUMBER, self.source[start:self.pos], start)
+        if self.mode is Mode.START:
+            self.mode = Mode.EXPR
+
+    _WORD_TERMINATORS = set(" \t\f\v\xa0\r\n|;&(){}[]'\"`,#=<>")
+
+    def _lex_word(self) -> None:
+        start = self.pos
+        pieces: List[str] = []
+        while not self._at_end():
+            ch = self._peek()
+            if ch == "`" and self._peek(1) not in charsets.NEWLINES and self._peek(1):
+                pieces.append(self._peek(1))
+                self.pos += 2
+                continue
+            if (
+                ch in self._WORD_TERMINATORS
+                or charsets.is_single_quote(ch)
+                or charsets.is_double_quote(ch)
+            ):
+                # '=' may appear inside command arguments (base64 padding);
+                # everywhere else it terminates the word.
+                if not (ch == "=" and self.mode is Mode.ARGS):
+                    break
+            if ch == "$":
+                break
+            pieces.append(ch)
+            self.pos += 1
+        if self.pos == start:
+            # Unrecognized character; consume it as UNKNOWN to guarantee
+            # progress (robustness on malformed wild samples).
+            self.pos += 1
+            self._emit(PSTokenType.UNKNOWN, self.source[start:self.pos], start)
+            return
+        word = "".join(pieces)
+        self._classify_word(word, start)
+
+    def _classify_word(self, word: str, start: int) -> None:
+        lowered = word.lower()
+        if self.mode is Mode.HASH:
+            self._emit(PSTokenType.MEMBER, word, start)
+            return
+        if self._pending_command:
+            self._emit(PSTokenType.COMMAND, word, start)
+            self._pending_command = False
+            self.mode = Mode.ARGS
+            return
+        if self.mode is Mode.START:
+            if lowered in charsets.KEYWORDS:
+                self._emit(PSTokenType.KEYWORD, word, start)
+                if lowered in ("function", "filter", "workflow"):
+                    self._pending_function_name()
+                return
+            self._emit(PSTokenType.COMMAND, word, start)
+            self.mode = Mode.ARGS
+            return
+        if self.mode is Mode.ARGS:
+            self._emit(PSTokenType.COMMAND_ARGUMENT, word, start)
+            return
+        # EXPR mode: keywords (e.g. `foreach ($x in $y)`'s `in`) or stray
+        # words (classified as arguments for robustness).
+        if lowered in charsets.KEYWORDS:
+            self._emit(PSTokenType.KEYWORD, word, start)
+        else:
+            self._emit(PSTokenType.COMMAND_ARGUMENT, word, start)
+
+    def _pending_function_name(self) -> None:
+        """Consume whitespace then the function name after ``function``."""
+        while not self._at_end() and self._peek() in charsets.WHITESPACE:
+            self.pos += 1
+        start = self.pos
+        while not self._at_end() and (
+            self._peek().isalnum() or self._peek() in "_-`:"
+        ):
+            self.pos += 1
+        if self.pos > start:
+            name = self.source[start:self.pos].replace("`", "")
+            self._emit(PSTokenType.COMMAND_ARGUMENT, name, start)
+
+
+def lex(source: str) -> List[PSToken]:
+    """Tokenize *source*, returning all tokens (comments included)."""
+    return Lexer(source).tokenize()

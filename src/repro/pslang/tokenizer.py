@@ -1,0 +1,44 @@
+"""Flat ``PSParser.Tokenize``-style interface over the lexer.
+
+The paper's token-parsing phase (Section III-A) consumes the token list the
+way PowerShell's ``System.Management.Automation.PSParser.Tokenize`` exposes
+it.  :func:`tokenize` is that entry point.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.pslang.errors import PSSyntaxError
+from repro.pslang.lexer import Lexer
+from repro.pslang.tokens import PSToken, PSTokenType
+
+
+def tokenize(source: str) -> List[PSToken]:
+    """Tokenize *source* into a flat :class:`PSToken` list.
+
+    Raises :class:`~repro.pslang.errors.LexError` on unterminated
+    constructs, mirroring how ``PSParser.Tokenize`` reports errors.
+    """
+    return Lexer(source).tokenize()
+
+
+def try_tokenize(source: str) -> Tuple[Optional[List[PSToken]], Optional[str]]:
+    """Tokenize, returning ``(tokens, None)`` or ``(None, error_message)``.
+
+    Used by dataset preprocessing, which must not crash on wild samples.
+    """
+    try:
+        return tokenize(source), None
+    except PSSyntaxError as exc:
+        return None, str(exc)
+    except RecursionError as exc:  # pragma: no cover - defensive
+        return None, f"recursion: {exc}"
+
+
+def significant_tokens(tokens: List[PSToken]) -> List[PSToken]:
+    """Drop comments, newlines and line continuations."""
+    skip = {
+        PSTokenType.COMMENT,
+        PSTokenType.NEWLINE,
+        PSTokenType.LINE_CONTINUATION,
+    }
+    return [token for token in tokens if token.type not in skip]

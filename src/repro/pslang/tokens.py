@@ -1,0 +1,78 @@
+"""Token model mirroring ``System.Management.Automation.PSToken``.
+
+The paper's token-parsing phase consumes exactly the attributes the real
+``PSParser.Tokenize`` exposes: ``Content``, ``Start``, ``Length`` and
+``Type``.  :class:`PSToken` reproduces those, plus ``text`` — the raw source
+slice — because deobfuscation needs to know what the token looked like
+before lexing normalized it (e.g. ``nE`w-oBjE`Ct`` lexes to content
+``new-object`` but occupies 12 source characters).
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class PSTokenType(Enum):
+    """Token categories, a superset-compatible copy of ``PSTokenType``."""
+
+    UNKNOWN = "Unknown"
+    COMMAND = "Command"
+    COMMAND_PARAMETER = "CommandParameter"
+    COMMAND_ARGUMENT = "CommandArgument"
+    NUMBER = "Number"
+    STRING = "String"
+    VARIABLE = "Variable"
+    MEMBER = "Member"
+    LOOP_LABEL = "LoopLabel"
+    ATTRIBUTE = "Attribute"
+    TYPE = "Type"
+    OPERATOR = "Operator"
+    GROUP_START = "GroupStart"
+    GROUP_END = "GroupEnd"
+    KEYWORD = "Keyword"
+    COMMENT = "Comment"
+    STATEMENT_SEPARATOR = "StatementSeparator"
+    NEWLINE = "NewLine"
+    LINE_CONTINUATION = "LineContinuation"
+    POSITION = "Position"
+
+
+@dataclass
+class PSToken:
+    """One lexical unit of a PowerShell script.
+
+    Attributes
+    ----------
+    type:
+        The :class:`PSTokenType` category.
+    content:
+        The *cooked* content: backticks stripped from barewords, string
+        tokens carry their decoded value, variables carry their name
+        without the ``$`` sigil — matching ``PSToken.Content``.
+    start:
+        Offset of the first source character of the token.
+    length:
+        Number of source characters the token occupies.
+    text:
+        The raw source slice ``script[start:start+length]``.
+    """
+
+    type: PSTokenType
+    content: str
+    start: int
+    length: int
+    text: str = ""
+    # String tokens remember their quoting so the deobfuscator can rebuild
+    # them faithfully: one of "'", '"', "@'", '@"', or "" for barewords that
+    # were classified as String (command arguments).
+    quote: str = field(default="", compare=False)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PSToken({self.type.value}, {self.content!r}, "
+            f"start={self.start}, len={self.length})"
+        )

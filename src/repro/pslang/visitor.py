@@ -1,0 +1,95 @@
+"""Traversal helpers over the PowerShell AST.
+
+The paper's algorithms are phrased in terms of a post-order walk with scope
+bookkeeping (Algorithm 1).  These helpers centralize that logic so the
+deobfuscator modules stay declarative.
+"""
+
+from typing import Callable, Iterator, List, Optional, Type
+
+from repro.pslang import ast_nodes as N
+
+# Node types whose entry changes scope depth, per Section III-B3.
+SCOPE_NODE_TYPES = (
+    N.NamedBlockAst,
+    N.IfStatementAst,
+    N.WhileStatementAst,
+    N.ForStatementAst,
+    N.ForEachStatementAst,
+    N.StatementBlockAst,
+)
+
+
+def post_order(root: N.Ast) -> Iterator[N.Ast]:
+    """Children-first traversal (the paper's reconstruction order)."""
+    return root.walk_post_order()
+
+
+def pre_order(root: N.Ast) -> Iterator[N.Ast]:
+    return root.walk_pre_order()
+
+
+def find_all(root: N.Ast, node_type: Type[N.Ast]) -> List[N.Ast]:
+    return root.find_all(node_type)
+
+
+def ancestors(node: N.Ast) -> Iterator[N.Ast]:
+    """Yield parents from the immediate parent up to the root."""
+    current = node.parent
+    while current is not None:
+        yield current
+        current = current.parent
+
+
+def enclosing(node: N.Ast, node_type) -> Optional[N.Ast]:
+    """The nearest ancestor of the given type, or None."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, node_type):
+            return ancestor
+    return None
+
+
+def in_loop(node: N.Ast) -> bool:
+    """True when *node* sits inside a loop statement body or header."""
+    return enclosing(
+        node, (N.WhileStatementAst, N.ForStatementAst,
+               N.ForEachStatementAst, N.DoWhileStatementAst)
+    ) is not None
+
+
+def in_conditional(node: N.Ast) -> bool:
+    """True when *node* sits inside an if/switch/try statement."""
+    return enclosing(
+        node, (N.IfStatementAst, N.SwitchStatementAst, N.TryStatementAst)
+    ) is not None
+
+
+def in_function(node: N.Ast) -> bool:
+    return enclosing(node, N.FunctionDefinitionAst) is not None
+
+
+def scope_path(node: N.Ast) -> tuple:
+    """A hashable scope identifier: the chain of scope-changing ancestors.
+
+    Two nodes share a scope iff they have the same scope path.  The paper
+    records a scope *depth*; a path is strictly more precise and avoids
+    collisions between sibling blocks at equal depth.
+    """
+    path = []
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, SCOPE_NODE_TYPES + (N.ScriptBlockAst,
+                                                    N.FunctionDefinitionAst)):
+            path.append(id(ancestor))
+    return tuple(reversed(path))
+
+
+def scope_depth(node: N.Ast) -> int:
+    """The paper's scope depth: number of scope nodes above *node*."""
+    return len(scope_path(node))
+
+
+def walk_with_callback(
+    root: N.Ast, callback: Callable[[N.Ast], None]
+) -> None:
+    for node in post_order(root):
+        callback(node)

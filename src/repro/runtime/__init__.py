@@ -1,0 +1,40 @@
+"""Sandboxed PowerShell expression/pipeline interpreter.
+
+This subpackage is the reproduction's substitute for executing recoverable
+script pieces with ``ScriptBlock.Invoke()`` (paper Section III-B2).  It is a
+deny-by-default interpreter: every operator, method, static type member and
+cmdlet must be explicitly allowlisted here, and anything else raises
+:class:`~repro.runtime.errors.UnsupportedOperationError`, which the
+deobfuscator treats as "keep the obfuscated piece unchanged".
+
+There is no file system, registry, process or network surface: objects like
+``Net.WebClient`` exist only as *recorders* so the behavioural sandbox can
+compare network intent between scripts (paper Section IV-C3).
+"""
+
+from repro.runtime.errors import (
+    BlockedCommandError,
+    EvaluationError,
+    StepLimitError,
+    UnknownVariableError,
+    UnsupportedOperationError,
+)
+
+
+def __getattr__(name):
+    """Lazy re-exports to keep bootstrap import order flexible."""
+    if name in ("Evaluator", "evaluate_expression_text"):
+        from repro.runtime import evaluator
+
+        return getattr(evaluator, name)
+    raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")
+
+__all__ = [
+    "Evaluator",
+    "evaluate_expression_text",
+    "EvaluationError",
+    "UnsupportedOperationError",
+    "BlockedCommandError",
+    "UnknownVariableError",
+    "StepLimitError",
+]

@@ -1,0 +1,204 @@
+"""Pure-Python AES (CBC mode, PKCS#7) — substrate for SecureString.
+
+``ConvertFrom-SecureString -Key`` / ``ConvertTo-SecureString -Key`` encrypt
+with AES; Invoke-Obfuscation's SecureString technique round-trips command
+text through that pair.  The standard library has no AES, so this module
+implements it from the FIPS-197 specification.  Performance is irrelevant
+here — payloads are a few hundred bytes.
+"""
+
+from typing import List
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+         0x6C, 0xD8, 0xAB, 0x4D]
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _expand_key(key: bytes) -> List[List[int]]:
+    key_words = len(key) // 4
+    rounds = {4: 10, 6: 12, 8: 14}[key_words]
+    words = [list(key[4 * i:4 * i + 4]) for i in range(key_words)]
+    for i in range(key_words, 4 * (rounds + 1)):
+        temp = list(words[i - 1])
+        if i % key_words == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // key_words - 1]
+        elif key_words > 6 and i % key_words == 4:
+            temp = [_SBOX[b] for b in temp]
+        words.append([w ^ t for w, t in zip(words[i - key_words], temp)])
+    return [sum(words[4 * r:4 * r + 4], []) for r in range(rounds + 1)]
+
+
+def _add_round_key(state: List[int], round_key: List[int]) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: List[int], box: List[int]) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        values = [state[row + 4 * col] for col in range(4)]
+        values = values[row:] + values[:row]
+        for col in range(4):
+            state[row + 4 * col] = values[col]
+
+
+def _inv_shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        values = [state[row + 4 * col] for col in range(4)]
+        values = values[-row:] + values[:-row]
+        for col in range(4):
+            state[row + 4 * col] = values[col]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        state[4 * col + 0] = _mul(a[0], 2) ^ _mul(a[1], 3) ^ a[2] ^ a[3]
+        state[4 * col + 1] = a[0] ^ _mul(a[1], 2) ^ _mul(a[2], 3) ^ a[3]
+        state[4 * col + 2] = a[0] ^ a[1] ^ _mul(a[2], 2) ^ _mul(a[3], 3)
+        state[4 * col + 3] = _mul(a[0], 3) ^ a[1] ^ a[2] ^ _mul(a[3], 2)
+
+
+def _inv_mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        state[4 * col + 0] = (
+            _mul(a[0], 14) ^ _mul(a[1], 11) ^ _mul(a[2], 13) ^ _mul(a[3], 9)
+        )
+        state[4 * col + 1] = (
+            _mul(a[0], 9) ^ _mul(a[1], 14) ^ _mul(a[2], 11) ^ _mul(a[3], 13)
+        )
+        state[4 * col + 2] = (
+            _mul(a[0], 13) ^ _mul(a[1], 9) ^ _mul(a[2], 14) ^ _mul(a[3], 11)
+        )
+        state[4 * col + 3] = (
+            _mul(a[0], 11) ^ _mul(a[1], 13) ^ _mul(a[2], 9) ^ _mul(a[3], 14)
+        )
+
+
+def encrypt_block(block: bytes, round_keys: List[List[int]]) -> bytes:
+    state = list(block)
+    _add_round_key(state, round_keys[0])
+    for round_key in round_keys[1:-1]:
+        _sub_bytes(state, _SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_key)
+    _sub_bytes(state, _SBOX)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[-1])
+    return bytes(state)
+
+
+def decrypt_block(block: bytes, round_keys: List[List[int]]) -> bytes:
+    state = list(block)
+    _add_round_key(state, round_keys[-1])
+    for round_key in reversed(round_keys[1:-1]):
+        _inv_shift_rows(state)
+        _sub_bytes(state, _INV_SBOX)
+        _add_round_key(state, round_key)
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _sub_bytes(state, _INV_SBOX)
+    _add_round_key(state, round_keys[0])
+    return bytes(state)
+
+
+def _pad(data: bytes) -> bytes:
+    padding = 16 - len(data) % 16
+    return data + bytes([padding] * padding)
+
+
+def _unpad(data: bytes) -> bytes:
+    if not data:
+        raise ValueError("empty ciphertext")
+    padding = data[-1]
+    if not 1 <= padding <= 16 or data[-padding:] != bytes([padding] * padding):
+        raise ValueError("bad PKCS#7 padding")
+    return data[:-padding]
+
+
+def encrypt_cbc(plaintext: bytes, key: bytes, iv: bytes) -> bytes:
+    """AES-CBC encrypt with PKCS#7 padding."""
+    if len(key) not in (16, 24, 32):
+        raise ValueError(f"bad AES key length: {len(key)}")
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    round_keys = _expand_key(key)
+    data = _pad(plaintext)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(data), 16):
+        block = bytes(
+            d ^ p for d, p in zip(data[offset:offset + 16], previous)
+        )
+        encrypted = encrypt_block(block, round_keys)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def decrypt_cbc(ciphertext: bytes, key: bytes, iv: bytes) -> bytes:
+    """AES-CBC decrypt, stripping PKCS#7 padding."""
+    if len(ciphertext) % 16 != 0:
+        raise ValueError("ciphertext not block-aligned")
+    round_keys = _expand_key(key)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), 16):
+        block = ciphertext[offset:offset + 16]
+        decrypted = decrypt_block(block, round_keys)
+        out.extend(d ^ p for d, p in zip(decrypted, previous))
+        previous = block
+    return _unpad(bytes(out))

@@ -1,0 +1,91 @@
+"""The deobfuscation blocklist (paper Section III-B2).
+
+Recoverable pieces sometimes contain commands "unrelated to the recovery
+process, such as Restart-Computer, Start-Sleep, etc.".  Executing them
+slows deobfuscation (Fig 6's baseline failure mode) or is dangerous, so
+pieces containing them are skipped.  Method names are blocked too: the
+case study (Fig 7d) leaves ``downloadstring`` untouched because it is on
+the blocklist.
+"""
+
+from typing import Iterable
+
+BLOCKED_COMMANDS = frozenset(
+    name.lower()
+    for name in [
+        # Machine state.
+        "restart-computer", "stop-computer", "remove-item", "set-item",
+        "remove-itemproperty", "set-itemproperty", "new-itemproperty",
+        "stop-process", "stop-service", "restart-service", "set-service",
+        "disable-windowsoptionalfeature", "set-executionpolicy",
+        "set-mppreference", "add-mppreference",
+        # Timing / anti-analysis.
+        "start-sleep", "sleep", "wait-event", "wait-process", "wait-job",
+        "register-scheduledtask", "register-scheduledjob",
+        # Process / code launch.
+        "start-process", "saps", "start", "invoke-item", "start-job",
+        "invoke-command", "icm", "invoke-wmimethod", "invoke-cimmethod",
+        "new-service", "start-bitstransfer",
+        # Network.
+        "invoke-webrequest", "iwr", "wget", "curl", "invoke-restmethod",
+        "irm", "test-connection", "test-netconnection", "resolve-dnsname",
+        "send-mailmessage",
+        # Interaction / environment probes.
+        "read-host", "get-credential", "out-gridview", "show-command",
+        "get-clipboard", "set-clipboard",
+    ]
+)
+
+BLOCKED_METHODS = frozenset(
+    name.lower()
+    for name in [
+        "downloadstring", "downloadfile", "downloaddata", "uploadstring",
+        "uploaddata", "uploadfile", "openread", "openwrite",
+        "getasync", "postasync", "send",
+        "connect", "getstream",
+        "start", "kill", "waitforexit",
+        "create", "shellexecute",
+        "writealltext", "writeallbytes", "readallbytes", "readalltext",
+        "deletefile", "delete", "move", "copy",
+    ]
+)
+
+BLOCKED_TYPES = frozenset(
+    name.lower()
+    for name in [
+        "system.net.webrequest", "net.webrequest",
+        "system.net.httpwebrequest", "net.httpwebrequest",
+        "system.diagnostics.process", "diagnostics.process",
+        "system.io.file", "io.file",
+        "microsoft.win32.registry",
+    ]
+)
+
+
+def is_blocked_command(name: str) -> bool:
+    return name.lower().strip() in BLOCKED_COMMANDS
+
+
+def is_blocked_method(name: str) -> bool:
+    return name.lower().strip() in BLOCKED_METHODS
+
+
+def is_blocked_type(name: str) -> bool:
+    cleaned = name.lower().strip().lstrip("[").rstrip("]")
+    if cleaned.startswith("system."):
+        bare = cleaned[len("system."):]
+    else:
+        bare = cleaned
+    return cleaned in BLOCKED_TYPES or f"system.{bare}" in BLOCKED_TYPES
+
+
+def contains_blocked_name(text: str, extra: Iterable[str] = ()) -> bool:
+    """Cheap textual prefilter before evaluating a recoverable piece."""
+    lowered = text.lower()
+    for name in BLOCKED_COMMANDS:
+        if name in lowered:
+            return True
+    for name in extra:
+        if name.lower() in lowered:
+            return True
+    return False

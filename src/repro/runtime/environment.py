@@ -1,0 +1,92 @@
+"""Environment and automatic variables visible to sandboxed evaluation.
+
+Obfuscators mine these for characters: ``$pshome[4]+$pshome[30]+'x'`` spells
+``iex``, ``$env:ComSpec[4,24,25] -join ''`` spells ``cmd``, ``$ShellId``
+and ``$VerbosePreference`` supply letters for ``Invoke-Expression``.  The
+values below match a stock Windows 10 + Windows PowerShell 5.1 install so
+those recipes recover the same strings as on the paper's testbed.
+"""
+
+from typing import Any, Dict, Optional
+
+# $env:* drive (case-insensitive keys, matched lowercase).
+ENVIRONMENT_VARIABLES: Dict[str, str] = {
+    "comspec": r"C:\WINDOWS\system32\cmd.exe",
+    "windir": r"C:\WINDOWS",
+    "systemroot": r"C:\WINDOWS",
+    "systemdrive": "C:",
+    "programfiles": r"C:\Program Files",
+    "programdata": r"C:\ProgramData",
+    "public": r"C:\Users\Public",
+    "username": "user",
+    "userprofile": r"C:\Users\user",
+    "computername": "DESKTOP-REPRO",
+    "temp": r"C:\Users\user\AppData\Local\Temp",
+    "tmp": r"C:\Users\user\AppData\Local\Temp",
+    "appdata": r"C:\Users\user\AppData\Roaming",
+    "localappdata": r"C:\Users\user\AppData\Local",
+    "homedrive": "C:",
+    "homepath": r"\Users\user",
+    "os": "Windows_NT",
+    "processor_architecture": "AMD64",
+    "psmodulepath": (
+        r"C:\Users\user\Documents\WindowsPowerShell\Modules;"
+        r"C:\Program Files\WindowsPowerShell\Modules;"
+        r"C:\WINDOWS\system32\WindowsPowerShell\v1.0\Modules"
+    ),
+    "path": r"C:\WINDOWS\system32;C:\WINDOWS",
+}
+
+# Automatic/preference variables ($name, case-insensitive).
+AUTOMATIC_VARIABLES: Dict[str, Any] = {
+    "true": True,
+    "false": False,
+    "null": None,
+    "pshome": r"C:\Windows\System32\WindowsPowerShell\v1.0",
+    "shellid": "Microsoft.PowerShell",
+    "psversiontable": {
+        "PSVersion": "5.1.19041.1237",
+        "PSEdition": "Desktop",
+    },
+    "pwd": r"C:\Users\user",
+    "home": r"C:\Users\user",
+    "host": "ConsoleHost",
+    "pid": 4242,
+    "ofs": " ",
+    "verbosepreference": "SilentlyContinue",
+    "debugpreference": "SilentlyContinue",
+    "warningpreference": "Continue",
+    "erroractionpreference": "Continue",
+    "progresspreference": "Continue",
+    "confirmpreference": "High",
+    "maximumdrivecount": 4096,
+    "executioncontext": "System.Management.Automation.EngineIntrinsics",
+    "input": [],
+    "args": [],
+}
+
+
+def lookup_environment(name: str) -> Optional[str]:
+    """Value of ``$env:<name>`` or None when unset."""
+    return ENVIRONMENT_VARIABLES.get(name.lower())
+
+
+def lookup_automatic(name: str) -> Any:
+    """Value of an automatic variable; raises KeyError when not one."""
+    return AUTOMATIC_VARIABLES[name.lower()]
+
+
+def is_automatic(name: str) -> bool:
+    return name.lower() in AUTOMATIC_VARIABLES
+
+
+def split_scope_prefix(name: str):
+    """Split ``global:x`` / ``script:x`` / ``local:x`` / ``env:x``.
+
+    Returns ``(drive_or_scope, bare_name)``; the first part is ``None``
+    for plain names.
+    """
+    if ":" in name:
+        prefix, _, rest = name.partition(":")
+        return prefix.lower(), rest
+    return None, name

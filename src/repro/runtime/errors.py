@@ -1,0 +1,41 @@
+"""Error taxonomy for the sandboxed evaluator.
+
+The deobfuscator distinguishes these cases (paper Section III-B2):
+
+- :class:`UnsupportedOperationError` — the piece uses an operation outside
+  the allowlist; the piece is kept as-is.
+- :class:`BlockedCommandError` — the piece contains a command/method from
+  the built-in blocklist (``Restart-Computer``, network sinks, ...); the
+  piece is not executed, which is the paper's deobfuscation speed-up.
+- :class:`UnknownVariableError` — variable tracing has no recorded value;
+  the assignment/piece is abandoned (Algorithm 1, lines 15-18).
+- :class:`StepLimitError` — the execution budget ran out (sandbox hygiene).
+"""
+
+
+class EvaluationError(Exception):
+    """Base class: evaluating a script piece failed for any reason."""
+
+
+class UnsupportedOperationError(EvaluationError):
+    """Operation outside the evaluator's allowlist."""
+
+
+class BlockedCommandError(EvaluationError):
+    """A blocklisted command or method was about to run."""
+
+    def __init__(self, name: str):
+        super().__init__(f"blocked command: {name}")
+        self.name = name
+
+
+class UnknownVariableError(EvaluationError):
+    """A variable has no recorded value in the current scope chain."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown variable: ${name}")
+        self.name = name
+
+
+class StepLimitError(EvaluationError):
+    """The evaluation step budget was exhausted."""

@@ -1,0 +1,1105 @@
+"""The sandboxed PowerShell interpreter.
+
+:class:`Evaluator` executes parsed AST under an execution budget with a
+deny-by-default surface.  It is used three ways:
+
+1. by the deobfuscator, to run *recoverable pieces* (paper Section III-B2)
+   with the blocklist enforced;
+2. by variable tracing, to evaluate assignment right-hand sides;
+3. by the behavioural sandbox (paper Table IV), blocklist off, with all
+   outward effects recorded on the :class:`~repro.runtime.host.SandboxHost`.
+"""
+
+import base64
+import binascii
+from typing import Any, Dict, List, Optional
+
+from repro.pslang import ast_nodes as N
+from repro.pslang.aliases import resolve_alias
+from repro.pslang.errors import PSSyntaxError
+from repro.pslang.parser import parse
+from repro.runtime import blocklist, members, statics
+from repro.runtime.cmdlets import CommandContext, lookup_cmdlet
+from repro.runtime.environment import (
+    is_automatic,
+    lookup_automatic,
+    lookup_environment,
+    split_scope_prefix,
+)
+from repro.runtime.errors import (
+    BlockedCommandError,
+    EvaluationError,
+    StepLimitError,
+    UnknownVariableError,
+    UnsupportedOperationError,
+)
+from repro.runtime.host import SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.objects import PSObjectBase
+from repro.runtime.operators import binary_op, unary_op
+from repro.runtime.values import (
+    PSChar,
+    ScriptBlockValue,
+    as_list,
+    char_array,
+    to_bool,
+    to_int,
+    to_number,
+    to_string,
+    unwrap_single,
+)
+
+# Parameters that never consume the following argument.
+_SWITCH_PARAMETERS = frozenset(
+    {
+        "asplaintext", "force", "valueonly", "unique", "descending",
+        "ascending", "noprofile", "nop", "noni", "noninteractive", "noexit",
+        "nologo", "sta", "mta", "wait", "passthru", "confirm", "whatif",
+        "verbose", "debug", "recurse", "hidden", "leaf", "parent",
+        "noclobber", "append", "asbytestream", "raw",
+    }
+)
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, values: List[Any]):
+        super().__init__("return")
+        self.values = values
+
+
+class _ExitSignal(Exception):
+    pass
+
+
+class Scope:
+    """A chained variable scope with case-insensitive names."""
+
+    __slots__ = ("variables", "parent")
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.variables: Dict[str, Any] = {}
+        self.parent = parent
+
+    def get(self, name: str) -> Any:
+        key = name.lower()
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if key in scope.variables:
+                return scope.variables[key]
+            scope = scope.parent
+        raise UnknownVariableError(name)
+
+    def has(self, name: str) -> bool:
+        key = name.lower()
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if key in scope.variables:
+                return True
+            scope = scope.parent
+        return False
+
+    def set(self, name: str, value: Any) -> None:
+        """Assign, preferring the scope where the name already exists."""
+        key = name.lower()
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if key in scope.variables:
+                scope.variables[key] = value
+                return
+            scope = scope.parent
+        self.variables[key] = value
+
+    def set_local(self, name: str, value: Any) -> None:
+        self.variables[name.lower()] = value
+
+    def root(self) -> "Scope":
+        scope = self
+        while scope.parent is not None:
+            scope = scope.parent
+        return scope
+
+
+class TypeValue:
+    """A bare type literal used as a value (``[int]`` in ``-is [int]``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def ps_to_string(self) -> str:
+        resolved = statics.normalize_type_name(self.name)
+        return "System." + resolved.capitalize() if "." not in resolved else (
+            "System." + resolved
+        )
+
+
+class Evaluator:
+    """Interpret PowerShell AST inside the sandbox."""
+
+    def __init__(
+        self,
+        host: Optional[SandboxHost] = None,
+        budget: Optional[ExecutionBudget] = None,
+        enforce_blocklist: bool = True,
+        variables: Optional[Dict[str, Any]] = None,
+        continue_on_error: bool = False,
+    ):
+        self.host = host or SandboxHost()
+        self.budget = budget or ExecutionBudget()
+        self.enforce_blocklist = enforce_blocklist
+        # Real PowerShell treats most command failures as non-terminating
+        # and moves to the next statement; whole-script runs (behaviour
+        # sandbox, baseline emulation) want that, piece recovery does not.
+        self.continue_on_error = continue_on_error
+        self.scope = Scope()
+        self.functions: Dict[str, N.FunctionDefinitionAst] = {}
+        self.function_sources: Dict[str, str] = {}
+        self.dynamic_aliases: Dict[str, str] = {}
+        # name (lower) -> python callable(ctx): used by the baseline tools
+        # to emulate "overriding functions" (intercepting Invoke-Expression
+        # and friends the way PSDecode/PowerDrive/PowerDecode do).
+        self.cmdlet_overrides: Dict[str, object] = {}
+        self.env_overrides: Dict[str, str] = {}
+        # Scaled-down real sleeping for Start-Sleep: 0 disables (default).
+        # Baseline tools set this to emulate their execute-everything
+        # behaviour (the paper's Fig 6 latency fluctuation) honestly.
+        self.sleep_scale: float = 0.0
+        self.sleep_cap: float = 0.25
+        self.source = ""
+        if variables:
+            for name, value in variables.items():
+                self.scope.set_local(name, value)
+
+    # -- public entry points --------------------------------------------------
+
+    def run_script_text(self, text: str) -> List[Any]:
+        """Parse and execute *text* in the current scope (iex semantics)."""
+        try:
+            ast = parse(text)
+        except PSSyntaxError as exc:
+            raise EvaluationError(f"invalid script: {exc}") from exc
+        return self.run_script_ast(ast, text)
+
+    def run_script_ast(self, ast: N.ScriptBlockAst, source: str) -> List[Any]:
+        saved_source = self.source
+        self.source = source or ast.source
+        try:
+            outputs: List[Any] = []
+            try:
+                for statement in ast.statements:
+                    try:
+                        outputs.extend(self.execute_statement(statement))
+                    except EvaluationError as exc:
+                        if not self.continue_on_error or isinstance(
+                            exc, StepLimitError
+                        ):
+                            raise
+            except _ReturnSignal as signal:
+                outputs.extend(signal.values)
+            except _ExitSignal:
+                pass
+            return outputs
+        finally:
+            self.source = saved_source
+
+    def evaluate_piece(self, node: N.Ast, source: str) -> Any:
+        """Evaluate one recoverable piece; returns its value."""
+        saved_source = self.source
+        self.source = source
+        try:
+            if isinstance(node, N.PipelineAst):
+                return unwrap_single(self.execute_pipeline(node))
+            if isinstance(node, N.StatementAst):
+                return unwrap_single(self.execute_statement(node))
+            return self.evaluate(node)
+        finally:
+            self.source = saved_source
+
+    def lookup_variable(self, name: str) -> Any:
+        return self._read_variable(name)
+
+    def set_variable(self, name: str, value: Any) -> None:
+        self._write_variable(name, value)
+
+    # -- statements -------------------------------------------------------------
+
+    def execute_statement(self, node: N.Ast) -> List[Any]:
+        self.budget.step()
+        if isinstance(node, N.PipelineAst):
+            return self.execute_pipeline(node)
+        if isinstance(node, N.AssignmentStatementAst):
+            self._execute_assignment(node)
+            return []
+        if isinstance(node, N.IfStatementAst):
+            return self._execute_if(node)
+        if isinstance(node, N.WhileStatementAst):
+            return self._execute_while(node)
+        if isinstance(node, N.DoWhileStatementAst):
+            return self._execute_do(node)
+        if isinstance(node, N.ForStatementAst):
+            return self._execute_for(node)
+        if isinstance(node, N.ForEachStatementAst):
+            return self._execute_foreach(node)
+        if isinstance(node, N.SwitchStatementAst):
+            return self._execute_switch(node)
+        if isinstance(node, N.TryStatementAst):
+            return self._execute_try(node)
+        if isinstance(node, N.FunctionDefinitionAst):
+            self.functions[node.name.lower()] = node
+            self.function_sources[node.name.lower()] = self.source
+            return []
+        if isinstance(node, N.ReturnStatementAst):
+            values = (
+                self.execute_statement(node.pipeline)
+                if node.pipeline is not None
+                else []
+            )
+            raise _ReturnSignal(values)
+        if isinstance(node, N.ThrowStatementAst):
+            message = ""
+            if node.pipeline is not None:
+                message = to_string(
+                    unwrap_single(self.execute_statement(node.pipeline))
+                )
+            raise EvaluationError(f"throw: {message}")
+        if isinstance(node, N.ExitStatementAst):
+            raise _ExitSignal()
+        if isinstance(node, N.BreakStatementAst):
+            raise _BreakSignal()
+        if isinstance(node, N.ContinueStatementAst):
+            raise _ContinueSignal()
+        if isinstance(node, N.StatementBlockAst):
+            outputs: List[Any] = []
+            for statement in node.statements:
+                outputs.extend(self.execute_statement(statement))
+            return outputs
+        raise UnsupportedOperationError(
+            f"statement {node.type_name} not supported"
+        )
+
+    def _execute_block(self, block: Optional[N.StatementBlockAst]) -> List[Any]:
+        if block is None:
+            return []
+        outputs: List[Any] = []
+        for statement in block.statements:
+            outputs.extend(self.execute_statement(statement))
+        return outputs
+
+    def _execute_assignment(self, node: N.AssignmentStatementAst) -> Any:
+        value = unwrap_single(self.execute_statement(node.right))
+        if node.operator != "=":
+            current = self.evaluate(node.left)
+            op = node.operator[0]  # '+=' -> '+'
+            value = binary_op(op, current, value)
+        self._assign_target(node.left, value)
+        return value
+
+    def _assign_target(self, target: N.Ast, value: Any) -> None:
+        if isinstance(target, N.VariableExpressionAst):
+            self._write_variable(target.name, value)
+            return
+        if isinstance(target, N.ConvertExpressionAst) and isinstance(
+            target.child, N.VariableExpressionAst
+        ):
+            # [int]$x = ... — apply the cast, then assign.
+            self._write_variable(
+                target.child.name, self._cast(target.type_name_str, value)
+            )
+            return
+        if isinstance(target, N.IndexExpressionAst):
+            container = self.evaluate(target.target)
+            index = self.evaluate(target.index)
+            if isinstance(container, dict):
+                container[to_string(index)] = value
+                return
+            if isinstance(container, (list, bytearray)):
+                container[to_int(index)] = value
+                return
+            raise UnsupportedOperationError("index assignment target")
+        if isinstance(target, N.MemberExpressionAst):
+            obj = self.evaluate(target.expression)
+            name = self._member_name(target.member)
+            members.set_member(obj, name, value)
+            return
+        if isinstance(target, N.ArrayLiteralAst):
+            values = as_list(value)
+            for i, element in enumerate(target.elements):
+                self._assign_target(
+                    element, values[i] if i < len(values) else None
+                )
+            return
+        raise UnsupportedOperationError(
+            f"assignment target {target.type_name}"
+        )
+
+    def _execute_if(self, node: N.IfStatementAst) -> List[Any]:
+        for condition, body in node.clauses:
+            if to_bool(unwrap_single(self.execute_statement(condition))):
+                return self._execute_block(body)
+        return self._execute_block(node.else_body)
+
+    def _execute_while(self, node: N.WhileStatementAst) -> List[Any]:
+        outputs: List[Any] = []
+        while to_bool(unwrap_single(self.execute_statement(node.condition))):
+            self.budget.loop_tick()
+            try:
+                outputs.extend(self._execute_block(node.body))
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+        return outputs
+
+    def _execute_do(self, node: N.DoWhileStatementAst) -> List[Any]:
+        outputs: List[Any] = []
+        while True:
+            self.budget.loop_tick()
+            try:
+                outputs.extend(self._execute_block(node.body))
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            condition = to_bool(
+                unwrap_single(self.execute_statement(node.condition))
+            )
+            if node.until:
+                if condition:
+                    break
+            elif not condition:
+                break
+        return outputs
+
+    def _execute_for(self, node: N.ForStatementAst) -> List[Any]:
+        outputs: List[Any] = []
+        if node.initializer is not None:
+            self.execute_statement(node.initializer)
+        while True:
+            if node.condition is not None:
+                condition = to_bool(
+                    unwrap_single(self.execute_statement(node.condition))
+                )
+                if not condition:
+                    break
+            self.budget.loop_tick()
+            try:
+                outputs.extend(self._execute_block(node.body))
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if node.iterator is not None:
+                self.execute_statement(node.iterator)
+        return outputs
+
+    def _execute_foreach(self, node: N.ForEachStatementAst) -> List[Any]:
+        outputs: List[Any] = []
+        collection = unwrap_single(self.execute_statement(node.expression))
+        for item in as_list(collection):
+            self.budget.loop_tick()
+            self._write_variable(node.variable.name, item)
+            try:
+                outputs.extend(self._execute_block(node.body))
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+        return outputs
+
+    def _execute_switch(self, node: N.SwitchStatementAst) -> List[Any]:
+        outputs: List[Any] = []
+        subject = unwrap_single(self.execute_statement(node.condition))
+        for item in as_list(subject):
+            matched = False
+            self._write_variable("_", item)
+            for test, body in node.clauses:
+                test_value = self.evaluate(test)
+                if binary_op("-eq", item, test_value) is True or (
+                    to_string(item).lower() == to_string(test_value).lower()
+                ):
+                    matched = True
+                    try:
+                        outputs.extend(self._execute_block(body))
+                    except _BreakSignal:
+                        return outputs
+            if not matched and node.default is not None:
+                try:
+                    outputs.extend(self._execute_block(node.default))
+                except _BreakSignal:
+                    return outputs
+        return outputs
+
+    def _execute_try(self, node: N.TryStatementAst) -> List[Any]:
+        outputs: List[Any] = []
+        try:
+            outputs.extend(self._execute_block(node.body))
+        except (EvaluationError,) as exc:
+            if node.catches:
+                self._write_variable("_", str(exc))
+                outputs.extend(self._execute_block(node.catches[0]))
+            elif node.finally_body is None:
+                raise
+        finally:
+            if node.finally_body is not None:
+                outputs.extend(self._execute_block(node.finally_body))
+        return outputs
+
+    # -- pipelines ------------------------------------------------------------------
+
+    def execute_pipeline(self, node: N.PipelineAst) -> List[Any]:
+        self.budget.step()
+        stream: List[Any] = []
+        for index, element in enumerate(node.elements):
+            if isinstance(element, N.CommandExpressionAst):
+                value = self.evaluate(element.expression)
+                if (
+                    len(node.elements) == 1
+                    and isinstance(element.expression, N.UnaryExpressionAst)
+                    and element.expression.operator in ("++", "--")
+                ):
+                    # `$i++` as a whole statement discards its value.
+                    stream = []
+                else:
+                    stream = as_list(value)
+            elif isinstance(element, N.CommandAst):
+                stream = self.execute_command(element, stream)
+            else:
+                raise UnsupportedOperationError(
+                    f"pipeline element {element.type_name}"
+                )
+        return stream
+
+    def execute_command(
+        self, node: N.CommandAst, input_stream: List[Any]
+    ) -> List[Any]:
+        self.budget.step()
+        if not node.elements:
+            return []
+        head = node.elements[0]
+        if isinstance(head, N.StringConstantExpressionAst) and head.quote == "":
+            name = head.value
+        else:
+            head_value = self.evaluate(head)
+            if isinstance(head_value, ScriptBlockValue):
+                args = [
+                    self.evaluate(e)
+                    for e in node.elements[1:]
+                    if not isinstance(e, N.CommandParameterAst)
+                ]
+                return self.invoke_scriptblock(
+                    head_value, args=args, piped=input_stream
+                )
+            name = to_string(head_value)
+        return self.invoke_command_name(
+            name, node.elements[1:], input_stream
+        )
+
+    def invoke_command_name(
+        self,
+        name: str,
+        argument_nodes: List[N.Ast],
+        input_stream: List[Any],
+    ) -> List[Any]:
+        resolved = self._resolve_command_name(name)
+        if self.enforce_blocklist and blocklist.is_blocked_command(resolved):
+            raise BlockedCommandError(resolved)
+        arguments, parameters = self._bind_arguments(argument_nodes)
+        override = self.cmdlet_overrides.get(resolved.lower())
+        if override is not None:
+            context = CommandContext(
+                evaluator=self,
+                name=resolved,
+                arguments=arguments,
+                parameters=parameters,
+                input_stream=input_stream,
+            )
+            return override(context)
+        function = self.functions.get(resolved.lower())
+        if function is not None:
+            return self._invoke_function(
+                function, arguments, parameters, input_stream
+            )
+        cmdlet = lookup_cmdlet(resolved)
+        if cmdlet is None:
+            if resolved.lower().endswith(".ps1") and self.host.has_file(
+                resolved
+            ):
+                # Invoking a dropped script from the virtual filesystem.
+                content = self.host.read_file(resolved)
+                if isinstance(content, (bytes, bytearray)):
+                    content = bytes(content).decode("utf-8", "replace")
+                self.host.record("proc.run_script", resolved)
+                return self.run_script_text(content or "")
+            raise UnsupportedOperationError(f"command {name!r}")
+        context = CommandContext(
+            evaluator=self,
+            name=resolved,
+            arguments=arguments,
+            parameters=parameters,
+            input_stream=input_stream,
+        )
+        self.budget.enter()
+        try:
+            return cmdlet(context)
+        finally:
+            self.budget.leave()
+
+    def _resolve_command_name(self, name: str) -> str:
+        cleaned = name.strip()
+        lowered = cleaned.lower()
+        if lowered in self.dynamic_aliases:
+            return self.dynamic_aliases[lowered]
+        alias = resolve_alias(lowered)
+        if alias is not None:
+            return alias
+        # `powershell.exe` with a path prefix still launches PowerShell.
+        basename = lowered.rsplit("\\", 1)[-1].rsplit("/", 1)[-1]
+        if basename in ("powershell", "powershell.exe", "pwsh", "pwsh.exe"):
+            return basename
+        if basename in ("cmd", "cmd.exe"):
+            return "cmd.exe"
+        return cleaned
+
+    def _bind_arguments(self, argument_nodes: List[N.Ast]):
+        arguments: List[Any] = []
+        parameters: Dict[str, Any] = {}
+        index = 0
+        nodes = list(argument_nodes)
+        while index < len(nodes):
+            node = nodes[index]
+            if isinstance(node, N.CommandParameterAst):
+                pname = node.name.lstrip("-").lower()
+                if node.argument is not None:
+                    parameters[pname] = self.evaluate(node.argument)
+                elif (
+                    pname not in _SWITCH_PARAMETERS
+                    and index + 1 < len(nodes)
+                    and not isinstance(nodes[index + 1], N.CommandParameterAst)
+                ):
+                    parameters[pname] = self.evaluate(nodes[index + 1])
+                    index += 1
+                else:
+                    parameters[pname] = True
+            else:
+                arguments.append(self.evaluate(node))
+            index += 1
+        return arguments, parameters
+
+    def _invoke_function(
+        self,
+        node: N.FunctionDefinitionAst,
+        arguments: List[Any],
+        parameters: Dict[str, Any],
+        input_stream: List[Any],
+    ) -> List[Any]:
+        saved_scope = self.scope
+        saved_source = self.source
+        self.scope = Scope(parent=saved_scope)
+        self.source = self.function_sources.get(node.name.lower(), self.source)
+        self.budget.enter()
+        try:
+            formals = list(node.parameters)
+            if node.body is not None and node.body.param_block is not None:
+                formals.extend(node.body.param_block.parameters)
+            positional = list(arguments)
+            for formal in formals:
+                fname = formal.variable.name
+                if fname.lower() in parameters:
+                    self.scope.set_local(fname, parameters[fname.lower()])
+                elif positional:
+                    self.scope.set_local(fname, positional.pop(0))
+                elif formal.default is not None:
+                    self.scope.set_local(
+                        fname, self.evaluate(formal.default)
+                    )
+                else:
+                    self.scope.set_local(fname, None)
+            self.scope.set_local("args", positional)
+            self.scope.set_local("input", input_stream)
+            outputs: List[Any] = []
+            try:
+                for statement in node.body.statements:
+                    outputs.extend(self.execute_statement(statement))
+            except _ReturnSignal as signal:
+                outputs.extend(signal.values)
+            return outputs
+        finally:
+            self.budget.leave()
+            self.scope = saved_scope
+            self.source = saved_source
+
+    def invoke_scriptblock(
+        self,
+        block: ScriptBlockValue,
+        dollar: Any = None,
+        args: Optional[List[Any]] = None,
+        piped: Optional[List[Any]] = None,
+    ) -> List[Any]:
+        saved_scope = self.scope
+        saved_source = self.source
+        self.scope = Scope(parent=saved_scope)
+        self.source = block.source
+        self.budget.enter()
+        try:
+            if dollar is not None:
+                self.scope.set_local("_", dollar)
+            self.scope.set_local("args", args or [])
+            if piped is not None:
+                self.scope.set_local("input", piped)
+            ast = block.ast
+            if isinstance(ast, N.ScriptBlockExpressionAst):
+                ast = ast.scriptblock
+            if ast.param_block is not None:
+                positional = list(args or [])
+                for formal in ast.param_block.parameters:
+                    if positional:
+                        self.scope.set_local(
+                            formal.variable.name, positional.pop(0)
+                        )
+                    elif formal.default is not None:
+                        self.scope.set_local(
+                            formal.variable.name,
+                            self.evaluate(formal.default),
+                        )
+            outputs: List[Any] = []
+            try:
+                for statement in ast.statements:
+                    outputs.extend(self.execute_statement(statement))
+            except _ReturnSignal as signal:
+                outputs.extend(signal.values)
+            return outputs
+        finally:
+            self.budget.leave()
+            self.scope = saved_scope
+            self.source = saved_source
+
+    # -- expressions --------------------------------------------------------------------
+
+    def evaluate(self, node: N.Ast) -> Any:
+        self.budget.step()
+        if isinstance(node, N.StringConstantExpressionAst):
+            return node.value
+        if isinstance(node, N.ExpandableStringExpressionAst):
+            return self.expand_string(node.value)
+        if isinstance(node, N.ConstantExpressionAst):
+            return node.value
+        if isinstance(node, N.VariableExpressionAst):
+            return self._read_variable(node.name)
+        if isinstance(node, N.ArrayLiteralAst):
+            return [self.evaluate(e) for e in node.elements]
+        if isinstance(node, N.UnaryExpressionAst):
+            return self._evaluate_unary(node)
+        if isinstance(node, N.BinaryExpressionAst):
+            return self._evaluate_binary(node)
+        if isinstance(node, N.ConvertExpressionAst):
+            return self._cast(node.type_name_str, self.evaluate(node.child))
+        if isinstance(node, N.TypeExpressionAst):
+            return TypeValue(node.type_name_str)
+        if isinstance(node, N.InvokeMemberExpressionAst):
+            return self._evaluate_invoke_member(node)
+        if isinstance(node, N.MemberExpressionAst):
+            return self._evaluate_member(node)
+        if isinstance(node, N.IndexExpressionAst):
+            return self._evaluate_index(node)
+        if isinstance(node, N.ParenExpressionAst):
+            return self._evaluate_paren(node)
+        if isinstance(node, N.SubExpressionAst):
+            outputs: List[Any] = []
+            for statement in node.statements:
+                outputs.extend(self.execute_statement(statement))
+            return unwrap_single(outputs)
+        if isinstance(node, N.ArrayExpressionAst):
+            outputs = []
+            for statement in node.statements:
+                outputs.extend(self.execute_statement(statement))
+            return outputs
+        if isinstance(node, N.HashtableAst):
+            table: Dict[str, Any] = {}
+            for key_node, value_node in node.pairs:
+                key = to_string(self.evaluate(key_node))
+                table[key] = unwrap_single(self.execute_statement(value_node))
+            return table
+        if isinstance(node, N.ScriptBlockExpressionAst):
+            return ScriptBlockValue(node.scriptblock, self.source)
+        raise UnsupportedOperationError(
+            f"expression {node.type_name} not supported"
+        )
+
+    def _evaluate_unary(self, node: N.UnaryExpressionAst) -> Any:
+        if node.operator in ("++", "--"):
+            if isinstance(node.child, N.VariableExpressionAst):
+                current = to_number(self._read_variable(node.child.name))
+                updated = current + (1 if node.operator == "++" else -1)
+                self._write_variable(node.child.name, updated)
+                return current if node.postfix else updated
+            raise UnsupportedOperationError("++/-- target")
+        return unary_op(node.operator, self.evaluate(node.child))
+
+    def _evaluate_binary(self, node: N.BinaryExpressionAst) -> Any:
+        operator = node.operator.lower()
+        if operator in ("-and", "-or"):
+            left = to_bool(self.evaluate(node.left))
+            if operator == "-and" and not left:
+                return False
+            if operator == "-or" and left:
+                return True
+            return to_bool(self.evaluate(node.right))
+        if operator == "+" and isinstance(
+            node.left, N.BinaryExpressionAst
+        ) and node.left.operator == "+":
+            # Flatten homogeneous '+' chains iteratively: chunked-blob
+            # concatenations run hundreds of terms deep, which would
+            # otherwise exhaust Python's recursion limit.
+            operands: List[N.Ast] = [node.right]
+            spine = node.left
+            while (
+                isinstance(spine, N.BinaryExpressionAst)
+                and spine.operator == "+"
+            ):
+                operands.append(spine.right)
+                spine = spine.left
+            operands.append(spine)
+            operands.reverse()
+            result = self.evaluate(operands[0])
+            for operand in operands[1:]:
+                self.budget.step()
+                result = binary_op("+", result, self.evaluate(operand))
+            return result
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        return binary_op(operator, left, right)
+
+    def _member_name(self, member_node: N.Ast) -> str:
+        if isinstance(member_node, N.StringConstantExpressionAst):
+            return member_node.value
+        return to_string(self.evaluate(member_node))
+
+    def _evaluate_member(self, node: N.MemberExpressionAst) -> Any:
+        name = self._member_name(node.member)
+        if node.static and isinstance(node.expression, N.TypeExpressionAst):
+            return statics.get_static_property(
+                node.expression.type_name_str, name
+            )
+        value = self.evaluate(node.expression)
+        if isinstance(value, TypeValue):
+            return statics.get_static_property(value.name, name)
+        return members.get_member(value, name)
+
+    def _evaluate_invoke_member(self, node: N.InvokeMemberExpressionAst) -> Any:
+        name = self._member_name(node.member)
+        args = [self.evaluate(a) for a in node.arguments]
+        if node.static and isinstance(node.expression, N.TypeExpressionAst):
+            return self._call_static(node.expression.type_name_str, name, args)
+        value = self.evaluate(node.expression)
+        if isinstance(value, TypeValue):
+            return self._call_static(value.name, name, args)
+        return self.invoke_member_on(value, name, args)
+
+    def _call_static(self, type_name: str, member: str, args: List[Any]):
+        resolved = statics.resolve_type(type_name)
+        if resolved == "scriptblock" and member.lower() == "create":
+            text = to_string(args[0]) if args else ""
+            try:
+                ast = parse(text)
+            except PSSyntaxError as exc:
+                raise EvaluationError(f"bad scriptblock: {exc}") from exc
+            return ScriptBlockValue(ast, text)
+        if self.enforce_blocklist and blocklist.is_blocked_type(type_name):
+            raise BlockedCommandError(f"[{type_name}]")
+        if resolved == "io.file":
+            return self._call_io_file(member, args)
+        return statics.call_static(type_name, member, args)
+
+    def _call_io_file(self, member: str, args: List[Any]):
+        """``[IO.File]`` against the host's virtual filesystem."""
+        lowered = member.lower()
+        if lowered in ("writealltext", "writeallbytes", "writealllines"):
+            path = to_string(args[0])
+            content = args[1] if len(args) > 1 else ""
+            if lowered == "writeallbytes":
+                if isinstance(content, list):
+                    content = bytearray(to_int(v) & 0xFF for v in content)
+            elif lowered == "writealllines":
+                content = "\r\n".join(
+                    to_string(v) for v in as_list(content)
+                )
+            else:
+                content = to_string(content)
+            self.host.write_file(path, content)
+            return None
+        if lowered in ("readalltext", "readallbytes", "readalllines"):
+            path = to_string(args[0])
+            content = self.host.read_file(path)
+            if content is None:
+                raise EvaluationError(f"[IO.File]: path not found: {path}")
+            if lowered == "readallbytes":
+                if isinstance(content, str):
+                    return bytearray(content.encode("utf-8"))
+                return bytearray(content)
+            if isinstance(content, (bytes, bytearray)):
+                content = bytes(content).decode("utf-8", "replace")
+            if lowered == "readalllines":
+                return content.splitlines()
+            return content
+        if lowered == "exists":
+            return self.host.has_file(to_string(args[0]))
+        if lowered == "delete":
+            self.host.delete_file(to_string(args[0]))
+            return None
+        raise UnsupportedOperationError(f"[IO.File]::{member}")
+
+    def invoke_member_on(self, value: Any, name: str, args: List[Any]) -> Any:
+        self.budget.step()
+        if isinstance(value, ScriptBlockValue):
+            lowered = name.lower()
+            if lowered in ("invoke", "invokereturnasis"):
+                result = self.invoke_scriptblock(value, args=args)
+                if lowered == "invoke":
+                    return result if len(result) != 1 else result[0]
+                return unwrap_single(result)
+            if lowered == "tostring":
+                return value.text()
+            if lowered == "getnewclosure":
+                return value
+            raise UnsupportedOperationError(f"scriptblock method {name!r}")
+        if isinstance(value, PSObjectBase):
+            if self.enforce_blocklist and blocklist.is_blocked_method(name):
+                raise BlockedCommandError(name)
+            return value.ps_call(name, args)
+        if isinstance(value, str):
+            return members.invoke_string_method(value, name, args)
+        if isinstance(value, PSChar):
+            return members.invoke_char_method(value, name, args)
+        if isinstance(value, list):
+            return members.invoke_list_method(value, name, args)
+        if isinstance(value, (bytes, bytearray)):
+            return members.invoke_list_method(list(value), name, args)
+        if isinstance(value, bool) or isinstance(value, (int, float)):
+            return members.invoke_number_method(value, name, args)
+        if isinstance(value, dict):
+            return members.invoke_dict_method(value, name, args)
+        if value is None:
+            raise EvaluationError("method call on $null")
+        raise UnsupportedOperationError(
+            f"method {name!r} on {type(value).__name__}"
+        )
+
+    def _evaluate_index(self, node: N.IndexExpressionAst) -> Any:
+        target = self.evaluate(node.target)
+        index = self.evaluate(node.index)
+        return self._index_value(target, index)
+
+    def _index_value(self, target: Any, index: Any) -> Any:
+        if isinstance(index, list):
+            return [self._index_value(target, i) for i in index]
+        if isinstance(target, dict):
+            key = to_string(index)
+            lowered = key.lower()
+            for existing in target:
+                if isinstance(existing, str) and existing.lower() == lowered:
+                    return target[existing]
+            return None
+        position = to_int(index)
+        if isinstance(target, str):
+            if -len(target) <= position < len(target):
+                return PSChar(target[position])
+            return None
+        if isinstance(target, (list, tuple, bytes, bytearray)):
+            if -len(target) <= position < len(target):
+                return target[position]
+            return None
+        raise UnsupportedOperationError(
+            f"indexing {type(target).__name__}"
+        )
+
+    def _evaluate_paren(self, node: N.ParenExpressionAst) -> Any:
+        inner = node.pipeline
+        if isinstance(inner, N.AssignmentStatementAst):
+            return self._execute_assignment(inner)
+        return unwrap_single(self.execute_statement(inner))
+
+    # -- variables ------------------------------------------------------------------------
+
+    def _read_variable(self, name: str) -> Any:
+        prefix, bare = split_scope_prefix(name)
+        if prefix == "env":
+            override = self.env_overrides.get(bare.lower())
+            if override is not None:
+                return override
+            value = lookup_environment(bare)
+            if value is None:
+                raise UnknownVariableError(name)
+            return value
+        if prefix in ("global", "script", "local", "private", "variable"):
+            name = bare
+        if self.scope.has(name):
+            return self.scope.get(name)
+        if is_automatic(name):
+            return lookup_automatic(name)
+        raise UnknownVariableError(name)
+
+    def _write_variable(self, name: str, value: Any) -> None:
+        prefix, bare = split_scope_prefix(name)
+        if prefix == "env":
+            self.env_overrides[bare.lower()] = to_string(value)
+            return
+        if prefix in ("global", "script"):
+            self.scope.root().set_local(bare, value)
+            return
+        if prefix in ("local", "private", "variable"):
+            self.scope.set_local(bare, value)
+            return
+        self.scope.set(name, value)
+
+    # -- casts ----------------------------------------------------------------------------
+
+    def _cast(self, type_name: str, value: Any) -> Any:
+        resolved = statics.resolve_type(type_name)
+        if resolved in ("char",):
+            if isinstance(value, str) and len(value) == 1:
+                return PSChar(value)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return PSChar(to_int(value))
+            if isinstance(value, str):
+                return PSChar(value)  # raises with a clear message
+            return PSChar(to_int(value))
+        if resolved in ("string",):
+            return to_string(value)
+        if resolved in ("int", "int32", "int16", "int64", "long", "uint32"):
+            return to_int(value)
+        if resolved in ("byte",):
+            number = to_int(value)
+            if not 0 <= number <= 255:
+                raise EvaluationError(f"byte out of range: {number}")
+            return number
+        if resolved in ("double", "single", "float", "decimal"):
+            return float(to_number(value))
+        if resolved in ("bool", "boolean"):
+            return to_bool(value)
+        if resolved in ("char[]",):
+            return char_array(to_string(value))
+        if resolved in ("byte[]",):
+            if isinstance(value, (bytes, bytearray)):
+                return bytearray(value)
+            if isinstance(value, list):
+                return bytearray(to_int(v) & 0xFF for v in value)
+            raise EvaluationError("cannot cast to byte[]")
+        if resolved in ("string[]",):
+            return [to_string(v) for v in as_list(value)]
+        if resolved in ("int[]", "int32[]"):
+            return [to_int(v) for v in as_list(value)]
+        if resolved in ("array", "object[]"):
+            return as_list(value)
+        if resolved in ("void",):
+            return None
+        if resolved in ("regex", "text.regularexpressions.regex"):
+            return to_string(value)
+        if resolved in ("scriptblock",):
+            text = to_string(value)
+            try:
+                ast = parse(text)
+            except PSSyntaxError as exc:
+                raise EvaluationError(f"bad scriptblock: {exc}") from exc
+            return ScriptBlockValue(ast, text)
+        if resolved in ("io.memorystream",):
+            from repro.runtime.objects import MemoryStream
+
+            return MemoryStream(value)
+        raise UnsupportedOperationError(f"cast to [{type_name}]")
+
+    # -- string expansion ------------------------------------------------------------------
+
+    def expand_string(self, template: str) -> str:
+        """Expand ``$var``, ``${var}`` and ``$( ... )`` in a cooked
+        double-quoted string body."""
+        out: List[str] = []
+        i = 0
+        length = len(template)
+        while i < length:
+            ch = template[i]
+            if ch != "$":
+                out.append(ch)
+                i += 1
+                continue
+            if i + 1 < length and template[i + 1] == "(":
+                depth = 0
+                j = i + 1
+                while j < length:
+                    if template[j] == "(":
+                        depth += 1
+                    elif template[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                inner = template[i + 2:j]
+                values = self.run_script_text(inner)
+                out.append(to_string(unwrap_single(values)))
+                i = j + 1
+                continue
+            if i + 1 < length and template[i + 1] == "{":
+                j = template.find("}", i + 2)
+                if j == -1:
+                    out.append(ch)
+                    i += 1
+                    continue
+                name = template[i + 2:j]
+                out.append(self._expand_variable(name))
+                i = j + 1
+                continue
+            j = i + 1
+            while j < length and (
+                template[j].isalnum() or template[j] in "_:"
+            ):
+                if template[j] == ":" and not (
+                    j + 1 < length
+                    and (template[j + 1].isalnum() or template[j + 1] == "_")
+                ):
+                    break
+                j += 1
+            name = template[i + 1:j]
+            if not name:
+                out.append(ch)
+                i += 1
+                continue
+            out.append(self._expand_variable(name))
+            i = j
+        return "".join(out)
+
+    def _expand_variable(self, name: str) -> str:
+        try:
+            return to_string(self._read_variable(name))
+        except UnknownVariableError:
+            # PowerShell expands unknown variables to the empty string.
+            return ""
+
+
+def evaluate_expression_text(
+    text: str,
+    variables: Optional[Dict[str, Any]] = None,
+    host: Optional[SandboxHost] = None,
+    enforce_blocklist: bool = True,
+    budget: Optional[ExecutionBudget] = None,
+) -> Any:
+    """Parse and evaluate a single expression/pipeline, returning its value.
+
+    This is the "Invoke" of the paper: convert the recoverable piece to a
+    script block and execute it.
+    """
+    evaluator = Evaluator(
+        host=host,
+        budget=budget,
+        enforce_blocklist=enforce_blocklist,
+        variables=variables,
+    )
+    outputs = evaluator.run_script_text(text)
+    return unwrap_single(outputs)

@@ -1,0 +1,102 @@
+"""The sandbox host: effect recording and synthetic external content.
+
+Every object with an outward-facing surface (``Net.WebClient``,
+``TcpClient``...) receives a :class:`SandboxHost` and *records* intent
+instead of performing it.  The behavioural-consistency experiment
+(paper Table IV) compares the recorded event sets of original and
+deobfuscated scripts; the deobfuscator itself runs with a host too, so
+even a blocklist miss cannot touch a real network.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+from urllib.parse import urlparse
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One recorded side-effect intent."""
+
+    kind: str          # e.g. "net.download_string", "net.tcp_connect"
+    target: str        # URL, host:port, file path...
+    detail: str = ""   # free-form extra context
+
+    @property
+    def host(self) -> str:
+        """The network host this effect touches (for Table IV matching)."""
+        if self.kind.startswith("net."):
+            if "://" in self.target:
+                return urlparse(self.target).hostname or self.target
+            return self.target.split(":")[0]
+        return ""
+
+
+@dataclass
+class SandboxHost:
+    """Collects effects and serves synthetic content for network reads.
+
+    ``responses`` maps URL → payload so tests and the behaviour sandbox can
+    script multi-stage downloads (a downloader fetching a second stage).
+
+    ``files`` is a virtual filesystem (case-insensitive Windows-style
+    paths): file writes land here instead of on disk, and later reads —
+    ``Get-Content``, ``powershell -File``, invoking a dropped ``.ps1`` —
+    see them, so dropper → execute chains stay fully observable without
+    ever touching the real filesystem.
+    """
+
+    effects: List[Effect] = field(default_factory=list)
+    responses: Dict[str, str] = field(default_factory=dict)
+    default_response: str = ""
+    output: List[str] = field(default_factory=list)
+    files: Dict[str, object] = field(default_factory=dict)
+
+    def record(self, kind: str, target: str, detail: str = "") -> None:
+        self.effects.append(Effect(kind=kind, target=target, detail=detail))
+
+    def fetch(self, url: str) -> str:
+        """Synthetic HTTP GET body for *url*."""
+        return self.responses.get(url, self.default_response)
+
+    def write_host(self, text: str) -> None:
+        """Console output sink (Write-Host / Write-Output leftovers)."""
+        self.output.append(text)
+
+    # -- virtual filesystem -------------------------------------------------
+
+    @staticmethod
+    def _file_key(path: str) -> str:
+        return path.strip().strip('"').lower()
+
+    def write_file(self, path: str, content, append: bool = False) -> None:
+        key = self._file_key(path)
+        if append and key in self.files:
+            existing = self.files[key]
+            if isinstance(existing, str) and isinstance(content, str):
+                content = existing + content
+        self.files[key] = content
+        self.record("fs.write", path)
+
+    def read_file(self, path: str):
+        """File content, or None when the path was never written."""
+        return self.files.get(self._file_key(path))
+
+    def has_file(self, path: str) -> bool:
+        return self._file_key(path) in self.files
+
+    def delete_file(self, path: str) -> None:
+        self.files.pop(self._file_key(path), None)
+        self.record("fs.delete", path)
+
+    # -- queries ---------------------------------------------------------------
+
+    def network_effects(self) -> List[Effect]:
+        return [e for e in self.effects if e.kind.startswith("net.")]
+
+    def network_hosts(self) -> List[str]:
+        seen = []
+        for effect in self.network_effects():
+            host = effect.host
+            if host and host not in seen:
+                seen.append(host)
+        return seen

@@ -1,0 +1,58 @@
+"""Execution budgets bounding every sandboxed evaluation."""
+
+from dataclasses import dataclass, field
+
+from repro.runtime.errors import StepLimitError
+
+DEFAULT_STEP_LIMIT = 200_000
+DEFAULT_DEPTH_LIMIT = 64
+DEFAULT_LOOP_LIMIT = 10_000
+DEFAULT_OUTPUT_LIMIT = 1_000_000  # characters of produced string data
+
+
+@dataclass
+class ExecutionBudget:
+    """A mutable budget shared by one evaluation (and its sub-evaluations).
+
+    Every AST node visit costs one step; loops additionally burn one loop
+    tick per iteration so a tight ``while($true)`` cannot run away even if
+    its body is trivial.
+    """
+
+    step_limit: int = DEFAULT_STEP_LIMIT
+    depth_limit: int = DEFAULT_DEPTH_LIMIT
+    loop_limit: int = DEFAULT_LOOP_LIMIT
+    output_limit: int = DEFAULT_OUTPUT_LIMIT
+    steps: int = field(default=0, init=False)
+    depth: int = field(default=0, init=False)
+    loop_ticks: int = field(default=0, init=False)
+
+    def step(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitError(
+                f"step limit of {self.step_limit} exceeded"
+            )
+
+    def loop_tick(self) -> None:
+        self.loop_ticks += 1
+        if self.loop_ticks > self.loop_limit:
+            raise StepLimitError(
+                f"loop limit of {self.loop_limit} exceeded"
+            )
+
+    def enter(self) -> None:
+        self.depth += 1
+        if self.depth > self.depth_limit:
+            raise StepLimitError(
+                f"recursion depth limit of {self.depth_limit} exceeded"
+            )
+
+    def leave(self) -> None:
+        self.depth -= 1
+
+    def check_output(self, size: int) -> None:
+        if size > self.output_limit:
+            raise StepLimitError(
+                f"output size limit of {self.output_limit} exceeded"
+            )

@@ -1,0 +1,290 @@
+"""Instance members and methods on sandbox values.
+
+PowerShell member *names* are case-insensitive (``'x'.RepLACe`` works) but
+string method *semantics* follow .NET — ``String.Replace`` is an ordinal,
+case-sensitive replace, unlike the ``-replace`` operator.
+"""
+
+from typing import Any, List
+
+from repro.runtime.errors import EvaluationError, UnsupportedOperationError
+from repro.runtime.objects import PSObjectBase
+from repro.runtime.values import (
+    PSChar,
+    ScriptBlockValue,
+    as_list,
+    char_array,
+    to_int,
+    to_number,
+    to_string,
+)
+
+
+def get_member(value: Any, name: str) -> Any:
+    """Property access ``value.Name``."""
+    lowered = name.lower()
+    if isinstance(value, PSObjectBase):
+        return value.ps_member(name)
+    if isinstance(value, str):
+        if lowered == "length":
+            return len(value)
+        if lowered == "chars":
+            return char_array(value)
+        raise UnsupportedOperationError(f"string member {name!r}")
+    if isinstance(value, PSChar):
+        raise UnsupportedOperationError(f"char member {name!r}")
+    if isinstance(value, (list, tuple)):
+        if lowered in ("length", "count"):
+            return len(value)
+        if lowered == "rank":
+            return 1
+        raise UnsupportedOperationError(f"array member {name!r}")
+    if isinstance(value, (bytes, bytearray)):
+        if lowered in ("length", "count"):
+            return len(value)
+        raise UnsupportedOperationError(f"byte[] member {name!r}")
+    if isinstance(value, dict):
+        if lowered == "count":
+            return len(value)
+        if lowered == "keys":
+            return list(value.keys())
+        if lowered == "values":
+            return list(value.values())
+        # Hashtable member access falls through to key lookup.
+        for key in value:
+            if isinstance(key, str) and key.lower() == lowered:
+                return value[key]
+        return None
+    if isinstance(value, (int, float)):
+        raise UnsupportedOperationError(f"number member {name!r}")
+    if isinstance(value, ScriptBlockValue):
+        if lowered == "ast":
+            return value.ast
+        raise UnsupportedOperationError(f"scriptblock member {name!r}")
+    if value is None:
+        raise EvaluationError("member access on $null")
+    raise UnsupportedOperationError(
+        f"member {name!r} on {type(value).__name__}"
+    )
+
+
+def set_member(value: Any, name: str, new_value: Any) -> None:
+    """Property assignment ``value.Name = x``."""
+    if isinstance(value, PSObjectBase):
+        value.ps_set_member(name, new_value)
+        return
+    if isinstance(value, dict):
+        lowered = name.lower()
+        for key in list(value):
+            if isinstance(key, str) and key.lower() == lowered:
+                value[key] = new_value
+                return
+        value[name] = new_value
+        return
+    raise UnsupportedOperationError(
+        f"cannot set member {name!r} on {type(value).__name__}"
+    )
+
+
+def _split_args(args: List[Any]) -> List[str]:
+    """Separators for ``String.Split`` — chars and strings accepted."""
+    separators: List[str] = []
+    for arg in args:
+        if isinstance(arg, list):
+            separators.extend(to_string(a) for a in arg)
+        elif isinstance(arg, (str, PSChar)):
+            text = to_string(arg)
+            # A multi-char string argument is a char[] overload in practice.
+            separators.extend(text if len(text) > 1 else [text])
+        elif isinstance(arg, int) and not isinstance(arg, bool):
+            continue  # count limit overload — ignored
+    return [s for s in separators if s != ""]
+
+
+def _string_split(value: str, args: List[Any]) -> List[str]:
+    separators = _split_args(args)
+    if not separators:
+        return value.split()
+    pieces = [value]
+    for separator in separators:
+        next_pieces: List[str] = []
+        for piece in pieces:
+            next_pieces.extend(piece.split(separator))
+        pieces = next_pieces
+    return pieces
+
+
+def invoke_string_method(value: str, name: str, args: List[Any]) -> Any:
+    lowered = name.lower()
+    if lowered == "replace":
+        old = to_string(args[0])
+        new = to_string(args[1]) if len(args) > 1 else ""
+        if old == "":
+            raise EvaluationError("String.Replace: empty search string")
+        return value.replace(old, new)
+    if lowered == "split":
+        return _string_split(value, args)
+    if lowered == "substring":
+        start = to_int(args[0])
+        if not 0 <= start <= len(value):
+            raise EvaluationError("Substring start out of range")
+        if len(args) > 1:
+            length = to_int(args[1])
+            if length < 0 or start + length > len(value):
+                raise EvaluationError("Substring length out of range")
+            return value[start:start + length]
+        return value[start:]
+    if lowered in ("toupper", "toupperinvariant"):
+        return value.upper()
+    if lowered in ("tolower", "tolowerinvariant"):
+        return value.lower()
+    if lowered == "tochararray":
+        return char_array(value)
+    if lowered == "trim":
+        return value.strip(_trim_chars(args)) if args else value.strip()
+    if lowered == "trimstart":
+        return value.lstrip(_trim_chars(args)) if args else value.lstrip()
+    if lowered == "trimend":
+        return value.rstrip(_trim_chars(args)) if args else value.rstrip()
+    if lowered == "startswith":
+        return _fold(value, args).startswith(_fold(to_string(args[0]), args))
+    if lowered == "endswith":
+        return _fold(value, args).endswith(_fold(to_string(args[0]), args))
+    if lowered == "contains":
+        return to_string(args[0]) in value
+    if lowered == "indexof":
+        return value.find(to_string(args[0]))
+    if lowered == "lastindexof":
+        return value.rfind(to_string(args[0]))
+    if lowered == "padleft":
+        width = to_int(args[0])
+        fill = to_string(args[1]) if len(args) > 1 else " "
+        return value.rjust(width, fill)
+    if lowered == "padright":
+        width = to_int(args[0])
+        fill = to_string(args[1]) if len(args) > 1 else " "
+        return value.ljust(width, fill)
+    if lowered == "insert":
+        index = to_int(args[0])
+        return value[:index] + to_string(args[1]) + value[index:]
+    if lowered == "remove":
+        index = to_int(args[0])
+        if len(args) > 1:
+            count = to_int(args[1])
+            return value[:index] + value[index + count:]
+        return value[:index]
+    if lowered == "tostring":
+        return value
+    if lowered == "normalize":
+        import unicodedata
+
+        form = to_string(args[0]) if args else "NFC"
+        return unicodedata.normalize(form.upper(), value)
+    if lowered == "getenumerator":
+        return char_array(value)
+    if lowered == "clone":
+        return value
+    if lowered == "compareto":
+        other = to_string(args[0])
+        return (value > other) - (value < other)
+    if lowered == "equals":
+        return value == to_string(args[0])
+    if lowered == "format":  # instance-style [string]::Format misuse
+        from repro.runtime.operators import format_operator
+
+        return format_operator(value, list(args))
+    raise UnsupportedOperationError(f"string method {name!r}")
+
+
+def _fold(text: str, args: List[Any]) -> str:
+    """StartsWith/EndsWith: honour the IgnoreCase comparison argument."""
+    for arg in args[1:]:
+        if isinstance(arg, str) and "ignorecase" in arg.lower():
+            return text.lower()
+        if arg is True:
+            return text.lower()
+    return text
+
+
+def _trim_chars(args: List[Any]) -> str:
+    chars = []
+    for arg in args:
+        if isinstance(arg, list):
+            chars.extend(to_string(a) for a in arg)
+        else:
+            chars.append(to_string(arg))
+    return "".join(chars)
+
+
+def invoke_list_method(value: list, name: str, args: List[Any]) -> Any:
+    lowered = name.lower()
+    if lowered == "contains":
+        return args[0] in value
+    if lowered == "getvalue":
+        return value[to_int(args[0])]
+    if lowered == "clone":
+        return list(value)
+    if lowered == "tostring":
+        return to_string(value)
+    if lowered == "getenumerator":
+        return list(value)
+    if lowered == "indexof":
+        try:
+            return value.index(args[0])
+        except ValueError:
+            return -1
+    raise UnsupportedOperationError(f"array method {name!r}")
+
+
+def invoke_number_method(value, name: str, args: List[Any]) -> Any:
+    lowered = name.lower()
+    if lowered == "tostring":
+        if args:
+            spec = to_string(args[0])
+            if spec and spec[0].upper() == "X":
+                width = int(spec[1:]) if len(spec) > 1 else 0
+                formatted = format(to_int(value), "X" if spec[0] == "X" else "x")
+                return formatted.zfill(width)
+            if spec and spec[0].upper() == "D":
+                width = int(spec[1:]) if len(spec) > 1 else 0
+                return str(to_int(value)).zfill(width)
+        return to_string(value)
+    if lowered == "equals":
+        return to_number(value) == to_number(args[0])
+    if lowered == "compareto":
+        other = to_number(args[0])
+        mine = to_number(value)
+        return (mine > other) - (mine < other)
+    raise UnsupportedOperationError(f"number method {name!r}")
+
+
+def invoke_char_method(value: PSChar, name: str, args: List[Any]) -> Any:
+    lowered = name.lower()
+    if lowered == "tostring":
+        return value.char
+    if lowered == "equals":
+        return value == args[0]
+    raise UnsupportedOperationError(f"char method {name!r}")
+
+
+def invoke_dict_method(value: dict, name: str, args: List[Any]) -> Any:
+    lowered = name.lower()
+    if lowered == "containskey":
+        needle = to_string(args[0]).lower()
+        return any(
+            isinstance(k, str) and k.lower() == needle for k in value
+        )
+    if lowered == "add":
+        value[to_string(args[0])] = args[1] if len(args) > 1 else None
+        return None
+    if lowered == "remove":
+        needle = to_string(args[0]).lower()
+        for key in list(value):
+            if isinstance(key, str) and key.lower() == needle:
+                del value[key]
+        return None
+    if lowered == "getenumerator":
+        return [{"Key": k, "Value": v} for k, v in value.items()]
+    if lowered == "tostring":
+        return to_string(value)
+    raise UnsupportedOperationError(f"hashtable method {name!r}")

@@ -1,0 +1,461 @@
+"""Allowlisted .NET object types constructible inside the sandbox.
+
+Each class exposes a ``ps_call(name, args)`` method dispatcher and a
+``ps_member(name)`` property dispatcher (both case-insensitive, like
+PowerShell), plus ``ps_to_string`` for string conversion.  Anything not
+explicitly implemented raises
+:class:`~repro.runtime.errors.UnsupportedOperationError`, keeping the
+sandbox deny-by-default.
+"""
+
+import zlib
+from typing import Any, List, Optional
+
+from repro.runtime.errors import (
+    EvaluationError,
+    UnsupportedOperationError,
+)
+from repro.runtime.host import SandboxHost
+from repro.runtime.values import PSChar, to_int, to_string
+
+_SYNTHETIC_TCP_BANNER = ""
+
+
+class PSObjectBase:
+    """Common dispatch plumbing for sandbox objects."""
+
+    type_name = "System.Object"
+
+    def ps_member(self, name: str) -> Any:
+        raise UnsupportedOperationError(
+            f"{self.type_name} has no member {name!r}"
+        )
+
+    def ps_set_member(self, name: str, value: Any) -> None:
+        raise UnsupportedOperationError(
+            f"{self.type_name} member {name!r} is not settable"
+        )
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        raise UnsupportedOperationError(
+            f"{self.type_name} has no method {name!r}"
+        )
+
+    def ps_to_string(self) -> str:
+        return self.type_name
+
+
+class Encoding(PSObjectBase):
+    """One of the ``[Text.Encoding]`` family."""
+
+    _CODECS = {
+        "unicode": "utf-16-le",
+        "utf8": "utf-8",
+        "ascii": "ascii",
+        "bigendianunicode": "utf-16-be",
+        "utf32": "utf-32-le",
+        "utf7": "utf-7",
+        "default": "cp1252",
+        "oem": "cp437",
+    }
+
+    def __init__(self, name: str):
+        lowered = name.lower()
+        if lowered not in self._CODECS:
+            raise UnsupportedOperationError(f"unknown encoding {name!r}")
+        self.name = lowered
+        self.codec = self._CODECS[lowered]
+        self.type_name = f"System.Text.{name}Encoding"
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "getstring":
+            data = _coerce_bytes(args[0])
+            return data.decode(self.codec, errors="replace")
+        if lowered == "getbytes":
+            text = to_string(args[0])
+            return bytearray(text.encode(self.codec, errors="replace"))
+        if lowered == "getchars":
+            data = _coerce_bytes(args[0])
+            return [PSChar(ch) for ch in data.decode(self.codec, "replace")]
+        if lowered == "tostring":
+            return self.ps_to_string()
+        return super().ps_call(name, args)
+
+    def ps_to_string(self) -> str:
+        return self.type_name
+
+
+def _coerce_bytes(value: Any) -> bytes:
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    if isinstance(value, list):
+        return bytes(to_int(v) & 0xFF for v in value)
+    if isinstance(value, str):
+        return value.encode("latin-1", errors="replace")
+    if isinstance(value, int):
+        return bytes([value & 0xFF])
+    raise EvaluationError(f"cannot coerce {type(value).__name__} to bytes")
+
+
+class MemoryStream(PSObjectBase):
+    type_name = "System.IO.MemoryStream"
+
+    def __init__(self, initial: Optional[Any] = None):
+        if initial is None:
+            self.buffer = bytearray()
+        else:
+            self.buffer = bytearray(_coerce_bytes(initial))
+        self.position = 0
+        self.closed = False
+
+    def ps_member(self, name: str) -> Any:
+        lowered = name.lower()
+        if lowered == "length":
+            return len(self.buffer)
+        if lowered == "position":
+            return self.position
+        return super().ps_member(name)
+
+    def ps_set_member(self, name: str, value: Any) -> None:
+        if name.lower() == "position":
+            self.position = to_int(value)
+            return
+        super().ps_set_member(name, value)
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "toarray":
+            return bytearray(self.buffer)
+        if lowered == "write":
+            data = _coerce_bytes(args[0])
+            offset = to_int(args[1]) if len(args) > 1 else 0
+            count = to_int(args[2]) if len(args) > 2 else len(data)
+            chunk = data[offset:offset + count]
+            self.buffer[self.position:self.position + len(chunk)] = chunk
+            self.position += len(chunk)
+            return None
+        if lowered == "read":
+            if not args:
+                remaining = bytes(self.buffer[self.position:])
+                self.position = len(self.buffer)
+                return bytearray(remaining)
+            target, offset, count = args[0], to_int(args[1]), to_int(args[2])
+            chunk = self.buffer[self.position:self.position + count]
+            if isinstance(target, (bytearray, list)):
+                for i, byte in enumerate(chunk):
+                    target[offset + i] = byte
+            self.position += len(chunk)
+            return len(chunk)
+        if lowered == "seek":
+            self.position = to_int(args[0])
+            return self.position
+        if lowered in ("close", "dispose", "flush"):
+            self.closed = True
+            return None
+        return super().ps_call(name, args)
+
+
+class DeflateStream(PSObjectBase):
+    """``System.IO.Compression.DeflateStream`` (raw deflate, RFC 1951)."""
+
+    type_name = "System.IO.Compression.DeflateStream"
+    _wbits = -15
+
+    def __init__(self, stream: MemoryStream, mode: str):
+        if not isinstance(stream, MemoryStream):
+            raise UnsupportedOperationError(
+                "DeflateStream requires a MemoryStream"
+            )
+        self.stream = stream
+        self.mode = str(mode).lower()
+        if self.mode not in ("decompress", "compress", "0", "1"):
+            raise EvaluationError(f"bad compression mode {mode!r}")
+        self._plain: Optional[bytes] = None
+        self._write_buffer = bytearray()
+
+    def decompressed(self) -> bytes:
+        if self._plain is None:
+            raw = bytes(self.stream.buffer[self.stream.position:])
+            try:
+                self._plain = zlib.decompress(raw, self._wbits)
+            except zlib.error as exc:
+                raise EvaluationError(f"deflate error: {exc}") from exc
+        return self._plain
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "read":
+            plain = self.decompressed()
+            if not args:
+                return bytearray(plain)
+            target, offset, count = args[0], to_int(args[1]), to_int(args[2])
+            chunk = plain[:count]
+            if isinstance(target, (bytearray, list)):
+                for i, byte in enumerate(chunk):
+                    target[offset + i] = byte
+            self._plain = plain[len(chunk):]
+            return len(chunk)
+        if lowered == "write":
+            data = _coerce_bytes(args[0])
+            offset = to_int(args[1]) if len(args) > 1 else 0
+            count = to_int(args[2]) if len(args) > 2 else len(data)
+            self._write_buffer.extend(data[offset:offset + count])
+            return None
+        if lowered == "copyto":
+            destination = args[0]
+            plain = self.decompressed()
+            if isinstance(destination, MemoryStream):
+                destination.buffer.extend(plain)
+                destination.position = len(destination.buffer)
+                return None
+            raise UnsupportedOperationError("CopyTo target unsupported")
+        if lowered in ("close", "dispose", "flush"):
+            if self._write_buffer:
+                compressor = zlib.compressobj(9, zlib.DEFLATED, self._wbits)
+                compressed = (
+                    compressor.compress(bytes(self._write_buffer))
+                    + compressor.flush()
+                )
+                self.stream.buffer.extend(compressed)
+                self._write_buffer.clear()
+            return None
+        return super().ps_call(name, args)
+
+
+class GzipStream(DeflateStream):
+    type_name = "System.IO.Compression.GzipStream"
+    _wbits = 16 + 15
+
+
+class StreamReader(PSObjectBase):
+    type_name = "System.IO.StreamReader"
+
+    def __init__(self, stream: Any, encoding: Optional[Encoding] = None):
+        self.stream = stream
+        self.encoding = encoding or Encoding("utf8")
+        self._text: Optional[str] = None
+        self._line_cursor = 0
+
+    def _read_all(self) -> str:
+        if self._text is None:
+            if isinstance(self.stream, DeflateStream):
+                data = self.stream.decompressed()
+            elif isinstance(self.stream, MemoryStream):
+                data = bytes(self.stream.buffer[self.stream.position:])
+            else:
+                raise UnsupportedOperationError(
+                    "StreamReader source unsupported"
+                )
+            self._text = data.decode(self.encoding.codec, errors="replace")
+        return self._text
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "readtoend":
+            return self._read_all()
+        if lowered == "readline":
+            lines = self._read_all().splitlines()
+            if self._line_cursor >= len(lines):
+                return None
+            line = lines[self._line_cursor]
+            self._line_cursor += 1
+            return line
+        if lowered in ("close", "dispose"):
+            return None
+        return super().ps_call(name, args)
+
+
+class WebClient(PSObjectBase):
+    """``System.Net.WebClient`` — records instead of connecting."""
+
+    type_name = "System.Net.WebClient"
+
+    def __init__(self, host: SandboxHost):
+        self.host = host
+        self.headers: dict = {}
+        self.proxy = None
+        self.credentials = None
+        self.encoding: Optional[Encoding] = None
+
+    def ps_member(self, name: str) -> Any:
+        lowered = name.lower()
+        if lowered == "headers":
+            return self.headers
+        if lowered == "proxy":
+            return self.proxy
+        if lowered == "credentials":
+            return self.credentials
+        if lowered == "encoding":
+            return self.encoding
+        return super().ps_member(name)
+
+    def ps_set_member(self, name: str, value: Any) -> None:
+        lowered = name.lower()
+        if lowered == "proxy":
+            self.proxy = value
+            return
+        if lowered == "credentials":
+            self.credentials = value
+            return
+        if lowered == "encoding":
+            self.encoding = value
+            return
+        if lowered == "headers":
+            self.headers = value if isinstance(value, dict) else {}
+            return
+        super().ps_set_member(name, value)
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "downloadstring":
+            url = to_string(args[0])
+            self.host.record("net.download_string", url)
+            return self.host.fetch(url)
+        if lowered == "downloadfile":
+            url = to_string(args[0])
+            path = to_string(args[1]) if len(args) > 1 else ""
+            self.host.record("net.download_file", url, detail=path)
+            if path:
+                # Land the synthetic body in the virtual filesystem so a
+                # later `powershell -File` / `Get-Content` sees it.
+                self.host.files[self.host._file_key(path)] = (
+                    self.host.fetch(url)
+                )
+            return None
+        if lowered == "downloaddata":
+            url = to_string(args[0])
+            self.host.record("net.download_data", url)
+            return bytearray(self.host.fetch(url).encode("utf-8"))
+        if lowered == "uploadstring":
+            url = to_string(args[0])
+            data = to_string(args[1]) if len(args) > 1 else ""
+            self.host.record("net.upload_string", url, detail=data[:200])
+            return ""
+        if lowered == "openread":
+            url = to_string(args[0])
+            self.host.record("net.open_read", url)
+            return MemoryStream(self.host.fetch(url).encode("utf-8"))
+        if lowered in ("dispose", "close"):
+            return None
+        return super().ps_call(name, args)
+
+
+class TcpClient(PSObjectBase):
+    type_name = "System.Net.Sockets.TcpClient"
+
+    def __init__(self, host: SandboxHost, remote: str = "", port: int = 0):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        if remote:
+            host.record("net.tcp_connect", f"{remote}:{port}")
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "connect":
+            self.remote = to_string(args[0])
+            self.port = to_int(args[1]) if len(args) > 1 else 0
+            self.host.record("net.tcp_connect", f"{self.remote}:{self.port}")
+            return None
+        if lowered == "getstream":
+            return MemoryStream(_SYNTHETIC_TCP_BANNER.encode())
+        if lowered in ("close", "dispose"):
+            return None
+        return super().ps_call(name, args)
+
+    def ps_member(self, name: str) -> Any:
+        if name.lower() == "connected":
+            return bool(self.remote)
+        return super().ps_member(name)
+
+
+class StringBuilder(PSObjectBase):
+    type_name = "System.Text.StringBuilder"
+
+    def __init__(self, initial: str = ""):
+        self.parts: List[str] = [initial] if initial else []
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered in ("append", "appendline"):
+            self.parts.append(to_string(args[0]) if args else "")
+            if lowered == "appendline":
+                self.parts.append("\n")
+            return self
+        if lowered == "tostring":
+            return self.ps_to_string()
+        return super().ps_call(name, args)
+
+    def ps_member(self, name: str) -> Any:
+        if name.lower() == "length":
+            return len(self.ps_to_string())
+        return super().ps_member(name)
+
+    def ps_to_string(self) -> str:
+        return "".join(self.parts)
+
+
+class ArrayList(PSObjectBase):
+    type_name = "System.Collections.ArrayList"
+
+    def __init__(self):
+        self.items: List[Any] = []
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "add":
+            self.items.append(args[0] if args else None)
+            return len(self.items) - 1
+        if lowered == "toarray":
+            return list(self.items)
+        if lowered == "contains":
+            return args[0] in self.items
+        return super().ps_call(name, args)
+
+    def ps_member(self, name: str) -> Any:
+        if name.lower() == "count":
+            return len(self.items)
+        return super().ps_member(name)
+
+
+class PSCredential(PSObjectBase):
+    type_name = "System.Management.Automation.PSCredential"
+
+    def __init__(self, username: str, password: Any):
+        self.username = username
+        self.password = password
+
+    def ps_member(self, name: str) -> Any:
+        lowered = name.lower()
+        if lowered == "username":
+            return self.username
+        if lowered == "password":
+            return self.password
+        return super().ps_member(name)
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        if name.lower() == "getnetworkcredential":
+            return NetworkCredential(self.username, self.password)
+        return super().ps_call(name, args)
+
+
+class NetworkCredential(PSObjectBase):
+    type_name = "System.Net.NetworkCredential"
+
+    def __init__(self, username: str, password: Any):
+        from repro.runtime.securestring import SecureString
+
+        self.username = username
+        if isinstance(password, SecureString):
+            self.password = password.plaintext
+        else:
+            self.password = to_string(password)
+
+    def ps_member(self, name: str) -> Any:
+        lowered = name.lower()
+        if lowered == "password":
+            return self.password
+        if lowered == "username":
+            return self.username
+        return super().ps_member(name)

@@ -1,0 +1,441 @@
+"""PowerShell operator semantics on sandbox values.
+
+Case-insensitivity is pervasive: default string comparisons, ``-split`` /
+``-replace`` / ``-match`` regexes, and ``-like`` wildcards all ignore case
+unless the ``c``-prefixed variant is used.
+"""
+
+import fnmatch
+import re
+from typing import Any, List
+
+from repro.runtime.errors import EvaluationError, UnsupportedOperationError
+from repro.runtime.values import (
+    PSChar,
+    as_list,
+    is_number,
+    to_bool,
+    to_int,
+    to_number,
+    to_string,
+    type_name_of,
+)
+
+_COMPARISON_CANONICAL = {
+    "ieq": "eq", "ine": "ne", "igt": "gt", "ige": "ge", "ilt": "lt",
+    "ile": "le", "ilike": "like", "inotlike": "notlike", "imatch": "match",
+    "inotmatch": "notmatch", "icontains": "contains",
+    "inotcontains": "notcontains", "ireplace": "replace", "isplit": "split",
+}
+
+_CASE_SENSITIVE_PREFIX = "c"
+
+
+def _regex_flags(case_sensitive: bool) -> int:
+    return 0 if case_sensitive else re.IGNORECASE
+
+
+def _string_like_operand(value: Any) -> bool:
+    return isinstance(value, (str, PSChar))
+
+
+def binary_op(operator: str, left: Any, right: Any) -> Any:
+    """Evaluate ``left <operator> right`` with PowerShell semantics."""
+    op = operator.lower()
+    if op.startswith("-") and len(op) > 1:
+        op = op[1:]
+    case_sensitive = False
+    # 'contains' begins with 'c' but is not the c-prefixed form of anything.
+    if op != "contains" and op.startswith(_CASE_SENSITIVE_PREFIX) and op[1:] in (
+        "eq", "ne", "gt", "ge", "lt", "le", "like", "notlike", "match",
+        "notmatch", "contains", "notcontains", "replace", "split",
+    ):
+        case_sensitive = True
+        op = op[1:]
+    op = _COMPARISON_CANONICAL.get(op, op)
+
+    if op == "+":
+        return _op_add(left, right)
+    if op == "-":
+        return to_number(left) - to_number(right)
+    if op == "*":
+        return _op_multiply(left, right)
+    if op == "/":
+        return _op_divide(left, right)
+    if op == "%":
+        return to_number(left) % to_number(right)
+    if op == "f":
+        return format_operator(left, right)
+    if op == "..":
+        return _op_range(left, right)
+    if op == "join":
+        return _op_join(left, right)
+    if op == "split":
+        return _op_split(left, right, case_sensitive)
+    if op == "replace":
+        return _op_replace(left, right, case_sensitive)
+    if op in ("band", "bor", "bxor", "shl", "shr"):
+        return _op_bitwise(op, left, right)
+    if op in ("and", "or", "xor"):
+        return _op_logical(op, left, right)
+    if op in ("eq", "ne", "gt", "ge", "lt", "le"):
+        return _op_compare(op, left, right, case_sensitive)
+    if op in ("like", "notlike"):
+        return _op_like(op, left, right, case_sensitive)
+    if op in ("match", "notmatch"):
+        return _op_match(op, left, right, case_sensitive)
+    if op in ("contains", "notcontains"):
+        result = _op_contains(left, right, case_sensitive)
+        return result if op == "contains" else not result
+    if op in ("in", "notin"):
+        result = _op_contains(right, left, case_sensitive)
+        return result if op == "in" else not result
+    if op == "as":
+        return _op_as(left, right)
+    if op in ("is", "isnot"):
+        result = _op_is(left, right)
+        return result if op == "is" else not result
+    raise UnsupportedOperationError(f"binary operator -{op} not supported")
+
+
+def unary_op(operator: str, value: Any) -> Any:
+    op = operator.lstrip("-").lower()
+    if operator in ("!", "-not") or op == "not":
+        return not to_bool(value)
+    if op == "bnot":
+        return ~to_int(value)
+    if operator == "-" or (operator.startswith("-") and op == ""):
+        return -to_number(value)
+    if operator == "+":
+        return to_number(value)
+    if op in ("split", "isplit", "csplit"):
+        text = to_string(value)
+        return [piece for piece in re.split(r"\s+", text) if piece != ""]
+    if op == "join":
+        return "".join(to_string(v) for v in as_list(value))
+    raise UnsupportedOperationError(f"unary operator {operator!r}")
+
+
+def _op_add(left: Any, right: Any) -> Any:
+    if isinstance(left, (str, PSChar)):
+        return to_string(left) + to_string(right)
+    if isinstance(left, list):
+        return list(left) + as_list(right)
+    if isinstance(left, (bytes, bytearray)):
+        if isinstance(right, (bytes, bytearray)):
+            return bytearray(left) + bytearray(right)
+        return list(left) + as_list(right)
+    if isinstance(left, dict):
+        if isinstance(right, dict):
+            merged = dict(left)
+            merged.update(right)
+            return merged
+        raise EvaluationError("can only add hashtable to hashtable")
+    return to_number(left) + to_number(right)
+
+
+def _op_multiply(left: Any, right: Any) -> Any:
+    if isinstance(left, (str, PSChar)):
+        return to_string(left) * to_int(right)
+    if isinstance(left, list):
+        return list(left) * to_int(right)
+    return to_number(left) * to_number(right)
+
+
+def _op_divide(left: Any, right: Any) -> Any:
+    numerator, denominator = to_number(left), to_number(right)
+    if denominator == 0:
+        raise EvaluationError("division by zero")
+    result = numerator / denominator
+    if (
+        isinstance(numerator, int)
+        and isinstance(denominator, int)
+        and numerator % denominator == 0
+    ):
+        return numerator // denominator
+    return result
+
+
+def _op_range(left: Any, right: Any) -> List[int]:
+    start, stop = to_int(left), to_int(right)
+    if abs(stop - start) > 100_000:
+        raise EvaluationError("range too large")
+    if start <= stop:
+        return list(range(start, stop + 1))
+    return list(range(start, stop - 1, -1))
+
+
+def _op_join(left: Any, right: Any) -> str:
+    separator = to_string(right)
+    return separator.join(to_string(v) for v in as_list(left))
+
+
+def _op_split(left: Any, right: Any, case_sensitive: bool) -> List[str]:
+    # Binary -split takes a regex; applied element-wise to array input,
+    # results flattened — exactly what chained-split obfuscation relies on.
+    if isinstance(right, list):
+        pattern = to_string(right[0]) if right else ""
+    else:
+        pattern = to_string(right)
+    try:
+        compiled = re.compile(pattern, _regex_flags(case_sensitive))
+    except re.error as exc:
+        raise EvaluationError(f"bad -split pattern {pattern!r}: {exc}") from exc
+    pieces: List[str] = []
+    for item in as_list(left):
+        pieces.extend(compiled.split(to_string(item)))
+    return pieces
+
+
+_DOLLAR_REF = re.compile(r"\$(\d+|\{\w+\})")
+
+
+def _op_replace(left: Any, right: Any, case_sensitive: bool) -> Any:
+    if isinstance(right, list):
+        pattern = to_string(right[0]) if right else ""
+        replacement = to_string(right[1]) if len(right) > 1 else ""
+    else:
+        pattern = to_string(right)
+        replacement = ""
+    try:
+        compiled = re.compile(pattern, _regex_flags(case_sensitive))
+    except re.error as exc:
+        raise EvaluationError(
+            f"bad -replace pattern {pattern!r}: {exc}"
+        ) from exc
+    # .NET $1 / ${name} group references → Python \1 / \g<name>.
+    python_replacement = _DOLLAR_REF.sub(
+        lambda m: (
+            "\\" + m.group(1)
+            if m.group(1).isdigit()
+            else "\\g<" + m.group(1)[1:-1] + ">"
+        ),
+        replacement.replace("\\", "\\\\"),
+    )
+    if isinstance(left, list):
+        return [compiled.sub(python_replacement, to_string(v)) for v in left]
+    return compiled.sub(python_replacement, to_string(left))
+
+
+def _op_bitwise(op: str, left: Any, right: Any) -> int:
+    a, b = to_int(left), to_int(right)
+    if op == "band":
+        return a & b
+    if op == "bor":
+        return a | b
+    if op == "bxor":
+        return a ^ b
+    if op == "shl":
+        return a << (b & 0x1F)
+    return a >> (b & 0x1F)
+
+
+def _op_logical(op: str, left: Any, right: Any) -> bool:
+    a, b = to_bool(left), to_bool(right)
+    if op == "and":
+        return a and b
+    if op == "or":
+        return a or b
+    return a != b
+
+
+def _normalize_for_compare(value: Any, case_sensitive: bool):
+    if isinstance(value, PSChar):
+        value = value.char
+    if isinstance(value, str):
+        return value if case_sensitive else value.lower()
+    if isinstance(value, bool):
+        return 1 if value else 0
+    return value
+
+
+def _op_compare(op: str, left: Any, right: Any, case_sensitive: bool):
+    if isinstance(left, list):
+        # Array LHS: comparison filters the array (PowerShell semantics).
+        return [
+            item
+            for item in left
+            if _scalar_compare(op, item, right, case_sensitive)
+        ]
+    return _scalar_compare(op, left, right, case_sensitive)
+
+
+def _scalar_compare(op, left, right, case_sensitive) -> bool:
+    if _string_like_operand(left):
+        a = _normalize_for_compare(left, case_sensitive)
+        b = _normalize_for_compare(to_string(right), case_sensitive)
+    elif is_number(left) or isinstance(left, bool):
+        a = to_number(left)
+        try:
+            b = to_number(right)
+        except EvaluationError:
+            return op == "ne"
+    elif left is None:
+        a, b = None, right
+        if op == "eq":
+            return b is None or (isinstance(b, str) and False)
+        if op == "ne":
+            return b is not None
+        return False
+    else:
+        a, b = left, right
+    try:
+        if op == "eq":
+            return a == b
+        if op == "ne":
+            return a != b
+        if op == "gt":
+            return a > b
+        if op == "ge":
+            return a >= b
+        if op == "lt":
+            return a < b
+        if op == "le":
+            return a <= b
+    except TypeError:
+        return op == "ne"
+    raise UnsupportedOperationError(f"comparison {op}")
+
+
+def _op_like(op: str, left: Any, right: Any, case_sensitive: bool) -> bool:
+    text = to_string(left)
+    pattern = to_string(right)
+    if case_sensitive:
+        matched = fnmatch.fnmatchcase(text, pattern)
+    else:
+        matched = fnmatch.fnmatchcase(text.lower(), pattern.lower())
+    return matched if op == "like" else not matched
+
+
+def _op_match(op: str, left: Any, right: Any, case_sensitive: bool) -> Any:
+    pattern = to_string(right)
+    try:
+        compiled = re.compile(pattern, _regex_flags(case_sensitive))
+    except re.error as exc:
+        raise EvaluationError(f"bad -match pattern: {exc}") from exc
+    if isinstance(left, list):
+        hits = [v for v in left if compiled.search(to_string(v))]
+        return hits if op == "match" else [
+            v for v in left if not compiled.search(to_string(v))
+        ]
+    matched = compiled.search(to_string(left)) is not None
+    return matched if op == "match" else not matched
+
+
+def _op_contains(haystack: Any, needle: Any, case_sensitive: bool) -> bool:
+    for item in as_list(haystack):
+        if _scalar_compare("eq", item, needle, case_sensitive):
+            return True
+    return False
+
+
+_AS_CASTS = {
+    "int": to_int, "int32": to_int, "int64": to_int, "long": to_int,
+    "double": lambda v: float(to_number(v)),
+    "string": to_string,
+    "char": PSChar,
+    "bool": to_bool, "boolean": to_bool,
+    "array": as_list,
+}
+
+
+def _op_as(left: Any, right: Any) -> Any:
+    type_name = to_string(right).lower().replace("system.", "").strip("[]")
+    cast = _AS_CASTS.get(type_name)
+    if cast is None:
+        raise UnsupportedOperationError(f"-as [{type_name}]")
+    try:
+        return cast(left)
+    except EvaluationError:
+        return None
+
+
+def _op_is(left: Any, right: Any) -> bool:
+    wanted = to_string(right).lower().replace("system.", "").strip("[]")
+    actual = type_name_of(left).lower().replace("system.", "")
+    synonyms = {
+        "int": "int32", "long": "int64", "bool": "boolean",
+        "object[]": "object[]", "array": "object[]",
+    }
+    wanted = synonyms.get(wanted, wanted)
+    return actual == wanted
+
+
+_FORMAT_SPEC = re.compile(
+    r"\{(\d+)(?:,(-?\d+))?(?::([^{}]*))?\}"
+)
+
+
+def format_operator(template: Any, arguments: Any) -> str:
+    """The ``-f`` operator: .NET composite formatting, the subset wild
+    obfuscators use ({n}, alignment, X/D/N numeric specs).
+
+    Scans left-to-right the way .NET does, so ``{{{0}}}`` renders as
+    ``{`` + arg 0 + ``}``.
+    """
+    text = to_string(template)
+    args = as_list(arguments)
+    out: List[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "{" and i + 1 < length and text[i + 1] == "{":
+            out.append("{")
+            i += 2
+            continue
+        if ch == "}" and i + 1 < length and text[i + 1] == "}":
+            out.append("}")
+            i += 2
+            continue
+        if ch == "{":
+            match = _FORMAT_SPEC.match(text, i)
+            if match is None:
+                raise EvaluationError(
+                    f"bad format item at offset {i} in {text!r}"
+                )
+            index = int(match.group(1))
+            if index >= len(args):
+                raise EvaluationError(
+                    f"format index {index} out of range ({len(args)} args)"
+                )
+            rendered = _apply_format_spec(args[index], match.group(3))
+            alignment = match.group(2)
+            if alignment:
+                width = int(alignment)
+                rendered = (
+                    rendered.rjust(width)
+                    if width >= 0
+                    else rendered.ljust(-width)
+                )
+            out.append(rendered)
+            i = match.end()
+            continue
+        if ch == "}":
+            raise EvaluationError(f"unbalanced '}}' in format {text!r}")
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _apply_format_spec(value: Any, spec) -> str:
+    if not spec:
+        return to_string(value)
+    kind = spec[0].upper()
+    digits = spec[1:]
+    if kind == "X":
+        width = int(digits) if digits else 0
+        formatted = format(to_int(value), "X")
+        return formatted.zfill(width) if spec[0] == "X" else (
+            format(to_int(value), "x").zfill(width)
+        )
+    if kind == "D":
+        width = int(digits) if digits else 0
+        return str(to_int(value)).zfill(width)
+    if kind == "N":
+        places = int(digits) if digits else 2
+        return f"{to_number(value):,.{places}f}"
+    if kind == "F":
+        places = int(digits) if digits else 2
+        return f"{to_number(value):.{places}f}"
+    raise UnsupportedOperationError(f"format spec {spec!r}")

@@ -1,0 +1,146 @@
+"""SecureString support: the paper's Table II "SecureString" technique.
+
+Invoke-Obfuscation's SecureString encoding round-trips a command through::
+
+    $s = ConvertTo-SecureString $cmd -AsPlainText -Force
+    $e = ConvertFrom-SecureString $s -Key (1..16)
+    # ... later ...
+    $s = ConvertTo-SecureString $e -Key (1..16)
+    [Runtime.InteropServices.Marshal]::PtrToStringAuto(
+        [Runtime.InteropServices.Marshal]::SecureStringToBSTR($s))
+
+We reproduce the keyed path byte-for-byte-compatibly *with ourselves*
+(AES-CBC over UTF-16LE plaintext, same container layout as PowerShell:
+a magic header plus base64 of ``2|<iv b64>|<hex ciphertext>``), and the
+DPAPI path with a fixed machine key, since DPAPI itself is a Windows
+service we must simulate.
+"""
+
+import base64
+from typing import Any, List
+
+from repro.runtime import aes
+from repro.runtime.errors import EvaluationError
+from repro.runtime.objects import PSObjectBase
+from repro.runtime.values import to_int
+
+# Header PowerShell puts on keyed SecureString ciphertexts.
+_KEYED_MAGIC = "76492d1116743f0423413b16050a5345"
+# Stand-in for the DPAPI user key (machine-bound in real Windows).
+_DPAPI_KEY = bytes(range(11, 11 + 32))
+_DPAPI_MAGIC = "01000000d08c9ddf0115d1118c7a00c04fc297eb"
+# Deterministic IV derivation: sandbox runs must be reproducible, so the
+# IV is a function of the plaintext rather than of a real RNG.
+_IV_SALT = b"repro-securestring-iv"
+
+
+class SecureString(PSObjectBase):
+    """An in-memory secure string (plaintext retained for the sandbox)."""
+
+    type_name = "System.Security.SecureString"
+
+    def __init__(self, plaintext: str):
+        self.plaintext = plaintext
+
+    def ps_member(self, name: str) -> Any:
+        if name.lower() == "length":
+            return len(self.plaintext)
+        return super().ps_member(name)
+
+    def ps_call(self, name: str, args: List[Any]) -> Any:
+        lowered = name.lower()
+        if lowered == "copy":
+            return SecureString(self.plaintext)
+        if lowered in ("makereadonly", "dispose", "clear"):
+            return None
+        return super().ps_call(name, args)
+
+    def ps_to_string(self) -> str:
+        return self.type_name
+
+
+class BSTRPointer(PSObjectBase):
+    """The opaque pointer ``SecureStringToBSTR`` returns."""
+
+    type_name = "System.IntPtr"
+
+    def __init__(self, plaintext: str):
+        self.plaintext = plaintext
+
+    def ps_to_string(self) -> str:
+        return str(id(self) & 0xFFFFFFFF)
+
+
+def _derive_iv(plaintext_utf16: bytes) -> bytes:
+    import hashlib
+
+    return hashlib.sha256(_IV_SALT + plaintext_utf16).digest()[:16]
+
+
+def _normalize_key(key: Any) -> bytes:
+    if isinstance(key, (bytes, bytearray)):
+        material = bytes(key)
+    elif isinstance(key, list):
+        material = bytes(to_int(b) & 0xFF for b in key)
+    elif isinstance(key, int):
+        material = bytes([key & 0xFF])
+    else:
+        raise EvaluationError("SecureString key must be a byte array")
+    if len(material) not in (16, 24, 32):
+        raise EvaluationError(
+            f"SecureString key must be 16/24/32 bytes, got {len(material)}"
+        )
+    return material
+
+
+def encrypt_securestring(plaintext: str, key: Any = None) -> str:
+    """``ConvertFrom-SecureString`` (optionally ``-Key``)."""
+    data = plaintext.encode("utf-16-le")
+    iv = _derive_iv(data)
+    if key is None:
+        ciphertext = aes.encrypt_cbc(data, _DPAPI_KEY, iv)
+        blob = iv.hex() + ciphertext.hex()
+        return _DPAPI_MAGIC + blob
+    material = _normalize_key(key)
+    ciphertext = aes.encrypt_cbc(data, material, iv)
+    inner = "2|{}|{}".format(
+        base64.b64encode(iv).decode("ascii"), ciphertext.hex()
+    )
+    encoded = base64.b64encode(inner.encode("utf-16-le")).decode("ascii")
+    return _KEYED_MAGIC + encoded
+
+
+def decrypt_securestring(encrypted: str, key: Any = None) -> str:
+    """``ConvertTo-SecureString`` (keyed or DPAPI) → plaintext."""
+    text = encrypted.strip()
+    if text.startswith(_KEYED_MAGIC):
+        if key is None:
+            raise EvaluationError("keyed SecureString requires -Key")
+        inner = base64.b64decode(text[len(_KEYED_MAGIC):]).decode("utf-16-le")
+        parts = inner.split("|")
+        if len(parts) != 3:
+            raise EvaluationError("malformed SecureString container")
+        iv = base64.b64decode(parts[1])
+        ciphertext = bytes.fromhex(parts[2])
+        plaintext = aes.decrypt_cbc(ciphertext, _normalize_key(key), iv)
+        return plaintext.decode("utf-16-le")
+    if text.startswith(_DPAPI_MAGIC):
+        blob = bytes.fromhex(text[len(_DPAPI_MAGIC):])
+        iv, ciphertext = blob[:16], blob[16:]
+        plaintext = aes.decrypt_cbc(ciphertext, _DPAPI_KEY, iv)
+        return plaintext.decode("utf-16-le")
+    raise EvaluationError("not a SecureString ciphertext")
+
+
+def securestring_to_bstr(secure: SecureString) -> BSTRPointer:
+    if not isinstance(secure, SecureString):
+        raise EvaluationError("SecureStringToBSTR needs a SecureString")
+    return BSTRPointer(secure.plaintext)
+
+
+def ptr_to_string(pointer: Any) -> str:
+    if isinstance(pointer, BSTRPointer):
+        return pointer.plaintext
+    if isinstance(pointer, SecureString):
+        return pointer.plaintext
+    raise EvaluationError("PtrToString* needs a BSTR pointer")

@@ -1,0 +1,350 @@
+"""Static members of allowlisted .NET types (``[Type]::Member``).
+
+Encoding tricks in the paper's Table II lean on a handful of BCL statics:
+``[Convert]::FromBase64String`` (Base64), ``[Convert]::ToInt32(s, base)``
+(binary/octal/hex), ``[Text.Encoding]::Unicode.GetString`` (encoded
+commands), ``[Runtime.InteropServices.Marshal]`` (SecureString) and
+``[array]::Reverse`` (string reversing).  Everything here is pure.
+"""
+
+import base64
+import binascii
+import math
+import re
+from typing import Any, Callable, Dict, List
+
+from repro.runtime import securestring as ss
+from repro.runtime.errors import EvaluationError, UnsupportedOperationError
+from repro.runtime.objects import Encoding, _coerce_bytes
+from repro.runtime.values import (
+    PSChar,
+    as_list,
+    to_int,
+    to_number,
+    to_string,
+)
+
+
+def normalize_type_name(name: str) -> str:
+    """Lowercase, strip brackets/backticks and a leading ``system.``."""
+    cleaned = name.strip().strip("[]").replace("`", "").lower()
+    if cleaned.startswith("system."):
+        cleaned = cleaned[len("system."):]
+    return cleaned
+
+
+# ---------------------------------------------------------------------------
+# [Convert]
+# ---------------------------------------------------------------------------
+
+
+def _convert_frombase64(args: List[Any]) -> bytearray:
+    # .NET tolerates whitespace inside base64 but throws on any other
+    # invalid character — validate=True after stripping whitespace.
+    text = "".join(to_string(args[0]).split())
+    try:
+        return bytearray(base64.b64decode(text, validate=True))
+    except (binascii.Error, ValueError) as exc:
+        raise EvaluationError(f"bad base64: {exc}") from exc
+
+
+def _convert_tobase64(args: List[Any]) -> str:
+    return base64.b64encode(_coerce_bytes(args[0])).decode("ascii")
+
+
+def _convert_toint(args: List[Any], bits: int) -> int:
+    if len(args) >= 2:
+        value = args[0]
+        radix = to_int(args[1])
+        if isinstance(value, PSChar):
+            # Convert.ToInt32([char], int) treats the int as a radix only
+            # for strings; for chars it is an overload returning the code.
+            return value.code
+        return int(to_string(value).strip(), radix)
+    value = args[0]
+    if isinstance(value, PSChar):
+        return value.code
+    return to_int(value)
+
+
+def _convert_tostring(args: List[Any]) -> str:
+    if len(args) >= 2:
+        value, radix = to_int(args[0]), to_int(args[1])
+        if radix == 2:
+            return bin(value)[2:]
+        if radix == 8:
+            return oct(value)[2:]
+        if radix == 16:
+            return format(value, "x")
+        if radix == 10:
+            return str(value)
+        raise EvaluationError(f"unsupported radix {radix}")
+    return to_string(args[0])
+
+
+def _convert_tochar(args: List[Any]) -> PSChar:
+    return PSChar(to_int(args[0]))
+
+
+def _convert_tobyte(args: List[Any]) -> int:
+    if len(args) >= 2:
+        return int(to_string(args[0]).strip(), to_int(args[1])) & 0xFF
+    return to_int(args[0]) & 0xFF
+
+
+# ---------------------------------------------------------------------------
+# [string], [char], [array], [math], [regex], [bitconverter]
+# ---------------------------------------------------------------------------
+
+
+def _string_join(args: List[Any]) -> str:
+    separator = to_string(args[0])
+    items = args[1] if len(args) == 2 else args[1:]
+    return separator.join(to_string(v) for v in as_list(items))
+
+
+def _string_format(args: List[Any]) -> str:
+    from repro.runtime.operators import format_operator
+
+    return format_operator(args[0], list(args[1:]))
+
+
+def _string_concat(args: List[Any]) -> str:
+    out = []
+    for arg in args:
+        if isinstance(arg, list):
+            out.extend(to_string(v) for v in arg)
+        else:
+            out.append(to_string(arg))
+    return "".join(out)
+
+
+def _array_reverse(args: List[Any]) -> None:
+    target = args[0]
+    if isinstance(target, list):
+        target.reverse()
+        return None
+    if isinstance(target, bytearray):
+        target.reverse()
+        return None
+    raise EvaluationError("[array]::Reverse needs an array")
+
+
+def _array_sort(args: List[Any]) -> None:
+    target = args[0]
+    if isinstance(target, list):
+        target.sort(key=to_string)
+        return None
+    raise EvaluationError("[array]::Sort needs an array")
+
+
+def _regex_replace(args: List[Any]) -> str:
+    text, pattern, replacement = (to_string(a) for a in args[:3])
+    return re.sub(pattern, replacement.replace("\\", "\\\\"), text)
+
+
+def _regex_matches(args: List[Any]) -> List[str]:
+    text, pattern = to_string(args[0]), to_string(args[1])
+    return [m.group(0) for m in re.finditer(pattern, text)]
+
+
+def _regex_split(args: List[Any]) -> List[str]:
+    text, pattern = to_string(args[0]), to_string(args[1])
+    return re.split(pattern, text)
+
+
+def _bitconverter_tostring(args: List[Any]) -> str:
+    return "-".join(f"{b:02X}" for b in _coerce_bytes(args[0]))
+
+
+# ---------------------------------------------------------------------------
+# Dispatch tables
+# ---------------------------------------------------------------------------
+
+# type -> member -> property value factory (no-arg).
+STATIC_PROPERTIES: Dict[str, Dict[str, Callable[[], Any]]] = {
+    "convert": {},
+    "string": {
+        "empty": lambda: "",
+    },
+    "char": {
+        "maxvalue": lambda: PSChar(0xFFFF),
+        "minvalue": lambda: PSChar(0),
+    },
+    "int32": {"maxvalue": lambda: 2**31 - 1, "minvalue": lambda: -(2**31)},
+    "math": {"pi": lambda: math.pi, "e": lambda: math.e},
+    "text.encoding": {
+        "unicode": lambda: Encoding("unicode"),
+        "utf8": lambda: Encoding("utf8"),
+        "ascii": lambda: Encoding("ascii"),
+        "bigendianunicode": lambda: Encoding("bigendianunicode"),
+        "utf32": lambda: Encoding("utf32"),
+        "utf7": lambda: Encoding("utf7"),
+        "default": lambda: Encoding("default"),
+        "oem": lambda: Encoding("oem"),
+    },
+    "io.compression.compressionmode": {
+        "decompress": lambda: "decompress",
+        "compress": lambda: "compress",
+    },
+    "environment": {
+        "newline": lambda: "\r\n",
+        "machinename": lambda: "DESKTOP-REPRO",
+        "username": lambda: "user",
+        "systemdirectory": lambda: r"C:\WINDOWS\system32",
+    },
+    "intptr": {"zero": lambda: 0},
+}
+
+# type -> member -> callable(args).
+STATIC_METHODS: Dict[str, Dict[str, Callable[[List[Any]], Any]]] = {
+    "convert": {
+        "frombase64string": _convert_frombase64,
+        "tobase64string": _convert_tobase64,
+        "toint32": lambda args: _convert_toint(args, 32),
+        "toint16": lambda args: _convert_toint(args, 16),
+        "toint64": lambda args: _convert_toint(args, 64),
+        "touint32": lambda args: _convert_toint(args, 32),
+        "tochar": _convert_tochar,
+        "tobyte": _convert_tobyte,
+        "tostring": _convert_tostring,
+        "todouble": lambda args: float(to_number(args[0])),
+    },
+    "string": {
+        "join": _string_join,
+        "format": _string_format,
+        "concat": _string_concat,
+        "isnullorempty": lambda args: args[0] is None
+        or to_string(args[0]) == "",
+        "isnullorwhitespace": lambda args: args[0] is None
+        or to_string(args[0]).strip() == "",
+        "new": lambda args: to_string(args[0]) * (
+            to_int(args[1]) if len(args) > 1 else 1
+        ),
+    },
+    "char": {
+        "tostring": lambda args: to_string(PSChar(args[0]))
+        if not isinstance(args[0], PSChar)
+        else args[0].char,
+        "toupper": lambda args: PSChar(PSChar(args[0]).char.upper()),
+        "tolower": lambda args: PSChar(PSChar(args[0]).char.lower()),
+        "isdigit": lambda args: PSChar(args[0]).char.isdigit(),
+        "isletter": lambda args: PSChar(args[0]).char.isalpha(),
+        "convertfromutf32": lambda args: chr(to_int(args[0])),
+    },
+    "array": {
+        "reverse": _array_reverse,
+        "sort": _array_sort,
+    },
+    "math": {
+        "abs": lambda args: abs(to_number(args[0])),
+        "floor": lambda args: math.floor(to_number(args[0])),
+        "ceiling": lambda args: math.ceil(to_number(args[0])),
+        "sqrt": lambda args: math.sqrt(to_number(args[0])),
+        "pow": lambda args: to_number(args[0]) ** to_number(args[1]),
+        "max": lambda args: max(to_number(args[0]), to_number(args[1])),
+        "min": lambda args: min(to_number(args[0]), to_number(args[1])),
+        "round": lambda args: round(to_number(args[0])),
+    },
+    "regex": {
+        "replace": _regex_replace,
+        "matches": _regex_matches,
+        "match": lambda args: (
+            (lambda m: m.group(0) if m else "")(
+                re.search(to_string(args[1]), to_string(args[0]))
+            )
+        ),
+        "split": _regex_split,
+        "escape": lambda args: re.escape(to_string(args[0])),
+        "unescape": lambda args: re.sub(
+            r"\\(.)", r"\1", to_string(args[0])
+        ),
+    },
+    "bitconverter": {
+        "tostring": _bitconverter_tostring,
+        "getbytes": lambda args: bytearray(
+            to_int(args[0]).to_bytes(4, "little", signed=True)
+        ),
+    },
+    "runtime.interopservices.marshal": {
+        "securestringtobstr": lambda args: ss.securestring_to_bstr(args[0]),
+        "securestringtoglobalallocunicode": lambda args: (
+            ss.securestring_to_bstr(args[0])
+        ),
+        "securestringtocotaskmemunicode": lambda args: (
+            ss.securestring_to_bstr(args[0])
+        ),
+        "ptrtostringauto": lambda args: ss.ptr_to_string(args[0]),
+        "ptrtostringbstr": lambda args: ss.ptr_to_string(args[0]),
+        "ptrtostringuni": lambda args: ss.ptr_to_string(args[0]),
+        "zerofreebstr": lambda args: None,
+        "zerofreeglobalallocunicode": lambda args: None,
+        "zerofreecotaskmemunicode": lambda args: None,
+        "freehglobal": lambda args: None,
+    },
+    "text.encoding": {
+        "getencoding": lambda args: Encoding(
+            {"utf-16": "unicode", "utf-16le": "unicode",
+             "us-ascii": "ascii", "utf-8": "utf8"}.get(
+                to_string(args[0]).lower(), to_string(args[0])
+            )
+        ),
+    },
+    "environment": {
+        "getenvironmentvariable": lambda args: __import__(
+            "repro.runtime.environment", fromlist=["lookup_environment"]
+        ).lookup_environment(to_string(args[0])),
+        "expandenvironmentvariables": lambda args: to_string(args[0]),
+    },
+    "scriptblock": {},  # Create handled by the evaluator (needs parsing).
+    "int32": {"parse": lambda args: to_int(args[0])},
+    "int64": {"parse": lambda args: to_int(args[0])},
+    "double": {"parse": lambda args: float(to_number(args[0]))},
+    "byte": {"parse": lambda args: to_int(args[0]) & 0xFF},
+}
+
+_TYPE_SYNONYMS = {
+    "text.unicodeencoding": "text.encoding",
+    "text.utf8encoding": "text.encoding",
+    "text.asciiencoding": "text.encoding",
+    "int": "int32",
+    "long": "int64",
+    "text.regularexpressions.regex": "regex",
+    "management.automation.scriptblock": "scriptblock",
+}
+
+
+def resolve_type(name: str) -> str:
+    normalized = normalize_type_name(name)
+    return _TYPE_SYNONYMS.get(normalized, normalized)
+
+
+def get_static_property(type_name: str, member: str) -> Any:
+    resolved = resolve_type(type_name)
+    table = STATIC_PROPERTIES.get(resolved)
+    if table is None:
+        raise UnsupportedOperationError(f"type [{type_name}] not allowlisted")
+    factory = table.get(member.lower())
+    if factory is None:
+        raise UnsupportedOperationError(
+            f"[{type_name}]::{member} not allowlisted"
+        )
+    return factory()
+
+
+def call_static(type_name: str, member: str, args: List[Any]) -> Any:
+    resolved = resolve_type(type_name)
+    table = STATIC_METHODS.get(resolved)
+    if table is None:
+        raise UnsupportedOperationError(f"type [{type_name}] not allowlisted")
+    method = table.get(member.lower())
+    if method is None:
+        raise UnsupportedOperationError(
+            f"[{type_name}]::{member}() not allowlisted"
+        )
+    return method(args)
+
+
+def has_type(type_name: str) -> bool:
+    resolved = resolve_type(type_name)
+    return resolved in STATIC_METHODS or resolved in STATIC_PROPERTIES

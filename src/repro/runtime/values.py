@@ -1,0 +1,297 @@
+"""The PowerShell value model: conversions and formatting.
+
+The evaluator works on plain Python values wherever possible:
+
+==================  =========================================
+PowerShell type     Python representation
+==================  =========================================
+String              ``str``
+Char                :class:`PSChar`
+Int32/Int64/Double  ``int`` / ``float``
+Boolean             ``bool``
+Null                ``None``
+Object[] (array)    ``list``
+Byte[]              ``bytes`` / ``bytearray``
+Hashtable           ``dict``
+ScriptBlock         :class:`ScriptBlockValue`
+==================  =========================================
+
+Conversion rules mirror PowerShell's: string→int honours ``0x`` prefixes,
+``$null`` stringifies to ``""``, booleans to ``True``/``False``, arrays
+join on ``$OFS`` (a space), chars act like one-character strings under
+``+`` but like code points under arithmetic/bitwise operators.
+"""
+
+from typing import Any, Iterable, List, Optional
+
+from repro.runtime.errors import EvaluationError, UnsupportedOperationError
+
+
+class PSChar:
+    """A .NET ``System.Char``: one UTF-16 code unit."""
+
+    __slots__ = ("char",)
+
+    def __init__(self, value):
+        if isinstance(value, PSChar):
+            self.char = value.char
+        elif isinstance(value, str):
+            if len(value) != 1:
+                raise EvaluationError(
+                    f"cannot convert string of length {len(value)} to char"
+                )
+            self.char = value
+        elif isinstance(value, bool):
+            raise EvaluationError("cannot convert bool to char")
+        elif isinstance(value, int):
+            if not 0 <= value <= 0x10FFFF:
+                raise EvaluationError(f"char code out of range: {value}")
+            self.char = chr(value)
+        elif isinstance(value, float):
+            raise EvaluationError("cannot convert double to char")
+        else:
+            raise EvaluationError(f"cannot convert {type(value)!r} to char")
+
+    @property
+    def code(self) -> int:
+        return ord(self.char)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PSChar):
+            return self.char == other.char
+        if isinstance(other, str):
+            return self.char == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.char)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PSChar({self.char!r})"
+
+
+class ScriptBlockValue:
+    """A ``{ ... }`` literal: the AST plus the source it indexes into."""
+
+    __slots__ = ("ast", "source")
+
+    def __init__(self, ast, source: str):
+        self.ast = ast
+        self.source = source
+
+    def text(self) -> str:
+        return self.source[self.ast.start:self.ast.end]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScriptBlockValue({self.text()[:40]!r})"
+
+
+def is_stringifiable(value: Any) -> bool:
+    """True when the paper's recovery would accept this execution result.
+
+    Section III-B2: string and number results are kept; results whose type
+    "cannot represent in string form, like Object" are rejected and the
+    recoverable piece is left unchanged.  Arrays qualify when every element
+    does.
+    """
+    if value is None:
+        return False
+    if isinstance(value, (str, PSChar, bool, int, float)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return bool(value) and all(is_stringifiable(v) for v in value)
+    return False
+
+
+def to_string(value: Any) -> str:
+    """PowerShell's string conversion (interpolation semantics)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, PSChar):
+        return value.char
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, (bytes, bytearray)):
+        return " ".join(str(b) for b in value)
+    if isinstance(value, (list, tuple)):
+        return " ".join(to_string(v) for v in value)
+    if isinstance(value, dict):
+        return "System.Collections.Hashtable"
+    if isinstance(value, ScriptBlockValue):
+        return value.text()
+    text = getattr(value, "ps_to_string", None)
+    if callable(text):
+        return text()
+    raise UnsupportedOperationError(
+        f"no string conversion for {type(value).__name__}"
+    )
+
+
+def to_number(value: Any):
+    """PowerShell's numeric conversion for arithmetic operands."""
+    if isinstance(value, bool):
+        return 1 if value else 0
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, PSChar):
+        return value.code
+    if value is None:
+        return 0
+    if isinstance(value, str):
+        text = value.strip()
+        if text == "":
+            raise EvaluationError("cannot convert empty string to number")
+        negative = text.startswith("-")
+        if negative or text.startswith("+"):
+            core = text[1:].strip()
+        else:
+            core = text
+        try:
+            if core.lower().startswith("0x"):
+                number = int(core, 16)
+            elif any(ch in core for ch in ".eE"):
+                number = float(core)
+            else:
+                number = int(core)
+        except ValueError as exc:
+            raise EvaluationError(
+                f"cannot convert {value!r} to number"
+            ) from exc
+        return -number if negative else number
+    raise EvaluationError(f"cannot convert {type(value).__name__} to number")
+
+
+def to_int(value: Any) -> int:
+    number = to_number(value)
+    if isinstance(number, float):
+        # .NET rounds half to even.
+        import math
+
+        floor = math.floor(number)
+        fraction = number - floor
+        if fraction > 0.5 or (fraction == 0.5 and floor % 2 == 1):
+            return floor + 1
+        return floor
+    return number
+
+
+def to_bool(value: Any) -> bool:
+    """PowerShell truthiness."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    if isinstance(value, PSChar):
+        return True
+    if isinstance(value, (list, tuple)):
+        if len(value) == 0:
+            return False
+        if len(value) == 1:
+            return to_bool(value[0])
+        return True
+    if isinstance(value, (bytes, bytearray)):
+        return len(value) > 0
+    return True
+
+
+def as_list(value: Any) -> List[Any]:
+    """Wrap scalars; pass arrays through (pipeline input semantics)."""
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return value
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, (bytes, bytearray)):
+        return list(value)
+    return [value]
+
+
+def flatten(values: Iterable[Any]) -> List[Any]:
+    """One-level flatten used when pipelines emit arrays."""
+    out: List[Any] = []
+    for value in values:
+        if isinstance(value, list):
+            out.extend(value)
+        else:
+            out.append(value)
+    return out
+
+
+def unwrap_single(values: List[Any]) -> Any:
+    """Pipeline output of one element collapses to that element."""
+    if not values:
+        return None
+    if len(values) == 1:
+        return values[0]
+    return values
+
+
+def char_array(text: str) -> List[PSChar]:
+    return [PSChar(ch) for ch in text]
+
+
+def to_char_code(value: Any) -> int:
+    """The integer a char-valued operand contributes to arithmetic."""
+    if isinstance(value, PSChar):
+        return value.code
+    if isinstance(value, str) and len(value) == 1:
+        return ord(value)
+    return to_int(value)
+
+
+def format_ps_number(value) -> str:
+    """Format a number the way PowerShell prints it standalone."""
+    return to_string(value)
+
+
+def deep_copy_tracked(value: Any) -> Any:
+    """Copy container values so symbol-table snapshots stay immutable."""
+    if isinstance(value, list):
+        return [deep_copy_tracked(v) for v in value]
+    if isinstance(value, dict):
+        return {k: deep_copy_tracked(v) for k, v in value.items()}
+    if isinstance(value, bytearray):
+        return bytearray(value)
+    return value
+
+
+def type_name_of(value: Any) -> str:
+    """A .NET-ish type name for ``-is`` comparisons and diagnostics."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "System.Boolean"
+    if isinstance(value, PSChar):
+        return "System.Char"
+    if isinstance(value, int):
+        return "System.Int32"
+    if isinstance(value, float):
+        return "System.Double"
+    if isinstance(value, str):
+        return "System.String"
+    if isinstance(value, (bytes, bytearray)):
+        return "System.Byte[]"
+    if isinstance(value, list):
+        return "System.Object[]"
+    if isinstance(value, dict):
+        return "System.Collections.Hashtable"
+    if isinstance(value, ScriptBlockValue):
+        return "System.Management.Automation.ScriptBlock"
+    return type(value).__name__
+
+
+def is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

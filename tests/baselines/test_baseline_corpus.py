@@ -1,0 +1,73 @@
+"""Baseline tools against generated corpora: ordering invariants.
+
+These pin the comparison *shape* (who beats whom) on fresh corpora so a
+regression in any re-implementation shows up outside the benches too.
+"""
+
+import pytest
+
+from repro import Deobfuscator
+from repro.analysis import extract_key_info
+from repro.baselines import LiEtAl, PSDecode, PowerDecode, PowerDrive
+from repro.dataset import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(20, seed=555, guard_fraction=0.5)
+
+
+def _url_score(tool_run, corpus) -> int:
+    hits = 0
+    for sample in corpus:
+        truth = sample.truth.urls if sample.truth else set()
+        found = extract_key_info(tool_run(sample.script).script).urls
+        hits += len(found & truth)
+    return hits
+
+
+class TestOrdering:
+    def test_ours_beats_every_baseline(self, corpus):
+        ours = _url_score(Deobfuscator().deobfuscate, corpus)
+        for tool in (PSDecode(), PowerDrive(), PowerDecode(), LiEtAl()):
+            score = _url_score(tool.deobfuscate, corpus)
+            assert ours >= score, (tool.name, score, ours)
+
+    def test_powerdecode_is_best_baseline(self, corpus):
+        scores = {
+            tool.name: _url_score(tool.deobfuscate, corpus)
+            for tool in (PSDecode(), PowerDrive(), PowerDecode(), LiEtAl())
+        }
+        assert scores["PowerDecode"] == max(scores.values())
+
+    def test_li_is_weakest(self, corpus):
+        scores = {
+            tool.name: _url_score(tool.deobfuscate, corpus)
+            for tool in (PSDecode(), PowerDrive(), PowerDecode(), LiEtAl())
+        }
+        assert scores["Li et al."] == min(scores.values())
+
+
+class TestGuardEffect:
+    def test_guards_defeat_execution_based_capture(self):
+        guarded = generate_corpus(
+            12, seed=777, guard_fraction=1.0,
+            skeletons=["downloader", "two_stage"],
+        )
+        unguarded = generate_corpus(
+            12, seed=777, guard_fraction=0.0,
+            skeletons=["downloader", "two_stage"],
+        )
+        tool = PowerDecode()
+        guarded_score = _url_score(tool.deobfuscate, guarded)
+        unguarded_score = _url_score(tool.deobfuscate, unguarded)
+        assert guarded_score < unguarded_score
+
+    def test_guards_do_not_affect_static_recovery(self):
+        guarded = generate_corpus(
+            12, seed=777, guard_fraction=1.0,
+            skeletons=["downloader", "two_stage"],
+        )
+        tool = Deobfuscator()
+        total = sum(len(s.truth.urls) for s in guarded)
+        assert _url_score(tool.deobfuscate, guarded) == total

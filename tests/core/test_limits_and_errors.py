@@ -1,0 +1,109 @@
+"""Robustness tests: budgets, hostile inputs, deeply nested structures."""
+
+import pytest
+
+from repro import Deobfuscator, deobfuscate
+from repro.runtime.errors import StepLimitError
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.limits import ExecutionBudget
+
+
+class TestBudgets:
+    def test_step_budget(self):
+        budget = ExecutionBudget(step_limit=10)
+        with pytest.raises(StepLimitError):
+            for _ in range(11):
+                budget.step()
+
+    def test_loop_budget(self):
+        budget = ExecutionBudget(loop_limit=5)
+        with pytest.raises(StepLimitError):
+            for _ in range(6):
+                budget.loop_tick()
+
+    def test_depth_budget(self):
+        budget = ExecutionBudget(depth_limit=3)
+        budget.enter()
+        budget.enter()
+        budget.enter()
+        with pytest.raises(StepLimitError):
+            budget.enter()
+
+    def test_leave_restores_depth(self):
+        budget = ExecutionBudget(depth_limit=2)
+        for _ in range(10):
+            budget.enter()
+            budget.leave()
+
+    def test_recursive_function_bounded(self):
+        evaluator = Evaluator(
+            budget=ExecutionBudget(depth_limit=16), enforce_blocklist=False
+        )
+        with pytest.raises(StepLimitError):
+            evaluator.run_script_text(
+                "function Recurse-Me { Recurse-Me }; Recurse-Me"
+            )
+
+    def test_self_referencing_iex_bounded(self):
+        evaluator = Evaluator(
+            budget=ExecutionBudget(depth_limit=16), enforce_blocklist=False
+        )
+        with pytest.raises(StepLimitError):
+            evaluator.run_script_text("$s = 'iex $s'; iex $s")
+
+
+class TestHostileInputs:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "    \n\n   ",
+            "((((((((((",
+            "}}}}}",
+            "'" * 99,
+            "$" * 50,
+            "`" * 30,
+            "\x00\x01\x02",
+            "@'\nnever closed",
+            "iex " * 200,
+        ],
+    )
+    def test_deobfuscator_never_raises(self, source):
+        result = deobfuscate(source)
+        assert result.script is not None
+
+    def test_deeply_nested_parens(self):
+        source = "(" * 40 + "'x'" + ")" * 40
+        result = deobfuscate(source)
+        assert "'x'" in result.script
+
+    def test_enormous_flat_concat(self):
+        source = "+".join(f"'{i}'" for i in range(500))
+        result = deobfuscate(source)
+        expected = "".join(str(i) for i in range(500))
+        assert expected in result.script
+
+    def test_long_pipeline(self):
+        source = "1..3" + " | write-output" * 30
+        result = deobfuscate(source)
+        assert result.script  # terminates
+
+    def test_iteration_cap_respected(self):
+        tool = Deobfuscator(max_iterations=1)
+        result = tool.deobfuscate("iex 'iex ''iex 1''' ")
+        assert result.iterations == 1
+
+
+class TestUnicodeInputs:
+    def test_unicode_strings_preserved(self):
+        source = "write-host 'héllo wörld ★'"
+        result = deobfuscate(source)
+        assert "héllo wörld ★" in result.script
+
+    def test_unicode_in_concat(self):
+        result = deobfuscate("'hél'+'lo'")
+        assert "'héllo'" in result.script
+
+    def test_smart_quote_folding(self):
+        result = deobfuscate("write-host ‘smart’")
+        assert "smart" in result.script

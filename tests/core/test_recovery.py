@@ -1,0 +1,101 @@
+"""Focused tests for the RecoveryEngine (Section III-B2 semantics)."""
+
+import pytest
+
+from repro.core.recovery import (
+    MAX_PIECE_LENGTH,
+    RecoveryEngine,
+    quote_single,
+    stringify_result,
+)
+from repro.runtime.values import PSChar
+
+
+@pytest.fixture
+def engine():
+    return RecoveryEngine()
+
+
+class TestEvaluatePiece:
+    def test_simple(self, engine):
+        ok, value = engine.evaluate_piece("'a'+'b'")
+        assert ok and value == "ab"
+
+    def test_with_variables(self, engine):
+        ok, value = engine.evaluate_piece(
+            "$prefix + 'tail'", variables={"prefix": "head-"}
+        )
+        assert ok and value == "head-tail"
+
+    def test_unknown_variable_fails(self, engine):
+        ok, _value = engine.evaluate_piece("$nope + 'x'")
+        assert not ok
+
+    def test_env_override(self, engine):
+        ok, value = engine.evaluate_piece(
+            "$env:custom + '!'", env_overrides={"custom": "v"}
+        )
+        assert ok and value == "v!"
+
+    def test_blocked_piece_fails(self, engine):
+        ok, _ = engine.evaluate_piece("start-sleep 10; 'x'")
+        assert not ok
+
+    def test_blocklist_disabled(self):
+        engine = RecoveryEngine(enforce_blocklist=False)
+        ok, value = engine.evaluate_piece("start-sleep 0; 'x'")
+        assert ok and value == "x"
+
+    def test_oversized_piece_rejected(self, engine):
+        ok, _ = engine.evaluate_piece("'" + "a" * (MAX_PIECE_LENGTH + 1) + "'")
+        assert not ok
+
+    def test_step_budget_respected(self):
+        engine = RecoveryEngine(step_limit=100)
+        ok, _ = engine.evaluate_piece("foreach($i in 1..10000) { $i }")
+        assert not ok
+
+
+class TestRecoverPiece:
+    def test_string_result_quoted(self, engine):
+        assert engine.recover_piece("'a'+'b'") == "'ab'"
+
+    def test_number_result_bare(self, engine):
+        assert engine.recover_piece("6*7") == "42"
+
+    def test_null_result_kept(self, engine):
+        assert engine.recover_piece("$null") is None
+
+    def test_bool_result_kept(self, engine):
+        assert engine.recover_piece("1 -eq 1") is None
+
+    def test_object_result_kept(self, engine):
+        assert engine.recover_piece("New-Object Net.WebClient") is None
+
+    def test_array_result_kept(self, engine):
+        assert engine.recover_piece("1,2,3") is None
+
+    def test_control_garbage_kept(self, engine):
+        # A decode that lands on control bytes is a wrong decode.
+        assert engine.recover_piece("[char]1 + [char]2") is None
+
+
+class TestStringifyEdgeCases:
+    def test_empty_string(self):
+        assert stringify_result("") == "''"
+
+    def test_newline_in_string_ok(self):
+        # PS single-quoted strings may contain raw newlines.
+        assert stringify_result("a\nb") == "'a\nb'"
+
+    def test_quote_doubling(self):
+        assert stringify_result("o'clock") == "'o''clock'"
+
+    def test_float(self):
+        assert stringify_result(2.5) == "2.5"
+
+    def test_whole_float_renders_integer(self):
+        assert stringify_result(3.0) == "3"
+
+    def test_quote_single_empty(self):
+        assert quote_single("") == "''"

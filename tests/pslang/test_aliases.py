@@ -1,0 +1,48 @@
+"""Tests for the alias table and canonical casing."""
+
+from repro.pslang.aliases import (
+    ALIASES,
+    canonical_case,
+    canonicalize_command,
+    resolve_alias,
+)
+
+
+class TestAliasTable:
+    def test_iex(self):
+        assert resolve_alias("iex") == "Invoke-Expression"
+
+    def test_case_insensitive(self):
+        assert resolve_alias("IeX") == "Invoke-Expression"
+
+    def test_percent_and_question(self):
+        assert resolve_alias("%") == "ForEach-Object"
+        assert resolve_alias("?") == "Where-Object"
+
+    def test_not_an_alias(self):
+        assert resolve_alias("write-host") is None
+
+    def test_all_values_canonical_or_known(self):
+        for alias, command in ALIASES.items():
+            assert alias == alias.lower()
+            assert command  # non-empty
+
+
+class TestCanonicalCase:
+    def test_known(self):
+        assert canonical_case("write-host") == "Write-Host"
+        assert canonical_case("INVOKE-EXPRESSION") == "Invoke-Expression"
+
+    def test_unknown(self):
+        assert canonical_case("invoke-mycustomthing") is None
+
+
+class TestCanonicalize:
+    def test_alias_wins(self):
+        assert canonicalize_command("gci") == "Get-ChildItem"
+
+    def test_casing_applied(self):
+        assert canonicalize_command("wRiTe-hOsT") == "Write-Host"
+
+    def test_unknown_passthrough(self):
+        assert canonicalize_command("My-Tool") == "My-Tool"

@@ -1,0 +1,324 @@
+"""Unit tests for the PowerShell tokenizer."""
+
+import pytest
+
+from repro.pslang.errors import LexError
+from repro.pslang.tokenizer import significant_tokens, tokenize, try_tokenize
+from repro.pslang.tokens import PSTokenType
+
+
+def types(source):
+    return [t.type for t in significant_tokens(tokenize(source))]
+
+
+def contents(source):
+    return [t.content for t in significant_tokens(tokenize(source))]
+
+
+class TestBasicTokens:
+    def test_simple_command(self):
+        tokens = significant_tokens(tokenize("write-host hello"))
+        assert tokens[0].type is PSTokenType.COMMAND
+        assert tokens[0].content == "write-host"
+        assert tokens[1].type is PSTokenType.COMMAND_ARGUMENT
+        assert tokens[1].content == "hello"
+
+    def test_token_extents_cover_source(self):
+        source = "write-host hello"
+        tokens = tokenize(source)
+        for token in tokens:
+            assert source[token.start:token.end] == token.text
+
+    def test_command_parameter(self):
+        tokens = significant_tokens(tokenize("write-host hi -ForegroundColor red"))
+        params = [t for t in tokens if t.type is PSTokenType.COMMAND_PARAMETER]
+        assert len(params) == 1
+        assert params[0].content == "-ForegroundColor"
+
+    def test_statement_separator(self):
+        assert PSTokenType.STATEMENT_SEPARATOR in types("a; b")
+
+    def test_pipe_operator(self):
+        tokens = significant_tokens(tokenize("dir | measure"))
+        assert tokens[1].type is PSTokenType.OPERATOR
+        assert tokens[1].content == "|"
+        assert tokens[2].type is PSTokenType.COMMAND
+
+    def test_newline_token(self):
+        tokens = tokenize("a\nb")
+        assert any(t.type is PSTokenType.NEWLINE for t in tokens)
+
+    def test_comment(self):
+        tokens = tokenize("write-host hi # comment")
+        comment = [t for t in tokens if t.type is PSTokenType.COMMENT]
+        assert comment and comment[0].content == "# comment"
+
+    def test_block_comment(self):
+        tokens = tokenize("<# multi\nline #> write-host hi")
+        assert tokens[0].type is PSTokenType.COMMENT
+        sig = significant_tokens(tokens)
+        assert sig[0].type is PSTokenType.COMMAND
+
+
+class TestBacktickHandling:
+    def test_ticked_command_content_strips_backticks(self):
+        tokens = significant_tokens(tokenize("nE`w-oBjE`Ct Net.WebClient"))
+        assert tokens[0].content == "nEw-oBjECt"
+        assert tokens[0].text == "nE`w-oBjE`Ct"
+
+    def test_ticked_argument(self):
+        tokens = significant_tokens(tokenize("write-host he`llo"))
+        assert tokens[1].content == "hello"
+
+    def test_line_continuation(self):
+        tokens = tokenize("write-host `\nhello")
+        assert any(t.type is PSTokenType.LINE_CONTINUATION for t in tokens)
+        sig = significant_tokens(tokens)
+        assert sig[1].content == "hello"
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        tokens = significant_tokens(tokenize("'hello world'"))
+        assert tokens[0].type is PSTokenType.STRING
+        assert tokens[0].content == "hello world"
+        assert tokens[0].quote == "'"
+
+    def test_single_quote_escape(self):
+        tokens = significant_tokens(tokenize("'it''s'"))
+        assert tokens[0].content == "it's"
+
+    def test_double_quoted_plain(self):
+        tokens = significant_tokens(tokenize('"hello"'))
+        assert tokens[0].content == "hello"
+        assert tokens[0].quote == '"'
+
+    def test_double_quoted_escapes(self):
+        tokens = significant_tokens(tokenize(r'"a`tb`nc"'))
+        assert tokens[0].content == "a\tb\nc"
+
+    def test_double_quoted_keeps_variables_verbatim(self):
+        tokens = significant_tokens(tokenize('"value: $x"'))
+        assert tokens[0].content == "value: $x"
+
+    def test_double_quoted_subexpression_balanced(self):
+        tokens = significant_tokens(tokenize('"got $(1+2) items"'))
+        assert tokens[0].content == "got $(1+2) items"
+
+    def test_double_quote_doubling(self):
+        tokens = significant_tokens(tokenize('"say ""hi"""'))
+        assert tokens[0].content == 'say "hi"'
+
+    def test_here_string_single(self):
+        source = "@'\nline1\nline2\n'@"
+        tokens = significant_tokens(tokenize(source))
+        assert tokens[0].type is PSTokenType.STRING
+        assert tokens[0].content == "line1\nline2"
+        assert tokens[0].quote == "@'"
+
+    def test_here_string_double(self):
+        source = '@"\npayload $x\n"@'
+        tokens = significant_tokens(tokenize(source))
+        assert tokens[0].content == "payload $x"
+
+    def test_unterminated_single_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unterminated_double_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_smart_quotes_fold(self):
+        tokens = significant_tokens(tokenize("‘hello’"))
+        assert tokens[0].type is PSTokenType.STRING
+        assert tokens[0].content == "hello"
+
+    def test_trailing_string_at_eof(self):
+        tokens = significant_tokens(tokenize("&'iex' 'cmd'"))
+        assert tokens[-1].content == "cmd"
+
+
+class TestVariables:
+    def test_simple_variable(self):
+        tokens = significant_tokens(tokenize("$name"))
+        assert tokens[0].type is PSTokenType.VARIABLE
+        assert tokens[0].content == "name"
+
+    def test_env_variable(self):
+        tokens = significant_tokens(tokenize("$env:ComSpec"))
+        assert tokens[0].content == "env:ComSpec"
+
+    def test_braced_variable(self):
+        tokens = significant_tokens(tokenize("${weird name}"))
+        assert tokens[0].content == "weird name"
+
+    def test_underscore_variable(self):
+        tokens = significant_tokens(tokenize("$_"))
+        assert tokens[0].content == "_"
+
+    def test_variable_index_stops_name(self):
+        tokens = significant_tokens(tokenize("$pshome[4]"))
+        assert tokens[0].content == "pshome"
+        assert tokens[1].type is PSTokenType.GROUP_START
+
+    def test_splat_variable(self):
+        tokens = significant_tokens(tokenize("cmd @args"))
+        variables = [t for t in tokens if t.type is PSTokenType.VARIABLE]
+        assert variables[0].content == "args"
+        assert variables[0].text == "@args"
+
+
+class TestNumbers:
+    def test_integer(self):
+        tokens = significant_tokens(tokenize("$x = 42"))
+        numbers = [t for t in tokens if t.type is PSTokenType.NUMBER]
+        assert numbers[0].content == "42"
+
+    def test_hex(self):
+        tokens = significant_tokens(tokenize("$x = 0x4B"))
+        numbers = [t for t in tokens if t.type is PSTokenType.NUMBER]
+        assert numbers[0].content == "0x4B"
+
+    def test_float(self):
+        tokens = significant_tokens(tokenize("$x = 3.14"))
+        numbers = [t for t in tokens if t.type is PSTokenType.NUMBER]
+        assert numbers[0].content == "3.14"
+
+    def test_multiplier_suffix(self):
+        tokens = significant_tokens(tokenize("$x = 2kb"))
+        numbers = [t for t in tokens if t.type is PSTokenType.NUMBER]
+        assert numbers[0].content == "2kb"
+
+
+class TestOperators:
+    def test_format_operator(self):
+        tokens = significant_tokens(tokenize("'{0}' -f 'x'"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert ops[0].content == "-f"
+
+    def test_dash_operator_no_space(self):
+        tokens = significant_tokens(tokenize("'a,b'-SPLIT','"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert ops[0].content == "-split"
+
+    def test_bxor_with_string_operand(self):
+        tokens = significant_tokens(tokenize("$_ -BxoR'0x4B'"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert ops[0].content == "-bxor"
+
+    def test_join_after_group(self):
+        tokens = significant_tokens(tokenize("('a','b')-jOiN''"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert "-join" in [o.content for o in ops]
+
+    def test_dash_word_in_args_is_parameter(self):
+        tokens = significant_tokens(tokenize("foo -split"))
+        assert tokens[1].type is PSTokenType.COMMAND_PARAMETER
+
+    def test_range_operator(self):
+        tokens = significant_tokens(tokenize("1..10"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert ops[0].content == ".."
+
+    def test_static_member_operator(self):
+        tokens = significant_tokens(tokenize("[Convert]::ToInt32"))
+        assert tokens[0].type is PSTokenType.TYPE
+        assert tokens[1].content == "::"
+        assert tokens[2].type is PSTokenType.MEMBER
+
+    def test_unicode_dash_folds(self):
+        tokens = significant_tokens(tokenize("'a b' –split ' '"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert ops[0].content == "-split"
+
+    def test_assignment(self):
+        tokens = significant_tokens(tokenize("$a += 1"))
+        ops = [t for t in tokens if t.type is PSTokenType.OPERATOR]
+        assert ops[0].content == "+="
+
+
+class TestTypesAndMembers:
+    def test_type_literal(self):
+        tokens = significant_tokens(tokenize("[char]97"))
+        assert tokens[0].type is PSTokenType.TYPE
+        assert tokens[0].content == "char"
+
+    def test_type_with_backticks(self):
+        tokens = significant_tokens(tokenize("[cH`AR]97"))
+        assert tokens[0].content == "cHAR"
+
+    def test_cast_chain(self):
+        tokens = significant_tokens(tokenize("[string][char]39"))
+        assert tokens[0].type is PSTokenType.TYPE
+        assert tokens[1].type is PSTokenType.TYPE
+
+    def test_member_access(self):
+        tokens = significant_tokens(tokenize("$x.Length"))
+        members = [t for t in tokens if t.type is PSTokenType.MEMBER]
+        assert members[0].content == "Length"
+
+    def test_ticked_member(self):
+        tokens = significant_tokens(tokenize("'x'.RepL`Ace('a','b')"))
+        members = [t for t in tokens if t.type is PSTokenType.MEMBER]
+        assert members[0].content == "RepLAce"
+
+    def test_index_after_value_is_group(self):
+        tokens = significant_tokens(tokenize("$a[0]"))
+        assert tokens[1].type is PSTokenType.GROUP_START
+        assert tokens[1].content == "["
+
+
+class TestKeywords:
+    def test_if_keyword(self):
+        tokens = significant_tokens(tokenize("if ($x) { }"))
+        assert tokens[0].type is PSTokenType.KEYWORD
+
+    def test_keyword_case_insensitive(self):
+        tokens = significant_tokens(tokenize("ForEach ($i in $c) { }"))
+        assert tokens[0].type is PSTokenType.KEYWORD
+
+    def test_function_name(self):
+        tokens = significant_tokens(tokenize("function Do-Thing { }"))
+        assert tokens[0].type is PSTokenType.KEYWORD
+        assert tokens[1].content == "Do-Thing"
+
+
+class TestBase64Arguments:
+    def test_equals_in_argument(self):
+        tokens = significant_tokens(tokenize("powershell -e aGVsbG8="))
+        args = [t for t in tokens if t.type is PSTokenType.COMMAND_ARGUMENT]
+        assert args[0].content == "aGVsbG8="
+
+    def test_plus_slash_in_argument(self):
+        tokens = significant_tokens(tokenize("powershell -enc a+b/c=="))
+        args = [t for t in tokens if t.type is PSTokenType.COMMAND_ARGUMENT]
+        assert args[0].content == "a+b/c=="
+
+
+class TestRobustness:
+    def test_try_tokenize_invalid(self):
+        tokens, error = try_tokenize("'unterminated")
+        assert tokens is None
+        assert "unterminated" in error
+
+    def test_try_tokenize_valid(self):
+        tokens, error = try_tokenize("write-host hi")
+        assert error is None
+        assert tokens
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert significant_tokens(tokenize("   \t  ")) == []
+
+    def test_nbsp_whitespace(self):
+        tokens = significant_tokens(tokenize("write-host\xa0hi"))
+        assert tokens[0].content == "write-host"
+
+    def test_every_token_has_nonnegative_extent(self):
+        source = "$a = (1+2) * 3; write-host \"done $a\""
+        for token in tokenize(source):
+            assert token.length >= 1
+            assert 0 <= token.start <= token.end <= len(source)

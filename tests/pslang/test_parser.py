@@ -1,0 +1,346 @@
+"""Unit tests for the PowerShell parser and AST extents."""
+
+import pytest
+
+from repro.pslang import ast_nodes as N
+from repro.pslang import parse
+from repro.pslang.errors import ParseError
+from repro.pslang.parser import parse_number, try_parse
+
+
+def only_statement(source):
+    ast = parse(source)
+    assert len(ast.statements) == 1
+    return ast.statements[0]
+
+
+def expression_of(source):
+    statement = only_statement(source)
+    assert isinstance(statement, N.PipelineAst)
+    element = statement.elements[0]
+    assert isinstance(element, N.CommandExpressionAst)
+    return element.expression
+
+
+class TestParseNumber:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", 42),
+            ("0x4B", 75),
+            ("-7", -7),
+            ("3.5", 3.5),
+            ("1e3", 1000),
+            ("2kb", 2048),
+            ("1mb", 1024**2),
+            ("10l", 10),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_number(text) == expected
+
+
+class TestPipelines:
+    def test_simple_command(self):
+        statement = only_statement("write-host hello")
+        assert isinstance(statement, N.PipelineAst)
+        command = statement.elements[0]
+        assert isinstance(command, N.CommandAst)
+        assert command.command_name("write-host hello") == "write-host"
+
+    def test_two_stage_pipeline(self):
+        statement = only_statement("'x' | iex")
+        assert len(statement.elements) == 2
+        assert isinstance(statement.elements[0], N.CommandExpressionAst)
+        assert isinstance(statement.elements[1], N.CommandAst)
+
+    def test_call_operator_ampersand(self):
+        statement = only_statement("&'iex' 'cmd'")
+        command = statement.elements[0]
+        assert command.invocation_operator == "&"
+        assert isinstance(command.elements[0], N.StringConstantExpressionAst)
+        assert command.elements[0].value == "iex"
+
+    def test_call_operator_dot(self):
+        statement = only_statement(".('ie'+'x') 'cmd'")
+        command = statement.elements[0]
+        assert command.invocation_operator == "."
+        assert isinstance(command.elements[0], N.ParenExpressionAst)
+
+    def test_command_parameter_with_argument(self):
+        statement = only_statement("powershell -e aGk=")
+        command = statement.elements[0]
+        parameter = command.elements[1]
+        assert isinstance(parameter, N.CommandParameterAst)
+        assert parameter.name == "-e"
+        argument = command.elements[2]
+        assert argument.value == "aGk="
+
+
+class TestExpressions:
+    def test_string_concat(self):
+        expr = expression_of("'a'+'b'")
+        assert isinstance(expr, N.BinaryExpressionAst)
+        assert expr.operator == "+"
+
+    def test_format_operator_binds_array(self):
+        expr = expression_of("'{1}{0}' -f 'b','a'")
+        assert isinstance(expr, N.BinaryExpressionAst)
+        assert expr.operator == "-f"
+        assert isinstance(expr.right, N.ArrayLiteralAst)
+        assert len(expr.right.elements) == 2
+
+    def test_chained_split(self):
+        expr = expression_of("'a~b,c' -split '~' -split ','")
+        assert expr.operator == "-split"
+        assert isinstance(expr.left, N.BinaryExpressionAst)
+        assert expr.left.operator == "-split"
+
+    def test_unary_join(self):
+        expr = expression_of("-join ('a','b')")
+        assert isinstance(expr, N.UnaryExpressionAst)
+        assert expr.operator == "-join"
+
+    def test_unary_minus(self):
+        expr = expression_of("$x = 1; -$y".split(";")[1])
+        assert isinstance(expr, N.UnaryExpressionAst)
+
+    def test_cast(self):
+        expr = expression_of("[char]97")
+        assert isinstance(expr, N.ConvertExpressionAst)
+        assert expr.type_name_str == "char"
+        assert expr.child.value == 97
+
+    def test_cast_chain(self):
+        expr = expression_of("[string][char]39")
+        assert isinstance(expr, N.ConvertExpressionAst)
+        assert expr.type_name_str == "string"
+        assert isinstance(expr.child, N.ConvertExpressionAst)
+
+    def test_static_method_call(self):
+        expr = expression_of("[Convert]::FromBase64String('aGk=')")
+        assert isinstance(expr, N.InvokeMemberExpressionAst)
+        assert expr.static
+        assert expr.member.value == "FromBase64String"
+
+    def test_instance_method_call(self):
+        expr = expression_of("'abc'.Replace('a','b')")
+        assert isinstance(expr, N.InvokeMemberExpressionAst)
+        assert not expr.static
+        assert len(expr.arguments) == 2
+
+    def test_nested_static_then_instance(self):
+        expr = expression_of(
+            "[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String($a))"
+        )
+        assert isinstance(expr, N.InvokeMemberExpressionAst)
+
+    def test_member_access(self):
+        expr = expression_of("$x.Length")
+        assert isinstance(expr, N.MemberExpressionAst)
+        assert expr.member.value == "Length"
+
+    def test_index_expression(self):
+        expr = expression_of("$env:ComSpec[4,24,25]")
+        assert isinstance(expr, N.IndexExpressionAst)
+        assert isinstance(expr.index, N.ArrayLiteralAst)
+
+    def test_range(self):
+        expr = expression_of("1..10")
+        assert isinstance(expr, N.BinaryExpressionAst)
+        assert expr.operator == ".."
+
+    def test_comma_array(self):
+        expr = expression_of("1,2,3")
+        assert isinstance(expr, N.ArrayLiteralAst)
+        assert len(expr.elements) == 3
+
+    def test_subexpression(self):
+        expr = expression_of("$(write-host hi)")
+        assert isinstance(expr, N.SubExpressionAst)
+
+    def test_array_expression(self):
+        expr = expression_of("@(1,2)")
+        assert isinstance(expr, N.ArrayExpressionAst)
+
+    def test_hashtable(self):
+        expr = expression_of("@{a=1; b='two'}")
+        assert isinstance(expr, N.HashtableAst)
+        assert len(expr.pairs) == 2
+
+    def test_scriptblock_expression(self):
+        expr = expression_of("{ write-host hi }")
+        assert isinstance(expr, N.ScriptBlockExpressionAst)
+
+    def test_bxor_string_operand(self):
+        expr = expression_of("$_ -bxor '0x4B'")
+        assert expr.operator == "-bxor"
+
+    def test_expandable_string(self):
+        expr = expression_of('"value $x"')
+        assert isinstance(expr, N.ExpandableStringExpressionAst)
+        assert expr.value == "value $x"
+
+
+class TestStatements:
+    def test_assignment(self):
+        statement = only_statement("$x = 'a'+'b'")
+        assert isinstance(statement, N.AssignmentStatementAst)
+        assert statement.left.name == "x"
+        assert statement.operator == "="
+
+    def test_compound_assignment(self):
+        statement = only_statement("$x += 1")
+        assert statement.operator == "+="
+
+    def test_if_elseif_else(self):
+        statement = only_statement(
+            "if ($a) { 'x' } elseif ($b) { 'y' } else { 'z' }"
+        )
+        assert isinstance(statement, N.IfStatementAst)
+        assert len(statement.clauses) == 2
+        assert statement.else_body is not None
+
+    def test_while(self):
+        statement = only_statement("while ($true) { break }")
+        assert isinstance(statement, N.WhileStatementAst)
+
+    def test_do_while(self):
+        statement = only_statement("do { $i++ } while ($i -lt 5)")
+        assert isinstance(statement, N.DoWhileStatementAst)
+        assert not statement.until
+
+    def test_do_until(self):
+        statement = only_statement("do { $i++ } until ($i -gt 5)")
+        assert statement.until
+
+    def test_for(self):
+        statement = only_statement("for ($i=0; $i -lt 3; $i++) { $i }")
+        assert isinstance(statement, N.ForStatementAst)
+        assert statement.initializer is not None
+        assert statement.condition is not None
+        assert statement.iterator is not None
+
+    def test_foreach(self):
+        statement = only_statement("foreach ($i in 1..3) { $i }")
+        assert isinstance(statement, N.ForEachStatementAst)
+        assert statement.variable.name == "i"
+
+    def test_function_definition(self):
+        statement = only_statement("function Get-X($a, $b) { $a + $b }")
+        assert isinstance(statement, N.FunctionDefinitionAst)
+        assert statement.name == "Get-X"
+        assert len(statement.parameters) == 2
+
+    def test_return(self):
+        ast = parse("function f { return 42 }")
+        function = ast.statements[0]
+        inner = function.body.statements[0]
+        assert isinstance(inner, N.ReturnStatementAst)
+
+    def test_try_catch_finally(self):
+        statement = only_statement(
+            "try { a } catch { b } finally { c }"
+        )
+        assert isinstance(statement, N.TryStatementAst)
+        assert len(statement.catches) == 1
+        assert statement.finally_body is not None
+
+    def test_switch(self):
+        statement = only_statement(
+            "switch ($x) { 1 { 'one' } default { 'other' } }"
+        )
+        assert isinstance(statement, N.SwitchStatementAst)
+        assert len(statement.clauses) == 1
+        assert statement.default is not None
+
+    def test_multiple_statements(self):
+        ast = parse("$a = 1\n$b = 2\nwrite-host $a")
+        assert len(ast.statements) == 3
+
+    def test_param_block(self):
+        ast = parse("param($url, $count = 3)\nwrite-host $url")
+        assert ast.param_block is not None
+        assert len(ast.param_block.parameters) == 2
+
+
+class TestExtents:
+    def test_root_extent_spans_source(self):
+        source = "  write-host hello  "
+        ast = parse(source)
+        assert ast.start == 0
+        assert ast.end == len(source)
+
+    def test_every_node_extent_is_within_source(self):
+        source = (
+            "$a = ('x'+'y').Replace('x','z')\n"
+            "if ($a) { write-host $a[0] }"
+        )
+        ast = parse(source)
+        for node in ast.walk_pre_order():
+            assert 0 <= node.start <= node.end <= len(source)
+
+    def test_children_within_parent_extent(self):
+        source = "iex (('a'+'b') + $c)"
+        ast = parse(source)
+        for node in ast.walk_pre_order():
+            for child in node.children():
+                assert node.start <= child.start
+                assert child.end <= node.end
+
+    def test_node_text(self):
+        source = "$x = 'a'+'b'"
+        ast = parse(source)
+        statement = ast.statements[0]
+        assert statement.text(source) == source
+
+    def test_parent_links(self):
+        ast = parse("write-host ('a'+'b')")
+        for node in ast.walk_pre_order():
+            for child in node.children():
+                assert child.parent is node
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "write-host (",
+            "if ($x { }",
+            "'unterminated",
+            "@{ key = }",
+            "foreach (x in $y) { }",
+        ],
+    )
+    def test_invalid_raises(self, source):
+        with pytest.raises(Exception):
+            parse(source)
+
+    def test_try_parse_reports_error(self):
+        ast, error = try_parse("write-host (")
+        assert ast is None
+        assert error
+
+    def test_try_parse_ok(self):
+        ast, error = try_parse("write-host hi")
+        assert error is None
+        assert isinstance(ast, N.ScriptBlockAst)
+
+
+class TestRecoverableNodeTaxonomy:
+    def test_recoverable_types_exported(self):
+        assert N.PipelineAst in N.RECOVERABLE_NODE_TYPES
+        assert N.BinaryExpressionAst in N.RECOVERABLE_NODE_TYPES
+        assert N.InvokeMemberExpressionAst in N.RECOVERABLE_NODE_TYPES
+        assert N.SubExpressionAst in N.RECOVERABLE_NODE_TYPES
+        assert N.ConvertExpressionAst in N.RECOVERABLE_NODE_TYPES
+        assert N.UnaryExpressionAst in N.RECOVERABLE_NODE_TYPES
+
+    def test_find_all_recoverable(self):
+        ast = parse("iex ('a'+'b')")
+        found = [
+            node
+            for node in ast.walk_pre_order()
+            if isinstance(node, N.RECOVERABLE_NODE_TYPES)
+        ]
+        assert found

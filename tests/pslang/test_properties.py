@@ -1,0 +1,128 @@
+"""Property-based tests on the language front-end invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reformat import reformat_script
+from repro.pslang.errors import PSSyntaxError
+from repro.pslang.parser import try_parse
+from repro.pslang.tokenizer import try_tokenize
+from repro.runtime.errors import EvaluationError
+from repro.runtime.evaluator import evaluate_expression_text
+
+# A generator of small valid-ish PowerShell snippets via composition.
+_IDENT = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_STRING = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           blacklist_characters="'`\"$"),
+    max_size=12,
+)
+_NUMBER = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return "'" + draw(_STRING) + "'"
+        if kind == 1:
+            return str(draw(_NUMBER))
+        return "$" + draw(_IDENT)
+    kind = draw(st.integers(0, 3))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    if kind == 0:
+        return f"({left} + {right})"
+    if kind == 1:
+        return f"({left}, {right})"
+    if kind == 2:
+        return f"({left} -eq {right})"
+    return f"({left})"
+
+
+@st.composite
+def statements(draw):
+    kind = draw(st.integers(0, 2))
+    expression = draw(expressions())
+    if kind == 0:
+        return expression
+    if kind == 1:
+        return f"${draw(_IDENT)} = {expression}"
+    return f"write-output {expression}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(statements())
+def test_generated_statements_tokenize_and_parse(statement):
+    tokens, lex_error = try_tokenize(statement)
+    assert tokens is not None, lex_error
+    ast, parse_error = try_parse(statement)
+    assert ast is not None, parse_error
+
+
+@settings(max_examples=80, deadline=None)
+@given(statements())
+def test_extents_partition_invariant(statement):
+    ast, _ = try_parse(statement)
+    assert ast is not None
+    for node in ast.walk_pre_order():
+        children = sorted(node.children(), key=lambda c: c.start)
+        for child in children:
+            assert node.start <= child.start <= child.end <= node.end
+        for first, second in zip(children, children[1:]):
+            assert first.end <= second.start  # disjoint siblings
+
+
+@settings(max_examples=60, deadline=None)
+@given(statements())
+def test_reformat_is_parse_stable(statement):
+    reformatted = reformat_script(statement)
+    ast, error = try_parse(reformatted)
+    assert ast is not None, (statement, reformatted, error)
+
+
+@settings(max_examples=60, deadline=None)
+@given(statements())
+def test_reformat_idempotent(statement):
+    once = reformat_script(statement)
+    assert reformat_script(once) == once
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=40,
+    )
+)
+def test_tokenizer_never_crashes_unexpectedly(source):
+    """Arbitrary printable input either tokenizes or raises PSSyntaxError
+    via the try_ wrapper — never anything else."""
+    tokens, error = try_tokenize(source)
+    assert (tokens is None) == (error is not None)
+    if tokens is not None:
+        for token in tokens:
+            assert 0 <= token.start <= token.end <= len(source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=16,
+    ).filter(lambda s: "'" not in s and "`" not in s)
+)
+def test_string_literal_evaluation_roundtrip(text):
+    """A single-quoted literal always evaluates back to its content."""
+    value = evaluate_expression_text("'" + text + "'")
+    assert value == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_arithmetic_matches_python(a, b):
+    assert evaluate_expression_text(f"{a} + {b}") == a + b
+    assert evaluate_expression_text(f"({a}) * 2") == a * 2

@@ -1,0 +1,128 @@
+"""Tests for AST traversal helpers (the Algorithm 1 plumbing)."""
+
+from repro.pslang import ast_nodes as N
+from repro.pslang import parse
+from repro.pslang.visitor import (
+    ancestors,
+    enclosing,
+    find_all,
+    in_conditional,
+    in_function,
+    in_loop,
+    post_order,
+    pre_order,
+    scope_depth,
+    scope_path,
+)
+
+
+class TestTraversalOrders:
+    def test_post_order_children_first(self):
+        ast = parse("write-host ('a'+'b')")
+        seen = list(post_order(ast))
+        binary = next(
+            n for n in seen if isinstance(n, N.BinaryExpressionAst)
+        )
+        paren = next(n for n in seen if isinstance(n, N.ParenExpressionAst))
+        assert seen.index(binary) < seen.index(paren)
+        assert seen[-1] is ast
+
+    def test_pre_order_root_first(self):
+        ast = parse("$a = 1")
+        assert next(iter(pre_order(ast))) is ast
+
+    def test_post_order_matches_source_order_for_siblings(self):
+        ast = parse("$a = 1\n$b = 2")
+        assignments = [
+            n
+            for n in post_order(ast)
+            if isinstance(n, N.AssignmentStatementAst)
+        ]
+        assert assignments[0].start < assignments[1].start
+
+
+class TestAncestry:
+    def test_ancestors_chain(self):
+        ast = parse("if ($c) { write-host ('a'+'b') }")
+        binary = find_all(ast, N.BinaryExpressionAst)[0]
+        chain = list(ancestors(binary))
+        assert chain[-1] is ast
+        assert any(isinstance(a, N.IfStatementAst) for a in chain)
+
+    def test_enclosing(self):
+        ast = parse("while ($true) { $x }")
+        variable = [
+            v
+            for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "x"
+        ][0]
+        assert isinstance(
+            enclosing(variable, N.WhileStatementAst), N.WhileStatementAst
+        )
+        assert enclosing(variable, N.ForEachStatementAst) is None
+
+
+class TestContextPredicates:
+    def test_in_loop(self):
+        ast = parse("foreach ($i in 1..2) { $body }")
+        body_var = [
+            v
+            for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "body"
+        ][0]
+        assert in_loop(body_var)
+
+    def test_not_in_loop(self):
+        ast = parse("$x = 1")
+        variable = find_all(ast, N.VariableExpressionAst)[0]
+        assert not in_loop(variable)
+
+    def test_in_conditional(self):
+        ast = parse("if ($c) { $x }")
+        inner = [
+            v for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "x"
+        ][0]
+        assert in_conditional(inner)
+
+    def test_in_function(self):
+        ast = parse("function F { $inner }")
+        inner = find_all(ast, N.VariableExpressionAst)[0]
+        assert in_function(inner)
+
+    def test_do_while_counts_as_loop(self):
+        ast = parse("do { $x } while ($c)")
+        inner = [
+            v for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "x"
+        ][0]
+        assert in_loop(inner)
+
+
+class TestScopePaths:
+    def test_deeper_scope_longer_path(self):
+        ast = parse("$a = 1; if ($c) { $b = 2 }")
+        a_node = [
+            v for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "a"
+        ][0]
+        b_node = [
+            v for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "b"
+        ][0]
+        assert scope_depth(b_node) > scope_depth(a_node)
+        assert scope_path(b_node)[: len(scope_path(a_node))] == scope_path(
+            a_node
+        )
+
+    def test_sibling_blocks_have_distinct_paths(self):
+        ast = parse("if ($c) { $a = 1 } else { $b = 2 }")
+        a_node = [
+            v for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "a"
+        ][0]
+        b_node = [
+            v for v in find_all(ast, N.VariableExpressionAst)
+            if v.name == "b"
+        ][0]
+        assert scope_path(a_node) != scope_path(b_node)

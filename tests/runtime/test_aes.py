@@ -1,0 +1,97 @@
+"""AES substrate tests against FIPS-197 vectors plus property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.aes import (
+    _expand_key,
+    decrypt_block,
+    decrypt_cbc,
+    encrypt_block,
+    encrypt_cbc,
+)
+
+
+class TestFIPSVectors:
+    def test_aes128_block(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        round_keys = _expand_key(key)
+        ciphertext = encrypt_block(plaintext, round_keys)
+        assert ciphertext == bytes.fromhex(
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        )
+        assert decrypt_block(ciphertext, round_keys) == plaintext
+
+    def test_aes192_block(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617"
+        )
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        round_keys = _expand_key(key)
+        ciphertext = encrypt_block(plaintext, round_keys)
+        assert ciphertext == bytes.fromhex(
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+        )
+        assert decrypt_block(ciphertext, round_keys) == plaintext
+
+    def test_aes256_block(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        )
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        round_keys = _expand_key(key)
+        ciphertext = encrypt_block(plaintext, round_keys)
+        assert ciphertext == bytes.fromhex(
+            "8ea2b7ca516745bfeafc49904b496089"
+        )
+        assert decrypt_block(ciphertext, round_keys) == plaintext
+
+
+class TestCBC:
+    def test_roundtrip(self):
+        key = b"0123456789abcdef"
+        iv = bytes(range(16))
+        message = b"attack at dawn" * 5
+        assert decrypt_cbc(encrypt_cbc(message, key, iv), key, iv) == message
+
+    def test_empty_plaintext(self):
+        key = b"0123456789abcdef"
+        iv = bytes(16)
+        assert decrypt_cbc(encrypt_cbc(b"", key, iv), key, iv) == b""
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            encrypt_cbc(b"x", b"short", bytes(16))
+
+    def test_bad_iv_length(self):
+        with pytest.raises(ValueError):
+            encrypt_cbc(b"x", b"0123456789abcdef", b"short")
+
+    def test_unaligned_ciphertext(self):
+        with pytest.raises(ValueError):
+            decrypt_cbc(b"123", b"0123456789abcdef", bytes(16))
+
+    def test_tampered_padding_detected(self):
+        key = b"0123456789abcdef"
+        iv = bytes(16)
+        ciphertext = bytearray(encrypt_cbc(b"hello", key, iv))
+        ciphertext[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            decrypt_cbc(bytes(ciphertext), key, iv)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    message=st.binary(min_size=0, max_size=200),
+    key=st.sampled_from([16, 24, 32]),
+)
+def test_cbc_roundtrip_property(message, key):
+    key_bytes = bytes(range(1, key + 1))
+    iv = bytes(range(100, 116))
+    assert (
+        decrypt_cbc(encrypt_cbc(message, key_bytes, iv), key_bytes, iv)
+        == message
+    )

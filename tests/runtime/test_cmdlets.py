@@ -1,0 +1,144 @@
+"""Tests for cmdlet implementations and parameter binding."""
+
+import base64
+
+import pytest
+
+from repro.runtime.errors import (
+    BlockedCommandError,
+    EvaluationError,
+    UnsupportedOperationError,
+)
+from repro.runtime.evaluator import Evaluator, evaluate_expression_text as ev
+from repro.runtime.values import ScriptBlockValue
+
+
+class TestParameterBinding:
+    def test_named_with_value(self):
+        assert ev("select-object -First 2 -InputObject 0; 1,2,3 | select-object -First 2") == [1, 2]
+
+    def test_switch_parameter(self):
+        assert ev("3,1,2 | sort-object -Descending") == [3, 2, 1]
+
+    def test_colon_attached_argument(self):
+        assert ev("1,2,3 | select-object -First:2") == [1, 2]
+
+    def test_prefix_matching_for_powershell(self):
+        blob = base64.b64encode("5+5".encode("utf-16-le")).decode()
+        for flag in ("-e", "-en", "-enco", "-encodedCommand"):
+            assert ev(f"powershell {flag} {blob}") == 10
+
+
+class TestForEachWhere:
+    def test_foreach_member_name(self):
+        assert ev("'ab','cde' | foreach-object Length") == [2, 3]
+
+    def test_where_filters(self):
+        assert ev("'a','bb','ccc' | where-object { $_.Length -ge 2 }") == [
+            "bb", "ccc",
+        ]
+
+    def test_foreach_scriptblock_sees_dollar_underscore(self):
+        assert ev("'x' | foreach-object { $_ + '!' }") == "x!"
+
+
+class TestVariableCmdlets:
+    def test_get_variable_valueonly(self):
+        assert ev("$v = 7; get-variable v -ValueOnly") == 7
+
+    def test_get_variable_record(self):
+        record = ev("$v = 7; get-variable v")
+        assert record == {"Name": "v", "Value": 7}
+
+    def test_set_variable(self):
+        assert ev("set-variable -Name n -Value 3; $n") == 3
+
+
+class TestOutputCmdlets:
+    def test_out_string_joins(self):
+        assert ev("'a','b' | out-string") == "a\r\nb"
+
+    def test_write_host_goes_to_host(self):
+        evaluator = Evaluator()
+        evaluator.run_script_text("write-host one two")
+        assert evaluator.host.output == ["one two"]
+
+    def test_out_file_records_effect(self):
+        evaluator = Evaluator(enforce_blocklist=False)
+        evaluator.run_script_text("'data' | out-file C:\\t\\x.txt")
+        assert evaluator.host.effects[0].kind == "fs.write"
+
+
+class TestSecureStringCmdlets:
+    def test_plaintext_roundtrip(self):
+        script = (
+            "$s = ConvertTo-SecureString 'pw' -AsPlainText -Force\n"
+            "[Runtime.InteropServices.Marshal]::PtrToStringAuto("
+            "[Runtime.InteropServices.Marshal]::SecureStringToBSTR($s))"
+        )
+        assert ev(script) == "pw"
+
+    def test_keyed_roundtrip_through_cmdlets(self):
+        script = (
+            "$k = (1..16)\n"
+            "$enc = ConvertTo-SecureString 'secret' -AsPlainText -Force |"
+            " ConvertFrom-SecureString -Key $k\n"
+            "$back = ConvertTo-SecureString $enc -Key $k\n"
+            "[Runtime.InteropServices.Marshal]::PtrToStringAuto("
+            "[Runtime.InteropServices.Marshal]::SecureStringToBSTR($back))"
+        )
+        assert ev(script) == "secret"
+
+
+class TestPathCmdlets:
+    def test_join_path(self):
+        assert ev("join-path 'C:\\a' 'b.txt'") == "C:\\a\\b.txt"
+
+    def test_split_path_leaf(self):
+        assert ev("split-path 'C:\\a\\b.ps1' -Leaf") == "b.ps1"
+
+    def test_test_path_false(self):
+        assert ev("test-path 'C:\\anything'") is False
+
+
+class TestChildShell:
+    def test_inline_command(self):
+        assert ev("powershell -c '1+2'") == 3
+
+    def test_pipeline_input(self):
+        assert ev("'4+4' | powershell") == 8
+
+    def test_path_prefixed_exe(self):
+        blob = base64.b64encode("9".encode("utf-16-le")).decode()
+        assert ev(
+            f"C:\\Windows\\System32\\WindowsPowerShell\\v1.0\\powershell.exe"
+            f" -e {blob}"
+        ) == 9
+
+
+class TestStartSleep:
+    def test_records_without_sleeping(self):
+        evaluator = Evaluator(enforce_blocklist=False)
+        evaluator.run_script_text("start-sleep -Seconds 30")
+        assert evaluator.host.effects[0].kind == "time.sleep"
+        assert evaluator.host.effects[0].target == "30.0"
+
+    def test_blocked_under_blocklist(self):
+        with pytest.raises(BlockedCommandError):
+            ev("start-sleep 1")
+
+
+class TestErrorContinuation:
+    def test_continue_on_error(self):
+        evaluator = Evaluator(
+            enforce_blocklist=False, continue_on_error=True
+        )
+        outputs = evaluator.run_script_text(
+            "Invoke-Nonexistent\n'survived'"
+        )
+        assert outputs == ["survived"]
+
+    def test_strict_mode_raises(self):
+        evaluator = Evaluator(enforce_blocklist=False)
+        with pytest.raises(EvaluationError):
+            evaluator.run_script_text("Invoke-Nonexistent\n'survived'")

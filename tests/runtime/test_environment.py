@@ -1,0 +1,49 @@
+"""Tests for environment/automatic variables (obfuscator char mines)."""
+
+from repro.runtime.environment import (
+    is_automatic,
+    lookup_automatic,
+    lookup_environment,
+    split_scope_prefix,
+)
+
+
+class TestEnvironment:
+    def test_comspec(self):
+        assert lookup_environment("ComSpec").endswith("cmd.exe")
+
+    def test_case_insensitive(self):
+        assert lookup_environment("COMSPEC") == lookup_environment("comspec")
+
+    def test_unknown_is_none(self):
+        assert lookup_environment("NO_SUCH_VAR_12345") is None
+
+
+class TestAutomaticVariables:
+    def test_true_false_null(self):
+        assert lookup_automatic("true") is True
+        assert lookup_automatic("FALSE") is False
+        assert lookup_automatic("null") is None
+
+    def test_pshome_char_mine(self):
+        pshome = lookup_automatic("pshome")
+        # The classic recipe must spell 'iex' (paper Section III-B4).
+        assert pshome[4] + pshome[30] + "x" == "iex"
+
+    def test_shellid(self):
+        assert lookup_automatic("shellid") == "Microsoft.PowerShell"
+
+    def test_is_automatic(self):
+        assert is_automatic("PSHome")
+        assert not is_automatic("myvariable")
+
+
+class TestScopePrefixes:
+    def test_env_prefix(self):
+        assert split_scope_prefix("env:Path") == ("env", "Path")
+
+    def test_global_prefix(self):
+        assert split_scope_prefix("GLOBAL:x") == ("global", "x")
+
+    def test_plain_name(self):
+        assert split_scope_prefix("plain") == (None, "plain")

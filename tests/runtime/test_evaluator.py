@@ -1,0 +1,342 @@
+"""Integration-grade tests for the sandboxed evaluator."""
+
+import base64
+import zlib
+
+import pytest
+
+from repro.runtime.errors import (
+    BlockedCommandError,
+    EvaluationError,
+    StepLimitError,
+    UnknownVariableError,
+    UnsupportedOperationError,
+)
+from repro.runtime.evaluator import Evaluator, evaluate_expression_text
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.values import PSChar
+
+
+def ev(text, **kwargs):
+    return evaluate_expression_text(text, **kwargs)
+
+
+class TestLiterals:
+    def test_string(self):
+        assert ev("'hello'") == "hello"
+
+    def test_number(self):
+        assert ev("42") == 42
+
+    def test_array(self):
+        assert ev("1,2,3") == [1, 2, 3]
+
+    def test_hashtable(self):
+        assert ev("@{a=1}") == {"a": 1}
+
+    def test_expandable_string(self):
+        assert ev('"n=$(1+1)"') == "n=2"
+
+
+class TestStringRecovery:
+    """The expression shapes every Table II technique produces."""
+
+    def test_concat(self):
+        assert ev("'wri'+'te-ho'+'st'") == "write-host"
+
+    def test_format_reorder(self):
+        assert (
+            ev("\"{2}{0}{1}\" -f 'ost h','ello','write-h'")
+            == "write-host hello"
+        )
+
+    def test_replace_method(self):
+        assert ev("'wrXte-host'.Replace('X','i')") == "write-host"
+
+    def test_replace_operator(self):
+        assert ev("'wrXte-host' -replace 'x','i'") == "write-host"
+
+    def test_reverse_via_index(self):
+        assert ev("'tsoh-etirw'[-1..-10] -join ''") == "write-host"
+
+    def test_reverse_via_array_reverse(self):
+        script = (
+            "$a = 'tsoh'.ToCharArray(); [array]::Reverse($a); $a -join ''"
+        )
+        assert ev(script) == "host"
+
+    def test_ascii_codes(self):
+        assert ev("[char]104+[char]105") == "hi"
+
+    def test_ascii_join_pipeline(self):
+        assert (
+            ev("(104,105 | foreach-object { [char]$_ }) -join ''") == "hi"
+        )
+
+    def test_bxor_decode(self):
+        # 'h' ^ 0x4B = 35, 'i' ^ 0x4B = 34 -> encode then decode.
+        encoded = ",".join(str(ord(c) ^ 0x4B) for c in "hi")
+        script = (
+            f"(('{encoded}' -split ',') | foreach-object "
+            "{ [char]($_ -bxor '0x4B') }) -join ''"
+        )
+        assert ev(script) == "hi"
+
+    def test_base64(self):
+        payload = base64.b64encode("hello".encode()).decode()
+        assert (
+            ev(
+                "[Text.Encoding]::UTF8.GetString("
+                f"[Convert]::FromBase64String('{payload}'))"
+            )
+            == "hello"
+        )
+
+    def test_base64_unicode(self):
+        payload = base64.b64encode("hi".encode("utf-16-le")).decode()
+        assert (
+            ev(
+                "[Text.Encoding]::Unicode.GetString("
+                f"[Convert]::FromBase64String('{payload}'))"
+            )
+            == "hi"
+        )
+
+    def test_binary_encoding(self):
+        assert ev("[char][convert]::ToInt32('1101000',2)") == PSChar("h")
+
+    def test_octal_encoding(self):
+        assert ev("[char][convert]::ToInt32('150',8)") == PSChar("h")
+
+    def test_hex_encoding(self):
+        assert ev("[char][convert]::ToInt32('68',16)") == PSChar("h")
+
+    def test_deflate(self):
+        compressor = zlib.compressobj(9, zlib.DEFLATED, -15)
+        data = compressor.compress(b"payload text") + compressor.flush()
+        b64 = base64.b64encode(data).decode()
+        script = (
+            "(New-Object IO.StreamReader((New-Object "
+            "IO.Compression.DeflateStream((New-Object IO.MemoryStream("
+            f",[Convert]::FromBase64String('{b64}'))),"
+            "[IO.Compression.CompressionMode]::Decompress)),"
+            "[Text.Encoding]::ASCII)).ReadToEnd()"
+        )
+        assert ev(script) == "payload text"
+
+    def test_env_char_mining(self):
+        assert ev("$env:ComSpec[4,24,25] -join ''") == "Iex"
+
+    def test_pshome_char_mining(self):
+        assert ev("$pshome[4]+$pshome[30]+'x'") == "iex"
+
+
+class TestVariables:
+    def test_assignment_and_read(self):
+        assert ev("$x = 5; $x + 1") == 6
+
+    def test_compound_assignment(self):
+        assert ev("$x = 5; $x += 2; $x") == 7
+
+    def test_case_insensitive(self):
+        assert ev("$Foo = 1; $fOO") == 1
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("$nosuchvariable123.Length")
+
+    def test_unknown_variable_expands_empty_in_string(self):
+        assert ev('"[$nope]"') == "[]"
+
+    def test_preset_variables(self):
+        assert ev("$seed + 1", variables={"seed": 10}) == 11
+
+    def test_automatic_true_false_null(self):
+        assert ev("$true") is True
+        assert ev("$false") is False
+        assert ev("$null") is None
+
+    def test_env_assignment(self):
+        assert ev("$env:custom = 'v'; $env:custom") == "v"
+
+    def test_braced_variable(self):
+        assert ev("${my var} = 3; ${my var}") == 3
+
+
+class TestControlFlow:
+    def test_if(self):
+        assert ev("if (1 -eq 1) { 'yes' } else { 'no' }") == "yes"
+
+    def test_else(self):
+        assert ev("if (1 -eq 2) { 'yes' } else { 'no' }") == "no"
+
+    def test_while(self):
+        assert ev("$i=0; while ($i -lt 3) { $i++ }; $i") == 3
+
+    def test_for(self):
+        assert ev("$s=0; for($i=1; $i -le 4; $i++){ $s += $i }; $s") == 10
+
+    def test_foreach(self):
+        assert ev("$s=''; foreach($c in 'a','b'){ $s += $c }; $s") == "ab"
+
+    def test_break(self):
+        assert ev("$i=0; while ($true) { $i++; if ($i -ge 2) { break } }; $i") == 2
+
+    def test_do_until(self):
+        assert ev("$i=0; do { $i++ } until ($i -ge 3); $i") == 3
+
+    def test_function_definition_and_call(self):
+        assert ev("function Add-Two($a, $b) { $a + $b }; Add-Two 3 4") == 7
+
+    def test_function_return(self):
+        assert ev("function F { return 9; 10 }; F") == 9
+
+    def test_try_catch(self):
+        assert ev("try { throw 'x' } catch { 'caught' }") == "caught"
+
+    def test_switch(self):
+        assert ev("switch (2) { 1 { 'one' } 2 { 'two' } }") == "two"
+
+    def test_infinite_loop_hits_budget(self):
+        budget = ExecutionBudget(loop_limit=50)
+        with pytest.raises(StepLimitError):
+            ev("while ($true) { $x = 1 }", budget=budget)
+
+
+class TestPipelines:
+    def test_foreach_object(self):
+        assert ev("1..3 | foreach-object { $_ * $_ }") == [1, 4, 9]
+
+    def test_percent_alias(self):
+        assert ev("1..3 | % { $_ + 1 }") == [2, 3, 4]
+
+    def test_where_object(self):
+        assert ev("1..5 | where-object { $_ -gt 3 }") == [4, 5]
+
+    def test_select_first(self):
+        assert ev("1..10 | select-object -First 3") == [1, 2, 3]
+
+    def test_sort(self):
+        assert ev("3,1,2 | sort-object") == [1, 2, 3]
+
+    def test_out_null(self):
+        assert ev("1..3 | out-null") is None
+
+    def test_write_output(self):
+        assert ev("write-output 'a' 'b'") == ["a", "b"]
+
+
+class TestInvokeExpression:
+    def test_basic(self):
+        assert ev("iex '1+1'") == 2
+
+    def test_pipeline_into_iex(self):
+        assert ev("'2+3' | iex") == 5
+
+    def test_call_operator_with_string(self):
+        assert ev("& 'iex' '4+4'") == 8
+
+    def test_dot_call(self):
+        assert ev(".('ie'+'x') '5+5'") == 10
+
+    def test_scriptblock_invoke(self):
+        assert ev("{ param($n) $n * 2 }.Invoke(21)") == 42
+
+    def test_scriptblock_create(self):
+        assert ev("[scriptblock]::Create('6*7').Invoke()") == 42
+
+
+class TestEncodedCommand:
+    def test_powershell_enc(self):
+        encoded = base64.b64encode("'run'".encode("utf-16-le")).decode()
+        assert ev(f"powershell -e {encoded}") == "run"
+
+    def test_prefix_variants(self):
+        encoded = base64.b64encode("1+1".encode("utf-16-le")).decode()
+        for flag in ("-e", "-en", "-enc", "-encodedcommand", "-eNC"):
+            assert ev(f"powershell {flag} {encoded}") == 2
+
+    def test_command_flag(self):
+        assert ev("powershell -command \"7+7\"") == 14
+
+
+class TestBlocklist:
+    def test_blocked_command(self):
+        with pytest.raises(BlockedCommandError):
+            ev("start-sleep 5")
+
+    def test_blocked_alias(self):
+        with pytest.raises(BlockedCommandError):
+            ev("sleep 5")
+
+    def test_blocked_method(self):
+        with pytest.raises(BlockedCommandError):
+            ev("(New-Object Net.WebClient).DownloadString('http://x/')")
+
+    def test_blocklist_off_records_effect(self):
+        evaluator = Evaluator(enforce_blocklist=False)
+        evaluator.run_script_text(
+            "(New-Object Net.WebClient).DownloadString('http://x.test/')"
+        )
+        kinds = [e.kind for e in evaluator.host.effects]
+        assert kinds == ["net.download_string"]
+
+    def test_unknown_command_is_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            ev("invoke-mysterycommand")
+
+    def test_nondeterministic_cmdlets_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            ev("get-random")
+
+
+class TestDynamicAliases:
+    def test_set_alias_then_call(self):
+        assert ev("set-alias zz write-output; zz 'hi'") == "hi"
+
+    def test_set_alias_to_iex(self):
+        assert ev("sal qq invoke-expression; qq '1+2'") == 3
+
+
+class TestMethodDispatch:
+    def test_case_insensitive_method(self):
+        assert ev("'aXa'.RepLACe('X','b')") == "aba"
+
+    def test_method_name_via_string(self):
+        assert ev("'hello'.ToUpper()") == "HELLO"
+
+    def test_substring(self):
+        assert ev("'powershell'.Substring(0,5)") == "power"
+
+    def test_split_method(self):
+        assert ev("'a-b-c'.Split('-')") == ["a", "b", "c"]
+
+    def test_chars(self):
+        assert ev("'abc'[1]") == PSChar("b")
+
+    def test_length(self):
+        assert ev("'abc'.Length") == 3
+
+    def test_array_count(self):
+        assert ev("(1,2,3).Count") == 3
+
+    def test_unsupported_method(self):
+        with pytest.raises(UnsupportedOperationError):
+            ev("'x'.FrobnicateWildly()")
+
+
+class TestStringExpansion:
+    def test_variable(self):
+        assert ev("$n = 'world'; \"hello $n\"") == "hello world"
+
+    def test_subexpression(self):
+        assert ev('"sum=$(1+2+3)"') == "sum=6"
+
+    def test_braced(self):
+        assert ev("$x = 1; \"${x}2\"") == "12"
+
+    def test_env(self):
+        assert ev('"$env:ComSpec"').endswith("cmd.exe")
+
+    def test_dollar_alone(self):
+        assert ev('"100$"') == "100$"

@@ -1,0 +1,86 @@
+"""Tests for the SandboxHost effect recorder."""
+
+from repro.runtime.host import Effect, SandboxHost
+
+
+class TestEffect:
+    def test_host_extraction_from_url(self):
+        effect = Effect("net.download_string", "https://evil.test:8443/x")
+        assert effect.host == "evil.test"
+
+    def test_host_extraction_from_hostport(self):
+        effect = Effect("net.tcp_connect", "10.1.2.3:443")
+        assert effect.host == "10.1.2.3"
+
+    def test_non_network_effect_has_no_host(self):
+        assert Effect("fs.write", "C:\\x").host == ""
+
+    def test_frozen(self):
+        effect = Effect("net.x", "y")
+        try:
+            effect.kind = "other"
+            mutated = True
+        except Exception:
+            mutated = False
+        assert not mutated
+
+
+class TestSandboxHost:
+    def test_record_and_query(self):
+        host = SandboxHost()
+        host.record("net.download_string", "http://a.b/")
+        host.record("fs.write", "C:\\x")
+        assert len(host.effects) == 2
+        assert len(host.network_effects()) == 1
+        assert host.network_hosts() == ["a.b"]
+
+    def test_network_hosts_deduplicated_in_order(self):
+        host = SandboxHost()
+        host.record("net.download_string", "http://a.b/1")
+        host.record("net.download_string", "http://c.d/2")
+        host.record("net.download_string", "http://a.b/3")
+        assert host.network_hosts() == ["a.b", "c.d"]
+
+    def test_fetch_with_responses(self):
+        host = SandboxHost(responses={"http://x/": "BODY"})
+        assert host.fetch("http://x/") == "BODY"
+        assert host.fetch("http://unknown/") == ""
+
+    def test_default_response(self):
+        host = SandboxHost(default_response="fallback")
+        assert host.fetch("http://anything/") == "fallback"
+
+    def test_write_host_collects(self):
+        host = SandboxHost()
+        host.write_host("one")
+        host.write_host("two")
+        assert host.output == ["one", "two"]
+
+
+class TestVirtualFilesystem:
+    def test_write_read(self):
+        host = SandboxHost()
+        host.write_file("C:\\a.txt", "data")
+        assert host.read_file("c:\\A.TXT") == "data"
+
+    def test_append(self):
+        host = SandboxHost()
+        host.write_file("x", "a")
+        host.write_file("x", "b", append=True)
+        assert host.read_file("x") == "ab"
+
+    def test_quoted_paths_normalize(self):
+        host = SandboxHost()
+        host.write_file('"C:\\q.txt"', "v")
+        assert host.has_file("C:\\q.txt")
+
+    def test_delete(self):
+        host = SandboxHost()
+        host.write_file("gone", "x")
+        host.delete_file("gone")
+        assert not host.has_file("gone")
+        kinds = [e.kind for e in host.effects]
+        assert kinds == ["fs.write", "fs.delete"]
+
+    def test_read_missing_returns_none(self):
+        assert SandboxHost().read_file("nope") is None

@@ -1,0 +1,173 @@
+"""Tests for sandbox object types (streams, web client, builders)."""
+
+import zlib
+
+import pytest
+
+from repro.runtime.errors import UnsupportedOperationError
+from repro.runtime.host import SandboxHost
+from repro.runtime.objects import (
+    ArrayList,
+    DeflateStream,
+    Encoding,
+    GzipStream,
+    MemoryStream,
+    PSCredential,
+    StreamReader,
+    StringBuilder,
+    TcpClient,
+    WebClient,
+)
+
+
+class TestEncoding:
+    def test_utf8_roundtrip(self):
+        encoding = Encoding("utf8")
+        data = encoding.ps_call("GetBytes", ["héllo"])
+        assert encoding.ps_call("GetString", [data]) == "héllo"
+
+    def test_unicode_is_utf16le(self):
+        encoding = Encoding("unicode")
+        data = encoding.ps_call("GetBytes", ["hi"])
+        assert bytes(data) == b"h\x00i\x00"
+
+    def test_getstring_accepts_int_list(self):
+        encoding = Encoding("ascii")
+        assert encoding.ps_call("GetString", [[104, 105]]) == "hi"
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            Encoding("klingon")
+
+    def test_case_insensitive_method(self):
+        encoding = Encoding("utf8")
+        assert encoding.ps_call("getstring", [b"ok"]) == "ok"
+
+
+class TestMemoryStream:
+    def test_toarray(self):
+        stream = MemoryStream(b"abc")
+        assert bytes(stream.ps_call("ToArray", [])) == b"abc"
+
+    def test_write_then_read(self):
+        stream = MemoryStream()
+        stream.ps_call("Write", [b"xyz", 0, 3])
+        stream.ps_call("Seek", [0])
+        out = bytearray(3)
+        count = stream.ps_call("Read", [out, 0, 3])
+        assert count == 3
+        assert bytes(out) == b"xyz"
+
+    def test_length_member(self):
+        assert MemoryStream(b"abcd").ps_member("Length") == 4
+
+    def test_position_settable(self):
+        stream = MemoryStream(b"abcd")
+        stream.ps_set_member("Position", 2)
+        assert stream.ps_member("Position") == 2
+
+
+class TestDeflate:
+    def _deflated(self, payload: bytes) -> bytes:
+        compressor = zlib.compressobj(9, zlib.DEFLATED, -15)
+        return compressor.compress(payload) + compressor.flush()
+
+    def test_decompress_via_reader(self):
+        stream = MemoryStream(self._deflated(b"inflate me"))
+        deflate = DeflateStream(stream, "decompress")
+        reader = StreamReader(deflate, Encoding("ascii"))
+        assert reader.ps_call("ReadToEnd", []) == "inflate me"
+
+    def test_copyto(self):
+        stream = MemoryStream(self._deflated(b"data"))
+        deflate = DeflateStream(stream, "decompress")
+        target = MemoryStream()
+        deflate.ps_call("CopyTo", [target])
+        assert bytes(target.buffer) == b"data"
+
+    def test_compression_write(self):
+        sink = MemoryStream()
+        deflate = DeflateStream(sink, "compress")
+        deflate.ps_call("Write", [b"compress me please", 0, 18])
+        deflate.ps_call("Close", [])
+        assert zlib.decompress(bytes(sink.buffer), -15) == (
+            b"compress me please"
+        )
+
+    def test_gzip_roundtrip(self):
+        import gzip
+
+        blob = gzip.compress(b"gz payload")
+        stream = MemoryStream(blob)
+        reader = StreamReader(GzipStream(stream, "decompress"),
+                              Encoding("ascii"))
+        assert reader.ps_call("ReadToEnd", []) == "gz payload"
+
+    def test_garbage_input_raises(self):
+        from repro.runtime.errors import EvaluationError
+
+        deflate = DeflateStream(MemoryStream(b"not deflate"), "decompress")
+        with pytest.raises(EvaluationError):
+            deflate.decompressed()
+
+
+class TestWebClient:
+    def test_download_string_records_and_fetches(self):
+        host = SandboxHost(responses={"http://a/": "BODY"})
+        client = WebClient(host)
+        assert client.ps_call("DownloadString", ["http://a/"]) == "BODY"
+        assert host.effects[0].kind == "net.download_string"
+
+    def test_download_file_records_path(self):
+        host = SandboxHost()
+        client = WebClient(host)
+        client.ps_call("DownloadFile", ["http://a/x", r"C:\t\x.exe"])
+        assert host.effects[0].detail == r"C:\t\x.exe"
+
+    def test_headers_settable(self):
+        client = WebClient(SandboxHost())
+        headers = client.ps_member("Headers")
+        headers["User-Agent"] = "Mozilla"
+        assert client.ps_member("Headers")["User-Agent"] == "Mozilla"
+
+    def test_proxy_assignment(self):
+        client = WebClient(SandboxHost())
+        client.ps_set_member("Proxy", None)
+        assert client.ps_member("Proxy") is None
+
+
+class TestTcpClient:
+    def test_connect_records(self):
+        host = SandboxHost()
+        TcpClient(host, "10.0.0.1", 4444)
+        assert host.effects[0].target == "10.0.0.1:4444"
+        assert host.effects[0].host == "10.0.0.1"
+
+    def test_deferred_connect(self):
+        host = SandboxHost()
+        client = TcpClient(host)
+        client.ps_call("Connect", ["c2.evil", 443])
+        assert host.effects[0].target == "c2.evil:443"
+        assert client.ps_member("Connected") is True
+
+
+class TestBuilders:
+    def test_stringbuilder(self):
+        builder = StringBuilder("a")
+        builder.ps_call("Append", ["b"]).ps_call("Append", ["c"])
+        assert builder.ps_call("ToString", []) == "abc"
+
+    def test_arraylist(self):
+        array = ArrayList()
+        array.ps_call("Add", [1])
+        array.ps_call("Add", [2])
+        assert array.ps_member("Count") == 2
+        assert array.ps_call("ToArray", []) == [1, 2]
+
+    def test_credential(self):
+        from repro.runtime.securestring import SecureString
+
+        credential = PSCredential("admin", SecureString("hunter2"))
+        network = credential.ps_call("GetNetworkCredential", [])
+        assert network.ps_member("Password") == "hunter2"
+        assert network.ps_member("UserName") == "admin"

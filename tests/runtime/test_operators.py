@@ -1,0 +1,215 @@
+"""Unit tests for PowerShell operator semantics."""
+
+import pytest
+
+from repro.runtime.errors import EvaluationError, UnsupportedOperationError
+from repro.runtime.operators import binary_op, format_operator, unary_op
+from repro.runtime.values import PSChar
+
+
+class TestAddition:
+    def test_numbers(self):
+        assert binary_op("+", 1, 2) == 3
+
+    def test_string_concat(self):
+        assert binary_op("+", "a", "b") == "ab"
+
+    def test_string_plus_number(self):
+        assert binary_op("+", "a", 1) == "a1"
+
+    def test_number_plus_numeric_string(self):
+        assert binary_op("+", 1, "2") == 3
+
+    def test_char_plus_char_concatenates(self):
+        assert binary_op("+", PSChar("a"), PSChar("b")) == "ab"
+
+    def test_array_concat(self):
+        assert binary_op("+", [1], [2, 3]) == [1, 2, 3]
+
+    def test_array_plus_scalar(self):
+        assert binary_op("+", [1], 2) == [1, 2]
+
+    def test_hashtable_merge(self):
+        assert binary_op("+", {"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+
+
+class TestArithmetic:
+    def test_multiply_string(self):
+        assert binary_op("*", "ab", 3) == "ababab"
+
+    def test_multiply_array(self):
+        assert binary_op("*", [1, 2], 2) == [1, 2, 1, 2]
+
+    def test_integer_division_exact(self):
+        assert binary_op("/", 10, 2) == 5
+
+    def test_division_fraction(self):
+        assert binary_op("/", 7, 2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            binary_op("/", 1, 0)
+
+    def test_modulo(self):
+        assert binary_op("%", 7, 3) == 1
+
+
+class TestFormatOperator:
+    def test_reorder(self):
+        assert (
+            format_operator("{2}{0}{1}", ["ost h", "ello", "write-h"])
+            == "write-host hello"
+        )
+
+    def test_single_arg_scalar(self):
+        assert format_operator("{0}!", "hi") == "hi!"
+
+    def test_hex_spec(self):
+        assert format_operator("{0:X2}", [11]) == "0B"
+
+    def test_decimal_spec(self):
+        assert format_operator("{0:D4}", [7]) == "0007"
+
+    def test_alignment(self):
+        assert format_operator("{0,5}", ["ab"]) == "   ab"
+        assert format_operator("{0,-5}|", ["ab"]) == "ab   |"
+
+    def test_doubled_braces(self):
+        assert format_operator("{{{0}}}", ["x"]) == "{x}"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(EvaluationError):
+            format_operator("{3}", ["a"])
+
+
+class TestSplitJoin:
+    def test_binary_split(self):
+        assert binary_op("-split", "a,b,c", ",") == ["a", "b", "c"]
+
+    def test_split_is_case_insensitive(self):
+        assert binary_op("-split", "aXbxc", "x") == ["a", "b", "c"]
+
+    def test_csplit_case_sensitive(self):
+        assert binary_op("-csplit", "aXbxc", "x") == ["aXb", "c"]
+
+    def test_chained_split_flattens(self):
+        first = binary_op("-split", "a~b}c", "~")
+        assert binary_op("-split", first, "}") == ["a", "b", "c"]
+
+    def test_split_keeps_empties(self):
+        assert binary_op("-split", "a,,b", ",") == ["a", "", "b"]
+
+    def test_unary_split_whitespace(self):
+        assert unary_op("-split", " a  b\tc ") == ["a", "b", "c"]
+
+    def test_binary_join(self):
+        assert binary_op("-join", ["a", "b"], "-") == "a-b"
+
+    def test_unary_join(self):
+        assert unary_op("-join", ["a", "b", "c"]) == "abc"
+
+    def test_join_converts_elements(self):
+        assert binary_op("-join", [1, 2], "") == "12"
+
+
+class TestReplace:
+    def test_simple(self):
+        assert binary_op("-replace", "aXa", ["x", "y"]) == "aya"
+
+    def test_case_insensitive_default(self):
+        assert binary_op("-replace", "AbA", ["a", "z"]) == "zbz"
+
+    def test_creplace_case_sensitive(self):
+        assert binary_op("-creplace", "AbA", ["A", "z"]) == "zbz"
+        assert binary_op("-creplace", "aba", ["A", "z"]) == "aba"
+
+    def test_regex_groups(self):
+        assert binary_op("-replace", "a1b2", [r"(\d)", r"[$1]"]) == "a[1]b[2]"
+
+    def test_remove_when_no_replacement(self):
+        assert binary_op("-replace", "abc", "b") == "ac"
+
+
+class TestBitwise:
+    def test_bxor(self):
+        assert binary_op("-bxor", 5, 3) == 6
+
+    def test_bxor_hex_string_operand(self):
+        assert binary_op("-bxor", 0, "0x4B") == 75
+
+    def test_bxor_char(self):
+        assert binary_op("-bxor", PSChar("a"), 1) == 96
+
+    def test_band_bor(self):
+        assert binary_op("-band", 6, 3) == 2
+        assert binary_op("-bor", 6, 3) == 7
+
+    def test_shl_shr(self):
+        assert binary_op("-shl", 1, 4) == 16
+        assert binary_op("-shr", 16, 4) == 1
+
+
+class TestComparison:
+    def test_eq_case_insensitive(self):
+        assert binary_op("-eq", "ABC", "abc") is True
+
+    def test_ceq_case_sensitive(self):
+        assert binary_op("-ceq", "ABC", "abc") is False
+
+    def test_numeric(self):
+        assert binary_op("-gt", 5, 3) is True
+        assert binary_op("-le", 3, 3) is True
+
+    def test_numeric_with_string_rhs(self):
+        assert binary_op("-eq", 5, "5") is True
+
+    def test_array_lhs_filters(self):
+        assert binary_op("-eq", [1, 2, 1], 1) == [1, 1]
+
+    def test_like(self):
+        assert binary_op("-like", "PowerShell", "power*") is True
+        assert binary_op("-notlike", "x", "y*") is True
+
+    def test_match(self):
+        assert binary_op("-match", "abc123", r"\d+") is True
+        assert binary_op("-notmatch", "abc", r"\d") is True
+
+    def test_contains(self):
+        assert binary_op("-contains", ["a", "B"], "b") is True
+        assert binary_op("-notcontains", ["a"], "b") is True
+
+    def test_in(self):
+        assert binary_op("-in", "a", ["A", "b"]) is True
+
+
+class TestRange:
+    def test_ascending(self):
+        assert binary_op("..", 1, 4) == [1, 2, 3, 4]
+
+    def test_descending(self):
+        assert binary_op("..", -1, -3) == [-1, -2, -3]
+
+    def test_too_large_raises(self):
+        with pytest.raises(EvaluationError):
+            binary_op("..", 0, 10**7)
+
+
+class TestLogicalUnary:
+    def test_and_or_xor(self):
+        assert binary_op("-and", 1, 1) is True
+        assert binary_op("-or", 0, 1) is True
+        assert binary_op("-xor", 1, 1) is False
+
+    def test_not(self):
+        assert unary_op("-not", 0) is True
+        assert unary_op("!", "x") is False
+
+    def test_bnot(self):
+        assert unary_op("-bnot", 0) == -1
+
+    def test_unary_minus(self):
+        assert unary_op("-", "5") == -5
+
+    def test_unsupported_operator_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            binary_op("-frobnicate", 1, 2)

@@ -1,0 +1,82 @@
+"""SecureString round-trip tests (Table II's SecureString technique)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.errors import EvaluationError
+from repro.runtime.securestring import (
+    SecureString,
+    decrypt_securestring,
+    encrypt_securestring,
+    ptr_to_string,
+    securestring_to_bstr,
+)
+
+
+class TestKeyedRoundtrip:
+    def test_basic(self):
+        key = list(range(1, 17))
+        encrypted = encrypt_securestring("write-host hello", key)
+        assert decrypt_securestring(encrypted, key) == "write-host hello"
+
+    def test_256_bit_key(self):
+        key = list(range(32))
+        encrypted = encrypt_securestring("payload", key)
+        assert decrypt_securestring(encrypted, key) == "payload"
+
+    def test_header_matches_powershell(self):
+        encrypted = encrypt_securestring("x", list(range(16)))
+        assert encrypted.startswith("76492d1116743f0423413b16050a5345")
+
+    def test_wrong_key_fails(self):
+        encrypted = encrypt_securestring("secret", list(range(16)))
+        with pytest.raises((EvaluationError, ValueError)):
+            decrypt_securestring(encrypted, list(range(1, 17)))
+
+    def test_keyed_needs_key(self):
+        encrypted = encrypt_securestring("secret", list(range(16)))
+        with pytest.raises(EvaluationError):
+            decrypt_securestring(encrypted, None)
+
+    def test_bad_key_length(self):
+        with pytest.raises(EvaluationError):
+            encrypt_securestring("x", [1, 2, 3])
+
+
+class TestDpapiRoundtrip:
+    def test_basic(self):
+        encrypted = encrypt_securestring("no key here")
+        assert decrypt_securestring(encrypted) == "no key here"
+
+    def test_header(self):
+        encrypted = encrypt_securestring("x")
+        assert encrypted.startswith("01000000d08c9ddf")
+
+
+class TestMarshal:
+    def test_bstr_round_trip(self):
+        secure = SecureString("inner text")
+        pointer = securestring_to_bstr(secure)
+        assert ptr_to_string(pointer) == "inner text"
+
+    def test_ptr_rejects_garbage(self):
+        with pytest.raises(EvaluationError):
+            ptr_to_string("not a pointer")
+
+    def test_bstr_rejects_plain_string(self):
+        with pytest.raises(EvaluationError):
+            securestring_to_bstr("plain")
+
+
+class TestGarbageInput:
+    def test_not_a_ciphertext(self):
+        with pytest.raises(EvaluationError):
+            decrypt_securestring("hello world", list(range(16)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(min_size=0, max_size=100))
+def test_keyed_roundtrip_property(text):
+    key = list(range(1, 25))
+    assert decrypt_securestring(encrypt_securestring(text, key), key) == text

@@ -1,0 +1,166 @@
+"""Tests for static type members and instance member dispatch."""
+
+import pytest
+
+from repro.runtime.errors import EvaluationError, UnsupportedOperationError
+from repro.runtime.members import (
+    get_member,
+    invoke_dict_method,
+    invoke_list_method,
+    invoke_number_method,
+    invoke_string_method,
+    set_member,
+)
+from repro.runtime.statics import (
+    call_static,
+    get_static_property,
+    has_type,
+    normalize_type_name,
+    resolve_type,
+)
+from repro.runtime.values import PSChar
+
+
+class TestTypeNameNormalization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("[System.Convert]", "convert"),
+            ("Convert", "convert"),
+            ("TEXT.ENCODING", "text.encoding"),
+            ("sYsTeM.tExT.eNcOdInG", "text.encoding"),
+            ("cH`AR", "char"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_type_name(raw) == expected
+
+    def test_synonyms(self):
+        assert resolve_type("int") == "int32"
+        assert resolve_type("Text.UnicodeEncoding") == "text.encoding"
+
+    def test_has_type(self):
+        assert has_type("convert")
+        assert not has_type("System.Frobnicator")
+
+
+class TestConvertStatics:
+    def test_base64_roundtrip(self):
+        blob = call_static("convert", "ToBase64String", [b"data"])
+        assert bytes(call_static("convert", "FromBase64String", [blob])) == (
+            b"data"
+        )
+
+    def test_toint32_radix(self):
+        assert call_static("convert", "ToInt32", ["ff", 16]) == 255
+        assert call_static("convert", "ToInt32", ["777", 8]) == 511
+        assert call_static("convert", "ToInt32", ["101", 2]) == 5
+
+    def test_tochar(self):
+        assert call_static("convert", "ToChar", [65]) == PSChar("A")
+
+    def test_tostring_radix(self):
+        assert call_static("convert", "ToString", [255, 16]) == "ff"
+        assert call_static("convert", "ToString", [5, 2]) == "101"
+
+    def test_bad_base64(self):
+        with pytest.raises(EvaluationError):
+            call_static("convert", "FromBase64String", ["!!!"])
+
+
+class TestStringStatics:
+    def test_join(self):
+        assert call_static("string", "Join", ["-", ["a", "b"]]) == "a-b"
+
+    def test_format(self):
+        assert call_static("string", "Format", ["{0}!", "hi"]) == "hi!"
+
+    def test_concat(self):
+        assert call_static("string", "Concat", ["a", "b", "c"]) == "abc"
+
+    def test_empty_property(self):
+        assert get_static_property("string", "Empty") == ""
+
+    def test_isnullorempty(self):
+        assert call_static("string", "IsNullOrEmpty", [""]) is True
+        assert call_static("string", "IsNullOrEmpty", ["x"]) is False
+
+
+class TestArrayAndMath:
+    def test_array_reverse_in_place(self):
+        data = [1, 2, 3]
+        call_static("array", "Reverse", [data])
+        assert data == [3, 2, 1]
+
+    def test_math(self):
+        assert call_static("math", "Abs", [-3]) == 3
+        assert call_static("math", "Pow", [2, 10]) == 1024
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            call_static("diagnostics.process", "Start", ["calc"])
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            call_static("convert", "LaunchMissiles", [])
+
+
+class TestStringMethods:
+    def test_replace_is_case_sensitive(self):
+        # .NET String.Replace is ordinal — unlike the -replace operator.
+        assert invoke_string_method("aAa", "Replace", ["a", "b"]) == "bAb"
+
+    def test_split_multiple_separators(self):
+        assert invoke_string_method("a-b_c", "Split", [["-", "_"]]) == [
+            "a", "b", "c",
+        ]
+
+    def test_substring_bounds_checked(self):
+        with pytest.raises(EvaluationError):
+            invoke_string_method("abc", "Substring", [10])
+
+    def test_tochararray(self):
+        chars = invoke_string_method("hi", "ToCharArray", [])
+        assert chars == [PSChar("h"), PSChar("i")]
+
+    def test_padleft(self):
+        assert invoke_string_method("5", "PadLeft", [3, "0"]) == "005"
+
+    def test_indexof(self):
+        assert invoke_string_method("hello", "IndexOf", ["l"]) == 2
+        assert invoke_string_method("hello", "IndexOf", ["z"]) == -1
+
+    def test_trim_with_chars(self):
+        assert invoke_string_method("xxaxx", "Trim", ["x"]) == "a"
+
+    def test_unknown_method(self):
+        with pytest.raises(UnsupportedOperationError):
+            invoke_string_method("x", "Explode", [])
+
+
+class TestOtherMembers:
+    def test_string_length(self):
+        assert get_member("hello", "Length") == 5
+
+    def test_list_count(self):
+        assert get_member([1, 2], "Count") == 2
+
+    def test_dict_key_fallthrough(self):
+        assert get_member({"Url": "http://x/"}, "url") == "http://x/"
+
+    def test_dict_keys(self):
+        assert get_member({"a": 1}, "Keys") == ["a"]
+
+    def test_set_member_on_dict(self):
+        table = {"a": 1}
+        set_member(table, "A", 2)
+        assert table == {"a": 2}
+
+    def test_number_tostring_hex(self):
+        assert invoke_number_method(255, "ToString", ["X2"]) == "FF"
+
+    def test_list_indexof(self):
+        assert invoke_list_method([5, 6], "IndexOf", [6]) == 1
+
+    def test_dict_containskey(self):
+        assert invoke_dict_method({"Key": 1}, "ContainsKey", ["key"])

@@ -1,0 +1,158 @@
+"""Unit tests for the PowerShell value model."""
+
+import pytest
+
+from repro.runtime.errors import EvaluationError
+from repro.runtime.values import (
+    PSChar,
+    as_list,
+    char_array,
+    is_stringifiable,
+    to_bool,
+    to_int,
+    to_number,
+    to_string,
+    type_name_of,
+    unwrap_single,
+)
+
+
+class TestPSChar:
+    def test_from_int(self):
+        assert PSChar(97).char == "a"
+
+    def test_from_string(self):
+        assert PSChar("x").code == 120
+
+    def test_rejects_long_string(self):
+        with pytest.raises(EvaluationError):
+            PSChar("ab")
+
+    def test_rejects_bool(self):
+        with pytest.raises(EvaluationError):
+            PSChar(True)
+
+    def test_equality_with_str(self):
+        assert PSChar("a") == "a"
+        assert PSChar("a") == PSChar(97)
+
+
+class TestToString:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, ""),
+            (True, "True"),
+            (False, "False"),
+            (42, "42"),
+            (3.0, "3"),
+            (3.5, "3.5"),
+            ("abc", "abc"),
+            ([1, 2, 3], "1 2 3"),
+            (PSChar("x"), "x"),
+        ],
+    )
+    def test_conversions(self, value, expected):
+        assert to_string(value) == expected
+
+    def test_nested_array(self):
+        assert to_string([1, [2, 3]]) == "1 2 3"
+
+
+class TestToNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("42", 42),
+            ("0x4B", 75),
+            ("-7", -7),
+            (" 5 ", 5),
+            ("3.5", 3.5),
+            (True, 1),
+            (False, 0),
+            (None, 0),
+            (PSChar("a"), 97),
+        ],
+    )
+    def test_conversions(self, value, expected):
+        assert to_number(value) == expected
+
+    def test_bad_string_raises(self):
+        with pytest.raises(EvaluationError):
+            to_number("xyz")
+
+    def test_empty_string_raises(self):
+        with pytest.raises(EvaluationError):
+            to_number("")
+
+
+class TestToInt:
+    def test_banker_rounding(self):
+        assert to_int(2.5) == 2
+        assert to_int(3.5) == 4
+        assert to_int(2.4) == 2
+        assert to_int(2.6) == 3
+
+
+class TestToBool:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, False),
+            (0, False),
+            (1, True),
+            ("", False),
+            ("x", True),
+            ("false", True),  # non-empty string is truthy in PS
+            ([], False),
+            ([0], False),
+            ([1], True),
+            ([0, 0], True),  # multi-element arrays are truthy
+        ],
+    )
+    def test_conversions(self, value, expected):
+        assert to_bool(value) is expected
+
+
+class TestStringifiable:
+    def test_scalars(self):
+        assert is_stringifiable("x")
+        assert is_stringifiable(5)
+        assert is_stringifiable(PSChar("x"))
+
+    def test_null_is_not(self):
+        assert not is_stringifiable(None)
+
+    def test_array_of_strings(self):
+        assert is_stringifiable(["a", "b"])
+
+    def test_array_with_object_is_not(self):
+        assert not is_stringifiable(["a", object()])
+
+    def test_empty_array_is_not(self):
+        assert not is_stringifiable([])
+
+
+class TestHelpers:
+    def test_as_list_scalar(self):
+        assert as_list(5) == [5]
+
+    def test_as_list_none(self):
+        assert as_list(None) == []
+
+    def test_as_list_passthrough(self):
+        assert as_list([1, 2]) == [1, 2]
+
+    def test_unwrap_single(self):
+        assert unwrap_single([5]) == 5
+        assert unwrap_single([]) is None
+        assert unwrap_single([1, 2]) == [1, 2]
+
+    def test_char_array(self):
+        chars = char_array("ab")
+        assert [c.char for c in chars] == ["a", "b"]
+
+    def test_type_names(self):
+        assert type_name_of(5) == "System.Int32"
+        assert type_name_of("x") == "System.String"
+        assert type_name_of([1]) == "System.Object[]"

@@ -1,0 +1,125 @@
+"""Tests for obfuscation detection and scoring (Section IV-B2)."""
+
+import random
+
+import pytest
+
+from repro import deobfuscate
+from repro.obfuscation.catalog import TECHNIQUES, get_technique
+from repro.scoring import detect_techniques, score_script
+from repro.scoring.detectors import TECHNIQUE_LEVELS
+from repro.scoring.score import score_reduction
+
+CLEAN = "Write-Host hello"
+
+# technique name -> detector name (numeric encodings share one detector).
+_DETECTOR_FOR = {
+    "encode_binary": "encode_numeric",
+    "encode_octal": "encode_numeric",
+    "encode_hex": "encode_numeric",
+    "encode_ascii": "encode_ascii",
+}
+
+
+class TestDetectors:
+    def test_clean_script_scores_zero(self):
+        report = score_script(CLEAN)
+        assert report.score == 0
+        assert not report.techniques
+
+    # Payloads chosen so each technique has something to transform.
+    _PAYLOADS = {
+        "alias": "Invoke-Expression 'hello'; Get-ChildItem",
+        "random_name": "$secret = 'hello'; write-host $secret",
+    }
+
+    @pytest.mark.parametrize("name", sorted(TECHNIQUES))
+    def test_applied_technique_is_detected(self, name):
+        technique = get_technique(name)
+        payload = self._PAYLOADS.get(name, "write-host hello world")
+        obfuscated = technique.apply_to_script(payload, random.Random(5))
+        assert obfuscated != payload, f"{name} was a no-op"
+        detected = detect_techniques(obfuscated)
+        expected = _DETECTOR_FOR.get(name, name)
+        assert expected in detected, (
+            f"{name}: {obfuscated[:90]!r} -> {sorted(detected)}"
+        )
+
+    def test_ticking(self):
+        assert "ticking" in detect_techniques("nE`w-oB`jEcT x")
+
+    def test_alias(self):
+        assert "alias" in detect_techniques("iex 'x'")
+
+    def test_concat(self):
+        assert "concat" in detect_techniques("$x = 'a'+'b'")
+
+    def test_plain_plus_on_numbers_not_concat(self):
+        assert "concat" not in detect_techniques("$x = 1 + 2")
+
+    def test_reorder(self):
+        assert "reorder" in detect_techniques('"{1}{0}" -f \'b\',\'a\'')
+
+    def test_ordered_format_not_reorder(self):
+        assert "reorder" not in detect_techniques('"{0}!" -f \'a\'')
+
+    def test_bxor(self):
+        assert "bxor" in detect_techniques("$x -bxor 0x4B")
+
+    def test_base64(self):
+        assert "base64" in detect_techniques(
+            "[Convert]::FromBase64String('aGk=')"
+        )
+
+    def test_encoded_command_is_base64(self):
+        assert "base64" in detect_techniques(
+            "powershell -enc aABlAGwAbABvACAAdwBvAHIAbABkAA=="
+        )
+
+    def test_securestring(self):
+        assert "securestring" in detect_techniques(
+            "ConvertTo-SecureString $x -Key (1..16)"
+        )
+
+    def test_deflate(self):
+        assert "deflate" in detect_techniques(
+            "New-Object IO.Compression.DeflateStream($m, $mode)"
+        )
+
+    def test_reverse(self):
+        assert "reverse" in detect_techniques("'cba'[-1..-3] -join ''")
+
+
+class TestScore:
+    def test_levels_weighting(self):
+        report = score_script("iex ('a'+'b')")
+        # alias (L1) + concat (L2) = 3.
+        assert report.score >= 3
+        assert report.has_level(1)
+        assert report.has_level(2)
+
+    def test_each_technique_counted_once(self):
+        script = "$a = 'a'+'b'; $c = 'd'+'e'; $f = 'g'+'h'"
+        report = score_script(script)
+        assert "concat" in report.techniques
+        counted = [t for t in report.techniques if t == "concat"]
+        assert len(counted) == 1
+
+    def test_l3_scores_three(self):
+        report = score_script("[Convert]::FromBase64String('aGk=')")
+        assert TECHNIQUE_LEVELS["base64"] == 3
+        assert report.score >= 3
+
+
+class TestScoreReduction:
+    def test_deobfuscation_reduces_score(self):
+        obfuscated = "I`E`X ('wri'+'te-host hi')"
+        result = deobfuscate(obfuscated)
+        reduction = score_reduction(obfuscated, result.script)
+        assert reduction > 0.5
+
+    def test_clean_script_reduction_is_zero(self):
+        assert score_reduction(CLEAN, CLEAN) == 0.0
+
+    def test_reduction_never_negative(self):
+        assert score_reduction("iex 'x'", "iex 'x'; 'a'+'b'") == 0.0

