@@ -1,0 +1,79 @@
+"""(ours) — batch engine throughput: scripts/sec at 1 vs N workers.
+
+The paper evaluates over a 39,713-sample wild corpus (Section IV); the
+``repro.batch`` pool is what makes runs of that shape practical.  This
+bench writes a generated corpus to disk, runs it through the pool at
+``--jobs 1`` and ``--jobs N``, and records end-to-end throughput plus
+latency percentiles.  Parallel efficiency is deliberately *not*
+asserted to a tight bound — per-sample work here is milliseconds, so
+process overhead dominates on small corpora — but the N-worker run must
+not collapse, and every sample must come back ``ok``.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from benchmarks.bench_utils import render_table, write_result
+from repro.batch import BatchPool, make_tasks, summarize
+
+CORPUS_SIZE = 40
+JOBS_N = min(4, multiprocessing.cpu_count())
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    from repro.dataset import generate_corpus
+
+    directory = tmp_path_factory.mktemp("batch-corpus")
+    samples = generate_corpus(CORPUS_SIZE, seed=2022)
+    paths = []
+    for sample in samples:
+        path = directory / f"{sample.identifier}.ps1"
+        path.write_text(sample.script, encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+def run_pool(paths, jobs):
+    tasks = make_tasks(paths, deadline_seconds=30.0)
+    started = time.monotonic()
+    records = list(BatchPool(jobs=jobs, timeout=30.0).run(tasks))
+    wall = time.monotonic() - started
+    return summarize(records, wall_seconds=wall)
+
+
+def test_batch_throughput(corpus_dir):
+    runs = [(1, run_pool(corpus_dir, 1)), (JOBS_N, run_pool(corpus_dir, JOBS_N))]
+
+    rows = []
+    for jobs, summary in runs:
+        rows.append(
+            [
+                f"--jobs {jobs}",
+                summary["total"],
+                f"{summary['throughput_scripts_per_second']:.2f}",
+                f"{summary['wall_seconds']:.2f}",
+                f"{summary['latency_p50_seconds'] * 1000:.1f}",
+                f"{summary['latency_p95_seconds'] * 1000:.1f}",
+            ]
+        )
+    text = render_table(
+        f"Batch engine throughput — {CORPUS_SIZE} generated samples, "
+        f"1 vs {JOBS_N} workers",
+        ["Config", "samples", "scripts/s", "wall (s)",
+         "p50 (ms)", "p95 (ms)"],
+        rows,
+    )
+    write_result("batch_throughput", text)
+
+    for _jobs, summary in runs:
+        assert summary["status_counts"]["ok"] == CORPUS_SIZE
+    serial, parallel = runs[0][1], runs[1][1]
+    if JOBS_N > 1:
+        # parallel must not collapse below half the serial throughput
+        assert (
+            parallel["throughput_scripts_per_second"]
+            > 0.5 * serial["throughput_scripts_per_second"]
+        )

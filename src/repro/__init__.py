@@ -4,7 +4,8 @@ The package implements an AST-based, semantics-preserving deobfuscator for
 PowerShell scripts together with every substrate it needs: a pure-Python
 PowerShell lexer/parser/AST (:mod:`repro.pslang`), a sandboxed expression
 interpreter (:mod:`repro.runtime`), the deobfuscation pipeline itself
-(:mod:`repro.core`), an obfuscation toolkit used to build evaluation corpora
+(:mod:`repro.core`), a fault-contained worker pool for corpus-scale runs
+(:mod:`repro.batch`), an obfuscation toolkit used to build evaluation corpora
 (:mod:`repro.obfuscation`), re-implementations of the baseline tools the
 paper compares against (:mod:`repro.baselines`), obfuscation scoring
 (:mod:`repro.scoring`), and measurement utilities (:mod:`repro.analysis`,
@@ -17,24 +18,35 @@ Quickstart::
     result = deobfuscate("I`E`X ('wri'+'te-host hi')")
     print(result.script)        # Write-Host hi
     print(result.layers)        # intermediate scripts, one per layer
+
+For whole corpora, :class:`BatchPool` fans samples across worker
+processes with per-sample timeouts and crash isolation — see
+:mod:`repro.batch`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-_LAZY = {"Deobfuscator", "DeobfuscationResult", "deobfuscate"}
+_LAZY_PIPELINE = {"Deobfuscator", "DeobfuscationResult", "deobfuscate"}
+_LAZY_BATCH = {"BatchPool", "run_batch"}
 
 
 def __getattr__(name):
     """Lazily expose the pipeline API to avoid import cycles at bootstrap."""
-    if name in _LAZY:
+    if name in _LAZY_PIPELINE:
         from repro.core import pipeline
 
         return getattr(pipeline, name)
+    if name in _LAZY_BATCH:
+        from repro import batch
+
+        return getattr(batch, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "Deobfuscator",
     "DeobfuscationResult",
     "deobfuscate",
+    "BatchPool",
+    "run_batch",
     "__version__",
 ]

@@ -1,0 +1,89 @@
+"""Corpus-scale batch deobfuscation: ``repro batch`` and its engine.
+
+The paper's evaluation runs over a 39,713-sample wild corpus; this
+package is the machinery that makes such runs survivable.  Samples fan
+out across a pool of worker processes (:mod:`repro.batch.pool`), each
+sample gets a wall-clock budget enforced first cooperatively (the
+pipeline's ``deadline_seconds``) and then by SIGKILL, a crashing worker
+loses only the sample it held, and results stream to JSONL
+(:mod:`repro.batch.results`) so interrupted runs resume where they
+stopped.  :mod:`repro.batch.summary` reduces a finished run to status
+counts, latency percentiles and throughput.
+
+Typical library use::
+
+    from repro.batch import BatchPool, discover, make_tasks, summarize
+
+    paths = discover(["corpus/"])
+    tasks = make_tasks(paths, deadline_seconds=5.0)
+    records = list(BatchPool(jobs=4, timeout=5.0).run(tasks))
+    print(summarize(records))
+
+JSONL record schema
+-------------------
+One JSON object per line, one line per sample, written in completion
+order.  Common fields:
+
+``path`` (str)
+    The sample's filesystem path — the resume key.
+``status`` (str)
+    ``ok`` | ``invalid`` | ``timeout`` | ``error``.
+``attempts`` (int)
+    How many workers were handed this sample (> 1 after crash retries).
+
+``status: "ok"`` and ``"invalid"`` (parse failure) records add the full
+measurement set:
+
+``sha256`` (str), ``size_bytes`` (int)
+    Input identity, for joining against corpus metadata.
+``elapsed_seconds`` (float)
+    Pipeline wall-clock for this sample.
+``iterations`` (int), ``layers_unwrapped`` (int), ``changed`` (bool)
+    Fixpoint iterations, ``IEX``/``-EncodedCommand`` layers removed,
+    and whether the script changed at all.
+``stats`` (object)
+    The pipeline counters (``pieces_recovered``, ``variables_traced``,
+    ``variables_substituted`` — see
+    :class:`repro.core.pipeline.DeobfuscationResult`).
+``script`` (str, optional)
+    The deobfuscated script, only with ``--store-scripts``.
+
+``status: "timeout"`` records add:
+
+``graceful`` (bool)
+    True when the in-pipeline deadline returned a partial result;
+    False when the parent had to SIGKILL the worker (then only
+    ``path``/``status``/``graceful``/``elapsed_seconds``/``attempts``
+    are present).
+
+``status: "error"`` records add:
+
+``error`` (str)
+    The worker exception, or ``worker process died (exit code N)``.
+"""
+
+from repro.batch.pool import BatchPool, run_batch
+from repro.batch.results import ResultWriter, completed_paths, iter_records
+from repro.batch.summary import render_summary, summarize
+from repro.batch.task import (
+    DEFAULT_WORKER_SPEC,
+    Task,
+    discover,
+    make_tasks,
+    run_one,
+)
+
+__all__ = [
+    "BatchPool",
+    "run_batch",
+    "ResultWriter",
+    "completed_paths",
+    "iter_records",
+    "render_summary",
+    "summarize",
+    "DEFAULT_WORKER_SPEC",
+    "Task",
+    "discover",
+    "make_tasks",
+    "run_one",
+]

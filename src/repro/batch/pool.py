@@ -1,0 +1,282 @@
+"""The corpus-scale worker pool: fault containment for hostile inputs.
+
+Wild PowerShell corpora (the paper's Section IV evaluation runs over
+39,713 samples) contain scripts that hang, exhaust memory, or crash the
+process that analyses them.  One bad sample must never take down a
+corpus run, so every sample is deobfuscated inside a disposable worker
+process and the parent enforces three guarantees:
+
+timeout
+    Each sample gets a wall-clock budget.  The worker first tries to
+    finish gracefully (the pipeline's cooperative ``deadline_seconds``);
+    if the process is still on the same sample ``kill_grace`` seconds
+    past the budget, the parent SIGKILLs it, records ``timeout`` and
+    respawns a fresh worker.
+
+crash isolation
+    A worker that dies (segfault, OOM kill, ``os._exit``) loses only the
+    sample it was holding.  The parent notices the death, respawns the
+    worker, and either retries the sample or records ``error``.
+
+bounded retry
+    A crashed sample is retried up to ``retries`` times (default 1) —
+    crashes can be environmental — then recorded as ``error``.
+    Timeouts are never retried: they are deterministic under a fixed
+    budget.
+
+The design is parent-authoritative: the parent assigns exactly one task
+at a time to each worker over a dedicated :func:`multiprocessing.Pipe`
+and starts that sample's clock at send time.  There is no shared task
+queue, so the parent always knows which sample a dead worker held —
+a worker that dies without ever reporting in cannot strand a sample
+(the failure mode of queue-based pools, whose feeder threads can drop
+in-flight messages when a process exits abruptly).
+
+:meth:`BatchPool.run` is a generator yielding one record dict per
+sample *as each finishes* (completion order, not input order), which is
+what lets the CLI stream JSONL while the run is still going.  The
+record schema is documented in :mod:`repro.batch`.
+
+Known race, by design: if a worker finishes a sample in the instant
+between the parent's last poll and a timeout kill, the sample is
+recorded ``timeout`` and the late result is discarded — the parent
+never double-records a sample.
+"""
+
+import itertools
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.batch.task import (
+    DEFAULT_WORKER_SPEC,
+    Task,
+    error_record,
+    exception_record,
+    resolve_worker,
+)
+
+_POLL_SECONDS = 0.05
+
+
+def _worker_main(worker_spec, conn):
+    """Worker process body: serve one task at a time over *conn*.
+
+    Exceptions raised by the worker function are converted to ``error``
+    records here; only process death reaches the parent's crash path.
+    A closed pipe (parent shut down) ends the loop.
+    """
+    worker = resolve_worker(worker_spec)
+    try:
+        while True:
+            item = conn.recv()
+            if item is None:
+                return
+            index, task = item
+            try:
+                record = worker(task)
+            except BaseException as exc:  # noqa: BLE001 — contain everything
+                record = exception_record(task, exc)
+            conn.send((index, record))
+    except (EOFError, BrokenPipeError, OSError):
+        return
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, and the task it holds."""
+
+    __slots__ = ("proc", "conn", "index", "started")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.index: Optional[int] = None
+        self.started = 0.0
+
+
+class BatchPool:
+    """Fan tasks across worker processes with per-sample fault limits.
+
+    Parameters
+    ----------
+    jobs
+        Worker process count (default: ``os.cpu_count()``).
+    timeout
+        Per-sample wall-clock budget in seconds (default: unlimited).
+    kill_grace
+        Extra seconds past ``timeout`` before the hard SIGKILL, giving
+        the in-worker cooperative deadline a chance to return a partial
+        result first.
+    retries
+        How many times a sample whose worker *died* is re-queued before
+        being recorded as ``error``.
+    worker
+        ``"module:callable"`` spec of the per-task worker function
+        (default :func:`repro.batch.task.run_one`).
+    start_method
+        Forwarded to :func:`multiprocessing.get_context`; ``None`` uses
+        the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        kill_grace: float = 0.5,
+        retries: int = 1,
+        worker: str = DEFAULT_WORKER_SPEC,
+        start_method: Optional[str] = None,
+    ):
+        self.jobs = max(1, jobs or multiprocessing.cpu_count())
+        self.timeout = timeout
+        self.kill_grace = kill_grace
+        self.retries = max(0, retries)
+        self.worker = worker
+        self._ctx = multiprocessing.get_context(start_method)
+
+    def run(self, tasks: Iterable[Task]) -> Iterator[dict]:
+        """Yield one record per task, in completion order."""
+        tasks = list(tasks)
+        if not tasks:
+            return
+        # Fail fast on a bad worker spec here, in the parent, instead of
+        # letting every worker die on import and each sample error out.
+        resolve_worker(self.worker)
+
+        pending = deque(range(len(tasks)))
+        # attempts[i] = how many workers have been handed task i
+        attempts: Dict[int, int] = {index: 0 for index in range(len(tasks))}
+        terminal = set()
+        remaining = len(tasks)
+        workers: Dict[int, _Worker] = {}
+        worker_ids = itertools.count()
+
+        def spawn() -> None:
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self.worker, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            # drop the parent's copy of the child end so a dead worker
+            # reads as EOF on parent_conn
+            child_conn.close()
+            workers[next(worker_ids)] = _Worker(proc, parent_conn)
+
+        def reap(worker_id: int) -> Optional[dict]:
+            """Remove a dead worker; retry or fail the sample it held."""
+            held = workers.pop(worker_id)
+            held.conn.close()
+            held.proc.join()
+            exit_code = held.proc.exitcode
+            index = held.index
+            if index is None or index in terminal:
+                return None
+            if attempts[index] <= self.retries:
+                pending.append(index)
+                return None
+            terminal.add(index)
+            return error_record(
+                tasks[index],
+                f"worker process died (exit code {exit_code})",
+                attempts=attempts[index],
+            )
+
+        try:
+            while remaining > 0:
+                while len(workers) < min(self.jobs, remaining):
+                    spawn()
+
+                for worker_id, state in list(workers.items()):
+                    if state.index is None and pending:
+                        index = pending.popleft()
+                        attempts[index] += 1
+                        try:
+                            state.conn.send((index, tasks[index]))
+                        except (BrokenPipeError, OSError):
+                            pending.appendleft(index)
+                            attempts[index] -= 1
+                            record = reap(worker_id)
+                            if record is not None:
+                                remaining -= 1
+                                yield record
+                            continue
+                        state.index = index
+                        state.started = time.monotonic()
+
+                conn_to_id = {
+                    state.conn: worker_id
+                    for worker_id, state in workers.items()
+                }
+                for conn in _connection_wait(
+                    list(conn_to_id), timeout=_POLL_SECONDS
+                ):
+                    worker_id = conn_to_id[conn]
+                    state = workers[worker_id]
+                    try:
+                        index, record = conn.recv()
+                    except (EOFError, OSError):
+                        record = reap(worker_id)
+                        if record is not None:
+                            remaining -= 1
+                            yield record
+                        continue
+                    state.index = None
+                    if index in terminal:
+                        continue
+                    terminal.add(index)
+                    remaining -= 1
+                    record.setdefault("attempts", attempts[index])
+                    yield record
+
+                now = time.monotonic()
+                for worker_id, state in list(workers.items()):
+                    index = state.index
+                    over_budget = (
+                        index is not None
+                        and self.timeout is not None
+                        and now - state.started
+                        > self.timeout + self.kill_grace
+                    )
+                    if over_budget:
+                        state.proc.kill()
+                        state.proc.join()
+                        state.conn.close()
+                        del workers[worker_id]
+                        if index not in terminal:
+                            terminal.add(index)
+                            remaining -= 1
+                            yield {
+                                "path": tasks[index].path,
+                                "status": "timeout",
+                                "graceful": False,
+                                "elapsed_seconds": round(
+                                    now - state.started, 6
+                                ),
+                                "attempts": attempts[index],
+                            }
+                    elif not state.proc.is_alive():
+                        record = reap(worker_id)
+                        if record is not None:
+                            remaining -= 1
+                            yield record
+        finally:
+            for state in workers.values():
+                try:
+                    state.conn.close()
+                except OSError:
+                    pass
+            join_by = time.monotonic() + 1.0
+            for state in workers.values():
+                state.proc.join(max(0.0, join_by - time.monotonic()))
+                if state.proc.is_alive():
+                    state.proc.kill()
+                    state.proc.join()
+
+
+def run_batch(tasks: Iterable[Task], **pool_options) -> List[dict]:
+    """Convenience wrapper: run a pool to completion, return all records."""
+    return list(BatchPool(**pool_options).run(tasks))

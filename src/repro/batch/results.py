@@ -1,0 +1,75 @@
+"""Streaming JSONL persistence for batch runs, plus resume support.
+
+Records are appended one JSON object per line and flushed immediately,
+so a run killed halfway leaves a readable prefix — which is exactly what
+``--resume`` consumes: any sample whose path already has a recorded
+status in the output file is skipped on the next run.
+
+The record schema is documented in :mod:`repro.batch`.
+"""
+
+import json
+import os
+from typing import IO, Iterator, Optional, Set
+
+
+class ResultWriter:
+    """Append records to a JSONL file (or any text stream), flushing
+    after every line so concurrent ``tail -f`` and crash recovery work.
+    """
+
+    def __init__(self, path: Optional[str] = None, stream: Optional[IO] = None):
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self._stream = stream
+        self._handle = None
+        if path is not None:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "a", encoding="utf-8")
+            self._stream = self._handle
+
+    def write(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_records(path: str) -> Iterator[dict]:
+    """Yield every well-formed record in a JSONL file.
+
+    Malformed lines (a run killed mid-write on a non-flushing
+    filesystem) are skipped rather than fatal, so resume always works.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def completed_paths(path: str) -> Set[str]:
+    """Paths with any recorded terminal status — the ``--resume`` skip set."""
+    if not os.path.exists(path):
+        return set()
+    return {
+        record["path"]
+        for record in iter_records(path)
+        if "path" in record and "status" in record
+    }

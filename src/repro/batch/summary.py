@@ -1,0 +1,93 @@
+"""Aggregate statistics over a batch run's records.
+
+:func:`summarize` reduces a record list to the numbers the paper's
+evaluation reports per-corpus (status counts, throughput, latency
+percentiles); :func:`render_summary` formats them for humans.  The
+summary dict is plain data so ``benchmarks/bench_utils.render_table``
+can turn it straight into a results table.
+"""
+
+from typing import Dict, Iterable, List, Optional
+
+STATUSES = ("ok", "invalid", "timeout", "error")
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def summarize(
+    records: Iterable[dict],
+    wall_seconds: Optional[float] = None,
+) -> Dict[str, object]:
+    """Reduce batch records to one summary dict.
+
+    Keys: ``total``, ``status_counts`` (every status in
+    :data:`STATUSES`, zero-filled), ``layers_unwrapped``,
+    ``changed`` (samples whose script changed), latency over the
+    samples that report ``elapsed_seconds`` (``latency_mean_seconds``,
+    ``latency_p50_seconds``, ``latency_p95_seconds``,
+    ``latency_max_seconds``), and — when *wall_seconds* is given —
+    ``wall_seconds`` plus end-to-end ``throughput_scripts_per_second``.
+    """
+    records = list(records)
+    counts = {status: 0 for status in STATUSES}
+    latencies: List[float] = []
+    layers = 0
+    changed = 0
+    for record in records:
+        status = record.get("status", "error")
+        counts[status] = counts.get(status, 0) + 1
+        if "elapsed_seconds" in record:
+            latencies.append(float(record["elapsed_seconds"]))
+        layers += int(record.get("layers_unwrapped", 0))
+        changed += 1 if record.get("changed") else 0
+
+    summary: Dict[str, object] = {
+        "total": len(records),
+        "status_counts": counts,
+        "layers_unwrapped": layers,
+        "changed": changed,
+        "latency_mean_seconds": (
+            round(sum(latencies) / len(latencies), 6) if latencies else 0.0
+        ),
+        "latency_p50_seconds": round(_percentile(latencies, 0.50), 6),
+        "latency_p95_seconds": round(_percentile(latencies, 0.95), 6),
+        "latency_max_seconds": (
+            round(max(latencies), 6) if latencies else 0.0
+        ),
+    }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = round(wall_seconds, 6)
+        summary["throughput_scripts_per_second"] = round(
+            len(records) / wall_seconds if wall_seconds > 0 else 0.0, 3
+        )
+    return summary
+
+
+def render_summary(summary: Dict[str, object]) -> str:
+    """Human-readable multi-line rendering of a :func:`summarize` dict."""
+    counts = summary["status_counts"]
+    lines = [
+        f"samples   : {summary['total']}",
+        "status    : "
+        + "  ".join(f"{name}={counts.get(name, 0)}" for name in STATUSES),
+        f"layers    : {summary['layers_unwrapped']} unwrapped, "
+        f"{summary['changed']} samples changed",
+        "latency   : "
+        f"mean {summary['latency_mean_seconds']:.3f}s  "
+        f"p50 {summary['latency_p50_seconds']:.3f}s  "
+        f"p95 {summary['latency_p95_seconds']:.3f}s  "
+        f"max {summary['latency_max_seconds']:.3f}s",
+    ]
+    if "throughput_scripts_per_second" in summary:
+        lines.append(
+            f"throughput: {summary['throughput_scripts_per_second']:.2f} "
+            f"scripts/s over {summary['wall_seconds']:.2f}s wall"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Batch work units: input discovery and the default per-sample worker.
+
+A :class:`Task` is one sample to deobfuscate — a path plus the pipeline
+options the worker should use.  Tasks cross process boundaries, so they
+hold only picklable primitives; the :class:`~repro.Deobfuscator` itself
+is constructed inside the worker process.
+
+Workers are addressed by *spec string* (``"module:callable"``) rather
+than by callable object so the pool works identically under the ``fork``
+and ``spawn`` multiprocessing start methods.  The default worker is
+:func:`run_one`; tests and embedders can point ``--worker`` at their own
+function with the same ``Task -> dict`` contract.
+"""
+
+import hashlib
+import importlib
+import os
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+DEFAULT_WORKER_SPEC = "repro.batch.task:run_one"
+DEFAULT_GLOB = "*.ps1"
+
+
+@dataclass
+class Task:
+    """One sample for the pool: a script path plus pipeline options.
+
+    ``options`` is forwarded as keyword arguments to
+    :class:`repro.Deobfuscator` (e.g. ``rename``, ``reformat``,
+    ``deadline_seconds``).  ``store_script`` additionally embeds the
+    deobfuscated script in the JSONL record.
+    """
+
+    path: str
+    options: Dict[str, object] = field(default_factory=dict)
+    store_script: bool = False
+
+
+def discover(
+    inputs: Iterable[str],
+    glob: str = DEFAULT_GLOB,
+    stdin=None,
+) -> List[str]:
+    """Expand a mixed list of inputs into an ordered, deduplicated
+    list of sample paths.
+
+    Each input may be a directory (searched recursively for *glob*),
+    a file (taken as-is, whatever its extension), or ``-`` (read one
+    path per line from *stdin*).  Order is deterministic: inputs in the
+    order given, directory contents sorted.
+    """
+    import fnmatch
+
+    stdin = stdin if stdin is not None else sys.stdin
+    paths: List[str] = []
+    seen = set()
+
+    def add(path: str) -> None:
+        if path not in seen:
+            seen.add(path)
+            paths.append(path)
+
+    for item in inputs:
+        if item == "-":
+            for line in stdin:
+                line = line.strip()
+                if line:
+                    add(line)
+        elif os.path.isdir(item):
+            for root, dirs, files in os.walk(item):
+                dirs.sort()
+                for name in sorted(files):
+                    if fnmatch.fnmatch(name, glob):
+                        add(os.path.join(root, name))
+        else:
+            add(item)
+    return paths
+
+
+def make_tasks(
+    paths: Iterable[str],
+    deadline_seconds: Optional[float] = None,
+    store_script: bool = False,
+    **pipeline_options,
+) -> List[Task]:
+    """Build one :class:`Task` per path, all sharing the same options."""
+    options = dict(pipeline_options)
+    if deadline_seconds is not None:
+        options["deadline_seconds"] = deadline_seconds
+    return [
+        Task(path=path, options=options, store_script=store_script)
+        for path in paths
+    ]
+
+
+def resolve_worker(spec: str) -> Callable[[Task], dict]:
+    """Import and return the worker named by a ``module:callable`` spec."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"worker spec {spec!r} is not of the form 'module:callable'"
+        )
+    module = importlib.import_module(module_name)
+    worker = getattr(module, attr)
+    if not callable(worker):
+        raise TypeError(f"worker {spec!r} is not callable")
+    return worker
+
+
+def run_one(task: Task) -> dict:
+    """The default worker: deobfuscate one file and build its record.
+
+    Exceptions are *not* caught here — the pool's worker loop converts
+    them into ``status: "error"`` records, and a process death (OOM
+    kill, segfault, ``os._exit``) is handled by the parent's crash
+    isolation.  See :mod:`repro.batch` for the record schema.
+    """
+    from repro import Deobfuscator
+
+    with open(task.path, "rb") as handle:
+        raw = handle.read()
+    script = raw.decode("utf-8", errors="replace")
+
+    tool = Deobfuscator(**task.options)
+    result = tool.deobfuscate(script)
+
+    if not result.valid_input:
+        status = "invalid"
+    elif result.timed_out:
+        status = "timeout"
+    else:
+        status = "ok"
+    record = {
+        "path": task.path,
+        "status": status,
+        "sha256": hashlib.sha256(raw).hexdigest(),
+        "size_bytes": len(raw),
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "iterations": result.iterations,
+        "layers_unwrapped": result.layers_unwrapped,
+        "changed": result.changed,
+        "stats": result.stats,
+    }
+    if status == "timeout":
+        record["graceful"] = True
+    if task.store_script:
+        record["script"] = result.script
+    return record
+
+
+def error_record(task: Task, message: str, attempts: int = 1) -> dict:
+    """Record for a sample whose worker raised or died."""
+    return {
+        "path": task.path,
+        "status": "error",
+        "error": message,
+        "attempts": attempts,
+    }
+
+
+def exception_record(task: Task, exc: BaseException) -> dict:
+    """Record for an exception raised inside the worker function."""
+    message = "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+    return error_record(task, message)

@@ -2,22 +2,31 @@
 
 Commands
 --------
-deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers]
+deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers] [--timeout S]
     Deobfuscate a PowerShell script and print the result.
+batch INPUT... [--jobs N] [--timeout S] [--output FILE] [--resume] ...
+    Deobfuscate a whole corpus across a worker-process pool, streaming
+    one JSONL record per sample plus an aggregate summary.
 score FILE
     Print the detected obfuscation techniques and the score.
 keyinfo FILE
     Print URLs, IPs, .ps1 paths and powershell commands found.
 behavior FILE
     Execute in the recording sandbox and print network effects.
+report FILE
+    Full triage report: deobfuscation + score + behaviour + key info.
 tokenize FILE
     Dump the PSParser-style token stream.
 parse FILE
     Dump the AST.
+
+Every command is documented with examples in ``docs/cli.md``; the test
+suite enforces that the docs cover each registered subcommand.
 """
 
 import argparse
 import sys
+import time
 
 
 def _read(path: str) -> str:
@@ -33,6 +42,7 @@ def _cmd_deobfuscate(args) -> int:
     tool = Deobfuscator(
         rename=not args.no_rename,
         reformat=not args.no_reformat,
+        deadline_seconds=args.timeout,
     )
     result = tool.deobfuscate(_read(args.file))
     if not result.valid_input:
@@ -40,6 +50,9 @@ def _cmd_deobfuscate(args) -> int:
               file=sys.stderr)
         print(result.script)
         return 1
+    if result.timed_out:
+        print("warning: deadline hit, output is a partial result",
+              file=sys.stderr)
     if args.show_layers:
         for index, layer in enumerate(result.layers):
             print(f"# --- layer {index + 1} ---")
@@ -47,6 +60,78 @@ def _cmd_deobfuscate(args) -> int:
         print("# --- final ---")
     print(result.script)
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.batch import (
+        BatchPool,
+        ResultWriter,
+        completed_paths,
+        discover,
+        make_tasks,
+        render_summary,
+        summarize,
+    )
+
+    paths = discover(args.inputs, glob=args.glob)
+    if not paths:
+        print("error: no samples found", file=sys.stderr)
+        return 1
+
+    skipped = 0
+    if args.resume:
+        if not args.output:
+            print("error: --resume requires --output", file=sys.stderr)
+            return 2
+        done = completed_paths(args.output)
+        kept = [path for path in paths if path not in done]
+        skipped = len(paths) - len(kept)
+        paths = kept
+
+    tasks = make_tasks(
+        paths,
+        deadline_seconds=args.timeout,
+        store_script=args.store_scripts,
+        rename=not args.no_rename,
+        reformat=not args.no_reformat,
+    )
+
+    from repro.batch.task import resolve_worker
+
+    try:
+        resolve_worker(args.worker)
+    except Exception as exc:  # noqa: BLE001 — import/spec errors vary
+        print(f"error: invalid --worker {args.worker!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    pool = BatchPool(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        worker=args.worker,
+    )
+    writer = (
+        ResultWriter(path=args.output)
+        if args.output
+        else ResultWriter(stream=sys.stdout)
+    )
+    records = []
+    started = time.monotonic()
+    with writer:
+        for record in pool.run(tasks):
+            writer.write(record)
+            records.append(record)
+    wall = time.monotonic() - started
+
+    summary = summarize(records, wall_seconds=wall)
+    summary_out = sys.stdout if args.output else sys.stderr
+    if skipped:
+        print(f"resumed   : {skipped} samples already done, skipped",
+              file=summary_out)
+    print(render_summary(summary), file=summary_out)
+    failures = summary["status_counts"]["error"]
+    return 0 if not failures or args.exit_zero else 3
 
 
 def _cmd_score(args) -> int:
@@ -122,7 +207,8 @@ def _cmd_parse(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (exposed for docs tooling)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -137,7 +223,63 @@ def main(argv=None) -> int:
     p.add_argument("--no-rename", action="store_true")
     p.add_argument("--no-reformat", action="store_true")
     p.add_argument("--show-layers", action="store_true")
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative deadline; on expiry print the partial result",
+    )
     p.set_defaults(func=_cmd_deobfuscate)
+
+    p = sub.add_parser(
+        "batch",
+        help="deobfuscate a corpus across a worker pool, streaming JSONL",
+    )
+    p.add_argument(
+        "inputs", nargs="+",
+        help="directories (searched for --glob), files, or - for a "
+        "newline-separated path list on stdin",
+    )
+    p.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-sample wall-clock budget; over-budget samples are "
+        "recorded as status=timeout",
+    )
+    p.add_argument(
+        "--output", "-o", metavar="FILE",
+        help="append JSONL records here instead of stdout",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip samples already recorded in --output",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-queue a sample whose worker crashed up to N times",
+    )
+    p.add_argument(
+        "--glob", default="*.ps1", metavar="PATTERN",
+        help="filename pattern for directory inputs (default: *.ps1)",
+    )
+    p.add_argument(
+        "--store-scripts", action="store_true",
+        help="embed the deobfuscated script in each record",
+    )
+    p.add_argument("--no-rename", action="store_true")
+    p.add_argument("--no-reformat", action="store_true")
+    p.add_argument(
+        "--exit-zero", action="store_true",
+        help="exit 0 even when samples errored (default: exit 3)",
+    )
+    p.add_argument(
+        "--worker", default="repro.batch.task:run_one",
+        metavar="MODULE:FUNC",
+        help="per-sample worker function (advanced; used by the tests "
+        "to inject faults)",
+    )
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("score", help="score obfuscation techniques")
     p.add_argument("file")
@@ -165,6 +307,11 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.set_defaults(func=_cmd_parse)
 
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)
 

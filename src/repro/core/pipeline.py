@@ -24,7 +24,45 @@ DEFAULT_MAX_ITERATIONS = 10
 
 @dataclass
 class DeobfuscationResult:
-    """What one deobfuscation run produced."""
+    """What one deobfuscation run produced.
+
+    Attributes
+    ----------
+    original
+        The input script, untouched.
+    script
+        The deobfuscated script.  When ``valid_input`` is False this is
+        the input unchanged; when ``timed_out`` is True it is the best
+        intermediate reached before the deadline.
+    layers
+        One intermediate script per fixpoint iteration that changed the
+        input — what an analyst would inspect layer by layer.
+    iterations
+        Fixpoint iterations executed (Section III-B4), including the
+        final no-change iteration that proves convergence.
+    layers_unwrapped
+        ``Invoke-Expression`` / ``powershell -EncodedCommand`` layers
+        removed by the multi-layer phase across all iterations.
+    valid_input
+        False when the input did not parse as PowerShell at all; no
+        phase ran.
+    timed_out
+        True when ``deadline_seconds`` elapsed before the fixpoint was
+        reached; ``script`` still holds the best-effort intermediate.
+    elapsed_seconds
+        Wall-clock time spent inside :meth:`Deobfuscator.deobfuscate`.
+    stats
+        Per-run counters accumulated over every iteration:
+
+        ``pieces_recovered``
+            Recoverable AST pieces successfully executed in the sandbox
+            and replaced in place (paper Section III-B2).
+        ``variables_traced``
+            Constant variable assignments captured into the symbol
+            table (Algorithm 1).
+        ``variables_substituted``
+            Variable reads replaced by their traced constant values.
+    """
 
     original: str
     script: str
@@ -32,6 +70,7 @@ class DeobfuscationResult:
     iterations: int = 0
     layers_unwrapped: int = 0
     valid_input: bool = True
+    timed_out: bool = False
     elapsed_seconds: float = 0.0
     stats: Dict[str, int] = field(default_factory=dict)
 
@@ -64,6 +103,14 @@ class Deobfuscator:
     enforce_blocklist
         Skip pieces containing irrelevant/dangerous commands (off → the
         Fig 6 slow-baseline behaviour).
+    deadline_seconds
+        Cooperative wall-clock budget for one ``deobfuscate()`` call.
+        The deadline is checked between phases and between fixpoint
+        iterations; when it passes, the run stops, returns the best
+        intermediate script and sets ``result.timed_out``.  A single
+        pathological phase can still overrun (phases are not
+        preempted) — :mod:`repro.batch` adds the hard process-kill
+        backstop for corpus runs.
     """
 
     def __init__(
@@ -78,6 +125,7 @@ class Deobfuscator:
         enforce_blocklist: bool = True,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         piece_step_limit: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
     ):
         self.token_phase = token_phase
         self.ast_phase = ast_phase
@@ -89,6 +137,7 @@ class Deobfuscator:
         self.enforce_blocklist = enforce_blocklist
         self.max_iterations = max_iterations
         self.piece_step_limit = piece_step_limit
+        self.deadline_seconds = deadline_seconds
 
     def _make_recovery(self) -> RecoveryEngine:
         if self.piece_step_limit is not None:
@@ -100,6 +149,15 @@ class Deobfuscator:
 
     def deobfuscate(self, script: str) -> DeobfuscationResult:
         started = time.perf_counter()
+        deadline = (
+            started + self.deadline_seconds
+            if self.deadline_seconds is not None
+            else None
+        )
+
+        def out_of_time() -> bool:
+            return deadline is not None and time.perf_counter() >= deadline
+
         result = DeobfuscationResult(original=script, script=script)
         ast, _ = try_parse(script)
         if ast is None:
@@ -113,11 +171,15 @@ class Deobfuscator:
             "variables_traced": 0,
             "variables_substituted": 0,
         }
+        converged = False
         for _iteration in range(self.max_iterations):
+            if out_of_time():
+                result.timed_out = True
+                break
             step = current
             if self.token_phase:
                 step = deobfuscate_tokens(step)
-            if self.ast_phase:
+            if self.ast_phase and not out_of_time():
                 engine = AstDeobfuscator(
                     recovery=self._make_recovery(),
                     trace_variables=self.trace_variables,
@@ -126,19 +188,28 @@ class Deobfuscator:
                 step = engine.process(step)
                 for key, value in engine.stats.items():
                     stats[key] = stats.get(key, 0) + value
-            if self.multilayer:
+            if self.multilayer and not out_of_time():
                 step, unwrapped = unwrap_layers(step)
                 result.layers_unwrapped += unwrapped
             result.iterations += 1
             if step == current:
+                converged = True
                 break
             current = step
             result.layers.append(current)
+        if not converged and out_of_time():
+            result.timed_out = True
 
         if self.rename:
-            current = rename_random_identifiers(current)
+            if out_of_time():
+                result.timed_out = True
+            else:
+                current = rename_random_identifiers(current)
         if self.reformat:
-            current = reformat_script(current)
+            if out_of_time():
+                result.timed_out = True
+            else:
+                current = reformat_script(current)
 
         result.script = current
         result.stats = stats

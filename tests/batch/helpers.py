@@ -1,0 +1,42 @@
+"""Fault-injecting batch workers, importable from worker processes.
+
+The pool addresses workers by ``module:callable`` spec, so these live in
+a real module (not a test body).  Each worker inspects the sample's
+content for a marker and misbehaves accordingly; anything unmarked is
+delegated to the production worker.
+"""
+
+import os
+import time
+
+from repro.batch.task import Task, run_one
+
+LOOP_MARKER = "repro-test-loop"
+CRASH_MARKER = "repro-test-crash"
+CRASH_ONCE_MARKER = "repro-test-crash-once"
+SLEEP_MARKER = "repro-test-sleep"
+
+
+def faulty_worker(task: Task) -> dict:
+    """Hang forever, die, or die-once based on markers in the sample."""
+    with open(task.path, "r", encoding="utf-8", errors="replace") as handle:
+        content = handle.read()
+    if LOOP_MARKER in content:
+        while True:
+            time.sleep(0.05)
+    if CRASH_ONCE_MARKER in content:
+        flag = task.path + ".crashed"
+        if not os.path.exists(flag):
+            with open(flag, "w", encoding="utf-8"):
+                pass
+            os._exit(21)
+    elif CRASH_MARKER in content:
+        os._exit(13)
+    if SLEEP_MARKER in content:
+        time.sleep(0.2)
+    return run_one(task)
+
+
+def raising_worker(task: Task) -> dict:
+    """Raise inside the worker function (process survives)."""
+    raise RuntimeError(f"synthetic failure for {os.path.basename(task.path)}")

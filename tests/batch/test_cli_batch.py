@@ -1,0 +1,139 @@
+"""End-to-end tests for the ``repro batch`` CLI subcommand, including
+the acceptance scenario: a corpus with an injected infinite-loop sample
+and an injected crasher completes with exact per-status counts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.batch.helpers import CRASH_MARKER, LOOP_MARKER
+
+FAULTY = "tests.batch.helpers:faulty_worker"
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    for index in range(5):
+        (directory / f"ok{index}.ps1").write_text(
+            f"I`E`X ('wri'+'te-host {index}')", encoding="utf-8"
+        )
+    return directory
+
+
+def read_jsonl(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestBatchCommand:
+    def test_stdout_streaming(self, corpus, capsys):
+        code = main(["batch", str(corpus), "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 5
+        assert all(r["status"] == "ok" for r in records)
+        # summary goes to stderr so stdout stays machine-readable
+        assert "ok=5" in captured.err
+
+    def test_output_file_and_summary(self, corpus, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        code = main(
+            ["batch", str(corpus), "--jobs", "2",
+             "--output", str(out_file)]
+        )
+        assert code == 0
+        assert len(read_jsonl(out_file)) == 5
+        summary = capsys.readouterr().out
+        assert "ok=5" in summary
+        assert "throughput" in summary
+
+    def test_acceptance_faults_exact_counts(self, corpus, tmp_path, capsys):
+        (corpus / "hang.ps1").write_text(
+            f"# {LOOP_MARKER}\nwhile ($true) {{ }}", encoding="utf-8"
+        )
+        (corpus / "boom.ps1").write_text(
+            f"# {CRASH_MARKER}", encoding="utf-8"
+        )
+        out_file = tmp_path / "run.jsonl"
+        code = main(
+            ["batch", str(corpus), "--jobs", "4", "--timeout", "0.5",
+             "--retries", "0", "--worker", FAULTY,
+             "--output", str(out_file)]
+        )
+        assert code == 3  # an error sample -> nonzero exit
+        records = read_jsonl(out_file)
+        counts = {}
+        for record in records:
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+        assert counts == {"ok": 5, "timeout": 1, "error": 1}
+        summary = capsys.readouterr().out
+        assert "ok=5" in summary
+        assert "timeout=1" in summary
+        assert "error=1" in summary
+
+    def test_exit_zero_flag(self, corpus, tmp_path, capsys):
+        (corpus / "boom.ps1").write_text(
+            f"# {CRASH_MARKER}", encoding="utf-8"
+        )
+        code = main(
+            ["batch", str(corpus), "--jobs", "2", "--retries", "0",
+             "--worker", FAULTY, "--exit-zero",
+             "--output", str(tmp_path / "run.jsonl")]
+        )
+        assert code == 0
+
+    def test_resume_skips_completed(self, corpus, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(
+            ["batch", str(corpus), "--jobs", "2",
+             "--output", str(out_file)]
+        ) == 0
+        first = read_jsonl(out_file)
+        capsys.readouterr()
+
+        (corpus / "new.ps1").write_text("write-host new", encoding="utf-8")
+        assert main(
+            ["batch", str(corpus), "--jobs", "2", "--resume",
+             "--output", str(out_file)]
+        ) == 0
+        second = read_jsonl(out_file)
+        assert len(second) == len(first) + 1
+        added = second[len(first):]
+        assert added[0]["path"].endswith("new.ps1")
+        summary = capsys.readouterr().out
+        assert "skipped" in summary
+
+    def test_resume_requires_output(self, corpus, capsys):
+        assert main(["batch", str(corpus), "--resume"]) == 2
+        assert "requires --output" in capsys.readouterr().err
+
+    def test_bad_worker_spec_fails_fast(self, corpus, capsys):
+        assert main(
+            ["batch", str(corpus), "--worker", "nosuch.module:fn"]
+        ) == 2
+        assert "invalid --worker" in capsys.readouterr().err
+
+    def test_no_samples_found(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["batch", str(empty)]) == 1
+        assert "no samples" in capsys.readouterr().err
+
+    def test_stdin_path_list(self, corpus, capsys, monkeypatch):
+        import io
+
+        listing = "\n".join(
+            str(path) for path in sorted(corpus.glob("*.ps1"))[:2]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(listing))
+        code = main(["batch", "-", "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len([l for l in out.splitlines() if l.startswith("{")]) == 2

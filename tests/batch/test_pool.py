@@ -1,0 +1,178 @@
+"""Fault-containment tests for :mod:`repro.batch.pool`.
+
+These use the fault-injecting workers in :mod:`tests.batch.helpers`
+(addressed by spec string, so worker processes import them afresh) to
+prove the pool's three guarantees: hung samples are killed on deadline,
+a dying worker loses only its own sample, and crashed samples are
+retried a bounded number of times.
+"""
+
+import pytest
+
+from repro.batch import BatchPool, make_tasks, run_batch, summarize
+from tests.batch.helpers import (
+    CRASH_MARKER,
+    CRASH_ONCE_MARKER,
+    LOOP_MARKER,
+)
+
+FAULTY = "tests.batch.helpers:faulty_worker"
+RAISING = "tests.batch.helpers:raising_worker"
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    def make(samples):
+        paths = []
+        for name, content in samples.items():
+            path = tmp_path / name
+            path.write_text(content, encoding="utf-8")
+            paths.append(str(path))
+        return paths
+
+    return make
+
+
+def by_path(records):
+    return {record["path"]: record for record in records}
+
+
+class TestHappyPath:
+    def test_all_ok(self, corpus_dir):
+        paths = corpus_dir(
+            {f"s{i}.ps1": f"write-host {i}" for i in range(6)}
+        )
+        records = run_batch(make_tasks(paths), jobs=2)
+        assert len(records) == len(paths)
+        assert all(r["status"] == "ok" for r in records)
+        assert sorted(r["path"] for r in records) == sorted(paths)
+
+    def test_empty_task_list(self):
+        assert run_batch([], jobs=2) == []
+
+    def test_invalid_input_reported(self, corpus_dir):
+        paths = corpus_dir({"bad.ps1": "'unterminated"})
+        (record,) = run_batch(make_tasks(paths), jobs=1)
+        assert record["status"] == "invalid"
+
+    def test_record_fields(self, corpus_dir):
+        paths = corpus_dir({"s.ps1": "I`E`X ('wri'+'te-host hi')"})
+        (record,) = run_batch(
+            make_tasks(paths, store_script=True), jobs=1
+        )
+        assert record["status"] == "ok"
+        assert record["changed"] is True
+        assert record["script"].strip() == "Write-Host hi"
+        assert record["size_bytes"] > 0
+        assert len(record["sha256"]) == 64
+        assert record["stats"]["pieces_recovered"] >= 1
+
+
+class TestTimeout:
+    def test_hung_sample_killed_without_stalling_pool(self, corpus_dir):
+        samples = {f"ok{i}.ps1": f"write-host {i}" for i in range(4)}
+        samples["hang.ps1"] = f"# {LOOP_MARKER}\nwhile ($true) {{ }}"
+        paths = corpus_dir(samples)
+        records = run_batch(
+            make_tasks(paths),
+            jobs=2,
+            timeout=0.3,
+            kill_grace=0.1,
+            worker=FAULTY,
+        )
+        assert len(records) == 5
+        got = by_path(records)
+        hung = [p for p in paths if p.endswith("hang.ps1")][0]
+        assert got[hung]["status"] == "timeout"
+        assert got[hung]["graceful"] is False
+        others = [got[p] for p in paths if p != hung]
+        assert all(r["status"] == "ok" for r in others)
+
+    def test_timeout_not_retried(self, corpus_dir):
+        paths = corpus_dir({"hang.ps1": f"# {LOOP_MARKER}"})
+        (record,) = run_batch(
+            make_tasks(paths),
+            jobs=1,
+            timeout=0.2,
+            kill_grace=0.1,
+            retries=3,
+            worker=FAULTY,
+        )
+        assert record["status"] == "timeout"
+        assert record["attempts"] == 1
+
+    def test_graceful_timeout_via_pipeline_deadline(self, corpus_dir):
+        paths = corpus_dir({"s.ps1": "iex 'iex ''write-host x'''"})
+        (record,) = run_batch(
+            make_tasks(paths, deadline_seconds=0.0), jobs=1, timeout=30.0
+        )
+        assert record["status"] == "timeout"
+        assert record["graceful"] is True
+
+
+class TestCrashIsolation:
+    def test_crash_marks_only_that_sample(self, corpus_dir):
+        samples = {f"ok{i}.ps1": f"write-host {i}" for i in range(4)}
+        samples["boom.ps1"] = f"# {CRASH_MARKER}"
+        paths = corpus_dir(samples)
+        records = run_batch(
+            make_tasks(paths), jobs=2, retries=1, worker=FAULTY
+        )
+        assert len(records) == 5
+        got = by_path(records)
+        boom = [p for p in paths if p.endswith("boom.ps1")][0]
+        assert got[boom]["status"] == "error"
+        assert "exit code" in got[boom]["error"]
+        # retried once (attempt 1 + 1 retry), then recorded
+        assert got[boom]["attempts"] == 2
+        assert all(
+            got[p]["status"] == "ok" for p in paths if p != boom
+        )
+
+    def test_crash_retry_can_succeed(self, corpus_dir):
+        paths = corpus_dir({"flaky.ps1": f"# {CRASH_ONCE_MARKER}"})
+        (record,) = run_batch(
+            make_tasks(paths), jobs=1, retries=1, worker=FAULTY
+        )
+        assert record["status"] == "ok"
+        assert record["attempts"] == 2
+
+    def test_zero_retries(self, corpus_dir):
+        paths = corpus_dir({"boom.ps1": f"# {CRASH_MARKER}"})
+        (record,) = run_batch(
+            make_tasks(paths), jobs=1, retries=0, worker=FAULTY
+        )
+        assert record["status"] == "error"
+        assert record["attempts"] == 1
+
+    def test_worker_exception_is_error_not_crash(self, corpus_dir):
+        paths = corpus_dir({"s.ps1": "write-host hi"})
+        (record,) = run_batch(make_tasks(paths), jobs=1, worker=RAISING)
+        assert record["status"] == "error"
+        assert "synthetic failure" in record["error"]
+        # the process survived, so no retry was needed
+        assert record["attempts"] == 1
+
+
+class TestSummaryIntegration:
+    def test_counts_add_up(self, corpus_dir):
+        samples = {f"ok{i}.ps1": f"write-host {i}" for i in range(3)}
+        samples["boom.ps1"] = f"# {CRASH_MARKER}"
+        samples["hang.ps1"] = f"# {LOOP_MARKER}"
+        samples["bad.ps1"] = "'unterminated"
+        paths = corpus_dir(samples)
+        records = run_batch(
+            make_tasks(paths),
+            jobs=3,
+            timeout=0.3,
+            kill_grace=0.1,
+            retries=0,
+            worker=FAULTY,
+        )
+        summary = summarize(records, wall_seconds=1.0)
+        counts = summary["status_counts"]
+        assert summary["total"] == len(paths) == sum(counts.values())
+        assert counts == {
+            "ok": 3, "invalid": 1, "timeout": 1, "error": 1,
+        }
+        assert summary["throughput_scripts_per_second"] == len(paths)

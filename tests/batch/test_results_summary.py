@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.batch.results` and
+:mod:`repro.batch.summary` — the JSONL layer and the aggregate math."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    ResultWriter,
+    completed_paths,
+    iter_records,
+    render_summary,
+    summarize,
+)
+from repro.batch.task import discover, make_tasks
+
+
+class TestResultWriter:
+    def test_appends_and_flushes(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        with ResultWriter(path=str(out)) as writer:
+            writer.write({"path": "a.ps1", "status": "ok"})
+            # visible immediately, before close
+            assert len(out.read_text().splitlines()) == 1
+            writer.write({"path": "b.ps1", "status": "error"})
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["path"] == "a.ps1"
+
+    def test_append_mode_preserves_prior_runs(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        for name in ("a", "b"):
+            with ResultWriter(path=str(out)) as writer:
+                writer.write({"path": name, "status": "ok"})
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_requires_exactly_one_target(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultWriter()
+        with pytest.raises(ValueError):
+            ResultWriter(path=str(tmp_path / "x"), stream=object())
+
+
+class TestRecordReading:
+    def test_iter_skips_malformed_lines(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        out.write_text(
+            '{"path": "a", "status": "ok"}\n'
+            '{"path": "b", "sta'  # truncated mid-write
+        )
+        records = list(iter_records(str(out)))
+        assert [r["path"] for r in records] == ["a"]
+
+    def test_completed_paths(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        out.write_text(
+            '{"path": "a", "status": "ok"}\n'
+            '{"path": "b", "status": "timeout"}\n'
+            '{"path": "c"}\n'  # no status -> not terminal
+        )
+        assert completed_paths(str(out)) == {"a", "b"}
+
+    def test_completed_paths_missing_file(self, tmp_path):
+        assert completed_paths(str(tmp_path / "nope.jsonl")) == set()
+
+
+class TestSummary:
+    def test_zero_filled_statuses(self):
+        summary = summarize([])
+        assert summary["total"] == 0
+        assert summary["status_counts"] == {
+            "ok": 0, "invalid": 0, "timeout": 0, "error": 0,
+        }
+
+    def test_percentiles_and_throughput(self):
+        records = [
+            {"status": "ok", "elapsed_seconds": t, "layers_unwrapped": 1,
+             "changed": True}
+            for t in (0.1, 0.2, 0.3, 0.4, 1.0)
+        ]
+        records.append({"status": "error", "error": "boom"})
+        summary = summarize(records, wall_seconds=2.0)
+        assert summary["total"] == 6
+        assert summary["status_counts"]["ok"] == 5
+        assert summary["status_counts"]["error"] == 1
+        assert summary["latency_p50_seconds"] == 0.3
+        assert summary["latency_max_seconds"] == 1.0
+        assert summary["layers_unwrapped"] == 5
+        assert summary["changed"] == 5
+        assert summary["throughput_scripts_per_second"] == 3.0
+
+    def test_render_mentions_every_status(self):
+        text = render_summary(summarize([], wall_seconds=1.0))
+        for status in ("ok", "invalid", "timeout", "error"):
+            assert status in text
+        assert "throughput" in text
+
+
+class TestDiscovery:
+    def test_directory_files_and_stdin(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.ps1").write_text("x")
+        (tmp_path / "sub" / "b.ps1").write_text("x")
+        (tmp_path / "ignored.txt").write_text("x")
+        extra = tmp_path / "extra.whatever"
+        extra.write_text("x")
+        import io
+
+        paths = discover(
+            [str(tmp_path), str(extra), "-"],
+            stdin=io.StringIO("from-stdin.ps1\n\n"),
+        )
+        assert paths == [
+            str(tmp_path / "a.ps1"),
+            str(tmp_path / "sub" / "b.ps1"),
+            str(extra),
+            "from-stdin.ps1",
+        ]
+
+    def test_deduplicates(self, tmp_path):
+        sample = tmp_path / "a.ps1"
+        sample.write_text("x")
+        assert discover([str(sample), str(sample), str(tmp_path)]) == [
+            str(sample)
+        ]
+
+    def test_custom_glob(self, tmp_path):
+        (tmp_path / "a.ps1").write_text("x")
+        (tmp_path / "b.txt").write_text("x")
+        assert discover([str(tmp_path)], glob="*.txt") == [
+            str(tmp_path / "b.txt")
+        ]
+
+    def test_make_tasks_shares_options(self, tmp_path):
+        tasks = make_tasks(
+            ["a.ps1", "b.ps1"], deadline_seconds=2.0, rename=False
+        )
+        assert all(
+            t.options == {"rename": False, "deadline_seconds": 2.0}
+            for t in tasks
+        )

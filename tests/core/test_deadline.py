@@ -1,0 +1,37 @@
+"""Tests for the pipeline's cooperative ``deadline_seconds`` budget."""
+
+from repro import Deobfuscator, deobfuscate
+
+NESTED = "iex 'iex ''write-host x'''"
+
+
+class TestDeadline:
+    def test_no_deadline_by_default(self):
+        result = deobfuscate(NESTED)
+        assert result.timed_out is False
+        assert result.script == "Write-Host x"
+
+    def test_generous_deadline_completes(self):
+        result = deobfuscate(NESTED, deadline_seconds=60.0)
+        assert result.timed_out is False
+        assert result.script == "Write-Host x"
+
+    def test_zero_deadline_times_out_immediately(self):
+        result = deobfuscate(NESTED, deadline_seconds=0.0)
+        assert result.timed_out is True
+        # best-effort partial result: the input, untouched
+        assert result.script == NESTED
+        assert result.valid_input is True
+
+    def test_timed_out_still_reports_elapsed(self):
+        result = deobfuscate(NESTED, deadline_seconds=0.0)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_invalid_input_is_not_timed_out(self):
+        result = deobfuscate("'unterminated", deadline_seconds=0.0)
+        assert result.valid_input is False
+        assert result.timed_out is False
+
+    def test_deadline_constructor_parameter(self):
+        tool = Deobfuscator(deadline_seconds=0.0)
+        assert tool.deobfuscate(NESTED).timed_out is True

@@ -1,0 +1,60 @@
+"""Docs drift guards.
+
+``docs/cli.md`` must document every subcommand ``repro.cli`` registers
+(this is the check CI runs as its "docs" step), and the CLI module
+docstring must not drift from the registered command set again.
+"""
+
+import argparse
+import os
+
+from repro.cli import build_parser
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CLI_DOC = os.path.join(REPO_ROOT, "docs", "cli.md")
+
+
+def registered_subcommands():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise AssertionError("no subparsers registered")
+
+
+def test_cli_doc_exists():
+    assert os.path.exists(CLI_DOC), "docs/cli.md is missing"
+
+
+def test_every_subcommand_documented():
+    with open(CLI_DOC, "r", encoding="utf-8") as handle:
+        doc = handle.read()
+    missing = [
+        command
+        for command in registered_subcommands()
+        if f"## `repro {command}" not in doc
+    ]
+    assert not missing, (
+        f"docs/cli.md lacks a '## `repro <cmd>`' section for: {missing}"
+    )
+
+
+def test_module_docstring_mentions_every_subcommand():
+    import repro.cli
+
+    doc = repro.cli.__doc__
+    missing = [
+        command
+        for command in registered_subcommands()
+        if f"\n{command} " not in doc and f"\n{command}\n" not in doc
+    ]
+    assert not missing, (
+        f"repro.cli module docstring omits commands: {missing}"
+    )
+
+
+def test_readme_links_docs():
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as f:
+        readme = f.read()
+    assert "docs/cli.md" in readme
+    assert "docs/architecture.md" in readme
