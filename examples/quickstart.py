@@ -30,8 +30,8 @@ def main() -> None:
     print(
         f"iterations: {result.iterations}, "
         f"layers unwrapped: {result.layers_unwrapped}, "
-        f"pieces recovered: {result.stats.get('pieces_recovered', 0)}, "
-        f"variables traced: {result.stats.get('variables_traced', 0)}"
+        f"pieces recovered: {result.stats.pieces_recovered}, "
+        f"variables traced: {result.stats.variables_traced}"
     )
     print(f"elapsed: {result.elapsed_seconds * 1000:.1f} ms")
 

@@ -28,6 +28,7 @@ __version__ = "1.1.0"
 
 _LAZY_PIPELINE = {"Deobfuscator", "DeobfuscationResult", "deobfuscate"}
 _LAZY_BATCH = {"BatchPool", "run_batch"}
+_LAZY_OBS = {"PipelineStats"}
 
 
 def __getattr__(name):
@@ -40,11 +41,16 @@ def __getattr__(name):
         from repro import batch
 
         return getattr(batch, name)
+    if name in _LAZY_OBS:
+        from repro import obs
+
+        return getattr(obs, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "Deobfuscator",
     "DeobfuscationResult",
+    "PipelineStats",
     "deobfuscate",
     "BatchPool",
     "run_batch",

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 from repro.analysis.behavior import BehaviorReport, observe_behavior
 from repro.analysis.keyinfo import KeyInfo, extract_key_info
 from repro.core.pipeline import DeobfuscationResult, Deobfuscator
+from repro.obs import profile_lines
 from repro.scoring import ObfuscationReport, score_script
 
 
@@ -75,6 +76,18 @@ class TriageReport:
         lines.append(
             "behaviour preserved by deobfuscation: "
             + ("yes" if self.behavior_consistent else "NO")
+        )
+        lines.append("--- pipeline telemetry ---")
+        lines.append(
+            f"run       : {self.deobfuscation.elapsed_seconds:.4f}s, "
+            f"{self.deobfuscation.iterations} iteration(s), "
+            f"{self.deobfuscation.layers_unwrapped} layer(s) unwrapped"
+        )
+        lines.extend(
+            profile_lines(
+                self.deobfuscation.stats,
+                self.deobfuscation.elapsed_seconds,
+            )
         )
         lines.append("--- deobfuscated script ---")
         lines.append(self.deobfuscation.script)

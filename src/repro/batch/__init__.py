@@ -22,12 +22,17 @@ Typical library use::
 JSONL record schema
 -------------------
 One JSON object per line, one line per sample, written in completion
-order.  Common fields:
+order.  The shape is pinned by
+:data:`repro.batch.records.RECORD_SCHEMA_VERSION` (and a golden-file
+test); :class:`SampleRecord` is the typed view.  Common fields:
 
 ``path`` (str)
     The sample's filesystem path — the resume key.
 ``status`` (str)
     ``ok`` | ``invalid`` | ``timeout`` | ``error``.
+``schema_version`` (int)
+    The record schema revision (2 as of the telemetry redesign;
+    records without the field are version 1).
 ``attempts`` (int)
     How many workers were handed this sample (> 1 after crash retries).
 
@@ -42,9 +47,10 @@ measurement set:
     Fixpoint iterations, ``IEX``/``-EncodedCommand`` layers removed,
     and whether the script changed at all.
 ``stats`` (object)
-    The pipeline counters (``pieces_recovered``, ``variables_traced``,
-    ``variables_substituted`` — see
-    :class:`repro.core.pipeline.DeobfuscationResult`).
+    The run's full telemetry — ``repro.obs.PipelineStats.to_dict()``:
+    phase spans and timings, recovery outcomes with reasons, evaluator
+    steps, tracing hit/miss counts, unwrap kinds.  Load it back with
+    ``PipelineStats.from_dict(record["stats"])``.
 ``script`` (str, optional)
     The deobfuscated script, only with ``--store-scripts``.
 
@@ -63,6 +69,11 @@ measurement set:
 """
 
 from repro.batch.pool import BatchPool, run_batch
+from repro.batch.records import (
+    RECORD_SCHEMA_VERSION,
+    BatchSummary,
+    SampleRecord,
+)
 from repro.batch.results import ResultWriter, completed_paths, iter_records
 from repro.batch.summary import render_summary, summarize
 from repro.batch.task import (
@@ -76,6 +87,9 @@ from repro.batch.task import (
 __all__ = [
     "BatchPool",
     "run_batch",
+    "RECORD_SCHEMA_VERSION",
+    "BatchSummary",
+    "SampleRecord",
     "ResultWriter",
     "completed_paths",
     "iter_records",

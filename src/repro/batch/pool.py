@@ -249,9 +249,14 @@ class BatchPool:
                         if index not in terminal:
                             terminal.add(index)
                             remaining -= 1
+                            from repro.batch.records import (
+                                RECORD_SCHEMA_VERSION,
+                            )
+
                             yield {
                                 "path": tasks[index].path,
                                 "status": "timeout",
+                                "schema_version": RECORD_SCHEMA_VERSION,
                                 "graceful": False,
                                 "elapsed_seconds": round(
                                     now - state.started, 6

@@ -1,0 +1,113 @@
+"""Typed views over the batch layer's wire formats.
+
+The pool and the JSONL file keep trafficking in plain dicts (they are
+what crosses process and filesystem boundaries), but consumers get
+typed, versioned dataclasses: :class:`SampleRecord` for one JSONL line
+and :class:`BatchSummary` for a whole run's aggregate.  Both round-trip
+losslessly through ``to_dict()``/``from_dict()``; the record shape is
+pinned by ``RECORD_SCHEMA_VERSION`` and a golden-file test.
+"""
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterable, Optional
+
+from repro.obs import PipelineStats
+
+# Version 1 is PR 1's implicit, unversioned record shape; version 2
+# adds this field plus the embedded PipelineStats telemetry.
+RECORD_SCHEMA_VERSION = 2
+
+
+@dataclass
+class SampleRecord:
+    """One JSONL line of a batch run, typed.
+
+    Optional fields are None when the producing status does not emit
+    them (an ``error`` record has no measurements; a hard-killed
+    ``timeout`` record has no stats).  ``to_dict()`` drops None fields
+    so the wire format stays exactly what the worker wrote.
+    """
+
+    path: str
+    status: str
+    schema_version: int = RECORD_SCHEMA_VERSION
+    sha256: Optional[str] = None
+    size_bytes: Optional[int] = None
+    elapsed_seconds: Optional[float] = None
+    iterations: Optional[int] = None
+    layers_unwrapped: Optional[int] = None
+    changed: Optional[bool] = None
+    stats: Optional[PipelineStats] = None
+    script: Optional[str] = None
+    graceful: Optional[bool] = None
+    error: Optional[str] = None
+    attempts: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if value is None:
+                continue
+            if item.name == "stats":
+                value = value.to_dict()
+            data[item.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SampleRecord":
+        known = {item.name for item in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs.setdefault("schema_version", 1)  # pre-versioned record
+        if isinstance(kwargs.get("stats"), dict):
+            kwargs["stats"] = PipelineStats.from_dict(kwargs["stats"])
+        return cls(**kwargs)
+
+
+@dataclass
+class BatchSummary:
+    """A whole run's aggregate, typed (see :func:`repro.batch.summarize`).
+
+    ``phase_seconds`` maps each pipeline phase to its per-sample
+    latency distribution (``mean``/``p50``/``p95``/``total``) across
+    every record that carried span telemetry — the corpus-level Fig 6
+    per-phase view.
+    """
+
+    total: int = 0
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    layers_unwrapped: int = 0
+    changed: int = 0
+    latency_mean_seconds: float = 0.0
+    latency_p50_seconds: float = 0.0
+    latency_p95_seconds: float = 0.0
+    latency_max_seconds: float = 0.0
+    phase_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    recovery_outcomes: Dict[str, int] = field(default_factory=dict)
+    unwrap_kinds: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: Optional[float] = None
+    throughput_scripts_per_second: Optional[float] = None
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[dict],
+        wall_seconds: Optional[float] = None,
+    ) -> "BatchSummary":
+        from repro.batch.summary import summarize
+
+        return cls.from_dict(summarize(records, wall_seconds=wall_seconds))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchSummary":
+        known = {item.name for item in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if value is None:
+                continue
+            data[item.name] = value
+        return data

@@ -2,14 +2,21 @@
 
 :func:`summarize` reduces a record list to the numbers the paper's
 evaluation reports per-corpus (status counts, throughput, latency
-percentiles); :func:`render_summary` formats them for humans.  The
-summary dict is plain data so ``benchmarks/bench_utils.render_table``
-can turn it straight into a results table.
+percentiles) plus the telemetry aggregates PR 2 added: per-phase
+latency p50/p95 across the corpus (the Fig 6 per-phase view the paper
+itself could not show) and corpus-wide recovery-outcome / unwrap-kind
+totals.  :func:`render_summary` formats them for humans.  The summary
+dict is plain data so ``benchmarks/bench_utils.render_table`` can turn
+it straight into a results table; :class:`repro.batch.BatchSummary` is
+the typed view over the same shape.
 """
 
 from typing import Dict, Iterable, List, Optional
 
 STATUSES = ("ok", "invalid", "timeout", "error")
+
+# Distribution keys reported per phase in ``summary["phase_seconds"]``.
+PHASE_METRICS = ("mean", "p50", "p95", "total")
 
 
 def _percentile(values: List[float], fraction: float) -> float:
@@ -19,6 +26,20 @@ def _percentile(values: List[float], fraction: float) -> float:
     ordered = sorted(values)
     rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
     return ordered[rank]
+
+
+def _phase_distributions(
+    per_phase: Dict[str, List[float]],
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for phase, values in per_phase.items():
+        out[phase] = {
+            "mean": round(sum(values) / len(values), 6),
+            "p50": round(_percentile(values, 0.50), 6),
+            "p95": round(_percentile(values, 0.95), 6),
+            "total": round(sum(values), 6),
+        }
+    return out
 
 
 def summarize(
@@ -32,12 +53,19 @@ def summarize(
     ``changed`` (samples whose script changed), latency over the
     samples that report ``elapsed_seconds`` (``latency_mean_seconds``,
     ``latency_p50_seconds``, ``latency_p95_seconds``,
-    ``latency_max_seconds``), and — when *wall_seconds* is given —
-    ``wall_seconds`` plus end-to-end ``throughput_scripts_per_second``.
+    ``latency_max_seconds``), per-phase latency distributions
+    (``phase_seconds``: phase → mean/p50/p95/total over the records
+    whose embedded stats carried span timings), corpus-wide
+    ``recovery_outcomes`` and ``unwrap_kinds`` totals, and — when
+    *wall_seconds* is given — ``wall_seconds`` plus end-to-end
+    ``throughput_scripts_per_second``.
     """
     records = list(records)
     counts = {status: 0 for status in STATUSES}
     latencies: List[float] = []
+    per_phase: Dict[str, List[float]] = {}
+    recovery_outcomes: Dict[str, int] = {}
+    unwrap_kinds: Dict[str, int] = {}
     layers = 0
     changed = 0
     for record in records:
@@ -47,6 +75,17 @@ def summarize(
             latencies.append(float(record["elapsed_seconds"]))
         layers += int(record.get("layers_unwrapped", 0))
         changed += 1 if record.get("changed") else 0
+        stats = record.get("stats")
+        if not isinstance(stats, dict):
+            continue
+        for phase, seconds in (stats.get("phase_seconds") or {}).items():
+            per_phase.setdefault(phase, []).append(float(seconds))
+        for reason, count in (stats.get("recovery_outcomes") or {}).items():
+            recovery_outcomes[reason] = (
+                recovery_outcomes.get(reason, 0) + int(count)
+            )
+        for kind, count in (stats.get("unwrap_kinds") or {}).items():
+            unwrap_kinds[kind] = unwrap_kinds.get(kind, 0) + int(count)
 
     summary: Dict[str, object] = {
         "total": len(records),
@@ -61,6 +100,9 @@ def summarize(
         "latency_max_seconds": (
             round(max(latencies), 6) if latencies else 0.0
         ),
+        "phase_seconds": _phase_distributions(per_phase),
+        "recovery_outcomes": recovery_outcomes,
+        "unwrap_kinds": unwrap_kinds,
     }
     if wall_seconds is not None:
         summary["wall_seconds"] = round(wall_seconds, 6)
@@ -85,6 +127,24 @@ def render_summary(summary: Dict[str, object]) -> str:
         f"p95 {summary['latency_p95_seconds']:.3f}s  "
         f"max {summary['latency_max_seconds']:.3f}s",
     ]
+    for phase, dist in (summary.get("phase_seconds") or {}).items():
+        lines.append(
+            f"  {phase:<8}: "
+            f"mean {dist['mean']:.4f}s  p50 {dist['p50']:.4f}s  "
+            f"p95 {dist['p95']:.4f}s  total {dist['total']:.2f}s"
+        )
+    outcomes = summary.get("recovery_outcomes") or {}
+    if outcomes:
+        lines.append(
+            "recovery  : "
+            + "  ".join(f"{k}={v}" for k, v in outcomes.items())
+        )
+    kinds = summary.get("unwrap_kinds") or {}
+    if any(kinds.values()):
+        lines.append(
+            "unwraps   : "
+            + "  ".join(f"{k}={v}" for k, v in kinds.items())
+        )
     if "throughput_scripts_per_second" in summary:
         lines.append(
             f"throughput: {summary['throughput_scripts_per_second']:.2f} "

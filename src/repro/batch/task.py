@@ -119,6 +119,7 @@ def run_one(task: Task) -> dict:
     isolation.  See :mod:`repro.batch` for the record schema.
     """
     from repro import Deobfuscator
+    from repro.batch.records import RECORD_SCHEMA_VERSION
 
     with open(task.path, "rb") as handle:
         raw = handle.read()
@@ -136,13 +137,14 @@ def run_one(task: Task) -> dict:
     record = {
         "path": task.path,
         "status": status,
+        "schema_version": RECORD_SCHEMA_VERSION,
         "sha256": hashlib.sha256(raw).hexdigest(),
         "size_bytes": len(raw),
         "elapsed_seconds": round(result.elapsed_seconds, 6),
         "iterations": result.iterations,
         "layers_unwrapped": result.layers_unwrapped,
         "changed": result.changed,
-        "stats": result.stats,
+        "stats": result.stats.to_dict(),
     }
     if status == "timeout":
         record["graceful"] = True
@@ -153,9 +155,12 @@ def run_one(task: Task) -> dict:
 
 def error_record(task: Task, message: str, attempts: int = 1) -> dict:
     """Record for a sample whose worker raised or died."""
+    from repro.batch.records import RECORD_SCHEMA_VERSION
+
     return {
         "path": task.path,
         "status": "error",
+        "schema_version": RECORD_SCHEMA_VERSION,
         "error": message,
         "attempts": attempts,
     }

@@ -3,10 +3,14 @@
 Commands
 --------
 deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers] [--timeout S]
-    Deobfuscate a PowerShell script and print the result.
+    Deobfuscate a PowerShell script and print the result; ``--stats``
+    adds the run's telemetry profile on stderr.
 batch INPUT... [--jobs N] [--timeout S] [--output FILE] [--resume] ...
     Deobfuscate a whole corpus across a worker-process pool, streaming
     one JSONL record per sample plus an aggregate summary.
+profile FILE [--json] [--timeout S]
+    Deobfuscate once and print the telemetry profile (per-phase spans,
+    recovery outcomes, tracing hits) instead of the script.
 score FILE
     Print the detected obfuscation techniques and the score.
 keyinfo FILE
@@ -59,7 +63,39 @@ def _cmd_deobfuscate(args) -> int:
             print(layer)
         print("# --- final ---")
     print(result.script)
+    if args.stats:
+        from repro.obs import render_profile
+
+        print(render_profile(result), file=sys.stderr)
     return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro import Deobfuscator
+    from repro.obs import render_profile
+
+    tool = Deobfuscator(
+        rename=not args.no_rename,
+        reformat=not args.no_reformat,
+        deadline_seconds=args.timeout,
+    )
+    result = tool.deobfuscate(_read(args.file))
+    if args.json:
+        payload = {
+            "valid_input": result.valid_input,
+            "timed_out": result.timed_out,
+            "changed": result.changed,
+            "iterations": result.iterations,
+            "layers_unwrapped": result.layers_unwrapped,
+            "elapsed_seconds": round(result.elapsed_seconds, 6),
+            "stats": result.stats.to_dict(),
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render_profile(result))
+    return 0 if result.valid_input else 1
 
 
 def _cmd_batch(args) -> int:
@@ -227,7 +263,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="cooperative deadline; on expiry print the partial result",
     )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the run's telemetry profile to stderr",
+    )
     p.set_defaults(func=_cmd_deobfuscate)
+
+    p = sub.add_parser(
+        "profile",
+        help="deobfuscate once and print the telemetry profile",
+    )
+    p.add_argument("file", help="script path, or - for stdin")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text profile",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative deadline; a timed-out run still reports the "
+        "spans of every phase that ran",
+    )
+    p.add_argument("--no-rename", action="store_true")
+    p.add_argument("--no-reformat", action="store_true")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "batch",

@@ -15,5 +15,11 @@ Phases, in order (paper Fig 2):
 """
 
 from repro.core.pipeline import DeobfuscationResult, Deobfuscator, deobfuscate
+from repro.obs import PipelineStats
 
-__all__ = ["Deobfuscator", "DeobfuscationResult", "deobfuscate"]
+__all__ = [
+    "Deobfuscator",
+    "DeobfuscationResult",
+    "PipelineStats",
+    "deobfuscate",
+]

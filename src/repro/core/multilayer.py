@@ -11,7 +11,8 @@ token-parse → AST-recover → unwrap until a fixpoint.
 
 import base64
 import binascii
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.pslang import ast_nodes as N
 from repro.pslang.aliases import resolve_alias
@@ -103,7 +104,11 @@ def _extract_iex_payload(command: N.CommandAst) -> Optional[str]:
     return None
 
 
-def _extract_powershell_payload(command: N.CommandAst) -> Optional[str]:
+def _extract_powershell_payload(
+    command: N.CommandAst,
+) -> Optional[Tuple[str, str]]:
+    """The inner script and its unwrap kind (``encoded_command`` when a
+    base64 payload was decoded, ``command`` for inline script text)."""
     elements = command.elements[1:]
     index = 0
     positional: List[N.Ast] = []
@@ -118,7 +123,9 @@ def _extract_powershell_payload(command: N.CommandAst) -> Optional[str]:
                 if argument is not None:
                     literal = _literal_value(argument)
                     if literal is not None:
-                        return decode_encoded_command(literal)
+                        decoded = decode_encoded_command(literal)
+                        if decoded is not None:
+                            return decoded, "encoded_command"
                 return None
             if _is_command_parameter(element.name):
                 argument = element.argument
@@ -126,7 +133,9 @@ def _extract_powershell_payload(command: N.CommandAst) -> Optional[str]:
                     argument = elements[index + 1]
                     index += 1
                 if argument is not None:
-                    return _literal_value(argument)
+                    literal = _literal_value(argument)
+                    if literal is not None:
+                        return literal, "command"
                 return None
         else:
             positional.append(element)
@@ -137,13 +146,15 @@ def _extract_powershell_payload(command: N.CommandAst) -> Optional[str]:
         if literal is not None:
             decoded = decode_encoded_command(literal)
             if decoded is not None:
-                return decoded
-            return literal
+                return decoded, "encoded_command"
+            return literal, "command"
     return None
 
 
-def _unwrap_pipeline(pipeline: N.PipelineAst) -> Optional[str]:
-    """The replacement text for a whole pipeline, or None."""
+def _unwrap_pipeline(
+    pipeline: N.PipelineAst,
+) -> Optional[Tuple[str, str]]:
+    """``(replacement_text, unwrap_kind)`` for a pipeline, or None."""
     elements = pipeline.elements
     # `'payload' | iex` (possibly with more stages in front).
     if len(elements) == 2 and isinstance(elements[1], N.CommandAst):
@@ -153,14 +164,70 @@ def _unwrap_pipeline(pipeline: N.PipelineAst) -> Optional[str]:
         ):
             payload = _literal_value(elements[0].expression)
             if payload is not None:
-                return payload
+                return payload, "iex"
     if len(elements) == 1 and isinstance(elements[0], N.CommandAst):
         command = elements[0]
         if is_invoke_expression_command(command):
-            return _extract_iex_payload(command)
+            payload = _extract_iex_payload(command)
+            if payload is not None:
+                return payload, "iex"
+            return None
         if is_powershell_command(command):
             return _extract_powershell_payload(command)
     return None
+
+
+@dataclass
+class UnwrapResult:
+    """One ``unwrap_layers`` pass: the new script plus what happened."""
+
+    script: str
+    count: int = 0
+    kinds: Dict[str, int] = field(default_factory=dict)
+
+
+def unwrap_layers_detailed(script: str) -> UnwrapResult:
+    """Unwrap every syntactically safe invoker in *script* once,
+    recording how many layers of each kind (``iex``, ``encoded_command``,
+    ``command``) came off."""
+    ast, _ = try_parse(script)
+    if ast is None:
+        return UnwrapResult(script)
+    replacements: List[Tuple[int, int, str, str]] = []
+    for node in ast.walk_pre_order():
+        if not isinstance(node, N.PipelineAst):
+            continue
+        unwrapped = _unwrap_pipeline(node)
+        if unwrapped is None:
+            continue
+        payload, kind = unwrapped
+        inner_ast, _ = try_parse(payload)
+        if inner_ast is None:
+            continue
+        replacements.append((node.start, node.end, payload, kind))
+    if not replacements:
+        return UnwrapResult(script)
+    # Drop nested replacements (outermost wins) and apply right-to-left.
+    replacements.sort(key=lambda r: (r[0], -r[1]))
+    accepted: List[Tuple[int, int, str, str]] = []
+    last_end = -1
+    for start, end, payload, kind in replacements:
+        if start < last_end:
+            continue
+        accepted.append((start, end, payload, kind))
+        last_end = end
+    outcome = UnwrapResult(script)
+    result = script
+    for start, end, payload, kind in reversed(accepted):
+        candidate = result[:start] + payload + result[end:]
+        validated, _ = try_parse(candidate)
+        if validated is None:
+            continue
+        result = candidate
+        outcome.count += 1
+        outcome.kinds[kind] = outcome.kinds.get(kind, 0) + 1
+    outcome.script = result
+    return outcome
 
 
 def unwrap_layers(script: str) -> Tuple[str, int]:
@@ -168,38 +235,5 @@ def unwrap_layers(script: str) -> Tuple[str, int]:
 
     Returns ``(new_script, how_many_layers_unwrapped)``.
     """
-    ast, _ = try_parse(script)
-    if ast is None:
-        return script, 0
-    replacements: List[Tuple[int, int, str]] = []
-    for node in ast.walk_pre_order():
-        if not isinstance(node, N.PipelineAst):
-            continue
-        payload = _unwrap_pipeline(node)
-        if payload is None:
-            continue
-        inner_ast, _ = try_parse(payload)
-        if inner_ast is None:
-            continue
-        replacements.append((node.start, node.end, payload))
-    if not replacements:
-        return script, 0
-    # Drop nested replacements (outermost wins) and apply right-to-left.
-    replacements.sort(key=lambda r: (r[0], -r[1]))
-    accepted: List[Tuple[int, int, str]] = []
-    last_end = -1
-    for start, end, payload in replacements:
-        if start < last_end:
-            continue
-        accepted.append((start, end, payload))
-        last_end = end
-    result = script
-    count = 0
-    for start, end, payload in reversed(accepted):
-        candidate = result[:start] + payload + result[end:]
-        validated, _ = try_parse(candidate)
-        if validated is None:
-            continue
-        result = candidate
-        count += 1
-    return result, count
+    outcome = unwrap_layers_detailed(script)
+    return outcome.script, outcome.count

@@ -5,18 +5,23 @@ unwrap`` runs in a loop until the script stops changing (Section III-B4's
 fixpoint), then randomized identifiers are renamed and the script is
 reformatted.  Every phase is individually optional so the ablation bench
 (DESIGN.md A1) can switch pieces off.
+
+Every run is instrumented through :mod:`repro.obs`: per-phase,
+per-iteration wall-clock spans plus the counters each phase emits land
+in the typed :class:`~repro.obs.PipelineStats` on the result.
 """
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.core.multilayer import unwrap_layers
+from repro.core.multilayer import unwrap_layers_detailed
 from repro.core.recovery import RecoveryEngine
 from repro.core.reconstruction import AstDeobfuscator
 from repro.core.reformat import reformat_script
 from repro.core.rename import rename_random_identifiers
 from repro.core.token_deobfuscator import deobfuscate_tokens
+from repro.obs import PipelineStats, Tracer
 from repro.pslang.parser import try_parse
 
 DEFAULT_MAX_ITERATIONS = 10
@@ -48,20 +53,18 @@ class DeobfuscationResult:
         phase ran.
     timed_out
         True when ``deadline_seconds`` elapsed before the fixpoint was
-        reached; ``script`` still holds the best-effort intermediate.
+        reached; ``script`` still holds the best-effort intermediate and
+        ``stats`` the partial telemetry (including the spans of every
+        phase that did run).
     elapsed_seconds
         Wall-clock time spent inside :meth:`Deobfuscator.deobfuscate`.
     stats
-        Per-run counters accumulated over every iteration:
-
-        ``pieces_recovered``
-            Recoverable AST pieces successfully executed in the sandbox
-            and replaced in place (paper Section III-B2).
-        ``variables_traced``
-            Constant variable assignments captured into the symbol
-            table (Algorithm 1).
-        ``variables_substituted``
-            Variable reads replaced by their traced constant values.
+        The run's :class:`~repro.obs.PipelineStats`: per-phase spans and
+        timings, per-piece recovery outcomes with reasons, evaluator
+        step counts, variable-tracing hit/miss counts, and multilayer
+        unwrap kinds.  Serialize with ``stats.to_dict()``; the legacy
+        ``stats["pieces_recovered"]`` dict access still works for one
+        release.
     """
 
     original: str
@@ -72,7 +75,7 @@ class DeobfuscationResult:
     valid_input: bool = True
     timed_out: bool = False
     elapsed_seconds: float = 0.0
-    stats: Dict[str, int] = field(default_factory=dict)
+    stats: PipelineStats = field(default_factory=PipelineStats)
 
     @property
     def changed(self) -> bool:
@@ -111,6 +114,11 @@ class Deobfuscator:
         pathological phase can still overrun (phases are not
         preempted) — :mod:`repro.batch` adds the hard process-kill
         backstop for corpus runs.
+    collect_spans
+        Record per-phase wall-clock spans into ``result.stats`` (on by
+        default; the overhead is two clock reads per phase, pinned ≤ 5%
+        by ``benchmarks/test_phase_profile.py``).  Counters are always
+        collected.
     """
 
     def __init__(
@@ -126,6 +134,7 @@ class Deobfuscator:
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         piece_step_limit: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        collect_spans: bool = True,
     ):
         self.token_phase = token_phase
         self.ast_phase = ast_phase
@@ -138,14 +147,14 @@ class Deobfuscator:
         self.max_iterations = max_iterations
         self.piece_step_limit = piece_step_limit
         self.deadline_seconds = deadline_seconds
+        self.collect_spans = collect_spans
 
     def _make_recovery(self) -> RecoveryEngine:
-        if self.piece_step_limit is not None:
-            return RecoveryEngine(
-                enforce_blocklist=self.enforce_blocklist,
-                step_limit=self.piece_step_limit,
-            )
-        return RecoveryEngine(enforce_blocklist=self.enforce_blocklist)
+        # step_limit=None means "engine default" — no branching needed.
+        return RecoveryEngine(
+            enforce_blocklist=self.enforce_blocklist,
+            step_limit=self.piece_step_limit,
+        )
 
     def deobfuscate(self, script: str) -> DeobfuscationResult:
         started = time.perf_counter()
@@ -159,6 +168,8 @@ class Deobfuscator:
             return deadline is not None and time.perf_counter() >= deadline
 
         result = DeobfuscationResult(original=script, script=script)
+        stats = result.stats
+        tracer = Tracer(enabled=self.collect_spans)
         ast, _ = try_parse(script)
         if ast is None:
             result.valid_input = False
@@ -166,31 +177,33 @@ class Deobfuscator:
             return result
 
         current = script
-        stats: Dict[str, int] = {
-            "pieces_recovered": 0,
-            "variables_traced": 0,
-            "variables_substituted": 0,
-        }
         converged = False
-        for _iteration in range(self.max_iterations):
+        for iteration in range(self.max_iterations):
             if out_of_time():
                 result.timed_out = True
                 break
             step = current
             if self.token_phase:
-                step = deobfuscate_tokens(step)
+                with tracer.span("token", iteration=iteration):
+                    step = deobfuscate_tokens(step, stats=stats)
             if self.ast_phase and not out_of_time():
                 engine = AstDeobfuscator(
                     recovery=self._make_recovery(),
                     trace_variables=self.trace_variables,
                     trace_functions=self.trace_functions,
+                    stats=stats,
                 )
-                step = engine.process(step)
-                for key, value in engine.stats.items():
-                    stats[key] = stats.get(key, 0) + value
+                with tracer.span("ast", iteration=iteration):
+                    step = engine.process(step)
             if self.multilayer and not out_of_time():
-                step, unwrapped = unwrap_layers(step)
-                result.layers_unwrapped += unwrapped
+                with tracer.span("multilayer", iteration=iteration):
+                    unwrapped = unwrap_layers_detailed(step)
+                step = unwrapped.script
+                result.layers_unwrapped += unwrapped.count
+                for kind, count in unwrapped.kinds.items():
+                    stats.unwrap_kinds[kind] = (
+                        stats.unwrap_kinds.get(kind, 0) + count
+                    )
             result.iterations += 1
             if step == current:
                 converged = True
@@ -204,15 +217,18 @@ class Deobfuscator:
             if out_of_time():
                 result.timed_out = True
             else:
-                current = rename_random_identifiers(current)
+                with tracer.span("rename"):
+                    current = rename_random_identifiers(current)
         if self.reformat:
             if out_of_time():
                 result.timed_out = True
             else:
-                current = reformat_script(current)
+                with tracer.span("reformat"):
+                    current = reformat_script(current)
 
         result.script = current
-        result.stats = stats
+        stats.spans = tracer.spans
+        stats.phase_seconds = tracer.phase_totals()
         result.elapsed_seconds = time.perf_counter() - started
         return result
 

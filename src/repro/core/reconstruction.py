@@ -24,7 +24,13 @@ from typing import Dict, List, Optional
 from repro.pslang import ast_nodes as N
 from repro.pslang.parser import try_parse
 from repro.pslang.visitor import scope_path
-from repro.core.recovery import RecoveryEngine, quote_single, stringify_result
+from repro.core.recovery import (
+    RecoveryEngine,
+    RecoveryOutcome,
+    quote_single,
+    stringify_result,
+)
+from repro.obs import PipelineStats
 from repro.core.tracing import (
     SymbolTable,
     assignment_is_traceable,
@@ -62,23 +68,23 @@ class AstDeobfuscator:
         recovery: Optional[RecoveryEngine] = None,
         trace_variables: bool = True,
         trace_functions: bool = False,
+        stats: Optional[PipelineStats] = None,
     ):
         self.recovery = recovery or RecoveryEngine()
         self.trace_variables = trace_variables
         # Extension beyond the paper (its Section V-C limitation): make
         # user-defined functions callable during piece recovery.
         self.trace_functions = trace_functions
+        # Counters accumulate into the caller's record when one is
+        # passed (the pipeline shares one PipelineStats across phases
+        # and iterations); standalone use gets a private record.
+        self.stats = stats if stats is not None else PipelineStats()
         self.symbols = SymbolTable()
         self.source = ""
-        self.stats: Dict[str, int] = {
-            "pieces_recovered": 0,
-            "variables_traced": 0,
-            "variables_substituted": 0,
-        }
         # id(node) -> subtree contains a blocklisted command/method.
         self._blocked_subtree: Dict[int, bool] = {}
         # Memo for variable-free pieces (state-independent).
-        self._recover_cache: Dict[str, Optional[str]] = {}
+        self._recover_cache: Dict[str, RecoveryOutcome] = {}
 
     def process(self, script: str) -> str:
         """Return the recovered script (or *script* when not parseable)."""
@@ -199,7 +205,7 @@ class AstDeobfuscator:
             self.symbols.remove(key)
             return
         self.symbols.record(key, value, scope_path(node))
-        self.stats["variables_traced"] += 1
+        self.stats.variables_traced += 1
 
     def _trace_env_assignment(
         self, bare_name: str, node: N.AssignmentStatementAst, text: str
@@ -234,6 +240,8 @@ class AstDeobfuscator:
             return None, False
         except RecursionError:  # pragma: no cover - defensive
             return None, False
+        finally:
+            self.stats.evaluator_steps += evaluator.budget.steps
 
     def _substitute_use(
         self, node: N.VariableExpressionAst, current: str
@@ -249,11 +257,13 @@ class AstDeobfuscator:
             return None
         value = self.symbols.substitutable(node.name, scope_path(node))
         if value is None:
+            self.stats.trace_misses += 1
             return None
+        self.stats.trace_hits += 1
         rendered = stringify_result(value)
         if rendered is None:
             return None
-        self.stats["variables_substituted"] += 1
+        self.stats.variables_substituted += 1
         return rendered
 
     # -- recovery ------------------------------------------------------------------
@@ -270,6 +280,7 @@ class AstDeobfuscator:
         # The paper's blocklist skip: pieces mentioning irrelevant or
         # dangerous commands are never executed.
         if self._blocked_subtree.get(id(node), False):
+            self.stats.recovery_outcomes["blocked"] += 1
             return None
         # Interior nodes of a homogeneous '+' chain are subsumed by the
         # chain's outermost node; evaluating every prefix of a long
@@ -286,19 +297,26 @@ class AstDeobfuscator:
         # function tracing is on, user function definitions).
         cacheable = "$" not in current and not self.symbols.function_defs
         if cacheable and current in self._recover_cache:
-            recovered = self._recover_cache[current]
+            outcome = self._recover_cache[current]
+            # A cached answer re-counts its reason (the piece was seen
+            # again) but not its steps (the sandbox did not run again).
+            self.stats.recovery_cache_hits += 1
+            self.stats.recovery_outcomes[outcome.reason] += 1
         else:
-            recovered = self.recovery.recover_piece(
+            outcome = self.recovery.recover_piece_detailed(
                 current,
                 variables=self.symbols.values_for_evaluator(),
                 env_overrides=self.symbols.env_overrides,
                 function_defs=self.symbols.function_defs,
             )
+            self.stats.recovery_outcomes[outcome.reason] += 1
+            self.stats.evaluator_steps += outcome.steps
             if cacheable:
-                self._recover_cache[current] = recovered
+                self._recover_cache[current] = outcome
+        recovered = outcome.text
         if recovered is None or recovered == current:
             return None
-        self.stats["pieces_recovered"] += 1
+        self.stats.pieces_recovered += 1
         return recovered
 
     @staticmethod

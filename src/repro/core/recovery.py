@@ -12,9 +12,14 @@ Pieces mentioning blocklisted commands are not executed at all — that is
 the paper's speed-up (and the reason Fig 6's curve is flat).
 """
 
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.runtime.errors import EvaluationError
+from repro.runtime.errors import (
+    BlockedCommandError,
+    EvaluationError,
+    StepLimitError,
+)
 from repro.runtime.evaluator import Evaluator
 from repro.runtime.host import SandboxHost
 from repro.runtime.limits import ExecutionBudget
@@ -58,16 +63,40 @@ def stringify_result(value: Any) -> Optional[str]:
     return None
 
 
+@dataclass
+class RecoveryOutcome:
+    """What happened when one piece was offered to the sandbox.
+
+    ``text`` is the replacement literal, or None when the caller should
+    keep the original piece.  ``reason`` is one of
+    :data:`repro.obs.stats.RECOVERY_REASONS`; ``steps`` is how many
+    interpreter steps the attempt consumed (0 when never executed).
+    """
+
+    text: Optional[str]
+    reason: str
+    steps: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.text is not None
+
+
 class RecoveryEngine:
     """Evaluates piece text under a symbol table and stringifies results."""
 
     def __init__(
         self,
         enforce_blocklist: bool = True,
-        step_limit: int = PIECE_STEP_LIMIT,
+        step_limit: Optional[int] = None,
     ):
         self.enforce_blocklist = enforce_blocklist
-        self.step_limit = step_limit
+        # None means "use the default", so callers forwarding a
+        # user-supplied optional limit never need a two-branch
+        # construction.
+        self.step_limit = (
+            PIECE_STEP_LIMIT if step_limit is None else step_limit
+        )
 
     def evaluate_piece(
         self,
@@ -81,6 +110,20 @@ class RecoveryEngine:
         ``ok`` is False when the piece is not executable under sandbox
         policy (unsupported/blocked/failed), in which case the caller
         keeps the original text.
+        """
+        ok, value, _outcome = self._evaluate(
+            piece, variables, env_overrides, function_defs
+        )
+        return ok, value
+
+    def _evaluate(
+        self,
+        piece: str,
+        variables: Optional[Dict[str, Any]] = None,
+        env_overrides: Optional[Dict[str, str]] = None,
+        function_defs: Optional[Dict[str, str]] = None,
+    ) -> Tuple[bool, Any, RecoveryOutcome]:
+        """Run *piece*, classifying the failure mode for telemetry.
 
         ``function_defs`` maps function names to their definition text;
         each is executed first (which merely registers the function), so
@@ -88,7 +131,7 @@ class RecoveryEngine:
         extension past the paper's Section V-C limitation.
         """
         if len(piece) > MAX_PIECE_LENGTH:
-            return False, None
+            return False, None, RecoveryOutcome(None, "unsupported")
         evaluator = Evaluator(
             host=SandboxHost(),
             budget=ExecutionBudget(step_limit=self.step_limit),
@@ -104,13 +147,46 @@ class RecoveryEngine:
                 continue  # unparseable definition: skip it
         try:
             outputs = evaluator.run_script_text(piece)
+        except StepLimitError:
+            return False, None, RecoveryOutcome(
+                None, "step_limit", steps=evaluator.budget.steps
+            )
+        except BlockedCommandError:
+            return False, None, RecoveryOutcome(
+                None, "blocked", steps=evaluator.budget.steps
+            )
         except EvaluationError:
-            return False, None
+            return False, None, RecoveryOutcome(
+                None, "unsupported", steps=evaluator.budget.steps
+            )
         except RecursionError:  # pragma: no cover - defensive
-            return False, None
+            return False, None, RecoveryOutcome(None, "unsupported")
         from repro.runtime.values import unwrap_single
 
-        return True, unwrap_single(outputs)
+        value = unwrap_single(outputs)
+        return True, value, RecoveryOutcome(
+            None, "recovered", steps=evaluator.budget.steps
+        )
+
+    def recover_piece_detailed(
+        self,
+        piece: str,
+        variables: Optional[Dict[str, Any]] = None,
+        env_overrides: Optional[Dict[str, str]] = None,
+        function_defs: Optional[Dict[str, str]] = None,
+    ) -> RecoveryOutcome:
+        """Recover *piece* and say why it was (not) replaced."""
+        ok, value, outcome = self._evaluate(
+            piece, variables, env_overrides, function_defs
+        )
+        if not ok:
+            return outcome
+        text = stringify_result(value)
+        if text is None:
+            outcome.reason = "not_stringifiable"
+            return outcome
+        outcome.text = text
+        return outcome
 
     def recover_piece(
         self,
@@ -120,9 +196,6 @@ class RecoveryEngine:
         function_defs: Optional[Dict[str, str]] = None,
     ) -> Optional[str]:
         """The recovery result text for *piece*, or None to keep it."""
-        ok, value = self.evaluate_piece(
+        return self.recover_piece_detailed(
             piece, variables, env_overrides, function_defs
-        )
-        if not ok:
-            return None
-        return stringify_result(value)
+        ).text

@@ -120,11 +120,13 @@ def _rewrite_token(token: PSToken) -> Optional[str]:
     return None
 
 
-def deobfuscate_tokens(script: str) -> str:
+def deobfuscate_tokens(script: str, stats=None) -> str:
     """Run the token-parsing phase over *script*.
 
     Returns the rewritten script; if the script cannot be tokenized it is
     returned unchanged (the paper skips steps that would break syntax).
+    When *stats* (a :class:`repro.obs.PipelineStats`) is given, every
+    applied rewrite increments its ``tokens_rewritten`` counter.
 
     All rewrites are applied in one reverse-order batch and validated
     once; only when the batch breaks the syntax does the per-token
@@ -149,6 +151,8 @@ def deobfuscate_tokens(script: str) -> str:
         )
     validated, _ = try_tokenize(batched)
     if validated is not None:
+        if stats is not None:
+            stats.tokens_rewritten += len(rewrites)
         return batched
 
     # Rare fallback: some rewrite broke the syntax — validate one by one.
@@ -161,6 +165,8 @@ def deobfuscate_tokens(script: str) -> str:
         if fixed_tokens is None:
             continue  # roll back a rewrite that broke the syntax
         result = candidate
+        if stats is not None:
+            stats.tokens_rewritten += 1
     return result
 
 

@@ -1,0 +1,38 @@
+"""Pipeline observability: spans, counters, and the typed stats record.
+
+The paper's efficiency claims (Fig 6) and its failure analysis (Section
+V-C) both require knowing *where* a run spends its time and *why* each
+recoverable piece was kept or replaced.  This package is the
+instrumentation layer that records exactly that, with no third-party
+dependencies:
+
+- :class:`Tracer` / :class:`Span` — per-phase, per-iteration wall-clock
+  spans (:mod:`repro.obs.spans`);
+- :class:`PipelineStats` — the typed, versioned per-run record that
+  ``DeobfuscationResult.stats`` now carries, with lossless
+  ``to_dict()``/``from_dict()`` for JSONL embedding
+  (:mod:`repro.obs.stats`);
+- :func:`render_profile` — the human rendering behind ``repro profile``
+  and ``repro deobfuscate --stats`` (:mod:`repro.obs.profile`).
+"""
+
+from repro.obs.profile import profile_lines, render_profile
+from repro.obs.spans import PHASES, Span, Tracer
+from repro.obs.stats import (
+    RECOVERY_REASONS,
+    STATS_SCHEMA_VERSION,
+    UNWRAP_KINDS,
+    PipelineStats,
+)
+
+__all__ = [
+    "PHASES",
+    "RECOVERY_REASONS",
+    "STATS_SCHEMA_VERSION",
+    "UNWRAP_KINDS",
+    "PipelineStats",
+    "Span",
+    "Tracer",
+    "profile_lines",
+    "render_profile",
+]

@@ -1,0 +1,205 @@
+"""The typed, versioned per-run telemetry record: :class:`PipelineStats`.
+
+This replaces the free-form ``stats: Dict[str, int]`` the pipeline used
+to return.  Every counter the phases emit has a declared field, the
+serialized form is pinned by ``STATS_SCHEMA_VERSION`` (and a golden-file
+test), and ``from_dict(to_dict())`` round-trips losslessly — which is
+what lets ``repro batch`` embed the stats in JSONL records and
+``repro.batch.summary`` aggregate per-phase percentiles over a corpus.
+
+A one-release dict-compat shim (``stats["pieces_recovered"]``,
+``stats.get(...)``, ``"x" in stats``, ``.keys()``/``.items()``) keeps
+pre-redesign callers working; new code should use the attributes.
+"""
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.spans import Span
+
+# Bump whenever the serialized shape of PipelineStats changes.
+STATS_SCHEMA_VERSION = 1
+
+# Why a recoverable piece did / did not get replaced (Section III-B2
+# plus the failure taxonomy of Section V-C).
+RECOVERY_REASONS = (
+    "recovered",           # executed; result had a string form
+    "blocked",             # mentions a blocklisted command: never executed
+    "unsupported",         # evaluation failed (outside the sandbox subset)
+    "step_limit",          # execution budget exhausted mid-piece
+    "not_stringifiable",   # executed fine, but no faithful literal exists
+)
+
+# What kind of invoker the multi-layer phase unwrapped.
+UNWRAP_KINDS = (
+    "iex",                 # Invoke-Expression / iex / &'iex' / .('iex')
+    "encoded_command",     # powershell -EncodedCommand <base64>
+    "command",             # powershell -Command / bare inline script
+)
+
+
+def _zero_reasons() -> Dict[str, int]:
+    return {reason: 0 for reason in RECOVERY_REASONS}
+
+
+def _zero_kinds() -> Dict[str, int]:
+    return {kind: 0 for kind in UNWRAP_KINDS}
+
+
+@dataclass
+class PipelineStats:
+    """Everything one :meth:`Deobfuscator.deobfuscate` run measured.
+
+    Counters
+    --------
+    tokens_rewritten
+        Token-phase rewrites applied (ticks removed, aliases expanded,
+        casing canonicalized).
+    pieces_recovered
+        Recoverable AST pieces whose replacement actually changed the
+        script.  ``recovery_outcomes["recovered"]`` additionally counts
+        pieces that evaluated to their own text (already-clean pieces).
+    variables_traced / variables_substituted
+        Algorithm 1 symbol-table writes and use-site replacements.
+    trace_hits / trace_misses
+        At substitutable use sites: how often the symbol table had a
+        usable value vs not — the paper's variable-tracing efficacy.
+    recovery_outcomes
+        Per-piece outcome counts keyed by :data:`RECOVERY_REASONS`.
+    recovery_cache_hits
+        Pieces answered from the state-independent memo instead of the
+        sandbox.
+    evaluator_steps
+        Total sandbox interpreter steps across every piece and
+        assignment evaluation — the run's execution-cost denominator.
+    unwrap_kinds
+        Multi-layer unwraps by invoker kind (:data:`UNWRAP_KINDS`).
+
+    Timing
+    ------
+    phase_seconds
+        Total wall-clock per phase name (summed over iterations).
+    spans
+        The raw per-phase, per-iteration :class:`Span` list; empty when
+        the pipeline ran with ``collect_spans=False``.
+    """
+
+    tokens_rewritten: int = 0
+    pieces_recovered: int = 0
+    variables_traced: int = 0
+    variables_substituted: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    evaluator_steps: int = 0
+    recovery_cache_hits: int = 0
+    recovery_outcomes: Dict[str, int] = field(default_factory=_zero_reasons)
+    unwrap_kinds: Dict[str, int] = field(default_factory=_zero_kinds)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+    schema_version: int = STATS_SCHEMA_VERSION
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; pinned by the schema golden test."""
+        return {
+            "schema_version": self.schema_version,
+            "tokens_rewritten": self.tokens_rewritten,
+            "pieces_recovered": self.pieces_recovered,
+            "variables_traced": self.variables_traced,
+            "variables_substituted": self.variables_substituted,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "evaluator_steps": self.evaluator_steps,
+            "recovery_cache_hits": self.recovery_cache_hits,
+            "recovery_outcomes": dict(self.recovery_outcomes),
+            "unwrap_kinds": dict(self.unwrap_kinds),
+            "phase_seconds": dict(self.phase_seconds),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelineStats":
+        """Rebuild from :meth:`to_dict` output.
+
+        Tolerant of older records: missing fields default to zero (a
+        pre-telemetry record's three counters still load), and unknown
+        keys are ignored so a newer writer does not break an older
+        reader.
+        """
+        stats = cls()
+        for item in fields(cls):
+            if item.name not in data:
+                continue
+            value = data[item.name]
+            if item.name == "spans":
+                stats.spans = [Span.from_dict(s) for s in value]
+            elif item.name in ("recovery_outcomes", "unwrap_kinds"):
+                merged = getattr(stats, item.name)
+                merged.update({str(k): int(v) for k, v in value.items()})
+            elif item.name == "phase_seconds":
+                stats.phase_seconds = {
+                    str(k): float(v) for k, v in value.items()
+                }
+            else:
+                setattr(stats, item.name, int(value))
+        return stats
+
+    # -- aggregation --------------------------------------------------------
+
+    def merge(self, other: "PipelineStats") -> None:
+        """Add *other*'s counters and timings into this record."""
+        self.tokens_rewritten += other.tokens_rewritten
+        self.pieces_recovered += other.pieces_recovered
+        self.variables_traced += other.variables_traced
+        self.variables_substituted += other.variables_substituted
+        self.trace_hits += other.trace_hits
+        self.trace_misses += other.trace_misses
+        self.evaluator_steps += other.evaluator_steps
+        self.recovery_cache_hits += other.recovery_cache_hits
+        for reason, count in other.recovery_outcomes.items():
+            self.recovery_outcomes[reason] = (
+                self.recovery_outcomes.get(reason, 0) + count
+            )
+        for kind, count in other.unwrap_kinds.items():
+            self.unwrap_kinds[kind] = (
+                self.unwrap_kinds.get(kind, 0) + count
+            )
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = round(
+                self.phase_seconds.get(phase, 0.0) + seconds, 6
+            )
+        self.spans.extend(other.spans)
+
+    # -- one-release dict-compat shim ---------------------------------------
+    #
+    # ``result.stats`` was a plain Dict[str, int]; these methods keep
+    # ``stats["pieces_recovered"]`` / ``stats.get(...)`` / iteration
+    # working until callers migrate to attributes.  Scheduled for
+    # removal one release after the redesign.
+
+    def _as_mapping(self) -> Dict[str, Any]:
+        mapping = self.to_dict()
+        del mapping["schema_version"]
+        return mapping
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._as_mapping()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._as_mapping().get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._as_mapping()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._as_mapping())
+
+    def keys(self):
+        return self._as_mapping().keys()
+
+    def items(self):
+        return self._as_mapping().items()

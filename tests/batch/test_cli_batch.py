@@ -54,6 +54,30 @@ class TestBatchCommand:
         assert "ok=5" in summary
         assert "throughput" in summary
 
+    def test_records_carry_versioned_telemetry(self, corpus, tmp_path,
+                                               capsys):
+        from repro.batch import RECORD_SCHEMA_VERSION
+        from repro.obs import PipelineStats
+
+        out_file = tmp_path / "run.jsonl"
+        code = main(
+            ["batch", str(corpus), "--jobs", "2",
+             "--output", str(out_file)]
+        )
+        assert code == 0
+        records = read_jsonl(out_file)
+        for record in records:
+            assert record["schema_version"] == RECORD_SCHEMA_VERSION
+            stats = PipelineStats.from_dict(record["stats"])
+            assert stats.to_dict() == record["stats"]
+            assert "ast" in stats.phase_seconds
+        # The corpus summary reports per-phase percentiles (Fig 6
+        # per-phase) aggregated from the embedded stats.
+        summary = capsys.readouterr().out
+        assert "p95" in summary
+        assert "ast" in summary
+        assert "recovery" in summary
+
     def test_acceptance_faults_exact_counts(self, corpus, tmp_path, capsys):
         (corpus / "hang.ps1").write_text(
             f"# {LOOP_MARKER}\nwhile ($true) {{ }}", encoding="utf-8"

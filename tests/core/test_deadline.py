@@ -35,3 +35,42 @@ class TestDeadline:
     def test_deadline_constructor_parameter(self):
         tool = Deobfuscator(deadline_seconds=0.0)
         assert tool.deobfuscate(NESTED).timed_out is True
+
+
+class FakeTime:
+    """Stand-in for the ``time`` module: every read advances 1 second."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def perf_counter(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestTimedOutTelemetry:
+    """A run that hits the deadline still carries partial phase spans."""
+
+    def test_partial_spans_survive_timeout(self, monkeypatch):
+        # The pipeline reads its clock ~3 times per iteration (deadline
+        # checks); with a 3.5 s budget on a 1 s-per-read fake clock the
+        # first iteration completes and the second trips the deadline —
+        # deterministically, regardless of host speed.
+        monkeypatch.setattr("repro.core.pipeline.time", FakeTime())
+        tool = Deobfuscator(deadline_seconds=3.5)
+        result = tool.deobfuscate(NESTED)
+        assert result.timed_out is True
+        phases_run = {span.name for span in result.stats.spans}
+        assert {"token", "ast", "multilayer"} <= phases_run
+        assert "rename" not in phases_run  # post-processing was skipped
+        assert set(result.stats.phase_seconds) == phases_run
+
+    def test_zero_deadline_has_no_spans_but_valid_stats(self):
+        result = deobfuscate(NESTED, deadline_seconds=0.0)
+        assert result.timed_out is True
+        assert result.stats.spans == []
+        # The record still serializes round-trip cleanly.
+        from repro.obs import PipelineStats
+
+        data = result.stats.to_dict()
+        assert PipelineStats.from_dict(data).to_dict() == data

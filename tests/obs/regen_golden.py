@@ -1,0 +1,48 @@
+"""Regenerate the golden schema fixtures after an intentional change.
+
+Usage: ``PYTHONPATH=src python tests/obs/regen_golden.py``
+
+Remember to bump ``STATS_SCHEMA_VERSION`` (repro/obs/stats.py) or
+``RECORD_SCHEMA_VERSION`` (repro/batch/records.py) when the shape —
+not just the values — changed.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
+)
+
+from test_schema_golden import GOLDEN_DIR, GOLDEN_SCRIPT, normalize  # noqa: E402
+
+from repro import deobfuscate  # noqa: E402
+from repro.batch.task import Task, run_one  # noqa: E402
+
+
+def write(name: str, data: dict) -> None:
+    path = os.path.join(GOLDEN_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    result = deobfuscate(GOLDEN_SCRIPT)
+    write("pipeline_stats.json", normalize(result.stats.to_dict()))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sample = os.path.join(tmp, "golden.ps1")
+        with open(sample, "w", encoding="utf-8") as handle:
+            handle.write(GOLDEN_SCRIPT)
+        record = run_one(Task(path=sample))
+    record["path"] = "<SAMPLE>"
+    write("batch_record.json", normalize(record))
+
+
+if __name__ == "__main__":
+    main()

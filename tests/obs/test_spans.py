@@ -1,0 +1,64 @@
+"""Unit tests for the span/tracer layer (:mod:`repro.obs.spans`)."""
+
+from repro.obs import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by *step*."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestTracer:
+    def test_records_span_durations(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("token"):
+            pass
+        with tracer.span("ast", iteration=3):
+            pass
+        assert [s.name for s in tracer.spans] == ["token", "ast"]
+        assert tracer.spans[0].seconds == 1.0  # two reads, step 1
+        assert tracer.spans[0].iteration is None
+        assert tracer.spans[1].iteration == 3
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False, clock=FakeClock())
+        with tracer.span("token"):
+            pass
+        assert tracer.spans == []
+        assert tracer.phase_totals() == {}
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        try:
+            with tracer.span("ast"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.spans] == ["ast"]
+
+    def test_phase_totals_sum_repeated_names(self):
+        tracer = Tracer(clock=FakeClock())
+        for iteration in range(3):
+            with tracer.span("ast", iteration=iteration):
+                pass
+        totals = tracer.phase_totals()
+        assert totals == {"ast": 3.0}
+
+
+class TestSpanSerialization:
+    def test_round_trip_with_iteration(self):
+        span = Span(name="ast", seconds=0.25, iteration=2)
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_round_trip_without_iteration(self):
+        span = Span(name="rename", seconds=0.5)
+        data = span.to_dict()
+        assert "iteration" not in data
+        assert Span.from_dict(data) == span

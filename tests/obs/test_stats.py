@@ -1,0 +1,109 @@
+"""Unit tests for the typed stats record (:mod:`repro.obs.stats`)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RECOVERY_REASONS,
+    STATS_SCHEMA_VERSION,
+    UNWRAP_KINDS,
+    PipelineStats,
+    Span,
+)
+
+
+def populated() -> PipelineStats:
+    stats = PipelineStats()
+    stats.tokens_rewritten = 4
+    stats.pieces_recovered = 3
+    stats.variables_traced = 2
+    stats.variables_substituted = 1
+    stats.trace_hits = 1
+    stats.trace_misses = 2
+    stats.evaluator_steps = 123
+    stats.recovery_cache_hits = 1
+    stats.recovery_outcomes["recovered"] = 3
+    stats.recovery_outcomes["blocked"] = 1
+    stats.unwrap_kinds["iex"] = 2
+    stats.phase_seconds = {"token": 0.001, "ast": 0.05}
+    stats.spans = [
+        Span("token", 0.001, iteration=0),
+        Span("ast", 0.05, iteration=0),
+        Span("rename", 0.002),
+    ]
+    return stats
+
+
+class TestRoundTrip:
+    def test_lossless_round_trip(self):
+        stats = populated()
+        data = stats.to_dict()
+        rebuilt = PipelineStats.from_dict(data)
+        assert rebuilt == stats
+        assert rebuilt.to_dict() == data
+
+    def test_json_serializable(self):
+        data = populated().to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_schema_version_pinned(self):
+        assert populated().to_dict()["schema_version"] == (
+            STATS_SCHEMA_VERSION
+        )
+
+    def test_from_dict_tolerates_legacy_three_counter_dict(self):
+        legacy = {
+            "pieces_recovered": 5,
+            "variables_traced": 2,
+            "variables_substituted": 1,
+        }
+        stats = PipelineStats.from_dict(legacy)
+        assert stats.pieces_recovered == 5
+        assert stats.evaluator_steps == 0
+        assert stats.spans == []
+
+    def test_from_dict_ignores_unknown_keys(self):
+        stats = PipelineStats.from_dict({"pieces_recovered": 1,
+                                         "future_field": 99})
+        assert stats.pieces_recovered == 1
+
+    def test_zero_filled_reason_and_kind_keys(self):
+        stats = PipelineStats()
+        assert set(stats.recovery_outcomes) == set(RECOVERY_REASONS)
+        assert set(stats.unwrap_kinds) == set(UNWRAP_KINDS)
+        assert all(v == 0 for v in stats.recovery_outcomes.values())
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_timings(self):
+        a, b = populated(), populated()
+        a.merge(b)
+        assert a.pieces_recovered == 6
+        assert a.evaluator_steps == 246
+        assert a.recovery_outcomes["recovered"] == 6
+        assert a.unwrap_kinds["iex"] == 4
+        assert a.phase_seconds["ast"] == 0.1
+        assert len(a.spans) == 6
+
+
+class TestDictCompatShim:
+    """The one-release bridge for pre-redesign callers."""
+
+    def test_getitem_and_get(self):
+        stats = populated()
+        assert stats["pieces_recovered"] == 3
+        assert stats.get("variables_traced") == 2
+        assert stats.get("nonexistent", 7) == 7
+
+    def test_getitem_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            populated()["nope"]
+
+    def test_contains_iter_keys_items(self):
+        stats = populated()
+        assert "evaluator_steps" in stats
+        assert "nope" not in stats
+        assert "trace_hits" in set(iter(stats))
+        assert dict(stats.items())["tokens_rewritten"] == 4
+        assert "unwrap_kinds" in stats.keys()

@@ -50,6 +50,45 @@ class TestDeobfuscateCommand:
         code, out, _ = run_cli(["deobfuscate", "--no-rename", path], capsys)
         assert "$xqzjw" in out
 
+    def test_stats_flag_keeps_stdout_clean(self, script_file, capsys):
+        path = script_file("I`E`X ('wri'+'te-host hi')")
+        code, out, err = run_cli(["deobfuscate", "--stats", path], capsys)
+        assert code == 0
+        assert out.strip() == "Write-Host hi"
+        assert "=== pipeline profile ===" in err
+        assert "recovery" in err
+
+
+class TestProfileCommand:
+    def test_text_profile(self, script_file, capsys):
+        path = script_file("iex ('a'+'b')")
+        code, out, _ = run_cli(["profile", path], capsys)
+        assert code == 0
+        assert "=== pipeline profile ===" in out
+        assert "phases" in out
+        assert "ast" in out
+        # The profile replaces the script, not prints it.
+        assert "'ab'" not in out
+
+    def test_json_profile_round_trips(self, script_file, capsys):
+        import json
+
+        from repro.obs import STATS_SCHEMA_VERSION, PipelineStats
+
+        path = script_file("$x = 'a'+'b'")
+        code, out, _ = run_cli(["profile", "--json", path], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["valid_input"] is True
+        stats = payload["stats"]
+        assert stats["schema_version"] == STATS_SCHEMA_VERSION
+        assert PipelineStats.from_dict(stats).to_dict() == stats
+
+    def test_invalid_input_exit_code(self, script_file, capsys):
+        path = script_file("'unterminated")
+        code, _, _ = run_cli(["profile", path], capsys)
+        assert code == 1
+
 
 class TestScoreCommand:
     def test_scores(self, script_file, capsys):
