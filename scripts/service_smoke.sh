@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `repro serve`, run by CI and runnable
+# locally: boot the service on an ephemeral port, prove the result
+# cache works over real HTTP, scrape /metrics, then check that SIGTERM
+# drains cleanly (exit 0).
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+python -m repro serve --port 0 --port-file "$workdir/port" \
+    --jobs 2 2>"$workdir/serve.log" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "server died during startup:" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -s "$workdir/port" ] || { echo "no port file after 10s" >&2; exit 1; }
+port="$(cat "$workdir/port")"
+base="http://127.0.0.1:$port"
+echo "serving on $base"
+
+payload='{"script": "I`E`X (\"wri\"+\"te-host smoke\")"}'
+
+first="$(curl -sf "$base/deobfuscate" -d "$payload")"
+echo "$first" | python -c '
+import json, sys
+body = json.load(sys.stdin)
+assert body["status"] == "ok", body
+assert body["cache_hit"] is False, body
+assert "Write-Host smoke" in body["script"], body
+'
+
+second="$(curl -sf "$base/deobfuscate" -d "$payload")"
+echo "$second" | python -c '
+import json, sys
+body = json.load(sys.stdin)
+assert body["cache_hit"] is True, body
+'
+echo "cache hit confirmed on second request"
+
+curl -sf "$base/healthz" | python -c '
+import json, sys
+health = json.load(sys.stdin)
+assert health["status"] == "ok", health
+assert health["version"], health
+'
+
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -q '^repro_service_requests_total 2$'
+echo "$metrics" | grep -q '^repro_service_cache_hits_total 1$'
+echo "$metrics" | grep -q '^repro_pipeline_pieces_recovered_total'
+echo "metrics scrape confirmed"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+status=$?
+[ "$status" -eq 0 ] || {
+    echo "server exited $status after SIGTERM" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+grep -q "drained cleanly" "$workdir/serve.log"
+echo "SIGTERM drain confirmed (exit 0)"

@@ -24,11 +24,23 @@ processes with per-sample timeouts and crash isolation — see
 :mod:`repro.batch`.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _LAZY_PIPELINE = {"Deobfuscator", "DeobfuscationResult", "deobfuscate"}
 _LAZY_BATCH = {"BatchPool", "run_batch"}
 _LAZY_OBS = {"PipelineStats"}
+
+
+def package_version() -> str:
+    """The installed distribution's version, falling back to the
+    source tree's ``__version__`` when the package is not installed
+    (e.g. running from a checkout via ``PYTHONPATH=src``)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 — any metadata failure → fallback
+        return __version__
 
 
 def __getattr__(name):
@@ -54,5 +66,6 @@ __all__ = [
     "deobfuscate",
     "BatchPool",
     "run_batch",
+    "package_version",
     "__version__",
 ]

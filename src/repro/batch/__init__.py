@@ -66,9 +66,23 @@ measurement set:
 
 ``error`` (str)
     The worker exception, or ``worker process died (exit code N)``.
+
+Under ``--dedup``, records for duplicate samples add:
+
+``cache_hit`` (bool)
+    True when this sample's content hash matched an earlier sample
+    and the earlier result was reused (measurements are the original
+    run's; only ``path`` differs).
+
+A run's first line is a *header*, not a sample record:
+``{"kind": "batch_header", "repro_version": ...,
+"record_schema_version": ..., "created_unix": ...}`` — consumers that
+iterate records should skip lines carrying ``kind``
+(:func:`summarize` already does).
 """
 
 from repro.batch.pool import BatchPool, run_batch
+from repro.batch.results import batch_header
 from repro.batch.records import (
     RECORD_SCHEMA_VERSION,
     BatchSummary,
@@ -87,6 +101,7 @@ from repro.batch.task import (
 __all__ = [
     "BatchPool",
     "run_batch",
+    "batch_header",
     "RECORD_SCHEMA_VERSION",
     "BatchSummary",
     "SampleRecord",

@@ -32,10 +32,24 @@ a worker that dies without ever reporting in cannot strand a sample
 (the failure mode of queue-based pools, whose feeder threads can drop
 in-flight messages when a process exits abruptly).
 
-:meth:`BatchPool.run` is a generator yielding one record dict per
-sample *as each finishes* (completion order, not input order), which is
-what lets the CLI stream JSONL while the run is still going.  The
-record schema is documented in :mod:`repro.batch`.
+Two front ends share the same engine:
+
+- :meth:`BatchPool.run` — the offline generator, yielding one record
+  dict per sample *as each finishes* (completion order, not input
+  order), which is what lets the CLI stream JSONL while the run is
+  still going.  It shuts the fleet down when the task list is done.
+- :meth:`BatchPool.submit` / :meth:`BatchPool.collect` — the
+  interactive API ``repro.service`` is built on: tickets go in at any
+  time, ``(ticket, record)`` pairs come out as they complete, and the
+  worker fleet stays warm between submissions until :meth:`close`.
+
+The pool is **not** thread-safe: exactly one thread must own
+``submit``/``collect``/``run`` (the service wraps it in a dispatcher
+thread for that reason).
+
+Worker lifecycle is counted in :attr:`BatchPool.restarts` — crash
+respawns vs timeout kills — so flapping workers show up in batch
+summaries and in the service's ``/metrics`` instead of being invisible.
 
 Known race, by design: if a worker finishes a sample in the instant
 between the parent's last poll and a timeout kill, the sample is
@@ -48,7 +62,7 @@ import multiprocessing
 import time
 from collections import deque
 from multiprocessing.connection import wait as _connection_wait
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.batch.task import (
     DEFAULT_WORKER_SPEC,
@@ -59,6 +73,9 @@ from repro.batch.task import (
 )
 
 _POLL_SECONDS = 0.05
+
+# Keys of :attr:`BatchPool.restarts`, the worker-lifecycle counters.
+RESTART_REASONS = ("crash", "timeout")
 
 
 def _worker_main(worker_spec, conn):
@@ -74,25 +91,25 @@ def _worker_main(worker_spec, conn):
             item = conn.recv()
             if item is None:
                 return
-            index, task = item
+            ticket, task = item
             try:
                 record = worker(task)
             except BaseException as exc:  # noqa: BLE001 — contain everything
                 record = exception_record(task, exc)
-            conn.send((index, record))
+            conn.send((ticket, record))
     except (EOFError, BrokenPipeError, OSError):
         return
 
 
 class _Worker:
-    """Parent-side handle: process, pipe, and the task it holds."""
+    """Parent-side handle: process, pipe, and the ticket it holds."""
 
-    __slots__ = ("proc", "conn", "index", "started")
+    __slots__ = ("proc", "conn", "ticket", "started")
 
     def __init__(self, proc, conn):
         self.proc = proc
         self.conn = conn
-        self.index: Optional[int] = None
+        self.ticket: Optional[int] = None
         self.started = 0.0
 
 
@@ -118,6 +135,15 @@ class BatchPool:
     start_method
         Forwarded to :func:`multiprocessing.get_context`; ``None`` uses
         the platform default.
+
+    Attributes
+    ----------
+    restarts
+        Lifetime worker-respawn counters: ``{"crash": n, "timeout": n}``.
+        ``crash`` counts workers that died on their own (and were
+        replaced); ``timeout`` counts workers the parent SIGKILLed for
+        blowing the per-sample budget.  Counters survive :meth:`close`
+        so a service can report them over the fleet's whole life.
     """
 
     def __init__(
@@ -135,151 +161,253 @@ class BatchPool:
         self.retries = max(0, retries)
         self.worker = worker
         self._ctx = multiprocessing.get_context(start_method)
+        self.restarts: Dict[str, int] = {r: 0 for r in RESTART_REASONS}
+        self._workers: Dict[int, _Worker] = {}
+        self._worker_ids = itertools.count()
+        self._ticket_ids = itertools.count()
+        self._tasks: Dict[int, Task] = {}
+        self._attempts: Dict[int, int] = {}
+        self._pending: Deque[int] = deque()
+        self._outstanding = 0
+        self._spec_checked = False
+
+    # -- interactive API ----------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Tickets submitted but not yet collected."""
+        return self._outstanding
+
+    @property
+    def worker_count(self) -> int:
+        """Live worker processes right now."""
+        return len(self._workers)
+
+    def submit(self, task: Task) -> int:
+        """Queue *task* for a worker; return its ticket.
+
+        The ticket identifies the task in :meth:`collect` output.  The
+        worker spec is validated on the first submission so a bad
+        ``--worker`` fails in the parent, not in every worker.
+        """
+        if not self._spec_checked:
+            resolve_worker(self.worker)
+            self._spec_checked = True
+        ticket = next(self._ticket_ids)
+        self._tasks[ticket] = task
+        self._attempts[ticket] = 0
+        self._pending.append(ticket)
+        self._outstanding += 1
+        return ticket
+
+    def prestart(self, count: Optional[int] = None) -> None:
+        """Spawn up to ``min(count or jobs, jobs)`` workers eagerly.
+
+        A long-running service calls this at boot so the first requests
+        do not pay process startup.
+        """
+        target = min(self.jobs, count if count is not None else self.jobs)
+        while len(self._workers) < target:
+            self._spawn()
+
+    def collect(
+        self, timeout: Optional[float] = None
+    ) -> List[Tuple[int, dict]]:
+        """Advance the pool; return ``(ticket, record)`` pairs that
+        completed during this call.
+
+        With ``timeout=None`` the call blocks until at least one
+        outstanding ticket completes (returning ``[]`` only when
+        nothing is outstanding).  With a timeout it returns whatever
+        completed within roughly that many seconds, possibly ``[]`` —
+        the poll granularity is ``_POLL_SECONDS``, so even ``0`` runs
+        one full dispatch/poll/kill pass.
+        """
+        done: List[Tuple[int, dict]] = []
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while self._outstanding > 0:
+            self._step(done)
+            if done:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+        return done
+
+    def close(self) -> None:
+        """Shut the fleet down and forget queued work.
+
+        Outstanding tickets are dropped without records — drain with
+        :meth:`collect` first if you need them.  ``restarts`` counters
+        are preserved.  The pool may be reused afterwards; fresh
+        workers spawn on demand.
+        """
+        for state in self._workers.values():
+            try:
+                state.conn.close()
+            except OSError:
+                pass
+        join_by = time.monotonic() + 1.0
+        for state in self._workers.values():
+            state.proc.join(max(0.0, join_by - time.monotonic()))
+            if state.proc.is_alive():
+                state.proc.kill()
+                state.proc.join()
+        self._workers.clear()
+        self._pending.clear()
+        self._tasks.clear()
+        self._attempts.clear()
+        self._outstanding = 0
+
+    def __enter__(self) -> "BatchPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- offline front end --------------------------------------------------
 
     def run(self, tasks: Iterable[Task]) -> Iterator[dict]:
-        """Yield one record per task, in completion order."""
+        """Yield one record per task, in completion order.
+
+        Submits everything, drains to completion, then shuts the
+        workers down — the one-shot corpus mode of ``repro batch``.
+        Do not interleave with :meth:`submit`/:meth:`collect` on the
+        same pool.
+        """
         tasks = list(tasks)
         if not tasks:
             return
-        # Fail fast on a bad worker spec here, in the parent, instead of
-        # letting every worker die on import and each sample error out.
-        resolve_worker(self.worker)
-
-        pending = deque(range(len(tasks)))
-        # attempts[i] = how many workers have been handed task i
-        attempts: Dict[int, int] = {index: 0 for index in range(len(tasks))}
-        terminal = set()
-        remaining = len(tasks)
-        workers: Dict[int, _Worker] = {}
-        worker_ids = itertools.count()
-
-        def spawn() -> None:
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(self.worker, child_conn),
-                daemon=True,
-            )
-            proc.start()
-            # drop the parent's copy of the child end so a dead worker
-            # reads as EOF on parent_conn
-            child_conn.close()
-            workers[next(worker_ids)] = _Worker(proc, parent_conn)
-
-        def reap(worker_id: int) -> Optional[dict]:
-            """Remove a dead worker; retry or fail the sample it held."""
-            held = workers.pop(worker_id)
-            held.conn.close()
-            held.proc.join()
-            exit_code = held.proc.exitcode
-            index = held.index
-            if index is None or index in terminal:
-                return None
-            if attempts[index] <= self.retries:
-                pending.append(index)
-                return None
-            terminal.add(index)
-            return error_record(
-                tasks[index],
-                f"worker process died (exit code {exit_code})",
-                attempts=attempts[index],
-            )
-
         try:
-            while remaining > 0:
-                while len(workers) < min(self.jobs, remaining):
-                    spawn()
-
-                for worker_id, state in list(workers.items()):
-                    if state.index is None and pending:
-                        index = pending.popleft()
-                        attempts[index] += 1
-                        try:
-                            state.conn.send((index, tasks[index]))
-                        except (BrokenPipeError, OSError):
-                            pending.appendleft(index)
-                            attempts[index] -= 1
-                            record = reap(worker_id)
-                            if record is not None:
-                                remaining -= 1
-                                yield record
-                            continue
-                        state.index = index
-                        state.started = time.monotonic()
-
-                conn_to_id = {
-                    state.conn: worker_id
-                    for worker_id, state in workers.items()
-                }
-                for conn in _connection_wait(
-                    list(conn_to_id), timeout=_POLL_SECONDS
-                ):
-                    worker_id = conn_to_id[conn]
-                    state = workers[worker_id]
-                    try:
-                        index, record = conn.recv()
-                    except (EOFError, OSError):
-                        record = reap(worker_id)
-                        if record is not None:
-                            remaining -= 1
-                            yield record
-                        continue
-                    state.index = None
-                    if index in terminal:
-                        continue
-                    terminal.add(index)
-                    remaining -= 1
-                    record.setdefault("attempts", attempts[index])
+            for task in tasks:
+                self.submit(task)
+            while self._outstanding > 0:
+                for _ticket, record in self.collect():
                     yield record
-
-                now = time.monotonic()
-                for worker_id, state in list(workers.items()):
-                    index = state.index
-                    over_budget = (
-                        index is not None
-                        and self.timeout is not None
-                        and now - state.started
-                        > self.timeout + self.kill_grace
-                    )
-                    if over_budget:
-                        state.proc.kill()
-                        state.proc.join()
-                        state.conn.close()
-                        del workers[worker_id]
-                        if index not in terminal:
-                            terminal.add(index)
-                            remaining -= 1
-                            from repro.batch.records import (
-                                RECORD_SCHEMA_VERSION,
-                            )
-
-                            yield {
-                                "path": tasks[index].path,
-                                "status": "timeout",
-                                "schema_version": RECORD_SCHEMA_VERSION,
-                                "graceful": False,
-                                "elapsed_seconds": round(
-                                    now - state.started, 6
-                                ),
-                                "attempts": attempts[index],
-                            }
-                    elif not state.proc.is_alive():
-                        record = reap(worker_id)
-                        if record is not None:
-                            remaining -= 1
-                            yield record
         finally:
-            for state in workers.values():
+            self.close()
+
+    # -- engine -------------------------------------------------------------
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.worker, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        # drop the parent's copy of the child end so a dead worker
+        # reads as EOF on parent_conn
+        child_conn.close()
+        self._workers[next(self._worker_ids)] = _Worker(proc, parent_conn)
+
+    def _finalize(self, ticket: int) -> None:
+        del self._tasks[ticket]
+        del self._attempts[ticket]
+        self._outstanding -= 1
+
+    def _reap(self, worker_id: int) -> Optional[Tuple[int, dict]]:
+        """Remove a dead worker; retry or fail the ticket it held."""
+        held = self._workers.pop(worker_id)
+        held.conn.close()
+        held.proc.join()
+        exit_code = held.proc.exitcode
+        self.restarts["crash"] += 1
+        ticket = held.ticket
+        if ticket is None or ticket not in self._tasks:
+            return None
+        if self._attempts[ticket] <= self.retries:
+            self._pending.append(ticket)
+            return None
+        record = error_record(
+            self._tasks[ticket],
+            f"worker process died (exit code {exit_code})",
+            attempts=self._attempts[ticket],
+        )
+        self._finalize(ticket)
+        return (ticket, record)
+
+    def _step(self, done: List[Tuple[int, dict]]) -> None:
+        """One dispatch / poll / kill pass over the fleet."""
+        while len(self._workers) < min(self.jobs, self._outstanding):
+            self._spawn()
+
+        for worker_id, state in list(self._workers.items()):
+            if state.ticket is None and self._pending:
+                ticket = self._pending.popleft()
+                self._attempts[ticket] += 1
                 try:
-                    state.conn.close()
-                except OSError:
-                    pass
-            join_by = time.monotonic() + 1.0
-            for state in workers.values():
-                state.proc.join(max(0.0, join_by - time.monotonic()))
-                if state.proc.is_alive():
-                    state.proc.kill()
-                    state.proc.join()
+                    state.conn.send((ticket, self._tasks[ticket]))
+                except (BrokenPipeError, OSError):
+                    self._pending.appendleft(ticket)
+                    self._attempts[ticket] -= 1
+                    reaped = self._reap(worker_id)
+                    if reaped is not None:
+                        done.append(reaped)
+                    continue
+                state.ticket = ticket
+                state.started = time.monotonic()
+
+        conn_to_id = {
+            state.conn: worker_id
+            for worker_id, state in self._workers.items()
+        }
+        if conn_to_id:
+            ready = _connection_wait(
+                list(conn_to_id), timeout=_POLL_SECONDS
+            )
+        else:
+            ready = []
+        for conn in ready:
+            worker_id = conn_to_id[conn]
+            state = self._workers[worker_id]
+            try:
+                ticket, record = conn.recv()
+            except (EOFError, OSError):
+                reaped = self._reap(worker_id)
+                if reaped is not None:
+                    done.append(reaped)
+                continue
+            state.ticket = None
+            if ticket not in self._tasks:
+                continue
+            record.setdefault("attempts", self._attempts[ticket])
+            self._finalize(ticket)
+            done.append((ticket, record))
+
+        now = time.monotonic()
+        for worker_id, state in list(self._workers.items()):
+            ticket = state.ticket
+            over_budget = (
+                ticket is not None
+                and self.timeout is not None
+                and now - state.started > self.timeout + self.kill_grace
+            )
+            if over_budget:
+                state.proc.kill()
+                state.proc.join()
+                state.conn.close()
+                del self._workers[worker_id]
+                self.restarts["timeout"] += 1
+                if ticket in self._tasks:
+                    from repro.batch.records import RECORD_SCHEMA_VERSION
+
+                    record = {
+                        "path": self._tasks[ticket].path,
+                        "status": "timeout",
+                        "schema_version": RECORD_SCHEMA_VERSION,
+                        "graceful": False,
+                        "elapsed_seconds": round(now - state.started, 6),
+                        "attempts": self._attempts[ticket],
+                    }
+                    self._finalize(ticket)
+                    done.append((ticket, record))
+            elif not state.proc.is_alive():
+                reaped = self._reap(worker_id)
+                if reaped is not None:
+                    done.append(reaped)
 
 
 def run_batch(tasks: Iterable[Task], **pool_options) -> List[dict]:

@@ -42,6 +42,7 @@ class SampleRecord:
     graceful: Optional[bool] = None
     error: Optional[str] = None
     attempts: Optional[int] = None
+    cache_hit: Optional[bool] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {}
@@ -85,6 +86,8 @@ class BatchSummary:
     phase_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
     recovery_outcomes: Dict[str, int] = field(default_factory=dict)
     unwrap_kinds: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    worker_restarts: Optional[Dict[str, int]] = None
     wall_seconds: Optional[float] = None
     throughput_scripts_per_second: Optional[float] = None
 
@@ -93,10 +96,17 @@ class BatchSummary:
         cls,
         records: Iterable[dict],
         wall_seconds: Optional[float] = None,
+        worker_restarts: Optional[Dict[str, int]] = None,
     ) -> "BatchSummary":
         from repro.batch.summary import summarize
 
-        return cls.from_dict(summarize(records, wall_seconds=wall_seconds))
+        return cls.from_dict(
+            summarize(
+                records,
+                wall_seconds=wall_seconds,
+                worker_restarts=worker_restarts,
+            )
+        )
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BatchSummary":

@@ -10,7 +10,30 @@ The record schema is documented in :mod:`repro.batch`.
 
 import json
 import os
+import time
 from typing import IO, Iterator, Optional, Set
+
+
+def batch_header(**extra) -> dict:
+    """The version header ``repro batch`` writes as a run's first line.
+
+    Headers carry ``kind: "batch_header"`` so every consumer can tell
+    them from sample records (:func:`repro.batch.summarize` skips
+    them; ``completed_paths`` never matches them because they have no
+    ``path``/``status``).  An appended-to JSONL file accumulates one
+    header per run, which doubles as a run boundary marker.
+    """
+    from repro import package_version
+    from repro.batch.records import RECORD_SCHEMA_VERSION
+
+    header = {
+        "kind": "batch_header",
+        "repro_version": package_version(),
+        "record_schema_version": RECORD_SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+    }
+    header.update(extra)
+    return header
 
 
 class ResultWriter:

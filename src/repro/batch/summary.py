@@ -45,22 +45,29 @@ def _phase_distributions(
 def summarize(
     records: Iterable[dict],
     wall_seconds: Optional[float] = None,
+    worker_restarts: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
     """Reduce batch records to one summary dict.
 
     Keys: ``total``, ``status_counts`` (every status in
     :data:`STATUSES`, zero-filled), ``layers_unwrapped``,
-    ``changed`` (samples whose script changed), latency over the
-    samples that report ``elapsed_seconds`` (``latency_mean_seconds``,
-    ``latency_p50_seconds``, ``latency_p95_seconds``,
-    ``latency_max_seconds``), per-phase latency distributions
-    (``phase_seconds``: phase → mean/p50/p95/total over the records
-    whose embedded stats carried span timings), corpus-wide
-    ``recovery_outcomes`` and ``unwrap_kinds`` totals, and — when
-    *wall_seconds* is given — ``wall_seconds`` plus end-to-end
-    ``throughput_scripts_per_second``.
+    ``changed`` (samples whose script changed), ``cache_hits``
+    (duplicate samples served from the ``--dedup`` cache), latency
+    over the samples that report ``elapsed_seconds``
+    (``latency_mean_seconds``, ``latency_p50_seconds``,
+    ``latency_p95_seconds``, ``latency_max_seconds``), per-phase
+    latency distributions (``phase_seconds``: phase → mean/p50/p95/
+    total over the records whose embedded stats carried span timings),
+    corpus-wide ``recovery_outcomes`` and ``unwrap_kinds`` totals,
+    and — when given — ``wall_seconds`` plus end-to-end
+    ``throughput_scripts_per_second``, and ``worker_restarts`` (the
+    pool's crash/timeout respawn counters).
+
+    Header lines (records with a ``kind`` key, e.g. the version
+    header ``repro batch`` writes first) are not samples and are
+    skipped.
     """
-    records = list(records)
+    records = [r for r in records if "kind" not in r]
     counts = {status: 0 for status in STATUSES}
     latencies: List[float] = []
     per_phase: Dict[str, List[float]] = {}
@@ -68,8 +75,10 @@ def summarize(
     unwrap_kinds: Dict[str, int] = {}
     layers = 0
     changed = 0
+    cache_hits = 0
     for record in records:
         status = record.get("status", "error")
+        cache_hits += 1 if record.get("cache_hit") else 0
         counts[status] = counts.get(status, 0) + 1
         if "elapsed_seconds" in record:
             latencies.append(float(record["elapsed_seconds"]))
@@ -103,7 +112,10 @@ def summarize(
         "phase_seconds": _phase_distributions(per_phase),
         "recovery_outcomes": recovery_outcomes,
         "unwrap_kinds": unwrap_kinds,
+        "cache_hits": cache_hits,
     }
+    if worker_restarts is not None:
+        summary["worker_restarts"] = dict(worker_restarts)
     if wall_seconds is not None:
         summary["wall_seconds"] = round(wall_seconds, 6)
         summary["throughput_scripts_per_second"] = round(
@@ -132,6 +144,17 @@ def render_summary(summary: Dict[str, object]) -> str:
             f"  {phase:<8}: "
             f"mean {dist['mean']:.4f}s  p50 {dist['p50']:.4f}s  "
             f"p95 {dist['p95']:.4f}s  total {dist['total']:.2f}s"
+        )
+    if summary.get("cache_hits"):
+        lines.append(
+            f"dedup     : {summary['cache_hits']} of {summary['total']} "
+            f"samples served from cache"
+        )
+    restarts = summary.get("worker_restarts") or {}
+    if any(restarts.values()):
+        lines.append(
+            "workers   : restarts "
+            + "  ".join(f"{k}={v}" for k, v in restarts.items())
         )
     outcomes = summary.get("recovery_outcomes") or {}
     if outcomes:

@@ -32,11 +32,17 @@ class Task:
     :class:`repro.Deobfuscator` (e.g. ``rename``, ``reformat``,
     ``deadline_seconds``).  ``store_script`` additionally embeds the
     deobfuscated script in the JSONL record.
+
+    ``source`` carries the script text in-band instead of on disk —
+    how ``repro.service`` ships request bodies to workers.  When set,
+    ``path`` is just a label (e.g. ``sha256:ab12…``) and the file
+    system is never touched.
     """
 
     path: str
     options: Dict[str, object] = field(default_factory=dict)
     store_script: bool = False
+    source: Optional[str] = None
 
 
 def discover(
@@ -110,6 +116,15 @@ def resolve_worker(spec: str) -> Callable[[Task], dict]:
     return worker
 
 
+def task_bytes(task: Task) -> bytes:
+    """The sample's raw bytes: the in-band ``source`` if set, else the
+    file at ``path``."""
+    if task.source is not None:
+        return task.source.encode("utf-8")
+    with open(task.path, "rb") as handle:
+        return handle.read()
+
+
 def run_one(task: Task) -> dict:
     """The default worker: deobfuscate one file and build its record.
 
@@ -121,8 +136,7 @@ def run_one(task: Task) -> dict:
     from repro import Deobfuscator
     from repro.batch.records import RECORD_SCHEMA_VERSION
 
-    with open(task.path, "rb") as handle:
-        raw = handle.read()
+    raw = task_bytes(task)
     script = raw.decode("utf-8", errors="replace")
 
     tool = Deobfuscator(**task.options)

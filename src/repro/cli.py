@@ -7,7 +7,13 @@ deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers] [--timeout S]
     adds the run's telemetry profile on stderr.
 batch INPUT... [--jobs N] [--timeout S] [--output FILE] [--resume] ...
     Deobfuscate a whole corpus across a worker-process pool, streaming
-    one JSONL record per sample plus an aggregate summary.
+    one JSONL record per sample plus an aggregate summary; ``--dedup``
+    runs each unique content hash once and reuses the result.
+serve [--host H] [--port P] [--jobs N] [--timeout S] [--queue-limit N]
+    Run the long-running HTTP deobfuscation service: persistent worker
+    fleet, content-addressed result cache with single-flight dedup,
+    backpressure (429) when the admission queue fills, /healthz and
+    Prometheus /metrics, graceful drain on SIGTERM.
 profile FILE [--json] [--timeout S]
     Deobfuscate once and print the telemetry profile (per-phase spans,
     recovery outcomes, tracing hits) instead of the script.
@@ -23,6 +29,9 @@ tokenize FILE
     Dump the PSParser-style token stream.
 parse FILE
     Dump the AST.
+
+``repro --version`` prints the installed package version (also
+reported by the service's ``/healthz`` and in batch JSONL headers).
 
 Every command is documented with examples in ``docs/cli.md``; the test
 suite enforces that the docs cover each registered subcommand.
@@ -98,10 +107,38 @@ def _cmd_profile(args) -> int:
     return 0 if result.valid_input else 1
 
 
+def _dedup_groups(paths):
+    """Group paths by content hash: ``{first_path: [duplicate, ...]}``.
+
+    Unreadable files land in their own group (the pool will surface
+    the read error per-sample).  Returns the kept (first-seen) paths
+    in input order plus the duplicates map.
+    """
+    import hashlib
+
+    first_by_digest = {}
+    duplicates = {}
+    kept = []
+    for path in paths:
+        try:
+            with open(path, "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            digest = None
+        if digest is not None and digest in first_by_digest:
+            duplicates.setdefault(first_by_digest[digest], []).append(path)
+            continue
+        if digest is not None:
+            first_by_digest[digest] = path
+        kept.append(path)
+    return kept, duplicates
+
+
 def _cmd_batch(args) -> int:
     from repro.batch import (
         BatchPool,
         ResultWriter,
+        batch_header,
         completed_paths,
         discover,
         make_tasks,
@@ -123,6 +160,10 @@ def _cmd_batch(args) -> int:
         kept = [path for path in paths if path not in done]
         skipped = len(paths) - len(kept)
         paths = kept
+
+    duplicates = {}
+    if args.dedup:
+        paths, duplicates = _dedup_groups(paths)
 
     tasks = make_tasks(
         paths,
@@ -155,12 +196,21 @@ def _cmd_batch(args) -> int:
     records = []
     started = time.monotonic()
     with writer:
+        writer.write(batch_header(dedup=bool(args.dedup)))
         for record in pool.run(tasks):
             writer.write(record)
             records.append(record)
+            for duplicate in duplicates.get(record["path"], ()):
+                copy = dict(record)
+                copy["path"] = duplicate
+                copy["cache_hit"] = True
+                writer.write(copy)
+                records.append(copy)
     wall = time.monotonic() - started
 
-    summary = summarize(records, wall_seconds=wall)
+    summary = summarize(
+        records, wall_seconds=wall, worker_restarts=pool.restarts
+    )
     summary_out = sys.stdout if args.output else sys.stderr
     if skipped:
         print(f"resumed   : {skipped} samples already done, skipped",
@@ -168,6 +218,31 @@ def _cmd_batch(args) -> int:
     print(render_summary(summary), file=summary_out)
     failures = summary["status_counts"]["error"]
     return 0 if not failures or args.exit_zero else 3
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig
+    from repro.service.http import run_server
+
+    config = ServiceConfig(
+        jobs=args.jobs or 2,
+        timeout=args.timeout,
+        queue_limit=args.queue_limit,
+        cache_max_entries=args.cache_entries,
+        cache_max_bytes=args.cache_bytes,
+        default_options={
+            "rename": not args.no_rename,
+            "reformat": not args.no_reformat,
+        },
+        worker=args.worker,
+    )
+    return run_server(
+        config,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        quiet=not args.access_log,
+    )
 
 
 def _cmd_score(args) -> int:
@@ -245,12 +320,18 @@ def _cmd_parse(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser (exposed for docs tooling)."""
+    from repro import package_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Invoke-Deobfuscation (DSN 2022) reproduction: AST-based, "
             "semantics-preserving PowerShell deobfuscation"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -325,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-scripts", action="store_true",
         help="embed the deobfuscated script in each record",
     )
+    p.add_argument(
+        "--dedup", action="store_true",
+        help="hash each sample and run each unique content once; "
+        "duplicates reuse the first result (cache_hit: true)",
+    )
     p.add_argument("--no-rename", action="store_true")
     p.add_argument("--no-reformat", action="store_true")
     p.add_argument(
@@ -338,6 +424,60 @@ def build_parser() -> argparse.ArgumentParser:
         "to inject faults)",
     )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-running HTTP deobfuscation service",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks an ephemeral port (default: 8765)",
+    )
+    p.add_argument(
+        "--port-file", metavar="FILE", default=None,
+        help="write the bound port here once listening (for scripts "
+        "that use --port 0)",
+    )
+    p.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="persistent worker processes (default: 2)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request worker budget; hung requests are SIGKILLed "
+        "past it (default: 30)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="max queued+running pipeline executions before requests "
+        "get 429 Retry-After (default: 64)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=4096, metavar="N",
+        help="result cache capacity in entries; 0 disables storage "
+        "(default: 4096)",
+    )
+    p.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024, metavar="B",
+        help="result cache byte budget (default: 256 MiB)",
+    )
+    p.add_argument(
+        "--access-log", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    p.add_argument("--no-rename", action="store_true")
+    p.add_argument("--no-reformat", action="store_true")
+    p.add_argument(
+        "--worker", default="repro.batch.task:run_one",
+        metavar="MODULE:FUNC",
+        help="per-request worker function (advanced; used by the "
+        "tests to inject faults)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("score", help="score obfuscation techniques")
     p.add_argument("file")

@@ -1,0 +1,65 @@
+"""The online deobfuscation service: ``repro serve`` and its engine.
+
+Where :mod:`repro.batch` is the *offline* corpus mode (submit a task
+list, drain it, shut the fleet down), this package is the *online*
+mode the ROADMAP's production north star asks for: a long-running
+process that keeps a warm worker fleet, answers HTTP requests, and —
+because wild traffic is heavily duplicated — fronts the fleet with a
+content-addressed result cache so repeated submissions cost a dict
+lookup instead of a pipeline run.
+
+Layers, bottom up:
+
+- :mod:`repro.service.cache` — SHA-256-of-normalized-source → result,
+  bounded LRU with a byte budget, and single-flight dedup (N
+  concurrent identical requests execute once and share the result).
+- :mod:`repro.service.core` — :class:`DeobfuscationService`: the
+  bounded admission queue (reject with retry-after when full — the
+  backpressure reaches clients, not the fleet), a dispatcher thread
+  owning the interactive :class:`~repro.batch.BatchPool` API, and the
+  lifetime telemetry aggregates.
+- :mod:`repro.service.http` — the stdlib HTTP front end
+  (``/deobfuscate``, ``/healthz``, ``/metrics``) with graceful
+  SIGTERM drain.
+- :mod:`repro.service.metrics` — Prometheus text rendering.
+
+In-process use, no HTTP::
+
+    from repro.service import DeobfuscationService, ServiceConfig
+
+    with DeobfuscationService(ServiceConfig(jobs=4)) as svc:
+        record = svc.submit("I`E`X ('wri'+'te-host hi')")
+        print(record["script"], record["cache_hit"])
+
+All guarantees of the batch pool hold per request: a hanging script is
+SIGKILLed at its budget and costs one worker restart (counted in
+``/metrics``), never a wedged service.
+"""
+
+from repro.service.cache import ResultCache, cache_key, normalize_source
+from repro.service.core import (
+    CACHEABLE_STATUSES,
+    DeobfuscationService,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.service.http import (
+    ServiceHTTPServer,
+    run_server,
+    start_server,
+)
+from repro.service.metrics import render_metrics
+
+__all__ = [
+    "CACHEABLE_STATUSES",
+    "DeobfuscationService",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceUnavailable",
+    "cache_key",
+    "normalize_source",
+    "render_metrics",
+    "run_server",
+    "start_server",
+]

@@ -1,0 +1,234 @@
+"""Content-addressed result cache with single-flight deduplication.
+
+Wild corpora are heavily duplicated — the same droppers and loaders
+recur across submissions — so an online deobfuscation service wins most
+of its throughput by never running the pipeline twice for the same
+input.  Two mechanisms, one lock:
+
+content addressing
+    :func:`cache_key` hashes the *normalized* source (BOM stripped,
+    newlines canonicalized, surrounding whitespace trimmed — all
+    semantics-free in PowerShell) together with the pipeline options,
+    so byte-trivial resubmissions of the same script hit, while the
+    same script under different options (``rename`` off, say) does not
+    serve the wrong result.
+
+bounded LRU
+    :class:`ResultCache` holds at most ``max_entries`` results and at
+    most ``max_bytes`` of (approximate JSON-serialized) payload,
+    evicting least-recently-used entries; a single result larger than
+    the byte budget is simply not stored.
+
+single-flight
+    :meth:`ResultCache.lookup` atomically resolves a key to one of
+    ``hit`` (cached result), ``lead`` (caller must run the pipeline
+    and later call :meth:`resolve`), or ``join`` (another caller is
+    already running it — wait on the returned :class:`Flight`).  N
+    concurrent identical submissions therefore execute the pipeline
+    exactly once; the other N-1 block until the leader's result lands
+    and share it.  Results that may be transient (worker ``error``,
+    ``timeout``) resolve the flight but are not cached, so a later
+    resubmission retries.
+
+The class is thread-safe; ``repro batch --dedup`` uses the same keying
+(single-threaded) for offline corpus deduplication.
+"""
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+# lookup() outcome tags.
+HIT, LEAD, JOIN = "hit", "lead", "join"
+
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def normalize_source(source: str) -> str:
+    """Canonical text for hashing: semantics-preserving trivia removed.
+
+    Strips a UTF-8 BOM, normalizes CRLF/CR to LF, and trims leading and
+    trailing whitespace — none of which change what a PowerShell script
+    does, but all of which differ across resubmissions of the same
+    sample (mail gateways re-encode, sandboxes append newlines).
+    """
+    text = source.replace("\r\n", "\n").replace("\r", "\n")
+    if text.startswith("\ufeff"):
+        text = text[1:]
+    return text.strip()
+
+
+def cache_key(source: str, options: Optional[Dict[str, Any]] = None) -> str:
+    """SHA-256 hex digest identifying (normalized source, options)."""
+    digest = hashlib.sha256()
+    digest.update(normalize_source(source).encode("utf-8"))
+    if options:
+        digest.update(b"\x00")
+        digest.update(
+            json.dumps(options, sort_keys=True, default=str).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def _entry_bytes(value: Any) -> int:
+    """Approximate retained size: the JSON wire size of the record."""
+    try:
+        return len(json.dumps(value, default=str))
+    except (TypeError, ValueError):
+        return 0
+
+
+class Flight:
+    """One in-progress pipeline execution that waiters can share."""
+
+    __slots__ = ("event", "record", "waiters")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.record: Optional[dict] = None
+        self.waiters = 0
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """Block until the leader resolves; None on timeout."""
+        if not self.event.wait(timeout):
+            return None
+        return self.record
+
+
+class ResultCache:
+    """Bounded LRU over deobfuscation results, with single-flight.
+
+    ``max_entries=0`` (or ``max_bytes=0``) disables storage but keeps
+    the single-flight semantics — concurrent duplicates still run
+    once.  Counters (``hits``, ``misses``, ``coalesced``,
+    ``evictions``) are lifetime totals, exported by the service's
+    ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        self.max_entries = max(0, max_entries)
+        self.max_bytes = max(0, max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[dict, int]]" = OrderedDict()
+        self._flights: Dict[str, Flight] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evictions = 0
+
+    # -- plain cache interface ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached record for *key*, refreshing its recency."""
+        with self._lock:
+            return self._get_locked(key)
+
+    def put(self, key: str, record: dict) -> None:
+        """Store *record* under *key*, evicting LRU entries as needed."""
+        with self._lock:
+            self._put_locked(key, record)
+
+    # -- single-flight interface -------------------------------------------
+
+    def lookup(self, key: str) -> Tuple[str, Optional[Any]]:
+        """Atomically classify *key*: ``(HIT, record)``,
+        ``(JOIN, flight)``, or ``(LEAD, flight)``.
+
+        A ``LEAD`` caller owns the execution and MUST eventually call
+        :meth:`resolve` (or :meth:`abandon`) for the key, or joiners
+        will block until their wait timeout.
+        """
+        with self._lock:
+            record = self._get_locked(key)
+            if record is not None:
+                return HIT, record
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                self.coalesced += 1
+                return JOIN, flight
+            flight = Flight()
+            self._flights[key] = flight
+            return LEAD, flight
+
+    def resolve(self, key: str, record: dict, cacheable: bool = True) -> None:
+        """Leader's completion: publish *record* to waiters and (when
+        *cacheable*) store it — atomically, so no concurrent lookup can
+        slip between flight removal and cache insert and re-execute."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+            if cacheable:
+                self._put_locked(key, record)
+            if flight is not None:
+                flight.record = record
+                flight.event.set()
+
+    def abandon(self, key: str) -> None:
+        """Leader's bail-out (admission rejected, internal error):
+        wake waiters with no record so they can fail fast."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+            if flight is not None:
+                flight.event.set()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._flights)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counter snapshot for ``/metrics``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "evictions": self.evictions,
+                "in_flight": len(self._flights),
+            }
+
+    # -- internals (callers hold self._lock) --------------------------------
+
+    def _get_locked(self, key: str) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def _put_locked(self, key: str, record: dict) -> None:
+        if self.max_entries == 0 or self.max_bytes == 0:
+            return
+        size = _entry_bytes(record)
+        if size > self.max_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old[1]
+        self._entries[key] = (record, size)
+        self.current_bytes += size
+        while (
+            len(self._entries) > self.max_entries
+            or self.current_bytes > self.max_bytes
+        ):
+            _evicted_key, (_record, evicted_size) = self._entries.popitem(
+                last=False
+            )
+            self.current_bytes -= evicted_size
+            self.evictions += 1

@@ -1,0 +1,377 @@
+"""The deobfuscation service: persistent workers behind a cached front.
+
+:class:`DeobfuscationService` is the engine under ``repro serve`` (and
+usable in-process without HTTP).  A request travels:
+
+1. **Cache / single-flight** — :meth:`submit` keys the request by
+   content hash (:func:`repro.service.cache.cache_key` over normalized
+   source + pipeline options).  A cached result returns immediately;
+   a request identical to one already executing joins its flight and
+   shares the result; otherwise the caller becomes the leader.
+2. **Admission** — leaders need a slot in the bounded admission queue
+   (``queue_limit``).  When the queue is full the request is rejected
+   with :class:`ServiceUnavailable` (HTTP 429) instead of piling up —
+   backpressure reaches the client, not the worker fleet.
+3. **Execution** — a single dispatcher thread owns the
+   :class:`~repro.batch.BatchPool` (which is not thread-safe), feeding
+   it admitted jobs and resolving their flights as records complete.
+   The pool keeps PR 1's guarantees: per-request wall-clock budget with
+   SIGKILL backstop, crash isolation, respawn — so a hostile hanging
+   script costs one worker restart, never a wedged service.
+
+Telemetry: every executed record's :class:`~repro.obs.PipelineStats`
+is merged (spans dropped) into a service-lifetime aggregate, exported
+with the service counters by :mod:`repro.service.metrics`.
+
+Shutdown is a drain, not a drop: :meth:`begin_drain` stops admitting,
+:meth:`drain` waits for in-flight work, :meth:`close` stops the
+dispatcher and the fleet.
+"""
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.batch.pool import BatchPool
+from repro.batch.task import DEFAULT_WORKER_SPEC, Task
+from repro.obs import PipelineStats
+from repro.service.cache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    HIT,
+    JOIN,
+    ResultCache,
+    cache_key,
+)
+
+# Statuses whose results are deterministic for a given input+options
+# and therefore safe to cache.  error (environmental) and timeout
+# (budget-dependent, and hard kills carry no result) are re-run on
+# resubmission.
+CACHEABLE_STATUSES = ("ok", "invalid")
+
+# Extra seconds a caller waits beyond the worker budget before giving
+# up on a result that the pool should already have killed.
+_WAIT_MARGIN = 5.0
+
+
+class ServiceUnavailable(Exception):
+    """Request rejected by backpressure (queue full) or drain."""
+
+    def __init__(self, reason: str, retry_after: float = 1.0):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for one service instance.
+
+    ``queue_limit`` bounds *admitted* pipeline executions (queued +
+    running); cache hits and coalesced joins bypass it.  ``timeout``
+    is the per-request worker budget the pool enforces (cooperative
+    deadline first, SIGKILL ``kill_grace`` later); a request may lower
+    it but never raise it above this cap.
+    """
+
+    jobs: int = 2
+    timeout: float = 30.0
+    kill_grace: float = 0.5
+    retries: int = 1
+    queue_limit: int = 64
+    cache_max_entries: int = DEFAULT_MAX_ENTRIES
+    cache_max_bytes: int = DEFAULT_MAX_BYTES
+    cache_enabled: bool = True
+    worker: str = DEFAULT_WORKER_SPEC
+    start_method: Optional[str] = None
+    default_options: Dict[str, Any] = field(default_factory=dict)
+
+
+class _Job:
+    """One admitted pipeline execution crossing the dispatcher."""
+
+    __slots__ = ("task", "key", "event", "record")
+
+    def __init__(self, task: Task, key: str):
+        self.task = task
+        self.key = key
+        self.event = threading.Event()
+        self.record: Optional[dict] = None
+
+
+class DeobfuscationService:
+    """Long-running deobfuscation front end over a warm worker fleet."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either config or overrides, not both")
+        self.config = config
+        self.cache = ResultCache(
+            max_entries=config.cache_max_entries,
+            max_bytes=config.cache_max_bytes,
+        )
+        self.pool = BatchPool(
+            jobs=config.jobs,
+            timeout=config.timeout,
+            kill_grace=config.kill_grace,
+            retries=config.retries,
+            worker=config.worker,
+            start_method=config.start_method,
+        )
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "executions": 0,
+            "rejected": 0,
+            "request_timeouts": 0,
+            "errors": 0,
+        }
+        self.pipeline_totals = PipelineStats()
+        self._gate = threading.Lock()
+        self._admitted = 0
+        self._draining = False
+        self._started = False
+        self._stop = threading.Event()
+        self._jobs: "queue.Queue[_Job]" = queue.Queue()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._started_monotonic = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "DeobfuscationService":
+        """Prestart the worker fleet and the dispatcher thread."""
+        if self._started:
+            return self
+        self._started = True
+        self._started_monotonic = time.monotonic()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; in-flight work continues."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Wait for every admitted execution to finish; True if clean."""
+        self.begin_drain()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._gate:
+                if self._admitted == 0 and self._jobs.empty():
+                    return True
+            time.sleep(0.02)
+        with self._gate:
+            return self._admitted == 0 and self._jobs.empty()
+
+    def close(self) -> None:
+        """Stop the dispatcher and the worker fleet.
+
+        Does not wait for in-flight work — call :meth:`drain` first
+        for a graceful shutdown.
+        """
+        self._draining = True
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+            self._dispatcher = None
+        self.pool.close()
+        self._started = False
+
+    def __enter__(self) -> "DeobfuscationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request path -------------------------------------------------------
+
+    def submit(
+        self,
+        script: str,
+        options: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Deobfuscate *script*; return the enriched result record.
+
+        The record is the worker's (see :mod:`repro.batch` for the
+        schema, ``script`` always embedded) plus ``cache_key``,
+        ``cache_hit`` and ``coalesced``.  Raises
+        :class:`ServiceUnavailable` under backpressure or drain.
+        """
+        if not self._started:
+            raise RuntimeError("service not started — call start()")
+        if self._draining:
+            with self._gate:
+                self.counters["rejected"] += 1
+            raise ServiceUnavailable("draining", retry_after=5.0)
+        with self._gate:
+            self.counters["requests"] += 1
+
+        opts = dict(self.config.default_options)
+        if options:
+            opts.update(options)
+        budget = self.config.timeout
+        if timeout is not None:
+            budget = max(0.0, min(timeout, budget))
+        opts["deadline_seconds"] = budget
+        key = cache_key(script, opts)
+        wait_budget = budget + self.pool.kill_grace + _WAIT_MARGIN
+
+        outcome, payload = self.cache.lookup(key)
+        if outcome == HIT:
+            with self._gate:
+                self.counters["cache_hits"] += 1
+            return self._response(payload, key, cache_hit=True)
+        if outcome == JOIN:
+            with self._gate:
+                self.counters["coalesced"] += 1
+            record = payload.wait(wait_budget)
+            if record is None:
+                with self._gate:
+                    self.counters["request_timeouts"] += 1
+                raise ServiceUnavailable(
+                    "coalesced request did not complete", retry_after=1.0
+                )
+            return self._response(record, key, coalesced=True)
+
+        # Leader: need an admission slot before touching the fleet.
+        with self._gate:
+            if self._admitted >= self.config.queue_limit:
+                self.counters["rejected"] += 1
+                self.cache.abandon(key)
+                raise ServiceUnavailable("admission queue full")
+            self._admitted += 1
+            self.counters["executions"] += 1
+
+        task = Task(
+            path=f"sha256:{key[:12]}",
+            options=opts,
+            store_script=True,
+            source=script,
+        )
+        job = _Job(task, key)
+        self._jobs.put(job)
+        if not job.event.wait(wait_budget):
+            # The pool's SIGKILL backstop should make this unreachable;
+            # defensively surface it as a retryable failure.
+            with self._gate:
+                self.counters["request_timeouts"] += 1
+            raise ServiceUnavailable("execution overran its budget")
+        return self._response(job.record, key, cache_hit=False)
+
+    def _response(
+        self,
+        record: dict,
+        key: str,
+        cache_hit: bool = False,
+        coalesced: bool = False,
+    ) -> dict:
+        out = dict(record)
+        out["cache_key"] = key
+        out["cache_hit"] = cache_hit
+        out["coalesced"] = coalesced
+        return out
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Single owner of the (non-thread-safe) pool."""
+        self.pool.prestart()
+        inflight: Dict[int, _Job] = {}
+        while not self._stop.is_set():
+            try:
+                job = self._jobs.get(timeout=0.02)
+            except queue.Empty:
+                job = None
+            if job is not None:
+                ticket = self.pool.submit(job.task)
+                inflight[ticket] = job
+                # batch any burst that arrived meanwhile
+                while True:
+                    try:
+                        job = self._jobs.get_nowait()
+                    except queue.Empty:
+                        break
+                    inflight[self.pool.submit(job.task)] = job
+            if inflight:
+                for ticket, record in self.pool.collect(timeout=0.05):
+                    finished = inflight.pop(ticket, None)
+                    if finished is None:
+                        continue
+                    self._complete(finished, record)
+
+    def _complete(self, job: _Job, record: dict) -> None:
+        status = record.get("status")
+        with self._gate:
+            self._admitted -= 1
+            if status == "error":
+                self.counters["errors"] += 1
+        stats = record.get("stats")
+        if isinstance(stats, dict):
+            partial = PipelineStats.from_dict(stats)
+            partial.spans = []
+            with self._gate:
+                self.pipeline_totals.merge(partial)
+        self.cache.resolve(
+            job.key, record, cacheable=status in CACHEABLE_STATUSES
+        )
+        job.record = record
+        job.event.set()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted executions currently queued or running."""
+        with self._gate:
+            return self._admitted
+
+    def healthz(self) -> Dict[str, Any]:
+        from repro import package_version
+
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": package_version(),
+            "workers": self.pool.worker_count,
+            "jobs": self.config.jobs,
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.config.queue_limit,
+            "cache_entries": len(self.cache),
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Everything ``/metrics`` renders, as plain data."""
+        with self._gate:
+            counters = dict(self.counters)
+            queue_depth = self._admitted
+            pipeline = self.pipeline_totals.to_dict()
+        return {
+            "counters": counters,
+            "queue_depth": queue_depth,
+            "queue_limit": self.config.queue_limit,
+            "draining": self._draining,
+            "cache": self.cache.snapshot(),
+            "worker_restarts": dict(self.pool.restarts),
+            "workers": self.pool.worker_count,
+            "pipeline": pipeline,
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+        }

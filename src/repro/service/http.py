@@ -1,0 +1,261 @@
+"""The stdlib HTTP front end for :class:`DeobfuscationService`.
+
+``repro serve`` binds a :class:`ThreadingHTTPServer` (one thread per
+connection — the heavy lifting happens in worker *processes*, so
+handler threads mostly wait) over three endpoints:
+
+``POST /deobfuscate``
+    JSON in: ``{"script": str, "rename"?: bool, "reformat"?: bool,
+    "timeout"?: float, "stats"?: bool}``.  JSON out: the batch record
+    schema (status, script, measurements — see :mod:`repro.batch`)
+    plus ``cache_key``/``cache_hit``/``coalesced``; ``"stats": true``
+    additionally embeds the run's ``PipelineStats``.  Status codes:
+    200 (ok/invalid/timeout results), 400 (malformed request),
+    429 + ``Retry-After`` (admission queue full), 500 (worker error),
+    503 (draining).
+``GET /healthz``
+    Liveness JSON: status, version, worker fleet size, queue depth,
+    cache size, uptime.
+``GET /metrics``
+    Prometheus text format: service counters, cache gauges, worker
+    restart counts, and the lifetime pipeline-telemetry aggregates
+    (:mod:`repro.service.metrics`).
+
+:func:`run_server` is the blocking entry point the CLI uses; it
+installs SIGTERM/SIGINT handlers that drain gracefully — stop
+admitting (503), close the listener, finish in-flight requests, flush
+a final metrics snapshot to stderr, exit 0.  Tests embed the server
+with :func:`start_server` instead, which returns immediately.
+"""
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.service.core import (
+    DeobfuscationService,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.service.metrics import render_metrics
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+# Worker result statuses that map to HTTP 200: the service did its
+# job even when the *pipeline* reports a timeout partial or a parse
+# failure — those are results, not transport errors.
+_OK_STATUSES = ("ok", "invalid", "timeout")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying the service reference.
+
+    ``daemon_threads`` is off and ``block_on_close`` on, so
+    ``server_close()`` joins every in-flight handler — the second half
+    of graceful drain.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    # socketserver's default backlog of 5 resets connections under a
+    # synchronized burst; accept the burst and let admission control
+    # (not the kernel) decide who gets turned away.
+    request_queue_size = 128
+
+    def __init__(self, address, service: DeobfuscationService,
+                 quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> DeobfuscationService:
+        return self.server.service
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if not self.server.quiet:
+            sys.stderr.write(
+                "%s - - %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, code: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the work is done either way
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -- endpoints ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/healthz":
+            health = self.service.healthz()
+            code = 503 if health["status"] == "draining" else 200
+            self._send_json(code, health)
+        elif self.path == "/metrics":
+            self._send_text(
+                200,
+                render_metrics(self.service.metrics_snapshot()),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path != "/deobfuscate":
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY_BYTES:
+            self._send_json(400, {"error": "bad or missing Content-Length"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"")
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("script"), str
+        ):
+            self._send_json(
+                400, {"error": "expected {\"script\": \"...\"}"}
+            )
+            return
+
+        options = {}
+        for flag in ("rename", "reformat"):
+            if flag in payload:
+                options[flag] = bool(payload[flag])
+        timeout = payload.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            self._send_json(400, {"error": "timeout must be a number"})
+            return
+
+        try:
+            record = self.service.submit(
+                payload["script"], options=options, timeout=timeout
+            )
+        except ServiceUnavailable as exc:
+            code = 503 if exc.reason == "draining" else 429
+            self._send_json(
+                code,
+                {"error": exc.reason, "retry_after": exc.retry_after},
+                headers={"Retry-After": str(int(max(1, exc.retry_after)))},
+            )
+            return
+
+        if not payload.get("stats"):
+            record.pop("stats", None)
+        code = 200 if record.get("status") in _OK_STATUSES else 500
+        self._send_json(code, record)
+
+
+def start_server(
+    service: DeobfuscationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Start serving in a background thread; return (server, thread).
+
+    ``port=0`` binds an ephemeral port — read the real one from
+    ``server.server_address``.  The caller owns shutdown:
+    ``server.shutdown(); server.server_close()``.
+    """
+    service.start()
+    server = ServiceHTTPServer((host, port), service, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_server(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    port_file: Optional[str] = None,
+    quiet: bool = True,
+) -> int:
+    """Blocking ``repro serve`` body with graceful SIGTERM/SIGINT drain."""
+    service = DeobfuscationService(config)
+    try:
+        server, thread = start_server(service, host=host, port=port,
+                                      quiet=quiet)
+    except OSError as exc:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    bound_host, bound_port = server.server_address[:2]
+    if port_file:
+        with open(port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(bound_port))
+    print(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"({service.config.jobs} workers, "
+        f"queue limit {service.config.queue_limit})",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        service.begin_drain()  # reject new work immediately
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_shutdown)
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    print("repro serve: draining…", file=sys.stderr, flush=True)
+    server.shutdown()        # stop accepting; serve_forever returns
+    thread.join(timeout=10.0)
+    server.server_close()    # joins in-flight handler threads
+    drained = service.drain(timeout=max(30.0, config.timeout + 10.0))
+    final = render_metrics(service.metrics_snapshot())
+    service.close()
+    print(final, file=sys.stderr, flush=True)
+    print(
+        "repro serve: drained cleanly"
+        if drained
+        else "repro serve: drain timed out; some work was dropped",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0 if drained else 1

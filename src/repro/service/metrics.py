@@ -1,0 +1,252 @@
+"""Prometheus text rendering of the service's telemetry.
+
+One function, :func:`render_metrics`, turns
+:meth:`DeobfuscationService.metrics_snapshot` into the Prometheus
+exposition format (text version 0.0.4) — no client library needed,
+because everything exported is a monotonic counter or an instant
+gauge the service already tracks:
+
+- ``repro_service_*`` — request outcomes, cache behaviour, admission
+  queue depth/limit, worker fleet size and restart reasons;
+- ``repro_pipeline_*`` — the service-lifetime aggregate of
+  :class:`~repro.obs.PipelineStats` over every executed request
+  (phase seconds, recovery outcomes, unwrap kinds, evaluator steps),
+  i.e. PR 2's per-run telemetry re-exported as fleet totals.
+
+``repro_service_cache_hit_ratio`` counts coalesced joins as hits:
+both mean "a pipeline execution was avoided", which is the number a
+capacity planner wants.
+"""
+
+from typing import Any, Dict, List
+
+_PIPELINE_COUNTERS = (
+    "tokens_rewritten",
+    "pieces_recovered",
+    "variables_traced",
+    "variables_substituted",
+    "trace_hits",
+    "trace_misses",
+    "evaluator_steps",
+    "recovery_cache_hits",
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _metric(
+    lines: List[str],
+    name: str,
+    kind: str,
+    help_text: str,
+    samples,
+) -> None:
+    """Append one metric family: HELP/TYPE plus ``(labels, value)``
+    sample pairs (labels may be None)."""
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+    for labels, value in samples:
+        if labels:
+            rendered = ",".join(
+                f'{k}="{_escape_label(str(v))}"'
+                for k, v in sorted(labels.items())
+            )
+            lines.append(f"{name}{{{rendered}}} {value}")
+        else:
+            lines.append(f"{name} {value}")
+
+
+def render_metrics(snapshot: Dict[str, Any]) -> str:
+    """The ``/metrics`` response body for one snapshot."""
+    counters = snapshot.get("counters", {})
+    cache = snapshot.get("cache", {})
+    restarts = snapshot.get("worker_restarts", {})
+    pipeline = snapshot.get("pipeline", {})
+    lines: List[str] = []
+
+    _metric(
+        lines,
+        "repro_service_requests_total",
+        "counter",
+        "Requests accepted by the service front end.",
+        [(None, counters.get("requests", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_responses_total",
+        "counter",
+        "Requests by how they were answered.",
+        [
+            ({"via": "cache"}, counters.get("cache_hits", 0)),
+            ({"via": "coalesced"}, counters.get("coalesced", 0)),
+            ({"via": "executed"}, counters.get("executions", 0)),
+            ({"via": "rejected"}, counters.get("rejected", 0)),
+        ],
+    )
+    _metric(
+        lines,
+        "repro_service_errors_total",
+        "counter",
+        "Executions that ended in a worker error record.",
+        [(None, counters.get("errors", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_request_timeouts_total",
+        "counter",
+        "Requests that gave up waiting for a result.",
+        [(None, counters.get("request_timeouts", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_queue_depth",
+        "gauge",
+        "Admitted pipeline executions currently queued or running.",
+        [(None, snapshot.get("queue_depth", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_queue_limit",
+        "gauge",
+        "Admission queue capacity (429 beyond this).",
+        [(None, snapshot.get("queue_limit", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_draining",
+        "gauge",
+        "1 while the service is draining (rejecting new work).",
+        [(None, 1 if snapshot.get("draining") else 0)],
+    )
+    _metric(
+        lines,
+        "repro_service_uptime_seconds",
+        "gauge",
+        "Seconds since the service started.",
+        [(None, snapshot.get("uptime_seconds", 0))],
+    )
+
+    _metric(
+        lines,
+        "repro_service_cache_hits_total",
+        "counter",
+        "Cache lookups answered from a stored result.",
+        [(None, cache.get("hits", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_misses_total",
+        "counter",
+        "Cache lookups that found nothing stored.",
+        [(None, cache.get("misses", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_coalesced_total",
+        "counter",
+        "Lookups that joined an identical in-flight execution.",
+        [(None, cache.get("coalesced", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_evictions_total",
+        "counter",
+        "Entries evicted by the entry or byte budget.",
+        [(None, cache.get("evictions", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_entries",
+        "gauge",
+        "Results currently cached.",
+        [(None, cache.get("entries", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_bytes",
+        "gauge",
+        "Approximate bytes of cached results.",
+        [(None, cache.get("bytes", 0))],
+    )
+    hits = counters.get("cache_hits", 0) + counters.get("coalesced", 0)
+    answered = hits + counters.get("executions", 0)
+    _metric(
+        lines,
+        "repro_service_cache_hit_ratio",
+        "gauge",
+        "Share of answered requests that avoided a pipeline execution "
+        "(cache hits + coalesced joins).",
+        [(None, round(hits / answered, 6) if answered else 0.0)],
+    )
+
+    _metric(
+        lines,
+        "repro_service_workers",
+        "gauge",
+        "Live worker processes in the fleet.",
+        [(None, snapshot.get("workers", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_worker_restarts_total",
+        "counter",
+        "Worker respawns by cause (crash vs timeout SIGKILL).",
+        [
+            ({"reason": reason}, count)
+            for reason, count in sorted(restarts.items())
+        ]
+        or [(None, 0)],
+    )
+
+    for name in _PIPELINE_COUNTERS:
+        _metric(
+            lines,
+            f"repro_pipeline_{name}_total",
+            "counter",
+            f"Lifetime pipeline total of {name.replace('_', ' ')}.",
+            [(None, pipeline.get(name, 0))],
+        )
+    _metric(
+        lines,
+        "repro_pipeline_phase_seconds_total",
+        "counter",
+        "Lifetime wall-clock seconds spent per pipeline phase.",
+        [
+            ({"phase": phase}, round(seconds, 6))
+            for phase, seconds in sorted(
+                (pipeline.get("phase_seconds") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    _metric(
+        lines,
+        "repro_pipeline_recovery_outcomes_total",
+        "counter",
+        "Recoverable pieces by outcome reason.",
+        [
+            ({"reason": reason}, count)
+            for reason, count in sorted(
+                (pipeline.get("recovery_outcomes") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    _metric(
+        lines,
+        "repro_pipeline_unwrap_kinds_total",
+        "counter",
+        "Multi-layer unwraps by invoker kind.",
+        [
+            ({"kind": kind}, count)
+            for kind, count in sorted(
+                (pipeline.get("unwrap_kinds") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    return "\n".join(lines) + "\n"

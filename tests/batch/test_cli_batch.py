@@ -23,12 +23,20 @@ def corpus(tmp_path):
     return directory
 
 
+def read_lines(text):
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def split_header(objects):
+    """Separate header lines (kind: batch_header) from sample records."""
+    headers = [o for o in objects if o.get("kind") == "batch_header"]
+    records = [o for o in objects if "kind" not in o]
+    return headers, records
+
+
 def read_jsonl(path):
-    return [
-        json.loads(line)
-        for line in path.read_text().splitlines()
-        if line.strip()
-    ]
+    """Sample records from a JSONL file, headers dropped."""
+    return split_header(read_lines(path.read_text()))[1]
 
 
 class TestBatchCommand:
@@ -36,11 +44,24 @@ class TestBatchCommand:
         code = main(["batch", str(corpus), "--jobs", "2"])
         captured = capsys.readouterr()
         assert code == 0
-        records = [json.loads(line) for line in captured.out.splitlines()]
+        headers, records = split_header(read_lines(captured.out))
         assert len(records) == 5
         assert all(r["status"] == "ok" for r in records)
+        # the run opens with exactly one version header
+        assert len(headers) == 1
         # summary goes to stderr so stdout stays machine-readable
         assert "ok=5" in captured.err
+
+    def test_header_carries_version(self, corpus, capsys):
+        from repro import package_version
+        from repro.batch import RECORD_SCHEMA_VERSION
+
+        code = main(["batch", str(corpus), "--jobs", "1"])
+        assert code == 0
+        first = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert first["kind"] == "batch_header"
+        assert first["repro_version"] == package_version()
+        assert first["record_schema_version"] == RECORD_SCHEMA_VERSION
 
     def test_output_file_and_summary(self, corpus, tmp_path, capsys):
         out_file = tmp_path / "run.jsonl"
@@ -160,4 +181,51 @@ class TestBatchCommand:
         code = main(["batch", "-", "--jobs", "1"])
         out = capsys.readouterr().out
         assert code == 0
-        assert len([l for l in out.splitlines() if l.startswith("{")]) == 2
+        assert len(split_header(read_lines(out))[1]) == 2
+
+    def test_dedup_reuses_first_result(self, corpus, tmp_path, capsys):
+        # three byte-identical copies of one script + the 5 unique
+        # ones; names sort after ok0.ps1 so it stays the first-seen
+        for name in ("zz-dup-a.ps1", "zz-dup-b.ps1"):
+            (corpus / name).write_text(
+                (corpus / "ok0.ps1").read_text(encoding="utf-8"),
+                encoding="utf-8",
+            )
+        out_file = tmp_path / "run.jsonl"
+        code = main(
+            ["batch", str(corpus), "--jobs", "2", "--dedup",
+             "--store-scripts", "--output", str(out_file)]
+        )
+        assert code == 0
+        records = read_jsonl(out_file)
+        assert len(records) == 7
+        hits = [r for r in records if r.get("cache_hit")]
+        assert {r["path"].rsplit("/", 1)[-1] for r in hits} == {
+            "zz-dup-a.ps1", "zz-dup-b.ps1"
+        }
+        original = next(
+            r for r in records if r["path"].endswith("ok0.ps1")
+        )
+        for hit in hits:
+            assert hit["status"] == "ok"
+            assert hit["script"] == original["script"]
+            assert hit["sha256"] == original["sha256"]
+        summary = capsys.readouterr().out
+        assert "dedup" in summary
+        assert "2 of 7" in summary
+
+    def test_dedup_summary_counts(self, corpus, capsys):
+        (corpus / "copy.ps1").write_text(
+            (corpus / "ok1.ps1").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        from repro.batch import BatchSummary
+
+        code = main(["batch", str(corpus), "--jobs", "1", "--dedup"])
+        captured = capsys.readouterr()
+        assert code == 0
+        _headers, records = split_header(read_lines(captured.out))
+        summary = BatchSummary.from_records(records)
+        assert summary.cache_hits == 1
+        assert summary.total == 6
+        assert summary.status_counts["ok"] == 6

@@ -1,0 +1,41 @@
+"""Fault-injecting and execution-counting service workers.
+
+Like :mod:`tests.batch.helpers`, but source-aware: service tasks carry
+the script in ``task.source`` (no file on disk).  ``counting_worker``
+additionally appends one line per *pipeline execution* to the file
+named by ``REPRO_SERVICE_TEST_COUNTER`` — cross-process proof that
+single-flight ran each unique input exactly once (workers inherit the
+environment at spawn, so tests set the variable before the service
+starts).
+"""
+
+import os
+import time
+
+from repro.batch.task import Task, run_one, task_bytes
+
+LOOP_MARKER = "repro-service-test-loop"
+SLEEP_MARKER = "repro-service-test-sleep"
+CRASH_MARKER = "repro-service-test-crash"
+COUNTER_ENV = "REPRO_SERVICE_TEST_COUNTER"
+
+
+def _content(task: Task) -> str:
+    return task_bytes(task).decode("utf-8", errors="replace")
+
+
+def counting_worker(task: Task) -> dict:
+    """Record the execution, then misbehave if the script says so."""
+    counter = os.environ.get(COUNTER_ENV)
+    if counter:
+        with open(counter, "a", encoding="utf-8") as handle:
+            handle.write(task.path + "\n")
+    content = _content(task)
+    if LOOP_MARKER in content:
+        while True:
+            time.sleep(0.05)
+    if CRASH_MARKER in content:
+        os._exit(23)
+    if SLEEP_MARKER in content:
+        time.sleep(0.8)
+    return run_one(task)

@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.service.cache`: keying, LRU bounds,
+byte budget, and single-flight atomicity."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import (
+    HIT,
+    JOIN,
+    LEAD,
+    ResultCache,
+    cache_key,
+    normalize_source,
+)
+
+
+class TestNormalization:
+    def test_newlines_bom_and_padding_collapse(self):
+        base = "write-host hi\n$x = 1"
+        variants = [
+            "write-host hi\r\n$x = 1",
+            "﻿write-host hi\n$x = 1",
+            "  write-host hi\n$x = 1  \n\n",
+            "write-host hi\r$x = 1",
+        ]
+        for variant in variants:
+            assert normalize_source(variant) == normalize_source(base)
+            assert cache_key(variant) == cache_key(base)
+
+    def test_different_content_different_key(self):
+        assert cache_key("write-host a") != cache_key("write-host b")
+
+    def test_options_partition_the_key(self):
+        script = "write-host hi"
+        assert cache_key(script, {"rename": True}) != cache_key(
+            script, {"rename": False}
+        )
+        # option order must not matter
+        assert cache_key(script, {"a": 1, "b": 2}) == cache_key(
+            script, {"b": 2, "a": 1}
+        )
+
+
+class TestLRU:
+    def test_entry_budget_evicts_least_recently_used(self):
+        cache = ResultCache(max_entries=2, max_bytes=1 << 20)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        assert cache.get("a") == {"n": 1}  # refresh a; b is now LRU
+        cache.put("c", {"n": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"n": 1}
+        assert cache.get("c") == {"n": 3}
+        assert cache.evictions == 1
+
+    def test_byte_budget_evicts(self):
+        cache = ResultCache(max_entries=100, max_bytes=120)
+        payload = {"script": "x" * 40}  # ~52 JSON bytes each
+        cache.put("a", payload)
+        cache.put("b", payload)
+        assert len(cache) == 2
+        cache.put("c", payload)  # 3 * 52 > 120 -> evict "a"
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+
+    def test_oversized_record_not_stored(self):
+        cache = ResultCache(max_entries=10, max_bytes=50)
+        cache.put("big", {"script": "x" * 1000})
+        assert len(cache) == 0
+        assert cache.get("big") is None
+
+    def test_replacing_a_key_adjusts_bytes(self):
+        cache = ResultCache(max_entries=10, max_bytes=10_000)
+        cache.put("a", {"script": "x" * 100})
+        first = cache.current_bytes
+        cache.put("a", {"script": "y" * 10})
+        assert len(cache) == 1
+        assert cache.current_bytes < first
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(max_entries=0)
+        cache.put("a", {"n": 1})
+        assert cache.get("a") is None
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache()
+        assert cache.get("a") is None
+        cache.put("a", {"n": 1})
+        cache.get("a")
+        snap = cache.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+
+
+class TestSingleFlight:
+    def test_lead_then_hit(self):
+        cache = ResultCache()
+        outcome, flight = cache.lookup("k")
+        assert outcome == LEAD
+        cache.resolve("k", {"status": "ok"})
+        outcome, record = cache.lookup("k")
+        assert outcome == HIT
+        assert record == {"status": "ok"}
+
+    def test_join_receives_leader_result(self):
+        cache = ResultCache()
+        outcome, _flight = cache.lookup("k")
+        assert outcome == LEAD
+        outcome, flight = cache.lookup("k")
+        assert outcome == JOIN
+
+        results = []
+        waiter = threading.Thread(
+            target=lambda: results.append(flight.wait(5.0))
+        )
+        waiter.start()
+        cache.resolve("k", {"status": "ok", "n": 7})
+        waiter.join(timeout=5.0)
+        assert results == [{"status": "ok", "n": 7}]
+        assert cache.in_flight == 0
+
+    def test_uncacheable_resolution_reaches_waiters_but_not_cache(self):
+        cache = ResultCache()
+        cache.lookup("k")
+        _outcome, flight = cache.lookup("k")
+        cache.resolve("k", {"status": "error"}, cacheable=False)
+        assert flight.wait(1.0) == {"status": "error"}
+        # nothing stored: next lookup leads again
+        outcome, _ = cache.lookup("k")
+        assert outcome == LEAD
+
+    def test_abandon_wakes_waiters_empty_handed(self):
+        cache = ResultCache()
+        cache.lookup("k")
+        _outcome, flight = cache.lookup("k")
+        cache.abandon("k")
+        assert flight.wait(1.0) is None
+        assert flight.event.is_set()
+
+    def test_exactly_one_leader_under_contention(self):
+        cache = ResultCache()
+        outcomes = []
+        barrier = threading.Barrier(16)
+
+        def contend():
+            barrier.wait()
+            outcome, _ = cache.lookup("k")
+            outcomes.append(outcome)
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert outcomes.count(LEAD) == 1
+        assert outcomes.count(JOIN) == 15
+        assert cache.snapshot()["coalesced"] == 15
+
+
+@pytest.mark.parametrize("status,cached", [("ok", True), ("invalid", True)])
+def test_cacheable_statuses_match_service_policy(status, cached):
+    from repro.service import CACHEABLE_STATUSES
+
+    assert (status in CACHEABLE_STATUSES) is cached
+    assert "error" not in CACHEABLE_STATUSES
+    assert "timeout" not in CACHEABLE_STATUSES

@@ -24,6 +24,23 @@ def run_cli(argv, capsys):
     return code, captured.out, captured.err
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert package_version() in out
+        assert out.startswith("repro ")
+
+    def test_version_matches_dunder(self):
+        import repro
+
+        assert repro.package_version() == repro.__version__
+
+
 class TestDeobfuscateCommand:
     def test_basic(self, script_file, capsys):
         path = script_file("I`E`X ('wri'+'te-host hi')")
