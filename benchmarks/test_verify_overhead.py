@@ -1,0 +1,84 @@
+"""Verify overhead: the differential check vs the pipeline it verifies.
+
+``repro verify`` runs the sandbox twice (original + deobfuscated) on top
+of one pipeline pass, so it can never be free — but it must stay cheap
+enough to turn on for whole-corpus batch runs.  Acceptance: the p50
+overhead the verifier adds is at most 2x the p50 of a single pipeline
+pass on the same samples.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.bench_utils import fig5_corpus, render_table, write_result
+from repro import Deobfuscator
+from repro.verify import verify_result
+
+SAMPLES = 20
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return fig5_corpus(count=SAMPLES, seed=2022)
+
+
+def _p50(values):
+    return statistics.median(values)
+
+
+def test_verify_overhead(benchmark, corpus):
+    tool = Deobfuscator()
+    pipeline_times = []
+    verified_times = []
+    for sample in corpus:
+        best_plain = min(
+            _timed(lambda: tool.deobfuscate(sample.script))
+            for _ in range(REPEATS)
+        )
+        best_verified = min(
+            _timed(lambda: verify_result(tool.deobfuscate(sample.script)))
+            for _ in range(REPEATS)
+        )
+        pipeline_times.append(best_plain)
+        verified_times.append(best_verified)
+
+    def run_one():
+        verify_result(tool.deobfuscate(corpus[0].script))
+
+    benchmark.pedantic(run_one, iterations=1, rounds=3)
+
+    pipeline_p50 = _p50(pipeline_times)
+    verified_p50 = _p50(verified_times)
+    overhead_p50 = verified_p50 - pipeline_p50
+
+    text = render_table(
+        f"Verify overhead over {len(corpus)} corpus samples "
+        "(acceptance: p50 overhead <= 2x pipeline p50)",
+        ["Measure", "p50 (ms)"],
+        [
+            ["pipeline only", f"{pipeline_p50 * 1000:.2f}"],
+            ["pipeline + verify", f"{verified_p50 * 1000:.2f}"],
+            ["verify overhead", f"{overhead_p50 * 1000:.2f}"],
+            [
+                "overhead / pipeline",
+                f"{overhead_p50 / pipeline_p50:.2f}x"
+                if pipeline_p50
+                else "n/a",
+            ],
+        ],
+    )
+    write_result("verify_overhead", text)
+
+    assert overhead_p50 <= 2 * pipeline_p50, (
+        f"verify adds {overhead_p50 * 1000:.2f} ms at p50, more than 2x "
+        f"the {pipeline_p50 * 1000:.2f} ms pipeline p50"
+    )
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start

@@ -8,8 +8,14 @@ interpreter (:mod:`repro.runtime`), the deobfuscation pipeline itself
 (:mod:`repro.batch`), an obfuscation toolkit used to build evaluation corpora
 (:mod:`repro.obfuscation`), re-implementations of the baseline tools the
 paper compares against (:mod:`repro.baselines`), obfuscation scoring
-(:mod:`repro.scoring`), and measurement utilities (:mod:`repro.analysis`,
-:mod:`repro.dataset`).
+(:mod:`repro.scoring`), measurement utilities (:mod:`repro.analysis`,
+:mod:`repro.dataset`), and a differential semantics-preservation verifier
+(:mod:`repro.verify`) that replays original and deobfuscated scripts in
+the sandbox and compares their behaviour-event logs.
+
+Pipeline knobs travel as one typed record, :class:`PipelineOptions`
+(:mod:`repro.options`); the pre-1.3 ``**kwargs`` form still works for
+one release with a :class:`DeprecationWarning`.
 
 Quickstart::
 
@@ -29,6 +35,8 @@ __version__ = "1.2.0"
 _LAZY_PIPELINE = {"Deobfuscator", "DeobfuscationResult", "deobfuscate"}
 _LAZY_BATCH = {"BatchPool", "run_batch"}
 _LAZY_OBS = {"PipelineStats"}
+_LAZY_OPTIONS = {"PipelineOptions"}
+_LAZY_VERIFY = {"VerifyVerdict", "verify_equivalence", "verify_result"}
 
 
 def package_version() -> str:
@@ -57,13 +65,25 @@ def __getattr__(name):
         from repro import obs
 
         return getattr(obs, name)
+    if name in _LAZY_OPTIONS:
+        from repro import options
+
+        return getattr(options, name)
+    if name in _LAZY_VERIFY:
+        from repro import verify
+
+        return getattr(verify, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "Deobfuscator",
     "DeobfuscationResult",
+    "PipelineOptions",
     "PipelineStats",
+    "VerifyVerdict",
     "deobfuscate",
+    "verify_equivalence",
+    "verify_result",
     "BatchPool",
     "run_batch",
     "package_version",

@@ -1,8 +1,11 @@
-"""Measurement utilities: key-information extraction and the behaviour
-sandbox (the reproduction's TianQiong-sandbox substitute)."""
+"""Measurement utilities: key-information extraction and (for one more
+release) the old home of the behaviour sandbox, which moved to
+:mod:`repro.verify`.  ``repro.analysis.observe_behavior`` re-exports
+the :mod:`repro.verify` implementation silently; importing it from the
+:mod:`repro.analysis.behavior` submodule warns."""
 
-from repro.analysis.behavior import BehaviorReport, observe_behavior
 from repro.analysis.keyinfo import KeyInfo, extract_key_info
+from repro.verify.observe import BehaviorReport, observe_behavior
 
 __all__ = [
     "KeyInfo",

@@ -1,42 +1,30 @@
-"""Behavioural consistency sandbox (paper Section IV-C3 / Table IV).
+"""DEPRECATED — behaviour recording moved to :mod:`repro.verify`.
 
-The paper runs original and deobfuscated samples in the TianQiong sandbox
-and compares *network behaviour* (DNS queries, TCP connections).  Our
-substitute executes scripts in the recording sandbox
-(:mod:`repro.runtime`) with the blocklist off: network objects record
-intent instead of connecting, and the comparison is over the set of
-``(effect kind, host)`` pairs — the same signal the paper's sandbox
-extracts from traffic.
+This module's API (``observe_behavior``, ``same_network_behavior``,
+``BehaviorReport``) grew into the semantics-preservation verifier and
+now lives in :mod:`repro.verify.observe`.  These wrappers keep the old
+import path working for one release, warning on call; the class is
+re-exported directly (it is the same type, so ``isinstance`` checks
+keep passing across the move).
 """
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+import warnings
+from typing import Optional
 
-from repro.runtime.errors import EvaluationError
-from repro.runtime.evaluator import Evaluator
-from repro.runtime.host import Effect, SandboxHost
-from repro.runtime.limits import ExecutionBudget
+from repro.verify.observe import BehaviorReport  # noqa: F401 — re-export
+from repro.verify.observe import observe_behavior as _observe_behavior
+from repro.verify.observe import (
+    same_network_behavior as _same_network_behavior,
+)
 
 
-@dataclass
-class BehaviorReport:
-    """Recorded behaviour of one script execution."""
-
-    effects: List[Effect] = field(default_factory=list)
-    error: Optional[str] = None
-
-    @property
-    def network_signature(self) -> Set[Tuple[str, str]]:
-        """The comparison key: kinds + hosts of network effects."""
-        return {
-            (effect.kind, effect.host)
-            for effect in self.effects
-            if effect.kind.startswith("net.")
-        }
-
-    @property
-    def has_network_behavior(self) -> bool:
-        return bool(self.network_signature)
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.analysis.behavior.{name} is deprecated; use "
+        f"repro.verify.{name} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def observe_behavior(
@@ -44,26 +32,9 @@ def observe_behavior(
     responses: Optional[dict] = None,
     step_limit: int = 200_000,
 ) -> BehaviorReport:
-    """Execute *script* in the recording sandbox and report its effects.
-
-    ``responses`` maps URL → synthetic body, letting multi-stage
-    downloaders fetch their second stage hermetically.
-    """
-    host = SandboxHost(responses=dict(responses or {}))
-    evaluator = Evaluator(
-        host=host,
-        budget=ExecutionBudget(step_limit=step_limit),
-        enforce_blocklist=False,
-        continue_on_error=True,
-    )
-    error = None
-    try:
-        evaluator.run_script_text(script)
-    except EvaluationError as exc:
-        error = str(exc)
-    except RecursionError as exc:  # pragma: no cover - defensive
-        error = f"recursion: {exc}"
-    return BehaviorReport(effects=list(host.effects), error=error)
+    """Deprecated alias of :func:`repro.verify.observe_behavior`."""
+    _warn("observe_behavior")
+    return _observe_behavior(script, responses, step_limit=step_limit)
 
 
 def same_network_behavior(
@@ -71,7 +42,6 @@ def same_network_behavior(
     candidate: str,
     responses: Optional[dict] = None,
 ) -> bool:
-    """Table IV's per-sample check: identical network signatures."""
-    first = observe_behavior(original, responses)
-    second = observe_behavior(candidate, responses)
-    return first.network_signature == second.network_signature
+    """Deprecated alias of :func:`repro.verify.same_network_behavior`."""
+    _warn("same_network_behavior")
+    return _same_network_behavior(original, candidate, responses)

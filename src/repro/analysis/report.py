@@ -9,11 +9,11 @@ the "downstream user" API the individual modules compose into.
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.analysis.behavior import BehaviorReport, observe_behavior
 from repro.analysis.keyinfo import KeyInfo, extract_key_info
 from repro.core.pipeline import DeobfuscationResult, Deobfuscator
 from repro.obs import profile_lines
 from repro.scoring import ObfuscationReport, score_script
+from repro.verify import BehaviorReport, VerifyVerdict, observe_behavior
 
 
 @dataclass
@@ -27,6 +27,7 @@ class TriageReport:
     key_info: KeyInfo
     behavior_original: BehaviorReport
     behavior_deobfuscated: BehaviorReport
+    verify_verdict: Optional[VerifyVerdict] = None
 
     @property
     def behavior_consistent(self) -> bool:
@@ -77,6 +78,14 @@ class TriageReport:
             "behaviour preserved by deobfuscation: "
             + ("yes" if self.behavior_consistent else "NO")
         )
+        if self.verify_verdict is not None:
+            verdict = self.verify_verdict
+            line = f"semantic equivalence: {verdict.verdict}"
+            if verdict.reason:
+                line += f" ({verdict.reason})"
+            lines.append(line)
+            for entry in verdict.diff:
+                lines.append(f"  {entry}")
         lines.append("--- pipeline telemetry ---")
         lines.append(
             f"run       : {self.deobfuscation.elapsed_seconds:.4f}s, "
@@ -98,10 +107,22 @@ def build_report(
     script: str,
     tool: Optional[Deobfuscator] = None,
     responses: Optional[Dict[str, str]] = None,
+    verify: bool = False,
 ) -> TriageReport:
-    """Run the full triage loop over *script*."""
+    """Run the full triage loop over *script*.
+
+    ``verify=True`` additionally runs the full differential
+    semantics-preservation check (:mod:`repro.verify`) — stricter than
+    the always-on network-signature comparison — and includes its
+    verdict in the report.
+    """
     tool = tool or Deobfuscator()
     deobfuscation = tool.deobfuscate(script)
+    verdict = None
+    if verify:
+        from repro.verify import verify_result
+
+        verdict = verify_result(deobfuscation, responses=responses)
     return TriageReport(
         original=script,
         deobfuscation=deobfuscation,
@@ -112,4 +133,5 @@ def build_report(
         behavior_deobfuscated=observe_behavior(
             deobfuscation.script, responses=responses
         ),
+        verify_verdict=verdict,
     )

@@ -31,8 +31,8 @@ test); :class:`SampleRecord` is the typed view.  Common fields:
 ``status`` (str)
     ``ok`` | ``invalid`` | ``timeout`` | ``error``.
 ``schema_version`` (int)
-    The record schema revision (2 as of the telemetry redesign;
-    records without the field are version 1).
+    The record schema revision (3 as of the verify verdict; 2 as of
+    the telemetry redesign; records without the field are version 1).
 ``attempts`` (int)
     How many workers were handed this sample (> 1 after crash retries).
 
@@ -53,6 +53,11 @@ measurement set:
     ``PipelineStats.from_dict(record["stats"])``.
 ``script`` (str, optional)
     The deobfuscated script, only with ``--store-scripts``.
+``verify`` (object, optional)
+    The semantic-equivalence verdict, only with ``--verify`` — a
+    ``repro.verify.VerifyVerdict.to_dict()`` payload (``verdict`` of
+    ``equivalent``/``divergent``/``inconclusive``, plus ``reason`` and
+    a bounded event ``diff`` when present).
 
 ``status: "timeout"`` records add:
 

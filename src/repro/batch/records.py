@@ -14,8 +14,9 @@ from typing import Any, Dict, Iterable, Optional
 from repro.obs import PipelineStats
 
 # Version 1 is PR 1's implicit, unversioned record shape; version 2
-# adds this field plus the embedded PipelineStats telemetry.
-RECORD_SCHEMA_VERSION = 2
+# adds this field plus the embedded PipelineStats telemetry; version 3
+# adds the optional ``verify`` verdict of ``--verify`` runs.
+RECORD_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -38,6 +39,7 @@ class SampleRecord:
     layers_unwrapped: Optional[int] = None
     changed: Optional[bool] = None
     stats: Optional[PipelineStats] = None
+    verify: Optional[Dict[str, Any]] = None
     script: Optional[str] = None
     graceful: Optional[bool] = None
     error: Optional[str] = None
@@ -87,6 +89,7 @@ class BatchSummary:
     recovery_outcomes: Dict[str, int] = field(default_factory=dict)
     unwrap_kinds: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
+    verify: Optional[Dict[str, int]] = None
     worker_restarts: Optional[Dict[str, int]] = None
     wall_seconds: Optional[float] = None
     throughput_scripts_per_second: Optional[float] = None

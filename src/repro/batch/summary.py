@@ -59,7 +59,8 @@ def summarize(
     latency distributions (``phase_seconds``: phase → mean/p50/p95/
     total over the records whose embedded stats carried span timings),
     corpus-wide ``recovery_outcomes`` and ``unwrap_kinds`` totals,
-    and — when given — ``wall_seconds`` plus end-to-end
+    ``verify`` verdict counts when any record carried a ``--verify``
+    verdict, and — when given — ``wall_seconds`` plus end-to-end
     ``throughput_scripts_per_second``, and ``worker_restarts`` (the
     pool's crash/timeout respawn counters).
 
@@ -73,10 +74,14 @@ def summarize(
     per_phase: Dict[str, List[float]] = {}
     recovery_outcomes: Dict[str, int] = {}
     unwrap_kinds: Dict[str, int] = {}
+    verify_counts: Dict[str, int] = {}
     layers = 0
     changed = 0
     cache_hits = 0
     for record in records:
+        verdict = (record.get("verify") or {}).get("verdict")
+        if verdict:
+            verify_counts[verdict] = verify_counts.get(verdict, 0) + 1
         status = record.get("status", "error")
         cache_hits += 1 if record.get("cache_hit") else 0
         counts[status] = counts.get(status, 0) + 1
@@ -114,6 +119,8 @@ def summarize(
         "unwrap_kinds": unwrap_kinds,
         "cache_hits": cache_hits,
     }
+    if verify_counts:
+        summary["verify"] = verify_counts
     if worker_restarts is not None:
         summary["worker_restarts"] = dict(worker_restarts)
     if wall_seconds is not None:
@@ -167,6 +174,14 @@ def render_summary(summary: Dict[str, object]) -> str:
         lines.append(
             "unwraps   : "
             + "  ".join(f"{k}={v}" for k, v in kinds.items())
+        )
+    verify_counts = summary.get("verify") or {}
+    if verify_counts:
+        verified = sum(verify_counts.values())
+        lines.append(
+            "verify    : "
+            + "  ".join(f"{k}={v}" for k, v in sorted(verify_counts.items()))
+            + f"  ({verified} verified)"
         )
     if "throughput_scripts_per_second" in summary:
         lines.append(

@@ -28,10 +28,14 @@ DEFAULT_GLOB = "*.ps1"
 class Task:
     """One sample for the pool: a script path plus pipeline options.
 
-    ``options`` is forwarded as keyword arguments to
-    :class:`repro.Deobfuscator` (e.g. ``rename``, ``reformat``,
-    ``deadline_seconds``).  ``store_script`` additionally embeds the
-    deobfuscated script in the JSONL record.
+    ``options`` is a :meth:`PipelineOptions.canonical_dict` payload
+    (tasks cross process boundaries, so they carry the dict form); the
+    worker rebuilds the typed record with
+    :meth:`PipelineOptions.from_dict`.  ``store_script`` additionally
+    embeds the deobfuscated script in the JSONL record.  ``verify``
+    runs the differential semantics-preservation check
+    (:mod:`repro.verify`) after deobfuscation and attaches its verdict
+    to the record.
 
     ``source`` carries the script text in-band instead of on disk —
     how ``repro.service`` ships request bodies to workers.  When set,
@@ -43,6 +47,7 @@ class Task:
     options: Dict[str, object] = field(default_factory=dict)
     store_script: bool = False
     source: Optional[str] = None
+    verify: bool = False
 
 
 def discover(
@@ -88,16 +93,40 @@ def discover(
 
 def make_tasks(
     paths: Iterable[str],
+    options=None,
     deadline_seconds: Optional[float] = None,
     store_script: bool = False,
+    verify: bool = False,
     **pipeline_options,
 ) -> List[Task]:
-    """Build one :class:`Task` per path, all sharing the same options."""
-    options = dict(pipeline_options)
+    """Build one :class:`Task` per path, all sharing the same options.
+
+    *options* is a :class:`~repro.options.PipelineOptions` (or an
+    option dict, legacy aliases included); bare keyword options are
+    still accepted and merged on top.  Every task carries the canonical
+    dict form, so two invocations that mean the same options produce
+    identical task payloads.
+    """
+    from repro.options import PipelineOptions
+
+    merged = dict(pipeline_options)
     if deadline_seconds is not None:
-        options["deadline_seconds"] = deadline_seconds
+        merged["deadline_seconds"] = deadline_seconds
+    if isinstance(options, PipelineOptions):
+        opts = options
+    else:
+        opts = PipelineOptions.from_dict(dict(options or {}))
+    if merged:
+        mapped, _ = PipelineOptions._map_names(merged, strict=True)
+        opts = opts.replace(**mapped)
+    payload = opts.canonical_dict()
     return [
-        Task(path=path, options=options, store_script=store_script)
+        Task(
+            path=path,
+            options=payload,
+            store_script=store_script,
+            verify=verify,
+        )
         for path in paths
     ]
 
@@ -135,11 +164,12 @@ def run_one(task: Task) -> dict:
     """
     from repro import Deobfuscator
     from repro.batch.records import RECORD_SCHEMA_VERSION
+    from repro.options import PipelineOptions
 
     raw = task_bytes(task)
     script = raw.decode("utf-8", errors="replace")
 
-    tool = Deobfuscator(**task.options)
+    tool = Deobfuscator(options=PipelineOptions.from_dict(task.options))
     result = tool.deobfuscate(script)
 
     if not result.valid_input:
@@ -148,6 +178,16 @@ def run_one(task: Task) -> dict:
         status = "timeout"
     else:
         status = "ok"
+
+    verdict = None
+    if task.verify:
+        from repro.verify import verify_result
+
+        verdict = verify_result(result)
+        result.stats.verify[verdict.verdict] = (
+            result.stats.verify.get(verdict.verdict, 0) + 1
+        )
+
     record = {
         "path": task.path,
         "status": status,
@@ -162,6 +202,8 @@ def run_one(task: Task) -> dict:
     }
     if status == "timeout":
         record["graceful"] = True
+    if verdict is not None:
+        record["verify"] = verdict.to_dict()
     if task.store_script:
         record["script"] = result.script
     return record

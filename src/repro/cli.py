@@ -17,6 +17,10 @@ serve [--host H] [--port P] [--jobs N] [--timeout S] [--queue-limit N]
 profile FILE [--json] [--timeout S]
     Deobfuscate once and print the telemetry profile (per-phase spans,
     recovery outcomes, tracing hits) instead of the script.
+verify FILE [--json] [--fail-on-divergent] [--step-limit N]
+    Deobfuscate, then differentially execute the original and the
+    result in the recording sandbox and judge semantic equivalence
+    (equivalent / divergent with a minimal event diff / inconclusive).
 score FILE
     Print the detected obfuscation techniques and the score.
 keyinfo FILE
@@ -50,13 +54,9 @@ def _read(path: str) -> str:
 
 
 def _cmd_deobfuscate(args) -> int:
-    from repro import Deobfuscator
+    from repro import Deobfuscator, PipelineOptions
 
-    tool = Deobfuscator(
-        rename=not args.no_rename,
-        reformat=not args.no_reformat,
-        deadline_seconds=args.timeout,
-    )
+    tool = Deobfuscator(options=PipelineOptions.from_cli_args(args))
     result = tool.deobfuscate(_read(args.file))
     if not result.valid_input:
         print("error: input is not a valid PowerShell script",
@@ -82,14 +82,10 @@ def _cmd_deobfuscate(args) -> int:
 def _cmd_profile(args) -> int:
     import json
 
-    from repro import Deobfuscator
+    from repro import Deobfuscator, PipelineOptions
     from repro.obs import render_profile
 
-    tool = Deobfuscator(
-        rename=not args.no_rename,
-        reformat=not args.no_reformat,
-        deadline_seconds=args.timeout,
-    )
+    tool = Deobfuscator(options=PipelineOptions.from_cli_args(args))
     result = tool.deobfuscate(_read(args.file))
     if args.json:
         payload = {
@@ -165,12 +161,13 @@ def _cmd_batch(args) -> int:
     if args.dedup:
         paths, duplicates = _dedup_groups(paths)
 
+    from repro import PipelineOptions
+
     tasks = make_tasks(
         paths,
-        deadline_seconds=args.timeout,
+        options=PipelineOptions.from_cli_args(args),
         store_script=args.store_scripts,
-        rename=not args.no_rename,
-        reformat=not args.no_reformat,
+        verify=args.verify,
     )
 
     from repro.batch.task import resolve_worker
@@ -245,6 +242,35 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_verify(args) -> int:
+    import json
+
+    from repro import Deobfuscator, PipelineOptions
+    from repro.verify import verify_result
+
+    tool = Deobfuscator(options=PipelineOptions.from_cli_args(args))
+    result = tool.deobfuscate(_read(args.file))
+    verdict = verify_result(result, step_limit=args.step_limit)
+
+    if args.json:
+        payload = verdict.to_dict()
+        payload["changed"] = result.changed
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(f"verdict   : {verdict.verdict}")
+        if verdict.reason:
+            print(f"reason    : {verdict.reason}")
+        print(
+            f"events    : original={verdict.original_events} "
+            f"deobfuscated={verdict.candidate_events}"
+        )
+        for line in verdict.diff:
+            print(f"  {line}")
+    if verdict.verdict == "divergent" and args.fail_on_divergent:
+        return 4
+    return 0
+
+
 def _cmd_score(args) -> int:
     from repro.scoring import score_script
     from repro.scoring.detectors import TECHNIQUE_LEVELS
@@ -272,9 +298,9 @@ def _cmd_keyinfo(args) -> int:
 
 
 def _cmd_behavior(args) -> int:
-    from repro.analysis import observe_behavior
+    from repro.verify import observe_behavior
 
-    report = observe_behavior(_read(args.file))
+    report = observe_behavior(_read(args.file), collect_events=False)
     for effect in report.effects:
         print(f"{effect.kind}\t{effect.target}")
     if report.error:
@@ -414,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-rename", action="store_true")
     p.add_argument("--no-reformat", action="store_true")
     p.add_argument(
+        "--verify", action="store_true",
+        help="differentially verify each sample's deobfuscation "
+        "(semantic-equivalence verdict in every record and in the "
+        "summary)",
+    )
+    p.add_argument(
         "--exit-zero", action="store_true",
         help="exit 0 even when samples errored (default: exit 3)",
     )
@@ -478,6 +510,33 @@ def build_parser() -> argparse.ArgumentParser:
         "tests to inject faults)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "verify",
+        help="deobfuscate and differentially verify semantics "
+        "preservation",
+    )
+    p.add_argument("file", help="script path, or - for stdin")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable verdict instead of text",
+    )
+    p.add_argument(
+        "--fail-on-divergent", action="store_true",
+        help="exit 4 when the verdict is divergent (for CI gates)",
+    )
+    p.add_argument(
+        "--step-limit", type=int, default=200_000, metavar="N",
+        help="sandbox step budget for each differential execution "
+        "(default: 200000)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative deadline for the deobfuscation pass",
+    )
+    p.add_argument("--no-rename", action="store_true")
+    p.add_argument("--no-reformat", action="store_true")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("score", help="score obfuscation techniques")
     p.add_argument("file")

@@ -22,9 +22,8 @@ from repro.core.reformat import reformat_script
 from repro.core.rename import rename_random_identifiers
 from repro.core.token_deobfuscator import deobfuscate_tokens
 from repro.obs import PipelineStats, Tracer
+from repro.options import DEFAULT_MAX_ITERATIONS, PipelineOptions
 from repro.pslang.parser import try_parse
-
-DEFAULT_MAX_ITERATIONS = 10
 
 
 @dataclass
@@ -85,7 +84,12 @@ class DeobfuscationResult:
 class Deobfuscator:
     """AST-based, semantics-preserving PowerShell deobfuscator.
 
-    Parameters mirror the paper's design decisions so each can be ablated:
+    Configured by one typed record: ``Deobfuscator(options=
+    PipelineOptions(...))``.  The pre-redesign keyword form
+    (``Deobfuscator(rename=False, ...)``) still works for one release
+    through :meth:`PipelineOptions.from_kwargs`, which emits a
+    :class:`DeprecationWarning` and maps legacy alias names.  The option
+    fields mirror the paper's design decisions so each can be ablated:
 
     token_phase
         Run the Section III-A token parsing phase.
@@ -123,31 +127,35 @@ class Deobfuscator:
 
     def __init__(
         self,
-        token_phase: bool = True,
-        ast_phase: bool = True,
-        trace_variables: bool = True,
-        trace_functions: bool = False,
-        multilayer: bool = True,
-        rename: bool = True,
-        reformat: bool = True,
-        enforce_blocklist: bool = True,
-        max_iterations: int = DEFAULT_MAX_ITERATIONS,
-        piece_step_limit: Optional[int] = None,
-        deadline_seconds: Optional[float] = None,
-        collect_spans: bool = True,
+        options: Optional[PipelineOptions] = None,
+        **kwargs,
     ):
-        self.token_phase = token_phase
-        self.ast_phase = ast_phase
-        self.trace_variables = trace_variables
-        self.trace_functions = trace_functions
-        self.multilayer = multilayer
-        self.rename = rename
-        self.reformat = reformat
-        self.enforce_blocklist = enforce_blocklist
-        self.max_iterations = max_iterations
-        self.piece_step_limit = piece_step_limit
-        self.deadline_seconds = deadline_seconds
-        self.collect_spans = collect_spans
+        if options is not None:
+            if kwargs:
+                raise TypeError(
+                    "pass either options=PipelineOptions(...) or keyword "
+                    "options, not both"
+                )
+            if not isinstance(options, PipelineOptions):
+                raise TypeError(
+                    "options must be a PipelineOptions, got "
+                    f"{type(options).__name__}"
+                )
+            self.options = options
+        elif kwargs:
+            self.options = PipelineOptions.from_kwargs(**kwargs)
+        else:
+            self.options = PipelineOptions()
+
+    def __getattr__(self, name: str):
+        # Option fields read through to the options record, so
+        # ``deobfuscator.rename`` keeps working across the redesign.
+        options = self.__dict__.get("options")
+        if options is not None and name in PipelineOptions.field_names():
+            return getattr(options, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     def _make_recovery(self) -> RecoveryEngine:
         # step_limit=None means "engine default" — no branching needed.
@@ -233,6 +241,14 @@ class Deobfuscator:
         return result
 
 
-def deobfuscate(script: str, **kwargs) -> DeobfuscationResult:
-    """One-call convenience API: ``deobfuscate(script).script``."""
-    return Deobfuscator(**kwargs).deobfuscate(script)
+def deobfuscate(
+    script: str,
+    options: Optional[PipelineOptions] = None,
+    **kwargs,
+) -> DeobfuscationResult:
+    """One-call convenience API: ``deobfuscate(script).script``.
+
+    Prefer ``deobfuscate(script, options=PipelineOptions(...))``; bare
+    keywords go through the one-release compat shim.
+    """
+    return Deobfuscator(options=options, **kwargs).deobfuscate(script)

@@ -18,7 +18,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.obs.spans import Span
 
 # Bump whenever the serialized shape of PipelineStats changes.
-STATS_SCHEMA_VERSION = 1
+# Version 2 adds the ``verify`` verdict-count section.
+STATS_SCHEMA_VERSION = 2
 
 # Why a recoverable piece did / did not get replaced (Section III-B2
 # plus the failure taxonomy of Section V-C).
@@ -74,6 +75,12 @@ class PipelineStats:
         assignment evaluation — the run's execution-cost denominator.
     unwrap_kinds
         Multi-layer unwraps by invoker kind (:data:`UNWRAP_KINDS`).
+    verify
+        Semantic-equivalence verdict counts (``equivalent`` /
+        ``divergent`` / ``inconclusive``) when the run was
+        differentially verified (:mod:`repro.verify`); empty — and
+        omitted from ``to_dict()`` — otherwise.  A single run carries
+        one count of 1; batch/service aggregation sums them.
 
     Timing
     ------
@@ -94,6 +101,7 @@ class PipelineStats:
     recovery_cache_hits: int = 0
     recovery_outcomes: Dict[str, int] = field(default_factory=_zero_reasons)
     unwrap_kinds: Dict[str, int] = field(default_factory=_zero_kinds)
+    verify: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     spans: List[Span] = field(default_factory=list)
     schema_version: int = STATS_SCHEMA_VERSION
@@ -101,8 +109,12 @@ class PipelineStats:
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dict; pinned by the schema golden test."""
-        return {
+        """JSON-ready dict; pinned by the schema golden test.
+
+        The ``verify`` section appears only on verified runs, so the
+        overwhelmingly common unverified record pays no size for it.
+        """
+        data: Dict[str, Any] = {
             "schema_version": self.schema_version,
             "tokens_rewritten": self.tokens_rewritten,
             "pieces_recovered": self.pieces_recovered,
@@ -117,6 +129,9 @@ class PipelineStats:
             "phase_seconds": dict(self.phase_seconds),
             "spans": [span.to_dict() for span in self.spans],
         }
+        if self.verify:
+            data["verify"] = dict(self.verify)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "PipelineStats":
@@ -134,7 +149,7 @@ class PipelineStats:
             value = data[item.name]
             if item.name == "spans":
                 stats.spans = [Span.from_dict(s) for s in value]
-            elif item.name in ("recovery_outcomes", "unwrap_kinds"):
+            elif item.name in ("recovery_outcomes", "unwrap_kinds", "verify"):
                 merged = getattr(stats, item.name)
                 merged.update({str(k): int(v) for k, v in value.items()})
             elif item.name == "phase_seconds":
@@ -165,6 +180,8 @@ class PipelineStats:
             self.unwrap_kinds[kind] = (
                 self.unwrap_kinds.get(kind, 0) + count
             )
+        for verdict, count in other.verify.items():
+            self.verify[verdict] = self.verify.get(verdict, 0) + count
         for phase, seconds in other.phase_seconds.items():
             self.phase_seconds[phase] = round(
                 self.phase_seconds.get(phase, 0.0) + seconds, 6

@@ -1,0 +1,170 @@
+"""The typed pipeline options record: :class:`PipelineOptions`.
+
+One frozen dataclass is the single source of truth for every knob the
+deobfuscation pipeline accepts.  Before this existed, the same option
+set travelled as ``**kwargs`` through four independent surfaces — the
+:class:`~repro.Deobfuscator` constructor, :func:`repro.deobfuscate`,
+batch :class:`~repro.batch.Task` dicts, and the service cache key —
+each with its own defaulting and no validation.  Now every surface
+converts to :class:`PipelineOptions` at its boundary:
+
+- the constructor takes ``Deobfuscator(options=PipelineOptions(...))``
+  (the old ``**kwargs`` form still works for one release, with a
+  :class:`DeprecationWarning`);
+- CLI flags map through :meth:`from_cli_args` / :meth:`to_cli_flags`;
+- batch tasks and service requests carry :meth:`to_dict` payloads and
+  rebuild with :meth:`from_dict`;
+- the service's content-addressed cache keys on
+  :meth:`canonical_dict`, so two requests that *mean* the same options
+  — defaults spelled out vs omitted, a legacy alias vs the canonical
+  name — hash to the same entry.
+
+The legacy alias table (``timeout`` → ``deadline_seconds``,
+``step_limit`` → ``piece_step_limit``, ...) exists only for the
+one-release compat window; new code should use the field names.
+"""
+
+import warnings
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, List, Optional
+
+DEFAULT_MAX_ITERATIONS = 10
+
+# Old keyword spellings accepted (with a DeprecationWarning) by the
+# **kwargs compat shim and silently by from_dict, so pre-redesign
+# records and embedders keep working for one release.
+LEGACY_ALIASES = {
+    "timeout": "deadline_seconds",
+    "step_limit": "piece_step_limit",
+    "blocklist": "enforce_blocklist",
+    "iterations": "max_iterations",
+}
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Every knob of one :meth:`Deobfuscator.deobfuscate` run.
+
+    The fields mirror the paper's design decisions (each one ablatable);
+    see the :class:`~repro.Deobfuscator` docstring for what each does.
+    Instances are frozen — derive variants with :meth:`replace`.
+    """
+
+    token_phase: bool = True
+    ast_phase: bool = True
+    trace_variables: bool = True
+    trace_functions: bool = False
+    multilayer: bool = True
+    rename: bool = True
+    reformat: bool = True
+    enforce_blocklist: bool = True
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+    piece_step_limit: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    collect_spans: bool = True
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def field_names(cls) -> frozenset:
+        return frozenset(item.name for item in fields(cls))
+
+    @classmethod
+    def _map_names(cls, data: Dict[str, Any], strict: bool):
+        """Resolve legacy aliases; return (mapped, aliases_used)."""
+        known = cls.field_names()
+        mapped: Dict[str, Any] = {}
+        aliases_used: List[str] = []
+        for name, value in data.items():
+            if name in known:
+                mapped[name] = value
+            elif name in LEGACY_ALIASES:
+                mapped[LEGACY_ALIASES[name]] = value
+                aliases_used.append(name)
+            elif strict:
+                raise TypeError(f"unknown pipeline option {name!r}")
+        return mapped, aliases_used
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "PipelineOptions":
+        """The one-release ``**kwargs`` compat shim.
+
+        Maps legacy alias names onto their fields and warns that the
+        keyword form is deprecated in favour of passing a
+        :class:`PipelineOptions` instance.
+        """
+        mapped, aliases = cls._map_names(kwargs, strict=True)
+        detail = (
+            " (legacy name(s) " + ", ".join(sorted(aliases))
+            + " were mapped)" if aliases else ""
+        )
+        warnings.warn(
+            "keyword pipeline options are deprecated; pass "
+            f"options=PipelineOptions(...) instead{detail}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return cls(**mapped)
+
+    @classmethod
+    def from_dict(
+        cls, data: Optional[Dict[str, Any]], ignore_unknown: bool = False
+    ) -> "PipelineOptions":
+        """Rebuild from a :meth:`to_dict` / :meth:`canonical_dict`
+        payload (or any option dict crossing a process or wire
+        boundary).  Legacy aliases are mapped silently; unknown keys
+        raise unless *ignore_unknown*."""
+        mapped, _ = cls._map_names(dict(data or {}), strict=not ignore_unknown)
+        return cls(**mapped)
+
+    @classmethod
+    def from_cli_args(cls, args: Any) -> "PipelineOptions":
+        """Build from an argparse namespace of the CLI's shared flags
+        (``--no-rename``, ``--no-reformat``, ``--timeout``)."""
+        return cls(
+            rename=not getattr(args, "no_rename", False),
+            reformat=not getattr(args, "no_reformat", False),
+            deadline_seconds=getattr(args, "timeout", None),
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full field dict (canonical names, defaults included) —
+        the wire form batch tasks and service requests carry."""
+        return asdict(self)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Only the fields that differ from their defaults, keyed by
+        canonical name.
+
+        This is the cache-key form: equivalent constructions — defaults
+        written out vs omitted, legacy aliases vs field names, any key
+        order — produce byte-identical JSON, and adding a new option in
+        a later release does not invalidate keys of runs that never set
+        it.
+        """
+        out: Dict[str, Any] = {}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if value != item.default:
+                out[item.name] = value
+        return out
+
+    def to_cli_flags(self) -> List[str]:
+        """The ``repro deobfuscate``-style flags that reproduce the
+        CLI-exposed subset of these options (see :meth:`from_cli_args`)."""
+        flags: List[str] = []
+        if not self.rename:
+            flags.append("--no-rename")
+        if not self.reformat:
+            flags.append("--no-reformat")
+        if self.deadline_seconds is not None:
+            flags.extend(["--timeout", str(self.deadline_seconds)])
+        return flags
+
+    # -- derivation ----------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "PipelineOptions":
+        """A copy with *changes* applied (instances are frozen)."""
+        return replace(self, **changes)

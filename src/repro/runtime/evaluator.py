@@ -511,8 +511,19 @@ class Evaluator:
     ) -> List[Any]:
         resolved = self._resolve_command_name(name)
         if self.enforce_blocklist and blocklist.is_blocked_command(resolved):
+            self.host.record_event("blocked", resolved.lower())
             raise BlockedCommandError(resolved)
         arguments, parameters = self._bind_arguments(argument_nodes)
+        if self.host.collect_events:
+            self.host.record_event(
+                "command",
+                resolved.lower(),
+                tuple(self._event_text(a) for a in arguments)
+                + tuple(
+                    f"-{pname}:{self._event_text(pvalue)}"
+                    for pname, pvalue in sorted(parameters.items())
+                ),
+            )
         override = self.cmdlet_overrides.get(resolved.lower())
         if override is not None:
             context = CommandContext(
@@ -804,8 +815,21 @@ class Evaluator:
             return self._call_static(value.name, name, args)
         return self.invoke_member_on(value, name, args)
 
+    def _event_text(self, value: Any) -> str:
+        """A best-effort stringification for behaviour-event arguments."""
+        try:
+            return to_string(value)
+        except Exception:  # noqa: BLE001 — event logging must not throw
+            return f"<{type(value).__name__}>"
+
     def _call_static(self, type_name: str, member: str, args: List[Any]):
         resolved = statics.resolve_type(type_name)
+        if self.host.collect_events:
+            self.host.record_event(
+                "static",
+                f"{resolved}::{member}".lower(),
+                tuple(self._event_text(a) for a in args),
+            )
         if resolved == "scriptblock" and member.lower() == "create":
             text = to_string(args[0]) if args else ""
             try:
@@ -814,6 +838,7 @@ class Evaluator:
                 raise EvaluationError(f"bad scriptblock: {exc}") from exc
             return ScriptBlockValue(ast, text)
         if self.enforce_blocklist and blocklist.is_blocked_type(type_name):
+            self.host.record_event("blocked", f"[{type_name.lower()}]")
             raise BlockedCommandError(f"[{type_name}]")
         if resolved == "io.file":
             return self._call_io_file(member, args)
@@ -873,7 +898,14 @@ class Evaluator:
             raise UnsupportedOperationError(f"scriptblock method {name!r}")
         if isinstance(value, PSObjectBase):
             if self.enforce_blocklist and blocklist.is_blocked_method(name):
+                self.host.record_event("blocked", name.lower())
                 raise BlockedCommandError(name)
+            if self.host.collect_events:
+                self.host.record_event(
+                    "member",
+                    f"{value.type_name}.{name}".lower(),
+                    tuple(self._event_text(a) for a in args),
+                )
             return value.ps_call(name, args)
         if isinstance(value, str):
             return members.invoke_string_method(value, name, args)

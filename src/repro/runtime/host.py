@@ -6,11 +6,44 @@ instead of performing it.  The behavioural-consistency experiment
 (paper Table IV) compares the recorded event sets of original and
 deobfuscated scripts; the deobfuscator itself runs with a host too, so
 even a blocklist miss cannot touch a real network.
+
+Two recording surfaces coexist:
+
+:class:`Effect`
+    The original coarse side-effect list (``net.*``, ``fs.*``,
+    ``proc.*``, ``time.*``) — always collected, cheap, and the basis
+    of the legacy network-signature comparison.
+
+:class:`BehaviorEvent`
+    The ordered, structured event log the semantic-equivalence
+    verifier (:mod:`repro.verify`) compares: command invocations with
+    resolved names and stringified arguments, member/static calls,
+    every effect, emitted output, and blocklist hits.  Collection is
+    **off by default** (``collect_events=False``) so piece recovery —
+    which constructs thousands of evaluators per corpus — pays
+    nothing; the verifier turns it on per run.  The log is bounded by
+    ``max_events``; overflow increments ``events_dropped`` instead of
+    growing without limit on hostile inputs.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlparse
+
+# Event categories a BehaviorEvent.kind may carry.
+EVENT_KINDS = (
+    "command",   # resolved command/cmdlet/function invocation
+    "member",    # method call on an outward-facing sandbox object
+    "static",    # [Type]::Member(...) static call
+    "effect",    # recorded side-effect intent (name = Effect.kind)
+    "output",    # console/pipeline output text
+    "blocked",   # blocklist hit (command/type/method refused)
+)
+
+DEFAULT_MAX_EVENTS = 10_000
+
+# Stringified event arguments are clipped to keep logs and diffs bounded.
+_ARGUMENT_CLIP = 200
 
 
 @dataclass(frozen=True)
@@ -31,6 +64,40 @@ class Effect:
         return ""
 
 
+@dataclass(frozen=True)
+class BehaviorEvent:
+    """One entry of the ordered behaviour log (see :data:`EVENT_KINDS`)."""
+
+    kind: str
+    name: str                          # resolved name / effect kind
+    arguments: Tuple[str, ...] = ()    # stringified, clipped arguments
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.arguments:
+            data["arguments"] = list(self.arguments)
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BehaviorEvent":
+        return cls(
+            kind=str(data.get("kind", "")),
+            name=str(data.get("name", "")),
+            arguments=tuple(str(a) for a in data.get("arguments", ())),
+            detail=str(data.get("detail", "")),
+        )
+
+
+def clip_argument(text: str) -> str:
+    """Stringified event arguments, bounded for log hygiene."""
+    if len(text) > _ARGUMENT_CLIP:
+        return text[:_ARGUMENT_CLIP] + "…"
+    return text
+
+
 @dataclass
 class SandboxHost:
     """Collects effects and serves synthetic content for network reads.
@@ -43,6 +110,10 @@ class SandboxHost:
     ``Get-Content``, ``powershell -File``, invoking a dropped ``.ps1`` —
     see them, so dropper → execute chains stay fully observable without
     ever touching the real filesystem.
+
+    ``collect_events`` switches on the ordered :class:`BehaviorEvent`
+    log that :mod:`repro.verify` compares between original and
+    deobfuscated executions.
     """
 
     effects: List[Effect] = field(default_factory=list)
@@ -50,9 +121,36 @@ class SandboxHost:
     default_response: str = ""
     output: List[str] = field(default_factory=list)
     files: Dict[str, object] = field(default_factory=dict)
+    collect_events: bool = False
+    events: List[BehaviorEvent] = field(default_factory=list)
+    max_events: int = DEFAULT_MAX_EVENTS
+    events_dropped: int = 0
 
     def record(self, kind: str, target: str, detail: str = "") -> None:
         self.effects.append(Effect(kind=kind, target=target, detail=detail))
+        self.record_event("effect", kind, (target,), detail)
+
+    def record_event(
+        self,
+        kind: str,
+        name: str,
+        arguments: Tuple[str, ...] = (),
+        detail: str = "",
+    ) -> None:
+        """Append to the behaviour log (no-op unless ``collect_events``)."""
+        if not self.collect_events:
+            return
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events.append(
+            BehaviorEvent(
+                kind=kind,
+                name=name,
+                arguments=tuple(clip_argument(str(a)) for a in arguments),
+                detail=clip_argument(detail),
+            )
+        )
 
     def fetch(self, url: str) -> str:
         """Synthetic HTTP GET body for *url*."""
@@ -61,6 +159,7 @@ class SandboxHost:
     def write_host(self, text: str) -> None:
         """Console output sink (Write-Host / Write-Output leftovers)."""
         self.output.append(text)
+        self.record_event("output", "console", (text,))
 
     # -- virtual filesystem -------------------------------------------------
 

@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional
 from repro.batch.pool import BatchPool
 from repro.batch.task import DEFAULT_WORKER_SPEC, Task
 from repro.obs import PipelineStats
+from repro.options import PipelineOptions
 from repro.service.cache import (
     DEFAULT_MAX_BYTES,
     DEFAULT_MAX_ENTRIES,
@@ -133,6 +134,7 @@ class DeobfuscationService:
             "errors": 0,
         }
         self.pipeline_totals = PipelineStats()
+        self.verify_counts: Dict[str, int] = {}
         self._gate = threading.Lock()
         self._admitted = 0
         self._draining = False
@@ -204,12 +206,19 @@ class DeobfuscationService:
         script: str,
         options: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        verify: bool = False,
     ) -> dict:
         """Deobfuscate *script*; return the enriched result record.
 
         The record is the worker's (see :mod:`repro.batch` for the
         schema, ``script`` always embedded) plus ``cache_key``,
-        ``cache_hit`` and ``coalesced``.  Raises
+        ``cache_hit`` and ``coalesced``.  *options* may be a
+        :class:`~repro.options.PipelineOptions` payload (legacy alias
+        names accepted); unknown option names raise ``TypeError``.
+        ``verify=True`` additionally runs the differential
+        semantics-preservation check and embeds its verdict — verified
+        and unverified submissions of the same script cache
+        separately, since their records differ.  Raises
         :class:`ServiceUnavailable` under backpressure or drain.
         """
         if not self._started:
@@ -221,14 +230,20 @@ class DeobfuscationService:
         with self._gate:
             self.counters["requests"] += 1
 
-        opts = dict(self.config.default_options)
+        merged = dict(self.config.default_options)
         if options:
-            opts.update(options)
+            merged.update(options)
         budget = self.config.timeout
         if timeout is not None:
             budget = max(0.0, min(timeout, budget))
-        opts["deadline_seconds"] = budget
-        key = cache_key(script, opts)
+        pipeline_options = PipelineOptions.from_dict(merged).replace(
+            deadline_seconds=budget
+        )
+        opts = pipeline_options.canonical_dict()
+        key_options = dict(opts)
+        if verify:
+            key_options["verify"] = True
+        key = cache_key(script, key_options)
         wait_budget = budget + self.pool.kill_grace + _WAIT_MARGIN
 
         outcome, payload = self.cache.lookup(key)
@@ -262,6 +277,7 @@ class DeobfuscationService:
             options=opts,
             store_script=True,
             source=script,
+            verify=verify,
         )
         job = _Job(task, key)
         self._jobs.put(job)
@@ -326,6 +342,12 @@ class DeobfuscationService:
             partial.spans = []
             with self._gate:
                 self.pipeline_totals.merge(partial)
+        verdict = (record.get("verify") or {}).get("verdict")
+        if verdict:
+            with self._gate:
+                self.verify_counts[verdict] = (
+                    self.verify_counts.get(verdict, 0) + 1
+                )
         self.cache.resolve(
             job.key, record, cacheable=status in CACHEABLE_STATUSES
         )
@@ -362,8 +384,10 @@ class DeobfuscationService:
             counters = dict(self.counters)
             queue_depth = self._admitted
             pipeline = self.pipeline_totals.to_dict()
+            verify_counts = dict(self.verify_counts)
         return {
             "counters": counters,
+            "verify": verify_counts,
             "queue_depth": queue_depth,
             "queue_limit": self.config.queue_limit,
             "draining": self._draining,

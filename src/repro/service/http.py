@@ -4,12 +4,15 @@
 connection — the heavy lifting happens in worker *processes*, so
 handler threads mostly wait) over three endpoints:
 
-``POST /deobfuscate``
+``POST /deobfuscate`` (``?verify=1`` to verify)
     JSON in: ``{"script": str, "rename"?: bool, "reformat"?: bool,
-    "timeout"?: float, "stats"?: bool}``.  JSON out: the batch record
-    schema (status, script, measurements — see :mod:`repro.batch`)
-    plus ``cache_key``/``cache_hit``/``coalesced``; ``"stats": true``
-    additionally embeds the run's ``PipelineStats``.  Status codes:
+    "timeout"?: float, "stats"?: bool, "verify"?: bool}``.  JSON out:
+    the batch record schema (status, script, measurements — see
+    :mod:`repro.batch`) plus ``cache_key``/``cache_hit``/``coalesced``;
+    ``"stats": true`` additionally embeds the run's ``PipelineStats``.
+    With ``?verify=1`` (or ``"verify": true`` in the body) the record
+    also carries the differential semantics-preservation ``verify``
+    verdict (:mod:`repro.verify`).  Status codes:
     200 (ok/invalid/timeout results), 400 (malformed request),
     429 + ``Retry-After`` (admission queue full), 500 (worker error),
     503 (draining).
@@ -34,6 +37,7 @@ import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.service.core import (
     DeobfuscationService,
@@ -129,9 +133,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no such path: {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
-        if self.path != "/deobfuscate":
+        url = urlsplit(self.path)
+        if url.path != "/deobfuscate":
             self._send_json(404, {"error": f"no such path: {self.path}"})
             return
+        query = parse_qs(url.query)
+        verify = (query.get("verify") or ["0"])[-1].lower() in (
+            "1", "true", "yes",
+        )
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -156,6 +165,8 @@ class _Handler(BaseHTTPRequestHandler):
         for flag in ("rename", "reformat"):
             if flag in payload:
                 options[flag] = bool(payload[flag])
+        if "verify" in payload:
+            verify = bool(payload["verify"])
         timeout = payload.get("timeout")
         if timeout is not None and not isinstance(timeout, (int, float)):
             self._send_json(400, {"error": "timeout must be a number"})
@@ -163,7 +174,8 @@ class _Handler(BaseHTTPRequestHandler):
 
         try:
             record = self.service.submit(
-                payload["script"], options=options, timeout=timeout
+                payload["script"], options=options, timeout=timeout,
+                verify=verify,
             )
         except ServiceUnavailable as exc:
             code = 503 if exc.reason == "draining" else 429

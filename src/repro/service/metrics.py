@@ -185,6 +185,20 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
 
     _metric(
         lines,
+        "repro_service_verify_verdicts_total",
+        "counter",
+        "Differential semantics-preservation verdicts of verified "
+        "requests.",
+        [
+            ({"verdict": verdict}, count)
+            for verdict, count in sorted(
+                (snapshot.get("verify") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    _metric(
+        lines,
         "repro_service_workers",
         "gauge",
         "Live worker processes in the fleet.",

@@ -1,0 +1,50 @@
+"""Semantics-preservation verification (differential execution).
+
+The subsystem behind ``repro verify``: run the original and deobfuscated
+scripts in the recording sandbox, normalize their behaviour-event logs
+and judge equivalence.  Public surface:
+
+- :func:`verify_equivalence` / :func:`verify_result` — the comparator,
+  returning a typed :class:`VerifyVerdict`;
+- :func:`observe_behavior` + :class:`BehaviorReport` — one-sided
+  behaviour recording (absorbed from ``repro.analysis.behavior``, which
+  now re-exports these with a :class:`DeprecationWarning`);
+- :func:`same_network_behavior` — the legacy Table IV network-only
+  check;
+- :func:`normalized_signature` — the event-log canonicalization the
+  comparator applies before diffing.
+"""
+
+from repro.verify.equivalence import (
+    DEFAULT_MAX_DIFF,
+    VERDICTS,
+    VerifyVerdict,
+    verify_equivalence,
+    verify_result,
+)
+from repro.verify.normalize import (
+    OBSERVABLE_KINDS,
+    describe_event,
+    normalized_signature,
+)
+from repro.verify.observe import (
+    DEFAULT_STEP_LIMIT,
+    BehaviorReport,
+    observe_behavior,
+    same_network_behavior,
+)
+
+__all__ = [
+    "BehaviorReport",
+    "DEFAULT_MAX_DIFF",
+    "DEFAULT_STEP_LIMIT",
+    "OBSERVABLE_KINDS",
+    "VERDICTS",
+    "VerifyVerdict",
+    "describe_event",
+    "normalized_signature",
+    "observe_behavior",
+    "same_network_behavior",
+    "verify_equivalence",
+    "verify_result",
+]

@@ -1,0 +1,100 @@
+"""Event normalization for the equivalence comparator.
+
+Two executions never match byte-for-byte: obfuscated scripts spell URLs
+in mixed case, build paths with redundant separators, wrap downloads in
+retry loops.  :func:`normalized_signature` reduces an event log to the
+canonical, externally-visible sequence the comparator actually diffs:
+
+- only **observable** kinds survive (``effect``, ``output``,
+  ``blocked``) — a deobfuscated script legitimately executes *fewer*
+  commands than its original (no ``iex`` trampoline, no decoder
+  member calls), so internal computation events would flag every
+  successful deobfuscation as divergent;
+- names are case-folded, URLs and Windows paths canonicalized;
+- consecutive identical entries collapse (a 3-try retry loop and a
+  single attempt express the same intent);
+- output text is compared with trailing whitespace stripped.
+
+The full (non-normalized) log still backs the human-readable diff in
+:class:`~repro.verify.equivalence.VerifyVerdict`.
+"""
+
+from typing import Iterable, List, Tuple
+from urllib.parse import urlsplit, urlunsplit
+
+from repro.runtime.host import BehaviorEvent
+
+# Kinds that describe what a script does to the outside world.  Commands,
+# member and static calls are computation the deobfuscator is allowed —
+# expected, even — to remove; they inform diffs but not verdicts.
+OBSERVABLE_KINDS = frozenset({"effect", "output", "blocked"})
+
+NormalizedEvent = Tuple[str, str, Tuple[str, ...]]
+
+
+def canonical_url(text: str) -> str:
+    """Lower-case scheme/host, default-port stripped, no trailing slash."""
+    parts = urlsplit(text)
+    if not parts.scheme or not parts.netloc:
+        return text.lower()
+    netloc = parts.netloc.lower()
+    for scheme, port in (("http", ":80"), ("https", ":443")):
+        if parts.scheme.lower() == scheme and netloc.endswith(port):
+            netloc = netloc[: -len(port)]
+    path = parts.path or "/"
+    if len(path) > 1 and path.endswith("/"):
+        path = path.rstrip("/")
+    return urlunsplit(
+        (parts.scheme.lower(), netloc, path, parts.query, "")
+    )
+
+
+def canonical_path(text: str) -> str:
+    """Case-folded Windows-ish path with separators and quotes unified."""
+    cleaned = text.strip().strip('"').strip("'").replace("/", "\\")
+    while "\\\\" in cleaned:
+        cleaned = cleaned.replace("\\\\", "\\")
+    return cleaned.lower()
+
+
+def canonical_target(text: str) -> str:
+    """Route a target string to URL or path canonicalization."""
+    if "://" in text:
+        return canonical_url(text)
+    if "\\" in text or "/" in text or text.endswith((".ps1", ".exe", ".dll")):
+        return canonical_path(text)
+    return text.strip().lower()
+
+
+def normalize_event(event: BehaviorEvent) -> NormalizedEvent:
+    """The comparison form of one event (kind, name, arguments)."""
+    name = event.name.lower()
+    if event.kind == "output":
+        # Console vs pipeline routing is a formatting detail; the text
+        # is the behaviour.  Trailing whitespace is presentation noise.
+        return ("output", "text", tuple(a.rstrip() for a in event.arguments))
+    if event.kind == "effect":
+        return ("effect", name, tuple(canonical_target(a) for a in event.arguments))
+    return (event.kind, name, tuple(a.strip() for a in event.arguments))
+
+
+def normalized_signature(
+    events: Iterable[BehaviorEvent],
+) -> List[NormalizedEvent]:
+    """The ordered, deduplicated, observable-only comparison sequence."""
+    signature: List[NormalizedEvent] = []
+    for event in events:
+        if event.kind not in OBSERVABLE_KINDS:
+            continue
+        entry = normalize_event(event)
+        if signature and signature[-1] == entry:
+            continue  # collapse retries / duplicate writes
+        signature.append(entry)
+    return signature
+
+
+def describe_event(entry: NormalizedEvent) -> str:
+    """One-line rendering of a normalized event for diffs and logs."""
+    kind, name, arguments = entry
+    rendered = ", ".join(arguments)
+    return f"{kind}:{name}({rendered})" if rendered else f"{kind}:{name}"

@@ -1,0 +1,142 @@
+"""Sandboxed execution with full behaviour recording.
+
+:func:`observe_behavior` is the verifier's execution half (and the
+successor of ``repro.analysis.behavior``): it runs a script in the
+recording sandbox (:mod:`repro.runtime`) with the blocklist off and the
+ordered :class:`~repro.runtime.host.BehaviorEvent` log on, then returns
+a :class:`BehaviorReport` carrying everything one execution did —
+events, coarse effects, console output, emitted pipeline values, and
+how the run ended (clean, script error, step-limit exhaustion, blocked,
+or not parseable at all).
+
+The paper's Table IV compares only network signatures; the event log is
+the superset PowerPeeler-style differential validation needs, and
+:mod:`repro.verify.equivalence` compares it between the original and
+deobfuscated executions.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.runtime.errors import (
+    BlockedCommandError,
+    EvaluationError,
+    StepLimitError,
+)
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.host import BehaviorEvent, Effect, SandboxHost
+from repro.runtime.limits import ExecutionBudget
+from repro.runtime.values import to_string
+
+DEFAULT_STEP_LIMIT = 200_000
+
+
+@dataclass
+class BehaviorReport:
+    """Recorded behaviour of one script execution.
+
+    ``effects`` and ``error`` keep the pre-verify shape (the legacy
+    ``repro.analysis.behavior`` API); ``events``, ``output`` and the
+    termination flags are what the equivalence comparator consumes.
+    """
+
+    effects: List[Effect] = field(default_factory=list)
+    error: Optional[str] = None
+    events: List[BehaviorEvent] = field(default_factory=list)
+    output: List[str] = field(default_factory=list)
+    events_dropped: int = 0
+    invalid: bool = False      # script did not parse
+    timed_out: bool = False    # execution budget exhausted
+    blocked: bool = False      # blocklist refused execution
+
+    @property
+    def network_signature(self) -> Set[Tuple[str, str]]:
+        """The legacy Table IV comparison key: network kinds + hosts."""
+        return {
+            (effect.kind, effect.host)
+            for effect in self.effects
+            if effect.kind.startswith("net.")
+        }
+
+    @property
+    def has_network_behavior(self) -> bool:
+        return bool(self.network_signature)
+
+    def event_counts(self) -> Dict[str, int]:
+        """Events by kind — the report's one-line shape."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+def observe_behavior(
+    script: str,
+    responses: Optional[dict] = None,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    collect_events: bool = True,
+    enforce_blocklist: bool = False,
+) -> BehaviorReport:
+    """Execute *script* in the recording sandbox and report its behaviour.
+
+    ``responses`` maps URL → synthetic body, letting multi-stage
+    downloaders fetch their second stage hermetically.  The final
+    pipeline values the script emits are appended to the event log as
+    ``output`` events (name ``result``) so value-producing scripts
+    compare on what they print *and* what they return.
+    """
+    host = SandboxHost(
+        responses=dict(responses or {}), collect_events=collect_events
+    )
+    evaluator = Evaluator(
+        host=host,
+        budget=ExecutionBudget(step_limit=step_limit),
+        enforce_blocklist=enforce_blocklist,
+        continue_on_error=True,
+    )
+    report = BehaviorReport()
+    outputs: List[Any] = []
+    try:
+        outputs = evaluator.run_script_text(script)
+    except StepLimitError as exc:
+        report.error = str(exc)
+        report.timed_out = True
+    except BlockedCommandError as exc:
+        report.error = str(exc)
+        report.blocked = True
+    except EvaluationError as exc:
+        report.error = str(exc)
+        report.invalid = str(exc).startswith("invalid script:")
+    except RecursionError as exc:  # pragma: no cover - defensive
+        report.error = f"recursion: {exc}"
+    for value in outputs:
+        try:
+            text = to_string(value)
+        except Exception:  # noqa: BLE001 — report building must not throw
+            text = f"<{type(value).__name__}>"
+        host.record_event("output", "result", (text,))
+    report.effects = list(host.effects)
+    report.events = list(host.events)
+    report.output = list(host.output)
+    report.events_dropped = host.events_dropped
+    # Under continue_on_error a blocklist hit aborts only its own
+    # statement, so it surfaces as an event, not an exception.
+    if any(event.kind == "blocked" for event in report.events):
+        report.blocked = True
+    return report
+
+
+def same_network_behavior(
+    original: str,
+    candidate: str,
+    responses: Optional[dict] = None,
+) -> bool:
+    """Table IV's per-sample check: identical network signatures.
+
+    Kept for the one-release compat window; new code should use
+    :func:`repro.verify.verify_equivalence`, which compares the full
+    ordered event log instead of the unordered network pair set.
+    """
+    first = observe_behavior(original, responses, collect_events=False)
+    second = observe_behavior(candidate, responses, collect_events=False)
+    return first.network_signature == second.network_signature

@@ -1,0 +1,72 @@
+"""Cache-key stability across equivalent option constructions."""
+
+from repro import PipelineOptions
+from repro.service.cache import cache_key
+
+SCRIPT = "Write-Host hi"
+
+
+class TestCacheKeyStability:
+    def test_equivalent_constructions_share_a_key(self):
+        spelled_out = PipelineOptions(
+            rename=False, reformat=True, max_iterations=10
+        )
+        minimal = PipelineOptions(rename=False)
+        assert cache_key(SCRIPT, spelled_out.canonical_dict()) == cache_key(
+            SCRIPT, minimal.canonical_dict()
+        )
+
+    def test_legacy_alias_and_canonical_name_share_a_key(self):
+        via_alias = PipelineOptions.from_dict({"timeout": 5.0})
+        via_field = PipelineOptions(deadline_seconds=5.0)
+        assert cache_key(SCRIPT, via_alias.canonical_dict()) == cache_key(
+            SCRIPT, via_field.canonical_dict()
+        )
+
+    def test_all_defaults_equal_empty_options(self):
+        assert cache_key(SCRIPT, PipelineOptions().canonical_dict()) == (
+            cache_key(SCRIPT, None)
+        )
+
+    def test_different_options_differ(self):
+        assert cache_key(
+            SCRIPT, PipelineOptions(rename=False).canonical_dict()
+        ) != cache_key(SCRIPT, PipelineOptions().canonical_dict())
+
+    def test_future_option_addition_keeps_old_keys(self):
+        # canonical_dict omits default-valued fields, so a record that
+        # never set a (hypothetical future) option keys identically
+        # whether or not the field exists yet.
+        baseline = PipelineOptions(rename=False).canonical_dict()
+        assert set(baseline) == {"rename"}
+
+
+class TestServiceKeying:
+    def test_service_normalizes_request_options(self):
+        from repro.service import DeobfuscationService, ServiceConfig
+
+        service = DeobfuscationService(
+            ServiceConfig(jobs=1, cache_max_entries=8)
+        )
+        with service:
+            first = service.submit(SCRIPT, options={"rename": False})
+            second = service.submit(
+                SCRIPT, options={"rename": False, "reformat": True}
+            )
+        assert first["cache_key"] == second["cache_key"]
+        assert second["cache_hit"]
+
+    def test_verify_requests_cache_separately(self):
+        from repro.service import DeobfuscationService, ServiceConfig
+
+        service = DeobfuscationService(
+            ServiceConfig(jobs=1, cache_max_entries=8)
+        )
+        with service:
+            plain = service.submit(SCRIPT)
+            verified = service.submit(SCRIPT, verify=True)
+        assert plain["cache_key"] != verified["cache_key"]
+        assert "verify" not in plain
+        assert verified["verify"]["verdict"] in (
+            "equivalent", "divergent", "inconclusive"
+        )

@@ -1,0 +1,109 @@
+"""``repro verify`` and ``repro batch --verify``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def script_file(tmp_path):
+    def make(content: str, name: str = "sample.ps1"):
+        path = tmp_path / name
+        path.write_text(content, encoding="utf-8")
+        return str(path)
+
+    return make
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestVerifyCommand:
+    def test_equivalent_run(self, script_file, capsys):
+        path = script_file("I`E`X ('wri'+'te-host hi')")
+        code, out, err = run_cli(["verify", path], capsys)
+        assert code == 0
+        assert "verdict   : equivalent" in out
+
+    def test_json_output(self, script_file, capsys):
+        path = script_file("I`E`X ('wri'+'te-host hi')")
+        code, out, err = run_cli(["verify", "--json", path], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["verdict"] == "equivalent"
+        assert payload["changed"] is True
+        assert "seconds" in payload
+
+    def test_fail_on_divergent_exits_4(self, script_file, capsys,
+                                        monkeypatch):
+        import repro.verify
+        from repro.verify import VerifyVerdict
+
+        monkeypatch.setattr(
+            repro.verify, "verify_result",
+            lambda result, **kwargs: VerifyVerdict(
+                verdict="divergent", reason="forced", diff=("- x",)
+            ),
+        )
+        path = script_file("Write-Host hi")
+        code, out, err = run_cli(
+            ["verify", "--fail-on-divergent", path], capsys
+        )
+        assert code == 4
+        assert "divergent" in out
+        # without the flag the same verdict exits 0
+        code, out, err = run_cli(["verify", path], capsys)
+        assert code == 0
+
+    def test_inconclusive_on_unparseable_input(self, script_file, capsys):
+        path = script_file("'unterminated")
+        code, out, err = run_cli(["verify", path], capsys)
+        assert code == 0
+        assert "verdict   : inconclusive" in out
+
+
+class TestBatchVerify:
+    def test_records_carry_verdicts_and_summary_aggregates(
+        self, tmp_path, capsys
+    ):
+        for index in range(3):
+            (tmp_path / f"s{index}.ps1").write_text(
+                f"I`E`X ('wri'+'te-host hi{index}')", encoding="utf-8"
+            )
+        out_file = tmp_path / "out.jsonl"
+        code = main([
+            "batch", str(tmp_path), "--verify", "--jobs", "1",
+            "--output", str(out_file),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_file.read_text(encoding="utf-8").splitlines()
+        ]
+        samples = [r for r in records if "kind" not in r]
+        assert len(samples) == 3
+        for record in samples:
+            assert record["verify"]["verdict"] == "equivalent"
+            assert record["stats"]["verify"] == {"equivalent": 1}
+        assert "verify    : equivalent=3" in captured.out
+
+    def test_without_flag_records_have_no_verdict(self, tmp_path):
+        (tmp_path / "s.ps1").write_text("Write-Host hi", encoding="utf-8")
+        out_file = tmp_path / "out.jsonl"
+        code = main([
+            "batch", str(tmp_path), "--jobs", "1",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_file.read_text(encoding="utf-8").splitlines()
+            if "kind" not in json.loads(line)
+        ]
+        assert all("verify" not in record for record in records)

@@ -1,0 +1,52 @@
+"""Acceptance: the verifier over a generated corpus.
+
+``repro batch --verify`` over the example corpus must judge ≥95% of
+samples equivalent, crash nothing, and attach a reason or diff to every
+non-equivalent verdict (the paper's Table IV behavioural-consistency
+experiment, upgraded to ordered event logs).
+"""
+
+from repro.batch.task import make_tasks, run_one
+from repro.dataset import generate_corpus
+
+CORPUS_SIZE = 24
+
+
+class TestCorpusEquivalence:
+    def test_corpus_verifies_equivalent(self, tmp_path):
+        corpus = generate_corpus(CORPUS_SIZE, seed=2022)
+        paths = []
+        for sample in corpus:
+            path = tmp_path / f"{sample.identifier}.ps1"
+            path.write_text(sample.script, encoding="utf-8")
+            paths.append(str(path))
+
+        records = [
+            run_one(task)
+            for task in make_tasks(paths, verify=True)
+        ]
+
+        assert len(records) == CORPUS_SIZE  # no crashes
+        verdicts = [record["verify"]["verdict"] for record in records]
+        equivalent = verdicts.count("equivalent")
+        assert equivalent / len(verdicts) >= 0.95, (
+            f"only {equivalent}/{len(verdicts)} equivalent: "
+            + str([
+                (record["path"], record["verify"])
+                for record in records
+                if record["verify"]["verdict"] != "equivalent"
+            ])
+        )
+        for record in records:
+            verdict = record["verify"]
+            if verdict["verdict"] == "divergent":
+                assert verdict.get("diff") or verdict.get("reason")
+            if verdict["verdict"] == "inconclusive":
+                assert verdict.get("reason")
+
+    def test_verify_verdicts_aggregate_in_stats(self, tmp_path):
+        sample = tmp_path / "one.ps1"
+        sample.write_text("I`E`X ('wri'+'te-host hi')", encoding="utf-8")
+        record = run_one(make_tasks([str(sample)], verify=True)[0])
+        assert record["stats"]["verify"] == {"equivalent": 1}
+        assert record["verify"]["verdict"] == "equivalent"

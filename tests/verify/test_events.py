@@ -1,0 +1,114 @@
+"""The behaviour-event log: recording, gating, bounding."""
+
+from repro.runtime.host import (
+    DEFAULT_MAX_EVENTS,
+    BehaviorEvent,
+    SandboxHost,
+    clip_argument,
+)
+from repro.verify import observe_behavior
+
+
+class TestEventGating:
+    def test_events_off_by_default(self):
+        host = SandboxHost()
+        host.record("net.download_string", "http://a.test/")
+        host.write_host("hi")
+        host.record_event("command", "write-host", ("hi",))
+        assert host.events == []
+        assert host.events_dropped == 0
+
+    def test_effects_still_recorded_when_events_off(self):
+        host = SandboxHost()
+        host.record("net.download_string", "http://a.test/")
+        assert [e.kind for e in host.effects] == ["net.download_string"]
+
+    def test_events_recorded_when_enabled(self):
+        host = SandboxHost(collect_events=True)
+        host.record("net.download_string", "http://a.test/", "GET")
+        host.write_host("hi")
+        assert [e.kind for e in host.events] == ["effect", "output"]
+        effect = host.events[0]
+        assert effect.name == "net.download_string"
+        assert effect.arguments == ("http://a.test/",)
+        assert effect.detail == "GET"
+
+    def test_event_log_is_bounded(self):
+        host = SandboxHost(collect_events=True, max_events=5)
+        for index in range(9):
+            host.record_event("output", "console", (str(index),))
+        assert len(host.events) == 5
+        assert host.events_dropped == 4
+
+    def test_default_cap(self):
+        assert SandboxHost().max_events == DEFAULT_MAX_EVENTS
+
+    def test_arguments_are_clipped(self):
+        host = SandboxHost(collect_events=True)
+        host.record_event("command", "write-host", ("x" * 500,))
+        recorded = host.events[0].arguments[0]
+        assert len(recorded) < 500
+        assert recorded == clip_argument("x" * 500)
+
+
+class TestBehaviorEventSerialization:
+    def test_round_trip(self):
+        event = BehaviorEvent(
+            kind="command", name="invoke-webrequest",
+            arguments=("-uri:http://a.test/",), detail="x",
+        )
+        assert BehaviorEvent.from_dict(event.to_dict()) == event
+
+    def test_to_dict_drops_empty_fields(self):
+        assert BehaviorEvent(kind="output", name="console").to_dict() == {
+            "kind": "output", "name": "console",
+        }
+
+
+class TestEvaluatorEventHooks:
+    def test_command_events_carry_resolved_names(self):
+        report = observe_behavior("WrItE-HoSt ('h'+'i')")
+        commands = [e for e in report.events if e.kind == "command"]
+        assert commands and commands[0].name == "write-host"
+        assert commands[0].arguments == ("hi",)
+
+    def test_effect_and_output_events_in_order(self):
+        script = (
+            "$c = New-Object Net.WebClient\n"
+            "$c.DownloadString('http://a.test/payload')\n"
+            "Write-Host done\n"
+        )
+        report = observe_behavior(script)
+        kinds = [e.kind for e in report.events]
+        # the download effect precedes the console output
+        assert kinds.index("effect") < kinds.index("output")
+
+    def test_member_calls_on_sandbox_objects_recorded(self):
+        script = (
+            "$c = New-Object Net.WebClient\n"
+            "$c.DownloadString('http://a.test/')\n"
+        )
+        report = observe_behavior(script)
+        members = [e.name for e in report.events if e.kind == "member"]
+        assert "system.net.webclient.downloadstring" in members
+
+    def test_pipeline_values_become_output_events(self):
+        report = observe_behavior("Write-Output (2 + 3)")
+        outputs = [e for e in report.events if e.kind == "output"]
+        assert outputs and outputs[-1].arguments == ("5",)
+
+    def test_blocked_commands_recorded_when_blocklist_on(self):
+        report = observe_behavior(
+            "Restart-Computer", enforce_blocklist=True
+        )
+        assert report.blocked
+        blocked = [e for e in report.events if e.kind == "blocked"]
+        assert blocked and blocked[0].name == "restart-computer"
+
+    def test_recovery_path_records_no_events(self):
+        # The pipeline's piece recovery constructs hosts with events
+        # off; a full deobfuscation must not grow any event log.
+        from repro import Deobfuscator
+
+        result = Deobfuscator().deobfuscate("I`E`X ('wri'+'te-host hi')")
+        assert result.script  # sanity: the run did something

@@ -1,0 +1,151 @@
+"""PipelineOptions: the typed options record and its compat shims.
+
+Round-trips the same option set through every surface that carries it:
+the dataclass itself, CLI flags, batch task payloads (JSONL), and the
+service request body shape.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro import Deobfuscator, PipelineOptions, deobfuscate
+from repro.options import DEFAULT_MAX_ITERATIONS, LEGACY_ALIASES
+
+
+class TestConstruction:
+    def test_defaults(self):
+        opts = PipelineOptions()
+        assert opts.rename and opts.reformat and opts.enforce_blocklist
+        assert opts.max_iterations == DEFAULT_MAX_ITERATIONS
+        assert opts.deadline_seconds is None
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PipelineOptions().rename = False
+
+    def test_replace_derives_variant(self):
+        opts = PipelineOptions().replace(rename=False)
+        assert not opts.rename
+        assert PipelineOptions().rename  # original untouched
+
+    def test_from_dict_maps_legacy_aliases_silently(self):
+        opts = PipelineOptions.from_dict(
+            {"timeout": 5.0, "step_limit": 100, "blocklist": False,
+             "iterations": 3}
+        )
+        assert opts.deadline_seconds == 5.0
+        assert opts.piece_step_limit == 100
+        assert not opts.enforce_blocklist
+        assert opts.max_iterations == 3
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="unknown pipeline option"):
+            PipelineOptions.from_dict({"no_such_option": 1})
+
+    def test_from_dict_ignore_unknown(self):
+        opts = PipelineOptions.from_dict(
+            {"rename": False, "no_such_option": 1}, ignore_unknown=True
+        )
+        assert not opts.rename
+
+    def test_every_legacy_alias_targets_a_real_field(self):
+        names = PipelineOptions.field_names()
+        for alias, target in LEGACY_ALIASES.items():
+            assert alias not in names
+            assert target in names
+
+
+class TestKwargsShim:
+    def test_deobfuscator_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            tool = Deobfuscator(rename=False, timeout=2.5)
+        assert tool.options.deadline_seconds == 2.5
+        assert not tool.options.rename
+
+    def test_module_deobfuscate_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            result = deobfuscate("Write-Host hi", rename=False)
+        assert result.valid_input
+
+    def test_options_object_does_not_warn(self, recwarn):
+        Deobfuscator(options=PipelineOptions(rename=False))
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_options_and_kwargs_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            Deobfuscator(options=PipelineOptions(), rename=False)
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unknown pipeline option"):
+            Deobfuscator(frobnicate=True)
+
+    def test_attribute_delegation(self):
+        with pytest.warns(DeprecationWarning):
+            tool = Deobfuscator(reformat=False)
+        assert tool.reformat is False
+        assert tool.max_iterations == DEFAULT_MAX_ITERATIONS
+        with pytest.raises(AttributeError):
+            tool.not_an_option
+
+
+class TestRoundTrips:
+    def test_dict_round_trip(self):
+        opts = PipelineOptions(rename=False, deadline_seconds=3.0,
+                               max_iterations=4)
+        assert PipelineOptions.from_dict(opts.to_dict()) == opts
+        assert PipelineOptions.from_dict(opts.canonical_dict()) == opts
+
+    def test_cli_flag_round_trip(self):
+        opts = PipelineOptions(rename=False, reformat=False,
+                               deadline_seconds=2.0)
+        flags = opts.to_cli_flags()
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--no-rename", action="store_true")
+        parser.add_argument("--no-reformat", action="store_true")
+        parser.add_argument("--timeout", type=float, default=None)
+        args = parser.parse_args(flags)
+        assert PipelineOptions.from_cli_args(args) == opts
+
+    def test_real_cli_parser_round_trip(self):
+        from repro.cli import build_parser
+
+        opts = PipelineOptions(rename=False, deadline_seconds=1.5)
+        args = build_parser().parse_args(
+            ["deobfuscate", "x.ps1"] + opts.to_cli_flags()
+        )
+        assert PipelineOptions.from_cli_args(args) == opts
+
+    def test_batch_jsonl_round_trip(self):
+        from repro.batch.task import make_tasks
+
+        opts = PipelineOptions(rename=False, deadline_seconds=2.0)
+        task = make_tasks(["a.ps1"], options=opts)[0]
+        # the payload survives JSON (what crosses the JSONL boundary)
+        wire = json.loads(json.dumps(task.options))
+        assert PipelineOptions.from_dict(wire) == opts
+
+    def test_service_request_body_round_trip(self):
+        # The HTTP body carries option names as JSON keys; the service
+        # rebuilds the typed record from them.
+        body = {"rename": False, "timeout": 2.0}
+        opts = PipelineOptions.from_dict(
+            {k: v for k, v in body.items()}
+        )
+        assert not opts.rename
+        assert opts.deadline_seconds == 2.0
+
+
+class TestCanonicalDict:
+    def test_defaults_are_empty(self):
+        assert PipelineOptions().canonical_dict() == {}
+
+    def test_only_non_defaults_appear(self):
+        opts = PipelineOptions(rename=False)
+        assert opts.canonical_dict() == {"rename": False}
+
+    def test_spelled_out_defaults_vanish(self):
+        spelled = PipelineOptions(rename=True, max_iterations=10)
+        assert spelled.canonical_dict() == {}
