@@ -31,8 +31,9 @@ test); :class:`SampleRecord` is the typed view.  Common fields:
 ``status`` (str)
     ``ok`` | ``invalid`` | ``timeout`` | ``error``.
 ``schema_version`` (int)
-    The record schema revision (3 as of the verify verdict; 2 as of
-    the telemetry redesign; records without the field are version 1).
+    The record schema revision (4 as of the trace identity and
+    technique tags; 3 as of the verify verdict; 2 as of the telemetry
+    redesign; records without the field are version 1).
 ``attempts`` (int)
     How many workers were handed this sample (> 1 after crash retries).
 
@@ -49,7 +50,8 @@ measurement set:
 ``stats`` (object)
     The run's full telemetry — ``repro.obs.PipelineStats.to_dict()``:
     phase spans and timings, recovery outcomes with reasons, evaluator
-    steps, tracing hit/miss counts, unwrap kinds.  Load it back with
+    steps, tracing hit/miss counts, unwrap kinds, and ``techniques``
+    prevalence tags (the Table I view).  Load it back with
     ``PipelineStats.from_dict(record["stats"])``.
 ``script`` (str, optional)
     The deobfuscated script, only with ``--store-scripts``.
@@ -78,6 +80,17 @@ Under ``--dedup``, records for duplicate samples add:
     True when this sample's content hash matched an earlier sample
     and the earlier result was reused (measurements are the original
     run's; only ``path`` differs).
+
+Traced runs (``Task.trace`` set — ``repro batch --trace-out``) add:
+
+``trace_id`` (str)
+    The 32-hex W3C trace id this sample's spans belong to — the join
+    key against a ``--trace-out`` span JSONL file.
+``trace_spans`` (list, optional)
+    The worker-side span payloads (:class:`repro.obs.trace.TraceSpan`
+    dicts) carried back across the process boundary.  The CLI drains
+    these into the span file and strips the key before writing the
+    record; it survives only in library use of :class:`BatchPool`.
 
 A run's first line is a *header*, not a sample record:
 ``{"kind": "batch_header", "repro_version": ...,

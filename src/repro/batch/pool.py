@@ -102,15 +102,48 @@ def _worker_main(worker_spec, conn):
 
 
 class _Worker:
-    """Parent-side handle: process, pipe, and the ticket it holds."""
+    """Parent-side handle: process, pipe, and the ticket it holds.
 
-    __slots__ = ("proc", "conn", "ticket", "started")
+    ``started`` is the monotonic dispatch time (budget accounting);
+    ``started_unix`` is the wall-clock twin, kept so a span can be
+    synthesized for a worker that died without reporting back.
+    """
+
+    __slots__ = ("proc", "conn", "ticket", "started", "started_unix")
 
     def __init__(self, proc, conn):
         self.proc = proc
         self.conn = conn
         self.ticket: Optional[int] = None
         self.started = 0.0
+        self.started_unix = 0.0
+
+
+def _synthesize_aborted_span(task: Task, started_unix: float) -> Optional[dict]:
+    """A parent-side ``worker`` span for a worker that died without
+    reporting back (SIGKILL on timeout, segfault, OOM kill).
+
+    The task's trace context promised the worker root span's id, so the
+    parent can mint the exact span the worker would have exported —
+    with ``status="aborted"`` and only wall-clock fidelity — instead of
+    losing the sample from the waterfall entirely.
+    """
+    if not task.trace:
+        return None
+    from repro.obs.trace import TraceContext, TraceSpan
+
+    context = TraceContext.from_dict(task.trace)
+    return TraceSpan(
+        name="worker",
+        trace_id=context.trace_id,
+        span_id=context.span_id,
+        parent_span_id=context.parent_span_id,
+        start_unix=started_unix,
+        end_unix=time.time(),
+        status="aborted",
+        process="worker",
+        attributes={"path": task.path},
+    ).to_dict()
 
 
 class BatchPool:
@@ -321,11 +354,15 @@ class BatchPool:
         if self._attempts[ticket] <= self.retries:
             self._pending.append(ticket)
             return None
+        task = self._tasks[ticket]
         record = error_record(
-            self._tasks[ticket],
+            task,
             f"worker process died (exit code {exit_code})",
             attempts=self._attempts[ticket],
         )
+        aborted = _synthesize_aborted_span(task, held.started_unix)
+        if aborted is not None and "trace_spans" not in record:
+            record["trace_spans"] = [aborted]
         self._finalize(ticket)
         return (ticket, record)
 
@@ -349,6 +386,7 @@ class BatchPool:
                     continue
                 state.ticket = ticket
                 state.started = time.monotonic()
+                state.started_unix = time.time()
 
         conn_to_id = {
             state.conn: worker_id
@@ -394,14 +432,21 @@ class BatchPool:
                 if ticket in self._tasks:
                     from repro.batch.records import RECORD_SCHEMA_VERSION
 
+                    task = self._tasks[ticket]
                     record = {
-                        "path": self._tasks[ticket].path,
+                        "path": task.path,
                         "status": "timeout",
                         "schema_version": RECORD_SCHEMA_VERSION,
                         "graceful": False,
                         "elapsed_seconds": round(now - state.started, 6),
                         "attempts": self._attempts[ticket],
                     }
+                    aborted = _synthesize_aborted_span(
+                        task, state.started_unix
+                    )
+                    if aborted is not None:
+                        record["trace_id"] = aborted["trace_id"]
+                        record["trace_spans"] = [aborted]
                     self._finalize(ticket)
                     done.append((ticket, record))
             elif not state.proc.is_alive():

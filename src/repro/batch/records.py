@@ -15,8 +15,10 @@ from repro.obs import PipelineStats
 
 # Version 1 is PR 1's implicit, unversioned record shape; version 2
 # adds this field plus the embedded PipelineStats telemetry; version 3
-# adds the optional ``verify`` verdict of ``--verify`` runs.
-RECORD_SCHEMA_VERSION = 3
+# adds the optional ``verify`` verdict of ``--verify`` runs; version 4
+# adds the optional ``trace_id``/``trace_spans`` of traced runs and the
+# embedded stats' ``techniques`` tags (STATS_SCHEMA_VERSION 3).
+RECORD_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -45,6 +47,8 @@ class SampleRecord:
     error: Optional[str] = None
     attempts: Optional[int] = None
     cache_hit: Optional[bool] = None
+    trace_id: Optional[str] = None
+    trace_spans: Optional[list] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {}
@@ -88,6 +92,7 @@ class BatchSummary:
     phase_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
     recovery_outcomes: Dict[str, int] = field(default_factory=dict)
     unwrap_kinds: Dict[str, int] = field(default_factory=dict)
+    techniques: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     verify: Optional[Dict[str, int]] = None
     worker_restarts: Optional[Dict[str, int]] = None

@@ -13,6 +13,10 @@ the typed view over the same shape.
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs.hist import Histogram
+from repro.obs.spans import canonical_phase_name
+from repro.obs.techniques import render_prevalence
+
 STATUSES = ("ok", "invalid", "timeout", "error")
 
 # Distribution keys reported per phase in ``summary["phase_seconds"]``.
@@ -59,7 +63,11 @@ def summarize(
     latency distributions (``phase_seconds``: phase → mean/p50/p95/
     total over the records whose embedded stats carried span timings),
     corpus-wide ``recovery_outcomes`` and ``unwrap_kinds`` totals,
-    ``verify`` verdict counts when any record carried a ``--verify``
+    ``techniques`` prevalence counts (samples exhibiting each
+    obfuscation technique — the Table I column), a bucketed
+    ``latency_histogram`` (with per-bucket worst-sample trace
+    exemplars when records carried ``trace_id``), ``verify`` verdict
+    counts when any record carried a ``--verify``
     verdict, and — when given — ``wall_seconds`` plus end-to-end
     ``throughput_scripts_per_second``, and ``worker_restarts`` (the
     pool's crash/timeout respawn counters).
@@ -71,9 +79,11 @@ def summarize(
     records = [r for r in records if "kind" not in r]
     counts = {status: 0 for status in STATUSES}
     latencies: List[float] = []
+    latency_hist = Histogram()
     per_phase: Dict[str, List[float]] = {}
     recovery_outcomes: Dict[str, int] = {}
     unwrap_kinds: Dict[str, int] = {}
+    techniques: Dict[str, int] = {}
     verify_counts: Dict[str, int] = {}
     layers = 0
     changed = 0
@@ -86,13 +96,16 @@ def summarize(
         cache_hits += 1 if record.get("cache_hit") else 0
         counts[status] = counts.get(status, 0) + 1
         if "elapsed_seconds" in record:
-            latencies.append(float(record["elapsed_seconds"]))
+            elapsed = float(record["elapsed_seconds"])
+            latencies.append(elapsed)
+            latency_hist.observe(elapsed, str(record.get("trace_id") or ""))
         layers += int(record.get("layers_unwrapped", 0))
         changed += 1 if record.get("changed") else 0
         stats = record.get("stats")
         if not isinstance(stats, dict):
             continue
         for phase, seconds in (stats.get("phase_seconds") or {}).items():
+            phase = canonical_phase_name(str(phase))
             per_phase.setdefault(phase, []).append(float(seconds))
         for reason, count in (stats.get("recovery_outcomes") or {}).items():
             recovery_outcomes[reason] = (
@@ -100,6 +113,8 @@ def summarize(
             )
         for kind, count in (stats.get("unwrap_kinds") or {}).items():
             unwrap_kinds[kind] = unwrap_kinds.get(kind, 0) + int(count)
+        for tag, count in (stats.get("techniques") or {}).items():
+            techniques[tag] = techniques.get(tag, 0) + int(count)
 
     summary: Dict[str, object] = {
         "total": len(records),
@@ -117,8 +132,11 @@ def summarize(
         "phase_seconds": _phase_distributions(per_phase),
         "recovery_outcomes": recovery_outcomes,
         "unwrap_kinds": unwrap_kinds,
+        "techniques": techniques,
         "cache_hits": cache_hits,
     }
+    if latency_hist.count:
+        summary["latency_histogram"] = latency_hist.to_dict()
     if verify_counts:
         summary["verify"] = verify_counts
     if worker_restarts is not None:
@@ -174,6 +192,11 @@ def render_summary(summary: Dict[str, object]) -> str:
         lines.append(
             "unwraps   : "
             + "  ".join(f"{k}={v}" for k, v in kinds.items())
+        )
+    technique_counts = summary.get("techniques") or {}
+    if technique_counts:
+        lines.extend(
+            render_prevalence(technique_counts, int(summary["total"]))
         )
     verify_counts = summary.get("verify") or {}
     if verify_counts:

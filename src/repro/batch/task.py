@@ -41,6 +41,13 @@ class Task:
     how ``repro.service`` ships request bodies to workers.  When set,
     ``path`` is just a label (e.g. ``sha256:ab12…``) and the file
     system is never touched.
+
+    ``trace`` is an optional :meth:`TraceContext.to_dict` payload —
+    how a trace crosses the worker-pool process boundary.  When set,
+    the worker records a ``worker`` root span (with the context's
+    promised span id, parented on the submitting process's span) plus
+    nested pipeline-phase spans, and returns them in the record's
+    ``trace_spans`` for the parent to export.
     """
 
     path: str
@@ -48,6 +55,7 @@ class Task:
     store_script: bool = False
     source: Optional[str] = None
     verify: bool = False
+    trace: Optional[Dict[str, str]] = None
 
 
 def discover(
@@ -169,8 +177,27 @@ def run_one(task: Task) -> dict:
     raw = task_bytes(task)
     script = raw.decode("utf-8", errors="replace")
 
+    recorder = None
+    worker_span = None
+    if task.trace:
+        from repro.obs.trace import (
+            SpanRecorder,
+            TraceContext,
+            activate_recorder,
+        )
+
+        recorder = SpanRecorder(
+            context=TraceContext.from_dict(task.trace), process="worker"
+        )
+        worker_span = recorder.begin(
+            "worker", pid=os.getpid(), path=task.path
+        )
+        # Registered so the pool's error path (exception_record) can
+        # flush our open spans as ``aborted`` if we raise mid-sample.
+        activate_recorder(recorder)
+
     tool = Deobfuscator(options=PipelineOptions.from_dict(task.options))
-    result = tool.deobfuscate(script)
+    result = tool.deobfuscate(script, recorder=recorder)
 
     if not result.valid_input:
         status = "invalid"
@@ -206,20 +233,43 @@ def run_one(task: Task) -> dict:
         record["verify"] = verdict.to_dict()
     if task.store_script:
         record["script"] = result.script
+    if recorder is not None:
+        from repro.obs.trace import deactivate_recorder
+
+        recorder.end(worker_span, status="ok")
+        deactivate_recorder()
+        record["trace_id"] = recorder.trace_id
+        record["trace_spans"] = [
+            span.to_dict() for span in recorder.spans
+        ]
     return record
 
 
 def error_record(task: Task, message: str, attempts: int = 1) -> dict:
-    """Record for a sample whose worker raised or died."""
-    from repro.batch.records import RECORD_SCHEMA_VERSION
+    """Record for a sample whose worker raised or died.
 
-    return {
+    If a traced :func:`run_one` was interrupted mid-sample, its open
+    spans are flushed here with ``status="aborted"`` and embedded in
+    the error record, so the parent can still export a truthful
+    partial trace instead of silently losing it.
+    """
+    from repro.batch.records import RECORD_SCHEMA_VERSION
+    from repro.obs.trace import drain_active_spans
+
+    record = {
         "path": task.path,
         "status": "error",
         "schema_version": RECORD_SCHEMA_VERSION,
         "error": message,
         "attempts": attempts,
     }
+    aborted = drain_active_spans(status="aborted")
+    if aborted:
+        record["trace_spans"] = aborted
+        record["trace_id"] = aborted[0]["trace_id"]
+    elif task.trace:
+        record["trace_id"] = task.trace.get("trace_id")
+    return record
 
 
 def exception_record(task: Task, exc: BaseException) -> dict:

@@ -14,6 +14,10 @@ serve [--host H] [--port P] [--jobs N] [--timeout S] [--queue-limit N]
     fleet, content-addressed result cache with single-flight dedup,
     backpressure (429) when the admission queue fills, /healthz and
     Prometheus /metrics, graceful drain on SIGTERM.
+trace FILE [--check] [--summary] [--id PREFIX]
+    Render per-request waterfalls from a span JSONL file written by
+    ``--trace-out`` (``deobfuscate``/``batch``/``serve``); ``--check``
+    validates span schema and parent linkage instead, for CI gates.
 profile FILE [--json] [--timeout S]
     Deobfuscate once and print the telemetry profile (per-phase spans,
     recovery outcomes, tracing hits) instead of the script.
@@ -53,11 +57,35 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _trace_recorder(args):
+    """A CLI-rooted SpanRecorder when ``--trace-out`` was given."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs.trace import SpanRecorder, TraceContext
+
+    return SpanRecorder(context=TraceContext.new(), process="cli")
+
+
+def _export_trace(args, recorder) -> None:
+    if recorder is None:
+        return
+    from repro.obs.export import SpanExporter
+
+    with SpanExporter(args.trace_out, service_name="repro-cli") as out:
+        out.export(recorder.spans)
+    print(
+        f"trace     : {recorder.trace_id} -> {args.trace_out}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_deobfuscate(args) -> int:
     from repro import Deobfuscator, PipelineOptions
 
+    recorder = _trace_recorder(args)
     tool = Deobfuscator(options=PipelineOptions.from_cli_args(args))
-    result = tool.deobfuscate(_read(args.file))
+    result = tool.deobfuscate(_read(args.file), recorder=recorder)
+    _export_trace(args, recorder)
     if not result.valid_input:
         print("error: input is not a valid PowerShell script",
               file=sys.stderr)
@@ -130,6 +158,23 @@ def _dedup_groups(paths):
     return kept, duplicates
 
 
+def _export_batch_trace(exporter, sample_spans, record) -> None:
+    """Close the sample's parent span and export both sides of its
+    trace; the worker spans are popped off the JSONL record (the
+    ``trace_id`` stays so summaries can cite exemplars)."""
+    worker_spans = record.pop("trace_spans", None)
+    entry = sample_spans.pop(record.get("path"), None)
+    if entry is not None:
+        recorder, span = entry
+        status = {"error": "error", "timeout": "aborted"}.get(
+            record.get("status"), "ok"
+        )
+        recorder.end(span, status=status)
+        exporter.export(recorder.spans)
+    if worker_spans:
+        exporter.export_dicts(worker_spans)
+
+
 def _cmd_batch(args) -> int:
     from repro.batch import (
         BatchPool,
@@ -179,6 +224,24 @@ def _cmd_batch(args) -> int:
               file=sys.stderr)
         return 2
 
+    exporter = None
+    sample_spans = {}
+    if args.trace_out:
+        from repro.obs.export import SpanExporter
+        from repro.obs.trace import SpanRecorder, TraceContext
+
+        exporter = SpanExporter(args.trace_out, service_name="repro-batch")
+        # One trace per sample, rooted in this (parent) process: the
+        # ``batch_sample`` span opens at submission, so queueing time
+        # shows up as the gap before the worker span in the waterfall.
+        for task in tasks:
+            recorder = SpanRecorder(
+                context=TraceContext.new(), process="batch"
+            )
+            span = recorder.begin("batch_sample", path=task.path)
+            task.trace = recorder.current_context().child().to_dict()
+            sample_spans[task.path] = (recorder, span)
+
     pool = BatchPool(
         jobs=args.jobs,
         timeout=args.timeout,
@@ -195,6 +258,8 @@ def _cmd_batch(args) -> int:
     with writer:
         writer.write(batch_header(dedup=bool(args.dedup)))
         for record in pool.run(tasks):
+            if exporter is not None:
+                _export_batch_trace(exporter, sample_spans, record)
             writer.write(record)
             records.append(record)
             for duplicate in duplicates.get(record["path"], ()):
@@ -204,6 +269,12 @@ def _cmd_batch(args) -> int:
                 writer.write(copy)
                 records.append(copy)
     wall = time.monotonic() - started
+    if exporter is not None:
+        exporter.close()
+        print(
+            f"trace     : {exporter.exported} spans -> {args.trace_out}",
+            file=sys.stderr,
+        )
 
     summary = summarize(
         records, wall_seconds=wall, worker_restarts=pool.restarts
@@ -232,6 +303,7 @@ def _cmd_serve(args) -> int:
             "reformat": not args.no_reformat,
         },
         worker=args.worker,
+        trace_path=args.trace_out,
     )
     return run_server(
         config,
@@ -240,6 +312,54 @@ def _cmd_serve(args) -> int:
         port_file=args.port_file,
         quiet=not args.access_log,
     )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.export import (
+        read_raw_lines,
+        read_spans,
+        render_waterfall,
+        summarize_traces,
+        validate_spans,
+    )
+
+    try:
+        raw = read_raw_lines(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if not raw:
+        print(f"error: no spans in {args.file}", file=sys.stderr)
+        return 1
+
+    if args.check:
+        problems = validate_spans(raw)
+        traces = len({line.get("traceId") for line in raw})
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(
+                f"error: {len(problems)} problem(s) across {len(raw)} "
+                f"span(s)",
+                file=sys.stderr,
+            )
+            return 5
+        print(f"ok: {len(raw)} span(s) in {traces} trace(s), "
+              f"schema version consistent, parentage intact")
+        return 0
+
+    spans = read_spans(args.file)
+    if args.id:
+        spans = [s for s in spans if s.trace_id.startswith(args.id)]
+        if not spans:
+            print(f"error: no trace matching {args.id!r}", file=sys.stderr)
+            return 1
+    if args.summary:
+        for trace_id, count, wall in summarize_traces(spans):
+            print(f"{trace_id}  {count:>4} span(s)  {wall * 1000:9.1f}ms")
+    else:
+        print(render_waterfall(spans), end="")
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -374,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print the run's telemetry profile to stderr",
     )
+    p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="append the run's trace spans to FILE as OTel-style JSONL "
+        "(render with `repro trace FILE`)",
+    )
     p.set_defaults(func=_cmd_deobfuscate)
 
     p = sub.add_parser(
@@ -455,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-sample worker function (advanced; used by the tests "
         "to inject faults)",
     )
+    p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="export one trace per sample (parent batch_sample span + "
+        "the worker's pipeline spans) to FILE as JSONL",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -509,7 +639,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request worker function (advanced; used by the "
         "tests to inject faults)",
     )
+    p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="export every request's trace spans to FILE as JSONL "
+        "(requests always carry a trace_id; this enables the file)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="render or validate an exported span JSONL file",
+    )
+    p.add_argument("file", help="span JSONL written by --trace-out")
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate schema version, span ids and parent linkage "
+        "instead of rendering; exit 5 on problems (for CI gates)",
+    )
+    p.add_argument(
+        "--summary", action="store_true",
+        help="one line per trace (id, span count, wall time) instead "
+        "of full waterfalls",
+    )
+    p.add_argument(
+        "--id", metavar="PREFIX", default=None,
+        help="only render traces whose trace_id starts with PREFIX",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "verify",

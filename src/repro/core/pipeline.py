@@ -21,7 +21,8 @@ from repro.core.reconstruction import AstDeobfuscator
 from repro.core.reformat import reformat_script
 from repro.core.rename import rename_random_identifiers
 from repro.core.token_deobfuscator import deobfuscate_tokens
-from repro.obs import PipelineStats, Tracer
+from repro.obs import PipelineStats, Tracer, tag_techniques
+from repro.obs.spans import SPAN_TECHNIQUES
 from repro.options import DEFAULT_MAX_ITERATIONS, PipelineOptions
 from repro.pslang.parser import try_parse
 
@@ -123,6 +124,17 @@ class Deobfuscator:
         default; the overhead is two clock reads per phase, pinned ≤ 5%
         by ``benchmarks/test_phase_profile.py``).  Counters are always
         collected.
+    tag_techniques
+        Run the Table I technique-telemetry pass after convergence (on
+        by default): the per-technique detectors scan the original and
+        every exposed intermediate layer, and the tags land in
+        ``result.stats.techniques`` (:mod:`repro.obs.techniques`).
+
+    ``deobfuscate(script, recorder=...)`` additionally accepts a
+    :class:`~repro.obs.SpanRecorder`: the whole run then records a
+    ``pipeline`` trace span with every phase span nested under it, so
+    entry points (CLI, batch worker, service request) can stitch the
+    run into a cross-process trace.
     """
 
     def __init__(
@@ -164,7 +176,9 @@ class Deobfuscator:
             step_limit=self.piece_step_limit,
         )
 
-    def deobfuscate(self, script: str) -> DeobfuscationResult:
+    def deobfuscate(
+        self, script: str, recorder=None
+    ) -> DeobfuscationResult:
         started = time.perf_counter()
         deadline = (
             started + self.deadline_seconds
@@ -177,11 +191,16 @@ class Deobfuscator:
 
         result = DeobfuscationResult(original=script, script=script)
         stats = result.stats
-        tracer = Tracer(enabled=self.collect_spans)
+        pipeline_span = (
+            recorder.begin("pipeline") if recorder is not None else None
+        )
+        tracer = Tracer(enabled=self.collect_spans, recorder=recorder)
         ast, _ = try_parse(script)
         if ast is None:
             result.valid_input = False
             result.elapsed_seconds = time.perf_counter() - started
+            if pipeline_span is not None:
+                recorder.end(pipeline_span, status="error")
             return result
 
         current = script
@@ -235,20 +254,39 @@ class Deobfuscator:
                     current = reformat_script(current)
 
         result.script = current
+
+        if self.tag_techniques and not out_of_time():
+            with tracer.span(SPAN_TECHNIQUES):
+                stats.techniques = tag_techniques(
+                    result.original,
+                    layers=result.layers,
+                    unwrap_kinds=stats.unwrap_kinds,
+                )
+
         stats.spans = tracer.spans
         stats.phase_seconds = tracer.phase_totals()
         result.elapsed_seconds = time.perf_counter() - started
+        if pipeline_span is not None:
+            recorder.end(
+                pipeline_span,
+                status="aborted" if result.timed_out else "ok",
+            )
         return result
 
 
 def deobfuscate(
     script: str,
     options: Optional[PipelineOptions] = None,
+    recorder=None,
     **kwargs,
 ) -> DeobfuscationResult:
     """One-call convenience API: ``deobfuscate(script).script``.
 
     Prefer ``deobfuscate(script, options=PipelineOptions(...))``; bare
-    keywords go through the one-release compat shim.
+    keywords go through the one-release compat shim.  *recorder*
+    optionally threads a :class:`~repro.obs.SpanRecorder` through the
+    run (see :meth:`Deobfuscator.deobfuscate`).
     """
-    return Deobfuscator(options=options, **kwargs).deobfuscate(script)
+    return Deobfuscator(options=options, **kwargs).deobfuscate(
+        script, recorder=recorder
+    )

@@ -7,32 +7,73 @@ instrumentation layer that records exactly that, with no third-party
 dependencies:
 
 - :class:`Tracer` / :class:`Span` — per-phase, per-iteration wall-clock
-  spans (:mod:`repro.obs.spans`);
+  spans (:mod:`repro.obs.spans`), named by the canonical ``SPAN_*``
+  constants every telemetry surface shares;
+- :class:`TraceContext` / :class:`TraceSpan` / :class:`SpanRecorder` —
+  cross-process trace identity, propagated over the worker-pool pipe
+  and the W3C ``traceparent`` header (:mod:`repro.obs.trace`), exported
+  as OpenTelemetry-compatible JSONL (:mod:`repro.obs.export`) and
+  rendered by ``repro trace``;
 - :class:`PipelineStats` — the typed, versioned per-run record that
   ``DeobfuscationResult.stats`` now carries, with lossless
   ``to_dict()``/``from_dict()`` for JSONL embedding
   (:mod:`repro.obs.stats`);
+- :func:`tag_techniques` — the Table I technique-telemetry pass
+  (:mod:`repro.obs.techniques`);
+- :class:`Histogram` — bucketed latency with per-bucket trace
+  exemplars, rendered by ``/metrics`` (:mod:`repro.obs.hist`);
 - :func:`render_profile` — the human rendering behind ``repro profile``
   and ``repro deobfuscate --stats`` (:mod:`repro.obs.profile`).
 """
 
+from repro.obs.hist import DEFAULT_LATENCY_BUCKETS, Histogram
 from repro.obs.profile import profile_lines, render_profile
-from repro.obs.spans import PHASES, Span, Tracer
+from repro.obs.spans import (
+    PHASE_NAME_ALIASES,
+    PHASES,
+    Span,
+    Tracer,
+    canonical_phase_name,
+)
 from repro.obs.stats import (
     RECOVERY_REASONS,
     STATS_SCHEMA_VERSION,
     UNWRAP_KINDS,
     PipelineStats,
 )
+from repro.obs.techniques import (
+    LAYER_TAGS,
+    render_prevalence,
+    tag_techniques,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    SpanRecorder,
+    TraceContext,
+    TraceSpan,
+    parse_traceparent,
+)
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "LAYER_TAGS",
+    "PHASE_NAME_ALIASES",
     "PHASES",
+    "PipelineStats",
     "RECOVERY_REASONS",
     "STATS_SCHEMA_VERSION",
-    "UNWRAP_KINDS",
-    "PipelineStats",
     "Span",
+    "SpanRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TraceContext",
+    "TraceSpan",
     "Tracer",
+    "UNWRAP_KINDS",
+    "canonical_phase_name",
+    "parse_traceparent",
     "profile_lines",
+    "render_prevalence",
     "render_profile",
+    "tag_techniques",
 ]

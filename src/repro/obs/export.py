@@ -1,0 +1,340 @@
+"""OpenTelemetry-compatible JSONL span export, validation, rendering.
+
+One exported line per :class:`~repro.obs.trace.TraceSpan`, shaped like
+an OTLP/JSON span (camelCase keys, nanosecond timestamps, string ids)
+so standard tooling can ingest the file, plus a ``schemaVersion`` field
+pinned by :data:`~repro.obs.trace.TRACE_SCHEMA_VERSION` and a golden
+test.  The same module owns the two consumers the CLI ships:
+
+- :func:`validate_spans` — the ``repro trace --check`` body: schema
+  version, id well-formedness, parent linkage within each trace,
+  start ≤ end;
+- :func:`render_waterfall` — the per-request waterfall ``repro trace``
+  prints (one tree + bar chart per trace, parent order preserved).
+
+:class:`SpanExporter` appends and flushes line by line behind a lock,
+so the service's handler threads can share one exporter and a killed
+run still leaves a readable prefix (same contract as the batch JSONL
+writer).
+"""
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceSpan
+
+
+def span_to_otel(span: TraceSpan, service_name: str = "repro") -> dict:
+    """The OTLP/JSON-flavoured dict written as one JSONL line."""
+    data: Dict[str, Any] = {
+        "schemaVersion": TRACE_SCHEMA_VERSION,
+        "traceId": span.trace_id,
+        "spanId": span.span_id,
+        "name": span.name,
+        "startTimeUnixNano": int(round(span.start_unix * 1e9)),
+        "endTimeUnixNano": (
+            int(round(span.end_unix * 1e9))
+            if span.end_unix is not None
+            else int(round(span.start_unix * 1e9))
+        ),
+        "status": {
+            # OTel status codes: OK / ERROR; aborted maps to ERROR with
+            # the repro status preserved as an attribute below.
+            "code": "STATUS_CODE_OK" if span.status == "ok"
+            else "STATUS_CODE_ERROR",
+        },
+        "attributes": dict(span.attributes),
+        "resource": {"service.name": service_name},
+    }
+    if span.parent_span_id:
+        data["parentSpanId"] = span.parent_span_id
+    if span.status != "ok":
+        data["attributes"]["repro.status"] = span.status
+    if span.process:
+        data["resource"]["process.role"] = span.process
+    return data
+
+
+def span_from_otel(data: dict) -> TraceSpan:
+    """Rebuild a :class:`TraceSpan` from one exported JSONL line."""
+    attributes = dict(data.get("attributes") or {})
+    status = attributes.pop("repro.status", None)
+    if status is None:
+        code = (data.get("status") or {}).get("code", "STATUS_CODE_OK")
+        status = "ok" if code == "STATUS_CODE_OK" else "error"
+    return TraceSpan(
+        name=str(data.get("name", "")),
+        trace_id=str(data.get("traceId", "")),
+        span_id=str(data.get("spanId", "")),
+        parent_span_id=data.get("parentSpanId"),
+        start_unix=int(data.get("startTimeUnixNano", 0)) / 1e9,
+        end_unix=int(data.get("endTimeUnixNano", 0)) / 1e9,
+        status=status,
+        process=str(
+            (data.get("resource") or {}).get("process.role", "")
+        ),
+        attributes=attributes,
+    )
+
+
+class SpanExporter:
+    """Append spans to a JSONL file, one line per span, flushed.
+
+    Thread-safe: the service's handler threads share one exporter.
+    """
+
+    def __init__(self, path: str, service_name: str = "repro"):
+        self.path = path
+        self.service_name = service_name
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self.exported = 0
+
+    def export(self, spans: Iterable[TraceSpan]) -> int:
+        """Write *spans*; return how many were written."""
+        lines = [
+            json.dumps(
+                span_to_otel(span, self.service_name), sort_keys=True
+            )
+            for span in spans
+        ]
+        if not lines:
+            return 0
+        with self._lock:
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+            self.exported += len(lines)
+        return len(lines)
+
+    def export_dicts(self, payloads: Iterable[dict]) -> int:
+        """Export spans that crossed a process boundary in dict form
+        (:meth:`TraceSpan.to_dict` payloads, e.g. a worker record's
+        ``trace_spans``)."""
+        return self.export(
+            TraceSpan.from_dict(payload) for payload in payloads
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+    def __enter__(self) -> "SpanExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_spans(path: str) -> List[TraceSpan]:
+    """Load every well-formed span line of an exported JSONL file.
+
+    Malformed lines are skipped (a killed run can truncate the last
+    line), matching the batch results reader's tolerance.
+    """
+    spans: List[TraceSpan] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(data, dict) and "traceId" in data:
+                spans.append(span_from_otel(data))
+    return spans
+
+
+def read_raw_lines(path: str) -> List[dict]:
+    """The raw exported dicts (for schema validation)."""
+    lines: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(data, dict):
+                lines.append(data)
+    return lines
+
+
+def _is_hex(value: str, digits: int) -> bool:
+    if len(value) != digits:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def validate_spans(raw_lines: List[dict]) -> List[str]:
+    """Validate exported span lines; return a list of problems.
+
+    Checks are the ``repro trace --check`` contract: every line carries
+    the current ``schemaVersion``, ids are well-formed hex, timestamps
+    are ordered, and every ``parentSpanId`` resolves to a span of the
+    same trace — except the trace's earliest span, whose parent may
+    legitimately live in the *caller's* process (a request that joined
+    an external trace via the W3C ``traceparent`` header exports its
+    root with a remote parent the file cannot contain).
+    """
+    problems: List[str] = []
+    by_trace: Dict[str, set] = {}
+    earliest: Dict[str, Tuple[int, int]] = {}  # trace → (start, line idx)
+    for index, data in enumerate(raw_lines):
+        where = f"line {index + 1}"
+        version = data.get("schemaVersion")
+        if version != TRACE_SCHEMA_VERSION:
+            problems.append(
+                f"{where}: schemaVersion {version!r} != "
+                f"{TRACE_SCHEMA_VERSION}"
+            )
+        trace_id = str(data.get("traceId", ""))
+        span_id = str(data.get("spanId", ""))
+        if not _is_hex(trace_id, 32):
+            problems.append(f"{where}: malformed traceId {trace_id!r}")
+        if not _is_hex(span_id, 16):
+            problems.append(f"{where}: malformed spanId {span_id!r}")
+        if not data.get("name"):
+            problems.append(f"{where}: span has no name")
+        start = data.get("startTimeUnixNano", 0)
+        end = data.get("endTimeUnixNano", 0)
+        if end < start:
+            problems.append(f"{where}: endTimeUnixNano precedes start")
+        by_trace.setdefault(trace_id, set()).add(span_id)
+        if trace_id not in earliest or start < earliest[trace_id][0]:
+            earliest[trace_id] = (start, index)
+    for index, data in enumerate(raw_lines):
+        parent = data.get("parentSpanId")
+        if not parent:
+            continue
+        trace_id = str(data.get("traceId", ""))
+        if str(data.get("spanId", "")) == parent:
+            problems.append(f"line {index + 1}: span is its own parent")
+            continue
+        if parent in by_trace.get(trace_id, set()):
+            continue
+        if earliest.get(trace_id, (0, -1))[1] == index:
+            continue  # remote-parented trace root (traceparent caller)
+        problems.append(
+            f"line {index + 1}: parentSpanId {parent!r} not found "
+            f"in trace {trace_id!r}"
+        )
+    return problems
+
+
+# -- waterfall rendering ------------------------------------------------------
+
+_BAR_WIDTH = 32
+
+
+def _children_index(
+    spans: List[TraceSpan],
+) -> Dict[Optional[str], List[TraceSpan]]:
+    children: Dict[Optional[str], List[TraceSpan]] = {}
+    span_ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_span_id
+        if parent is not None and parent not in span_ids:
+            parent = None  # orphan: render at top level, don't drop it
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_unix, s.name))
+    return children
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render_waterfall(spans: List[TraceSpan]) -> str:
+    """One waterfall per trace: a parent-ordered tree with time bars.
+
+    Bars are positioned on the trace's own [first start, last end]
+    window, so a glance shows both duration and *when* each span ran —
+    the queueing gap between request admission and worker execution is
+    visible as leading whitespace.
+    """
+    by_trace: Dict[str, List[TraceSpan]] = {}
+    order: List[str] = []
+    for span in spans:
+        if span.trace_id not in by_trace:
+            order.append(span.trace_id)
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    lines: List[str] = []
+    for trace_id in order:
+        trace_spans = by_trace[trace_id]
+        t0 = min(span.start_unix for span in trace_spans)
+        t1 = max(
+            span.end_unix if span.end_unix is not None else span.start_unix
+            for span in trace_spans
+        )
+        window = max(t1 - t0, 1e-9)
+        lines.append(
+            f"trace {trace_id} — {len(trace_spans)} span(s), "
+            f"{_format_ms(window)}"
+        )
+        children = _children_index(trace_spans)
+
+        def emit(span: TraceSpan, depth: int) -> None:
+            label = ("  " * depth) + span.name
+            start_cell = int(
+                (span.start_unix - t0) / window * _BAR_WIDTH
+            )
+            end_point = (
+                span.end_unix if span.end_unix is not None
+                else span.start_unix
+            )
+            end_cell = int(round((end_point - t0) / window * _BAR_WIDTH))
+            end_cell = max(end_cell, start_cell + 1)
+            bar = (
+                " " * start_cell
+                + "#" * (end_cell - start_cell)
+                + " " * (_BAR_WIDTH - end_cell)
+            )
+            flag = "" if span.status == "ok" else f"  [{span.status}]"
+            suffix = f" ({span.process})" if span.process else ""
+            lines.append(
+                f"  {label:<28} |{bar}| {_format_ms(span.seconds):>9}"
+                f"{suffix}{flag}"
+            )
+            for child in children.get(span.span_id, ()):
+                emit(child, depth + 1)
+
+        for root in children.get(None, ()):
+            emit(root, 0)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + ("\n" if lines else "")
+
+
+def summarize_traces(
+    spans: List[TraceSpan],
+) -> List[Tuple[str, int, float]]:
+    """Per-trace ``(trace_id, span_count, wall_seconds)`` rows."""
+    rows: List[Tuple[str, int, float]] = []
+    seen: List[str] = []
+    by_trace: Dict[str, List[TraceSpan]] = {}
+    for span in spans:
+        if span.trace_id not in by_trace:
+            seen.append(span.trace_id)
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for trace_id in seen:
+        group = by_trace[trace_id]
+        t0 = min(s.start_unix for s in group)
+        t1 = max(
+            s.end_unix if s.end_unix is not None else s.start_unix
+            for s in group
+        )
+        rows.append((trace_id, len(group), max(0.0, t1 - t0)))
+    return rows

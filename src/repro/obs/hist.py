@@ -1,0 +1,126 @@
+"""Latency histograms with slow-sample exemplars.
+
+PR 3's ``/metrics`` exported latency as point gauges (one p50/p95 pair
+computed at scrape time), which cannot be aggregated across restarts or
+replicas and hides the tail shape Fig 6 cares about.  This module is
+the upgrade: a cumulative-bucket :class:`Histogram` matching Prometheus
+semantics (``_bucket{le=...}`` / ``_sum`` / ``_count``), plus one
+*exemplar* per bucket — the trace_id of the worst observation that
+landed there — so a scrape of the slow bucket points straight at a
+renderable trace (``repro trace``).
+
+No third-party client library: the service's ``/metrics`` renderer
+(:mod:`repro.service.metrics`) hand-rolls the text format, and this
+class only keeps the counts it needs.
+"""
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# Default seconds buckets for pipeline/request latency.  Chosen to
+# bracket the corpus p50 (~5-50ms for generated samples) and the
+# heavy-recovery tail; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """A Prometheus-style cumulative histogram with bucket exemplars.
+
+    ``observe(value, trace_id)`` files *value* into its bucket and, when
+    it is the largest value that bucket has seen, remembers
+    ``(trace_id, value)`` as the bucket's exemplar.  Exemplars make the
+    tail actionable: the scrape shows *which request* was slow, not just
+    that one was.
+    """
+
+    def __init__(
+        self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ):
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        # counts[i] is the number of observations <= bounds[i] is NOT
+        # what we store — buckets here are per-bin; cumulative sums are
+        # computed at render time.  The final bin is (last bound, +Inf].
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        # Per-bin worst observation: (trace_id, value) or None.
+        self.exemplars: List[Optional[Tuple[str, float]]] = [None] * (
+            len(self.bounds) + 1
+        )
+
+    def _bin(self, value: float) -> int:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+    def observe(self, value: float, trace_id: str = "") -> None:
+        index = self._bin(value)
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+        if trace_id:
+            worst = self.exemplars[index]
+            if worst is None or value > worst[1]:
+                self.exemplars[index] = (trace_id, value)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` rows, ending with +Inf."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            rows.append((bound, running))
+        rows.append((float("inf"), running + self.counts[-1]))
+        return rows
+
+    def nonzero_buckets(self) -> int:
+        """How many bins hold at least one observation (tail shape
+        check: the service load test asserts ≥ 2)."""
+        return sum(1 for count in self.counts if count)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("histogram bucket bounds differ")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+            their = other.exemplars[index]
+            mine = self.exemplars[index]
+            if their is not None and (mine is None or their[1] > mine[1]):
+                self.exemplars[index] = their
+        self.sum += other.sum
+        self.count += other.count
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": round(self.sum, 6),
+            "count": self.count,
+        }
+        exemplars = {
+            str(index): {"trace_id": ex[0], "value": round(ex[1], 6)}
+            for index, ex in enumerate(self.exemplars)
+            if ex is not None
+        }
+        if exemplars:
+            data["exemplars"] = exemplars
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(buckets=tuple(float(b) for b in data["bounds"]))
+        counts = [int(c) for c in data.get("counts", ())]
+        if len(counts) == len(hist.counts):
+            hist.counts = counts
+        hist.sum = float(data.get("sum", 0.0))
+        hist.count = int(data.get("count", 0))
+        for key, payload in (data.get("exemplars") or {}).items():
+            index = int(key)
+            if 0 <= index < len(hist.exemplars):
+                hist.exemplars[index] = (
+                    str(payload["trace_id"]), float(payload["value"])
+                )
+        return hist

@@ -51,6 +51,9 @@ def profile_lines(
     )
     lines.append(_counter_line("unwraps   ", stats.unwrap_kinds))
     lines.append(f"tokens    : {stats.tokens_rewritten} rewritten")
+    if stats.techniques:
+        tags = "  ".join(sorted(stats.techniques))
+        lines.append(f"techniques: {tags}")
     return lines
 
 

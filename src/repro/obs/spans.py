@@ -13,12 +13,41 @@ The clock is injectable so tests can drive a deterministic fake.
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+# The canonical span-name constants.  Every surface that names a phase
+# — Tracer spans, PipelineStats.phase_seconds, ``repro profile``
+# output, batch summaries, and the ``/metrics`` phase labels — uses
+# these, so the per-process profile and the service scrape agree.
+SPAN_TOKEN = "token"
+SPAN_AST = "ast"
+SPAN_MULTILAYER = "multilayer"
+SPAN_RENAME = "rename"
+SPAN_REFORMAT = "reformat"
+SPAN_TECHNIQUES = "techniques"
 
 # The pipeline's phase names, in execution order.  ``token``/``ast``/
 # ``multilayer`` repeat once per fixpoint iteration; ``rename`` and
 # ``reformat`` run once, after convergence.
-PHASES = ("token", "ast", "multilayer", "rename", "reformat")
+PHASES = (SPAN_TOKEN, SPAN_AST, SPAN_MULTILAYER, SPAN_RENAME, SPAN_REFORMAT)
+
+# One-release compat aliases: older emitters spelled some phases
+# differently (``tokens``/``token_parsing`` in early /metrics labels,
+# ``ast_recovery``/``multi_layer`` in ad-hoc dashboards).  Readers
+# (PipelineStats.from_dict, summaries, /metrics rendering) fold them
+# onto the canonical names via canonical_phase_name(); scheduled for
+# removal one release after the unification.
+PHASE_NAME_ALIASES = {
+    "tokens": SPAN_TOKEN,
+    "token_parsing": SPAN_TOKEN,
+    "ast_recovery": SPAN_AST,
+    "multi_layer": SPAN_MULTILAYER,
+}
+
+
+def canonical_phase_name(name: str) -> str:
+    """Fold a legacy phase spelling onto its canonical constant."""
+    return PHASE_NAME_ALIASES.get(name, name)
 
 
 @dataclass
@@ -51,15 +80,22 @@ class Tracer:
 
     ``enabled=False`` turns every ``span()`` into a no-op context, so
     callers never need two code paths.
+
+    When a :class:`~repro.obs.trace.SpanRecorder` is attached
+    (``recorder=``), every phase span is *also* recorded as a child
+    TraceSpan — this is how per-phase timings join the cross-process
+    waterfall without the pipeline knowing about tracing.
     """
 
     def __init__(
         self,
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        recorder: Optional[Any] = None,
     ):
         self.enabled = enabled
         self.clock = clock
+        self.recorder = recorder
         self.spans: List[Span] = []
 
     @contextmanager
@@ -70,9 +106,16 @@ class Tracer:
         if not self.enabled:
             yield
             return
+        trace_span = None
+        if self.recorder is not None:
+            trace_span = self.recorder.begin(name, iteration=iteration)
         started = self.clock()
+        status = "ok"
         try:
             yield
+        except BaseException:
+            status = "error"
+            raise
         finally:
             self.spans.append(
                 Span(
@@ -81,6 +124,8 @@ class Tracer:
                     iteration=iteration,
                 )
             )
+            if trace_span is not None:
+                self.recorder.end(trace_span, status=status)
 
     def phase_totals(self) -> Dict[str, float]:
         """Total seconds per span name, insertion-ordered."""

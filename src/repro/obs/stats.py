@@ -15,11 +15,13 @@ pre-redesign callers working; new code should use the attributes.
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.obs.spans import Span
+from repro.obs.spans import Span, canonical_phase_name
 
 # Bump whenever the serialized shape of PipelineStats changes.
-# Version 2 adds the ``verify`` verdict-count section.
-STATS_SCHEMA_VERSION = 2
+# Version 2 adds the ``verify`` verdict-count section; version 3 adds
+# the ``techniques`` tag section (Table I telemetry) and canonicalizes
+# phase names on load (see repro.obs.spans.PHASE_NAME_ALIASES).
+STATS_SCHEMA_VERSION = 3
 
 # Why a recoverable piece did / did not get replaced (Section III-B2
 # plus the failure taxonomy of Section V-C).
@@ -81,6 +83,12 @@ class PipelineStats:
         differentially verified (:mod:`repro.verify`); empty — and
         omitted from ``to_dict()`` — otherwise.  A single run carries
         one count of 1; batch/service aggregation sums them.
+    techniques
+        Obfuscation-technique tags this run recovered
+        (:mod:`repro.obs.techniques`): detector names plus ``layer_*``
+        unwrap tags, value 1 each for a single run.  Summing over a
+        corpus via :meth:`merge` yields the Table I prevalence counts.
+        Empty — and omitted from ``to_dict()`` — when tagging was off.
 
     Timing
     ------
@@ -102,6 +110,7 @@ class PipelineStats:
     recovery_outcomes: Dict[str, int] = field(default_factory=_zero_reasons)
     unwrap_kinds: Dict[str, int] = field(default_factory=_zero_kinds)
     verify: Dict[str, int] = field(default_factory=dict)
+    techniques: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     spans: List[Span] = field(default_factory=list)
     schema_version: int = STATS_SCHEMA_VERSION
@@ -131,6 +140,8 @@ class PipelineStats:
         }
         if self.verify:
             data["verify"] = dict(self.verify)
+        if self.techniques:
+            data["techniques"] = dict(self.techniques)
         return data
 
     @classmethod
@@ -138,9 +149,11 @@ class PipelineStats:
         """Rebuild from :meth:`to_dict` output.
 
         Tolerant of older records: missing fields default to zero (a
-        pre-telemetry record's three counters still load), and unknown
-        keys are ignored so a newer writer does not break an older
-        reader.
+        pre-telemetry record's three counters still load), unknown keys
+        are ignored so a newer writer does not break an older reader,
+        and legacy phase spellings (``tokens``/``token_parsing``) are
+        folded onto the canonical names so aggregation never splits one
+        phase across two keys.
         """
         stats = cls()
         for item in fields(cls):
@@ -148,14 +161,23 @@ class PipelineStats:
                 continue
             value = data[item.name]
             if item.name == "spans":
-                stats.spans = [Span.from_dict(s) for s in value]
-            elif item.name in ("recovery_outcomes", "unwrap_kinds", "verify"):
+                spans = [Span.from_dict(s) for s in value]
+                for span in spans:
+                    span.name = canonical_phase_name(span.name)
+                stats.spans = spans
+            elif item.name in (
+                "recovery_outcomes", "unwrap_kinds", "verify", "techniques"
+            ):
                 merged = getattr(stats, item.name)
                 merged.update({str(k): int(v) for k, v in value.items()})
             elif item.name == "phase_seconds":
-                stats.phase_seconds = {
-                    str(k): float(v) for k, v in value.items()
-                }
+                stats.phase_seconds = {}
+                for key, seconds in value.items():
+                    phase = canonical_phase_name(str(key))
+                    stats.phase_seconds[phase] = round(
+                        stats.phase_seconds.get(phase, 0.0) + float(seconds),
+                        6,
+                    )
             else:
                 setattr(stats, item.name, int(value))
         return stats
@@ -182,6 +204,8 @@ class PipelineStats:
             )
         for verdict, count in other.verify.items():
             self.verify[verdict] = self.verify.get(verdict, 0) + count
+        for tag, count in other.techniques.items():
+            self.techniques[tag] = self.techniques.get(tag, 0) + count
         for phase, seconds in other.phase_seconds.items():
             self.phase_seconds[phase] = round(
                 self.phase_seconds.get(phase, 0.0) + seconds, 6

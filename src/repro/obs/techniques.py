@@ -1,0 +1,111 @@
+"""Technique telemetry: which obfuscation techniques did a run recover?
+
+The paper's Table I reports how prevalent each obfuscation technique is
+in the wild corpus; until this pass existed, no pipeline surface
+recorded *which techniques a sample exhibited* — only aggregate counters
+(token rewrites, recovery outcomes, unwrap kinds).  ``tag_techniques``
+closes the gap: it runs the per-technique detectors
+(:mod:`repro.scoring.detectors`) over the original script *and every
+intermediate layer* the multi-layer phase exposed (an EncodedCommand
+wrapper hides its payload's concat/base64 markers from a surface scan),
+and keys the ``layer_*`` tags to the multilayer phase's
+:data:`~repro.obs.stats.UNWRAP_KINDS` counters — so the tags reflect
+what the pipeline *recovered*, not just what a static scan guessed.
+
+The result is a ``Dict[str, int]`` with value 1 per tag per run, which
+makes corpus aggregation trivial: ``PipelineStats.merge`` sums the
+dicts, and the summed counts over N samples *are* the Table I
+prevalence column.
+
+Detectors are imported lazily inside the functions: ``repro.obs`` is
+imported by ``repro.core.pipeline``, while the detectors import
+``repro.core.rename`` — a module-level import here would tie the two
+packages into a cycle.
+"""
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Tags for the invoker layers the multi-layer phase unwrapped, keyed to
+# stats.unwrap_kinds (see repro.obs.stats.UNWRAP_KINDS).  These are
+# pipeline observations, not detector verdicts: a sample is tagged
+# ``layer_iex`` because an IEX layer actually came off, not because the
+# text mentioned iex.
+LAYER_TAG_PREFIX = "layer_"
+LAYER_TAGS = ("layer_iex", "layer_encoded_command", "layer_command")
+
+
+def technique_vocabulary() -> Tuple[str, ...]:
+    """Every tag a run can carry: detector names, then layer tags."""
+    from repro.scoring.detectors import DETECTORS
+
+    return tuple(DETECTORS) + LAYER_TAGS
+
+
+def technique_level(tag: str) -> Optional[int]:
+    """The Invoke-Obfuscation level (1-3) of a detector tag; layer tags
+    have no level (None)."""
+    from repro.scoring.detectors import TECHNIQUE_LEVELS
+
+    return TECHNIQUE_LEVELS.get(tag)
+
+
+def tag_techniques(
+    original: str,
+    layers: Sequence[str] = (),
+    unwrap_kinds: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Tag one run: detector hits on the original plus every exposed
+    layer, and ``layer_*`` tags for each unwrap kind that fired.
+
+    Returns ``{tag: 1}`` — per-run presence, not occurrence counts, so
+    summing over a corpus yields "samples exhibiting technique X"
+    (Table I's unit).
+    """
+    from repro.scoring.detectors import detect_techniques
+
+    found = set(detect_techniques(original))
+    for layer in layers:
+        if layer != original:
+            found |= detect_techniques(layer)
+    for kind, count in (unwrap_kinds or {}).items():
+        if count > 0:
+            found.add(f"{LAYER_TAG_PREFIX}{kind}")
+    return {tag: 1 for tag in sorted(found)}
+
+
+def merge_technique_counts(
+    into: Dict[str, int], tags: Dict[str, int]
+) -> None:
+    """Accumulate one run's tags into a corpus-level prevalence dict."""
+    for tag, count in tags.items():
+        into[tag] = into.get(tag, 0) + count
+
+
+def prevalence_rows(
+    counts: Dict[str, int], total_samples: int
+) -> List[Tuple[str, Optional[int], int, float]]:
+    """Table I rows: ``(tag, level, samples, percent)``, most-prevalent
+    first (ties broken by name for stable output)."""
+    rows: List[Tuple[str, Optional[int], int, float]] = []
+    for tag, count in counts.items():
+        percent = 100.0 * count / total_samples if total_samples else 0.0
+        rows.append((tag, technique_level(tag), count, percent))
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def render_prevalence(
+    counts: Dict[str, int], total_samples: int
+) -> List[str]:
+    """The Table I-style text block batch summaries print."""
+    if not counts:
+        return []
+    lines = ["technique prevalence (Table I):"]
+    for tag, level, count, percent in prevalence_rows(
+        counts, total_samples
+    ):
+        level_text = f"L{level}" if level is not None else "--"
+        lines.append(
+            f"  {tag:<22} {level_text:>3}  {count:>6}  ({percent:5.1f}%)"
+        )
+    return lines

@@ -62,6 +62,7 @@ class PipelineOptions:
     piece_step_limit: Optional[int] = None
     deadline_seconds: Optional[float] = None
     collect_spans: bool = True
+    tag_techniques: bool = True
 
     # -- construction --------------------------------------------------------
 

@@ -36,7 +36,9 @@ from typing import Any, Dict, Optional
 
 from repro.batch.pool import BatchPool
 from repro.batch.task import DEFAULT_WORKER_SPEC, Task
-from repro.obs import PipelineStats
+from repro.obs import Histogram, PipelineStats
+from repro.obs.export import SpanExporter
+from repro.obs.trace import SpanRecorder, TraceContext
 from repro.options import PipelineOptions
 from repro.service.cache import (
     DEFAULT_MAX_BYTES,
@@ -76,6 +78,14 @@ class ServiceConfig:
     is the per-request worker budget the pool enforces (cooperative
     deadline first, SIGKILL ``kill_grace`` later); a request may lower
     it but never raise it above this cap.
+
+    ``trace_path`` enables span export: every request's trace —
+    request/cache_lookup/admission/execute spans in the service
+    process plus the worker/pipeline-phase spans returned across the
+    pool's pipe — is appended to this JSONL file in the
+    OpenTelemetry-compatible shape ``repro trace`` renders.  Requests
+    always carry a trace_id (for histogram exemplars and responses);
+    only the file write is gated on this setting.
     """
 
     jobs: int = 2
@@ -89,6 +99,7 @@ class ServiceConfig:
     worker: str = DEFAULT_WORKER_SPEC
     start_method: Optional[str] = None
     default_options: Dict[str, Any] = field(default_factory=dict)
+    trace_path: Optional[str] = None
 
 
 class _Job:
@@ -135,6 +146,16 @@ class DeobfuscationService:
         }
         self.pipeline_totals = PipelineStats()
         self.verify_counts: Dict[str, int] = {}
+        # Latency histograms (Prometheus buckets + worst-sample trace
+        # exemplars): pipeline execution time per worker run, and
+        # front-door request time across all answer paths.
+        self.pipeline_hist = Histogram()
+        self.request_hist = Histogram()
+        self.exporter: Optional[SpanExporter] = (
+            SpanExporter(config.trace_path, service_name="repro-serve")
+            if config.trace_path
+            else None
+        )
         self._gate = threading.Lock()
         self._admitted = 0
         self._draining = False
@@ -191,6 +212,9 @@ class DeobfuscationService:
             self._dispatcher.join(timeout=5.0)
             self._dispatcher = None
         self.pool.close()
+        if self.exporter is not None:
+            self.exporter.close()
+            self.exporter = None
         self._started = False
 
     def __enter__(self) -> "DeobfuscationService":
@@ -207,22 +231,55 @@ class DeobfuscationService:
         options: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
         verify: bool = False,
+        trace: Optional[TraceContext] = None,
     ) -> dict:
         """Deobfuscate *script*; return the enriched result record.
 
         The record is the worker's (see :mod:`repro.batch` for the
         schema, ``script`` always embedded) plus ``cache_key``,
-        ``cache_hit`` and ``coalesced``.  *options* may be a
-        :class:`~repro.options.PipelineOptions` payload (legacy alias
-        names accepted); unknown option names raise ``TypeError``.
-        ``verify=True`` additionally runs the differential
-        semantics-preservation check and embeds its verdict — verified
-        and unverified submissions of the same script cache
-        separately, since their records differ.  Raises
-        :class:`ServiceUnavailable` under backpressure or drain.
+        ``cache_hit``, ``coalesced`` and ``trace_id``.  *options* may
+        be a :class:`~repro.options.PipelineOptions` payload (legacy
+        alias names accepted); unknown option names raise
+        ``TypeError``.  ``verify=True`` additionally runs the
+        differential semantics-preservation check and embeds its
+        verdict — verified and unverified submissions of the same
+        script cache separately, since their records differ.  *trace*
+        continues an incoming trace (e.g. a parsed ``traceparent``
+        header): the request span parents on it instead of starting a
+        fresh trace.  Raises :class:`ServiceUnavailable` under
+        backpressure or drain.
         """
         if not self._started:
             raise RuntimeError("service not started — call start()")
+        recorder = SpanRecorder(
+            context=(
+                trace.child() if trace is not None else TraceContext.new()
+            ),
+            process="service",
+        )
+        request_span = recorder.begin("request", verify=verify or None)
+        started = time.perf_counter()
+        try:
+            record = self._submit_traced(
+                script, options, timeout, verify, recorder
+            )
+        except BaseException:
+            recorder.flush_open(status="error")
+            self._finish_request(recorder, time.perf_counter() - started)
+            raise
+        recorder.end(request_span)
+        self._finish_request(recorder, time.perf_counter() - started)
+        record["trace_id"] = recorder.trace_id
+        return record
+
+    def _submit_traced(
+        self,
+        script: str,
+        options: Optional[Dict[str, Any]],
+        timeout: Optional[float],
+        verify: bool,
+        recorder: SpanRecorder,
+    ) -> dict:
         if self._draining:
             with self._gate:
                 self.counters["rejected"] += 1
@@ -246,7 +303,8 @@ class DeobfuscationService:
         key = cache_key(script, key_options)
         wait_budget = budget + self.pool.kill_grace + _WAIT_MARGIN
 
-        outcome, payload = self.cache.lookup(key)
+        with recorder.span("cache_lookup"):
+            outcome, payload = self.cache.lookup(key)
         if outcome == HIT:
             with self._gate:
                 self.counters["cache_hits"] += 1
@@ -254,7 +312,8 @@ class DeobfuscationService:
         if outcome == JOIN:
             with self._gate:
                 self.counters["coalesced"] += 1
-            record = payload.wait(wait_budget)
+            with recorder.span("execute", coalesced=True):
+                record = payload.wait(wait_budget)
             if record is None:
                 with self._gate:
                     self.counters["request_timeouts"] += 1
@@ -264,20 +323,25 @@ class DeobfuscationService:
             return self._response(record, key, coalesced=True)
 
         # Leader: need an admission slot before touching the fleet.
-        with self._gate:
-            if self._admitted >= self.config.queue_limit:
-                self.counters["rejected"] += 1
-                self.cache.abandon(key)
-                raise ServiceUnavailable("admission queue full")
-            self._admitted += 1
-            self.counters["executions"] += 1
+        with recorder.span("admission"):
+            with self._gate:
+                if self._admitted >= self.config.queue_limit:
+                    self.counters["rejected"] += 1
+                    self.cache.abandon(key)
+                    raise ServiceUnavailable("admission queue full")
+                self._admitted += 1
+                self.counters["executions"] += 1
 
+        execute_span = recorder.begin("execute")
         task = Task(
             path=f"sha256:{key[:12]}",
             options=opts,
             store_script=True,
             source=script,
             verify=verify,
+            # The worker's root span parents on the execute span and
+            # takes the id this child context promises.
+            trace=recorder.current_context().child().to_dict(),
         )
         job = _Job(task, key)
         self._jobs.put(job)
@@ -287,7 +351,17 @@ class DeobfuscationService:
             with self._gate:
                 self.counters["request_timeouts"] += 1
             raise ServiceUnavailable("execution overran its budget")
+        recorder.end(execute_span)
         return self._response(job.record, key, cache_hit=False)
+
+    def _finish_request(
+        self, recorder: SpanRecorder, elapsed: float
+    ) -> None:
+        """Account one finished request: latency histogram + export."""
+        with self._gate:
+            self.request_hist.observe(elapsed, recorder.trace_id)
+        if self.exporter is not None:
+            self.exporter.export(recorder.spans)
 
     def _response(
         self,
@@ -336,6 +410,19 @@ class DeobfuscationService:
             self._admitted -= 1
             if status == "error":
                 self.counters["errors"] += 1
+        # Worker-side spans (and the run's trace identity) are for this
+        # request only — export them, observe the pipeline latency
+        # histogram, and strip them so cached copies stay clean.
+        worker_spans = record.pop("trace_spans", None)
+        worker_trace_id = record.pop("trace_id", "")
+        if worker_spans and self.exporter is not None:
+            self.exporter.export_dicts(worker_spans)
+        if "elapsed_seconds" in record:
+            with self._gate:
+                self.pipeline_hist.observe(
+                    float(record["elapsed_seconds"]),
+                    str(worker_trace_id or ""),
+                )
         stats = record.get("stats")
         if isinstance(stats, dict):
             partial = PipelineStats.from_dict(stats)
@@ -385,9 +472,13 @@ class DeobfuscationService:
             queue_depth = self._admitted
             pipeline = self.pipeline_totals.to_dict()
             verify_counts = dict(self.verify_counts)
+            pipeline_hist = self.pipeline_hist.to_dict()
+            request_hist = self.request_hist.to_dict()
         return {
             "counters": counters,
             "verify": verify_counts,
+            "pipeline_duration_histogram": pipeline_hist,
+            "request_duration_histogram": request_hist,
             "queue_depth": queue_depth,
             "queue_limit": self.config.queue_limit,
             "draining": self._draining,

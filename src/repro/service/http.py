@@ -8,14 +8,18 @@ handler threads mostly wait) over three endpoints:
     JSON in: ``{"script": str, "rename"?: bool, "reformat"?: bool,
     "timeout"?: float, "stats"?: bool, "verify"?: bool}``.  JSON out:
     the batch record schema (status, script, measurements — see
-    :mod:`repro.batch`) plus ``cache_key``/``cache_hit``/``coalesced``;
-    ``"stats": true`` additionally embeds the run's ``PipelineStats``.
-    With ``?verify=1`` (or ``"verify": true`` in the body) the record
-    also carries the differential semantics-preservation ``verify``
-    verdict (:mod:`repro.verify`).  Status codes:
-    200 (ok/invalid/timeout results), 400 (malformed request),
-    429 + ``Retry-After`` (admission queue full), 500 (worker error),
-    503 (draining).
+    :mod:`repro.batch`) plus ``cache_key``/``cache_hit``/
+    ``coalesced``/``trace_id``; ``"stats": true`` additionally embeds
+    the run's ``PipelineStats``.  With ``?verify=1`` (or
+    ``"verify": true`` in the body) the record also carries the
+    differential semantics-preservation ``verify`` verdict
+    (:mod:`repro.verify`).  A W3C ``traceparent`` request header is
+    honoured: the request's spans join the caller's trace instead of
+    starting a new one, and the response echoes the resulting
+    ``trace_id`` in both the JSON record and an ``X-Trace-Id``
+    response header.  Status codes: 200 (ok/invalid/timeout results),
+    400 (malformed request), 429 + ``Retry-After`` (admission queue
+    full), 500 (worker error), 503 (draining).
 ``GET /healthz``
     Liveness JSON: status, version, worker fleet size, queue depth,
     cache size, uptime.
@@ -39,6 +43,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.trace import parse_traceparent
 from repro.service.core import (
     DeobfuscationService,
     ServiceConfig,
@@ -172,10 +177,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": "timeout must be a number"})
             return
 
+        trace = parse_traceparent(self.headers.get("traceparent") or "")
         try:
             record = self.service.submit(
                 payload["script"], options=options, timeout=timeout,
-                verify=verify,
+                verify=verify, trace=trace,
             )
         except ServiceUnavailable as exc:
             code = 503 if exc.reason == "draining" else 429
@@ -189,7 +195,11 @@ class _Handler(BaseHTTPRequestHandler):
         if not payload.get("stats"):
             record.pop("stats", None)
         code = 200 if record.get("status") in _OK_STATUSES else 500
-        self._send_json(code, record)
+        headers = None
+        trace_id = record.get("trace_id")
+        if trace_id:
+            headers = {"X-Trace-Id": str(trace_id)}
+        self._send_json(code, record, headers=headers)
 
 
 def start_server(

@@ -10,8 +10,19 @@ gauge the service already tracks:
   queue depth/limit, worker fleet size and restart reasons;
 - ``repro_pipeline_*`` — the service-lifetime aggregate of
   :class:`~repro.obs.PipelineStats` over every executed request
-  (phase seconds, recovery outcomes, unwrap kinds, evaluator steps),
-  i.e. PR 2's per-run telemetry re-exported as fleet totals.
+  (phase seconds, recovery outcomes, unwrap kinds, technique tags,
+  evaluator steps), i.e. PR 2's per-run telemetry re-exported as
+  fleet totals;
+- ``repro_pipeline_duration_seconds`` / ``repro_service_request_
+  duration_seconds`` — proper cumulative-bucket histograms
+  (``_bucket``/``_sum``/``_count``) instead of point gauges, each
+  non-empty bucket annotated with an OpenMetrics-style exemplar:
+  the trace_id of the worst request that landed in it, so the slow
+  bucket points straight at a ``repro trace`` waterfall.
+
+Phase labels use the canonical span names of
+:mod:`repro.obs.spans` (legacy spellings are folded on render —
+satellite of the one-release ``PHASE_NAME_ALIASES`` window).
 
 ``repro_service_cache_hit_ratio`` counts coalesced joins as hits:
 both mean "a pipeline execution was avoided", which is the number a
@@ -19,6 +30,8 @@ capacity planner wants.
 """
 
 from typing import Any, Dict, List
+
+from repro.obs.spans import canonical_phase_name
 
 _PIPELINE_COUNTERS = (
     "tokens_rewritten",
@@ -58,6 +71,47 @@ def _metric(
             lines.append(f"{name}{{{rendered}}} {value}")
         else:
             lines.append(f"{name} {value}")
+
+
+def _format_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    text = f"{bound:g}"
+    return text
+
+
+def _histogram(
+    lines: List[str],
+    name: str,
+    help_text: str,
+    hist: Dict[str, Any],
+) -> None:
+    """Append one histogram family from a
+    :meth:`repro.obs.hist.Histogram.to_dict` payload.
+
+    Non-empty buckets carry an OpenMetrics-style exemplar — the
+    trace_id and value of the worst observation that landed in the
+    bucket — appended as ``# {trace_id="..."} value``.
+    """
+    bounds = [float(b) for b in hist.get("bounds", ())]
+    counts = [int(c) for c in hist.get("counts", ())]
+    exemplars = hist.get("exemplars") or {}
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} histogram")
+    running = 0
+    for index, bound in enumerate(bounds + [float("inf")]):
+        bin_count = counts[index] if index < len(counts) else 0
+        running += bin_count
+        sample = f'{name}_bucket{{le="{_format_le(bound)}"}} {running}'
+        exemplar = exemplars.get(str(index))
+        if exemplar and bin_count:
+            sample += (
+                f' # {{trace_id="{_escape_label(str(exemplar["trace_id"]))}"}}'
+                f' {exemplar["value"]}'
+            )
+        lines.append(sample)
+    lines.append(f"{name}_sum {round(float(hist.get('sum', 0.0)), 6)}")
+    lines.append(f"{name}_count {int(hist.get('count', 0))}")
 
 
 def render_metrics(snapshot: Dict[str, Any]) -> str:
@@ -224,6 +278,12 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
             f"Lifetime pipeline total of {name.replace('_', ' ')}.",
             [(None, pipeline.get(name, 0))],
         )
+    phase_totals: Dict[str, float] = {}
+    for phase, seconds in (pipeline.get("phase_seconds") or {}).items():
+        canonical = canonical_phase_name(str(phase))
+        phase_totals[canonical] = phase_totals.get(canonical, 0.0) + float(
+            seconds
+        )
     _metric(
         lines,
         "repro_pipeline_phase_seconds_total",
@@ -231,9 +291,7 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
         "Lifetime wall-clock seconds spent per pipeline phase.",
         [
             ({"phase": phase}, round(seconds, 6))
-            for phase, seconds in sorted(
-                (pipeline.get("phase_seconds") or {}).items()
-            )
+            for phase, seconds in sorted(phase_totals.items())
         ]
         or [(None, 0)],
     )
@@ -262,5 +320,33 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
             )
         ]
         or [(None, 0)],
+    )
+    _metric(
+        lines,
+        "repro_pipeline_techniques_total",
+        "counter",
+        "Samples exhibiting each recovered obfuscation technique "
+        "(Table I prevalence).",
+        [
+            ({"technique": technique}, count)
+            for technique, count in sorted(
+                (pipeline.get("techniques") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    _histogram(
+        lines,
+        "repro_pipeline_duration_seconds",
+        "Pipeline execution wall-clock per request (worker runs only; "
+        "exemplars name the slowest trace per bucket).",
+        snapshot.get("pipeline_duration_histogram") or {},
+    )
+    _histogram(
+        lines,
+        "repro_service_request_duration_seconds",
+        "Front-door request latency across all answer paths (cache, "
+        "coalesced, executed).",
+        snapshot.get("request_duration_histogram") or {},
     )
     return "\n".join(lines) + "\n"

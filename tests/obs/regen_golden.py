@@ -18,6 +18,7 @@ sys.path.insert(
 )
 
 from test_schema_golden import GOLDEN_DIR, GOLDEN_SCRIPT, normalize  # noqa: E402
+from test_trace_golden import build_golden_lines  # noqa: E402
 
 from repro import deobfuscate  # noqa: E402
 from repro.batch.task import Task, run_one  # noqa: E402
@@ -42,6 +43,11 @@ def main() -> None:
         record = run_one(Task(path=sample))
     record["path"] = "<SAMPLE>"
     write("batch_record.json", normalize(record))
+
+    trace_path = os.path.join(GOLDEN_DIR, "trace_spans.jsonl")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(build_golden_lines()) + "\n")
+    print(f"wrote {trace_path}")
 
 
 if __name__ == "__main__":

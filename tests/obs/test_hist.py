@@ -1,0 +1,143 @@
+"""Unit tests for the Prometheus-style latency histogram
+(repro.obs.hist) and its /metrics text rendering."""
+
+import pytest
+
+from repro.obs.hist import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.service.metrics import render_metrics
+
+
+class TestHistogram:
+    def test_default_buckets_are_sorted(self):
+        hist = Histogram()
+        assert hist.bounds == tuple(sorted(DEFAULT_LATENCY_BUCKETS))
+        assert len(hist.counts) == len(hist.bounds) + 1
+
+    def test_observe_bins_by_upper_bound(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.1)    # le is inclusive
+        hist.observe(0.5)
+        hist.observe(5.0)    # overflow bin
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(5.65)
+
+    def test_cumulative_counts(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.6, 2.0):
+            hist.observe(value)
+        assert hist.cumulative() == [
+            (0.1, 1), (1.0, 3), (float("inf"), 4),
+        ]
+
+    def test_nonzero_buckets(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        assert hist.nonzero_buckets() == 0
+        hist.observe(0.05)
+        hist.observe(0.06)
+        assert hist.nonzero_buckets() == 1
+        hist.observe(0.5)
+        assert hist.nonzero_buckets() == 2
+
+    def test_exemplar_keeps_worst_observation_per_bucket(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.2, trace_id="fast")
+        hist.observe(0.9, trace_id="slow")
+        hist.observe(0.5, trace_id="middle")
+        assert hist.exemplars[0] == ("slow", 0.9)
+
+    def test_observe_without_trace_id_keeps_bucket_countable(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        assert hist.counts[0] == 1
+        assert hist.exemplars[0] is None
+
+    def test_merge_sums_and_keeps_worse_exemplar(self):
+        a = Histogram(buckets=(1.0,))
+        b = Histogram(buckets=(1.0,))
+        a.observe(0.3, trace_id="a")
+        b.observe(0.7, trace_id="b")
+        b.observe(4.0, trace_id="over")
+        a.merge(b)
+        assert a.counts == [2, 1]
+        assert a.count == 3
+        assert a.exemplars[0] == ("b", 0.7)
+        assert a.exemplars[1] == ("over", 4.0)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0,)).merge(Histogram(buckets=(2.0,)))
+
+    def test_dict_round_trip(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.05, trace_id="t1")
+        hist.observe(0.5, trace_id="t2")
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.bounds == hist.bounds
+        assert clone.counts == hist.counts
+        assert clone.sum == pytest.approx(hist.sum)
+        assert clone.count == hist.count
+        assert clone.exemplars == hist.exemplars
+
+
+class TestMetricsRendering:
+    def _snapshot(self, hist):
+        return {
+            "counters": {},
+            "cache": {},
+            "pipeline": {},
+            "pipeline_duration_histogram": hist.to_dict(),
+        }
+
+    def test_histogram_family_renders_cumulative_buckets(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.05, trace_id="ab" * 16)
+        hist.observe(0.5, trace_id="cd" * 16)
+        text = render_metrics(self._snapshot(hist))
+        assert (
+            "# TYPE repro_pipeline_duration_seconds histogram" in text
+        )
+        assert 'repro_pipeline_duration_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_pipeline_duration_seconds_bucket{le="1"} 2' in text
+        assert (
+            'repro_pipeline_duration_seconds_bucket{le="+Inf"} 2' in text
+        )
+        assert "repro_pipeline_duration_seconds_count 2" in text
+
+    def test_non_empty_buckets_carry_trace_exemplars(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5, trace_id="ab" * 16)
+        text = render_metrics(self._snapshot(hist))
+        assert f'# {{trace_id="{"ab" * 16}"}} 0.5' in text
+
+    def test_empty_histogram_still_renders_family(self):
+        text = render_metrics(self._snapshot(Histogram(buckets=(1.0,))))
+        assert 'repro_pipeline_duration_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_pipeline_duration_seconds_count 0" in text
+
+    def test_technique_counters_render(self):
+        text = render_metrics({
+            "counters": {},
+            "cache": {},
+            "pipeline": {"techniques": {"concat": 3, "ticking": 1}},
+        })
+        assert (
+            'repro_pipeline_techniques_total{technique="concat"} 3' in text
+        )
+        assert (
+            'repro_pipeline_techniques_total{technique="ticking"} 1' in text
+        )
+
+    def test_legacy_phase_names_fold_on_render(self):
+        text = render_metrics({
+            "counters": {},
+            "cache": {},
+            "pipeline": {
+                "phase_seconds": {"token_parsing": 1.0, "token": 0.5},
+            },
+        })
+        assert (
+            'repro_pipeline_phase_seconds_total{phase="token"} 1.5' in text
+        )
+        assert "token_parsing" not in text

@@ -1,0 +1,141 @@
+"""Technique telemetry (Table I) tests.
+
+Unit coverage for :mod:`repro.obs.techniques` plus the satellite
+acceptance test: generate a corpus at a known technique mix and assert
+the pipeline's aggregated technique prevalence matches the generator's
+ground truth within tolerance.
+"""
+
+import pytest
+
+from repro import PipelineOptions, deobfuscate
+from repro.dataset.generator import generate_corpus
+from repro.obs.techniques import (
+    LAYER_TAGS,
+    merge_technique_counts,
+    prevalence_rows,
+    render_prevalence,
+    tag_techniques,
+    technique_level,
+    technique_vocabulary,
+)
+
+
+class TestVocabulary:
+    def test_vocabulary_covers_detectors_and_layers(self):
+        from repro.scoring.detectors import DETECTORS
+
+        vocabulary = technique_vocabulary()
+        assert set(DETECTORS) <= set(vocabulary)
+        assert set(LAYER_TAGS) <= set(vocabulary)
+        assert len(vocabulary) == len(set(vocabulary))
+
+    def test_detector_tags_have_levels_layer_tags_do_not(self):
+        assert technique_level("concat") in (1, 2, 3)
+        for tag in LAYER_TAGS:
+            assert technique_level(tag) is None
+
+
+class TestTagTechniques:
+    def test_detects_surface_markers(self):
+        tags = tag_techniques("$a = 'ma'+'lware'; Wri`te-Host $a\n")
+        assert tags.get("concat") == 1
+        assert tags.get("ticking") == 1
+        assert set(tags.values()) == {1}
+
+    def test_clean_script_is_untagged(self):
+        tags = tag_techniques("Get-Process | Sort-Object CPU\n")
+        assert "concat" not in tags
+        assert not any(tag.startswith("layer_") for tag in tags)
+
+    def test_layers_contribute_hidden_markers(self):
+        clean = "Write-Host ok\n"
+        layered = "'x'\n"  # surface shows nothing
+        tags = tag_techniques(
+            layered, layers=["$y = 'pay'+'load'\n" + clean]
+        )
+        assert tags.get("concat") == 1
+
+    def test_unwrap_kinds_become_layer_tags(self):
+        tags = tag_techniques(
+            "Write-Host hi\n",
+            unwrap_kinds={"iex": 2, "encoded_command": 0},
+        )
+        assert tags.get("layer_iex") == 1
+        assert "layer_encoded_command" not in tags
+
+    def test_tags_are_presence_not_occurrence(self):
+        tags = tag_techniques("$a='a'+'b'; $c='d'+'e'; $f='g'+'h'\n")
+        assert tags.get("concat") == 1
+
+
+class TestAggregation:
+    def test_merge_sums_counts(self):
+        totals = {}
+        merge_technique_counts(totals, {"concat": 1, "ticking": 1})
+        merge_technique_counts(totals, {"concat": 1})
+        assert totals == {"concat": 2, "ticking": 1}
+
+    def test_prevalence_rows_sorted_by_count_then_name(self):
+        rows = prevalence_rows(
+            {"b_tag": 2, "a_tag": 2, "concat": 5}, total_samples=10
+        )
+        assert [row[0] for row in rows] == ["concat", "a_tag", "b_tag"]
+        assert rows[0][2] == 5
+        assert rows[0][3] == pytest.approx(50.0)
+
+    def test_render_prevalence_shape(self):
+        lines = render_prevalence({"concat": 3, "layer_iex": 1}, 4)
+        assert lines[0] == "technique prevalence (Table I):"
+        assert any("concat" in line and "L2" in line for line in lines)
+        assert any("layer_iex" in line and "--" in line for line in lines)
+
+    def test_render_prevalence_empty(self):
+        assert render_prevalence({}, 0) == []
+
+
+class TestTableIPrevalence:
+    """Satellite: corpus at a known mix vs recovered prevalence."""
+
+    CORPUS_SIZE = 8
+
+    @pytest.fixture(scope="class")
+    def corpus_counts(self):
+        samples = generate_corpus(count=self.CORPUS_SIZE, seed=1104)
+        truth = {}
+        recovered = {}
+        options = PipelineOptions(rename=False, reformat=False)
+        for sample in samples:
+            for name in sample.techniques:
+                truth[name] = truth.get(name, 0) + 1
+            result = deobfuscate(sample.script, options=options)
+            assert result.valid_input
+            merge_technique_counts(recovered, result.stats.techniques)
+        return truth, recovered
+
+    def test_prevalent_truth_techniques_are_recovered(self, corpus_counts):
+        truth, recovered = corpus_counts
+        for name, count in truth.items():
+            if count < 3:
+                continue  # rare tags are allowed to slip past detectors
+            assert recovered.get(name, 0) >= round(0.5 * count), (
+                f"technique {name}: ground truth {count}, "
+                f"recovered {recovered.get(name, 0)}"
+            )
+
+    def test_counts_stay_within_sample_total(self, corpus_counts):
+        _, recovered = corpus_counts
+        vocabulary = set(technique_vocabulary())
+        for name, count in recovered.items():
+            assert name in vocabulary
+            assert 1 <= count <= self.CORPUS_SIZE
+
+    def test_stats_merge_reproduces_manual_aggregation(self):
+        from repro.obs import PipelineStats
+
+        a = PipelineStats(techniques={"concat": 1, "ticking": 1})
+        b = PipelineStats(techniques={"concat": 1})
+        merged = PipelineStats()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.techniques == {"concat": 2, "ticking": 1}

@@ -1,0 +1,238 @@
+"""Cross-process trace propagation tests.
+
+The acceptance bar for the tracing layer: a traced batch task executed
+in a *worker process* must come back with spans that share the parent
+process's trace_id and link (via parentSpanId) into the parent's span
+tree — and the CLI must be able to export, render, and validate the
+result.
+"""
+
+import json
+
+from repro.batch.pool import BatchPool
+from repro.batch.task import Task
+from repro.cli import main
+from repro.obs.export import (
+    read_raw_lines,
+    read_spans,
+    span_to_otel,
+    validate_spans,
+)
+from repro.obs.trace import SpanRecorder, TraceContext
+
+SCRIPT = "I`E`X ('wri'+'te-host hi')\n$a = 'mal'+'ware'\n"
+
+FAULTY = "tests.batch.helpers:faulty_worker"
+RAISING = "tests.batch.helpers:raising_worker"
+
+
+def traced_task(path) -> tuple:
+    """A task wired the way ``repro batch --trace-out`` wires it."""
+    task = Task(path=str(path))
+    recorder = SpanRecorder(context=TraceContext.new(), process="batch")
+    span = recorder.begin("batch_sample", path=task.path)
+    task.trace = recorder.current_context().child().to_dict()
+    return task, recorder, span
+
+
+class TestBatchTracePropagation:
+    def test_worker_spans_share_parent_trace_id(self, tmp_path):
+        sample = tmp_path / "a.ps1"
+        sample.write_text(SCRIPT, encoding="utf-8")
+        task, recorder, span = traced_task(sample)
+
+        pool = BatchPool(jobs=1)
+        [record] = list(pool.run([task]))
+        recorder.end(span)
+
+        assert record["status"] == "ok"
+        assert record["trace_id"] == recorder.trace_id
+        worker_spans = record["trace_spans"]
+        assert {s["trace_id"] for s in worker_spans} == {
+            recorder.trace_id
+        }
+        names = [s["name"] for s in worker_spans]
+        assert names[0] == "worker"
+        assert "pipeline" in names
+        assert {"token", "ast", "multilayer"} <= set(names)
+        # The worker root carries the promised id and links back into
+        # the parent process's batch_sample span.
+        assert worker_spans[0]["span_id"] == task.trace["span_id"]
+        assert worker_spans[0]["parent_span_id"] == span.span_id
+        assert worker_spans[0]["process"] == "worker"
+
+        # Both sides together form one validated trace.
+        from repro.obs.trace import TraceSpan
+
+        lines = [span_to_otel(s) for s in recorder.spans] + [
+            span_to_otel(TraceSpan.from_dict(s)) for s in worker_spans
+        ]
+        assert validate_spans(lines) == []
+
+    def test_untraced_task_record_has_no_trace_keys(self, tmp_path):
+        sample = tmp_path / "a.ps1"
+        sample.write_text(SCRIPT, encoding="utf-8")
+        pool = BatchPool(jobs=1)
+        [record] = list(pool.run([Task(path=str(sample))]))
+        assert "trace_id" not in record
+        assert "trace_spans" not in record
+
+    def test_crashed_worker_yields_synthesized_aborted_span(
+        self, tmp_path
+    ):
+        sample = tmp_path / "crash.ps1"
+        sample.write_text("# repro-test-crash\n", encoding="utf-8")
+        task, recorder, span = traced_task(sample)
+        pool = BatchPool(jobs=1, retries=0, worker=FAULTY)
+        [record] = list(pool.run([task]))
+        recorder.end(span, status="error")
+
+        assert record["status"] == "error"
+        assert record["trace_id"] == recorder.trace_id
+        [aborted] = record["trace_spans"]
+        assert aborted["status"] == "aborted"
+        assert aborted["name"] == "worker"
+        assert aborted["span_id"] == task.trace["span_id"]
+        assert aborted["parent_span_id"] == span.span_id
+
+    def test_raising_worker_keeps_trace_identity(self, tmp_path):
+        sample = tmp_path / "raise.ps1"
+        sample.write_text(SCRIPT, encoding="utf-8")
+        task, recorder, span = traced_task(sample)
+        pool = BatchPool(jobs=1, retries=0, worker=RAISING)
+        [record] = list(pool.run([task]))
+        recorder.end(span, status="error")
+
+        assert record["status"] == "error"
+        assert record["trace_id"] == recorder.trace_id
+
+
+class TestTraceCli:
+    def run_cli(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_deobfuscate_trace_out_then_render_and_check(
+        self, tmp_path, capsys
+    ):
+        sample = tmp_path / "a.ps1"
+        sample.write_text(SCRIPT, encoding="utf-8")
+        trace_file = tmp_path / "spans.jsonl"
+
+        code, _, err = self.run_cli(
+            ["deobfuscate", str(sample), "--trace-out", str(trace_file)],
+            capsys,
+        )
+        assert code == 0
+        assert "trace" in err
+
+        spans = read_spans(str(trace_file))
+        assert spans[0].name == "pipeline"
+        assert spans[0].process == "cli"
+        assert {"token", "ast", "techniques"} <= {s.name for s in spans}
+
+        code, out, _ = self.run_cli(["trace", str(trace_file)], capsys)
+        assert code == 0
+        assert "pipeline" in out
+        assert spans[0].trace_id in out
+
+        code, out, _ = self.run_cli(
+            ["trace", str(trace_file), "--check"], capsys
+        )
+        assert code == 0
+        assert "ok:" in out
+
+    def test_batch_trace_out_exports_linked_traces(
+        self, tmp_path, capsys
+    ):
+        for index in range(2):
+            (tmp_path / f"s{index}.ps1").write_text(
+                SCRIPT, encoding="utf-8"
+            )
+        trace_file = tmp_path / "batch-spans.jsonl"
+        output = tmp_path / "out.jsonl"
+
+        code, _, err = self.run_cli(
+            [
+                "batch", str(tmp_path), "--jobs", "1",
+                "--trace-out", str(trace_file),
+                "--output", str(output),
+            ],
+            capsys,
+        )
+        assert code == 0
+
+        raw = read_raw_lines(str(trace_file))
+        assert validate_spans(raw) == []
+        spans = read_spans(str(trace_file))
+        trace_ids = {s.trace_id for s in spans}
+        assert len(trace_ids) == 2  # one trace per sample
+        for trace_id in trace_ids:
+            names = {s.name for s in spans if s.trace_id == trace_id}
+            assert "batch_sample" in names
+            assert "worker" in names
+            assert "pipeline" in names
+
+        # JSONL records keep the trace_id but not the raw spans.
+        with open(output, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        samples = [r for r in records if "kind" not in r]
+        assert all(r.get("trace_id") in trace_ids for r in samples)
+        assert all("trace_spans" not in r for r in samples)
+
+        code, out, _ = self.run_cli(
+            ["trace", str(trace_file), "--summary"], capsys
+        )
+        assert code == 0
+        assert len(out.strip().splitlines()) == 2
+
+        some_id = sorted(trace_ids)[0]
+        code, out, _ = self.run_cli(
+            ["trace", str(trace_file), "--id", some_id[:8]], capsys
+        )
+        assert code == 0
+        assert some_id in out
+
+    def test_check_fails_on_corrupted_parentage(self, tmp_path, capsys):
+        sample = tmp_path / "a.ps1"
+        sample.write_text(SCRIPT, encoding="utf-8")
+        trace_file = tmp_path / "spans.jsonl"
+        code, _, _ = self.run_cli(
+            ["deobfuscate", str(sample), "--trace-out", str(trace_file)],
+            capsys,
+        )
+        assert code == 0
+        lines = []
+        with open(trace_file, encoding="utf-8") as handle:
+            for line in handle:
+                data = json.loads(line)
+                lines.append(data)
+        # Break a child's parent pointer.
+        broken = next(
+            line for line in lines if "parentSpanId" in line
+        )
+        broken["parentSpanId"] = "deadbeefdeadbeef"
+        with open(trace_file, "w", encoding="utf-8") as handle:
+            for data in lines:
+                handle.write(json.dumps(data) + "\n")
+
+        code, _, err = self.run_cli(
+            ["trace", str(trace_file), "--check"], capsys
+        )
+        assert code == 5
+        assert "parentSpanId" in err
+
+    def test_trace_on_missing_file_fails(self, tmp_path, capsys):
+        code, _, err = self.run_cli(
+            ["trace", str(tmp_path / "nope.jsonl")], capsys
+        )
+        assert code == 1
+        assert "error" in err
+
+    def test_trace_on_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        code, _, err = self.run_cli(["trace", str(empty)], capsys)
+        assert code == 1
+        assert "no spans" in err

@@ -1,0 +1,132 @@
+"""Golden-file test pinning the exported span JSONL schema.
+
+The exported line format (OTLP/JSON-flavoured camelCase dicts plus
+``schemaVersion``) is a wire contract: external tooling and ``repro
+trace --check`` both consume it.  The builder below records a
+representative cross-process trace (service request → worker →
+pipeline phases) with an injected clock and id factory, so the export
+is byte-deterministic and the golden needs no normalization.  If this
+fails because the shape changed on purpose: bump
+``TRACE_SCHEMA_VERSION`` and regenerate with
+``python tests/obs/regen_golden.py``.
+"""
+
+import json
+import os
+from typing import List
+
+from repro.obs.export import span_to_otel, validate_spans
+from repro.obs.trace import SpanRecorder, TraceContext
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_TRACE = os.path.join(GOLDEN_DIR, "trace_spans.jsonl")
+
+_TRACE_ID = "0af7651916cd43dd8448eb211c80319c"
+_ROOT_SPAN_ID = "b7ad6b7169203331"
+
+
+def _ticking_clock(start: float = 1_700_000_000.0, step: float = 0.125):
+    state = {"now": start}
+
+    def clock() -> float:
+        value = state["now"]
+        state["now"] += step
+        return value
+
+    return clock
+
+
+def _sequential_ids(start: int = 1):
+    state = {"next": start}
+
+    def factory() -> str:
+        value = state["next"]
+        state["next"] += 1
+        return f"{value:016x}"
+
+    return factory
+
+
+def build_golden_lines() -> List[str]:
+    """The deterministic span export: one JSON line per span."""
+    clock = _ticking_clock()
+    ids = _sequential_ids()
+    service = SpanRecorder(
+        context=TraceContext(trace_id=_TRACE_ID, span_id=_ROOT_SPAN_ID),
+        process="service",
+        clock=clock,
+        id_factory=ids,
+    )
+    request = service.begin("request")
+    with service.span("cache_lookup"):
+        pass
+    with service.span("admission"):
+        pass
+    execute = service.begin("execute")
+    # The task context a traced submission would pickle to the worker:
+    # same trace, a promised root id, parented on the execute span.
+    task_context = TraceContext(
+        trace_id=_TRACE_ID,
+        span_id=ids(),
+        parent_span_id=service.current_context().span_id,
+    )
+    worker = SpanRecorder(
+        context=task_context, process="worker", clock=clock,
+        id_factory=ids,
+    )
+    worker_span = worker.begin("worker", pid=4242, path="sample.ps1")
+    pipeline = worker.begin("pipeline")
+    with worker.span("token", iteration=0):
+        pass
+    with worker.span("ast", iteration=0):
+        pass
+    with worker.span("multilayer", iteration=0):
+        pass
+    with worker.span("techniques"):
+        pass
+    worker.end(pipeline, status="ok")
+    worker.end(worker_span, status="ok")
+    service.end(execute, status="ok")
+    service.end(request, status="ok")
+
+    spans = service.spans + worker.spans
+    return [
+        json.dumps(span_to_otel(span, service_name="repro-golden"),
+                   sort_keys=True)
+        for span in spans
+    ]
+
+
+class TestTraceGolden:
+    def test_export_matches_golden(self):
+        with open(GOLDEN_TRACE, encoding="utf-8") as handle:
+            golden = handle.read().splitlines()
+        assert build_golden_lines() == golden
+
+    def test_golden_validates_cleanly(self):
+        with open(GOLDEN_TRACE, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert validate_spans(lines) == []
+
+    def test_golden_is_one_linked_trace(self):
+        with open(GOLDEN_TRACE, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert {line["traceId"] for line in lines} == {_TRACE_ID}
+        by_id = {line["spanId"]: line for line in lines}
+        roots = [line for line in lines if "parentSpanId" not in line]
+        assert len(roots) == 1
+        assert roots[0]["name"] == "request"
+        # Every other span walks up to the request root.
+        for line in lines:
+            seen = set()
+            node = line
+            while "parentSpanId" in node:
+                assert node["spanId"] not in seen
+                seen.add(node["spanId"])
+                node = by_id[node["parentSpanId"]]
+            assert node is roots[0]
+        # The process boundary is represented on both sides.
+        processes = {
+            line["resource"]["process.role"] for line in lines
+        }
+        assert processes == {"service", "worker"}
