@@ -16,6 +16,7 @@ import time
 import pytest
 
 from benchmarks.bench_utils import render_table, write_result
+from benchmarks.trajectory import stage_metrics
 from repro.batch import BatchPool, make_tasks, summarize
 
 CORPUS_SIZE = 40
@@ -67,6 +68,15 @@ def test_batch_throughput(corpus_dir):
         rows,
     )
     write_result("batch_throughput", text)
+    stage_metrics("batch_throughput", {
+        f"jobs_{jobs}": {
+            "samples_per_sec": summary["throughput_scripts_per_second"],
+            "wall_seconds": summary["wall_seconds"],
+            "p50_ms": summary["latency_p50_seconds"] * 1000,
+            "p95_ms": summary["latency_p95_seconds"] * 1000,
+        }
+        for jobs, summary in runs
+    })
 
     for _jobs, summary in runs:
         assert summary["status_counts"]["ok"] == CORPUS_SIZE

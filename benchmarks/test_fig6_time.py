@@ -19,6 +19,7 @@ from benchmarks.bench_utils import (
     render_table,
     write_result,
 )
+from benchmarks.trajectory import stage_metrics
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +68,14 @@ def test_fig6_time(benchmark, corpus, timings):
         rows,
     )
     write_result("fig6_time", text)
+    stage_metrics("fig6_time", {
+        tool: {
+            "mean_ms": statistics.mean(times) * 1000,
+            "max_ms": max(times) * 1000,
+            "stdev_ms": statistics.pstdev(times) * 1000,
+        }
+        for tool, times in timings.items()
+    })
 
     our_times = timings["Invoke-Deobfuscation"]
     our_mean = statistics.mean(our_times)

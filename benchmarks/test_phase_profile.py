@@ -14,6 +14,7 @@ import time
 import pytest
 
 from benchmarks.bench_utils import fig5_corpus, render_table, write_result
+from benchmarks.trajectory import stage_metrics
 from repro import Deobfuscator
 from repro.batch.summary import PHASE_METRICS, summarize
 from repro.obs import PHASES
@@ -78,6 +79,13 @@ def test_phase_profile(benchmark, corpus):
         rows,
     )
     write_result("phase_profile", text)
+    stage_metrics("phase_profile", {
+        phase: {
+            metric: distributions[phase][metric] * 1000
+            for metric in PHASE_METRICS
+        }
+        for phase in PHASES if phase in distributions
+    })
 
     # Every pipeline phase showed up in at least one record, and the
     # phase decomposition accounts for most of the end-to-end latency.

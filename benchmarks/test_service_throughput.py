@@ -17,6 +17,7 @@ import urllib.request
 import pytest
 
 from benchmarks.bench_utils import render_table, write_result
+from benchmarks.trajectory import stage_metrics
 from repro import Deobfuscator
 from repro.service import DeobfuscationService, ServiceConfig, start_server
 
@@ -146,6 +147,16 @@ def test_service_throughput(served, scripts):
         ],
     )
     write_result("service_throughput", text)
+    stage_metrics("service_throughput", {
+        "executions": executions,
+        "cache_hit_ratio": hit_ratio,
+        "cold_p50_ms": cold_p50 * 1000,
+        "warm_p50_ms": warm_p50 * 1000,
+        "cache_speedup": speedup,
+        "requests_per_sec": (
+            TOTAL_REQUESTS / load_wall if load_wall else 0.0
+        ),
+    })
 
     # acceptance: executions stayed at one per unique script, ratio >= 90%,
     # and the cached path is an order of magnitude faster than cold

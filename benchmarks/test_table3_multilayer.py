@@ -16,6 +16,7 @@ from typing import List, Tuple
 import pytest
 
 from benchmarks.bench_utils import all_tools, render_table, write_result
+from benchmarks.trajectory import stage_metrics
 from repro.obfuscation.layers import wrap_encoded_command, wrap_invoke_expression
 from repro.obfuscation.string_obfuscator import encode_concat, encode_reorder
 
@@ -119,6 +120,11 @@ def test_table3_multilayer(benchmark, samples):
         rows,
     )
     write_result("table3_multilayer", text)
+    stage_metrics("table3_multilayer", {
+        "samples": len(samples),
+        "recovered": dict(scores),
+        "paper": paper,
+    })
 
     assert scores["Invoke-Deobfuscation"] == len(samples)
     assert scores["Li et al."] == 0

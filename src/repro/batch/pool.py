@@ -59,6 +59,7 @@ never double-records a sample.
 
 import itertools
 import multiprocessing
+import pickle
 import time
 from collections import deque
 from multiprocessing.connection import wait as _connection_wait
@@ -199,6 +200,12 @@ class BatchPool:
         self._worker_ids = itertools.count()
         self._ticket_ids = itertools.count()
         self._tasks: Dict[int, Task] = {}
+        # Ticket -> pre-pickled (ticket, task) wire payload.  A task is
+        # serialized exactly once, at submit time; every dispatch —
+        # including crash retries — reuses the bytes, keeping pickling
+        # cost out of the poll loop (Connection.recv() on the worker
+        # side unpickles a send_bytes payload like any send()).
+        self._payloads: Dict[int, bytes] = {}
         self._attempts: Dict[int, int] = {}
         self._pending: Deque[int] = deque()
         self._outstanding = 0
@@ -228,6 +235,9 @@ class BatchPool:
             self._spec_checked = True
         ticket = next(self._ticket_ids)
         self._tasks[ticket] = task
+        self._payloads[ticket] = pickle.dumps(
+            (ticket, task), protocol=pickle.HIGHEST_PROTOCOL
+        )
         self._attempts[ticket] = 0
         self._pending.append(ticket)
         self._outstanding += 1
@@ -290,6 +300,7 @@ class BatchPool:
         self._workers.clear()
         self._pending.clear()
         self._tasks.clear()
+        self._payloads.clear()
         self._attempts.clear()
         self._outstanding = 0
 
@@ -338,6 +349,7 @@ class BatchPool:
 
     def _finalize(self, ticket: int) -> None:
         del self._tasks[ticket]
+        del self._payloads[ticket]
         del self._attempts[ticket]
         self._outstanding -= 1
 
@@ -376,7 +388,7 @@ class BatchPool:
                 ticket = self._pending.popleft()
                 self._attempts[ticket] += 1
                 try:
-                    state.conn.send((ticket, self._tasks[ticket]))
+                    state.conn.send_bytes(self._payloads[ticket])
                 except (BrokenPipeError, OSError):
                     self._pending.appendleft(ticket)
                     self._attempts[ticket] -= 1

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.pslang import ast_nodes as N
 from repro.pslang.aliases import resolve_alias
-from repro.pslang.parser import try_parse
+from repro.pslang.parser import try_parse_cached as try_parse
 
 _IEX_NAMES = {"iex", "invoke-expression"}
 _POWERSHELL_NAMES = {"powershell", "powershell.exe", "pwsh", "pwsh.exe"}

@@ -24,7 +24,9 @@ from repro.core.token_deobfuscator import deobfuscate_tokens
 from repro.obs import PipelineStats, Tracer, tag_techniques
 from repro.obs.spans import SPAN_TECHNIQUES
 from repro.options import DEFAULT_MAX_ITERATIONS, PipelineOptions
+from repro.pslang import interning
 from repro.pslang.parser import try_parse
+from repro.runtime.memo import SubtreeMemo
 
 
 @dataclass
@@ -169,11 +171,12 @@ class Deobfuscator:
             f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
-    def _make_recovery(self) -> RecoveryEngine:
+    def _make_recovery(self, memo=None) -> RecoveryEngine:
         # step_limit=None means "engine default" — no branching needed.
         return RecoveryEngine(
             enforce_blocklist=self.enforce_blocklist,
             step_limit=self.piece_step_limit,
+            memo=memo,
         )
 
     def deobfuscate(
@@ -195,9 +198,24 @@ class Deobfuscator:
             recorder.begin("pipeline") if recorder is not None else None
         )
         tracer = Tracer(enabled=self.collect_spans, recorder=recorder)
+        # One subtree memo per run, shared across fixpoint iterations
+        # (identical obfuscated fragments recur within one script); the
+        # intern table is process-wide, so record this run's delta.
+        memo = SubtreeMemo() if self.subtree_memo else None
+        intern_hits_before, intern_misses_before = interning.counters()
+
+        def finalize_counters() -> None:
+            if memo is not None:
+                stats.subtree_memo_hits = memo.hits
+                stats.subtree_memo_misses = memo.misses
+            hits_after, misses_after = interning.counters()
+            stats.intern_hits = hits_after - intern_hits_before
+            stats.intern_misses = misses_after - intern_misses_before
+
         ast, _ = try_parse(script)
         if ast is None:
             result.valid_input = False
+            finalize_counters()
             result.elapsed_seconds = time.perf_counter() - started
             if pipeline_span is not None:
                 recorder.end(pipeline_span, status="error")
@@ -215,7 +233,7 @@ class Deobfuscator:
                     step = deobfuscate_tokens(step, stats=stats)
             if self.ast_phase and not out_of_time():
                 engine = AstDeobfuscator(
-                    recovery=self._make_recovery(),
+                    recovery=self._make_recovery(memo=memo),
                     trace_variables=self.trace_variables,
                     trace_functions=self.trace_functions,
                     stats=stats,
@@ -265,6 +283,7 @@ class Deobfuscator:
 
         stats.spans = tracer.spans
         stats.phase_seconds = tracer.phase_totals()
+        finalize_counters()
         result.elapsed_seconds = time.perf_counter() - started
         if pipeline_span is not None:
             recorder.end(

@@ -23,6 +23,7 @@ from repro.runtime.errors import (
 from repro.runtime.evaluator import Evaluator
 from repro.runtime.host import SandboxHost
 from repro.runtime.limits import ExecutionBudget
+from repro.runtime.memo import SubtreeMemo
 from repro.runtime.values import PSChar
 
 # Pieces longer than this are never worth executing for recovery and only
@@ -89,6 +90,7 @@ class RecoveryEngine:
         self,
         enforce_blocklist: bool = True,
         step_limit: Optional[int] = None,
+        memo: Optional[SubtreeMemo] = None,
     ):
         self.enforce_blocklist = enforce_blocklist
         # None means "use the default", so callers forwarding a
@@ -97,6 +99,11 @@ class RecoveryEngine:
         self.step_limit = (
             PIECE_STEP_LIMIT if step_limit is None else step_limit
         )
+        # Optional per-run subtree memo (repro.runtime.memo): replays
+        # the outcome of a structurally identical piece under identical
+        # bindings instead of re-running the sandbox.  The pipeline
+        # shares one memo across fixpoint iterations.
+        self.memo = memo
 
     def evaluate_piece(
         self,
@@ -123,7 +130,45 @@ class RecoveryEngine:
         env_overrides: Optional[Dict[str, str]] = None,
         function_defs: Optional[Dict[str, str]] = None,
     ) -> Tuple[bool, Any, RecoveryOutcome]:
-        """Run *piece*, classifying the failure mode for telemetry.
+        """Run *piece* (or replay a memoized outcome), classifying the
+        failure mode for telemetry.
+
+        On a memo hit the stored ``reason`` and ``steps`` are replayed,
+        so callers account outcomes and evaluator steps identically
+        whether the sandbox ran or not.
+        """
+        memo = self.memo
+        key = None
+        if memo is not None:
+            key = memo.make_key(
+                piece,
+                variables,
+                env_overrides,
+                function_defs,
+                salt=(self.enforce_blocklist, self.step_limit),
+            )
+            if key is not None:
+                cached = memo.get(key)
+                if cached is not None:
+                    ok, value, reason, steps = cached
+                    return ok, value, RecoveryOutcome(
+                        None, reason, steps=steps
+                    )
+        ok, value, outcome = self._evaluate_uncached(
+            piece, variables, env_overrides, function_defs
+        )
+        if key is not None:
+            memo.put(key, ok, value, outcome.reason, outcome.steps)
+        return ok, value, outcome
+
+    def _evaluate_uncached(
+        self,
+        piece: str,
+        variables: Optional[Dict[str, Any]] = None,
+        env_overrides: Optional[Dict[str, str]] = None,
+        function_defs: Optional[Dict[str, str]] = None,
+    ) -> Tuple[bool, Any, RecoveryOutcome]:
+        """Actually run *piece* in a fresh sandbox.
 
         ``function_defs`` maps function names to their definition text;
         each is executed first (which merely registers the function), so

@@ -15,7 +15,7 @@ returned untouched (the paper's per-step syntax check).
 
 from typing import List
 
-from repro.pslang.parser import try_parse
+from repro.pslang.parser import try_parse_cached as try_parse
 from repro.pslang.tokenizer import try_tokenize
 from repro.pslang.tokens import PSToken, PSTokenType
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.pslang import ast_nodes as N
-from repro.pslang.parser import try_parse
+from repro.pslang.parser import try_parse_cached as try_parse
 from repro.runtime.environment import is_automatic
 
 VOWELS = set("aeiouAEIOU")

@@ -44,6 +44,13 @@ def profile_lines(
         f"evaluator_steps={stats.evaluator_steps}"
     )
     lines.append(
+        "hot paths : "
+        f"memo_hits={stats.subtree_memo_hits}  "
+        f"memo_misses={stats.subtree_memo_misses}  "
+        f"intern_hits={stats.intern_hits}  "
+        f"intern_misses={stats.intern_misses}"
+    )
+    lines.append(
         "tracing   : "
         f"traced={stats.variables_traced}  "
         f"substituted={stats.variables_substituted}  "

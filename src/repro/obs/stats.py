@@ -20,8 +20,11 @@ from repro.obs.spans import Span, canonical_phase_name
 # Bump whenever the serialized shape of PipelineStats changes.
 # Version 2 adds the ``verify`` verdict-count section; version 3 adds
 # the ``techniques`` tag section (Table I telemetry) and canonicalizes
-# phase names on load (see repro.obs.spans.PHASE_NAME_ALIASES).
-STATS_SCHEMA_VERSION = 3
+# phase names on load (see repro.obs.spans.PHASE_NAME_ALIASES);
+# version 4 adds the hot-path counters (``subtree_memo_hits`` /
+# ``subtree_memo_misses`` from repro.runtime.memo, ``intern_hits`` /
+# ``intern_misses`` from repro.pslang.interning).
+STATS_SCHEMA_VERSION = 4
 
 # Why a recoverable piece did / did not get replaced (Section III-B2
 # plus the failure taxonomy of Section V-C).
@@ -72,6 +75,13 @@ class PipelineStats:
     recovery_cache_hits
         Pieces answered from the state-independent memo instead of the
         sandbox.
+    subtree_memo_hits / subtree_memo_misses
+        Structure-hash memo lookups (:mod:`repro.runtime.memo`) that
+        replayed a stored piece outcome vs ran the sandbox.  Both zero
+        when the run had ``subtree_memo=False``.
+    intern_hits / intern_misses
+        This run's delta of the process-wide token-string intern table
+        (:mod:`repro.pslang.interning`): strings reused vs newly seen.
     evaluator_steps
         Total sandbox interpreter steps across every piece and
         assignment evaluation — the run's execution-cost denominator.
@@ -107,6 +117,10 @@ class PipelineStats:
     trace_misses: int = 0
     evaluator_steps: int = 0
     recovery_cache_hits: int = 0
+    subtree_memo_hits: int = 0
+    subtree_memo_misses: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
     recovery_outcomes: Dict[str, int] = field(default_factory=_zero_reasons)
     unwrap_kinds: Dict[str, int] = field(default_factory=_zero_kinds)
     verify: Dict[str, int] = field(default_factory=dict)
@@ -133,6 +147,10 @@ class PipelineStats:
             "trace_misses": self.trace_misses,
             "evaluator_steps": self.evaluator_steps,
             "recovery_cache_hits": self.recovery_cache_hits,
+            "subtree_memo_hits": self.subtree_memo_hits,
+            "subtree_memo_misses": self.subtree_memo_misses,
+            "intern_hits": self.intern_hits,
+            "intern_misses": self.intern_misses,
             "recovery_outcomes": dict(self.recovery_outcomes),
             "unwrap_kinds": dict(self.unwrap_kinds),
             "phase_seconds": dict(self.phase_seconds),
@@ -194,6 +212,10 @@ class PipelineStats:
         self.trace_misses += other.trace_misses
         self.evaluator_steps += other.evaluator_steps
         self.recovery_cache_hits += other.recovery_cache_hits
+        self.subtree_memo_hits += other.subtree_memo_hits
+        self.subtree_memo_misses += other.subtree_memo_misses
+        self.intern_hits += other.intern_hits
+        self.intern_misses += other.intern_misses
         for reason, count in other.recovery_outcomes.items():
             self.recovery_outcomes[reason] = (
                 self.recovery_outcomes.get(reason, 0) + count

@@ -63,6 +63,12 @@ class PipelineOptions:
     deadline_seconds: Optional[float] = None
     collect_spans: bool = True
     tag_techniques: bool = True
+    # Memoize piece evaluations within one run (repro.runtime.memo):
+    # structurally identical subtrees under identical bindings replay
+    # their outcome instead of re-running the sandbox.  Off reproduces
+    # the pre-memo pipeline exactly (the output is byte-identical either
+    # way; only speed and the memo counters change).
+    subtree_memo: bool = True
 
     # -- construction --------------------------------------------------------
 

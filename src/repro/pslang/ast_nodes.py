@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 
-@dataclass
+@dataclass(slots=True)
 class Ast:
     """Base class: an extent plus tree structure."""
 
@@ -32,25 +32,42 @@ class Ast:
         return type(self).__name__
 
     def children(self) -> Iterator["Ast"]:
-        """Yield direct children in source order."""
-        return iter(())
+        """Direct children in source order (any iterable of nodes)."""
+        return ()
 
     def text(self, source: str) -> str:
         """The raw source slice this node covers."""
         return source[self.start:self.end]
 
     # -- traversal ---------------------------------------------------------
+    #
+    # Both walks are iterative: the recursive-generator versions spent
+    # most of their time resuming nested ``yield from`` frames (one per
+    # ancestor per node), which profiling showed near the top of the
+    # pipeline's self-time.
 
     def walk_post_order(self) -> Iterator["Ast"]:
         """Yield all nodes, children before parents (Algorithm 1's order)."""
-        for child in self.children():
-            yield from child.walk_post_order()
-        yield self
+        # Reverse of a right-to-left pre-order is a left-to-right
+        # post-order; one list + one reversal, no per-node generators.
+        order: List["Ast"] = []
+        stack: List["Ast"] = [self]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children())
+        return reversed(order)
 
     def walk_pre_order(self) -> Iterator["Ast"]:
-        yield self
-        for child in self.children():
-            yield from child.walk_pre_order()
+        stack: List["Ast"] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            kids = node.children()
+            if not isinstance(kids, (list, tuple)):
+                kids = list(kids)
+            if kids:
+                stack.extend(reversed(kids))
 
     def find_all(self, node_type) -> List["Ast"]:
         """All descendants (including self) of the given node class."""
@@ -59,21 +76,27 @@ class Ast:
 
 def link_parents(root: Ast) -> None:
     """Populate ``parent`` pointers below *root*."""
-    for node in root.walk_pre_order():
+    stack: List[Ast] = [root]
+    while stack:
+        node = stack.pop()
         for child in node.children():
             child.parent = node
+            stack.append(child)
 
 
-def _iter(*groups) -> Iterator[Ast]:
+def _iter(*groups) -> List[Ast]:
+    """Collect child groups (single nodes or sequences) into one list."""
+    out: List[Ast] = []
     for group in groups:
         if group is None:
             continue
         if isinstance(group, Ast):
-            yield group
+            out.append(group)
         else:
             for item in group:
                 if item is not None:
-                    yield item
+                    out.append(item)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -81,12 +104,12 @@ def _iter(*groups) -> Iterator[Ast]:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class ExpressionAst(Ast):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class StringConstantExpressionAst(ExpressionAst):
     """A literal string: single-quoted, here-string single, or bareword."""
 
@@ -95,7 +118,7 @@ class StringConstantExpressionAst(ExpressionAst):
     quote: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ExpandableStringExpressionAst(ExpressionAst):
     """A double-quoted (or double here-) string, possibly with ``$`` refs.
 
@@ -108,14 +131,14 @@ class ExpandableStringExpressionAst(ExpressionAst):
     quote: str = '"'
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstantExpressionAst(ExpressionAst):
     """Numeric (or other primitive) constant with its Python value."""
 
     value: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class VariableExpressionAst(ExpressionAst):
     """``$name``, ``${braced}``, ``$env:name`` — name excludes the sigil."""
 
@@ -123,14 +146,14 @@ class VariableExpressionAst(ExpressionAst):
     splatted: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class TypeExpressionAst(ExpressionAst):
     """A bare type literal like ``[char]``."""
 
     type_name_str: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ConvertExpressionAst(ExpressionAst):
     """A cast: ``[char]0x74``, ``[string][char]39``."""
 
@@ -141,7 +164,7 @@ class ConvertExpressionAst(ExpressionAst):
         return _iter(self.child)
 
 
-@dataclass
+@dataclass(slots=True)
 class UnaryExpressionAst(ExpressionAst):
     """Prefix/postfix unary operator: ``-join``, ``-not``, ``-``, ``++``."""
 
@@ -153,7 +176,7 @@ class UnaryExpressionAst(ExpressionAst):
         return _iter(self.child)
 
 
-@dataclass
+@dataclass(slots=True)
 class BinaryExpressionAst(ExpressionAst):
     operator: str = ""
     left: Optional[ExpressionAst] = None
@@ -163,7 +186,7 @@ class BinaryExpressionAst(ExpressionAst):
         return _iter(self.left, self.right)
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayLiteralAst(ExpressionAst):
     """Comma-separated list: ``1,2,3``."""
 
@@ -173,7 +196,7 @@ class ArrayLiteralAst(ExpressionAst):
         return _iter(self.elements)
 
 
-@dataclass
+@dataclass(slots=True)
 class MemberExpressionAst(ExpressionAst):
     """``expr.Member`` or ``[Type]::Member`` (``static=True`` for ``::``)."""
 
@@ -185,7 +208,7 @@ class MemberExpressionAst(ExpressionAst):
         return _iter(self.expression, self.member)
 
 
-@dataclass
+@dataclass(slots=True)
 class InvokeMemberExpressionAst(MemberExpressionAst):
     """Method call: ``expr.Member(args...)`` / ``[Type]::Member(args...)``."""
 
@@ -195,7 +218,7 @@ class InvokeMemberExpressionAst(MemberExpressionAst):
         return _iter(self.expression, self.member, self.arguments)
 
 
-@dataclass
+@dataclass(slots=True)
 class IndexExpressionAst(ExpressionAst):
     target: Optional[ExpressionAst] = None
     index: Optional[ExpressionAst] = None
@@ -204,7 +227,7 @@ class IndexExpressionAst(ExpressionAst):
         return _iter(self.target, self.index)
 
 
-@dataclass
+@dataclass(slots=True)
 class ParenExpressionAst(ExpressionAst):
     """``( pipeline )``."""
 
@@ -214,7 +237,7 @@ class ParenExpressionAst(ExpressionAst):
         return _iter(self.pipeline)
 
 
-@dataclass
+@dataclass(slots=True)
 class SubExpressionAst(ExpressionAst):
     """``$( statements )``."""
 
@@ -224,7 +247,7 @@ class SubExpressionAst(ExpressionAst):
         return _iter(self.statements)
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayExpressionAst(ExpressionAst):
     """``@( statements )``."""
 
@@ -234,7 +257,7 @@ class ArrayExpressionAst(ExpressionAst):
         return _iter(self.statements)
 
 
-@dataclass
+@dataclass(slots=True)
 class HashtableAst(ExpressionAst):
     pairs: List[Tuple[ExpressionAst, "StatementAst"]] = field(
         default_factory=list
@@ -246,7 +269,7 @@ class HashtableAst(ExpressionAst):
             yield value
 
 
-@dataclass
+@dataclass(slots=True)
 class ScriptBlockExpressionAst(ExpressionAst):
     """``{ ... }`` used as a value."""
 
@@ -261,12 +284,12 @@ class ScriptBlockExpressionAst(ExpressionAst):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class StatementAst(Ast):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class PipelineAst(StatementAst):
     """``cmd1 | cmd2 | ...`` — elements are commands or expressions."""
 
@@ -276,7 +299,7 @@ class PipelineAst(StatementAst):
         return _iter(self.elements)
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandAst(Ast):
     """One command invocation inside a pipeline.
 
@@ -301,7 +324,7 @@ class CommandAst(Ast):
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandParameterAst(Ast):
     """``-Name`` or ``-Name:arg`` appearing in a command."""
 
@@ -312,7 +335,7 @@ class CommandParameterAst(Ast):
         return _iter(self.argument)
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandExpressionAst(Ast):
     """A pipeline element that is a bare expression."""
 
@@ -322,7 +345,7 @@ class CommandExpressionAst(Ast):
         return _iter(self.expression)
 
 
-@dataclass
+@dataclass(slots=True)
 class AssignmentStatementAst(StatementAst):
     left: Optional[ExpressionAst] = None
     operator: str = "="
@@ -332,7 +355,7 @@ class AssignmentStatementAst(StatementAst):
         return _iter(self.left, self.right)
 
 
-@dataclass
+@dataclass(slots=True)
 class StatementBlockAst(Ast):
     """``{ statements }`` in control flow."""
 
@@ -342,7 +365,7 @@ class StatementBlockAst(Ast):
         return _iter(self.statements)
 
 
-@dataclass
+@dataclass(slots=True)
 class IfStatementAst(StatementAst):
     """``if``/``elseif`` clauses plus optional ``else``."""
 
@@ -359,7 +382,7 @@ class IfStatementAst(StatementAst):
             yield self.else_body
 
 
-@dataclass
+@dataclass(slots=True)
 class WhileStatementAst(StatementAst):
     condition: Optional[StatementAst] = None
     body: Optional[StatementBlockAst] = None
@@ -368,7 +391,7 @@ class WhileStatementAst(StatementAst):
         return _iter(self.condition, self.body)
 
 
-@dataclass
+@dataclass(slots=True)
 class DoWhileStatementAst(StatementAst):
     body: Optional[StatementBlockAst] = None
     condition: Optional[StatementAst] = None
@@ -378,7 +401,7 @@ class DoWhileStatementAst(StatementAst):
         return _iter(self.body, self.condition)
 
 
-@dataclass
+@dataclass(slots=True)
 class ForStatementAst(StatementAst):
     initializer: Optional[StatementAst] = None
     condition: Optional[StatementAst] = None
@@ -389,7 +412,7 @@ class ForStatementAst(StatementAst):
         return _iter(self.initializer, self.condition, self.iterator, self.body)
 
 
-@dataclass
+@dataclass(slots=True)
 class ForEachStatementAst(StatementAst):
     variable: Optional[VariableExpressionAst] = None
     expression: Optional[StatementAst] = None
@@ -399,7 +422,7 @@ class ForEachStatementAst(StatementAst):
         return _iter(self.variable, self.expression, self.body)
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchStatementAst(StatementAst):
     condition: Optional[StatementAst] = None
     clauses: List[Tuple[Ast, StatementBlockAst]] = field(default_factory=list)
@@ -415,7 +438,7 @@ class SwitchStatementAst(StatementAst):
             yield self.default
 
 
-@dataclass
+@dataclass(slots=True)
 class TryStatementAst(StatementAst):
     body: Optional[StatementBlockAst] = None
     catches: List[StatementBlockAst] = field(default_factory=list)
@@ -425,7 +448,7 @@ class TryStatementAst(StatementAst):
         return _iter(self.body, self.catches, self.finally_body)
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDefinitionAst(StatementAst):
     name: str = ""
     parameters: List["ParameterAst"] = field(default_factory=list)
@@ -436,7 +459,7 @@ class FunctionDefinitionAst(StatementAst):
         return _iter(self.parameters, self.body)
 
 
-@dataclass
+@dataclass(slots=True)
 class ParameterAst(Ast):
     variable: Optional[VariableExpressionAst] = None
     default: Optional[ExpressionAst] = None
@@ -445,7 +468,7 @@ class ParameterAst(Ast):
         return _iter(self.variable, self.default)
 
 
-@dataclass
+@dataclass(slots=True)
 class ParamBlockAst(Ast):
     parameters: List[ParameterAst] = field(default_factory=list)
 
@@ -453,7 +476,7 @@ class ParamBlockAst(Ast):
         return _iter(self.parameters)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReturnStatementAst(StatementAst):
     pipeline: Optional[StatementAst] = None
 
@@ -461,7 +484,7 @@ class ReturnStatementAst(StatementAst):
         return _iter(self.pipeline)
 
 
-@dataclass
+@dataclass(slots=True)
 class ThrowStatementAst(StatementAst):
     pipeline: Optional[StatementAst] = None
 
@@ -469,7 +492,7 @@ class ThrowStatementAst(StatementAst):
         return _iter(self.pipeline)
 
 
-@dataclass
+@dataclass(slots=True)
 class ExitStatementAst(StatementAst):
     pipeline: Optional[StatementAst] = None
 
@@ -477,17 +500,17 @@ class ExitStatementAst(StatementAst):
         return _iter(self.pipeline)
 
 
-@dataclass
+@dataclass(slots=True)
 class BreakStatementAst(StatementAst):
     label: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ContinueStatementAst(StatementAst):
     label: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class NamedBlockAst(Ast):
     """``begin { }`` / ``process { }`` / ``end { }`` block."""
 
@@ -498,7 +521,7 @@ class NamedBlockAst(Ast):
         return _iter(self.statements)
 
 
-@dataclass
+@dataclass(slots=True)
 class ScriptBlockAst(Ast):
     """Root of a parsed script or of a ``{ ... }`` literal."""
 

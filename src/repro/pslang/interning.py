@@ -1,0 +1,70 @@
+"""Bounded string interning for the lexer's token stream.
+
+Obfuscated corpora repeat the same small strings relentlessly — ``iex``,
+``+``, operator spellings, variable names, decoded fragment text — and
+every recovered piece is re-lexed, so the same content strings are
+rebuilt thousands of times per run.  Interning collapses them to one
+object each: less allocation, cheaper downstream dict/set hashing (CPython
+caches a str's hash on the object), and pointer-fast equality on the
+common path.
+
+``sys.intern`` is deliberately not used: it is unbounded (a hostile
+script could pin arbitrary amounts of memory in a long-running ``repro
+serve`` fleet) and it cannot report hit rates.  This table is a plain
+bounded dict with hit/miss counters; the pipeline snapshots the counters
+around each run and records the delta in
+:class:`~repro.obs.PipelineStats` (``intern_hits`` / ``intern_misses``),
+so the win is observable per run and in ``/metrics``.
+
+Strings longer than :data:`MAX_INTERNABLE_LENGTH` pass through
+uncounted — a 2 MB base64 blob is never worth a table slot and would
+only thrash the budget.
+"""
+
+from typing import Dict, Tuple
+
+# Table budget: ~64k distinct short strings covers the token vocabulary
+# of any real corpus; beyond it new strings pass through un-interned
+# (existing entries keep hitting).
+MAX_TABLE_ENTRIES = 65_536
+MAX_INTERNABLE_LENGTH = 128
+
+_table: Dict[str, str] = {}
+_hits = 0
+_misses = 0
+
+
+def intern_string(text: str) -> str:
+    """Return the canonical object for *text*, interning it if short."""
+    global _hits, _misses
+    if len(text) > MAX_INTERNABLE_LENGTH:
+        return text
+    cached = _table.get(text)
+    if cached is not None:
+        _hits += 1
+        return cached
+    _misses += 1
+    if len(_table) < MAX_TABLE_ENTRIES:
+        _table[text] = text
+    return text
+
+
+def counters() -> Tuple[int, int]:
+    """Lifetime ``(hits, misses)`` of the process-wide table.
+
+    Snapshot before and after a pipeline run and subtract to get that
+    run's delta (what :class:`~repro.obs.PipelineStats` records).
+    """
+    return _hits, _misses
+
+
+def table_size() -> int:
+    return len(_table)
+
+
+def clear() -> None:
+    """Reset table and counters (test isolation only)."""
+    global _hits, _misses
+    _table.clear()
+    _hits = 0
+    _misses = 0

@@ -13,11 +13,57 @@ by the flat-token deobfuscation phase (via :func:`repro.pslang.tokenizer
 """
 
 import enum
+import re
 from typing import List, Optional
 
 from repro.pslang import charsets
 from repro.pslang.errors import LexError
+from repro.pslang.interning import intern_string
 from repro.pslang.tokens import PSToken, PSTokenType
+
+# -- precompiled scan tables -------------------------------------------------
+#
+# The inner loops below used to advance one character per Python-level
+# iteration (peek / append / pos += 1).  Each is now a precompiled regex
+# that consumes a whole run in one C-level match; the per-character
+# Python loop survives only for the rare constructs (escapes, embedded
+# subexpressions) between runs.
+
+_SINGLE_QUOTE_CHARS = frozenset(charsets.SINGLE_QUOTES)
+_DOUBLE_QUOTE_CHARS = frozenset(charsets.DOUBLE_QUOTES)
+_WHITESPACE_CHARS = frozenset(charsets.WHITESPACE)
+
+# A run of horizontal whitespace (including NBSP "whitespacing").
+_WS_RUN = re.compile("[%s]+" % re.escape(charsets.WHITESPACE))
+
+# Single-quoted string body: everything up to the next quote variant.
+_SQ_BODY = re.compile("[^%s]+" % re.escape(charsets.SINGLE_QUOTES))
+
+# Double-quoted string body: stops at quote variants, backtick escapes
+# and '$' (subexpression or literal dollar, resolved by the slow path).
+_DQ_BODY = re.compile("[^%s`$]+" % re.escape(charsets.DOUBLE_QUOTES))
+
+# Simple variable name runs ($name); ':' drive/scope separators are
+# resolved by lookahead between runs.  \w == isalnum() + underscore.
+_VAR_NAME_RUN = re.compile(r"\w+")
+
+# Member names after '.' / '::' — word characters plus cosmetic ticks.
+_MEMBER_RUN = re.compile(r"[\w`]+")
+
+# Bareword content: runs of anything that cannot terminate or escape a
+# word.  ARGS mode admits '=' inside arguments (base64 padding).
+_WORD_STOP = "".join(
+    sorted(
+        set(" \t\f\v\xa0\r\n|;&(){}[],#=<>")
+        | _SINGLE_QUOTE_CHARS
+        | _DOUBLE_QUOTE_CHARS
+        | {"`", "$"}
+    )
+)
+_WORD_CHUNK = re.compile("[^%s]+" % re.escape(_WORD_STOP))
+_WORD_CHUNK_ARGS = re.compile(
+    "[^%s]+" % re.escape(_WORD_STOP.replace("=", ""))
+)
 
 
 class Mode(enum.Enum):
@@ -87,10 +133,10 @@ class Lexer:
     ) -> PSToken:
         token = PSToken(
             type=type_,
-            content=content,
+            content=intern_string(content),
             start=start,
             length=self.pos - start,
-            text=self.source[start:self.pos],
+            text=intern_string(self.source[start:self.pos]),
             quote=quote,
         )
         self.tokens.append(token)
@@ -117,8 +163,8 @@ class Lexer:
     def tokenize(self) -> List[PSToken]:
         while not self._at_end():
             ch = self._peek()
-            if ch in charsets.WHITESPACE:
-                self.pos += 1
+            if ch in _WHITESPACE_CHARS:
+                self.pos = _WS_RUN.match(self.source, self.pos).end()
             elif ch in charsets.NEWLINES:
                 self._lex_newline()
             elif ch == "`" and self._peek(1) != "" and (
@@ -129,13 +175,13 @@ class Lexer:
                 self._lex_line_comment()
             elif ch == "<" and self._peek(1) == "#":
                 self._lex_block_comment()
-            elif charsets.is_single_quote(ch):
+            elif ch in _SINGLE_QUOTE_CHARS:
                 self._lex_single_quoted()
-            elif charsets.is_double_quote(ch):
+            elif ch in _DOUBLE_QUOTE_CHARS:
                 self._lex_double_quoted()
             elif ch == "@" and (
-                charsets.is_single_quote(self._peek(1))
-                or charsets.is_double_quote(self._peek(1))
+                self._peek(1) in _SINGLE_QUOTE_CHARS
+                or self._peek(1) in _DOUBLE_QUOTE_CHARS
             ):
                 self._lex_here_string()
             elif ch == "$":
@@ -232,20 +278,22 @@ class Lexer:
     def _lex_single_quoted(self) -> None:
         start = self.pos
         self.pos += 1
+        source = self.source
         pieces: List[str] = []
         while True:
+            run = _SQ_BODY.match(source, self.pos)
+            if run:
+                pieces.append(run.group())
+                self.pos = run.end()
             if self._at_end():
                 raise LexError("unterminated single-quoted string", start)
-            ch = self._peek()
-            if charsets.is_single_quote(ch):
-                if charsets.is_single_quote(self._peek(1)):
-                    pieces.append("'")
-                    self.pos += 2
-                    continue
-                self.pos += 1
-                break
-            pieces.append(ch)
+            # At a quote variant: doubled means an escaped quote.
+            if self._peek(1) in _SINGLE_QUOTE_CHARS:
+                pieces.append("'")
+                self.pos += 2
+                continue
             self.pos += 1
+            break
         self._emit(PSTokenType.STRING, "".join(pieces), start, quote="'")
         self._after_string_mode()
 
@@ -257,13 +305,18 @@ class Lexer:
     def _lex_double_quoted(self) -> None:
         start = self.pos
         self.pos += 1
+        source = self.source
         pieces: List[str] = []
         while True:
+            run = _DQ_BODY.match(source, self.pos)
+            if run:
+                pieces.append(run.group())
+                self.pos = run.end()
             if self._at_end():
                 raise LexError("unterminated double-quoted string", start)
             ch = self._peek()
-            if charsets.is_double_quote(ch):
-                if charsets.is_double_quote(self._peek(1)):
+            if ch in _DOUBLE_QUOTE_CHARS:
+                if self._peek(1) in _DOUBLE_QUOTE_CHARS:
                     pieces.append('"')
                     self.pos += 2
                     continue
@@ -373,16 +426,18 @@ class Lexer:
             name = ch
         elif ch and (ch.isalnum() or ch == "_"):
             name_start = self.pos
-            while not self._at_end() and (
-                self._peek().isalnum() or self._peek() in "_:"
-            ):
+            while True:
+                run = _VAR_NAME_RUN.match(self.source, self.pos)
+                if run:
+                    self.pos = run.end()
                 # ':' only participates when followed by a name char
                 # ($env:Path yes, "$x:" at end no).
-                if self._peek() == ":" and not (
+                if self._peek() == ":" and (
                     self._peek(1).isalnum() or self._peek(1) == "_"
                 ):
-                    break
-                self.pos += 1
+                    self.pos += 1
+                    continue
+                break
             name = self.source[name_start:self.pos]
         else:
             # Lone '$' — PowerShell's $$ handled above; treat as variable '$'.
@@ -544,10 +599,9 @@ class Lexer:
         ch = self._peek()
         if not (ch.isalpha() or ch == "_" or ch == "`"):
             return
-        while not self._at_end() and (
-            self._peek().isalnum() or self._peek() in "_`"
-        ):
-            self.pos += 1
+        run = _MEMBER_RUN.match(self.source, self.pos)
+        if run:
+            self.pos = run.end()
         content = self.source[start:self.pos].replace("`", "")
         self._emit(PSTokenType.MEMBER, content, start)
 
@@ -699,26 +753,25 @@ class Lexer:
 
     def _lex_word(self) -> None:
         start = self.pos
+        source = self.source
+        # '=' may appear inside command arguments (base64 padding);
+        # everywhere else it terminates the word.
+        chunk = _WORD_CHUNK_ARGS if self.mode is Mode.ARGS else _WORD_CHUNK
         pieces: List[str] = []
-        while not self._at_end():
-            ch = self._peek()
-            if ch == "`" and self._peek(1) not in charsets.NEWLINES and self._peek(1):
-                pieces.append(self._peek(1))
-                self.pos += 2
-                continue
-            if (
-                ch in self._WORD_TERMINATORS
-                or charsets.is_single_quote(ch)
-                or charsets.is_double_quote(ch)
-            ):
-                # '=' may appear inside command arguments (base64 padding);
-                # everywhere else it terminates the word.
-                if not (ch == "=" and self.mode is Mode.ARGS):
-                    break
-            if ch == "$":
-                break
-            pieces.append(ch)
-            self.pos += 1
+        while self.pos < self.length:
+            ch = source[self.pos]
+            if ch == "`":
+                nxt = self._peek(1)
+                if nxt and nxt not in charsets.NEWLINES:
+                    pieces.append(nxt)
+                    self.pos += 2
+                    continue
+                break  # backtick before newline/EOF terminates the word
+            run = chunk.match(source, self.pos)
+            if run is None:
+                break  # terminator: stop char, quote variant, or '$'
+            pieces.append(run.group())
+            self.pos = run.end()
         if self.pos == start:
             # Unrecognized character; consume it as UNKNOWN to guarantee
             # progress (robustness on malformed wild samples).

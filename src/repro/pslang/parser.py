@@ -1286,6 +1286,60 @@ def parse(source: str) -> N.ScriptBlockAst:
     return Parser(source).parse()
 
 
+# -- read-only parse cache ----------------------------------------------------
+#
+# Piece recovery parses the same small fragments over and over: every
+# fixpoint iteration re-offers still-obfuscated pieces, function
+# definitions are re-registered per piece evaluation, and chunked-blob
+# samples repeat one decode idiom dozens of times.  A bounded LRU keyed
+# by source text removes the repeat parses — but the cached AST is
+# SHARED, so ``parse_cached`` is only for callers that never mutate the
+# tree (the sandbox evaluator, the technique detectors).  The pipeline's
+# reconstruction pass splices nodes in place and must keep using
+# ``parse``.
+
+from collections import OrderedDict as _OrderedDict
+
+_PARSE_CACHE_MAX_ENTRIES = 1024
+# Large scripts are both unlikely to repeat and expensive to retain.
+_PARSE_CACHE_MAX_CHARS = 32_768
+_parse_cache: "_OrderedDict[str, N.ScriptBlockAst]" = _OrderedDict()
+
+
+def parse_cached(source: str) -> N.ScriptBlockAst:
+    """Like :func:`parse`, through a process-wide bounded cache.
+
+    The returned AST is shared across callers and MUST be treated as
+    read-only.  Parse errors are not cached (they re-raise each call).
+    """
+    cached = _parse_cache.get(source)
+    if cached is not None:
+        _parse_cache.move_to_end(source)
+        return cached
+    ast = Parser(source).parse()
+    if len(source) <= _PARSE_CACHE_MAX_CHARS:
+        _parse_cache[source] = ast
+        while len(_parse_cache) > _PARSE_CACHE_MAX_ENTRIES:
+            _parse_cache.popitem(last=False)
+    return ast
+
+
+def try_parse_cached(source: str):
+    """Like :func:`try_parse`, through the shared read-only cache.
+
+    Same contract as :func:`parse_cached`: callers must not mutate the
+    returned AST.
+    """
+    from repro.pslang.errors import PSSyntaxError
+
+    try:
+        return parse_cached(source), None
+    except PSSyntaxError as exc:
+        return None, str(exc)
+    except RecursionError as exc:  # pragma: no cover - defensive
+        return None, f"recursion: {exc}"
+
+
 def try_parse(source: str):
     """Parse, returning ``(ast, None)`` or ``(None, error_message)``."""
     from repro.pslang.errors import PSSyntaxError

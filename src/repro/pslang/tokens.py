@@ -37,7 +37,7 @@ class PSTokenType(Enum):
     POSITION = "Position"
 
 
-@dataclass
+@dataclass(slots=True)
 class PSToken:
     """One lexical unit of a PowerShell script.
 

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional
 from repro.pslang import ast_nodes as N
 from repro.pslang.aliases import resolve_alias
 from repro.pslang.errors import PSSyntaxError
-from repro.pslang.parser import parse
+from repro.pslang.parser import parse_cached as parse
 from repro.runtime import blocklist, members, statics
 from repro.runtime.cmdlets import CommandContext, lookup_cmdlet
 from repro.runtime.environment import (

@@ -5,12 +5,13 @@ benches can check both directions (applied → detected, removed → clean).
 """
 
 import re
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.rename import names_look_random
 from repro.pslang import ast_nodes as N
 from repro.pslang.aliases import ALIASES, canonical_case
-from repro.pslang.parser import try_parse
+from repro.pslang.parser import try_parse_cached as try_parse
 from repro.pslang.tokenizer import try_tokenize
 from repro.pslang.tokens import PSToken, PSTokenType
 from repro.runtime.environment import is_automatic
@@ -336,9 +337,31 @@ TECHNIQUE_LEVELS: Dict[str, int] = {
 }
 
 
+# Technique tagging re-runs on every exposed layer of every sample, and
+# service/batch workloads see the same scripts repeatedly — a bounded
+# LRU of views (tokens + AST, both read-only to detectors) removes the
+# re-tokenize/re-parse cost.
+_VIEW_CACHE_MAX_ENTRIES = 256
+_VIEW_CACHE_MAX_CHARS = 32_768
+_view_cache: "OrderedDict[str, ScriptView]" = OrderedDict()
+
+
+def _view_for(script: str) -> ScriptView:
+    view = _view_cache.get(script)
+    if view is not None:
+        _view_cache.move_to_end(script)
+        return view
+    view = ScriptView(script)
+    if len(script) <= _VIEW_CACHE_MAX_CHARS:
+        _view_cache[script] = view
+        while len(_view_cache) > _VIEW_CACHE_MAX_ENTRIES:
+            _view_cache.popitem(last=False)
+    return view
+
+
 def detect_techniques(script: str) -> Set[str]:
     """The set of known techniques detected in *script*."""
-    view = ScriptView(script)
+    view = _view_for(script)
     found: Set[str] = set()
     for name, detector in DETECTORS.items():
         try:

@@ -42,6 +42,10 @@ _PIPELINE_COUNTERS = (
     "trace_misses",
     "evaluator_steps",
     "recovery_cache_hits",
+    "subtree_memo_hits",
+    "subtree_memo_misses",
+    "intern_hits",
+    "intern_misses",
 )
 
 

@@ -23,6 +23,10 @@ def populated() -> PipelineStats:
     stats.trace_misses = 2
     stats.evaluator_steps = 123
     stats.recovery_cache_hits = 1
+    stats.subtree_memo_hits = 5
+    stats.subtree_memo_misses = 8
+    stats.intern_hits = 40
+    stats.intern_misses = 11
     stats.recovery_outcomes["recovered"] = 3
     stats.recovery_outcomes["blocked"] = 1
     stats.unwrap_kinds["iex"] = 2
@@ -81,6 +85,8 @@ class TestMerge:
         a.merge(b)
         assert a.pieces_recovered == 6
         assert a.evaluator_steps == 246
+        assert a.subtree_memo_hits == 10
+        assert a.intern_misses == 22
         assert a.recovery_outcomes["recovered"] == 6
         assert a.unwrap_kinds["iex"] == 4
         assert a.phase_seconds["ast"] == 0.1

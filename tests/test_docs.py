@@ -1,17 +1,28 @@
 """Docs drift guards.
 
 ``docs/cli.md`` must document every subcommand ``repro.cli`` registers
-(this is the check CI runs as its "docs" step), and the CLI module
-docstring must not drift from the registered command set again.
+(this is the check CI runs as its "docs" step), the CLI module
+docstring must not drift from the registered command set again, and
+the non-standard exit codes each command actually returns must stay
+documented where users look for them.
 """
 
 import argparse
 import os
+import re
 
 from repro.cli import build_parser
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CLI_DOC = os.path.join(REPO_ROOT, "docs", "cli.md")
+
+
+def _cli_doc_section(doc: str, command: str) -> str:
+    marker = f"## `repro {command}"
+    assert marker in doc, f"docs/cli.md lacks a section for {command}"
+    section = doc.split(marker, 1)[1]
+    follow = re.search(r"\n## ", section)
+    return section[: follow.start()] if follow else section
 
 
 def registered_subcommands():
@@ -58,3 +69,47 @@ def test_readme_links_docs():
         readme = f.read()
     assert "docs/cli.md" in readme
     assert "docs/architecture.md" in readme
+
+
+def test_exit_codes_documented():
+    """Every non-standard exit code stays documented in its section.
+
+    The CLI's error-signalling contract: batch exits 3 when samples
+    errored, verify --fail-on-divergent exits 4, trace --check exits 5.
+    CI scripts key on these numbers, so docs drift here breaks users
+    silently.
+    """
+    with open(CLI_DOC, "r", encoding="utf-8") as handle:
+        doc = handle.read()
+    expectations = {
+        "batch": "`3` at least one `error` sample",
+        "verify": "exit `4` on a `divergent` verdict",
+        "trace": "`5` when `--check` found problems",
+    }
+    for command, sentence in expectations.items():
+        section = _cli_doc_section(doc, command)
+        assert sentence in section, (
+            f"docs/cli.md section for 'repro {command}' no longer "
+            f"documents its exit code: expected {sentence!r}"
+        )
+
+
+def test_performance_doc_cross_linked():
+    """The performance handbook exists and the profiling surfaces
+    point at it (and at the architecture hot-path map)."""
+    perf = os.path.join(REPO_ROOT, "docs", "performance.md")
+    assert os.path.exists(perf), "docs/performance.md is missing"
+    with open(CLI_DOC, encoding="utf-8") as handle:
+        assert "performance.md" in handle.read()
+    obs = os.path.join(REPO_ROOT, "docs", "observability.md")
+    with open(obs, encoding="utf-8") as handle:
+        assert "performance.md" in handle.read()
+    arch = os.path.join(REPO_ROOT, "docs", "architecture.md")
+    with open(arch, encoding="utf-8") as handle:
+        arch_text = handle.read()
+    assert "## Hot paths" in arch_text
+    assert "performance.md" in arch_text
+    with open(perf, encoding="utf-8") as handle:
+        perf_text = handle.read()
+    assert "BENCH_pipeline.json" in perf_text
+    assert "architecture.md#hot-paths" in perf_text
