@@ -1,8 +1,6 @@
-"""Measurement utilities: key-information extraction and (for one more
-release) the old home of the behaviour sandbox, which moved to
-:mod:`repro.verify`.  ``repro.analysis.observe_behavior`` re-exports
-the :mod:`repro.verify` implementation silently; importing it from the
-:mod:`repro.analysis.behavior` submodule warns."""
+"""Measurement utilities: key-information extraction, plus re-exports
+of the behaviour sandbox that now lives in :mod:`repro.verify` (its
+original home here was retired after the one-release window)."""
 
 from repro.analysis.keyinfo import KeyInfo, extract_key_info
 from repro.verify.observe import BehaviorReport, observe_behavior

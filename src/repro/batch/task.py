@@ -110,7 +110,7 @@ def make_tasks(
     """Build one :class:`Task` per path, all sharing the same options.
 
     *options* is a :class:`~repro.options.PipelineOptions` (or an
-    option dict, legacy aliases included); bare keyword options are
+    option dict of canonical field names); bare keyword options are
     still accepted and merged on top.  Every task carries the canonical
     dict form, so two invocations that mean the same options produce
     identical task payloads.
@@ -125,8 +125,12 @@ def make_tasks(
     else:
         opts = PipelineOptions.from_dict(dict(options or {}))
     if merged:
-        mapped, _ = PipelineOptions._map_names(merged, strict=True)
-        opts = opts.replace(**mapped)
+        unknown = set(merged) - PipelineOptions.field_names()
+        if unknown:
+            raise TypeError(
+                "unknown pipeline option(s): " + ", ".join(sorted(unknown))
+            )
+        opts = opts.replace(**merged)
     payload = opts.canonical_dict()
     return [
         Task(

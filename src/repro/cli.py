@@ -4,7 +4,9 @@ Commands
 --------
 deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers] [--timeout S]
     Deobfuscate a PowerShell script and print the result; ``--stats``
-    adds the run's telemetry profile on stderr.
+    adds the run's telemetry profile on stderr; ``--policy NAME``
+    selects the sandbox policy preset (:mod:`repro.policy`) piece
+    recovery runs under.
 batch INPUT... [--jobs N] [--timeout S] [--output FILE] [--resume] ...
     Deobfuscate a whole corpus across a worker-process pool, streaming
     one JSONL record per sample plus an aggregate summary; ``--dedup``
@@ -55,6 +57,33 @@ def _read(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
         return handle.read()
+
+
+def _policy_name(value: str) -> str:
+    """argparse type for ``--policy``: normalize and validate a preset
+    name, so ``Verify_Observing`` means ``verify-observing``."""
+    from repro.policy import PRESET_NAMES, normalize_policy_name
+    from repro.policy.presets import PRESETS
+
+    name = normalize_policy_name(value)
+    if name not in PRESETS:
+        raise argparse.ArgumentTypeError(
+            f"unknown policy {value!r}; expected one of "
+            + ", ".join(PRESET_NAMES)
+        )
+    return name
+
+
+def _add_policy_flag(parser) -> None:
+    """The shared ``--policy NAME`` flag (sandbox policy preset)."""
+    from repro.policy import PRESET_NAMES
+
+    parser.add_argument(
+        "--policy", metavar="NAME", default=None, type=_policy_name,
+        help="sandbox policy preset for script evaluation: "
+        + ", ".join(PRESET_NAMES)
+        + " (default: recovery-strict)",
+    )
 
 
 def _trace_recorder(args):
@@ -292,16 +321,19 @@ def _cmd_serve(args) -> int:
     from repro.service import ServiceConfig
     from repro.service.http import run_server
 
+    default_options = {
+        "rename": not args.no_rename,
+        "reformat": not args.no_reformat,
+    }
+    if args.policy:
+        default_options["policy"] = args.policy
     config = ServiceConfig(
         jobs=args.jobs or 2,
         timeout=args.timeout,
         queue_limit=args.queue_limit,
         cache_max_entries=args.cache_entries,
         cache_max_bytes=args.cache_bytes,
-        default_options={
-            "rename": not args.no_rename,
-            "reformat": not args.no_reformat,
-        },
+        default_options=default_options,
         worker=args.worker,
         trace_path=args.trace_out,
     )
@@ -370,7 +402,11 @@ def _cmd_verify(args) -> int:
 
     tool = Deobfuscator(options=PipelineOptions.from_cli_args(args))
     result = tool.deobfuscate(_read(args.file))
-    verdict = verify_result(result, step_limit=args.step_limit)
+    # The differential executions default to verify-observing; an
+    # explicit --policy applies to them as well as to the pipeline.
+    verdict = verify_result(
+        result, step_limit=args.step_limit, policy=args.policy
+    )
 
     if args.json:
         payload = verdict.to_dict()
@@ -420,9 +456,16 @@ def _cmd_keyinfo(args) -> int:
 def _cmd_behavior(args) -> int:
     from repro.verify import observe_behavior
 
-    report = observe_behavior(_read(args.file), collect_events=False)
+    report = observe_behavior(
+        _read(args.file), collect_events=False, policy=args.policy
+    )
     for effect in report.effects:
         print(f"{effect.kind}\t{effect.target}")
+    if report.audit is not None:
+        for capability, count in sorted(
+            report.audit.denial_counts().items()
+        ):
+            print(f"denied:{capability}\t{count}", file=sys.stderr)
     if report.error:
         print(f"error: {report.error}", file=sys.stderr)
     return 0
@@ -499,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the run's trace spans to FILE as OTel-style JSONL "
         "(render with `repro trace FILE`)",
     )
+    _add_policy_flag(p)
     p.set_defaults(func=_cmd_deobfuscate)
 
     p = sub.add_parser(
@@ -585,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export one trace per sample (parent batch_sample span + "
         "the worker's pipeline spans) to FILE as JSONL",
     )
+    _add_policy_flag(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -644,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export every request's trace spans to FILE as JSONL "
         "(requests always carry a trace_id; this enables the file)",
     )
+    _add_policy_flag(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -692,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-rename", action="store_true")
     p.add_argument("--no-reformat", action="store_true")
+    _add_policy_flag(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("score", help="score obfuscation techniques")
@@ -704,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("behavior", help="record sandboxed behaviour")
     p.add_argument("file")
+    _add_policy_flag(p)
     p.set_defaults(func=_cmd_behavior)
 
     p = sub.add_parser(

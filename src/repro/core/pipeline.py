@@ -24,6 +24,7 @@ from repro.core.token_deobfuscator import deobfuscate_tokens
 from repro.obs import PipelineStats, Tracer, tag_techniques
 from repro.obs.spans import SPAN_TECHNIQUES
 from repro.options import DEFAULT_MAX_ITERATIONS, PipelineOptions
+from repro.policy import PolicyAudit, SandboxPolicy, resolve_policy
 from repro.pslang import interning
 from repro.pslang.parser import try_parse
 from repro.runtime.memo import SubtreeMemo
@@ -63,10 +64,15 @@ class DeobfuscationResult:
     stats
         The run's :class:`~repro.obs.PipelineStats`: per-phase spans and
         timings, per-piece recovery outcomes with reasons, evaluator
-        step counts, variable-tracing hit/miss counts, and multilayer
-        unwrap kinds.  Serialize with ``stats.to_dict()``; the legacy
+        step counts, variable-tracing hit/miss counts, multilayer
+        unwrap kinds, and the sandbox policy's denial/budget counters.
+        Serialize with ``stats.to_dict()``; the legacy
         ``stats["pieces_recovered"]`` dict access still works for one
         release.
+    audit
+        The run's :class:`~repro.policy.PolicyAudit`: per-capability
+        denial counts, summed budget consumption, and — when the policy
+        audits — the structured :class:`~repro.policy.AuditEvent` log.
     """
 
     original: str
@@ -78,6 +84,7 @@ class DeobfuscationResult:
     timed_out: bool = False
     elapsed_seconds: float = 0.0
     stats: PipelineStats = field(default_factory=PipelineStats)
+    audit: Optional[PolicyAudit] = None
 
     @property
     def changed(self) -> bool:
@@ -88,11 +95,8 @@ class Deobfuscator:
     """AST-based, semantics-preserving PowerShell deobfuscator.
 
     Configured by one typed record: ``Deobfuscator(options=
-    PipelineOptions(...))``.  The pre-redesign keyword form
-    (``Deobfuscator(rename=False, ...)``) still works for one release
-    through :meth:`PipelineOptions.from_kwargs`, which emits a
-    :class:`DeprecationWarning` and maps legacy alias names.  The option
-    fields mirror the paper's design decisions so each can be ablated:
+    PipelineOptions(...))``.  The option fields mirror the paper's
+    design decisions so each can be ablated:
 
     token_phase
         Run the Section III-A token parsing phase.
@@ -113,6 +117,13 @@ class Deobfuscator:
     enforce_blocklist
         Skip pieces containing irrelevant/dangerous commands (off → the
         Fig 6 slow-baseline behaviour).
+    policy
+        The :mod:`repro.policy` sandbox preset every evaluation this
+        run performs executes under (capability allow/deny lists,
+        budgets, audit settings).  ``recovery-strict`` — the paper's
+        defaults — when unset; an explicit ``enforce_blocklist=False``
+        still wins over the preset's blocklist setting so the Fig 6
+        ablation stays a one-flag change.
     deadline_seconds
         Cooperative wall-clock budget for one ``deobfuscate()`` call.
         The deadline is checked between phases and between fixpoint
@@ -139,27 +150,22 @@ class Deobfuscator:
     run into a cross-process trace.
     """
 
-    def __init__(
-        self,
-        options: Optional[PipelineOptions] = None,
-        **kwargs,
-    ):
-        if options is not None:
-            if kwargs:
-                raise TypeError(
-                    "pass either options=PipelineOptions(...) or keyword "
-                    "options, not both"
-                )
-            if not isinstance(options, PipelineOptions):
-                raise TypeError(
-                    "options must be a PipelineOptions, got "
-                    f"{type(options).__name__}"
-                )
-            self.options = options
-        elif kwargs:
-            self.options = PipelineOptions.from_kwargs(**kwargs)
-        else:
-            self.options = PipelineOptions()
+    def __init__(self, options: Optional[PipelineOptions] = None):
+        if options is None:
+            options = PipelineOptions()
+        elif not isinstance(options, PipelineOptions):
+            raise TypeError(
+                "options must be a PipelineOptions, got "
+                f"{type(options).__name__}"
+            )
+        self.options = options
+        # One resolved policy per deobfuscator: the preset the options
+        # name, with the explicit blocklist ablation flag applied on
+        # top (Fig 6's one-flag experiment must stay one flag).
+        policy = resolve_policy(options.policy)
+        if not options.enforce_blocklist and policy.enforce_blocklist:
+            policy = policy.replace(enforce_blocklist=False)
+        self.policy: SandboxPolicy = policy
 
     def __getattr__(self, name: str):
         # Option fields read through to the options record, so
@@ -171,28 +177,37 @@ class Deobfuscator:
             f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
-    def _make_recovery(self, memo=None) -> RecoveryEngine:
+    def _make_recovery(self, memo=None, audit=None) -> RecoveryEngine:
         # step_limit=None means "engine default" — no branching needed.
         return RecoveryEngine(
-            enforce_blocklist=self.enforce_blocklist,
             step_limit=self.piece_step_limit,
             memo=memo,
+            policy=self.policy,
+            audit=audit,
         )
 
     def deobfuscate(
         self, script: str, recorder=None
     ) -> DeobfuscationResult:
         started = time.perf_counter()
+        # The cooperative wall-clock ceiling: an explicit option wins,
+        # else the policy's wall_time_seconds budget applies.
+        deadline_seconds = self.deadline_seconds
+        if deadline_seconds is None:
+            deadline_seconds = self.policy.wall_time_seconds
         deadline = (
-            started + self.deadline_seconds
-            if self.deadline_seconds is not None
+            started + deadline_seconds
+            if deadline_seconds is not None
             else None
         )
 
         def out_of_time() -> bool:
             return deadline is not None and time.perf_counter() >= deadline
 
-        result = DeobfuscationResult(original=script, script=script)
+        audit = PolicyAudit(self.policy)
+        result = DeobfuscationResult(
+            original=script, script=script, audit=audit
+        )
         stats = result.stats
         pipeline_span = (
             recorder.begin("pipeline") if recorder is not None else None
@@ -211,6 +226,9 @@ class Deobfuscator:
             hits_after, misses_after = interning.counters()
             stats.intern_hits = hits_after - intern_hits_before
             stats.intern_misses = misses_after - intern_misses_before
+            stats.policy = self.policy.name
+            stats.policy_denials = audit.denial_counts()
+            stats.budget_spent = audit.budget_spent()
 
         ast, _ = try_parse(script)
         if ast is None:
@@ -233,7 +251,7 @@ class Deobfuscator:
                     step = deobfuscate_tokens(step, stats=stats)
             if self.ast_phase and not out_of_time():
                 engine = AstDeobfuscator(
-                    recovery=self._make_recovery(memo=memo),
+                    recovery=self._make_recovery(memo=memo, audit=audit),
                     trace_variables=self.trace_variables,
                     trace_functions=self.trace_functions,
                     stats=stats,
@@ -297,15 +315,12 @@ def deobfuscate(
     script: str,
     options: Optional[PipelineOptions] = None,
     recorder=None,
-    **kwargs,
 ) -> DeobfuscationResult:
     """One-call convenience API: ``deobfuscate(script).script``.
 
-    Prefer ``deobfuscate(script, options=PipelineOptions(...))``; bare
-    keywords go through the one-release compat shim.  *recorder*
-    optionally threads a :class:`~repro.obs.SpanRecorder` through the
-    run (see :meth:`Deobfuscator.deobfuscate`).
+    *recorder* optionally threads a :class:`~repro.obs.SpanRecorder`
+    through the run (see :meth:`Deobfuscator.deobfuscate`).
     """
-    return Deobfuscator(options=options, **kwargs).deobfuscate(
+    return Deobfuscator(options=options).deobfuscate(
         script, recorder=recorder
     )

@@ -39,10 +39,6 @@ from repro.core.tracing import (
 )
 from repro.runtime.environment import is_automatic, split_scope_prefix
 from repro.runtime.errors import EvaluationError
-from repro.runtime.evaluator import Evaluator
-from repro.runtime.host import SandboxHost
-from repro.runtime.limits import ExecutionBudget
-from repro.runtime.values import unwrap_single
 
 
 def _splice(base: str, base_start: int, pieces) -> str:
@@ -103,16 +99,19 @@ class AstDeobfuscator:
         return result
 
     def _mark_blocked_subtrees(self, root: N.Ast) -> None:
-        """Precompute which subtrees mention a blocklisted command/method.
+        """Precompute which subtrees mention a policy-denied command/method.
 
         The paper's speed-up: "If recoverable pieces contain these
         irrelevant commands, we do not execute them."  Checking the AST
         (not raw text) keeps encoded *data* from triggering the skip.
+        The denied-name sets come from the recovery engine's
+        :class:`~repro.policy.SandboxPolicy`, so per-policy deny lists
+        prefilter exactly like the built-in blocklist.
         """
         from repro.pslang.aliases import resolve_alias
-        from repro.runtime import blocklist
 
-        if not self.recovery.enforce_blocklist:
+        policy = self.recovery.policy
+        if not policy.prefilters:
             for node in root.walk_post_order():
                 self._blocked_subtree[id(node)] = False
             return
@@ -127,11 +126,15 @@ class AstDeobfuscator:
                 ):
                     name = node.elements[0].value
                     resolved = resolve_alias(name.lower()) or name
-                    blocked = blocklist.is_blocked_command(resolved)
+                    blocked = (
+                        policy.is_denied("command", resolved) is not None
+                    )
             if not blocked and isinstance(
                 node, N.InvokeMemberExpressionAst
             ) and isinstance(node.member, N.StringConstantExpressionAst):
-                blocked = blocklist.is_blocked_method(node.member.value)
+                blocked = (
+                    policy.is_denied("member", node.member.value) is not None
+                )
             self._blocked_subtree[id(node)] = blocked
 
     # -- the post-order engine ------------------------------------------------
@@ -221,11 +224,8 @@ class AstDeobfuscator:
 
     def _evaluate_assignment(self, statement_text: str, name: str):
         """Execute the whole assignment and read the variable back."""
-        evaluator = Evaluator(
-            host=SandboxHost(),
-            budget=ExecutionBudget(step_limit=self.recovery.step_limit),
-            enforce_blocklist=self.recovery.enforce_blocklist,
-            variables=self.symbols.values_for_evaluator(),
+        evaluator = self.recovery.make_evaluator(
+            self.symbols.values_for_evaluator()
         )
         evaluator.env_overrides.update(self.symbols.env_overrides)
         for definition in self.symbols.function_defs.values():
@@ -242,6 +242,8 @@ class AstDeobfuscator:
             return None, False
         finally:
             self.stats.evaluator_steps += evaluator.budget.steps
+            if self.recovery.audit is not None:
+                self.recovery.audit.add_budget(evaluator.budget)
 
     def _substitute_use(
         self, node: N.VariableExpressionAst, current: str

@@ -15,6 +15,7 @@ the paper's speed-up (and the reason Fig 6's curve is flat).
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro.policy import PolicyAudit, SandboxPolicy, default_policy, resolve_policy
 from repro.runtime.errors import (
     BlockedCommandError,
     EvaluationError,
@@ -91,14 +92,29 @@ class RecoveryEngine:
         enforce_blocklist: bool = True,
         step_limit: Optional[int] = None,
         memo: Optional[SubtreeMemo] = None,
+        policy: Optional[SandboxPolicy] = None,
+        audit: Optional[PolicyAudit] = None,
     ):
-        self.enforce_blocklist = enforce_blocklist
+        # The policy is the capability/budget contract every evaluator
+        # this engine builds runs under; the enforce_blocklist boolean
+        # is the legacy spelling and maps onto the matching preset.
+        if policy is None:
+            policy = default_policy(enforce_blocklist)
+        else:
+            policy = resolve_policy(policy)
+        self.policy = policy
+        self.audit = audit
+        self.enforce_blocklist = policy.enforce_blocklist
         # None means "use the default", so callers forwarding a
         # user-supplied optional limit never need a two-branch
-        # construction.
-        self.step_limit = (
-            PIECE_STEP_LIMIT if step_limit is None else step_limit
-        )
+        # construction.  Precedence: explicit argument, then the
+        # policy's piece budget, then the engine default.
+        if step_limit is None:
+            step_limit = (
+                policy.piece_step_limit
+                if policy.piece_step_limit is not None else PIECE_STEP_LIMIT
+            )
+        self.step_limit = step_limit
         # Optional per-run subtree memo (repro.runtime.memo): replays
         # the outcome of a structurally identical piece under identical
         # bindings instead of re-running the sandbox.  The pipeline
@@ -145,7 +161,10 @@ class RecoveryEngine:
                 variables,
                 env_overrides,
                 function_defs,
-                salt=(self.enforce_blocklist, self.step_limit),
+                # The memo key must separate runs whose policy could
+                # decide a piece differently, not just the blocklist
+                # boolean — cache_token canonicalizes the whole policy.
+                salt=(self.policy.cache_token, self.step_limit),
             )
             if key is not None:
                 cached = memo.get(key)
@@ -177,12 +196,7 @@ class RecoveryEngine:
         """
         if len(piece) > MAX_PIECE_LENGTH:
             return False, None, RecoveryOutcome(None, "unsupported")
-        evaluator = Evaluator(
-            host=SandboxHost(),
-            budget=ExecutionBudget(step_limit=self.step_limit),
-            enforce_blocklist=self.enforce_blocklist,
-            variables=dict(variables or {}),
-        )
+        evaluator = self.make_evaluator(variables)
         if env_overrides:
             evaluator.env_overrides.update(env_overrides)
         for definition in (function_defs or {}).values():
@@ -191,26 +205,48 @@ class RecoveryEngine:
             except EvaluationError:
                 continue  # unparseable definition: skip it
         try:
-            outputs = evaluator.run_script_text(piece)
-        except StepLimitError:
-            return False, None, RecoveryOutcome(
-                None, "step_limit", steps=evaluator.budget.steps
-            )
-        except BlockedCommandError:
-            return False, None, RecoveryOutcome(
-                None, "blocked", steps=evaluator.budget.steps
-            )
-        except EvaluationError:
-            return False, None, RecoveryOutcome(
-                None, "unsupported", steps=evaluator.budget.steps
-            )
-        except RecursionError:  # pragma: no cover - defensive
-            return False, None, RecoveryOutcome(None, "unsupported")
+            try:
+                outputs = evaluator.run_script_text(piece)
+            except StepLimitError:
+                return False, None, RecoveryOutcome(
+                    None, "step_limit", steps=evaluator.budget.steps
+                )
+            except BlockedCommandError:
+                return False, None, RecoveryOutcome(
+                    None, "blocked", steps=evaluator.budget.steps
+                )
+            except EvaluationError:
+                return False, None, RecoveryOutcome(
+                    None, "unsupported", steps=evaluator.budget.steps
+                )
+            except RecursionError:  # pragma: no cover - defensive
+                return False, None, RecoveryOutcome(None, "unsupported")
+        finally:
+            if self.audit is not None:
+                self.audit.add_budget(evaluator.budget)
         from repro.runtime.values import unwrap_single
 
         value = unwrap_single(outputs)
         return True, value, RecoveryOutcome(
             None, "recovered", steps=evaluator.budget.steps
+        )
+
+    def make_evaluator(self, variables=None) -> Evaluator:
+        """A fresh sandbox evaluator under this engine's policy/audit.
+
+        Used for piece recovery here and for assignment right-hand
+        sides by variable tracing, so every evaluation one pipeline
+        run performs shares the same capability contract and audit.
+        """
+        policy = self.policy
+        return Evaluator(
+            host=SandboxHost.from_policy(policy, self.audit),
+            budget=ExecutionBudget.from_policy(
+                policy, step_limit=self.step_limit
+            ),
+            policy=policy,
+            audit=self.audit,
+            variables=dict(variables or {}),
         )
 
     def recover_piece_detailed(

@@ -29,7 +29,6 @@ dependencies:
 from repro.obs.hist import DEFAULT_LATENCY_BUCKETS, Histogram
 from repro.obs.profile import profile_lines, render_profile
 from repro.obs.spans import (
-    PHASE_NAME_ALIASES,
     PHASES,
     Span,
     Tracer,
@@ -58,7 +57,6 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "LAYER_TAGS",
-    "PHASE_NAME_ALIASES",
     "PHASES",
     "PipelineStats",
     "RECOVERY_REASONS",

@@ -61,6 +61,27 @@ def profile_lines(
     if stats.techniques:
         tags = "  ".join(sorted(stats.techniques))
         lines.append(f"techniques: {tags}")
+    if stats.policy or stats.policy_denials or stats.budget_spent:
+        parts = [stats.policy or "?"]
+        if stats.policy_denials:
+            parts.append(
+                "denials "
+                + "  ".join(
+                    f"{capability}={count}"
+                    for capability, count in sorted(
+                        stats.policy_denials.items()
+                    )
+                )
+            )
+        if stats.budget_spent:
+            parts.append(
+                "budget "
+                + "  ".join(
+                    f"{name}={value}"
+                    for name, value in sorted(stats.budget_spent.items())
+                )
+            )
+        lines.append("policy    : " + "  |  ".join(parts))
     return lines
 
 

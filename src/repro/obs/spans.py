@@ -31,23 +31,21 @@ SPAN_TECHNIQUES = "techniques"
 # ``reformat`` run once, after convergence.
 PHASES = (SPAN_TOKEN, SPAN_AST, SPAN_MULTILAYER, SPAN_RENAME, SPAN_REFORMAT)
 
-# One-release compat aliases: older emitters spelled some phases
-# differently (``tokens``/``token_parsing`` in early /metrics labels,
-# ``ast_recovery``/``multi_layer`` in ad-hoc dashboards).  Readers
-# (PipelineStats.from_dict, summaries, /metrics rendering) fold them
-# onto the canonical names via canonical_phase_name(); scheduled for
-# removal one release after the unification.
-PHASE_NAME_ALIASES = {
-    "tokens": SPAN_TOKEN,
-    "token_parsing": SPAN_TOKEN,
-    "ast_recovery": SPAN_AST,
-    "multi_layer": SPAN_MULTILAYER,
-}
-
-
 def canonical_phase_name(name: str) -> str:
-    """Fold a legacy phase spelling onto its canonical constant."""
-    return PHASE_NAME_ALIASES.get(name, name)
+    """Assert *name* is already canonical and pass it through.
+
+    The one-release alias fold (``tokens``/``token_parsing`` →
+    ``token``, ``ast_recovery`` → ``ast``, ``multi_layer`` →
+    ``multilayer``) is retired: every emitter writes the ``SPAN_*``
+    constants now, so a non-canonical spelling on a read path is a
+    producer bug to surface, not data to repair.  Unknown names other
+    than the legacy spellings still pass through — readers must accept
+    span names added by newer writers.
+    """
+    assert name not in (
+        "tokens", "token_parsing", "ast_recovery", "multi_layer"
+    ), f"legacy phase spelling {name!r} reached a read path"
+    return name
 
 
 @dataclass

@@ -19,12 +19,13 @@ from repro.obs.spans import Span, canonical_phase_name
 
 # Bump whenever the serialized shape of PipelineStats changes.
 # Version 2 adds the ``verify`` verdict-count section; version 3 adds
-# the ``techniques`` tag section (Table I telemetry) and canonicalizes
-# phase names on load (see repro.obs.spans.PHASE_NAME_ALIASES);
-# version 4 adds the hot-path counters (``subtree_memo_hits`` /
+# the ``techniques`` tag section (Table I telemetry); version 4 adds
+# the hot-path counters (``subtree_memo_hits`` /
 # ``subtree_memo_misses`` from repro.runtime.memo, ``intern_hits`` /
-# ``intern_misses`` from repro.pslang.interning).
-STATS_SCHEMA_VERSION = 4
+# ``intern_misses`` from repro.pslang.interning); version 5 adds the
+# sandbox-policy section (``policy`` preset name, per-capability
+# ``policy_denials``, summed ``budget_spent``) from repro.policy.
+STATS_SCHEMA_VERSION = 5
 
 # Why a recoverable piece did / did not get replaced (Section III-B2
 # plus the failure taxonomy of Section V-C).
@@ -99,6 +100,14 @@ class PipelineStats:
         unwrap tags, value 1 each for a single run.  Summing over a
         corpus via :meth:`merge` yields the Table I prevalence counts.
         Empty — and omitted from ``to_dict()`` — when tagging was off.
+    policy / policy_denials / budget_spent
+        The sandbox-policy section (:mod:`repro.policy`): the preset
+        name the run executed under, per-capability counts of refused
+        checks (only the capabilities that denied; empty — and omitted
+        — on a clean run), and the summed execution-budget consumption
+        (steps/loop ticks/output chars) across every evaluation.
+        ``policy`` is ``"mixed"`` after merging runs with different
+        policies, and ``""`` on legacy records that predate policies.
 
     Timing
     ------
@@ -125,6 +134,9 @@ class PipelineStats:
     unwrap_kinds: Dict[str, int] = field(default_factory=_zero_kinds)
     verify: Dict[str, int] = field(default_factory=dict)
     techniques: Dict[str, int] = field(default_factory=dict)
+    policy: str = ""
+    policy_denials: Dict[str, int] = field(default_factory=dict)
+    budget_spent: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     spans: List[Span] = field(default_factory=list)
     schema_version: int = STATS_SCHEMA_VERSION
@@ -160,6 +172,12 @@ class PipelineStats:
             data["verify"] = dict(self.verify)
         if self.techniques:
             data["techniques"] = dict(self.techniques)
+        if self.policy:
+            data["policy"] = self.policy
+        if self.policy_denials:
+            data["policy_denials"] = dict(self.policy_denials)
+        if self.budget_spent:
+            data["budget_spent"] = dict(self.budget_spent)
         return data
 
     @classmethod
@@ -184,10 +202,13 @@ class PipelineStats:
                     span.name = canonical_phase_name(span.name)
                 stats.spans = spans
             elif item.name in (
-                "recovery_outcomes", "unwrap_kinds", "verify", "techniques"
+                "recovery_outcomes", "unwrap_kinds", "verify",
+                "techniques", "policy_denials", "budget_spent",
             ):
                 merged = getattr(stats, item.name)
                 merged.update({str(k): int(v) for k, v in value.items()})
+            elif item.name == "policy":
+                stats.policy = str(value)
             elif item.name == "phase_seconds":
                 stats.phase_seconds = {}
                 for key, seconds in value.items():
@@ -228,6 +249,19 @@ class PipelineStats:
             self.verify[verdict] = self.verify.get(verdict, 0) + count
         for tag, count in other.techniques.items():
             self.techniques[tag] = self.techniques.get(tag, 0) + count
+        if other.policy:
+            if not self.policy:
+                self.policy = other.policy
+            elif self.policy != other.policy:
+                self.policy = "mixed"
+        for capability, count in other.policy_denials.items():
+            self.policy_denials[capability] = (
+                self.policy_denials.get(capability, 0) + count
+            )
+        for dimension, count in other.budget_spent.items():
+            self.budget_spent[dimension] = (
+                self.budget_spent.get(dimension, 0) + count
+            )
         for phase, seconds in other.phase_seconds.items():
             self.phase_seconds[phase] = round(
                 self.phase_seconds.get(phase, 0.0) + seconds, 6

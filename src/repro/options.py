@@ -1,44 +1,29 @@
 """The typed pipeline options record: :class:`PipelineOptions`.
 
 One frozen dataclass is the single source of truth for every knob the
-deobfuscation pipeline accepts.  Before this existed, the same option
-set travelled as ``**kwargs`` through four independent surfaces — the
-:class:`~repro.Deobfuscator` constructor, :func:`repro.deobfuscate`,
-batch :class:`~repro.batch.Task` dicts, and the service cache key —
-each with its own defaulting and no validation.  Now every surface
-converts to :class:`PipelineOptions` at its boundary:
+deobfuscation pipeline accepts.  Every surface converts to
+:class:`PipelineOptions` at its boundary:
 
-- the constructor takes ``Deobfuscator(options=PipelineOptions(...))``
-  (the old ``**kwargs`` form still works for one release, with a
-  :class:`DeprecationWarning`);
+- the constructor takes ``Deobfuscator(options=PipelineOptions(...))``;
 - CLI flags map through :meth:`from_cli_args` / :meth:`to_cli_flags`;
 - batch tasks and service requests carry :meth:`to_dict` payloads and
   rebuild with :meth:`from_dict`;
 - the service's content-addressed cache keys on
   :meth:`canonical_dict`, so two requests that *mean* the same options
-  — defaults spelled out vs omitted, a legacy alias vs the canonical
-  name — hash to the same entry.
+  — defaults spelled out vs omitted, any key order — hash to the same
+  entry.
 
-The legacy alias table (``timeout`` → ``deadline_seconds``,
-``step_limit`` → ``piece_step_limit``, ...) exists only for the
-one-release compat window; new code should use the field names.
+The ``policy`` field names the :mod:`repro.policy` sandbox preset the
+run executes under (``recovery-strict`` when unset); because the field
+defaults to the preset every pre-policy run implicitly used,
+``canonical_dict()`` — and therefore every existing cache key — is
+unchanged for runs that never select one.
 """
 
-import warnings
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, List, Optional
 
 DEFAULT_MAX_ITERATIONS = 10
-
-# Old keyword spellings accepted (with a DeprecationWarning) by the
-# **kwargs compat shim and silently by from_dict, so pre-redesign
-# records and embedders keep working for one release.
-LEGACY_ALIASES = {
-    "timeout": "deadline_seconds",
-    "step_limit": "piece_step_limit",
-    "blocklist": "enforce_blocklist",
-    "iterations": "max_iterations",
-}
 
 
 @dataclass(frozen=True)
@@ -69,6 +54,23 @@ class PipelineOptions:
     # the pre-memo pipeline exactly (the output is byte-identical either
     # way; only speed and the memo counters change).
     subtree_memo: bool = True
+    # The sandbox-policy preset (repro.policy) the run executes under.
+    # Normalized and validated at construction so an invalid name fails
+    # at the API boundary, not deep inside a worker.
+    policy: str = "recovery-strict"
+
+    def __post_init__(self):
+        from repro.policy.presets import PRESETS, normalize_policy_name
+
+        name = normalize_policy_name(self.policy or "recovery-strict")
+        if name not in PRESETS:
+            from repro.policy import PolicyError
+
+            raise PolicyError(
+                f"unknown policy {self.policy!r}; expected one of "
+                + ", ".join(sorted(PRESETS))
+            )
+        object.__setattr__(self, "policy", name)
 
     # -- construction --------------------------------------------------------
 
@@ -77,61 +79,33 @@ class PipelineOptions:
         return frozenset(item.name for item in fields(cls))
 
     @classmethod
-    def _map_names(cls, data: Dict[str, Any], strict: bool):
-        """Resolve legacy aliases; return (mapped, aliases_used)."""
-        known = cls.field_names()
-        mapped: Dict[str, Any] = {}
-        aliases_used: List[str] = []
-        for name, value in data.items():
-            if name in known:
-                mapped[name] = value
-            elif name in LEGACY_ALIASES:
-                mapped[LEGACY_ALIASES[name]] = value
-                aliases_used.append(name)
-            elif strict:
-                raise TypeError(f"unknown pipeline option {name!r}")
-        return mapped, aliases_used
-
-    @classmethod
-    def from_kwargs(cls, **kwargs: Any) -> "PipelineOptions":
-        """The one-release ``**kwargs`` compat shim.
-
-        Maps legacy alias names onto their fields and warns that the
-        keyword form is deprecated in favour of passing a
-        :class:`PipelineOptions` instance.
-        """
-        mapped, aliases = cls._map_names(kwargs, strict=True)
-        detail = (
-            " (legacy name(s) " + ", ".join(sorted(aliases))
-            + " were mapped)" if aliases else ""
-        )
-        warnings.warn(
-            "keyword pipeline options are deprecated; pass "
-            f"options=PipelineOptions(...) instead{detail}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return cls(**mapped)
-
-    @classmethod
     def from_dict(
         cls, data: Optional[Dict[str, Any]], ignore_unknown: bool = False
     ) -> "PipelineOptions":
         """Rebuild from a :meth:`to_dict` / :meth:`canonical_dict`
         payload (or any option dict crossing a process or wire
-        boundary).  Legacy aliases are mapped silently; unknown keys
-        raise unless *ignore_unknown*."""
-        mapped, _ = cls._map_names(dict(data or {}), strict=not ignore_unknown)
+        boundary).  Unknown keys raise unless *ignore_unknown*."""
+        known = cls.field_names()
+        mapped: Dict[str, Any] = {}
+        for name, value in dict(data or {}).items():
+            if name in known:
+                mapped[name] = value
+            elif not ignore_unknown:
+                raise TypeError(f"unknown pipeline option {name!r}")
+        if mapped.get("policy") is None:
+            mapped.pop("policy", None)
         return cls(**mapped)
 
     @classmethod
     def from_cli_args(cls, args: Any) -> "PipelineOptions":
         """Build from an argparse namespace of the CLI's shared flags
-        (``--no-rename``, ``--no-reformat``, ``--timeout``)."""
+        (``--no-rename``, ``--no-reformat``, ``--timeout``,
+        ``--policy``)."""
         return cls(
             rename=not getattr(args, "no_rename", False),
             reformat=not getattr(args, "no_reformat", False),
             deadline_seconds=getattr(args, "timeout", None),
+            policy=getattr(args, "policy", None) or "recovery-strict",
         )
 
     # -- serialization -------------------------------------------------------
@@ -146,10 +120,10 @@ class PipelineOptions:
         canonical name.
 
         This is the cache-key form: equivalent constructions — defaults
-        written out vs omitted, legacy aliases vs field names, any key
-        order — produce byte-identical JSON, and adding a new option in
-        a later release does not invalidate keys of runs that never set
-        it.
+        written out vs omitted, any key order, a policy name spelled
+        with different case — produce byte-identical JSON, and adding a
+        new option in a later release does not invalidate keys of runs
+        that never set it.
         """
         out: Dict[str, Any] = {}
         for item in fields(self):
@@ -168,6 +142,8 @@ class PipelineOptions:
             flags.append("--no-reformat")
         if self.deadline_seconds is not None:
             flags.extend(["--timeout", str(self.deadline_seconds)])
+        if self.policy != "recovery-strict":
+            flags.extend(["--policy", self.policy])
         return flags
 
     # -- derivation ----------------------------------------------------------

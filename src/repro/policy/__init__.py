@@ -1,0 +1,55 @@
+"""One policy/capability/budget layer for the sandbox.
+
+Everything that executes untrusted script — piece recovery
+(:mod:`repro.core.recovery`), the behavioural sandbox
+(:mod:`repro.verify`), the baselines — declares what the evaluation may
+do with one frozen :class:`SandboxPolicy`: capability allow/deny lists,
+per-evaluation budgets, and audit settings.  All capability checks
+funnel through :meth:`SandboxPolicy.check`, the single choke point that
+feeds the :class:`PolicyAudit` denial counters and structured
+:class:`AuditEvent` log (riding the active trace).
+
+Select a policy by preset name everywhere a run is configured: the
+``--policy`` CLI flag, ``PipelineOptions.policy``, batch task payloads,
+and the service request body.  See ``docs/sandbox.md``.
+"""
+
+from repro.policy.audit import (
+    AUDIT_ACTIONS,
+    DEFAULT_MAX_AUDIT_EVENTS,
+    AuditEvent,
+    PolicyAudit,
+)
+from repro.policy.model import CAPABILITIES, PolicyError, SandboxPolicy
+from repro.policy.presets import (
+    DEFAULT_POLICY_NAME,
+    PRESET_NAMES,
+    PRESETS,
+    RECOVERY_OPEN,
+    RECOVERY_STRICT,
+    VERIFY_OBSERVING,
+    WILD_SAMPLE_PARANOID,
+    default_policy,
+    normalize_policy_name,
+    resolve_policy,
+)
+
+__all__ = [
+    "AUDIT_ACTIONS",
+    "AuditEvent",
+    "CAPABILITIES",
+    "DEFAULT_MAX_AUDIT_EVENTS",
+    "DEFAULT_POLICY_NAME",
+    "PolicyAudit",
+    "PolicyError",
+    "PRESET_NAMES",
+    "PRESETS",
+    "RECOVERY_OPEN",
+    "RECOVERY_STRICT",
+    "SandboxPolicy",
+    "VERIFY_OBSERVING",
+    "WILD_SAMPLE_PARANOID",
+    "default_policy",
+    "normalize_policy_name",
+    "resolve_policy",
+]

@@ -1,0 +1,152 @@
+"""Structured audit of sandbox-policy decisions.
+
+Every :meth:`~repro.policy.model.SandboxPolicy.check` call can report
+into one :class:`PolicyAudit` per pipeline run.  Two things are
+recorded at different costs:
+
+denial counters
+    Always counted, per capability kind — these surface as
+    ``PipelineStats.policy_denials`` and the
+    ``repro_policy_denials_total{capability=...}`` metric, so even the
+    audit-silent ``recovery-strict`` preset reports *that* it refused
+    something.
+audit events
+    Full :class:`AuditEvent` records (capability, name, verdict, the
+    rule that fired, and the active trace id) — emitted only when the
+    policy asks (``audit_denials`` / ``audit_allowed``), bounded by
+    ``max_events`` so a hostile sample cannot balloon the log.
+
+The trace id is read from the process-local active
+:class:`~repro.obs.trace.SpanRecorder` at event time, so audit events
+join whatever pipeline/batch/service trace is in flight without any
+extra plumbing through the evaluator.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.obs.trace import active_recorder
+from repro.policy.model import CAPABILITIES
+
+# Bound on stored audit events per run (counters keep counting past it).
+DEFAULT_MAX_AUDIT_EVENTS = 1_000
+
+AUDIT_ACTIONS = ("deny", "allow")
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One policy decision, as the audit log records it."""
+
+    capability: str        # one of repro.policy.CAPABILITIES
+    name: str              # what was checked (command, effect kind, ...)
+    action: str            # "deny" | "allow"
+    rule: str              # which policy rule decided ("deny_effects:net.")
+    policy: str            # the deciding policy's name
+    trace_id: str = ""     # active trace at decision time ("" outside one)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "capability": self.capability,
+            "name": self.name,
+            "action": self.action,
+            "rule": self.rule,
+            "policy": self.policy,
+        }
+        if self.trace_id:
+            data["trace_id"] = self.trace_id
+        return data
+
+
+def _zero_capabilities() -> Dict[str, int]:
+    return {kind: 0 for kind in CAPABILITIES}
+
+
+class PolicyAudit:
+    """Per-run collector of policy decisions and budget consumption.
+
+    One instance rides a whole ``deobfuscate()`` / ``observe_behavior``
+    run, shared by every evaluator the run constructs, so the counters
+    aggregate across all piece evaluations.  Note the subtree memo
+    (:mod:`repro.runtime.memo`) replays previously-denied pieces
+    without re-running the sandbox, so within one run a structurally
+    repeated denied piece is counted once, not once per occurrence.
+    """
+
+    __slots__ = (
+        "policy_name",
+        "audit_denials",
+        "audit_allowed",
+        "max_events",
+        "events",
+        "events_dropped",
+        "denials",
+        "budget",
+    )
+
+    def __init__(self, policy=None, max_events: int = DEFAULT_MAX_AUDIT_EVENTS):
+        self.policy_name = policy.name if policy is not None else ""
+        self.audit_denials = bool(policy.audit_denials) if policy else False
+        self.audit_allowed = bool(policy.audit_allowed) if policy else False
+        self.max_events = max_events
+        self.events: List[AuditEvent] = []
+        self.events_dropped = 0
+        self.denials: Dict[str, int] = _zero_capabilities()
+        # Summed ExecutionBudget consumption across every evaluation.
+        self.budget: Dict[str, int] = {
+            "steps": 0, "loop_ticks": 0, "output_chars": 0,
+        }
+
+    def record(self, capability: str, name: str, action: str, rule: str):
+        """Called by the :meth:`SandboxPolicy.check` choke point."""
+        if action == "deny":
+            self.denials[capability] = self.denials.get(capability, 0) + 1
+            if not self.audit_denials:
+                return
+        elif not self.audit_allowed:
+            return
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        recorder = active_recorder()
+        self.events.append(
+            AuditEvent(
+                capability=capability,
+                name=name,
+                action=action,
+                rule=rule,
+                policy=self.policy_name,
+                trace_id=recorder.trace_id if recorder is not None else "",
+            )
+        )
+
+    def add_budget(self, budget) -> None:
+        """Fold one finished :class:`ExecutionBudget` into the run totals."""
+        spent = self.budget
+        spent["steps"] += budget.steps
+        spent["loop_ticks"] += budget.loop_ticks
+        spent["output_chars"] += budget.output_chars
+
+    # -- summaries -----------------------------------------------------------
+
+    def denial_total(self) -> int:
+        return sum(self.denials.values())
+
+    def denial_counts(self) -> Dict[str, int]:
+        """Only the capabilities that actually denied (stats form)."""
+        return {k: v for k, v in self.denials.items() if v}
+
+    def budget_spent(self) -> Dict[str, int]:
+        """Only the non-zero budget dimensions (stats form)."""
+        return {k: v for k, v in self.budget.items() if v}
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "policy": self.policy_name,
+            "denials": self.denial_counts(),
+            "budget_spent": self.budget_spent(),
+            "events": [event.to_dict() for event in self.events],
+        }
+        if self.events_dropped:
+            data["events_dropped"] = self.events_dropped
+        return data

@@ -1,0 +1,270 @@
+"""The declarative sandbox policy record: :class:`SandboxPolicy`.
+
+Before this existed, the safety surface of the sandboxed evaluator was
+scattered across ad-hoc knobs: an ``enforce_blocklist`` boolean threaded
+through four constructors, the global :mod:`repro.runtime.blocklist`
+frozensets, loose :class:`~repro.runtime.limits.ExecutionBudget`
+arguments, and the :class:`~repro.runtime.host.SandboxHost` event cap.
+There was no single API to declare *what one evaluation is allowed to
+do* — which is exactly what running genuinely malicious wild samples
+(the paper's 39k-sample corpus) as a service workload requires.
+
+:class:`SandboxPolicy` unifies three concerns into one frozen, hashable
+record, mirroring :class:`~repro.options.PipelineOptions` in shape:
+
+capabilities
+    What may run: the built-in blocklist toggle plus per-policy
+    allow/deny lists for commands, member calls, static types, ``$env:``
+    reads, and recorded side-effects (by ``Effect.kind`` prefix).
+budgets
+    How much it may cost: step/depth/loop/output limits, the behaviour
+    log cap, and an optional wall-clock ceiling.  ``None`` means "the
+    engine default", so a policy only pins what it cares about.
+audit
+    What gets recorded about the decisions themselves: denials and/or
+    allowed calls become structured :class:`~repro.policy.audit.AuditEvent`
+    entries carrying the active trace id.
+
+Every capability check in the runtime funnels through one choke point —
+:meth:`SandboxPolicy.check` — so hardening tiers added later (rlimits,
+subprocess isolation) have a single seam to wrap.
+
+``canonical_dict()`` is the cache-key form: it contains only the fields
+that differ from their defaults (never the display ``name``), with the
+deny/allow tuples case-folded, deduplicated, and sorted at construction
+time, so two policies that *mean* the same thing serialize identically
+however they were spelled.
+"""
+
+import json
+from dataclasses import dataclass, fields, replace
+from functools import cached_property
+from typing import Any, Dict, Optional, Tuple
+
+# Capability kinds a policy decides on; the vocabulary of
+# ``check(kind, name)``, audit events, and the stats denial counters.
+CAPABILITIES = ("command", "member", "static", "env", "effect")
+
+
+class PolicyError(ValueError):
+    """An invalid policy spec (unknown preset name, bad field, ...)."""
+
+
+def _norm_names(items) -> Tuple[str, ...]:
+    """Case-folded, deduplicated, sorted — the canonical tuple form."""
+    return tuple(sorted({str(item).lower().strip() for item in items}))
+
+
+@dataclass(frozen=True)
+class SandboxPolicy:
+    """What one sandboxed evaluation may do, cost, and must report.
+
+    Instances are frozen and hashable; derive variants with
+    :meth:`replace`.  The name is a display label (preset identity) and
+    is deliberately **not** part of :meth:`canonical_dict` — behaviour,
+    not labels, keys caches.
+    """
+
+    name: str = "custom"
+
+    # -- capabilities --------------------------------------------------------
+    enforce_blocklist: bool = True
+    allow_commands: Tuple[str, ...] = ()   # blocklist exceptions
+    deny_commands: Tuple[str, ...] = ()    # extras beyond the blocklist
+    deny_members: Tuple[str, ...] = ()
+    deny_statics: Tuple[str, ...] = ()
+    deny_env_reads: bool = False           # deny every $env: read ...
+    allow_env: Tuple[str, ...] = ()        # ... except these variables
+    deny_effects: Tuple[str, ...] = ()     # Effect.kind prefixes ("net.")
+
+    # -- budgets (None = engine default) -------------------------------------
+    step_limit: Optional[int] = None
+    piece_step_limit: Optional[int] = None
+    depth_limit: Optional[int] = None
+    loop_limit: Optional[int] = None
+    output_limit: Optional[int] = None
+    max_events: Optional[int] = None
+    wall_time_seconds: Optional[float] = None
+
+    # -- audit ---------------------------------------------------------------
+    collect_events: bool = False           # SandboxHost behaviour log
+    audit_denials: bool = False            # denied checks -> AuditEvent
+    audit_allowed: bool = False            # allowed checks -> AuditEvent
+
+    def __post_init__(self):
+        for item in (
+            "allow_commands", "deny_commands", "deny_members",
+            "deny_statics", "allow_env", "deny_effects",
+        ):
+            object.__setattr__(self, item, _norm_names(getattr(self, item)))
+
+    # -- derived capability tables (computed once per instance) --------------
+
+    @cached_property
+    def denied_commands(self) -> frozenset:
+        """Every lower-cased command name this policy refuses."""
+        from repro.runtime import blocklist
+
+        denied = set(self.deny_commands)
+        if self.enforce_blocklist:
+            denied |= blocklist.BLOCKED_COMMANDS
+        return frozenset(denied - set(self.allow_commands))
+
+    @cached_property
+    def denied_members(self) -> frozenset:
+        from repro.runtime import blocklist
+
+        denied = set(self.deny_members)
+        if self.enforce_blocklist:
+            denied |= blocklist.BLOCKED_METHODS
+        return frozenset(denied)
+
+    @cached_property
+    def denied_statics(self) -> frozenset:
+        from repro.runtime import blocklist
+
+        denied = set(self.deny_statics)
+        if self.enforce_blocklist:
+            denied |= blocklist.BLOCKED_TYPES
+        return frozenset(denied)
+
+    @cached_property
+    def checks_env(self) -> bool:
+        """True when ``$env:`` reads need a policy decision at all —
+        the guard that keeps the default path free of per-read calls."""
+        return self.deny_env_reads
+
+    @cached_property
+    def checks_effects(self) -> bool:
+        return bool(self.deny_effects)
+
+    @cached_property
+    def prefilters(self) -> bool:
+        """True when the AST blocked-subtree prefilter has work to do."""
+        return bool(self.denied_commands or self.denied_members)
+
+    # -- the choke point -----------------------------------------------------
+
+    def is_denied(self, kind: str, name: str) -> Optional[str]:
+        """The rule denying capability *kind* for *name*, or None.
+
+        Pure (no audit side effects) — the form the AST prefilter uses.
+        *name* is matched case-insensitively; for ``effect`` the match
+        is by :class:`~repro.runtime.host.Effect` kind prefix, for
+        ``static`` by the blocklist's type-name normalization.
+        """
+        lowered = name.lower().strip()
+        if kind == "command":
+            if lowered in self.denied_commands:
+                return (
+                    "deny_commands" if lowered in self.deny_commands
+                    else "blocklist"
+                )
+            return None
+        if kind == "member":
+            if lowered in self.denied_members:
+                return (
+                    "deny_members" if lowered in self.deny_members
+                    else "blocklist"
+                )
+            return None
+        if kind == "static":
+            cleaned = lowered.lstrip("[").rstrip("]")
+            bare = (
+                cleaned[len("system."):]
+                if cleaned.startswith("system.") else cleaned
+            )
+            statics = self.denied_statics
+            if cleaned in statics or f"system.{bare}" in statics:
+                explicit = self.deny_statics
+                return (
+                    "deny_statics"
+                    if cleaned in explicit or f"system.{bare}" in explicit
+                    else "blocklist"
+                )
+            return None
+        if kind == "env":
+            if self.deny_env_reads and lowered not in self.allow_env:
+                return "deny_env_reads"
+            return None
+        if kind == "effect":
+            for prefix in self.deny_effects:
+                if lowered.startswith(prefix):
+                    return f"deny_effects:{prefix}"
+            return None
+        raise PolicyError(f"unknown capability kind {kind!r}")
+
+    def check(self, kind: str, name: str, audit=None) -> bool:
+        """True when capability *kind* may use *name*.
+
+        The single choke point every runtime check funnels through.
+        When *audit* (a :class:`~repro.policy.audit.PolicyAudit`) is
+        given, denials are always counted there, and structured audit
+        events are emitted according to ``audit_denials`` /
+        ``audit_allowed``.
+        """
+        rule = self.is_denied(kind, name)
+        if rule is None:
+            if audit is not None and self.audit_allowed:
+                audit.record(kind, name, "allow", "default")
+            return True
+        if audit is not None:
+            audit.record(kind, name, "deny", rule)
+        return False
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full field dict (``name`` included), JSON-ready."""
+        out: Dict[str, Any] = {}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            out[item.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Only the behaviour-bearing fields that differ from their
+        defaults — the cache-key form.  ``name`` never appears, and the
+        tuple fields were normalized at construction, so equivalent
+        spellings produce byte-identical JSON."""
+        out: Dict[str, Any] = {}
+        for item in fields(self):
+            if item.name == "name":
+                continue
+            value = getattr(self, item.name)
+            if value != item.default:
+                out[item.name] = (
+                    list(value) if isinstance(value, tuple) else value
+                )
+        return out
+
+    @cached_property
+    def cache_token(self) -> str:
+        """A stable string keying caches and memo salts: identical for
+        any two policies with the same :meth:`canonical_dict`."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(
+        cls, data: Optional[Dict[str, Any]], name: Optional[str] = None
+    ) -> "SandboxPolicy":
+        """Rebuild from :meth:`to_dict` / :meth:`canonical_dict` output.
+
+        Unknown keys raise :class:`PolicyError` — a policy is a safety
+        contract, so a typo must not silently weaken it.
+        """
+        known = {item.name for item in fields(cls)}
+        mapped: Dict[str, Any] = {}
+        for key, value in dict(data or {}).items():
+            if key not in known:
+                raise PolicyError(f"unknown policy field {key!r}")
+            mapped[key] = tuple(value) if isinstance(value, list) else value
+        if name is not None:
+            mapped["name"] = name
+        return cls(**mapped)
+
+    def replace(self, **changes: Any) -> "SandboxPolicy":
+        """A copy with *changes* applied (instances are frozen)."""
+        return replace(self, **changes)

@@ -1,0 +1,116 @@
+"""The named sandbox-policy presets and the one resolver every surface
+shares.
+
+Three presets cover the three ways this codebase runs untrusted script:
+
+``recovery-strict``
+    Piece recovery during deobfuscation — the paper's defaults.  The
+    blocklist skips irrelevant/dangerous commands (Section III-B2's
+    speed-up), budgets are the engine defaults, and nothing is audited
+    beyond the always-on denial counters: recovery constructs thousands
+    of evaluators per corpus and must pay nothing extra.
+
+``verify-observing``
+    The Table IV behavioural sandbox (:mod:`repro.verify`).  The
+    blocklist is *off* — the verifier needs to watch what a script
+    actually tries, including the dangerous parts — and the ordered
+    behaviour-event log plus denial auditing are on.
+
+``wild-sample-paranoid``
+    Genuinely malicious wild corpora (the paper's 39k-sample setting)
+    run as a service workload.  Blocklist on, every ``$env:`` probe
+    denied, outward side-effects (network, process, filesystem writes,
+    timing) denied by kind prefix, the tightest budgets, and every
+    denial audited — analysis output is the audit trail itself.
+
+``resolve_policy`` is the single spec-to-policy funnel used by the
+pipeline, CLI, batch workers, and the service: it accepts a preset
+name, a policy dict, an existing :class:`SandboxPolicy`, or None (the
+default preset), so "the same policy spelled differently" converges
+before anything keys a cache on it.
+"""
+
+from typing import Any, Dict, Optional, Union
+
+from repro.policy.model import PolicyError, SandboxPolicy
+
+DEFAULT_POLICY_NAME = "recovery-strict"
+
+RECOVERY_STRICT = SandboxPolicy(name="recovery-strict")
+
+VERIFY_OBSERVING = SandboxPolicy(
+    name="verify-observing",
+    enforce_blocklist=False,
+    collect_events=True,
+    audit_denials=True,
+)
+
+WILD_SAMPLE_PARANOID = SandboxPolicy(
+    name="wild-sample-paranoid",
+    enforce_blocklist=True,
+    deny_env_reads=True,
+    deny_effects=("net.", "proc.", "fs.write", "fs.delete", "time."),
+    step_limit=20_000,
+    piece_step_limit=10_000,
+    depth_limit=32,
+    loop_limit=2_000,
+    output_limit=100_000,
+    max_events=2_000,
+    collect_events=True,
+    audit_denials=True,
+)
+
+PRESETS: Dict[str, SandboxPolicy] = {
+    policy.name: policy
+    for policy in (RECOVERY_STRICT, VERIFY_OBSERVING, WILD_SAMPLE_PARANOID)
+}
+
+PRESET_NAMES = tuple(sorted(PRESETS))
+
+# The legacy ``enforce_blocklist=False`` constructor path (baselines,
+# ad-hoc Evaluator users) maps onto this: recovery semantics, no list.
+RECOVERY_OPEN = RECOVERY_STRICT.replace(
+    name="recovery-open", enforce_blocklist=False
+)
+
+
+def normalize_policy_name(name: str) -> str:
+    """Case/underscore-insensitive preset naming (CLI ergonomics)."""
+    return name.strip().lower().replace("_", "-")
+
+
+def resolve_policy(
+    spec: Union[None, str, Dict[str, Any], SandboxPolicy] = None,
+) -> SandboxPolicy:
+    """The one spec-to-policy funnel.
+
+    - ``None`` → the default preset (``recovery-strict``);
+    - a preset name (case/underscore-insensitive) → that preset, the
+      *same instance* every time so its cached capability tables are
+      shared;
+    - a dict → :meth:`SandboxPolicy.from_dict` (unknown keys raise);
+    - a :class:`SandboxPolicy` → itself.
+    """
+    if spec is None:
+        return RECOVERY_STRICT
+    if isinstance(spec, SandboxPolicy):
+        return spec
+    if isinstance(spec, str):
+        name = normalize_policy_name(spec)
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise PolicyError(
+                f"unknown policy {spec!r}; expected one of "
+                + ", ".join(PRESET_NAMES)
+            ) from None
+    if isinstance(spec, dict):
+        return SandboxPolicy.from_dict(spec)
+    raise PolicyError(
+        f"cannot resolve a policy from {type(spec).__name__}"
+    )
+
+
+def default_policy(enforce_blocklist: bool = True) -> SandboxPolicy:
+    """The policy the legacy boolean constructor argument means."""
+    return RECOVERY_STRICT if enforce_blocklist else RECOVERY_OPEN

@@ -29,6 +29,23 @@ class BlockedCommandError(EvaluationError):
         self.name = name
 
 
+class PolicyDeniedError(BlockedCommandError):
+    """The active :class:`~repro.policy.SandboxPolicy` refused a
+    capability (command, member, static, env read, or effect).
+
+    Subclasses :class:`BlockedCommandError` so every existing handler —
+    recovery's ``blocked`` outcome, the observing sandbox's ``blocked``
+    flag — treats a policy denial exactly like a blocklist hit.
+    """
+
+    def __init__(self, name: str, capability: str = "command"):
+        EvaluationError.__init__(
+            self, f"policy denied {capability}: {name}"
+        )
+        self.name = name
+        self.capability = capability
+
+
 class UnknownVariableError(EvaluationError):
     """A variable has no recorded value in the current scope chain."""
 

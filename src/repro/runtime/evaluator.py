@@ -4,21 +4,31 @@
 deny-by-default surface.  It is used three ways:
 
 1. by the deobfuscator, to run *recoverable pieces* (paper Section III-B2)
-   with the blocklist enforced;
+   under the ``recovery-strict`` policy (blocklist enforced);
 2. by variable tracing, to evaluate assignment right-hand sides;
-3. by the behavioural sandbox (paper Table IV), blocklist off, with all
-   outward effects recorded on the :class:`~repro.runtime.host.SandboxHost`.
+3. by the behavioural sandbox (paper Table IV) under ``verify-observing``
+   (blocklist off), with all outward effects recorded on the
+   :class:`~repro.runtime.host.SandboxHost`.
+
+What an evaluation may do is declared by one
+:class:`~repro.policy.SandboxPolicy`; every capability decision —
+commands, member calls, static types, ``$env:`` reads (and, on the
+host, effect kinds) — funnels through its ``check()`` choke point,
+which feeds the per-run :class:`~repro.policy.PolicyAudit`.  The
+``enforce_blocklist`` boolean remains as a constructor convenience and
+maps onto the matching preset.
 """
 
 import base64
 import binascii
 from typing import Any, Dict, List, Optional
 
+from repro.policy.presets import default_policy
 from repro.pslang import ast_nodes as N
 from repro.pslang.aliases import resolve_alias
 from repro.pslang.errors import PSSyntaxError
 from repro.pslang.parser import parse_cached as parse
-from repro.runtime import blocklist, members, statics
+from repro.runtime import members, statics
 from repro.runtime.cmdlets import CommandContext, lookup_cmdlet
 from repro.runtime.environment import (
     is_automatic,
@@ -29,6 +39,7 @@ from repro.runtime.environment import (
 from repro.runtime.errors import (
     BlockedCommandError,
     EvaluationError,
+    PolicyDeniedError,
     StepLimitError,
     UnknownVariableError,
     UnsupportedOperationError,
@@ -152,10 +163,22 @@ class Evaluator:
         enforce_blocklist: bool = True,
         variables: Optional[Dict[str, Any]] = None,
         continue_on_error: bool = False,
+        policy=None,
+        audit=None,
     ):
+        # *policy* (a repro.policy.SandboxPolicy) is the declarative
+        # capability surface; the legacy enforce_blocklist boolean maps
+        # onto the matching preset when no policy is given.
+        if policy is None:
+            policy = default_policy(enforce_blocklist)
+        self.policy = policy
+        self.audit = audit
         self.host = host or SandboxHost()
-        self.budget = budget or ExecutionBudget()
-        self.enforce_blocklist = enforce_blocklist
+        if self.host.policy is None:
+            self.host.policy = policy
+            self.host.audit = audit
+        self.budget = budget or ExecutionBudget.from_policy(policy)
+        self.enforce_blocklist = policy.enforce_blocklist
         # Real PowerShell treats most command failures as non-terminating
         # and moves to the next statement; whole-script runs (behaviour
         # sandbox, baseline emulation) want that, piece recovery does not.
@@ -510,9 +533,9 @@ class Evaluator:
         input_stream: List[Any],
     ) -> List[Any]:
         resolved = self._resolve_command_name(name)
-        if self.enforce_blocklist and blocklist.is_blocked_command(resolved):
+        if not self.policy.check("command", resolved, self.audit):
             self.host.record_event("blocked", resolved.lower())
-            raise BlockedCommandError(resolved)
+            raise PolicyDeniedError(resolved, "command")
         arguments, parameters = self._bind_arguments(argument_nodes)
         if self.host.collect_events:
             self.host.record_event(
@@ -837,9 +860,9 @@ class Evaluator:
             except PSSyntaxError as exc:
                 raise EvaluationError(f"bad scriptblock: {exc}") from exc
             return ScriptBlockValue(ast, text)
-        if self.enforce_blocklist and blocklist.is_blocked_type(type_name):
+        if not self.policy.check("static", type_name, self.audit):
             self.host.record_event("blocked", f"[{type_name.lower()}]")
-            raise BlockedCommandError(f"[{type_name}]")
+            raise PolicyDeniedError(f"[{type_name}]", "static")
         if resolved == "io.file":
             return self._call_io_file(member, args)
         return statics.call_static(type_name, member, args)
@@ -897,9 +920,9 @@ class Evaluator:
                 return value
             raise UnsupportedOperationError(f"scriptblock method {name!r}")
         if isinstance(value, PSObjectBase):
-            if self.enforce_blocklist and blocklist.is_blocked_method(name):
+            if not self.policy.check("member", name, self.audit):
                 self.host.record_event("blocked", name.lower())
-                raise BlockedCommandError(name)
+                raise PolicyDeniedError(name, "member")
             if self.host.collect_events:
                 self.host.record_event(
                     "member",
@@ -964,6 +987,11 @@ class Evaluator:
     def _read_variable(self, name: str) -> Any:
         prefix, bare = split_scope_prefix(name)
         if prefix == "env":
+            if self.policy.checks_env and not self.policy.check(
+                "env", bare, self.audit
+            ):
+                self.host.record_event("blocked", f"env:{bare.lower()}")
+                raise PolicyDeniedError(f"env:{bare}", "env")
             override = self.env_overrides.get(bare.lower())
             if override is not None:
                 return override

@@ -125,8 +125,33 @@ class SandboxHost:
     events: List[BehaviorEvent] = field(default_factory=list)
     max_events: int = DEFAULT_MAX_EVENTS
     events_dropped: int = 0
+    # The active SandboxPolicy / PolicyAudit (repro.policy), when the
+    # evaluation runs under one that denies effect kinds.  None keeps
+    # record() on the historical zero-check path.
+    policy: Optional[object] = None
+    audit: Optional[object] = None
+
+    @classmethod
+    def from_policy(cls, policy, audit=None, **kwargs) -> "SandboxHost":
+        """A host configured by a :class:`~repro.policy.SandboxPolicy`
+        (event log on/off and its cap, effect-denial checks)."""
+        if policy.max_events is not None:
+            kwargs.setdefault("max_events", policy.max_events)
+        return cls(
+            collect_events=policy.collect_events,
+            policy=policy,
+            audit=audit,
+            **kwargs,
+        )
 
     def record(self, kind: str, target: str, detail: str = "") -> None:
+        policy = self.policy
+        if policy is not None and policy.checks_effects:
+            if not policy.check("effect", kind, self.audit):
+                from repro.runtime.errors import PolicyDeniedError
+
+                self.record_event("blocked", kind, (target,), detail)
+                raise PolicyDeniedError(kind, "effect")
         self.effects.append(Effect(kind=kind, target=target, detail=detail))
         self.record_event("effect", kind, (target,), detail)
 

@@ -1,6 +1,8 @@
 """Execution budgets bounding every sandboxed evaluation."""
 
+import time
 from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.runtime.errors import StepLimitError
 
@@ -9,6 +11,10 @@ DEFAULT_DEPTH_LIMIT = 64
 DEFAULT_LOOP_LIMIT = 10_000
 DEFAULT_OUTPUT_LIMIT = 1_000_000  # characters of produced string data
 
+# Wall-clock is only polled every this-many steps: a monotonic clock
+# read per step would dominate the interpreter's hot loop.
+_DEADLINE_POLL_MASK = 0x3FF  # every 1024 steps
+
 
 @dataclass
 class ExecutionBudget:
@@ -16,16 +22,60 @@ class ExecutionBudget:
 
     Every AST node visit costs one step; loops additionally burn one loop
     tick per iteration so a tight ``while($true)`` cannot run away even if
-    its body is trivial.
+    its body is trivial.  ``output_chars`` tracks the largest single
+    string the evaluation produced, so budget consumption can be
+    reported (:meth:`spent`) alongside steps and loop ticks.
+
+    Budgets are plain numbers; :meth:`from_policy` builds one from a
+    :class:`~repro.policy.SandboxPolicy`, filling unpinned (``None``)
+    policy limits with the engine defaults above.
     """
 
     step_limit: int = DEFAULT_STEP_LIMIT
     depth_limit: int = DEFAULT_DEPTH_LIMIT
     loop_limit: int = DEFAULT_LOOP_LIMIT
     output_limit: int = DEFAULT_OUTPUT_LIMIT
+    # Monotonic deadline timestamp; 0.0 disables the wall-time check.
+    deadline: float = 0.0
     steps: int = field(default=0, init=False)
     depth: int = field(default=0, init=False)
     loop_ticks: int = field(default=0, init=False)
+    output_chars: int = field(default=0, init=False)
+
+    @classmethod
+    def from_policy(
+        cls, policy, step_limit: Optional[int] = None
+    ) -> "ExecutionBudget":
+        """The budget a :class:`~repro.policy.SandboxPolicy` declares.
+
+        *step_limit* overrides the policy's (the recovery engine passes
+        its per-piece limit); a ``wall_time_seconds`` policy field
+        becomes a monotonic deadline starting now.
+        """
+        if step_limit is None:
+            step_limit = (
+                policy.step_limit
+                if policy.step_limit is not None else DEFAULT_STEP_LIMIT
+            )
+        deadline = 0.0
+        if policy.wall_time_seconds is not None:
+            deadline = time.monotonic() + policy.wall_time_seconds
+        return cls(
+            step_limit=step_limit,
+            depth_limit=(
+                policy.depth_limit
+                if policy.depth_limit is not None else DEFAULT_DEPTH_LIMIT
+            ),
+            loop_limit=(
+                policy.loop_limit
+                if policy.loop_limit is not None else DEFAULT_LOOP_LIMIT
+            ),
+            output_limit=(
+                policy.output_limit
+                if policy.output_limit is not None else DEFAULT_OUTPUT_LIMIT
+            ),
+            deadline=deadline,
+        )
 
     def step(self) -> None:
         self.steps += 1
@@ -33,6 +83,9 @@ class ExecutionBudget:
             raise StepLimitError(
                 f"step limit of {self.step_limit} exceeded"
             )
+        if self.deadline and not (self.steps & _DEADLINE_POLL_MASK):
+            if time.monotonic() > self.deadline:
+                raise StepLimitError("wall-time budget exceeded")
 
     def loop_tick(self) -> None:
         self.loop_ticks += 1
@@ -52,7 +105,17 @@ class ExecutionBudget:
         self.depth -= 1
 
     def check_output(self, size: int) -> None:
+        if size > self.output_chars:
+            self.output_chars = size
         if size > self.output_limit:
             raise StepLimitError(
                 f"output size limit of {self.output_limit} exceeded"
             )
+
+    def spent(self) -> Dict[str, int]:
+        """Consumption snapshot (the audit/stats reporting form)."""
+        return {
+            "steps": self.steps,
+            "loop_ticks": self.loop_ticks,
+            "output_chars": self.output_chars,
+        }

@@ -238,9 +238,9 @@ class DeobfuscationService:
         The record is the worker's (see :mod:`repro.batch` for the
         schema, ``script`` always embedded) plus ``cache_key``,
         ``cache_hit``, ``coalesced`` and ``trace_id``.  *options* may
-        be a :class:`~repro.options.PipelineOptions` payload (legacy
-        alias names accepted); unknown option names raise
-        ``TypeError``.  ``verify=True`` additionally runs the
+        be a :class:`~repro.options.PipelineOptions` payload —
+        including ``policy``, which therefore participates in the
+        cache key; unknown option names raise ``TypeError``.  ``verify=True`` additionally runs the
         differential semantics-preservation check and embeds its
         verdict — verified and unverified submissions of the same
         script cache separately, since their records differ.  *trace*

@@ -6,7 +6,9 @@ handler threads mostly wait) over three endpoints:
 
 ``POST /deobfuscate`` (``?verify=1`` to verify)
     JSON in: ``{"script": str, "rename"?: bool, "reformat"?: bool,
-    "timeout"?: float, "stats"?: bool, "verify"?: bool}``.  JSON out:
+    "policy"?: str, "timeout"?: float, "stats"?: bool,
+    "verify"?: bool}``.  ``policy`` names a sandbox-policy preset
+    (:mod:`repro.policy`) and participates in the result cache key.  JSON out:
     the batch record schema (status, script, measurements — see
     :mod:`repro.batch`) plus ``cache_key``/``cache_hit``/
     ``coalesced``/``trace_id``; ``"stats": true`` additionally embeds
@@ -170,6 +172,28 @@ class _Handler(BaseHTTPRequestHandler):
         for flag in ("rename", "reformat"):
             if flag in payload:
                 options[flag] = bool(payload[flag])
+        if "policy" in payload:
+            policy = payload["policy"]
+            if not isinstance(policy, str):
+                self._send_json(400, {"error": "policy must be a string"})
+                return
+            from repro.policy import PolicyError, normalize_policy_name
+            from repro.policy.presets import PRESETS
+
+            try:
+                name = normalize_policy_name(policy)
+                if name not in PRESETS:
+                    raise PolicyError(name)
+            except PolicyError:
+                self._send_json(
+                    400,
+                    {
+                        "error": f"unknown policy: {policy!r}",
+                        "policies": sorted(PRESETS),
+                    },
+                )
+                return
+            options["policy"] = name
         if "verify" in payload:
             verify = bool(payload["verify"])
         timeout = payload.get("timeout")

@@ -20,9 +20,9 @@ gauge the service already tracks:
   the trace_id of the worst request that landed in it, so the slow
   bucket points straight at a ``repro trace`` waterfall.
 
-Phase labels use the canonical span names of
-:mod:`repro.obs.spans` (legacy spellings are folded on render —
-satellite of the one-release ``PHASE_NAME_ALIASES`` window).
+Phase labels are the canonical span names of
+:mod:`repro.obs.spans`; :func:`canonical_phase_name` asserts no
+legacy spelling reaches a render path.
 
 ``repro_service_cache_hit_ratio`` counts coalesced joins as hits:
 both mean "a pipeline execution was avoided", which is the number a
@@ -335,6 +335,19 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
             ({"technique": technique}, count)
             for technique, count in sorted(
                 (pipeline.get("techniques") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    _metric(
+        lines,
+        "repro_policy_denials_total",
+        "counter",
+        "Sandbox-policy capability denials by capability kind.",
+        [
+            ({"capability": capability}, count)
+            for capability, count in sorted(
+                (pipeline.get("policy_denials") or {}).items()
             )
         ]
         or [(None, 0)],

@@ -7,8 +7,8 @@ and judge equivalence.  Public surface:
 - :func:`verify_equivalence` / :func:`verify_result` — the comparator,
   returning a typed :class:`VerifyVerdict`;
 - :func:`observe_behavior` + :class:`BehaviorReport` — one-sided
-  behaviour recording (absorbed from ``repro.analysis.behavior``, which
-  now re-exports these with a :class:`DeprecationWarning`);
+  behaviour recording under a :class:`~repro.policy.SandboxPolicy`
+  (default ``verify-observing``; see :mod:`repro.policy`);
 - :func:`same_network_behavior` — the legacy Table IV network-only
   check;
 - :func:`normalized_signature` — the event-log canonicalization the

@@ -127,14 +127,20 @@ def verify_equivalence(
     responses: Optional[dict] = None,
     step_limit: int = DEFAULT_STEP_LIMIT,
     max_diff: int = DEFAULT_MAX_DIFF,
+    policy=None,
 ) -> VerifyVerdict:
     """Differentially verify that *candidate* preserves *original*'s
-    observable behaviour.  Both run under the same sandbox limits and
-    synthetic ``responses``; see the module docstring for the verdict
+    observable behaviour.  Both run under the same sandbox policy
+    (default ``verify-observing``), limits, and synthetic
+    ``responses``; see the module docstring for the verdict
     semantics."""
     started = time.perf_counter()
-    first = observe_behavior(original, responses, step_limit=step_limit)
-    second = observe_behavior(candidate, responses, step_limit=step_limit)
+    first = observe_behavior(
+        original, responses, step_limit=step_limit, policy=policy
+    )
+    second = observe_behavior(
+        candidate, responses, step_limit=step_limit, policy=policy
+    )
     elapsed = lambda: time.perf_counter() - started  # noqa: E731
 
     def build(verdict: str, reason: str, diff: Tuple[str, ...] = ()):
@@ -178,6 +184,7 @@ def verify_result(
     result: Any,
     responses: Optional[dict] = None,
     step_limit: int = DEFAULT_STEP_LIMIT,
+    policy=None,
 ) -> VerifyVerdict:
     """Verify a :class:`~repro.core.pipeline.DeobfuscationResult`.
 
@@ -194,5 +201,9 @@ def verify_result(
             verdict="equivalent", reason="script unchanged by pipeline"
         )
     return verify_equivalence(
-        result.original, result.script, responses, step_limit=step_limit
+        result.original,
+        result.script,
+        responses,
+        step_limit=step_limit,
+        policy=policy,
     )

@@ -1,13 +1,19 @@
 """Sandboxed execution with full behaviour recording.
 
-:func:`observe_behavior` is the verifier's execution half (and the
-successor of ``repro.analysis.behavior``): it runs a script in the
-recording sandbox (:mod:`repro.runtime`) with the blocklist off and the
-ordered :class:`~repro.runtime.host.BehaviorEvent` log on, then returns
-a :class:`BehaviorReport` carrying everything one execution did —
-events, coarse effects, console output, emitted pipeline values, and
-how the run ended (clean, script error, step-limit exhaustion, blocked,
-or not parseable at all).
+:func:`observe_behavior` is the verifier's execution half: it runs a
+script in the recording sandbox (:mod:`repro.runtime`) under the
+``verify-observing`` policy — blocklist off, the ordered
+:class:`~repro.runtime.host.BehaviorEvent` log on, denials audited —
+then returns a :class:`BehaviorReport` carrying everything one
+execution did: events, coarse effects, console output, emitted pipeline
+values, the policy audit, and how the run ended (clean, script error,
+step-limit exhaustion, blocked, or not parseable at all).
+
+Any :class:`~repro.policy.SandboxPolicy` can be substituted — running a
+wild sample under ``wild-sample-paranoid`` makes the audit trail the
+analysis product — and the legacy ``step_limit`` /
+``enforce_blocklist`` / ``collect_events`` arguments still override the
+policy's corresponding settings.
 
 The paper's Table IV compares only network signatures; the event log is
 the superset PowerPeeler-style differential validation needs, and
@@ -18,6 +24,7 @@ deobfuscated executions.
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.policy import PolicyAudit, VERIFY_OBSERVING, resolve_policy
 from repro.runtime.errors import (
     BlockedCommandError,
     EvaluationError,
@@ -35,9 +42,10 @@ DEFAULT_STEP_LIMIT = 200_000
 class BehaviorReport:
     """Recorded behaviour of one script execution.
 
-    ``effects`` and ``error`` keep the pre-verify shape (the legacy
-    ``repro.analysis.behavior`` API); ``events``, ``output`` and the
-    termination flags are what the equivalence comparator consumes.
+    ``effects`` and ``error`` keep the pre-verify shape; ``events``,
+    ``output`` and the termination flags are what the equivalence
+    comparator consumes; ``policy``/``audit`` record which sandbox
+    policy governed the run and what it refused.
     """
 
     effects: List[Effect] = field(default_factory=list)
@@ -47,7 +55,9 @@ class BehaviorReport:
     events_dropped: int = 0
     invalid: bool = False      # script did not parse
     timed_out: bool = False    # execution budget exhausted
-    blocked: bool = False      # blocklist refused execution
+    blocked: bool = False      # policy/blocklist refused execution
+    policy: str = ""           # name of the policy the run executed under
+    audit: Optional[PolicyAudit] = None  # its denial counters + audit log
 
     @property
     def network_signature(self) -> Set[Tuple[str, str]]:
@@ -73,9 +83,11 @@ class BehaviorReport:
 def observe_behavior(
     script: str,
     responses: Optional[dict] = None,
-    step_limit: int = DEFAULT_STEP_LIMIT,
-    collect_events: bool = True,
-    enforce_blocklist: bool = False,
+    step_limit: Optional[int] = None,
+    collect_events: Optional[bool] = None,
+    enforce_blocklist: Optional[bool] = None,
+    policy=None,
+    audit: Optional[PolicyAudit] = None,
 ) -> BehaviorReport:
     """Execute *script* in the recording sandbox and report its behaviour.
 
@@ -84,17 +96,40 @@ def observe_behavior(
     pipeline values the script emits are appended to the event log as
     ``output`` events (name ``result``) so value-producing scripts
     compare on what they print *and* what they return.
+
+    *policy* names or provides the :class:`~repro.policy.SandboxPolicy`
+    to run under (default ``verify-observing``); the legacy keyword
+    arguments, when given explicitly, override the policy's matching
+    settings so existing callers keep their exact semantics.
     """
-    host = SandboxHost(
-        responses=dict(responses or {}), collect_events=collect_events
+    policy = (
+        VERIFY_OBSERVING if policy is None else resolve_policy(policy)
+    )
+    if (
+        enforce_blocklist is not None
+        and enforce_blocklist != policy.enforce_blocklist
+    ):
+        policy = policy.replace(enforce_blocklist=enforce_blocklist)
+    if collect_events is not None and collect_events != policy.collect_events:
+        policy = policy.replace(collect_events=collect_events)
+    if step_limit is None:
+        step_limit = (
+            policy.step_limit
+            if policy.step_limit is not None else DEFAULT_STEP_LIMIT
+        )
+    if audit is None:
+        audit = PolicyAudit(policy)
+    host = SandboxHost.from_policy(
+        policy, audit, responses=dict(responses or {})
     )
     evaluator = Evaluator(
         host=host,
-        budget=ExecutionBudget(step_limit=step_limit),
-        enforce_blocklist=enforce_blocklist,
+        budget=ExecutionBudget.from_policy(policy, step_limit=step_limit),
+        policy=policy,
+        audit=audit,
         continue_on_error=True,
     )
-    report = BehaviorReport()
+    report = BehaviorReport(policy=policy.name, audit=audit)
     outputs: List[Any] = []
     try:
         outputs = evaluator.run_script_text(script)
@@ -115,11 +150,12 @@ def observe_behavior(
         except Exception:  # noqa: BLE001 — report building must not throw
             text = f"<{type(value).__name__}>"
         host.record_event("output", "result", (text,))
+    audit.add_budget(evaluator.budget)
     report.effects = list(host.effects)
     report.events = list(host.events)
     report.output = list(host.output)
     report.events_dropped = host.events_dropped
-    # Under continue_on_error a blocklist hit aborts only its own
+    # Under continue_on_error a policy denial aborts only its own
     # statement, so it surfaces as an event, not an exception.
     if any(event.kind == "blocked" for event in report.events):
         report.blocked = True

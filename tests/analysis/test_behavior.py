@@ -2,7 +2,7 @@
 
 from repro import deobfuscate
 from repro.analysis import observe_behavior
-from repro.analysis.behavior import same_network_behavior
+from repro.verify import same_network_behavior
 
 
 class TestObservation:

@@ -1,6 +1,6 @@
 """Tests for the triage report (the composed analyst API)."""
 
-from repro import Deobfuscator
+from repro import PipelineOptions, Deobfuscator
 from repro.analysis.report import build_report
 
 CASE = (
@@ -42,7 +42,7 @@ class TestBuildReport:
         assert "deobfuscated script" in text
 
     def test_custom_tool(self):
-        tool = Deobfuscator(rename=False)
+        tool = Deobfuscator(options=PipelineOptions(rename=False))
         report = build_report("$xqzw = 'a'+'b'", tool=tool)
         assert "$xqzw" in report.deobfuscation.script
 

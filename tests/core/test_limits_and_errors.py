@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Deobfuscator, deobfuscate
+from repro import PipelineOptions, Deobfuscator, deobfuscate
 from repro.runtime.errors import StepLimitError
 from repro.runtime.evaluator import Evaluator
 from repro.runtime.limits import ExecutionBudget
@@ -89,7 +89,7 @@ class TestHostileInputs:
         assert result.script  # terminates
 
     def test_iteration_cap_respected(self):
-        tool = Deobfuscator(max_iterations=1)
+        tool = Deobfuscator(options=PipelineOptions(max_iterations=1))
         result = tool.deobfuscate("iex 'iex ''iex 1''' ")
         assert result.iterations == 1
 

@@ -2,7 +2,7 @@
 
 import base64
 
-from repro import Deobfuscator, deobfuscate
+from repro import PipelineOptions, Deobfuscator, deobfuscate
 
 
 def enc(script: str) -> str:
@@ -58,7 +58,7 @@ class TestEndToEnd:
         assert all(s.seconds >= 0 for s in result.stats.spans)
 
     def test_collect_spans_off_keeps_counters(self):
-        tool = Deobfuscator(collect_spans=False)
+        tool = Deobfuscator(options=PipelineOptions(collect_spans=False))
         result = tool.deobfuscate("iex ('a'+'b')")
         assert result.stats.spans == []
         assert result.stats.phase_seconds == {}
@@ -114,35 +114,35 @@ class TestPaperCaseStudy:
 
 class TestAblationFlags:
     def test_no_token_phase(self):
-        tool = Deobfuscator(token_phase=False, rename=False, reformat=False)
+        tool = Deobfuscator(options=PipelineOptions(token_phase=False, rename=False, reformat=False))
         result = tool.deobfuscate("I`E`X 'write-host x'")
         # The AST phase resolves the command via alias knowledge in the
         # multilayer unwrapper, but the tick removal is token-phase work.
         assert result.script == "write-host x"
 
     def test_no_ast_phase(self):
-        tool = Deobfuscator(ast_phase=False, rename=False, reformat=False)
+        tool = Deobfuscator(options=PipelineOptions(ast_phase=False, rename=False, reformat=False))
         result = tool.deobfuscate("$x = 'a'+'b'")
         assert "'a'+'b'" in result.script
 
     def test_no_variable_tracing(self):
-        tool = Deobfuscator(trace_variables=False, rename=False,
-                            reformat=False)
+        tool = Deobfuscator(options=PipelineOptions(trace_variables=False, rename=False,
+                            reformat=False))
         result = tool.deobfuscate("$u = 'a'+'b'; use $u")
         assert "use $u" in result.script
 
     def test_no_multilayer(self):
-        tool = Deobfuscator(multilayer=False, rename=False, reformat=False)
+        tool = Deobfuscator(options=PipelineOptions(multilayer=False, rename=False, reformat=False))
         result = tool.deobfuscate("iex 'write-host x'")
         assert "Invoke-Expression" in result.script
 
     def test_no_rename(self):
-        tool = Deobfuscator(rename=False)
+        tool = Deobfuscator(options=PipelineOptions(rename=False))
         result = tool.deobfuscate("$xqzjw = 'a'+'b'")
         assert "$xqzjw" in result.script
 
     def test_no_reformat(self):
-        tool = Deobfuscator(reformat=False, rename=False)
+        tool = Deobfuscator(options=PipelineOptions(reformat=False, rename=False))
         result = tool.deobfuscate("write-host     hi")
         assert "     " in result.script
 
@@ -156,7 +156,7 @@ class TestMultiLayerFixpoint:
         assert result.script.strip().lower() == "write-host core"
 
     def test_max_iterations_terminates(self):
-        tool = Deobfuscator(max_iterations=2)
+        tool = Deobfuscator(options=PipelineOptions(max_iterations=2))
         script = "write-host x"
         for _ in range(6):
             script = f"powershell -enc {enc(script)}"

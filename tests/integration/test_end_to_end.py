@@ -7,7 +7,7 @@ import pytest
 
 from repro import Deobfuscator, deobfuscate
 from repro.analysis import extract_key_info, observe_behavior
-from repro.analysis.behavior import same_network_behavior
+from repro.verify import same_network_behavior
 from repro.baselines import ALL_BASELINES
 from repro.dataset import generate_corpus, preprocess
 from repro.dataset.generator import generate_sample

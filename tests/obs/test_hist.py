@@ -129,15 +129,26 @@ class TestMetricsRendering:
             'repro_pipeline_techniques_total{technique="ticking"} 1' in text
         )
 
-    def test_legacy_phase_names_fold_on_render(self):
+    def test_legacy_phase_names_assert_on_render(self):
+        # The one-release alias fold is gone: a legacy spelling reaching
+        # the render path is a programming error, not data to repair.
+        with pytest.raises(AssertionError, match="legacy phase spelling"):
+            render_metrics({
+                "counters": {},
+                "cache": {},
+                "pipeline": {
+                    "phase_seconds": {"token_parsing": 1.0, "token": 0.5},
+                },
+            })
+
+    def test_canonical_phase_names_render(self):
         text = render_metrics({
             "counters": {},
             "cache": {},
             "pipeline": {
-                "phase_seconds": {"token_parsing": 1.0, "token": 0.5},
+                "phase_seconds": {"token": 1.5},
             },
         })
         assert (
             'repro_pipeline_phase_seconds_total{phase="token"} 1.5' in text
         )
-        assert "token_parsing" not in text

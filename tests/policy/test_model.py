@@ -1,0 +1,138 @@
+"""Unit tests for the SandboxPolicy record itself."""
+
+import json
+
+import pytest
+
+from repro.policy import CAPABILITIES, PolicyError, SandboxPolicy
+
+
+class TestConstruction:
+    def test_defaults_match_legacy_sandbox(self):
+        policy = SandboxPolicy()
+        assert policy.enforce_blocklist
+        assert not policy.deny_env_reads
+        assert policy.step_limit is None
+        assert not policy.collect_events
+        assert not policy.audit_denials
+
+    def test_frozen_and_hashable(self):
+        policy = SandboxPolicy()
+        with pytest.raises(Exception):
+            policy.enforce_blocklist = False
+        assert hash(policy) == hash(SandboxPolicy())
+
+    def test_name_tuples_normalize_at_construction(self):
+        policy = SandboxPolicy(
+            deny_commands=("Start-Sleep", "start-sleep ", "INVOKE-ITEM"),
+        )
+        assert policy.deny_commands == ("invoke-item", "start-sleep")
+
+    def test_replace_derives_variant(self):
+        base = SandboxPolicy(name="base")
+        open_variant = base.replace(enforce_blocklist=False)
+        assert not open_variant.enforce_blocklist
+        assert base.enforce_blocklist
+
+
+class TestChecks:
+    def test_blocklist_commands_denied_by_default(self):
+        policy = SandboxPolicy()
+        assert policy.is_denied("command", "Start-Sleep") == "blocklist"
+        assert policy.is_denied("command", "Write-Output") is None
+
+    def test_explicit_deny_beats_blocklist_attribution(self):
+        policy = SandboxPolicy(deny_commands=("start-sleep",))
+        assert policy.is_denied("command", "Start-Sleep") == "deny_commands"
+
+    def test_allow_commands_punch_blocklist_holes(self):
+        policy = SandboxPolicy(allow_commands=("start-sleep",))
+        assert policy.is_denied("command", "Start-Sleep") is None
+
+    def test_blocklist_off_allows_everything_listed(self):
+        policy = SandboxPolicy(enforce_blocklist=False)
+        assert policy.is_denied("command", "Start-Sleep") is None
+        assert policy.is_denied("member", "DownloadString") is None
+
+    def test_member_and_static_checks(self):
+        policy = SandboxPolicy()
+        assert policy.is_denied("member", "downloadstring") == "blocklist"
+        assert policy.is_denied("static", "[System.Threading.Thread]") in (
+            None, "blocklist",
+        )
+
+    def test_env_denied_only_when_configured(self):
+        assert SandboxPolicy().is_denied("env", "PATH") is None
+        paranoid = SandboxPolicy(deny_env_reads=True, allow_env=("lang",))
+        assert paranoid.is_denied("env", "PATH") == "deny_env_reads"
+        assert paranoid.is_denied("env", "LANG") is None
+
+    def test_effect_prefix_match(self):
+        policy = SandboxPolicy(deny_effects=("net.", "fs.write"))
+        assert policy.is_denied("effect", "net.request") == (
+            "deny_effects:net."
+        )
+        assert policy.is_denied("effect", "fs.write") == (
+            "deny_effects:fs.write"
+        )
+        assert policy.is_denied("effect", "fs.read") is None
+
+    def test_unknown_capability_kind_raises(self):
+        with pytest.raises(PolicyError, match="unknown capability"):
+            SandboxPolicy().is_denied("telepathy", "x")
+
+    def test_check_wraps_is_denied(self):
+        policy = SandboxPolicy()
+        assert policy.check("command", "Write-Output")
+        assert not policy.check("command", "Start-Sleep")
+
+    def test_guard_booleans(self):
+        assert not SandboxPolicy().checks_env
+        assert not SandboxPolicy().checks_effects
+        assert SandboxPolicy(deny_env_reads=True).checks_env
+        assert SandboxPolicy(deny_effects=("net.",)).checks_effects
+        assert SandboxPolicy().prefilters
+        assert not SandboxPolicy(enforce_blocklist=False).prefilters
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        policy = SandboxPolicy(
+            name="mine",
+            deny_effects=("net.",),
+            step_limit=1000,
+            audit_denials=True,
+        )
+        rebuilt = SandboxPolicy.from_dict(policy.to_dict())
+        assert rebuilt == policy
+
+    def test_canonical_dict_round_trip(self):
+        policy = SandboxPolicy(deny_env_reads=True, loop_limit=50)
+        rebuilt = SandboxPolicy.from_dict(
+            policy.canonical_dict(), name=policy.name
+        )
+        assert rebuilt.canonical_dict() == policy.canonical_dict()
+
+    def test_canonical_dict_excludes_name_and_defaults(self):
+        assert SandboxPolicy(name="whatever").canonical_dict() == {}
+
+    def test_unknown_dict_key_raises(self):
+        with pytest.raises(PolicyError, match="unknown policy field"):
+            SandboxPolicy.from_dict({"frobnicate": True})
+
+    def test_cache_token_ignores_spelling(self):
+        a = SandboxPolicy(deny_commands=("Start-Sleep", "invoke-item"))
+        b = SandboxPolicy(
+            name="other", deny_commands=("INVOKE-ITEM", "start-sleep")
+        )
+        assert a.cache_token == b.cache_token
+        assert json.loads(a.cache_token) == a.canonical_dict()
+
+    def test_cache_token_differs_on_behaviour(self):
+        assert SandboxPolicy().cache_token != (
+            SandboxPolicy(deny_env_reads=True).cache_token
+        )
+
+    def test_capability_vocabulary_is_closed(self):
+        for kind in CAPABILITIES:
+            SandboxPolicy().is_denied(kind, "anything")  # must not raise

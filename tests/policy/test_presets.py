@@ -1,0 +1,91 @@
+"""The named presets and the one spec-to-policy resolver."""
+
+import pytest
+
+from repro.policy import (
+    DEFAULT_POLICY_NAME,
+    PRESET_NAMES,
+    PRESETS,
+    PolicyError,
+    RECOVERY_OPEN,
+    RECOVERY_STRICT,
+    SandboxPolicy,
+    VERIFY_OBSERVING,
+    WILD_SAMPLE_PARANOID,
+    default_policy,
+    normalize_policy_name,
+    resolve_policy,
+)
+
+
+class TestPresetShapes:
+    def test_three_presets_registered(self):
+        assert set(PRESET_NAMES) == {
+            "recovery-strict", "verify-observing", "wild-sample-paranoid",
+        }
+        assert DEFAULT_POLICY_NAME in PRESETS
+
+    def test_recovery_strict_is_the_legacy_default(self):
+        # The paper's recovery sandbox: blocklist on, engine budgets,
+        # nothing audited beyond the always-on denial counters.
+        assert RECOVERY_STRICT.enforce_blocklist
+        assert RECOVERY_STRICT.step_limit is None
+        assert not RECOVERY_STRICT.collect_events
+        assert not RECOVERY_STRICT.audit_denials
+        # ...and therefore behaviourally identical to a default policy.
+        assert RECOVERY_STRICT.canonical_dict() == {}
+
+    def test_verify_observing_watches_instead_of_blocking(self):
+        assert not VERIFY_OBSERVING.enforce_blocklist
+        assert VERIFY_OBSERVING.collect_events
+        assert VERIFY_OBSERVING.audit_denials
+
+    def test_wild_sample_paranoid_is_the_tightest(self):
+        p = WILD_SAMPLE_PARANOID
+        assert p.enforce_blocklist and p.deny_env_reads
+        assert "net." in p.deny_effects and "fs.write" in p.deny_effects
+        assert p.step_limit and p.step_limit < 100_000
+        assert p.piece_step_limit and p.piece_step_limit < 50_000
+        assert p.audit_denials and p.collect_events
+
+    def test_presets_are_distinct_cache_keys(self):
+        tokens = {PRESETS[name].cache_token for name in PRESET_NAMES}
+        assert len(tokens) == len(PRESET_NAMES)
+
+
+class TestResolver:
+    def test_none_means_default(self):
+        assert resolve_policy(None) is RECOVERY_STRICT
+
+    def test_name_resolves_to_shared_instance(self):
+        assert resolve_policy("verify-observing") is VERIFY_OBSERVING
+        assert resolve_policy("Verify_Observing") is VERIFY_OBSERVING
+        assert resolve_policy(" WILD-SAMPLE-PARANOID ") is (
+            WILD_SAMPLE_PARANOID
+        )
+
+    def test_policy_passes_through(self):
+        custom = SandboxPolicy(name="mine", deny_env_reads=True)
+        assert resolve_policy(custom) is custom
+
+    def test_dict_resolves_via_from_dict(self):
+        policy = resolve_policy({"deny_env_reads": True})
+        assert policy.deny_env_reads
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            resolve_policy("no-such-policy")
+
+    def test_unresolvable_type_raises(self):
+        with pytest.raises(PolicyError):
+            resolve_policy(42)
+
+    def test_normalize(self):
+        assert normalize_policy_name(" Recovery_Strict ") == (
+            "recovery-strict"
+        )
+
+    def test_default_policy_maps_the_legacy_boolean(self):
+        assert default_policy(True) is RECOVERY_STRICT
+        assert default_policy(False) is RECOVERY_OPEN
+        assert not RECOVERY_OPEN.enforce_blocklist

@@ -138,13 +138,14 @@ class TestPipelineDeterminism:
             assert ra.layers == rb.layers
             assert ra.iterations == rb.iterations
             da, db = ra.stats.to_dict(), rb.stats.to_dict()
-            # Only speed-side telemetry may differ.
+            # Only speed-side telemetry may differ (budget_spent counts
+            # sandbox steps actually executed, which the memo avoids).
             for volatile in (
                 "phase_seconds", "spans",
                 "subtree_memo_hits", "subtree_memo_misses",
-                "intern_hits", "intern_misses",
+                "intern_hits", "intern_misses", "budget_spent",
             ):
-                da.pop(volatile), db.pop(volatile)
+                da.pop(volatile, None), db.pop(volatile, None)
             assert da == db
             assert rb.stats.subtree_memo_hits == 0
             total_hits += ra.stats.subtree_memo_hits

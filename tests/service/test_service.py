@@ -349,3 +349,51 @@ class TestResultFidelity:
         _c, without, _h = post(url, {"script": script, "rename": False})
         assert with_rename["cache_key"] != without["cache_key"]
         assert without["cache_hit"] is False
+
+
+class TestPolicyOption:
+    def test_policy_partitions_the_cache(self, served):
+        _service, url = served()
+        script = "$a = 'a'+'b'; write-host $a"
+        _c, default, _h = post(url, {"script": script})
+        _c, paranoid, _h = post(
+            url, {"script": script, "policy": "wild-sample-paranoid"}
+        )
+        assert default["cache_key"] != paranoid["cache_key"]
+        assert paranoid["cache_hit"] is False
+        # The default preset spelled out is the same request as no
+        # policy at all — byte-identical cache key, so it's a hit.
+        _c, spelled, _h = post(
+            url, {"script": script, "policy": "Recovery_Strict"}
+        )
+        assert spelled["cache_key"] == default["cache_key"]
+        assert spelled["cache_hit"] is True
+
+    def test_policy_shows_up_in_stats_and_metrics(self, served):
+        _service, url = served()
+        # An $env: probe: denied (and counted) only under the paranoid
+        # preset.
+        script = "write-host $env:COMPUTERNAME"
+        _c, body, _h = post(
+            url,
+            {"script": script, "policy": "wild-sample-paranoid",
+             "stats": True},
+        )
+        assert body["stats"]["policy"] == "wild-sample-paranoid"
+        assert body["stats"]["policy_denials"].get("env", 0) >= 1
+        _code, metrics = get(url, "/metrics")
+        assert metric_value(
+            metrics, 'repro_policy_denials_total{capability="env"}'
+        ) >= 1
+
+    def test_unknown_policy_is_a_400(self, served):
+        _service, url = served()
+        code, body, _h = post(
+            url, {"script": "write-host x", "policy": "no-such"}
+        )
+        assert code == 400
+        assert "unknown policy" in body["error"]
+        code, body, _h = post(
+            url, {"script": "write-host x", "policy": 42}
+        )
+        assert code == 400

@@ -94,6 +94,36 @@ def test_exit_codes_documented():
         )
 
 
+def test_sandbox_doc_cross_linked():
+    """The sandbox-policy doc exists, names every preset, and the
+    surfaces that take a policy point at it."""
+    sandbox = os.path.join(REPO_ROOT, "docs", "sandbox.md")
+    assert os.path.exists(sandbox), "docs/sandbox.md is missing"
+    with open(sandbox, encoding="utf-8") as handle:
+        sandbox_text = handle.read()
+    from repro.policy import PRESET_NAMES
+
+    for preset in PRESET_NAMES:
+        assert f"`{preset}`" in sandbox_text, (
+            f"docs/sandbox.md does not document preset {preset}"
+        )
+    assert "repro_policy_denials_total" in sandbox_text
+    with open(CLI_DOC, encoding="utf-8") as handle:
+        doc = handle.read()
+    for command in ("deobfuscate", "batch", "serve", "verify", "behavior"):
+        section = _cli_doc_section(doc, command)
+        assert "--policy" in section and "sandbox.md" in section, (
+            f"docs/cli.md section for 'repro {command}' must document "
+            "--policy and link docs/sandbox.md"
+        )
+    for name in ("architecture.md", "verify.md"):
+        with open(os.path.join(REPO_ROOT, "docs", name),
+                  encoding="utf-8") as handle:
+            assert "sandbox.md" in handle.read(), (
+                f"docs/{name} lost its docs/sandbox.md cross-link"
+            )
+
+
 def test_performance_doc_cross_linked():
     """The performance handbook exists and the profiling surfaces
     point at it (and at the architecture hot-path map)."""

@@ -16,12 +16,26 @@ class TestCacheKeyStability:
             SCRIPT, minimal.canonical_dict()
         )
 
-    def test_legacy_alias_and_canonical_name_share_a_key(self):
-        via_alias = PipelineOptions.from_dict({"timeout": 5.0})
-        via_field = PipelineOptions(deadline_seconds=5.0)
-        assert cache_key(SCRIPT, via_alias.canonical_dict()) == cache_key(
-            SCRIPT, via_field.canonical_dict()
-        )
+    def test_policy_spellings_share_a_key(self):
+        via_variant = PipelineOptions(policy="Wild_Sample_Paranoid")
+        via_canonical = PipelineOptions(policy="wild-sample-paranoid")
+        assert cache_key(
+            SCRIPT, via_variant.canonical_dict()
+        ) == cache_key(SCRIPT, via_canonical.canonical_dict())
+
+    def test_default_policy_keeps_pre_policy_keys(self):
+        # A run that never selects a policy keys identically to one
+        # that spells out the default preset — and identically to a
+        # pre-policy release's key for the same options.
+        assert cache_key(
+            SCRIPT, PipelineOptions(policy="recovery-strict").canonical_dict()
+        ) == cache_key(SCRIPT, PipelineOptions().canonical_dict())
+
+    def test_policy_differentiates_keys(self):
+        assert cache_key(
+            SCRIPT,
+            PipelineOptions(policy="wild-sample-paranoid").canonical_dict(),
+        ) != cache_key(SCRIPT, PipelineOptions().canonical_dict())
 
     def test_all_defaults_equal_empty_options(self):
         assert cache_key(SCRIPT, PipelineOptions().canonical_dict()) == (

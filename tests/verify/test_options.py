@@ -1,8 +1,10 @@
-"""PipelineOptions: the typed options record and its compat shims.
+"""PipelineOptions: the typed options record.
 
 Round-trips the same option set through every surface that carries it:
 the dataclass itself, CLI flags, batch task payloads (JSONL), and the
-service request body shape.
+service request body shape.  The legacy alias / ``**kwargs`` shims are
+gone: every boundary is strict now, and the ``policy`` field rides all
+of them.
 """
 
 import argparse
@@ -10,8 +12,9 @@ import json
 
 import pytest
 
-from repro import Deobfuscator, PipelineOptions, deobfuscate
-from repro.options import DEFAULT_MAX_ITERATIONS, LEGACY_ALIASES
+from repro import Deobfuscator, PipelineOptions
+from repro.options import DEFAULT_MAX_ITERATIONS
+from repro.policy import PolicyError
 
 
 class TestConstruction:
@@ -20,6 +23,7 @@ class TestConstruction:
         assert opts.rename and opts.reformat and opts.enforce_blocklist
         assert opts.max_iterations == DEFAULT_MAX_ITERATIONS
         assert opts.deadline_seconds is None
+        assert opts.policy == "recovery-strict"
 
     def test_frozen(self):
         with pytest.raises(Exception):
@@ -30,19 +34,15 @@ class TestConstruction:
         assert not opts.rename
         assert PipelineOptions().rename  # original untouched
 
-    def test_from_dict_maps_legacy_aliases_silently(self):
-        opts = PipelineOptions.from_dict(
-            {"timeout": 5.0, "step_limit": 100, "blocklist": False,
-             "iterations": 3}
-        )
-        assert opts.deadline_seconds == 5.0
-        assert opts.piece_step_limit == 100
-        assert not opts.enforce_blocklist
-        assert opts.max_iterations == 3
-
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(TypeError, match="unknown pipeline option"):
             PipelineOptions.from_dict({"no_such_option": 1})
+
+    def test_legacy_aliases_are_gone(self):
+        # The one-release alias window ("timeout", "blocklist", ...)
+        # is closed: old spellings are unknown keys now.
+        with pytest.raises(TypeError, match="unknown pipeline option"):
+            PipelineOptions.from_dict({"timeout": 5.0})
 
     def test_from_dict_ignore_unknown(self):
         opts = PipelineOptions.from_dict(
@@ -50,51 +50,35 @@ class TestConstruction:
         )
         assert not opts.rename
 
-    def test_every_legacy_alias_targets_a_real_field(self):
-        names = PipelineOptions.field_names()
-        for alias, target in LEGACY_ALIASES.items():
-            assert alias not in names
-            assert target in names
+    def test_policy_name_normalized(self):
+        opts = PipelineOptions(policy="Verify_Observing")
+        assert opts.policy == "verify-observing"
+
+    def test_unknown_policy_rejected_at_boundary(self):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            PipelineOptions(policy="no-such-policy")
+
+    def test_from_dict_policy_none_means_default(self):
+        opts = PipelineOptions.from_dict({"policy": None})
+        assert opts.policy == "recovery-strict"
 
 
-class TestKwargsShim:
-    def test_deobfuscator_kwargs_warn_and_map(self):
-        with pytest.warns(DeprecationWarning):
-            tool = Deobfuscator(rename=False, timeout=2.5)
-        assert tool.options.deadline_seconds == 2.5
-        assert not tool.options.rename
+class TestStrictConstructor:
+    def test_deobfuscator_rejects_kwargs(self):
+        # The kwargs shim is retired: options travel as a typed record.
+        with pytest.raises(TypeError):
+            Deobfuscator(rename=False)
 
-    def test_module_deobfuscate_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning):
-            result = deobfuscate("Write-Host hi", rename=False)
-        assert result.valid_input
-
-    def test_options_object_does_not_warn(self, recwarn):
-        Deobfuscator(options=PipelineOptions(rename=False))
-        assert not [w for w in recwarn.list
-                    if issubclass(w.category, DeprecationWarning)]
-
-    def test_options_and_kwargs_conflict(self):
-        with pytest.raises(TypeError, match="not both"):
-            Deobfuscator(options=PipelineOptions(), rename=False)
-
-    def test_unknown_kwarg_raises(self):
-        with pytest.raises(TypeError, match="unknown pipeline option"):
-            Deobfuscator(frobnicate=True)
-
-    def test_attribute_delegation(self):
-        with pytest.warns(DeprecationWarning):
-            tool = Deobfuscator(reformat=False)
-        assert tool.reformat is False
-        assert tool.max_iterations == DEFAULT_MAX_ITERATIONS
-        with pytest.raises(AttributeError):
-            tool.not_an_option
+    def test_options_object(self):
+        tool = Deobfuscator(options=PipelineOptions(rename=False))
+        assert tool.options.rename is False
 
 
 class TestRoundTrips:
     def test_dict_round_trip(self):
         opts = PipelineOptions(rename=False, deadline_seconds=3.0,
-                               max_iterations=4)
+                               max_iterations=4,
+                               policy="wild-sample-paranoid")
         assert PipelineOptions.from_dict(opts.to_dict()) == opts
         assert PipelineOptions.from_dict(opts.canonical_dict()) == opts
 
@@ -112,7 +96,8 @@ class TestRoundTrips:
     def test_real_cli_parser_round_trip(self):
         from repro.cli import build_parser
 
-        opts = PipelineOptions(rename=False, deadline_seconds=1.5)
+        opts = PipelineOptions(rename=False, deadline_seconds=1.5,
+                               policy="verify-observing")
         args = build_parser().parse_args(
             ["deobfuscate", "x.ps1"] + opts.to_cli_flags()
         )
@@ -121,7 +106,8 @@ class TestRoundTrips:
     def test_batch_jsonl_round_trip(self):
         from repro.batch.task import make_tasks
 
-        opts = PipelineOptions(rename=False, deadline_seconds=2.0)
+        opts = PipelineOptions(rename=False, deadline_seconds=2.0,
+                               policy="wild-sample-paranoid")
         task = make_tasks(["a.ps1"], options=opts)[0]
         # the payload survives JSON (what crosses the JSONL boundary)
         wire = json.loads(json.dumps(task.options))
@@ -130,12 +116,12 @@ class TestRoundTrips:
     def test_service_request_body_round_trip(self):
         # The HTTP body carries option names as JSON keys; the service
         # rebuilds the typed record from them.
-        body = {"rename": False, "timeout": 2.0}
+        body = {"rename": False, "policy": "wild-sample-paranoid"}
         opts = PipelineOptions.from_dict(
             {k: v for k, v in body.items()}
         )
         assert not opts.rename
-        assert opts.deadline_seconds == 2.0
+        assert opts.policy == "wild-sample-paranoid"
 
 
 class TestCanonicalDict:
@@ -149,3 +135,16 @@ class TestCanonicalDict:
     def test_spelled_out_defaults_vanish(self):
         spelled = PipelineOptions(rename=True, max_iterations=10)
         assert spelled.canonical_dict() == {}
+
+    def test_default_policy_vanishes(self):
+        # Pre-policy cache keys must survive the new field: the default
+        # preset (however spelled) leaves the canonical dict unchanged.
+        assert PipelineOptions(policy="Recovery_Strict").canonical_dict() \
+            == {}
+
+    def test_policy_spellings_converge(self):
+        a = PipelineOptions(policy="wild-sample-paranoid")
+        b = PipelineOptions(policy="WILD_SAMPLE_PARANOID")
+        assert a.canonical_dict() == b.canonical_dict() == {
+            "policy": "wild-sample-paranoid"
+        }
