@@ -59,6 +59,7 @@ never double-records a sample.
 
 import itertools
 import multiprocessing
+import os
 import pickle
 import time
 from collections import deque
@@ -78,6 +79,36 @@ _POLL_SECONDS = 0.05
 # Keys of :attr:`BatchPool.restarts`, the worker-lifecycle counters.
 RESTART_REASONS = ("crash", "timeout")
 
+# Listening sockets owned by the HTTP front ends.  Workers are forked
+# on demand, so whichever listeners happen to be open at that moment
+# are copied into the child's FD table — and the kernel then keeps the
+# port accepting connections even after the owning server closes its
+# own copy (clients hang in the backlog instead of being refused).
+# Front ends register their listener here and workers close every
+# registered FD first thing after the fork.  Each entry records the
+# descriptor's fstat identity: FD numbers are recycled, and blindly
+# closing a recycled number in the child can sever multiprocessing's
+# own plumbing (closing the inherited parent-sentinel pipe makes the
+# parent's ``Process.join`` block forever on a live child).  The child
+# closes an FD only while it still names the registered socket.
+# Spawn-style contexts start from a clean FD table and see an empty
+# copy of this mapping.
+_FORK_UNSAFE_FDS: Dict[int, Tuple[int, int]] = {}
+
+
+def register_fork_unsafe_fd(fd: int) -> None:
+    """Mark *fd* (a listening socket) for closure in forked workers."""
+    try:
+        stat = os.fstat(fd)
+    except OSError:
+        return
+    _FORK_UNSAFE_FDS[fd] = (stat.st_dev, stat.st_ino)
+
+
+def unregister_fork_unsafe_fd(fd: int) -> None:
+    """Forget *fd* once its owner closed it."""
+    _FORK_UNSAFE_FDS.pop(fd, None)
+
 
 def _worker_main(worker_spec, conn):
     """Worker process body: serve one task at a time over *conn*.
@@ -86,6 +117,17 @@ def _worker_main(worker_spec, conn):
     records here; only process death reaches the parent's crash path.
     A closed pipe (parent shut down) ends the loop.
     """
+    keep = conn.fileno()
+    for fd, identity in list(_FORK_UNSAFE_FDS.items()):
+        if fd == keep:
+            continue
+        try:
+            stat = os.fstat(fd)
+            if (stat.st_dev, stat.st_ino) == identity:
+                os.close(fd)
+        except OSError:
+            pass
+    _FORK_UNSAFE_FDS.clear()
     worker = resolve_worker(worker_spec)
     try:
         while True:
@@ -253,6 +295,42 @@ class BatchPool:
         while len(self._workers) < target:
             self._spawn()
 
+    def resize(self, jobs: int) -> int:
+        """Change the target worker count; returns the new target.
+
+        Growing takes effect on the next :meth:`collect` pass (workers
+        spawn on demand up to the target).  Shrinking retires surplus
+        *idle* workers immediately; a worker mid-sample finishes its
+        work first and is retired on a later pass.  The service's
+        autoscaler calls this from the dispatcher thread — like every
+        other pool method, it is not thread-safe.
+        """
+        self.jobs = max(1, int(jobs))
+        self._shed_surplus()
+        return self.jobs
+
+    def _shed_surplus(self) -> None:
+        """Retire idle workers beyond the ``jobs`` target."""
+        surplus = len(self._workers) - self.jobs
+        if surplus <= 0:
+            return
+        for worker_id, state in list(self._workers.items()):
+            if surplus <= 0:
+                break
+            if state.ticket is not None:
+                continue
+            try:
+                state.conn.send(None)  # graceful stop sentinel
+            except (BrokenPipeError, OSError):
+                pass
+            state.conn.close()
+            state.proc.join(timeout=1.0)
+            if state.proc.is_alive():
+                state.proc.kill()
+                state.proc.join()
+            del self._workers[worker_id]
+            surplus -= 1
+
     def collect(
         self, timeout: Optional[float] = None
     ) -> List[Tuple[int, dict]]:
@@ -380,6 +458,7 @@ class BatchPool:
 
     def _step(self, done: List[Tuple[int, dict]]) -> None:
         """One dispatch / poll / kill pass over the fleet."""
+        self._shed_surplus()
         while len(self._workers) < min(self.jobs, self._outstanding):
             self._spawn()
 

@@ -12,10 +12,20 @@ batch INPUT... [--jobs N] [--timeout S] [--output FILE] [--resume] ...
     one JSONL record per sample plus an aggregate summary; ``--dedup``
     runs each unique content hash once and reuses the result.
 serve [--host H] [--port P] [--jobs N] [--timeout S] [--queue-limit N]
-    Run the long-running HTTP deobfuscation service: persistent worker
-    fleet, content-addressed result cache with single-flight dedup,
-    backpressure (429) when the admission queue fills, /healthz and
-    Prometheus /metrics, graceful drain on SIGTERM.
+    Run the long-running HTTP deobfuscation service: asyncio front
+    end (``--legacy-threaded`` keeps the old thread-per-connection
+    server), persistent worker fleet with optional queue-depth
+    autoscaling (``--max-jobs``), sharded content-addressed result
+    cache with single-flight dedup and optional disk persistence
+    (``--cache-dir`` snapshots + journal, warm-start on restart),
+    backpressure (429 with jittered Retry-After) when the admission
+    queue fills, /healthz and Prometheus /metrics, graceful drain on
+    SIGTERM.
+fleet --instances N [--port P] [serve flags...]
+    Run N serve instances behind a consistent-hash router: requests
+    route deterministically by script SHA-256 (rendezvous fallback
+    when an instance dies), /metrics aggregates across instances,
+    /healthz reports per-instance readiness.
 trace FILE [--check] [--summary] [--id PREFIX]
     Render per-request waterfalls from a span JSONL file written by
     ``--trace-out`` (``deobfuscate``/``batch``/``serve``); ``--check``
@@ -319,7 +329,6 @@ def _cmd_batch(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.service import ServiceConfig
-    from repro.service.http import run_server
 
     default_options = {
         "rename": not args.no_rename,
@@ -333,15 +342,57 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         cache_max_entries=args.cache_entries,
         cache_max_bytes=args.cache_bytes,
+        cache_shards=args.cache_shards,
+        cache_dir=args.cache_dir,
+        max_jobs=args.max_jobs,
         default_options=default_options,
         worker=args.worker,
         trace_path=args.trace_out,
     )
+    if args.legacy_threaded:
+        from repro.service.http import run_server
+    else:
+        from repro.service.aserver import run_async_server as run_server
     return run_server(
         config,
         host=args.host,
         port=args.port,
         port_file=args.port_file,
+        quiet=not args.access_log,
+    )
+
+
+def _cmd_fleet(args) -> int:
+    from repro.service.fleet import run_fleet
+
+    serve_args = [
+        "--jobs", str(args.jobs),
+        "--timeout", str(args.timeout),
+        "--queue-limit", str(args.queue_limit),
+        "--cache-entries", str(args.cache_entries),
+        "--cache-bytes", str(args.cache_bytes),
+        "--cache-shards", str(args.cache_shards),
+    ]
+    if args.max_jobs:
+        serve_args += ["--max-jobs", str(args.max_jobs)]
+    if args.no_rename:
+        serve_args.append("--no-rename")
+    if args.no_reformat:
+        serve_args.append("--no-reformat")
+    if args.policy:
+        serve_args += ["--policy", args.policy]
+    if args.worker != "repro.batch.task:run_one":
+        serve_args += ["--worker", args.worker]
+    if args.legacy_threaded:
+        serve_args.append("--legacy-threaded")
+    return run_fleet(
+        args.instances,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        serve_args=serve_args,
+        cache_root=args.cache_root,
+        workdir=args.workdir,
         quiet=not args.access_log,
     )
 
@@ -673,6 +724,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache byte budget (default: 256 MiB)",
     )
     p.add_argument(
+        "--cache-shards", type=int, default=8, metavar="N",
+        help="independent result-cache shards keyed by script hash "
+        "(default: 8)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist the result cache here (snapshot + append-only "
+        "journal); a restarted instance warm-starts from it",
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="autoscale the worker pool between --jobs and N on "
+        "admission queue depth (default: no autoscaling)",
+    )
+    p.add_argument(
+        "--legacy-threaded", action="store_true",
+        help="use the original thread-per-connection HTTP server "
+        "instead of the asyncio front end",
+    )
+    p.add_argument(
         "--access-log", action="store_true",
         help="log one line per HTTP request to stderr",
     )
@@ -691,6 +762,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_policy_flag(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run N serve instances behind a consistent-hash router",
+    )
+    p.add_argument(
+        "--instances", "-n", type=int, default=2, metavar="N",
+        help="service instances to spawn (default: 2)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="router bind address (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8765,
+        help="router bind port; 0 picks an ephemeral port "
+        "(default: 8765)",
+    )
+    p.add_argument(
+        "--port-file", metavar="FILE", default=None,
+        help="write the router's bound port here once listening",
+    )
+    p.add_argument(
+        "--cache-root", metavar="DIR", default=None,
+        help="root for per-instance persisted caches "
+        "(DIR/instance-K; default: under the fleet workdir)",
+    )
+    p.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="working directory for port files and instance logs "
+        "(default: a temp dir)",
+    )
+    p.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="worker processes per instance (default: 2)",
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="per-instance worker-pool autoscale ceiling",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request worker budget per instance (default: 30)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="per-instance admission queue limit (default: 64)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=4096, metavar="N",
+        help="per-instance result cache entries (default: 4096)",
+    )
+    p.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024, metavar="B",
+        help="per-instance result cache byte budget (default: 256 MiB)",
+    )
+    p.add_argument(
+        "--cache-shards", type=int, default=8, metavar="N",
+        help="result-cache shards per instance (default: 8)",
+    )
+    p.add_argument(
+        "--legacy-threaded", action="store_true",
+        help="run instances on the thread-per-connection server",
+    )
+    p.add_argument(
+        "--access-log", action="store_true",
+        help="log one line per routed request to stderr",
+    )
+    p.add_argument("--no-rename", action="store_true")
+    p.add_argument("--no-reformat", action="store_true")
+    p.add_argument(
+        "--worker", default="repro.batch.task:run_one",
+        metavar="MODULE:FUNC",
+        help="per-request worker function for every instance",
+    )
+    _add_policy_flag(p)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "trace",

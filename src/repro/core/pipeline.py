@@ -66,9 +66,8 @@ class DeobfuscationResult:
         timings, per-piece recovery outcomes with reasons, evaluator
         step counts, variable-tracing hit/miss counts, multilayer
         unwrap kinds, and the sandbox policy's denial/budget counters.
-        Serialize with ``stats.to_dict()``; the legacy
-        ``stats["pieces_recovered"]`` dict access still works for one
-        release.
+        Serialize with ``stats.to_dict()``; the legacy dict-style
+        ``stats["pieces_recovered"]`` access has been retired.
     audit
         The run's :class:`~repro.policy.PolicyAudit`: per-capability
         denial counts, summed budget consumption, and — when the policy

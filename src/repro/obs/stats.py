@@ -7,13 +7,14 @@ test), and ``from_dict(to_dict())`` round-trips losslessly — which is
 what lets ``repro batch`` embed the stats in JSONL records and
 ``repro.batch.summary`` aggregate per-phase percentiles over a corpus.
 
-A one-release dict-compat shim (``stats["pieces_recovered"]``,
-``stats.get(...)``, ``"x" in stats``, ``.keys()``/``.items()``) keeps
-pre-redesign callers working; new code should use the attributes.
+The one-release dict-compat shim that kept pre-redesign
+``stats["pieces_recovered"]`` callers working has been retired; use
+the attributes, or ``to_dict()`` for a mapping.  Subscripting raises
+a ``KeyError`` that names the replacement.
 """
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.spans import Span, canonical_phase_name
 
@@ -268,35 +269,12 @@ class PipelineStats:
             )
         self.spans.extend(other.spans)
 
-    # -- one-release dict-compat shim ---------------------------------------
-    #
-    # ``result.stats`` was a plain Dict[str, int]; these methods keep
-    # ``stats["pieces_recovered"]`` / ``stats.get(...)`` / iteration
-    # working until callers migrate to attributes.  Scheduled for
-    # removal one release after the redesign.
-
-    def _as_mapping(self) -> Dict[str, Any]:
-        mapping = self.to_dict()
-        del mapping["schema_version"]
-        return mapping
-
     def __getitem__(self, key: str) -> Any:
-        try:
-            return self._as_mapping()[key]
-        except KeyError:
-            raise KeyError(key) from None
-
-    def get(self, key: str, default: Any = None) -> Any:
-        return self._as_mapping().get(key, default)
-
-    def __contains__(self, key: object) -> bool:
-        return key in self._as_mapping()
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._as_mapping())
-
-    def keys(self):
-        return self._as_mapping().keys()
-
-    def items(self):
-        return self._as_mapping().items()
+        # The one-release dict-compat shim (``stats["pieces_recovered"]``,
+        # ``.get``, ``in``, iteration) is gone.  Subscripting is kept only
+        # to tell migrating callers where to go instead of failing with an
+        # opaque TypeError.
+        raise KeyError(
+            f"PipelineStats is not a mapping; use the attribute "
+            f"stats.{key} or serialize with stats.to_dict()[{key!r}]"
+        )

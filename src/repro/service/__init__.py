@@ -13,15 +13,29 @@ Layers, bottom up:
 - :mod:`repro.service.cache` — SHA-256-of-normalized-source → result,
   bounded LRU with a byte budget, and single-flight dedup (N
   concurrent identical requests execute once and share the result).
+- :mod:`repro.service.shard` — N independent cache shards keyed by
+  script-hash range, so concurrent front-end tasks never serialize on
+  one cache lock.
+- :mod:`repro.service.persist` — snapshot + append-only journal
+  persistence: a restarted instance warm-starts its cache instead of
+  cold-missing, skipping (and counting) corrupt records.
 - :mod:`repro.service.core` — :class:`DeobfuscationService`: the
   bounded admission queue (reject with retry-after when full — the
   backpressure reaches clients, not the fleet), a dispatcher thread
-  owning the interactive :class:`~repro.batch.BatchPool` API, and the
-  lifetime telemetry aggregates.
-- :mod:`repro.service.http` — the stdlib HTTP front end
-  (``/deobfuscate``, ``/healthz``, ``/metrics``) with graceful
-  SIGTERM drain.
-- :mod:`repro.service.metrics` — Prometheus text rendering.
+  owning the interactive :class:`~repro.batch.BatchPool` API — grown
+  and shrunk on queue-depth watermarks when autoscaling is on — and
+  the lifetime telemetry aggregates.
+- :mod:`repro.service.aserver` — the asyncio HTTP front end (the
+  ``repro serve`` default): non-blocking parsing, bounded edge
+  admission, graceful drain.
+- :mod:`repro.service.http` — the original thread-per-connection
+  front end (``repro serve --legacy-threaded``), same routes and
+  dialect.
+- :mod:`repro.service.fleet` — ``repro fleet``: N instances behind a
+  consistent-hash router (script SHA-256 ring, rendezvous fallback),
+  with fleet-wide ``/metrics`` aggregation.
+- :mod:`repro.service.metrics` — Prometheus text rendering and
+  cross-instance snapshot merging.
 
 In-process use, no HTTP::
 
@@ -43,23 +57,37 @@ from repro.service.core import (
     ServiceConfig,
     ServiceUnavailable,
 )
+from repro.service.aserver import (
+    AsyncServiceServer,
+    run_async_server,
+    start_async_server,
+)
 from repro.service.http import (
     ServiceHTTPServer,
     run_server,
     start_server,
 )
-from repro.service.metrics import render_metrics
+from repro.service.metrics import merge_snapshots, render_metrics
+from repro.service.persist import CachePersistence
+from repro.service.shard import ShardedResultCache, shard_index
 
 __all__ = [
+    "AsyncServiceServer",
     "CACHEABLE_STATUSES",
+    "CachePersistence",
     "DeobfuscationService",
     "ResultCache",
     "ServiceConfig",
     "ServiceHTTPServer",
     "ServiceUnavailable",
+    "ShardedResultCache",
     "cache_key",
+    "merge_snapshots",
     "normalize_source",
     "render_metrics",
+    "run_async_server",
     "run_server",
+    "shard_index",
+    "start_async_server",
     "start_server",
 ]

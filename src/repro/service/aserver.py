@@ -1,0 +1,545 @@
+"""The asyncio HTTP front end: the default ``repro serve`` edge.
+
+The original front end (:mod:`repro.service.http`, still available as
+``repro serve --legacy-threaded``) spends one OS thread per
+*connection*: cheap at tens of clients, ruinous at thousands, because
+idle keep-alive connections pin threads and every accept pays a thread
+spawn.  This module replaces the edge with a single-threaded asyncio
+loop:
+
+- **Non-blocking parsing** — request lines, headers, and bodies are
+  read with stream readers; a slow (or slowloris) client costs a
+  coroutine, not a thread, and is cut off by ``idle_timeout``.
+- **Bounded admission at the edge** — at most ``max_pending``
+  requests may be inside the service at once; beyond that the server
+  answers 429 with a jittered ``Retry-After`` *without* blocking the
+  loop.  (The service's own admission queue still bounds pipeline
+  executions; this outer bound protects the dispatch executor.)
+- **Sync core, async edge** — :meth:`DeobfuscationService.submit` is
+  blocking by design (it coordinates the single-flight cache and the
+  worker pool), so the loop dispatches it to a sized
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Worker processes
+  still do the heavy lifting; executor threads only wait.
+- **Same dialect** — routes, request/response JSON, status codes,
+  ``traceparent``/``X-Trace-Id`` handling, and drain semantics are
+  shared with the threaded server (the body validation literally is:
+  :func:`repro.service.http.shape_request`), so clients cannot tell
+  the edges apart.
+- **Graceful drain** — SIGTERM/SIGINT stop the listener, fail new
+  requests 503, let in-flight requests finish, flush a final metrics
+  snapshot, exit 0.
+
+Tests embed the server with :func:`start_async_server`, which runs
+the event loop on a daemon thread and returns a handle exposing
+``server_address`` and ``shutdown()`` — mirroring
+:func:`repro.service.http.start_server`.
+"""
+
+import asyncio
+import functools
+import json
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.batch.pool import (
+    register_fork_unsafe_fd,
+    unregister_fork_unsafe_fd,
+)
+from repro.obs.trace import parse_traceparent
+from repro.service.core import (
+    DeobfuscationService,
+    ServiceConfig,
+    ServiceUnavailable,
+    jittered_retry_after,
+)
+from repro.service.http import (
+    _MAX_BODY_BYTES,
+    _OK_STATUSES,
+    RequestError,
+    shape_request,
+)
+from repro.service.metrics import render_metrics
+
+_MAX_HEADER_BYTES = 64 * 1024
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadHTTP(Exception):
+    """Transport-level garbage: respond once and close the connection."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class AsyncServiceServer:
+    """One service instance behind an asyncio HTTP/1.1 edge."""
+
+    def __init__(
+        self,
+        service: DeobfuscationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+        max_pending: Optional[int] = None,
+        idle_timeout: float = 30.0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.quiet = quiet
+        # Enough slots for every admissible leader plus a band of
+        # cache hits/joiners; beyond this the edge sheds load.
+        self.max_pending = max_pending or (
+            service.config.queue_limit * 2 + 32
+        )
+        self.idle_timeout = idle_timeout
+        self.server_address: Tuple[str, int] = (host, port)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_pending,
+            thread_name_prefix="repro-aserve",
+        )
+        self._pending = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._listen_fds: list = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "AsyncServiceServer":
+        self.service.start()
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.server_address = sock.getsockname()[:2]
+            break
+        # Workers forked while this listener is open would otherwise
+        # inherit it and keep the port alive past drain_and_stop().
+        self._listen_fds = [sock.fileno() for sock in sockets]
+        for fd in self._listen_fds:
+            register_fork_unsafe_fd(fd)
+        return self
+
+    async def drain_and_stop(self) -> bool:
+        """Stop accepting, finish in-flight work, shut the fleet down."""
+        self.service.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for fd in self._listen_fds:
+            unregister_fork_unsafe_fd(fd)
+        self._listen_fds = []
+        loop = asyncio.get_running_loop()
+        drained = await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.service.drain,
+                timeout=max(30.0, self.service.config.timeout + 10.0),
+            ),
+        )
+        self._executor.shutdown(wait=True)
+        self.service.close()
+        return drained
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self.idle_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except _BadHTTP as exc:
+                    await self._respond_json(
+                        writer, exc.code, {"error": exc.message},
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
+                try:
+                    await self._route(
+                        writer, method, target, headers, body, keep_alive
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one HTTP/1.1 request; None on clean EOF."""
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise _BadHTTP(431, "request line too long") from None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _BadHTTP(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise _BadHTTP(431, "header section too large") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 256:
+                raise _BadHTTP(431, "too many headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise _BadHTTP(400, "bad Content-Length") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _BadHTTP(400, "bad or missing Content-Length")
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        return method, target, headers, body
+
+    # -- responses ----------------------------------------------------------
+
+    async def _respond(
+        self,
+        writer,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+        keep_alive: bool = True,
+    ) -> None:
+        reason = _STATUS_TEXT.get(code, "Unknown")
+        head = [
+            f"HTTP/1.1 {code} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: " + ("keep-alive" if keep_alive else "close"),
+        ]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+        if not self.quiet:
+            sys.stderr.write(f"aserve: {code} {len(body)}B\n")
+
+    async def _respond_json(
+        self, writer, code, payload, headers=None, keep_alive=True
+    ) -> None:
+        await self._respond(
+            writer,
+            code,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            "application/json",
+            headers=headers,
+            keep_alive=keep_alive,
+        )
+
+    # -- routing ------------------------------------------------------------
+
+    async def _route(
+        self, writer, method, target, headers, body, keep_alive
+    ) -> None:
+        url = urlsplit(target)
+        if method == "GET" and url.path == "/healthz":
+            health = self.service.healthz()
+            code = 503 if health["status"] == "draining" else 200
+            await self._respond_json(
+                writer, code, health, keep_alive=keep_alive
+            )
+        elif method == "GET" and url.path == "/metrics":
+            await self._respond(
+                writer,
+                200,
+                render_metrics(
+                    self.service.metrics_snapshot()
+                ).encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+                keep_alive=keep_alive,
+            )
+        elif method == "GET" and url.path == "/metrics.json":
+            await self._respond_json(
+                writer,
+                200,
+                self.service.metrics_snapshot(),
+                keep_alive=keep_alive,
+            )
+        elif method == "POST" and url.path == "/deobfuscate":
+            await self._deobfuscate(
+                writer, url, headers, body, keep_alive
+            )
+        else:
+            await self._respond_json(
+                writer,
+                404,
+                {"error": f"no such path: {target}"},
+                keep_alive=keep_alive,
+            )
+
+    async def _deobfuscate(
+        self, writer, url, headers, body, keep_alive
+    ) -> None:
+        query = parse_qs(url.query)
+        query_verify = (query.get("verify") or ["0"])[-1].lower() in (
+            "1", "true", "yes",
+        )
+        try:
+            payload = json.loads(body or b"")
+        except (ValueError, UnicodeDecodeError):
+            await self._respond_json(
+                writer,
+                400,
+                {"error": "body is not valid JSON"},
+                keep_alive=keep_alive,
+            )
+            return
+        try:
+            script, options, verify, timeout = shape_request(
+                payload, default_verify=query_verify
+            )
+        except RequestError as exc:
+            await self._respond_json(
+                writer, 400, exc.payload, keep_alive=keep_alive
+            )
+            return
+
+        if self._pending >= self.max_pending:
+            retry_after = jittered_retry_after(1.0)
+            await self._respond_json(
+                writer,
+                429,
+                {"error": "edge at capacity", "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+                keep_alive=keep_alive,
+            )
+            return
+
+        trace = parse_traceparent(headers.get("traceparent") or "")
+        loop = asyncio.get_running_loop()
+        self._pending += 1
+        try:
+            record = await loop.run_in_executor(
+                self._executor,
+                functools.partial(
+                    self.service.submit,
+                    script,
+                    options=options,
+                    timeout=timeout,
+                    verify=verify,
+                    trace=trace,
+                ),
+            )
+        except ServiceUnavailable as exc:
+            code = 503 if exc.reason == "draining" else 429
+            retry_after = jittered_retry_after(exc.retry_after)
+            await self._respond_json(
+                writer,
+                code,
+                {"error": exc.reason, "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+                keep_alive=keep_alive,
+            )
+            return
+        finally:
+            self._pending -= 1
+
+        if not payload.get("stats"):
+            record.pop("stats", None)
+        code = 200 if record.get("status") in _OK_STATUSES else 500
+        extra = None
+        trace_id = record.get("trace_id")
+        if trace_id:
+            extra = {"X-Trace-Id": str(trace_id)}
+        await self._respond_json(
+            writer, code, record, headers=extra, keep_alive=keep_alive
+        )
+
+
+# --------------------------------------------------------------------------
+# embedding and CLI entry points
+# --------------------------------------------------------------------------
+
+class AsyncServerHandle:
+    """Test/embedding handle: background event loop + running server."""
+
+    def __init__(self, server: AsyncServiceServer, loop, thread):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def server_address(self) -> Tuple[str, int]:
+        return self.server.server_address
+
+    def shutdown(self, drain: bool = True) -> bool:
+        """Stop the server (optionally draining) and join the loop."""
+        if not self.loop.is_running():
+            return True
+        if drain:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain_and_stop(), self.loop
+            )
+            drained = future.result(timeout=60.0)
+        else:
+            drained = True
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+        return drained
+
+
+def start_async_server(
+    service: DeobfuscationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    **server_options: Any,
+) -> AsyncServerHandle:
+    """Run the asyncio edge on a daemon thread; return its handle.
+
+    The counterpart of :func:`repro.service.http.start_server` for
+    tests and embedders: ``port=0`` binds an ephemeral port, readable
+    from ``handle.server_address`` once this returns.
+    """
+    loop = asyncio.new_event_loop()
+    server = AsyncServiceServer(
+        service, host=host, port=port, quiet=quiet, **server_options
+    )
+    started = threading.Event()
+    failure: list = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _boot():
+            try:
+                await server.start()
+            except BaseException as exc:  # noqa: BLE001 — surface to caller
+                failure.append(exc)
+            finally:
+                started.set()
+
+        loop.create_task(_boot())
+        loop.run_forever()
+        # Cancel whatever is left so the loop closes cleanly.
+        for task in asyncio.all_tasks(loop):
+            task.cancel()
+        loop.run_until_complete(
+            asyncio.gather(*asyncio.all_tasks(loop), return_exceptions=True)
+        )
+        loop.close()
+
+    thread = threading.Thread(
+        target=_run, name="repro-aserve-loop", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("async server did not start within 10s")
+    if failure:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        raise failure[0]
+    return AsyncServerHandle(server, loop, thread)
+
+
+async def _serve_until_signal(
+    server: AsyncServiceServer, port_file: Optional[str]
+) -> bool:
+    await server.start()
+    host, port = server.server_address
+    if port_file:
+        with open(port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+    config = server.service.config
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"({config.jobs} workers, queue limit {config.queue_limit}, "
+        f"asyncio front end)",
+        file=sys.stderr,
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.remove_signal_handler(signum)
+    print("repro serve: draining…", file=sys.stderr, flush=True)
+    service = server.service
+    drained = await server.drain_and_stop()
+    print(
+        render_metrics(service.metrics_snapshot()),
+        file=sys.stderr,
+        flush=True,
+    )
+    print(
+        "repro serve: drained cleanly"
+        if drained
+        else "repro serve: drain timed out; some work was dropped",
+        file=sys.stderr,
+        flush=True,
+    )
+    return drained
+
+
+def run_async_server(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    port_file: Optional[str] = None,
+    quiet: bool = True,
+) -> int:
+    """Blocking ``repro serve`` body on the asyncio front end."""
+    service = DeobfuscationService(config)
+    server = AsyncServiceServer(service, host=host, port=port, quiet=quiet)
+    try:
+        drained = asyncio.run(_serve_until_signal(server, port_file))
+    except OSError as exc:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    return 0 if drained else 1

@@ -45,9 +45,10 @@ from repro.service.cache import (
     DEFAULT_MAX_ENTRIES,
     HIT,
     JOIN,
-    ResultCache,
     cache_key,
 )
+from repro.service.persist import DEFAULT_COMPACT_AFTER, CachePersistence
+from repro.service.shard import DEFAULT_SHARDS, ShardedResultCache
 
 # Statuses whose results are deterministic for a given input+options
 # and therefore safe to cache.  error (environmental) and timeout
@@ -67,6 +68,21 @@ class ServiceUnavailable(Exception):
         super().__init__(reason)
         self.reason = reason
         self.retry_after = retry_after
+
+
+def jittered_retry_after(seconds: float) -> int:
+    """A 429/503 ``Retry-After`` value with random spread.
+
+    Every rejected client getting the same integer means they all come
+    back in the same instant and the admission queue fills again — a
+    self-sustaining thundering herd.  Spread retries uniformly over
+    ``[base, 2*base]`` (minimum 1s) so the herd re-arrives as a
+    trickle.
+    """
+    import random
+
+    base = max(1.0, float(seconds))
+    return int(round(base + random.uniform(0.0, base)))
 
 
 @dataclass
@@ -96,10 +112,22 @@ class ServiceConfig:
     cache_max_entries: int = DEFAULT_MAX_ENTRIES
     cache_max_bytes: int = DEFAULT_MAX_BYTES
     cache_enabled: bool = True
+    cache_shards: int = DEFAULT_SHARDS
+    cache_dir: Optional[str] = None
+    cache_compact_after: int = DEFAULT_COMPACT_AFTER
     worker: str = DEFAULT_WORKER_SPEC
     start_method: Optional[str] = None
     default_options: Dict[str, Any] = field(default_factory=dict)
     trace_path: Optional[str] = None
+    # Autoscaling: with ``max_jobs > jobs`` the dispatcher grows the
+    # worker fleet one process at a time while the admitted queue
+    # depth exceeds ``scale_up_depth`` per worker, and shrinks back
+    # toward ``jobs`` after ``scale_down_idle`` seconds below the
+    # watermark.  ``jobs`` is the floor; ``max_jobs=None`` (or equal
+    # to ``jobs``) disables scaling.
+    max_jobs: Optional[int] = None
+    scale_up_depth: float = 2.0
+    scale_down_idle: float = 3.0
 
 
 class _Job:
@@ -123,9 +151,18 @@ class DeobfuscationService:
         elif overrides:
             raise TypeError("pass either config or overrides, not both")
         self.config = config
-        self.cache = ResultCache(
+        self.cache = ShardedResultCache(
             max_entries=config.cache_max_entries,
             max_bytes=config.cache_max_bytes,
+            shards=config.cache_shards,
+        )
+        self.persistence: Optional[CachePersistence] = (
+            CachePersistence(
+                config.cache_dir,
+                compact_after=config.cache_compact_after,
+            )
+            if config.cache_dir
+            else None
         )
         self.pool = BatchPool(
             jobs=config.jobs,
@@ -143,6 +180,8 @@ class DeobfuscationService:
             "rejected": 0,
             "request_timeouts": 0,
             "errors": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
         }
         self.pipeline_totals = PipelineStats()
         self.verify_counts: Dict[str, int] = {}
@@ -164,6 +203,7 @@ class DeobfuscationService:
         self._jobs: "queue.Queue[_Job]" = queue.Queue()
         self._dispatcher: Optional[threading.Thread] = None
         self._started_monotonic = time.monotonic()
+        self._below_since = time.monotonic()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -173,6 +213,10 @@ class DeobfuscationService:
             return self
         self._started = True
         self._started_monotonic = time.monotonic()
+        if self.persistence is not None:
+            loaded = self.persistence.load()
+            if loaded:
+                self.cache.load(iter(loaded.items()))
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch",
             daemon=True,
@@ -212,6 +256,11 @@ class DeobfuscationService:
             self._dispatcher.join(timeout=5.0)
             self._dispatcher = None
         self.pool.close()
+        if self.persistence is not None:
+            # Final compaction: the snapshot becomes the whole state,
+            # so the next boot replays one clean file.
+            self.persistence.compact(self.cache.entries())
+            self.persistence.close()
         if self.exporter is not None:
             self.exporter.close()
             self.exporter = None
@@ -382,6 +431,9 @@ class DeobfuscationService:
         """Single owner of the (non-thread-safe) pool."""
         self.pool.prestart()
         inflight: Dict[int, _Job] = {}
+        floor = max(1, self.config.jobs)
+        ceiling = max(floor, self.config.max_jobs or floor)
+        self._below_since = time.monotonic()
         while not self._stop.is_set():
             try:
                 job = self._jobs.get(timeout=0.02)
@@ -397,12 +449,43 @@ class DeobfuscationService:
                     except queue.Empty:
                         break
                     inflight[self.pool.submit(job.task)] = job
+            if ceiling > floor:
+                self._autoscale(floor, ceiling)
             if inflight:
                 for ticket, record in self.pool.collect(timeout=0.05):
                     finished = inflight.pop(ticket, None)
                     if finished is None:
                         continue
                     self._complete(finished, record)
+
+    def _autoscale(self, floor: int, ceiling: int) -> None:
+        """Grow/shrink the pool on queue-depth watermarks.
+
+        Runs on the dispatcher thread (the pool's single owner).  Grow
+        one worker per pass while the admitted depth exceeds
+        ``scale_up_depth`` per worker; shrink one worker after the
+        depth has stayed low enough for the *smaller* fleet for
+        ``scale_down_idle`` seconds, so a bursty load does not flap.
+        """
+        with self._gate:
+            depth = self._admitted
+        target = self.pool.jobs
+        now = time.monotonic()
+        if depth > self.config.scale_up_depth * target and target < ceiling:
+            self.pool.resize(target + 1)
+            with self._gate:
+                self.counters["scale_ups"] += 1
+            self._below_since = now
+            return
+        fits_smaller = depth <= self.config.scale_up_depth * (target - 1)
+        if target > floor and fits_smaller:
+            if now - self._below_since >= self.config.scale_down_idle:
+                self.pool.resize(target - 1)
+                with self._gate:
+                    self.counters["scale_downs"] += 1
+                self._below_since = now
+        else:
+            self._below_since = now
 
     def _complete(self, job: _Job, record: dict) -> None:
         status = record.get("status")
@@ -435,9 +518,11 @@ class DeobfuscationService:
                 self.verify_counts[verdict] = (
                     self.verify_counts.get(verdict, 0) + 1
                 )
-        self.cache.resolve(
-            job.key, record, cacheable=status in CACHEABLE_STATUSES
-        )
+        cacheable = status in CACHEABLE_STATUSES
+        self.cache.resolve(job.key, record, cacheable=cacheable)
+        if self.persistence is not None and cacheable:
+            if self.persistence.append(job.key, record):
+                self.persistence.compact(self.cache.entries())
         job.record = record
         job.event.set()
 
@@ -450,16 +535,30 @@ class DeobfuscationService:
             return self._admitted
 
     def healthz(self) -> Dict[str, Any]:
+        """Liveness/readiness payload.
+
+        The fleet router uses this as its readiness probe, so beyond
+        liveness it reports capacity (queue depth vs limit, current
+        autoscaled pool size) and warm-start state (how much of the
+        persisted cache a restarted instance recovered, and how many
+        corrupt journal records it had to skip).
+        """
         from repro import package_version
 
+        warm: Dict[str, Any] = {"enabled": False}
+        if self.persistence is not None:
+            warm = self.persistence.snapshot_counters()
         return {
             "status": "draining" if self._draining else "ok",
             "version": package_version(),
             "workers": self.pool.worker_count,
             "jobs": self.config.jobs,
+            "pool_size": self.pool.jobs,
             "queue_depth": self.queue_depth,
             "queue_limit": self.config.queue_limit,
             "cache_entries": len(self.cache),
+            "cache_shards": self.cache.shards,
+            "warm_start": warm,
             "uptime_seconds": round(
                 time.monotonic() - self._started_monotonic, 3
             ),
@@ -474,6 +573,9 @@ class DeobfuscationService:
             verify_counts = dict(self.verify_counts)
             pipeline_hist = self.pipeline_hist.to_dict()
             request_hist = self.request_hist.to_dict()
+        persistence: Dict[str, Any] = {"enabled": False}
+        if self.persistence is not None:
+            persistence = self.persistence.snapshot_counters()
         return {
             "counters": counters,
             "verify": verify_counts,
@@ -483,8 +585,10 @@ class DeobfuscationService:
             "queue_limit": self.config.queue_limit,
             "draining": self._draining,
             "cache": self.cache.snapshot(),
+            "persistence": persistence,
             "worker_restarts": dict(self.pool.restarts),
             "workers": self.pool.worker_count,
+            "pool_size": self.pool.jobs,
             "pipeline": pipeline,
             "uptime_seconds": round(
                 time.monotonic() - self._started_monotonic, 3

@@ -1,0 +1,648 @@
+"""Multi-instance serving: N service processes behind consistent hashing.
+
+One service instance scales to one box's cores.  ``repro fleet`` runs
+N instances (separate processes, separate worker pools, separate
+persisted cache directories) behind a thin router that owns three
+jobs:
+
+consistent-hash routing
+    Requests are routed by the script's SHA-256 (the same normalized
+    content hash the result cache keys on, options excluded): a
+    :class:`HashRing` with ``replicas`` virtual nodes per instance
+    maps every script deterministically to one instance.  The payoff
+    is cache *partitioning*, not just load spreading — each script
+    always lands on the instance that already holds its result, so
+    fleet-wide cache economics match a single shared cache without
+    any shared state.
+
+rendezvous fallback
+    When the routed instance is unreachable, the router falls back to
+    rendezvous (highest-random-weight) hashing over the remaining
+    healthy instances — still deterministic (every router picks the
+    same fallback for the same script), minimal disruption (only the
+    dead instance's keys move), and self-healing (a recovered
+    instance takes its keys back, where its persisted cache still
+    has the results warm).
+
+aggregation
+    ``GET /metrics`` merges every instance's ``/metrics.json``
+    snapshot (:func:`repro.service.metrics.merge_snapshots`) into one
+    fleet-wide Prometheus exposition plus ``repro_fleet_*`` routing
+    counters; ``GET /healthz`` reports per-instance health with the
+    instances' own enriched payloads (queue depth, pool size, warm-
+    start status).
+
+The router is deliberately thin — no pipeline work, no cache — so a
+threaded stdlib server is plenty: handler threads spend their time in
+``urllib`` waits on the instances.  :class:`FleetManager` owns the
+child processes (spawn, port discovery, SIGTERM drain);
+:class:`FleetHTTPServer` can also front *pre-existing* instances
+given their URLs, which is how the tests drive it.
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from bisect import bisect_left
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.batch.pool import (
+    register_fork_unsafe_fd,
+    unregister_fork_unsafe_fd,
+)
+from repro.service.cache import normalize_source
+from repro.service.metrics import merge_snapshots, render_metrics
+
+DEFAULT_REPLICAS = 64
+_PROBE_INTERVAL = 1.0
+_FORWARD_TIMEOUT = 120.0
+
+
+def script_routing_key(script: str) -> str:
+    """The fleet routing key: SHA-256 of the normalized script.
+
+    Options are deliberately excluded (unlike the result-cache key):
+    all variants of one script belong on one instance, so its cache
+    holds every option combination for that script.
+    """
+    return hashlib.sha256(
+        normalize_source(script).encode("utf-8")
+    ).hexdigest()
+
+
+def _point(label: str) -> int:
+    """64-bit ring position for a label."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring with rendezvous fallback.
+
+    ``replicas`` virtual nodes per instance smooth the key ranges;
+    with the default 64 the expected per-instance load imbalance is a
+    few percent.  Both :meth:`route` and :meth:`fallback` are pure
+    functions of (instances, key), so every router replica makes the
+    same decision with no coordination.
+    """
+
+    def __init__(
+        self, instances: Iterable[str], replicas: int = DEFAULT_REPLICAS
+    ):
+        self.instances = sorted(set(instances))
+        self.replicas = max(1, replicas)
+        points: List[Tuple[int, str]] = []
+        for instance in self.instances:
+            for replica in range(self.replicas):
+                points.append(
+                    (_point(f"{instance}#{replica}"), instance)
+                )
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(self, key: str) -> str:
+        """The ring owner of a hex *key* (first point clockwise)."""
+        if not self.instances:
+            raise ValueError("empty ring")
+        position = int(key[:16], 16)
+        index = bisect_left(self._points, position)
+        if index >= len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def fallback(
+        self, key: str, healthy: Iterable[str]
+    ) -> Optional[str]:
+        """Rendezvous choice among *healthy* instances.
+
+        Highest-random-weight: every healthy instance scores
+        ``hash(key ‖ instance)`` and the max wins — deterministic, and
+        when an instance dies only *its* keys move (each to a
+        different survivor, so the fallback load spreads evenly).
+        """
+        best, best_score = None, -1
+        for instance in healthy:
+            score = _point(f"{key}@{instance}")
+            if score > best_score:
+                best, best_score = instance, score
+        return best
+
+
+# --------------------------------------------------------------------------
+# router
+# --------------------------------------------------------------------------
+
+class FleetState:
+    """Shared router state: the ring, health, and routing counters."""
+
+    def __init__(self, instances: List[str], replicas: int = DEFAULT_REPLICAS):
+        self.ring = HashRing(instances, replicas=replicas)
+        self._lock = threading.Lock()
+        self._unhealthy: Dict[str, float] = {}  # instance -> down since
+        self.routed: Dict[str, int] = {i: 0 for i in self.ring.instances}
+        self.fallbacks = 0
+        self.rejected = 0
+
+    @property
+    def instances(self) -> List[str]:
+        return self.ring.instances
+
+    def healthy_instances(self) -> List[str]:
+        with self._lock:
+            return [
+                i for i in self.ring.instances if i not in self._unhealthy
+            ]
+
+    def mark_down(self, instance: str) -> None:
+        with self._lock:
+            self._unhealthy.setdefault(instance, time.monotonic())
+
+    def mark_up(self, instance: str) -> None:
+        with self._lock:
+            self._unhealthy.pop(instance, None)
+
+    def is_healthy(self, instance: str) -> bool:
+        with self._lock:
+            return instance not in self._unhealthy
+
+    def pick(self, key: str) -> Optional[Tuple[str, bool]]:
+        """(instance, is_fallback) for a routing key; None if all down."""
+        primary = self.ring.route(key)
+        if self.is_healthy(primary):
+            return primary, False
+        healthy = self.healthy_instances()
+        if not healthy:
+            return None
+        fallback = self.ring.fallback(key, healthy)
+        return (fallback, True) if fallback else None
+
+    def count_routed(self, instance: str, fallback: bool) -> None:
+        with self._lock:
+            self.routed[instance] = self.routed.get(instance, 0) + 1
+            if fallback:
+                self.fallbacks += 1
+
+    def count_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def counters(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "routed": dict(self.routed),
+                "fallbacks": self.fallbacks,
+                "rejected": self.rejected,
+                "unhealthy": sorted(self._unhealthy),
+            }
+
+
+def _fetch_json(
+    url: str, timeout: float = 10.0
+) -> Optional[Dict[str, Any]]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read())
+    except (OSError, ValueError, urllib.error.URLError):
+        return None
+
+
+class _HealthProber(threading.Thread):
+    """Background re-check of instances the router marked down."""
+
+    def __init__(self, state: FleetState, interval: float = _PROBE_INTERVAL):
+        super().__init__(name="repro-fleet-probe", daemon=True)
+        self.state = state
+        self.interval = interval
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.interval):
+            for instance in self.state.instances:
+                if self.state.is_healthy(instance):
+                    continue
+                health = _fetch_json(instance + "/healthz", timeout=2.0)
+                if health and health.get("status") == "ok":
+                    self.state.mark_up(instance)
+
+
+class FleetHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(self, address, state: FleetState, quiet: bool = True):
+        self.state = state
+        self.quiet = quiet
+        super().__init__(address, _RouterHandler)
+        # In-process embeddings (tests) run the router next to service
+        # instances whose forked workers must not inherit this listener.
+        self._listen_fd = self.socket.fileno()
+        register_fork_unsafe_fd(self._listen_fd)
+
+    def server_close(self):
+        unregister_fork_unsafe_fd(self._listen_fd)
+        super().server_close()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> FleetState:
+        return self.server.state
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if not self.server.quiet:
+            sys.stderr.write(
+                "%s - - %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, code, payload, headers=None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(code, body, "application/json", headers)
+
+    def _send_bytes(self, code, body, content_type, headers=None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -- aggregation endpoints ----------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/healthz":
+            self._healthz()
+        elif self.path == "/metrics":
+            self._metrics()
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def _healthz(self) -> None:
+        reports = {}
+        healthy = 0
+        for instance in self.state.instances:
+            health = _fetch_json(instance + "/healthz", timeout=5.0)
+            if health is None:
+                self.state.mark_down(instance)
+                reports[instance] = {"status": "unreachable"}
+            else:
+                if health.get("status") == "ok":
+                    self.state.mark_up(instance)
+                    healthy += 1
+                reports[instance] = health
+        total = len(self.state.instances)
+        status = (
+            "ok"
+            if healthy == total
+            else ("degraded" if healthy else "down")
+        )
+        self._send_json(
+            200 if healthy else 503,
+            {
+                "status": status,
+                "healthy_instances": healthy,
+                "instances": reports,
+                "router": self.state.counters(),
+            },
+        )
+
+    def _metrics(self) -> None:
+        snapshots = []
+        for instance in self.state.instances:
+            snap = _fetch_json(instance + "/metrics.json", timeout=10.0)
+            if snap is None:
+                self.state.mark_down(instance)
+            else:
+                snapshots.append(snap)
+        text = render_metrics(merge_snapshots(snapshots))
+        counters = self.state.counters()
+        lines = [
+            "# HELP repro_fleet_instances Configured service instances.",
+            "# TYPE repro_fleet_instances gauge",
+            f"repro_fleet_instances {len(self.state.instances)}",
+            "# HELP repro_fleet_healthy_instances Instances the router "
+            "considers routable.",
+            "# TYPE repro_fleet_healthy_instances gauge",
+            f"repro_fleet_healthy_instances "
+            f"{len(self.state.healthy_instances())}",
+            "# HELP repro_fleet_routed_total Requests routed per "
+            "instance.",
+            "# TYPE repro_fleet_routed_total counter",
+        ]
+        for instance, count in sorted(counters["routed"].items()):
+            lines.append(
+                f'repro_fleet_routed_total{{instance="{instance}"}} '
+                f"{count}"
+            )
+        lines += [
+            "# HELP repro_fleet_fallbacks_total Requests rerouted off a "
+            "dead primary via rendezvous hashing.",
+            "# TYPE repro_fleet_fallbacks_total counter",
+            f"repro_fleet_fallbacks_total {counters['fallbacks']}",
+            "# HELP repro_fleet_unroutable_total Requests rejected with "
+            "no healthy instance.",
+            "# TYPE repro_fleet_unroutable_total counter",
+            f"repro_fleet_unroutable_total {counters['rejected']}",
+        ]
+        self._send_bytes(
+            200,
+            (text + "\n".join(lines) + "\n").encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- routing proxy ------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        if not self.path.startswith("/deobfuscate"):
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_json(400, {"error": "bad or missing Content-Length"})
+            return
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body or b"")
+            script = payload["script"]
+            assert isinstance(script, str)
+        except (ValueError, KeyError, AssertionError, TypeError):
+            self._send_json(
+                400, {"error": "expected {\"script\": \"...\"}"}
+            )
+            return
+        key = script_routing_key(script)
+
+        attempts = 0
+        while attempts < 2:
+            attempts += 1
+            picked = self.state.pick(key)
+            if picked is None:
+                self.state.count_rejected()
+                self._send_json(
+                    503,
+                    {"error": "no healthy instance"},
+                    headers={"Retry-After": "5"},
+                )
+                return
+            instance, fallback = picked
+            forwarded = self._forward(instance, body)
+            if forwarded is None:
+                self.state.mark_down(instance)
+                continue
+            self.state.count_routed(instance, fallback)
+            code, headers, response_body = forwarded
+            passthrough = {
+                name: value
+                for name, value in headers
+                if name.lower() in ("x-trace-id", "retry-after")
+            }
+            passthrough["X-Repro-Instance"] = instance
+            passthrough["X-Repro-Routing"] = (
+                "fallback" if fallback else "primary"
+            )
+            self._send_bytes(
+                code, response_body, "application/json", passthrough
+            )
+            return
+        self.state.count_rejected()
+        self._send_json(
+            503,
+            {"error": "no healthy instance"},
+            headers={"Retry-After": "5"},
+        )
+
+    def _forward(
+        self, instance: str, body: bytes
+    ) -> Optional[Tuple[int, List[Tuple[str, str]], bytes]]:
+        """Proxy the request to *instance*; None on transport failure."""
+        request = urllib.request.Request(
+            instance + self.path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        traceparent = self.headers.get("traceparent")
+        if traceparent:
+            request.add_header("traceparent", traceparent)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=_FORWARD_TIMEOUT
+            ) as response:
+                return (
+                    response.status,
+                    response.getheaders(),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as error:
+            # An HTTP status from the instance (429, 400, 500…) is an
+            # *answer*, not a dead instance — pass it through.
+            return error.code, error.headers.items(), error.read()
+        except (OSError, urllib.error.URLError):
+            return None
+
+
+# --------------------------------------------------------------------------
+# instance management
+# --------------------------------------------------------------------------
+
+class FleetManager:
+    """Spawn and supervise N ``repro serve`` child processes.
+
+    Each instance gets its own ephemeral port (discovered through a
+    port file) and its own cache directory under ``cache_root`` —
+    restarting instance *k* therefore warm-starts from
+    ``cache_root/instance-k``.
+    """
+
+    def __init__(
+        self,
+        instances: int,
+        serve_args: Optional[List[str]] = None,
+        cache_root: Optional[str] = None,
+        workdir: Optional[str] = None,
+        host: str = "127.0.0.1",
+    ):
+        import tempfile
+
+        self.count = max(1, instances)
+        self.serve_args = list(serve_args or [])
+        self.host = host
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-fleet-")
+        self.cache_root = cache_root or os.path.join(
+            self.workdir, "cache"
+        )
+        self.processes: List[subprocess.Popen] = []
+        self.urls: List[str] = []
+
+    def instance_command(self, index: int) -> List[str]:
+        port_file = os.path.join(self.workdir, f"port-{index}")
+        cache_dir = os.path.join(self.cache_root, f"instance-{index}")
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--port-file",
+            port_file,
+            "--cache-dir",
+            cache_dir,
+            *self.serve_args,
+        ]
+
+    def start(self, startup_timeout: float = 30.0) -> List[str]:
+        os.makedirs(self.workdir, exist_ok=True)
+        for index in range(self.count):
+            port_file = os.path.join(self.workdir, f"port-{index}")
+            if os.path.exists(port_file):
+                os.unlink(port_file)
+            log = open(
+                os.path.join(self.workdir, f"serve-{index}.log"), "ab"
+            )
+            self.processes.append(
+                subprocess.Popen(
+                    self.instance_command(index),
+                    stdout=log,
+                    stderr=log,
+                )
+            )
+            log.close()
+        deadline = time.monotonic() + startup_timeout
+        self.urls = []
+        for index, process in enumerate(self.processes):
+            port_file = os.path.join(self.workdir, f"port-{index}")
+            while not os.path.exists(port_file):
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"instance {index} died during startup "
+                        f"(exit {process.returncode}); see "
+                        f"{self.workdir}/serve-{index}.log"
+                    )
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"instance {index} did not report a port within "
+                        f"{startup_timeout}s"
+                    )
+                time.sleep(0.05)
+            with open(port_file, "r", encoding="utf-8") as handle:
+                port = int(handle.read().strip())
+            self.urls.append(f"http://{self.host}:{port}")
+        return self.urls
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        """SIGTERM every instance (graceful drain); True if all exit 0."""
+        for process in self.processes:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        clean = True
+        deadline = time.monotonic() + timeout
+        for process in self.processes:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                clean &= process.wait(timeout=remaining) == 0
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+                clean = False
+        self.processes = []
+        return clean
+
+
+def run_fleet(
+    instances: int,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    port_file: Optional[str] = None,
+    serve_args: Optional[List[str]] = None,
+    cache_root: Optional[str] = None,
+    workdir: Optional[str] = None,
+    replicas: int = DEFAULT_REPLICAS,
+    quiet: bool = True,
+) -> int:
+    """Blocking ``repro fleet`` body: instances + router + drain."""
+    manager = FleetManager(
+        instances,
+        serve_args=serve_args,
+        cache_root=cache_root,
+        workdir=workdir,
+        host=host,
+    )
+    try:
+        urls = manager.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        manager.stop(timeout=5.0)
+        return 1
+    state = FleetState(urls, replicas=replicas)
+    try:
+        server = FleetHTTPServer((host, port), state, quiet=quiet)
+    except OSError as exc:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        manager.stop(timeout=10.0)
+        return 1
+    bound_host, bound_port = server.server_address[:2]
+    if port_file:
+        with open(port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(bound_port))
+    print(
+        f"repro fleet: routing http://{bound_host}:{bound_port} -> "
+        f"{len(urls)} instance(s): {', '.join(urls)}",
+        file=sys.stderr,
+        flush=True,
+    )
+    prober = _HealthProber(state)
+    prober.start()
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-fleet-http", daemon=True
+    )
+    thread.start()
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_shutdown)
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    print("repro fleet: draining instances…", file=sys.stderr, flush=True)
+    prober.stop_event.set()
+    server.shutdown()
+    thread.join(timeout=10.0)
+    server.server_close()
+    clean = manager.stop()
+    print(
+        "repro fleet: drained cleanly"
+        if clean
+        else "repro fleet: some instances did not drain cleanly",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0 if clean else 1

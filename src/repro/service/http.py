@@ -45,11 +45,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.batch.pool import (
+    register_fork_unsafe_fd,
+    unregister_fork_unsafe_fd,
+)
 from repro.obs.trace import parse_traceparent
 from repro.service.core import (
     DeobfuscationService,
     ServiceConfig,
     ServiceUnavailable,
+    jittered_retry_after,
 )
 from repro.service.metrics import render_metrics
 
@@ -59,6 +64,59 @@ _MAX_BODY_BYTES = 16 * 1024 * 1024
 # job even when the *pipeline* reports a timeout partial or a parse
 # failure — those are results, not transport errors.
 _OK_STATUSES = ("ok", "invalid", "timeout")
+
+
+class RequestError(Exception):
+    """A malformed ``/deobfuscate`` body; ``payload`` is the 400 JSON."""
+
+    def __init__(self, payload: dict):
+        super().__init__(payload.get("error", "bad request"))
+        self.payload = payload
+
+
+def shape_request(
+    payload, default_verify: bool = False
+) -> Tuple[str, dict, bool, Optional[float]]:
+    """Validate a ``/deobfuscate`` JSON body.
+
+    Returns ``(script, options, verify, timeout)``; raises
+    :class:`RequestError` with the 400 response payload otherwise.
+    ``default_verify`` carries the ``?verify=1`` query flag, which a
+    ``"verify"`` body field overrides.  Shared by the threaded and
+    asyncio front ends so both speak the same request dialect.
+    """
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("script"), str
+    ):
+        raise RequestError({"error": "expected {\"script\": \"...\"}"})
+    options = {}
+    for flag in ("rename", "reformat"):
+        if flag in payload:
+            options[flag] = bool(payload[flag])
+    if "policy" in payload:
+        policy = payload["policy"]
+        if not isinstance(policy, str):
+            raise RequestError({"error": "policy must be a string"})
+        from repro.policy import PolicyError, normalize_policy_name
+        from repro.policy.presets import PRESETS
+
+        try:
+            name = normalize_policy_name(policy)
+            if name not in PRESETS:
+                raise PolicyError(name)
+        except PolicyError:
+            raise RequestError(
+                {
+                    "error": f"unknown policy: {policy!r}",
+                    "policies": sorted(PRESETS),
+                }
+            ) from None
+        options["policy"] = name
+    verify = bool(payload.get("verify", default_verify))
+    timeout = payload.get("timeout")
+    if timeout is not None and not isinstance(timeout, (int, float)):
+        raise RequestError({"error": "timeout must be a number"})
+    return payload["script"], options, verify, timeout
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -81,6 +139,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.service = service
         self.quiet = quiet
         super().__init__(address, _Handler)
+        # Keep forked workers from inheriting the listener and holding
+        # the port open past server_close().
+        self._listen_fd = self.socket.fileno()
+        register_fork_unsafe_fd(self._listen_fd)
+
+    def server_close(self):
+        unregister_fork_unsafe_fd(self._listen_fd)
+        super().server_close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -136,6 +202,10 @@ class _Handler(BaseHTTPRequestHandler):
                 render_metrics(self.service.metrics_snapshot()),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif self.path == "/metrics.json":
+            # The machine-readable snapshot the fleet router merges
+            # across instances (repro.service.fleet).
+            self._send_json(200, self.service.metrics_snapshot())
         else:
             self._send_json(404, {"error": f"no such path: {self.path}"})
 
@@ -160,59 +230,27 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, UnicodeDecodeError):
             self._send_json(400, {"error": "body is not valid JSON"})
             return
-        if not isinstance(payload, dict) or not isinstance(
-            payload.get("script"), str
-        ):
-            self._send_json(
-                400, {"error": "expected {\"script\": \"...\"}"}
+        try:
+            script, options, verify, timeout = shape_request(
+                payload, default_verify=verify
             )
-            return
-
-        options = {}
-        for flag in ("rename", "reformat"):
-            if flag in payload:
-                options[flag] = bool(payload[flag])
-        if "policy" in payload:
-            policy = payload["policy"]
-            if not isinstance(policy, str):
-                self._send_json(400, {"error": "policy must be a string"})
-                return
-            from repro.policy import PolicyError, normalize_policy_name
-            from repro.policy.presets import PRESETS
-
-            try:
-                name = normalize_policy_name(policy)
-                if name not in PRESETS:
-                    raise PolicyError(name)
-            except PolicyError:
-                self._send_json(
-                    400,
-                    {
-                        "error": f"unknown policy: {policy!r}",
-                        "policies": sorted(PRESETS),
-                    },
-                )
-                return
-            options["policy"] = name
-        if "verify" in payload:
-            verify = bool(payload["verify"])
-        timeout = payload.get("timeout")
-        if timeout is not None and not isinstance(timeout, (int, float)):
-            self._send_json(400, {"error": "timeout must be a number"})
+        except RequestError as exc:
+            self._send_json(400, exc.payload)
             return
 
         trace = parse_traceparent(self.headers.get("traceparent") or "")
         try:
             record = self.service.submit(
-                payload["script"], options=options, timeout=timeout,
+                script, options=options, timeout=timeout,
                 verify=verify, trace=trace,
             )
         except ServiceUnavailable as exc:
             code = 503 if exc.reason == "draining" else 429
+            retry_after = jittered_retry_after(exc.retry_after)
             self._send_json(
                 code,
-                {"error": exc.reason, "retry_after": exc.retry_after},
-                headers={"Retry-After": str(int(max(1, exc.retry_after)))},
+                {"error": exc.reason, "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
             )
             return
 

@@ -29,7 +29,7 @@ both mean "a pipeline execution was avoided", which is the number a
 capacity planner wants.
 """
 
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, List
 
 from repro.obs.spans import canonical_phase_name
 
@@ -116,6 +116,93 @@ def _histogram(
         lines.append(sample)
     lines.append(f"{name}_sum {round(float(hist.get('sum', 0.0)), 6)}")
     lines.append(f"{name}_count {int(hist.get('count', 0))}")
+
+
+def _sum_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Key-wise sum of numeric values (non-numeric values are kept
+    from the first snapshot that has them)."""
+    out: Dict[str, Any] = {}
+    for mapping in dicts:
+        for key, value in (mapping or {}).items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                out.setdefault(key, value)
+            else:
+                current = out.get(key, 0)
+                out[key] = (
+                    current + value
+                    if isinstance(current, (int, float))
+                    and not isinstance(current, bool)
+                    else value
+                )
+    return out
+
+
+def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-instance :meth:`metrics_snapshot` payloads into one
+    fleet-wide snapshot :func:`render_metrics` can render.
+
+    Counters, queue depths/limits, cache and persistence counters,
+    worker counts and restarts sum; the pipeline-telemetry aggregate
+    merges through :class:`~repro.obs.PipelineStats`; latency
+    histograms merge bucket-wise through
+    :class:`~repro.obs.Histogram`; ``uptime_seconds`` is the oldest
+    instance's; ``draining`` is true only when *every* instance is
+    draining (a single draining instance leaves the fleet serving).
+    """
+    from repro.obs import Histogram, PipelineStats
+
+    snapshots = [snap for snap in snapshots if snap]
+    if not snapshots:
+        return {}
+    merged: Dict[str, Any] = {
+        "counters": _sum_dicts(s.get("counters") for s in snapshots),
+        "verify": _sum_dicts(s.get("verify") for s in snapshots),
+        "cache": _sum_dicts(s.get("cache") for s in snapshots),
+        "persistence": _sum_dicts(
+            s.get("persistence") for s in snapshots
+        ),
+        "worker_restarts": _sum_dicts(
+            s.get("worker_restarts") for s in snapshots
+        ),
+        "queue_depth": sum(s.get("queue_depth", 0) for s in snapshots),
+        "queue_limit": sum(s.get("queue_limit", 0) for s in snapshots),
+        "workers": sum(s.get("workers", 0) for s in snapshots),
+        "pool_size": sum(s.get("pool_size", 0) for s in snapshots),
+        "draining": all(s.get("draining") for s in snapshots),
+        "uptime_seconds": max(
+            s.get("uptime_seconds", 0) for s in snapshots
+        ),
+        "instances": len(snapshots),
+    }
+    # warm_start/enabled summed as ints above would be misleading —
+    # report "any instance" semantics instead.
+    merged["persistence"]["enabled"] = any(
+        (s.get("persistence") or {}).get("enabled") for s in snapshots
+    )
+    merged["persistence"]["warm_start"] = any(
+        (s.get("persistence") or {}).get("warm_start") for s in snapshots
+    )
+    totals = PipelineStats()
+    for snap in snapshots:
+        pipeline = snap.get("pipeline")
+        if isinstance(pipeline, dict):
+            partial = PipelineStats.from_dict(pipeline)
+            partial.spans = []
+            totals.merge(partial)
+    merged["pipeline"] = totals.to_dict()
+    for name in (
+        "pipeline_duration_histogram",
+        "request_duration_histogram",
+    ):
+        combined = Histogram()
+        for snap in snapshots:
+            payload = snap.get(name)
+            if isinstance(payload, dict) and payload:
+                combined.merge(Histogram.from_dict(payload))
+        merged[name] = combined.to_dict()
+    return merged
 
 
 def render_metrics(snapshot: Dict[str, Any]) -> str:
@@ -261,6 +348,66 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
         "gauge",
         "Live worker processes in the fleet.",
         [(None, snapshot.get("workers", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_pool_size",
+        "gauge",
+        "Target worker-pool size (moves under autoscaling).",
+        [(None, snapshot.get("pool_size", snapshot.get("workers", 0)))],
+    )
+    _metric(
+        lines,
+        "repro_service_pool_autoscale_total",
+        "counter",
+        "Autoscaler pool resizes by direction.",
+        [
+            ({"direction": "up"}, counters.get("scale_ups", 0)),
+            ({"direction": "down"}, counters.get("scale_downs", 0)),
+        ],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_shards",
+        "gauge",
+        "Independent result-cache shards (by script-hash range).",
+        [(None, cache.get("shards", 1))],
+    )
+    persistence = snapshot.get("persistence") or {}
+    _metric(
+        lines,
+        "repro_service_cache_warm_start",
+        "gauge",
+        "1 when this instance warm-started from a persisted cache.",
+        [(None, 1 if persistence.get("warm_start") else 0)],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_persist_loaded_entries",
+        "gauge",
+        "Cache entries recovered from snapshot+journal at boot.",
+        [(None, persistence.get("loaded_entries", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_persist_skipped_records_total",
+        "counter",
+        "Corrupt or truncated persisted records skipped during load.",
+        [(None, persistence.get("skipped_records", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_persist_appends_total",
+        "counter",
+        "Results appended to the cache journal.",
+        [(None, persistence.get("appended_records", 0))],
+    )
+    _metric(
+        lines,
+        "repro_service_cache_persist_compactions_total",
+        "counter",
+        "Snapshot compactions (journal folded into the snapshot).",
+        [(None, persistence.get("compactions", 0))],
     )
     _metric(
         lines,

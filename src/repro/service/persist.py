@@ -1,0 +1,199 @@
+"""Cache persistence: snapshot plus append-only journal, warm-start.
+
+A restarted service instance used to cold-miss its entire working set
+— exactly the requests a fleet router keeps sending it, because
+consistent hashing pins each script to its instance.  This module
+makes the result cache survive the process:
+
+layout
+    ``<dir>/snapshot.jsonl`` — one ``{"key", "record"}`` JSON object
+    per line, the cache contents as of the last compaction.
+    ``<dir>/journal.jsonl`` — one object per *store* since that
+    snapshot, appended (and flushed) as results resolve.  Load order
+    is snapshot first, then journal, so the journal's newer duplicates
+    win by recency.
+
+corruption tolerance
+    Both files are read line by line; a line that fails to parse, is
+    truncated mid-write (the common crash artifact), fails its length
+    check, or lacks the expected fields is *skipped and counted*,
+    never fatal.  ``skipped_records`` is surfaced through ``/healthz``
+    and ``/metrics`` so silent rot is visible.
+
+compaction
+    :meth:`CachePersistence.compact` rewrites the snapshot from the
+    live cache (atomic rename) and truncates the journal.  The service
+    compacts on graceful shutdown and whenever the journal grows past
+    ``compact_after`` records, so unbounded append never eats the disk.
+
+Each journal line carries the JSON payload's byte length
+(``"n": len(record_json)``) as a cheap integrity check: a torn write
+that happens to end on a newline still fails the length comparison.
+"""
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+SNAPSHOT_NAME = "snapshot.jsonl"
+JOURNAL_NAME = "journal.jsonl"
+
+# Journal records between automatic compactions.
+DEFAULT_COMPACT_AFTER = 4096
+
+
+def _encode_line(key: str, record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True, default=str)
+    line = json.dumps(
+        {"key": key, "n": len(payload), "record": record},
+        sort_keys=True,
+        default=str,
+    )
+    return line.encode("utf-8") + b"\n"
+
+
+def _decode_line(raw: bytes) -> Optional[Tuple[str, dict]]:
+    """Parse one persisted line; None for anything malformed."""
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict):
+        return None
+    key = obj.get("key")
+    record = obj.get("record")
+    if not isinstance(key, str) or not isinstance(record, dict):
+        return None
+    expected = obj.get("n")
+    if expected is not None:
+        payload = json.dumps(record, sort_keys=True, default=str)
+        if len(payload) != expected:
+            return None
+    return key, record
+
+
+class CachePersistence:
+    """Snapshot + journal persistence for a result cache directory.
+
+    Thread-safe for concurrent :meth:`append` calls (the service's
+    dispatcher and front-end tasks both store results).  ``load()``
+    must run before the first append — the service wires this at
+    startup.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        compact_after: int = DEFAULT_COMPACT_AFTER,
+    ):
+        self.directory = directory
+        self.compact_after = max(1, compact_after)
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+        self.journal_path = os.path.join(directory, JOURNAL_NAME)
+        self._lock = threading.Lock()
+        self._journal_handle = None
+        self._journal_records = 0
+        # Lifetime counters, surfaced in /healthz and /metrics.
+        self.loaded_entries = 0
+        self.skipped_records = 0
+        self.appended_records = 0
+        self.compactions = 0
+        self.warm_start = False
+        os.makedirs(directory, exist_ok=True)
+
+    # -- load ---------------------------------------------------------------
+
+    def _read_file(self, path: str) -> Iterator[Tuple[str, dict]]:
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            for raw in handle:
+                decoded = _decode_line(raw)
+                if decoded is None:
+                    if raw.strip():
+                        self.skipped_records += 1
+                    continue
+                yield decoded
+
+    def load(self) -> Dict[str, dict]:
+        """Read snapshot then journal; newest duplicate wins.
+
+        Returns an insertion-ordered mapping (oldest first) so an LRU
+        cache loading it evicts the stale end under budget pressure.
+        Sets :attr:`warm_start` when anything was recovered.
+        """
+        entries: Dict[str, dict] = {}
+        for key, record in self._read_file(self.snapshot_path):
+            entries.pop(key, None)
+            entries[key] = record
+        journal_lines = 0
+        for key, record in self._read_file(self.journal_path):
+            journal_lines += 1
+            entries.pop(key, None)
+            entries[key] = record
+        self._journal_records = journal_lines
+        self.loaded_entries = len(entries)
+        self.warm_start = bool(entries)
+        return entries
+
+    # -- append path --------------------------------------------------------
+
+    def append(self, key: str, record: dict) -> bool:
+        """Journal one stored result; True when compaction is due."""
+        line = _encode_line(key, record)
+        with self._lock:
+            if self._journal_handle is None:
+                self._journal_handle = open(self.journal_path, "ab")
+            self._journal_handle.write(line)
+            self._journal_handle.flush()
+            self._journal_records += 1
+            self.appended_records += 1
+            return self._journal_records >= self.compact_after
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self, entries: Iterator[Tuple[str, dict]]) -> int:
+        """Rewrite the snapshot from *entries*; truncate the journal.
+
+        The snapshot is written to a temp file and renamed over the old
+        one, so a crash mid-compaction leaves the previous snapshot
+        (plus the untruncated journal) intact.  Returns the entry
+        count written.
+        """
+        tmp_path = self.snapshot_path + ".tmp"
+        written = 0
+        with self._lock:
+            with open(tmp_path, "wb") as handle:
+                for key, record in entries:
+                    handle.write(_encode_line(key, record))
+                    written += 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.snapshot_path)
+            if self._journal_handle is not None:
+                self._journal_handle.close()
+                self._journal_handle = None
+            open(self.journal_path, "wb").close()
+            self._journal_records = 0
+            self.compactions += 1
+        return written
+
+    def close(self) -> None:
+        with self._lock:
+            if self._journal_handle is not None:
+                self._journal_handle.close()
+                self._journal_handle = None
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot_counters(self) -> Dict[str, Any]:
+        return {
+            "enabled": True,
+            "warm_start": self.warm_start,
+            "loaded_entries": self.loaded_entries,
+            "skipped_records": self.skipped_records,
+            "appended_records": self.appended_records,
+            "compactions": self.compactions,
+            "journal_records": self._journal_records,
+        }

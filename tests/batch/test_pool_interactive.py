@@ -191,3 +191,63 @@ class TestLifecycle:
         pool = BatchPool(jobs=1, worker="nosuch.module:fn")
         with pytest.raises((ImportError, AttributeError, ValueError)):
             pool.submit(Task(path="x.ps1"))
+
+
+class TestResize:
+    def test_grow_spawns_on_demand(self, tmp_path):
+        pool = BatchPool(jobs=1)
+        try:
+            pool.prestart()
+            assert pool.worker_count == 1
+            assert pool.resize(3) == 3
+            pool.prestart()
+            assert pool.worker_count == 3
+        finally:
+            pool.close()
+
+    def test_shrink_sheds_idle_workers(self, tmp_path):
+        pool = BatchPool(jobs=3)
+        try:
+            pool.prestart()
+            assert pool.worker_count == 3
+            pool.resize(1)
+            assert pool.jobs == 1
+            assert pool.worker_count == 1
+            # the surviving fleet still does work
+            path = write_sample(tmp_path, "a.ps1", "write-host a")
+            pool.submit(Task(path=path))
+            (record,) = collect_all(pool, 1).values()
+            assert record["status"] == "ok"
+        finally:
+            pool.close()
+
+    def test_shrink_spares_busy_workers(self, tmp_path):
+        from tests.batch.helpers import SLEEP_MARKER
+
+        pool = BatchPool(jobs=2, worker=FAULTY)
+        try:
+            slow = write_sample(
+                tmp_path, "slow.ps1", f"# {SLEEP_MARKER}\nwrite-host s"
+            )
+            pool.submit(Task(path=slow))
+            pool.collect(timeout=0.2)  # let it dispatch
+            busy = [
+                worker_id
+                for worker_id, state in pool._workers.items()
+                if state.ticket is not None
+            ]
+            assert busy
+            pool.resize(1)
+            # the busy worker survives until its task completes
+            assert busy[0] in pool._workers
+            (record,) = collect_all(pool, 1).values()
+            assert record["status"] == "ok"
+        finally:
+            pool.close()
+
+    def test_resize_floors_at_one(self):
+        pool = BatchPool(jobs=2)
+        try:
+            assert pool.resize(0) == 1
+        finally:
+            pool.close()

@@ -44,10 +44,8 @@ class TestEndToEnd:
         assert result.iterations >= 1
         assert result.elapsed_seconds >= 0
         assert isinstance(result.stats, PipelineStats)
-        # One-release dict-compat shim: legacy key access keeps working.
-        assert result.stats["pieces_recovered"] >= 1
-        assert result.stats.get("variables_traced", 0) == 0
-        assert "pieces_recovered" in result.stats
+        assert result.stats.pieces_recovered >= 1
+        assert result.stats.variables_traced == 0
 
     def test_phase_spans_recorded(self):
         result = deobfuscate("iex ('a'+'b')")

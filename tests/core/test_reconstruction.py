@@ -191,9 +191,9 @@ class TestVariableTracing:
     def test_stats_populated(self):
         engine = AstDeobfuscator()
         engine.process("$a = 'x'+'y'; use $a")
-        assert engine.stats["variables_traced"] >= 1
-        assert engine.stats["variables_substituted"] >= 1
-        assert engine.stats["pieces_recovered"] >= 1
+        assert engine.stats.variables_traced >= 1
+        assert engine.stats.variables_substituted >= 1
+        assert engine.stats.pieces_recovered >= 1
 
 
 class TestPaperExamples:

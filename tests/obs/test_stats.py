@@ -93,23 +93,26 @@ class TestMerge:
         assert len(a.spans) == 6
 
 
-class TestDictCompatShim:
-    """The one-release bridge for pre-redesign callers."""
+class TestDictCompatShimRetired:
+    """The one-release bridge is gone; subscripting must say so."""
 
-    def test_getitem_and_get(self):
+    def test_getitem_raises_pointing_at_to_dict(self):
+        with pytest.raises(KeyError, match=r"to_dict\(\)"):
+            populated()["pieces_recovered"]
+
+    def test_mapping_protocol_is_gone(self):
         stats = populated()
-        assert stats["pieces_recovered"] == 3
-        assert stats.get("variables_traced") == 2
-        assert stats.get("nonexistent", 7) == 7
-
-    def test_getitem_unknown_raises_keyerror(self):
+        assert not hasattr(stats, "keys")
+        assert not hasattr(stats, "items")
+        assert not hasattr(stats, "get")
+        # __getitem__ only exists to raise; the legacy-iteration and
+        # containment fallbacks that route through it fail too.
         with pytest.raises(KeyError):
-            populated()["nope"]
+            list(stats)
+        with pytest.raises(KeyError):
+            "evaluator_steps" in stats
 
-    def test_contains_iter_keys_items(self):
-        stats = populated()
-        assert "evaluator_steps" in stats
-        assert "nope" not in stats
-        assert "trace_hits" in set(iter(stats))
-        assert dict(stats.items())["tokens_rewritten"] == 4
-        assert "unwrap_kinds" in stats.keys()
+    def test_to_dict_is_the_mapping_form(self):
+        mapping = populated().to_dict()
+        assert mapping["pieces_recovered"] == 3
+        assert mapping["variables_traced"] == 2

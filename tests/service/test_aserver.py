@@ -1,0 +1,265 @@
+"""Tests for the asyncio front end (:mod:`repro.service.aserver`).
+
+The contract under test is dialect parity: a client must not be able
+to tell the asyncio edge from the threaded one — same routes, same
+JSON shapes, same status codes, same drain semantics — plus the two
+things only this edge does: bounded edge admission (429 before the
+dispatch executor saturates) and keep-alive connection reuse.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    DeobfuscationService,
+    ServiceConfig,
+    start_async_server,
+)
+from repro.service.core import jittered_retry_after
+from tests.service.helpers import COUNTER_ENV, SLEEP_MARKER
+from tests.service.test_service import get, metric_value, post
+
+COUNTING = "tests.service.helpers:counting_worker"
+
+
+@pytest.fixture
+def aserved():
+    """A running service behind the asyncio edge; yields a factory."""
+    handles = []
+
+    def make(**overrides):
+        server_options = {
+            name: overrides.pop(name)
+            for name in ("max_pending", "idle_timeout")
+            if name in overrides
+        }
+        defaults = dict(jobs=2, timeout=10.0, kill_grace=0.3,
+                        queue_limit=64)
+        defaults.update(overrides)
+        service = DeobfuscationService(ServiceConfig(**defaults))
+        handle = start_async_server(service, **server_options)
+        handles.append(handle)
+        host, port = handle.server_address
+        return service, handle, f"http://{host}:{port}"
+
+    yield make
+    for handle in handles:
+        handle.shutdown(drain=True)
+
+
+class TestRouteParity:
+    def test_deobfuscate_matches_direct_pipeline(self, aserved):
+        from repro import Deobfuscator
+
+        _service, _handle, url = aserved()
+        script = "$a = 'wri'+'te-host'; I`E`X ($a + ' same')"
+        code, body, headers = post(url, {"script": script})
+        assert code == 200
+        direct = Deobfuscator().deobfuscate(script)
+        assert body["script"] == direct.script
+        assert body["cache_hit"] is False
+        assert headers.get("X-Trace-Id") == body["trace_id"]
+
+    def test_cache_hit_on_resubmission(self, aserved):
+        _service, _handle, url = aserved()
+        _code, first, _h = post(url, {"script": "write-host again"})
+        _code, second, _h = post(url, {"script": "write-host again"})
+        assert second["cache_hit"] is True
+        assert second["cache_key"] == first["cache_key"]
+
+    def test_verify_via_query_and_body(self, aserved):
+        import urllib.request
+
+        _service, _handle, url = aserved()
+
+        def post_query(payload):
+            request = urllib.request.Request(
+                url + "/deobfuscate?verify=1",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                return response.status, json.loads(response.read())
+
+        code, body = post_query({"script": "write-host v"})
+        assert code == 200
+        assert body["verify"]["verdict"] == "equivalent"
+        # The body field overrides the query default off again.
+        code, body = post_query({"script": "write-host v2", "verify": False})
+        assert "verify" not in body
+
+    def test_bad_requests_rejected(self, aserved):
+        _service, _handle, url = aserved()
+        code, body, _h = post(url, {"no_script": True})
+        assert code == 400
+        code, body, _h = post(url, {"script": "x", "timeout": "soon"})
+        assert code == 400
+        code, body, _h = post(url, {"script": "x", "policy": "no-such"})
+        assert code == 400
+        assert "unknown policy" in body["error"]
+        status, _body = get(url, "/nope")
+        assert status == 404
+
+    def test_raw_garbage_body_is_a_400(self, aserved):
+        _service, _handle, url = aserved()
+        host, port = url.replace("http://", "").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10.0)
+        conn.request(
+            "POST", "/deobfuscate", body=b"\xff not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        assert b"not valid JSON" in response.read()
+        conn.close()
+
+    def test_healthz_reports_fleet_readiness_fields(self, aserved, tmp_path):
+        from repro import package_version
+
+        _service, _handle, url = aserved(cache_dir=str(tmp_path / "cache"))
+        status, body = get(url, "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["version"] == package_version()
+        assert health["pool_size"] == 2
+        assert health["queue_depth"] == 0
+        assert health["cache_shards"] == 8
+        assert health["warm_start"]["enabled"] is True
+        assert health["warm_start"]["warm_start"] is False
+
+    def test_metrics_text_and_json(self, aserved):
+        _service, _handle, url = aserved()
+        post(url, {"script": "write-host m"})
+        status, text = get(url, "/metrics")
+        assert status == 200
+        assert metric_value(text, "repro_service_requests_total") == 1
+        assert metric_value(text, "repro_service_pool_size") == 2
+        assert metric_value(text, "repro_service_cache_shards") == 8
+        status, raw = get(url, "/metrics.json")
+        snapshot = json.loads(raw)
+        assert snapshot["counters"]["requests"] == 1
+        assert snapshot["cache"]["shards"] == 8
+
+
+class TestKeepAlive:
+    def test_connection_reuse_across_requests(self, aserved):
+        _service, _handle, url = aserved()
+        host, port = url.replace("http://", "").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10.0)
+        for index in range(3):
+            body = json.dumps({"script": f"write-host k{index}"})
+            conn.request(
+                "POST", "/deobfuscate", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.headers["Connection"] == "keep-alive"
+            json.loads(response.read())
+        conn.close()
+
+
+class TestEdgeAdmission:
+    def test_edge_429_when_pending_saturated(self, aserved):
+        _service, handle, url = aserved(max_pending=4)
+        # Deterministic saturation: claim every slot by hand, then ask.
+        handle.server._pending = handle.server.max_pending
+        try:
+            code, body, headers = post(url, {"script": "write-host x"})
+        finally:
+            handle.server._pending = 0
+        assert code == 429
+        assert body["error"] == "edge at capacity"
+        retry_after = int(headers["Retry-After"])
+        assert 1 <= retry_after <= 2
+        assert body["retry_after"] == retry_after
+
+    def test_queue_overflow_is_jittered_429(self, aserved):
+        _service, _handle, url = aserved(
+            worker=COUNTING, jobs=1, queue_limit=1, timeout=5.0
+        )
+        responses = []
+        barrier = threading.Barrier(6)
+
+        def one(index):
+            barrier.wait(timeout=10.0)
+            responses.append(
+                post(url, {"script": f"# {SLEEP_MARKER}\nwrite-host {index}"})
+            )
+
+        threads = [
+            threading.Thread(target=one, args=(index,))
+            for index in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        codes = sorted(code for code, _b, _h in responses)
+        assert 429 in codes, codes
+        for code, body, headers in responses:
+            if code != 429:
+                continue
+            assert "queue full" in body["error"]
+            # ServiceUnavailable default retry_after=1.0, jittered over
+            # [1, 2].
+            assert 1 <= int(headers["Retry-After"]) <= 2
+
+
+class TestSingleFlight:
+    def test_concurrent_duplicates_execute_once(self, aserved, tmp_path,
+                                                monkeypatch):
+        counter = tmp_path / "executions.log"
+        monkeypatch.setenv(COUNTER_ENV, str(counter))
+        _service, _handle, url = aserved(worker=COUNTING)
+
+        script = f"# {SLEEP_MARKER}\nwrite-host slow"
+        outcomes = []
+        barrier = threading.Barrier(4)
+
+        def one():
+            barrier.wait(timeout=10.0)
+            outcomes.append(post(url, {"script": script}))
+
+        threads = [threading.Thread(target=one) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert len(counter.read_text().splitlines()) == 1
+        assert all(code == 200 for code, _b, _h in outcomes)
+        assert sum(1 for _c, b, _h in outcomes if b["coalesced"]) == 3
+
+
+class TestDrain:
+    def test_drain_rejects_then_stops_clean(self, aserved):
+        service, handle, url = aserved()
+        code, _body, _h = post(url, {"script": "write-host pre"})
+        assert code == 200
+        service.begin_drain()
+        code, body, _h = post(url, {"script": "write-host late"})
+        assert code == 503
+        assert body["error"] == "draining"
+        status, body = get(url, "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "draining"
+        assert handle.shutdown(drain=True) is True
+
+
+class TestRetryAfterJitter:
+    def test_spread_over_base_to_double(self):
+        values = {jittered_retry_after(5.0) for _ in range(300)}
+        assert values <= set(range(5, 11))
+        assert len(values) > 1, "no jitter at all"
+
+    def test_minimum_is_one_second(self):
+        assert all(
+            1 <= jittered_retry_after(0.0) <= 2 for _ in range(50)
+        )

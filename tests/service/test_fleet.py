@@ -1,0 +1,305 @@
+"""Fleet tests: the hash ring, routing state, and the router proxy.
+
+The load-bearing properties: routing is a pure function of
+(instances, script) — every router replica agrees with no
+coordination; removing an instance moves *only* that instance's keys
+(consistent hashing's whole point); and the rendezvous fallback is
+deterministic and spreads a dead instance's keys across the
+survivors.  The proxy tests drive a real two-instance fleet in
+process — asyncio edges over real worker pools — through
+:class:`FleetHTTPServer`.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    DeobfuscationService,
+    ServiceConfig,
+    start_async_server,
+)
+from repro.service.fleet import (
+    FleetHTTPServer,
+    FleetState,
+    HashRing,
+    script_routing_key,
+)
+from tests.service.test_service import get, metric_value, post
+
+KEYS = [script_routing_key(f"write-host k{i}") for i in range(400)]
+INSTANCES = [f"http://127.0.0.1:{8000 + i}" for i in range(4)]
+
+
+class TestRoutingKey:
+    def test_ignores_trivia_but_not_content(self):
+        assert script_routing_key("write-host a\r\n") == script_routing_key(
+            "﻿write-host a\n"
+        )
+        assert script_routing_key("write-host a") != script_routing_key(
+            "write-host b"
+        )
+
+
+class TestHashRing:
+    def test_deterministic_across_instances_order(self):
+        ring_a = HashRing(INSTANCES)
+        ring_b = HashRing(list(reversed(INSTANCES)))
+        assert [ring_a.route(k) for k in KEYS] == [
+            ring_b.route(k) for k in KEYS
+        ]
+
+    def test_routes_land_on_configured_instances(self):
+        ring = HashRing(INSTANCES)
+        owners = {ring.route(key) for key in KEYS}
+        assert owners <= set(INSTANCES)
+        # 400 keys over 4 instances with 64 vnodes each: everyone
+        # owns a share.
+        assert owners == set(INSTANCES)
+
+    def test_removal_moves_only_the_removed_instances_keys(self):
+        full = HashRing(INSTANCES)
+        removed = INSTANCES[1]
+        shrunk = HashRing([i for i in INSTANCES if i != removed])
+        moved = stayed = 0
+        for key in KEYS:
+            before = full.route(key)
+            after = shrunk.route(key)
+            if before == removed:
+                assert after != removed
+            elif before == after:
+                stayed += 1
+            else:
+                moved += 1
+        # Consistent hashing: keys not owned by the removed instance
+        # keep their placement.
+        assert moved == 0
+        assert stayed > 0
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            HashRing([]).route(KEYS[0])
+
+    def test_fallback_is_deterministic_and_excludes_dead(self):
+        ring = HashRing(INSTANCES)
+        dead = INSTANCES[0]
+        healthy = [i for i in INSTANCES if i != dead]
+        picks = [ring.fallback(key, healthy) for key in KEYS]
+        assert picks == [ring.fallback(key, healthy) for key in KEYS]
+        assert dead not in picks
+        # The dead instance's keys spread across every survivor, not
+        # onto one neighbour.
+        orphan_picks = {
+            ring.fallback(key, healthy)
+            for key in KEYS
+            if ring.route(key) == dead
+        }
+        assert orphan_picks == set(healthy)
+
+    def test_fallback_empty_healthy_is_none(self):
+        ring = HashRing(INSTANCES)
+        assert ring.fallback(KEYS[0], []) is None
+
+
+class TestFleetState:
+    def test_pick_prefers_healthy_primary(self):
+        state = FleetState(INSTANCES)
+        key = KEYS[0]
+        primary = state.ring.route(key)
+        assert state.pick(key) == (primary, False)
+
+    def test_pick_falls_back_when_primary_down(self):
+        state = FleetState(INSTANCES)
+        key = KEYS[0]
+        primary = state.ring.route(key)
+        state.mark_down(primary)
+        instance, fallback = state.pick(key)
+        assert fallback is True
+        assert instance != primary
+        state.mark_up(primary)
+        assert state.pick(key) == (primary, False)
+
+    def test_pick_none_when_all_down(self):
+        state = FleetState(INSTANCES[:2])
+        for instance in INSTANCES[:2]:
+            state.mark_down(instance)
+        assert state.pick(KEYS[0]) is None
+
+    def test_counters(self):
+        state = FleetState(INSTANCES[:2])
+        state.count_routed(INSTANCES[0], fallback=False)
+        state.count_routed(INSTANCES[1], fallback=True)
+        state.count_rejected()
+        counters = state.counters()
+        assert counters["routed"][INSTANCES[0]] == 1
+        assert counters["fallbacks"] == 1
+        assert counters["rejected"] == 1
+
+
+@pytest.fixture
+def fleet():
+    """Two real service instances behind a router; yields (state, url,
+    handles)."""
+    handles = [
+        start_async_server(
+            DeobfuscationService(
+                ServiceConfig(jobs=1, timeout=10.0, queue_limit=16)
+            )
+        )
+        for _ in range(2)
+    ]
+    urls = [
+        f"http://{host}:{port}"
+        for host, port in (h.server_address for h in handles)
+    ]
+    state = FleetState(urls)
+    router = FleetHTTPServer(("127.0.0.1", 0), state)
+    thread = threading.Thread(target=router.serve_forever, daemon=True)
+    thread.start()
+    host, port = router.server_address[:2]
+    yield state, f"http://{host}:{port}", handles
+    router.shutdown()
+    thread.join(timeout=5.0)
+    router.server_close()
+    for handle in handles:
+        handle.shutdown(drain=False)
+        handle.server.service.close()
+
+
+class TestRouterProxy:
+    def test_routing_is_deterministic_and_matches_the_ring(self, fleet):
+        state, url, _handles = fleet
+        for index in range(6):
+            script = f"write-host r{index}"
+            expected = state.ring.route(script_routing_key(script))
+            for _ in range(2):  # resubmission lands on the same box
+                code, body, headers = post(url, {"script": script})
+                assert code == 200
+                assert body["status"] == "ok"
+                assert headers["X-Repro-Instance"] == expected
+                assert headers["X-Repro-Routing"] == "primary"
+            # Second submission hit that instance's local cache.
+            assert body["cache_hit"] is True
+
+    def test_bad_requests_stopped_at_the_router(self, fleet):
+        _state, url, _handles = fleet
+        code, body, _h = post(url, {"no_script": True})
+        assert code == 400
+        status, _body = get(url, "/nope")
+        assert status == 404
+
+    def test_instance_errors_pass_through(self, fleet):
+        _state, url, _handles = fleet
+        # A 400 answered by the *instance* (bad policy survives the
+        # router's thin script check) must not be mistaken for a dead
+        # instance.
+        code, body, _h = post(
+            url, {"script": "write-host x", "policy": "no-such"}
+        )
+        assert code == 400
+        assert "unknown policy" in body["error"]
+
+    def test_healthz_aggregates_instances(self, fleet):
+        _state, url, _handles = fleet
+        status, body = get(url, "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["healthy_instances"] == 2
+        assert all(
+            report["status"] == "ok"
+            for report in health["instances"].values()
+        )
+
+    def test_metrics_aggregates_and_counts_routing(self, fleet):
+        _state, url, _handles = fleet
+        for index in range(4):
+            post(url, {"script": f"write-host m{index}"})
+        status, metrics = get(url, "/metrics")
+        assert status == 200
+        assert metric_value(metrics, "repro_fleet_instances") == 2
+        assert metric_value(metrics, "repro_fleet_healthy_instances") == 2
+        # The merged service counters see every request exactly once.
+        assert metric_value(metrics, "repro_service_requests_total") == 4
+        routed = sum(
+            float(line.rsplit(" ", 1)[1])
+            for line in metrics.splitlines()
+            if line.startswith("repro_fleet_routed_total{")
+        )
+        assert routed == 4
+
+    def test_dead_instance_falls_back_and_recovers(self, fleet):
+        state, url, handles = fleet
+        # Find a script routed to instance 0, then kill instance 0.
+        urls = state.instances
+        target = next(
+            f"write-host d{i}"
+            for i in range(100)
+            if state.ring.route(script_routing_key(f"write-host d{i}"))
+            == urls[0]
+        )
+        victim = next(
+            h for h in handles
+            if f"http://{h.server_address[0]}:{h.server_address[1]}"
+            == urls[0]
+        )
+        # A full shutdown closes the listener, so the router's forward
+        # fails fast (connection refused) instead of hanging.
+        victim.shutdown(drain=True)
+
+        code, body, headers = post(url, {"script": target})
+        assert code == 200
+        assert body["status"] == "ok"
+        assert headers["X-Repro-Instance"] != urls[0]
+        assert headers["X-Repro-Routing"] == "fallback"
+        assert state.counters()["fallbacks"] >= 1
+        # The router noticed the death.
+        assert urls[0] not in state.healthy_instances()
+
+    def test_all_dead_is_503_with_retry_after(self, fleet):
+        state, url, _handles = fleet
+        for instance in state.instances:
+            state.mark_down(instance)
+        code, body, headers = post(url, {"script": "write-host x"})
+        assert code == 503
+        assert body["error"] == "no healthy instance"
+        assert headers.get("Retry-After") == "5"
+        for instance in state.instances:
+            state.mark_up(instance)
+
+
+class TestMergeSnapshots:
+    def test_two_instances_sum_and_max(self):
+        from repro.service.metrics import merge_snapshots
+
+        services = [
+            DeobfuscationService(ServiceConfig(jobs=1)).start()
+            for _ in range(2)
+        ]
+        try:
+            services[0].submit("write-host merge-a")
+            services[0].submit("write-host merge-a")
+            services[1].submit("write-host merge-b")
+            merged = merge_snapshots(
+                [service.metrics_snapshot() for service in services]
+            )
+            assert merged["counters"]["requests"] == 3
+            assert merged["counters"]["cache_hits"] == 1
+            assert merged["counters"]["executions"] == 2
+            assert merged["instances"] == 2
+            assert merged["workers"] == 2
+            assert merged["cache"]["entries"] == 2
+            assert merged["draining"] is False
+            hist = merged["request_duration_histogram"]
+            assert sum(hist["counts"]) == 3
+        finally:
+            for service in services:
+                service.close()
+
+    def test_empty_list_renders(self):
+        from repro.service.metrics import merge_snapshots, render_metrics
+
+        text = render_metrics(merge_snapshots([]))
+        assert "repro_service_requests_total 0" in text

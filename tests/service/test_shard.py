@@ -1,0 +1,145 @@
+"""Unit tests for the sharded result cache (:mod:`repro.service.shard`).
+
+Sharding must be invisible to callers — the same single-flight and LRU
+guarantees as one :class:`ResultCache` — while placement stays
+deterministic (the property the fleet router builds on) and the
+aggregate budgets match the configured totals.
+"""
+
+import hashlib
+import threading
+
+from repro.service.cache import HIT, JOIN, LEAD
+from repro.service.shard import ShardedResultCache, shard_index
+
+
+def key_for(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+KEYS = [key_for(f"script-{i}") for i in range(512)]
+
+
+class TestShardIndex:
+    def test_deterministic_and_in_range(self):
+        for key in KEYS:
+            index = shard_index(key, 8)
+            assert index == shard_index(key, 8)
+            assert 0 <= index < 8
+
+    def test_distribution_not_degenerate(self):
+        counts = [0] * 8
+        for key in KEYS:
+            counts[shard_index(key, 8)] += 1
+        # 512 SHA-256 keys over 8 shards: every shard populated, no
+        # shard hoarding more than a third of the space.
+        assert all(count > 0 for count in counts)
+        assert max(counts) < len(KEYS) / 3
+
+    def test_single_shard_degenerates(self):
+        assert all(shard_index(key, 1) == 0 for key in KEYS)
+
+
+class TestShardedCache:
+    def test_put_get_roundtrip_and_len(self):
+        cache = ShardedResultCache(shards=4)
+        for position, key in enumerate(KEYS[:32]):
+            cache.put(key, {"status": "ok", "n": position})
+        assert len(cache) == 32
+        for position, key in enumerate(KEYS[:32]):
+            assert cache.get(key) == {"status": "ok", "n": position}
+
+    def test_same_key_same_shard(self):
+        cache = ShardedResultCache(shards=8)
+        for key in KEYS[:64]:
+            assert cache.shard_for(key) is cache.shard_for(key)
+
+    def test_entry_budget_split_across_shards(self):
+        cache = ShardedResultCache(max_entries=8, shards=4)
+        for shard in cache._shards:
+            assert shard.max_entries == 2
+        for key in KEYS[:256]:
+            cache.put(key, {"status": "ok"})
+        # Aggregate never exceeds the configured total.
+        assert len(cache) <= 8
+
+    def test_single_flight_within_a_shard(self):
+        cache = ShardedResultCache(shards=4)
+        key = KEYS[0]
+        outcome, flight = cache.lookup(key)
+        assert outcome == LEAD
+        outcome, joined = cache.lookup(key)
+        assert outcome == JOIN
+        assert joined is flight
+        assert cache.in_flight == 1
+        cache.resolve(key, {"status": "ok"})
+        assert cache.in_flight == 0
+        outcome, record = cache.lookup(key)
+        assert outcome == HIT
+        assert record == {"status": "ok"}
+
+    def test_abandon_wakes_joiners_without_record(self):
+        cache = ShardedResultCache(shards=2)
+        key = KEYS[1]
+        cache.lookup(key)  # lead
+        _outcome, flight = cache.lookup(key)  # join
+        waited = []
+        thread = threading.Thread(
+            target=lambda: waited.append(flight.wait(5.0))
+        )
+        thread.start()
+        cache.abandon(key)
+        thread.join(timeout=5.0)
+        assert waited == [None]
+
+    def test_snapshot_aggregates_counters(self):
+        cache = ShardedResultCache(max_entries=64, shards=4)
+        for key in KEYS[:16]:
+            cache.put(key, {"status": "ok"})
+        for key in KEYS[:16]:
+            assert cache.get(key) is not None
+        cache.get(key_for("never-stored"))
+        snap = cache.snapshot()
+        assert snap["entries"] == 16
+        assert snap["hits"] == 16
+        assert snap["misses"] == 1
+        assert snap["shards"] == 4
+        assert len(snap["shard_entries"]) == 4
+        assert sum(snap["shard_entries"]) == 16
+        assert snap["max_entries"] == 64
+        assert snap["bytes"] == cache.current_bytes > 0
+
+
+class TestPersistenceHooks:
+    def test_entries_load_roundtrip(self):
+        source = ShardedResultCache(shards=4)
+        for position, key in enumerate(KEYS[:24]):
+            source.put(key, {"status": "ok", "n": position})
+        pairs = list(source.entries())
+        assert len(pairs) == 24
+
+        target = ShardedResultCache(shards=8)  # shard count may change
+        stored = target.load(iter(pairs))
+        assert stored == 24
+        assert target.loaded_entries == 24
+        assert target.snapshot()["loaded_entries"] == 24
+        for position, key in enumerate(KEYS[:24]):
+            assert target.get(key) == {"status": "ok", "n": position}
+
+    def test_load_counts_only_what_fits(self):
+        # A record above the per-shard byte budget is not stored; the
+        # warm-start count must reflect reality, not the input length.
+        target = ShardedResultCache(max_bytes=400, shards=4)
+        pairs = [
+            (KEYS[0], {"status": "ok"}),
+            (KEYS[1], {"status": "ok", "blob": "x" * 4096}),
+        ]
+        stored = target.load(iter(pairs))
+        assert stored == 1
+        assert target.loaded_entries == 1
+
+    def test_load_does_not_inflate_hit_counters(self):
+        target = ShardedResultCache(shards=2)
+        target.load(iter([(KEYS[0], {"status": "ok"})]))
+        snap = target.snapshot()
+        assert snap["hits"] == 0
