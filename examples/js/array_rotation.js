@@ -1,0 +1,3 @@
+var _0x4f2a = ['wor' + 'ld', 'hel' + 'lo'];
+_0x4f2a = _0x4f2a.slice(1).concat(_0x4f2a.slice(0, 1));
+console.log(_0x4f2a[0] + ' ' + _0x4f2a[1]);

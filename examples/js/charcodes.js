@@ -1,0 +1,3 @@
+var _0xdead = String.fromCharCode(104, 101, 108, 108, 111);
+var _0xbeef = _0xdead + String.fromCharCode(32) + 'world';
+eval('console.log(_0xbeef.toUpperCase());');

@@ -1,0 +1,2 @@
+var _0x1a2b = 'conso' + 'le.log';
+eval(_0x1a2b + '(\'hel\' + \'lo wor\' + \'ld\');');

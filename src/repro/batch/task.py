@@ -212,9 +212,10 @@ def run_one(task: Task) -> dict:
 
     verdict = None
     if task.verify:
-        from repro.verify import verify_result
-
-        verdict = verify_result(result)
+        # Dispatch through the run's language front end: PowerShell
+        # tasks verify exactly as before, other languages bring their
+        # own differential runner (or an inconclusive default).
+        verdict = tool.frontend.verify(result)
         result.stats.verify[verdict.verdict] = (
             result.stats.verify.get(verdict.verdict, 0) + 1
         )

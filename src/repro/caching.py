@@ -1,0 +1,82 @@
+"""Small shared caching primitives.
+
+:class:`SaltedLRUCache` is the bounded, salt-keyed LRU used by every
+process-wide read-only cache that could otherwise be shared between
+language front ends: the PowerShell parse cache
+(:mod:`repro.pslang.parser`), the technique-detector script views
+(:mod:`repro.scoring.detectors`), and the JavaScript parse cache
+(:mod:`repro.frontend.js.parser`).
+
+Why a salt at all: these caches key on *source text*, and two front
+ends can absolutely be handed the same text (an ``eval`` payload that
+is valid in both grammars, a one-liner like ``x=1``).  Keying each
+entry by ``(salt, source)`` — where the salt is the front-end id —
+makes a cross-language replay of the wrong AST structurally
+impossible, rather than merely unlikely.
+"""
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Tuple
+
+DEFAULT_MAX_ENTRIES = 1024
+# Large sources are both unlikely to repeat and expensive to retain.
+DEFAULT_MAX_CHARS = 32_768
+
+
+class SaltedLRUCache:
+    """A bounded LRU keyed by ``(salt, source)``.
+
+    ``salt`` is typically a front-end id (``"powershell"``, ``"js"``).
+    Values are shared across callers and must be treated as read-only.
+    """
+
+    __slots__ = ("max_entries", "max_chars", "hits", "misses", "_entries")
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_chars: int = DEFAULT_MAX_CHARS,
+    ):
+        self.max_entries = max_entries
+        self.max_chars = max_chars
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, salt: str, source: str) -> Optional[Any]:
+        key = (salt, source)
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, salt: str, source: str, value: Any) -> None:
+        if len(source) > self.max_chars:
+            return
+        key = (salt, source)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get_or_build(
+        self, salt: str, source: str, build: Callable[[str], Any]
+    ) -> Any:
+        """Cached value for ``(salt, source)``, building (and storing)
+        on a miss.  Build errors are not cached — they re-raise on
+        every call."""
+        value = self.get(salt, source)
+        if value is None:
+            value = build(source)
+            self.put(salt, source, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -3,10 +3,15 @@
 Commands
 --------
 deobfuscate FILE [--no-rename] [--no-reformat] [--show-layers] [--timeout S]
-    Deobfuscate a PowerShell script and print the result; ``--stats``
-    adds the run's telemetry profile on stderr; ``--policy NAME``
-    selects the sandbox policy preset (:mod:`repro.policy`) piece
-    recovery runs under.
+    Deobfuscate a script and print the result; ``--stats`` adds the
+    run's telemetry profile on stderr; ``--policy NAME`` selects the
+    sandbox policy preset (:mod:`repro.policy`) piece recovery runs
+    under; ``--language NAME`` selects the language front end
+    (:mod:`repro.frontend`; ``powershell`` by default).
+languages
+    List the registered language front ends with their aliases, file
+    extensions and capability flags; ``--json`` emits the same table
+    machine-readably.
 batch INPUT... [--jobs N] [--timeout S] [--output FILE] [--resume] ...
     Deobfuscate a whole corpus across a worker-process pool, streaming
     one JSONL record per sample plus an aggregate summary; ``--dedup``
@@ -36,7 +41,8 @@ profile FILE [--json] [--timeout S]
 verify FILE [--json] [--fail-on-divergent] [--step-limit N]
     Deobfuscate, then differentially execute the original and the
     result in the recording sandbox and judge semantic equivalence
-    (equivalent / divergent with a minimal event diff / inconclusive).
+    (equivalent / divergent with a minimal event diff / inconclusive);
+    the check dispatches through the run's ``--language`` front end.
 score FILE
     Print the detected obfuscation techniques and the score.
 keyinfo FILE
@@ -96,6 +102,29 @@ def _add_policy_flag(parser) -> None:
     )
 
 
+def _language_name(value: str) -> str:
+    """argparse type for ``--language``: canonicalize a front-end name
+    (``ps1`` means ``powershell``, ``javascript`` means ``js``)."""
+    from repro.frontend import FrontendError, normalize_language
+
+    try:
+        return normalize_language(value)
+    except FrontendError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_language_flag(parser) -> None:
+    """The shared ``--language NAME`` flag (language front end)."""
+    from repro.frontend import frontend_names
+
+    parser.add_argument(
+        "--language", metavar="NAME", default=None, type=_language_name,
+        help="language front end to parse and recover with: "
+        + ", ".join(frontend_names())
+        + " (default: powershell; see `repro languages`)",
+    )
+
+
 def _trace_recorder(args):
     """A CLI-rooted SpanRecorder when ``--trace-out`` was given."""
     if not getattr(args, "trace_out", None):
@@ -126,8 +155,10 @@ def _cmd_deobfuscate(args) -> int:
     result = tool.deobfuscate(_read(args.file), recorder=recorder)
     _export_trace(args, recorder)
     if not result.valid_input:
-        print("error: input is not a valid PowerShell script",
-              file=sys.stderr)
+        print(
+            f"error: input is not a valid {tool.frontend.name} script",
+            file=sys.stderr,
+        )
         print(result.script)
         return 1
     if result.timed_out:
@@ -336,6 +367,8 @@ def _cmd_serve(args) -> int:
     }
     if args.policy:
         default_options["policy"] = args.policy
+    if args.language:
+        default_options["language"] = args.language
     config = ServiceConfig(
         jobs=args.jobs or 2,
         timeout=args.timeout,
@@ -381,6 +414,8 @@ def _cmd_fleet(args) -> int:
         serve_args.append("--no-reformat")
     if args.policy:
         serve_args += ["--policy", args.policy]
+    if args.language:
+        serve_args += ["--language", args.language]
     if args.worker != "repro.batch.task:run_one":
         serve_args += ["--worker", args.worker]
     if args.legacy_threaded:
@@ -449,13 +484,14 @@ def _cmd_verify(args) -> int:
     import json
 
     from repro import Deobfuscator, PipelineOptions
-    from repro.verify import verify_result
 
     tool = Deobfuscator(options=PipelineOptions.from_cli_args(args))
     result = tool.deobfuscate(_read(args.file))
     # The differential executions default to verify-observing; an
     # explicit --policy applies to them as well as to the pipeline.
-    verdict = verify_result(
+    # Each front end brings its own differential runner (PowerShell:
+    # repro.verify; JS: repro.frontend.js.runner).
+    verdict = tool.frontend.verify(
         result, step_limit=args.step_limit, policy=args.policy
     )
 
@@ -475,6 +511,29 @@ def _cmd_verify(args) -> int:
             print(f"  {line}")
     if verdict.verdict == "divergent" and args.fail_on_divergent:
         return 4
+    return 0
+
+
+def _cmd_languages(args) -> int:
+    import json
+
+    from repro.frontend import available_frontends
+
+    rows = [frontend.describe() for frontend in available_frontends()]
+    if args.json:
+        print(json.dumps(rows, sort_keys=True))
+        return 0
+    for row in rows:
+        capabilities = " ".join(
+            f"{name}={'yes' if on else 'no'}"
+            for name, on in sorted(row["capabilities"].items())
+        )
+        aliases = ", ".join(row["aliases"]) or "-"
+        extensions = " ".join(row["file_extensions"]) or "-"
+        print(f"{row['id']:<12} {row['name']}")
+        print(f"{'':<12} aliases: {aliases}")
+        print(f"{'':<12} extensions: {extensions}")
+        print(f"{'':<12} {capabilities}")
     return 0
 
 
@@ -594,7 +653,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(render with `repro trace FILE`)",
     )
     _add_policy_flag(p)
+    _add_language_flag(p)
     p.set_defaults(func=_cmd_deobfuscate)
+
+    p = sub.add_parser(
+        "languages",
+        help="list the registered language front ends",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the table as machine-readable JSON",
+    )
+    p.set_defaults(func=_cmd_languages)
 
     p = sub.add_parser(
         "profile",
@@ -681,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the worker's pipeline spans) to FILE as JSONL",
     )
     _add_policy_flag(p)
+    _add_language_flag(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -761,6 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(requests always carry a trace_id; this enables the file)",
     )
     _add_policy_flag(p)
+    _add_language_flag(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -838,6 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request worker function for every instance",
     )
     _add_policy_flag(p)
+    _add_language_flag(p)
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
@@ -887,6 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-rename", action="store_true")
     p.add_argument("--no-reformat", action="store_true")
     _add_policy_flag(p)
+    _add_language_flag(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("score", help="score obfuscation techniques")

@@ -15,18 +15,11 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.multilayer import unwrap_layers_detailed
-from repro.core.recovery import RecoveryEngine
-from repro.core.reconstruction import AstDeobfuscator
-from repro.core.reformat import reformat_script
-from repro.core.rename import rename_random_identifiers
-from repro.core.token_deobfuscator import deobfuscate_tokens
-from repro.obs import PipelineStats, Tracer, tag_techniques
+from repro.frontend import Frontend, resolve_frontend
+from repro.obs import PipelineStats, Tracer
 from repro.obs.spans import SPAN_TECHNIQUES
 from repro.options import DEFAULT_MAX_ITERATIONS, PipelineOptions
 from repro.policy import PolicyAudit, SandboxPolicy, resolve_policy
-from repro.pslang import interning
-from repro.pslang.parser import try_parse
 from repro.runtime.memo import SubtreeMemo
 
 
@@ -52,8 +45,8 @@ class DeobfuscationResult:
         ``Invoke-Expression`` / ``powershell -EncodedCommand`` layers
         removed by the multi-layer phase across all iterations.
     valid_input
-        False when the input did not parse as PowerShell at all; no
-        phase ran.
+        False when the input did not parse under the run's language
+        front end at all; no phase ran.
     timed_out
         True when ``deadline_seconds`` elapsed before the fixpoint was
         reached; ``script`` still holds the best-effort intermediate and
@@ -91,11 +84,14 @@ class DeobfuscationResult:
 
 
 class Deobfuscator:
-    """AST-based, semantics-preserving PowerShell deobfuscator.
+    """AST-based, semantics-preserving deobfuscator.
 
-    Configured by one typed record: ``Deobfuscator(options=
-    PipelineOptions(...))``.  The option fields mirror the paper's
-    design decisions so each can be ablated:
+    The orchestrator is language-neutral: every language-specific
+    phase dispatches through the :class:`~repro.frontend.Frontend`
+    named by ``options.language`` (``powershell`` — the paper's
+    pipeline — by default).  Configured by one typed record:
+    ``Deobfuscator(options=PipelineOptions(...))``.  The option fields
+    mirror the paper's design decisions so each can be ablated:
 
     token_phase
         Run the Section III-A token parsing phase.
@@ -165,6 +161,10 @@ class Deobfuscator:
         if not options.enforce_blocklist and policy.enforce_blocklist:
             policy = policy.replace(enforce_blocklist=False)
         self.policy: SandboxPolicy = policy
+        # The language front end every phase dispatches through —
+        # options.language was validated at construction, so this
+        # resolve cannot fail.
+        self.frontend: Frontend = resolve_frontend(options.language)
 
     def __getattr__(self, name: str):
         # Option fields read through to the options record, so
@@ -174,15 +174,6 @@ class Deobfuscator:
             return getattr(options, name)
         raise AttributeError(
             f"{type(self).__name__!r} object has no attribute {name!r}"
-        )
-
-    def _make_recovery(self, memo=None, audit=None) -> RecoveryEngine:
-        # step_limit=None means "engine default" — no branching needed.
-        return RecoveryEngine(
-            step_limit=self.piece_step_limit,
-            memo=memo,
-            policy=self.policy,
-            audit=audit,
         )
 
     def deobfuscate(
@@ -212,24 +203,26 @@ class Deobfuscator:
             recorder.begin("pipeline") if recorder is not None else None
         )
         tracer = Tracer(enabled=self.collect_spans, recorder=recorder)
+        frontend = self.frontend
         # One subtree memo per run, shared across fixpoint iterations
-        # (identical obfuscated fragments recur within one script); the
-        # intern table is process-wide, so record this run's delta.
+        # (identical obfuscated fragments recur within one script);
+        # front-end-private process-wide counters (the PowerShell
+        # intern table) record this run's delta through the
+        # begin/finalize bracket.
         memo = SubtreeMemo() if self.subtree_memo else None
-        intern_hits_before, intern_misses_before = interning.counters()
+        counters_token = frontend.begin_counters()
 
         def finalize_counters() -> None:
             if memo is not None:
                 stats.subtree_memo_hits = memo.hits
                 stats.subtree_memo_misses = memo.misses
-            hits_after, misses_after = interning.counters()
-            stats.intern_hits = hits_after - intern_hits_before
-            stats.intern_misses = misses_after - intern_misses_before
+            frontend.finalize_counters(stats, counters_token)
             stats.policy = self.policy.name
+            stats.language = self.options.language
             stats.policy_denials = audit.denial_counts()
             stats.budget_spent = audit.budget_spent()
 
-        ast, _ = try_parse(script)
+        ast, _ = frontend.try_parse(script)
         if ast is None:
             result.valid_input = False
             finalize_counters()
@@ -247,19 +240,20 @@ class Deobfuscator:
             step = current
             if self.token_phase:
                 with tracer.span("token", iteration=iteration):
-                    step = deobfuscate_tokens(step, stats=stats)
+                    step = frontend.token_pass(step, stats=stats)
             if self.ast_phase and not out_of_time():
-                engine = AstDeobfuscator(
-                    recovery=self._make_recovery(memo=memo, audit=audit),
-                    trace_variables=self.trace_variables,
-                    trace_functions=self.trace_functions,
-                    stats=stats,
-                )
                 with tracer.span("ast", iteration=iteration):
-                    step = engine.process(step)
+                    step = frontend.ast_pass(
+                        step,
+                        options=self.options,
+                        policy=self.policy,
+                        memo=memo,
+                        audit=audit,
+                        stats=stats,
+                    )
             if self.multilayer and not out_of_time():
                 with tracer.span("multilayer", iteration=iteration):
-                    unwrapped = unwrap_layers_detailed(step)
+                    unwrapped = frontend.unwrap_layers(step)
                 step = unwrapped.script
                 result.layers_unwrapped += unwrapped.count
                 for kind, count in unwrapped.kinds.items():
@@ -280,19 +274,19 @@ class Deobfuscator:
                 result.timed_out = True
             else:
                 with tracer.span("rename"):
-                    current = rename_random_identifiers(current)
+                    current = frontend.rename(current)
         if self.reformat:
             if out_of_time():
                 result.timed_out = True
             else:
                 with tracer.span("reformat"):
-                    current = reformat_script(current)
+                    current = frontend.reformat(current)
 
         result.script = current
 
         if self.tag_techniques and not out_of_time():
             with tracer.span(SPAN_TECHNIQUES):
-                stats.techniques = tag_techniques(
+                stats.techniques = frontend.tag_techniques(
                     result.original,
                     layers=result.layers,
                     unwrap_kinds=stats.unwrap_kinds,

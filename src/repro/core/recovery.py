@@ -94,6 +94,7 @@ class RecoveryEngine:
         memo: Optional[SubtreeMemo] = None,
         policy: Optional[SandboxPolicy] = None,
         audit: Optional[PolicyAudit] = None,
+        language: str = "powershell",
     ):
         # The policy is the capability/budget contract every evaluator
         # this engine builds runs under; the enforce_blocklist boolean
@@ -120,6 +121,9 @@ class RecoveryEngine:
         # bindings instead of re-running the sandbox.  The pipeline
         # shares one memo across fixpoint iterations.
         self.memo = memo
+        # The front-end id salting every memo key: two languages handed
+        # the same piece text must never replay each other's outcomes.
+        self.language = language
 
     def evaluate_piece(
         self,
@@ -163,8 +167,13 @@ class RecoveryEngine:
                 function_defs,
                 # The memo key must separate runs whose policy could
                 # decide a piece differently, not just the blocklist
-                # boolean — cache_token canonicalizes the whole policy.
-                salt=(self.policy.cache_token, self.step_limit),
+                # boolean — cache_token canonicalizes the whole policy —
+                # and runs of different language front ends.
+                salt=(
+                    self.policy.cache_token,
+                    self.step_limit,
+                    self.language,
+                ),
             )
             if key is not None:
                 cached = memo.get(key)

@@ -1,0 +1,43 @@
+"""Language front ends for the deobfuscation core.
+
+The pipeline's language-specific pieces — tokenizer/parser, AST
+taxonomy, recoverable-node predicate, sandboxed evaluator factory,
+reconstruction/rename/reformat hooks, technique telemetry — live
+behind the :class:`Frontend` protocol (:mod:`repro.frontend.base`),
+resolved by name through the registry
+(:mod:`repro.frontend.registry`).  ``PipelineOptions.language`` names
+the front end a run uses; ``powershell`` (the paper's language) is the
+default, ``js`` is the minimal JavaScript front end proving the
+interface with a second concrete language.
+
+See ``docs/frontends.md`` for the interface contract and how to add a
+language.
+"""
+
+from repro.frontend.base import (
+    Frontend,
+    FrontendCapabilities,
+    UnwrapOutcome,
+)
+from repro.frontend.registry import (
+    DEFAULT_LANGUAGE,
+    FrontendError,
+    available_frontends,
+    frontend_names,
+    normalize_language,
+    register_frontend,
+    resolve_frontend,
+)
+
+__all__ = [
+    "DEFAULT_LANGUAGE",
+    "Frontend",
+    "FrontendCapabilities",
+    "FrontendError",
+    "UnwrapOutcome",
+    "available_frontends",
+    "frontend_names",
+    "normalize_language",
+    "register_frontend",
+    "resolve_frontend",
+]

@@ -1,0 +1,205 @@
+"""The language front-end protocol the pipeline is built against.
+
+The deobfuscation pipeline (:mod:`repro.core.pipeline`) is conceptually
+language-neutral: parse, run a token-normalization pass, recover
+constant pieces bottom-up on the AST, unwrap invoker layers, repeat to
+a fixpoint, then rename and reformat.  Everything that *is*
+language-specific — the grammar, the AST taxonomy, which nodes are
+recoverable, how pieces are executed, what an "invoker layer" looks
+like — is bundled behind one object: a :class:`Frontend`.
+
+A front end is resolved by name through :mod:`repro.frontend.registry`
+(``PipelineOptions.language`` names it) and must be *stateless*: one
+shared instance serves every run in the process, so all per-run state
+(symbol tables, memos, stats) travels through the method arguments.
+
+The contract, phase by phase (all text-in/text-out, mirroring the
+paper's per-step syntax check — a hook that cannot improve the script
+returns it unchanged):
+
+``try_parse``
+    ``(ast, error)`` — the validity gate and the fixpoint-loop parser.
+``token_pass``
+    Section III-A-style token normalization (ticking, aliases, casing).
+``ast_pass``
+    Section III-B recovery: identify recoverable nodes, evaluate them
+    under the run's :class:`~repro.policy.SandboxPolicy` budgets, and
+    splice string forms in place.  Receives the run's shared
+    :class:`~repro.runtime.memo.SubtreeMemo` and
+    :class:`~repro.policy.PolicyAudit` so telemetry and budget
+    accounting are identical across languages.
+``unwrap_layers``
+    Section III-B4 multi-layer unwrap (``iex``/``eval``/...), returning
+    an :class:`UnwrapOutcome`.
+``rename`` / ``reformat``
+    Section III-C post-processing.
+``tag_techniques``
+    Per-language technique telemetry (Table I's vocabulary for
+    PowerShell; each front end brings its own detector names).
+``verify``
+    The differential semantics-preservation check for this language,
+    or None when the front end cannot verify (``capabilities.verify``).
+``begin_counters`` / ``finalize_counters``
+    Bracket one run for front-end-private process-wide counters (the
+    PowerShell front end reports the intern-table delta this way).
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FrontendCapabilities:
+    """What a front end can do, for ``repro languages`` and callers
+    that degrade gracefully (a front end without ``verify`` yields
+    inconclusive verdicts instead of crashing the batch).
+    """
+
+    recovery: bool = True    # sandboxed piece recovery (ast_pass)
+    verify: bool = False     # differential semantics verification
+    generator: bool = False  # obfuscated-sample generator skeletons
+    rename: bool = True      # randomized-identifier renaming
+    reformat: bool = True    # whitespace/layout normalization
+    multilayer: bool = True  # invoker-layer unwrapping
+
+    def flags(self) -> Dict[str, bool]:
+        return {
+            "recovery": self.recovery,
+            "verify": self.verify,
+            "generator": self.generator,
+            "rename": self.rename,
+            "reformat": self.reformat,
+            "multilayer": self.multilayer,
+        }
+
+
+@dataclass
+class UnwrapOutcome:
+    """One multi-layer pass: the new script plus what came off.
+
+    ``kinds`` maps front-end-specific invoker kinds (``iex``,
+    ``encoded_command``, ``eval``, ...) to how many layers of each were
+    removed.
+    """
+
+    script: str
+    count: int = 0
+    kinds: Dict[str, int] = field(default_factory=dict)
+
+
+class Frontend:
+    """Base class / protocol for language front ends.
+
+    Subclasses set the class attributes and override the phase hooks
+    they support; the defaults make every optional phase a no-op, so a
+    minimal front end only needs ``try_parse`` (and ``ast_pass`` to
+    actually deobfuscate anything).
+    """
+
+    #: canonical registry id (``"powershell"``, ``"js"``)
+    id: str = ""
+    #: human-readable language name
+    name: str = ""
+    #: alternate names the registry resolves (case-insensitive)
+    aliases: Tuple[str, ...] = ()
+    #: file extensions (with dot) typically holding this language
+    file_extensions: Tuple[str, ...] = ()
+    capabilities: FrontendCapabilities = FrontendCapabilities()
+
+    # -- parsing -----------------------------------------------------------
+
+    def try_parse(self, source: str) -> Tuple[Optional[Any], Optional[str]]:
+        """``(ast, None)`` or ``(None, error_message)``."""
+        raise NotImplementedError
+
+    def tokenize(self, source: str) -> Sequence[Any]:
+        """The flat token stream (may raise the front end's lex error)."""
+        raise NotImplementedError
+
+    # -- pipeline phases ---------------------------------------------------
+
+    def token_pass(self, script: str, stats: Any = None) -> str:
+        """Token-level normalization; default: nothing to normalize."""
+        return script
+
+    def ast_pass(
+        self,
+        script: str,
+        *,
+        options: Any,
+        policy: Any,
+        memo: Any = None,
+        audit: Any = None,
+        stats: Any = None,
+    ) -> str:
+        """One bottom-up recovery pass; default: no recovery."""
+        return script
+
+    def unwrap_layers(self, script: str) -> UnwrapOutcome:
+        """Unwrap every syntactically safe invoker once."""
+        return UnwrapOutcome(script)
+
+    def rename(self, script: str) -> str:
+        return script
+
+    def reformat(self, script: str) -> str:
+        return script
+
+    # -- telemetry ---------------------------------------------------------
+
+    def tag_techniques(
+        self,
+        original: str,
+        layers: Sequence[str] = (),
+        unwrap_kinds: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Per-run technique tags (``{tag: 1}``); default: none."""
+        return {}
+
+    def begin_counters(self) -> Any:
+        """Snapshot front-end-private process-wide counters; the token
+        is handed back to :meth:`finalize_counters` at run end."""
+        return None
+
+    def finalize_counters(self, stats: Any, token: Any) -> None:
+        """Fold this run's delta of private counters into *stats*."""
+
+    # -- verification ------------------------------------------------------
+
+    def verify(
+        self,
+        result: Any,
+        step_limit: Optional[int] = None,
+        policy: Any = None,
+    ) -> Optional[Any]:
+        """Differentially verify a deobfuscation result.
+
+        Returns a :class:`~repro.verify.VerifyVerdict`-shaped object,
+        or an inconclusive verdict when the front end cannot verify.
+        """
+        from repro.verify.equivalence import VerifyVerdict
+
+        return VerifyVerdict(
+            verdict="inconclusive",
+            reason=f"front end {self.id!r} does not support verification",
+        )
+
+    # -- generation --------------------------------------------------------
+
+    def generate_samples(
+        self, count: int = 10, seed: int = 0
+    ) -> List[Any]:
+        """Obfuscated sample skeletons for corpus building, or []."""
+        return []
+
+    # -- description -------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``repro languages`` row for this front end."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "aliases": sorted(self.aliases),
+            "file_extensions": list(self.file_extensions),
+            "capabilities": self.capabilities.flags(),
+        }

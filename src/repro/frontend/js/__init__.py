@@ -1,0 +1,29 @@
+"""Minimal JavaScript front end.
+
+A second concrete language behind the :class:`~repro.frontend.base.
+Frontend` interface, covering the obfuscation subset the JS literature
+("From Obfuscated to Obvious", CASCADE — see PAPERS.md) treats as the
+bread and butter of commodity obfuscators:
+
+- **string concatenation**: ``'al' + 'e' + 'rt'`` chains folded to one
+  literal;
+- **array rotation**: a string table assigned to a variable, rotated
+  with pure ``slice``/``concat`` idioms, and dereferenced by constant
+  index — uses resolve through variable tracing;
+- **eval unwrapping**: ``eval('<script>')`` layers replaced by their
+  (recovered) payload, iterated to a fixpoint by the shared pipeline.
+
+The implementation mirrors the PowerShell front end's architecture at
+a fraction of the surface: a lexer and recursive-descent parser with
+byte-precise extents (:mod:`repro.frontend.js.parser`), a sandboxed
+constant evaluator honoring :class:`~repro.policy.SandboxPolicy`
+budgets through the shared :class:`~repro.runtime.limits.
+ExecutionBudget` (:mod:`repro.frontend.js.evaluator`), a bottom-up
+recovery pass with in-place splicing (:mod:`repro.frontend.js.
+recovery`), and generator skeletons for corpus building
+(:mod:`repro.frontend.js.generator`).
+"""
+
+from repro.frontend.js.frontend import JavaScriptFrontend
+
+__all__ = ["JavaScriptFrontend"]

@@ -1,0 +1,236 @@
+"""AST node taxonomy for the JavaScript subset.
+
+Every node carries byte-precise ``start``/``end`` extents into the
+source — the property the whole reconstruction approach rests on: a
+recovered piece is spliced back onto exactly its own extent, so
+identical text in different contexts stays independent.
+
+The taxonomy is deliberately tiny (the front end's subset, not
+ECMAScript): literals, identifiers, arrays, member access, calls,
+binary/unary arithmetic, assignments, variable declarations, and a
+program of statements.  ``RECOVERABLE_NODE_TYPES`` plays the same role
+as its :mod:`repro.pslang.ast_nodes` namesake — the recoverable-node
+predicate of the paper, instantiated for JavaScript.
+"""
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class JsNode:
+    """Base node: extents plus uniform child traversal."""
+
+    __slots__ = ("start", "end", "parent")
+
+    def __init__(self, start: int, end: int):
+        self.start = start
+        self.end = end
+        self.parent: Optional["JsNode"] = None
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> Tuple["JsNode", ...]:
+        return ()
+
+    def link_parents(self) -> None:
+        for child in self.children():
+            child.parent = self
+            child.link_parents()
+
+    def walk_post_order(self) -> Iterator["JsNode"]:
+        for child in self.children():
+            yield from child.walk_post_order()
+        yield self
+
+    def walk_pre_order(self) -> Iterator["JsNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk_pre_order()
+
+
+class Program(JsNode):
+    __slots__ = ("body",)
+
+    def __init__(self, start: int, end: int, body: List[JsNode]):
+        super().__init__(start, end)
+        self.body = body
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return tuple(self.body)
+
+
+class ExpressionStatement(JsNode):
+    __slots__ = ("expression",)
+
+    def __init__(self, start: int, end: int, expression: JsNode):
+        super().__init__(start, end)
+        self.expression = expression
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.expression,)
+
+
+class VariableDeclaration(JsNode):
+    """``var|let|const name = init`` (one declarator per node; comma
+    lists parse into sibling declarations sharing the keyword)."""
+
+    __slots__ = ("kind", "name", "init")
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        kind: str,
+        name: str,
+        init: Optional[JsNode],
+    ):
+        super().__init__(start, end)
+        self.kind = kind
+        self.name = name
+        self.init = init
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.init,) if self.init is not None else ()
+
+
+class AssignmentExpression(JsNode):
+    """``target = value`` (plain ``=`` only)."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, start: int, end: int, target: JsNode, value: JsNode):
+        super().__init__(start, end)
+        self.target = target
+        self.value = value
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.target, self.value)
+
+
+class Identifier(JsNode):
+    __slots__ = ("name",)
+
+    def __init__(self, start: int, end: int, name: str):
+        super().__init__(start, end)
+        self.name = name
+
+
+class StringLiteral(JsNode):
+    __slots__ = ("value",)
+
+    def __init__(self, start: int, end: int, value: str):
+        super().__init__(start, end)
+        self.value = value
+
+
+class NumberLiteral(JsNode):
+    __slots__ = ("value",)
+
+    def __init__(self, start: int, end: int, value):
+        super().__init__(start, end)
+        self.value = value
+
+
+class ArrayLiteral(JsNode):
+    __slots__ = ("elements",)
+
+    def __init__(self, start: int, end: int, elements: List[JsNode]):
+        super().__init__(start, end)
+        self.elements = elements
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return tuple(self.elements)
+
+
+class MemberExpression(JsNode):
+    """``obj.prop`` (computed=False) or ``obj[expr]`` (computed=True).
+    For dot access ``property`` is the name string; for computed access
+    ``index`` is the expression node."""
+
+    __slots__ = ("object", "property", "index", "computed")
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        object_: JsNode,
+        property_: Optional[str] = None,
+        index: Optional[JsNode] = None,
+        computed: bool = False,
+    ):
+        super().__init__(start, end)
+        self.object = object_
+        self.property = property_
+        self.index = index
+        self.computed = computed
+
+    def children(self) -> Tuple[JsNode, ...]:
+        if self.computed and self.index is not None:
+            return (self.object, self.index)
+        return (self.object,)
+
+
+class CallExpression(JsNode):
+    __slots__ = ("callee", "arguments")
+
+    def __init__(
+        self, start: int, end: int, callee: JsNode, arguments: List[JsNode]
+    ):
+        super().__init__(start, end)
+        self.callee = callee
+        self.arguments = arguments
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.callee, *self.arguments)
+
+
+class BinaryExpression(JsNode):
+    __slots__ = ("operator", "left", "right")
+
+    def __init__(
+        self, start: int, end: int, operator: str, left: JsNode, right: JsNode
+    ):
+        super().__init__(start, end)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.left, self.right)
+
+
+class UnaryExpression(JsNode):
+    __slots__ = ("operator", "operand")
+
+    def __init__(self, start: int, end: int, operator: str, operand: JsNode):
+        super().__init__(start, end)
+        self.operator = operator
+        self.operand = operand
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.operand,)
+
+
+class ParenExpression(JsNode):
+    __slots__ = ("expression",)
+
+    def __init__(self, start: int, end: int, expression: JsNode):
+        super().__init__(start, end)
+        self.expression = expression
+
+    def children(self) -> Tuple[JsNode, ...]:
+        return (self.expression,)
+
+
+# The recoverable-node predicate for JavaScript: nodes whose (already
+# child-recovered) text is offered to the sandboxed evaluator.  Bare
+# literals and identifiers are excluded the same way the PowerShell
+# predicate excludes them — nothing to recover.
+RECOVERABLE_NODE_TYPES = (
+    BinaryExpression,
+    CallExpression,
+    MemberExpression,
+    ParenExpression,
+    UnaryExpression,
+)

@@ -1,0 +1,22 @@
+"""Error taxonomy for the JavaScript front end.
+
+Lex/parse errors are front-end-local; *evaluation* failures reuse the
+shared :class:`~repro.runtime.errors.EvaluationError` hierarchy so the
+recovery engine's outcome accounting (``recovery_failed`` vs budget
+exhaustion) treats both languages identically.
+"""
+
+from repro.runtime.errors import EvaluationError
+
+
+class JsLexError(ValueError):
+    """The source does not tokenize under the subset lexer."""
+
+
+class JsParseError(ValueError):
+    """The token stream does not parse under the subset grammar."""
+
+
+class JsEvalError(EvaluationError):
+    """A piece is outside the pure-evaluation subset (unknown callee,
+    poisoned variable, non-constant operand, ...)."""

@@ -1,0 +1,498 @@
+"""Sandboxed constant evaluator for the JavaScript subset.
+
+The JS analogue of the PowerShell piece evaluator: a pure-expression
+interpreter over :mod:`repro.frontend.js.ast_nodes` that refuses
+anything with side effects.  It shares the budget machinery with the
+PowerShell sandbox — every node visit calls
+:meth:`~repro.runtime.limits.ExecutionBudget.step` and every produced
+string passes :meth:`~repro.runtime.limits.ExecutionBudget.
+check_output` — so a :class:`~repro.policy.SandboxPolicy`'s limits mean
+the same thing in both languages.
+
+Deliberately *not* evaluated here:
+
+- ``eval`` — that is a layer boundary, owned by the multilayer phase;
+- mutating methods (``push``, ``reverse``, ``splice``, ...) — recovery
+  must never change a shared environment value mid-walk (rotation uses
+  the pure ``slice``/``concat`` spelling instead);
+- anything that reaches outside the expression (``document``,
+  ``window``, ``require``, ...).
+"""
+
+import base64
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.frontend.js import ast_nodes as N
+from repro.frontend.js.errors import JsEvalError
+from repro.runtime.limits import ExecutionBudget
+
+
+class JsUndefined:
+    """The singleton ``undefined`` value."""
+
+    _instance: Optional["JsUndefined"] = None
+
+    def __new__(cls) -> "JsUndefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "undefined"
+
+
+UNDEFINED = JsUndefined()
+
+_KEYWORD_CONSTANTS: Dict[str, Any] = {
+    "true": True,
+    "false": False,
+    "null": None,
+    "undefined": UNDEFINED,
+}
+
+
+def js_number_text(value: Any) -> str:
+    """JS ``Number``-to-string: integral floats print without ``.0``."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def js_to_string(value: Any) -> str:
+    """``String(value)`` for the value domain the evaluator produces."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return js_number_text(value)
+    if isinstance(value, list):
+        return ",".join(
+            "" if item is None or item is UNDEFINED else js_to_string(item)
+            for item in value
+        )
+    raise JsEvalError(f"cannot stringify {type(value).__name__}")
+
+
+def _require_number(value: Any, context: str) -> Any:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise JsEvalError(f"{context} requires a numeric operand")
+    return value
+
+
+def _require_int(value: Any, context: str) -> int:
+    number = _require_number(value, context)
+    if isinstance(number, float):
+        if not number.is_integer():
+            raise JsEvalError(f"{context} requires an integer")
+        number = int(number)
+    return number
+
+
+def _normalize_index(index: int, length: int) -> int:
+    return index + length if index < 0 else index
+
+
+def _slice_args(args: List[Any], length: int, context: str):
+    start = _normalize_index(
+        _require_int(args[0], context) if args else 0, length
+    )
+    end = length
+    if len(args) > 1 and args[1] is not UNDEFINED:
+        end = _normalize_index(_require_int(args[1], context), length)
+    return max(0, start), max(0, min(end, length))
+
+
+class JsEvaluator:
+    """Evaluate one expression tree to a constant, or raise
+    :class:`JsEvalError` / a budget error.
+
+    *environment* maps variable names to already-known constant values
+    (the recovery pass's variable-tracing table).  A missing name is an
+    evaluation failure, never a silent ``undefined`` — recovery must
+    only fold what it can prove.
+    """
+
+    def __init__(
+        self,
+        environment: Optional[Dict[str, Any]] = None,
+        budget: Optional[ExecutionBudget] = None,
+    ):
+        self.environment = environment if environment is not None else {}
+        self.budget = budget if budget is not None else ExecutionBudget()
+
+    # -- entry point -------------------------------------------------------
+
+    def evaluate(self, node: N.JsNode) -> Any:
+        self.budget.step()
+        handler = self._DISPATCH.get(type(node))
+        if handler is None:
+            raise JsEvalError(
+                f"cannot evaluate node type {node.type_name}"
+            )
+        value = handler(self, node)
+        if isinstance(value, str):
+            self.budget.check_output(len(value))
+        return value
+
+    # -- node handlers -----------------------------------------------------
+
+    def _eval_string(self, node: N.StringLiteral) -> Any:
+        return node.value
+
+    def _eval_number(self, node: N.NumberLiteral) -> Any:
+        return node.value
+
+    def _eval_array(self, node: N.ArrayLiteral) -> Any:
+        return [self.evaluate(element) for element in node.elements]
+
+    def _eval_paren(self, node: N.ParenExpression) -> Any:
+        return self.evaluate(node.expression)
+
+    def _eval_identifier(self, node: N.Identifier) -> Any:
+        if node.name in _KEYWORD_CONSTANTS:
+            return _KEYWORD_CONSTANTS[node.name]
+        if node.name in self.environment:
+            return self.environment[node.name]
+        raise JsEvalError(f"unknown variable {node.name!r}")
+
+    def _eval_unary(self, node: N.UnaryExpression) -> Any:
+        operand = self.evaluate(node.operand)
+        if node.operator == "!":
+            return not _truthy(operand)
+        if node.operator == "typeof":
+            return _typeof(operand)
+        number = _require_number(operand, f"unary {node.operator!r}")
+        return -number if node.operator == "-" else +number
+
+    def _eval_binary(self, node: N.BinaryExpression) -> Any:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        operator = node.operator
+        if operator == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return js_to_string(left) + js_to_string(right)
+            return _require_number(left, "'+'") + _require_number(
+                right, "'+'"
+            )
+        if operator in ("-", "*", "/", "%"):
+            a = _require_number(left, f"{operator!r}")
+            b = _require_number(right, f"{operator!r}")
+            if operator == "-":
+                return a - b
+            if operator == "*":
+                return a * b
+            if operator == "/":
+                if b == 0:
+                    raise JsEvalError("division by zero")
+                result = a / b
+                return int(result) if result == int(result) else result
+            if b == 0:
+                raise JsEvalError("modulo by zero")
+            # JS % truncates toward zero (math.fmod), unlike Python's %.
+            result = math.fmod(a, b)
+            return int(result) if result == int(result) else result
+        if operator in ("==", "==="):
+            return _loose_equal(left, right)
+        if operator in ("!=", "!=="):
+            return not _loose_equal(left, right)
+        if operator in ("<", ">", "<=", ">="):
+            return _compare(operator, left, right)
+        if operator == "&&":
+            return right if _truthy(left) else left
+        if operator == "||":
+            return left if _truthy(left) else right
+        raise JsEvalError(f"unsupported operator {operator!r}")
+
+    def _eval_member(self, node: N.MemberExpression) -> Any:
+        target = self.evaluate(node.object)
+        if node.computed:
+            index = self.evaluate(node.index)
+            if isinstance(index, str):
+                return self._property(target, index)
+            position = _require_int(index, "index")
+            if isinstance(target, (str, list)):
+                position = _normalize_index(position, len(target))
+                if 0 <= position < len(target):
+                    return target[position]
+                return UNDEFINED
+            raise JsEvalError("indexing a non-indexable value")
+        return self._property(target, node.property)
+
+    def _property(self, target: Any, name: str) -> Any:
+        if name == "length" and isinstance(target, (str, list)):
+            return len(target)
+        raise JsEvalError(f"unsupported property {name!r}")
+
+    def _eval_call(self, node: N.CallExpression) -> Any:
+        callee = node.callee
+        if isinstance(callee, N.ParenExpression):
+            callee = callee.expression
+        if isinstance(callee, N.Identifier):
+            return self._call_global(
+                callee.name,
+                [self.evaluate(argument) for argument in node.arguments],
+            )
+        if isinstance(callee, N.MemberExpression) and not callee.computed:
+            if (
+                isinstance(callee.object, N.Identifier)
+                and callee.object.name == "String"
+                and callee.property == "fromCharCode"
+            ):
+                # Namespace call, not a value: resolve before evaluating
+                # the (undefined-in-our-environment) "String" object.
+                return "".join(
+                    chr(_require_int(
+                        self.evaluate(argument), "fromCharCode"
+                    ))
+                    for argument in node.arguments
+                )
+            target = self.evaluate(callee.object)
+            arguments = [
+                self.evaluate(argument) for argument in node.arguments
+            ]
+            return self._call_method(target, callee.property, arguments)
+        raise JsEvalError("unsupported call target")
+
+    # -- pure built-ins ----------------------------------------------------
+
+    def _call_global(self, name: str, args: List[Any]) -> Any:
+        if name == "parseInt":
+            return _parse_int(args)
+        if name == "parseFloat":
+            return _parse_float(args)
+        if name == "atob":
+            if len(args) != 1 or not isinstance(args[0], str):
+                raise JsEvalError("atob expects one string")
+            try:
+                raw = base64.b64decode(args[0], validate=True)
+                return raw.decode("latin-1")
+            except Exception as exc:
+                raise JsEvalError(f"atob failed: {exc}") from exc
+        if name == "String" and len(args) == 1:
+            return js_to_string(args[0])
+        if name == "Number" and len(args) == 1:
+            return _parse_float(args)
+        if name == "eval":
+            # Layer boundary: the multilayer phase owns eval unwrapping.
+            raise JsEvalError("eval is not evaluated during recovery")
+        raise JsEvalError(f"unknown function {name!r}")
+
+    def _call_method(self, target: Any, name: str, args: List[Any]) -> Any:
+        if isinstance(target, str):
+            return self._string_method(target, name, args)
+        if isinstance(target, list):
+            return self._array_method(target, name, args)
+        raise JsEvalError(
+            f"unsupported method {name!r} on {type(target).__name__}"
+        )
+
+    def _string_method(self, target: str, name: str, args: List[Any]) -> Any:
+        if name == "charAt":
+            index = _require_int(args[0], "charAt") if args else 0
+            return target[index] if 0 <= index < len(target) else ""
+        if name == "charCodeAt":
+            index = _require_int(args[0], "charCodeAt") if args else 0
+            if 0 <= index < len(target):
+                return ord(target[index])
+            raise JsEvalError("charCodeAt out of range")
+        if name in ("slice", "substring"):
+            start, end = _slice_args(args, len(target), name)
+            if name == "substring" and start > end:
+                start, end = end, start
+            return target[start:end]
+        if name == "substr":
+            start = _normalize_index(
+                _require_int(args[0], "substr") if args else 0, len(target)
+            )
+            count = (
+                _require_int(args[1], "substr")
+                if len(args) > 1 else len(target)
+            )
+            return target[start:start + max(0, count)]
+        if name == "split":
+            if not args:
+                return [target]
+            separator = args[0]
+            if not isinstance(separator, str):
+                raise JsEvalError("split expects a string separator")
+            if separator == "":
+                return list(target)
+            return target.split(separator)
+        if name == "replace":
+            if len(args) != 2 or not isinstance(args[0], str) or not (
+                isinstance(args[1], str)
+            ):
+                raise JsEvalError("replace folds plain strings only")
+            return target.replace(args[0], args[1], 1)
+        if name == "concat":
+            return target + "".join(js_to_string(arg) for arg in args)
+        if name == "toUpperCase":
+            return target.upper()
+        if name == "toLowerCase":
+            return target.lower()
+        if name == "trim":
+            return target.strip()
+        if name == "indexOf":
+            if not args or not isinstance(args[0], str):
+                raise JsEvalError("indexOf expects a string")
+            return target.find(args[0])
+        if name == "repeat":
+            count = _require_int(args[0], "repeat") if args else 0
+            if count < 0:
+                raise JsEvalError("repeat count must be non-negative")
+            result = target * count
+            self.budget.check_output(len(result))
+            return result
+        if name == "toString":
+            return target
+        raise JsEvalError(f"unsupported string method {name!r}")
+
+    def _array_method(
+        self, target: List[Any], name: str, args: List[Any]
+    ) -> Any:
+        if name == "slice":
+            start, end = _slice_args(args, len(target), "slice")
+            return target[start:end]
+        if name == "concat":
+            result = list(target)
+            for arg in args:
+                if isinstance(arg, list):
+                    result.extend(arg)
+                else:
+                    result.append(arg)
+            return result
+        if name == "join":
+            separator = ","
+            if args and args[0] is not UNDEFINED:
+                if not isinstance(args[0], str):
+                    raise JsEvalError("join expects a string separator")
+                separator = args[0]
+            return separator.join(
+                "" if item is None or item is UNDEFINED
+                else js_to_string(item)
+                for item in target
+            )
+        if name == "indexOf":
+            for position, item in enumerate(target):
+                if _loose_equal(item, args[0] if args else UNDEFINED):
+                    return position
+            return -1
+        if name == "toString":
+            return js_to_string(target)
+        # reverse/push/splice/shift mutate their receiver — folding them
+        # would rewrite the traced environment in place.  Refused.
+        raise JsEvalError(f"unsupported array method {name!r}")
+
+    _DISPATCH: Dict[type, Callable[["JsEvaluator", Any], Any]] = {}
+
+
+JsEvaluator._DISPATCH = {
+    N.StringLiteral: JsEvaluator._eval_string,
+    N.NumberLiteral: JsEvaluator._eval_number,
+    N.ArrayLiteral: JsEvaluator._eval_array,
+    N.ParenExpression: JsEvaluator._eval_paren,
+    N.Identifier: JsEvaluator._eval_identifier,
+    N.UnaryExpression: JsEvaluator._eval_unary,
+    N.BinaryExpression: JsEvaluator._eval_binary,
+    N.MemberExpression: JsEvaluator._eval_member,
+    N.CallExpression: JsEvaluator._eval_call,
+}
+
+
+def _truthy(value: Any) -> bool:
+    if value is UNDEFINED or value is None:
+        return False
+    if isinstance(value, str):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0 and not (
+            isinstance(value, float) and math.isnan(value)
+        )
+    return True  # arrays/objects are truthy
+
+
+def _typeof(value: Any) -> str:
+    if value is UNDEFINED:
+        return "undefined"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    return "object"
+
+
+def _loose_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right
+    if left is UNDEFINED or right is UNDEFINED:
+        return left is UNDEFINED and right is UNDEFINED
+    if isinstance(left, list) or isinstance(right, list):
+        return left is right
+    return left == right
+
+
+def _compare(operator: str, left: Any, right: Any) -> bool:
+    both_strings = isinstance(left, str) and isinstance(right, str)
+    if not both_strings:
+        left = _require_number(left, f"{operator!r}")
+        right = _require_number(right, f"{operator!r}")
+    if operator == "<":
+        return left < right
+    if operator == ">":
+        return left > right
+    if operator == "<=":
+        return left <= right
+    return left >= right
+
+
+def _parse_int(args: List[Any]) -> int:
+    if not args:
+        raise JsEvalError("parseInt expects an argument")
+    text = args[0]
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return int(text)
+    if not isinstance(text, str):
+        raise JsEvalError("parseInt expects a string")
+    base = 10
+    if len(args) > 1 and args[1] is not UNDEFINED:
+        base = _require_int(args[1], "parseInt radix")
+    stripped = text.strip()
+    if base == 16 and stripped.lower().startswith(("0x", "-0x")):
+        stripped = stripped.replace("0x", "", 1).replace("0X", "", 1)
+    try:
+        return int(stripped, base)
+    except ValueError as exc:
+        raise JsEvalError(f"parseInt failed on {text!r}") from exc
+
+
+def _parse_float(args: List[Any]):
+    if not args:
+        raise JsEvalError("Number/parseFloat expects an argument")
+    value = args[0]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if not isinstance(value, str):
+        raise JsEvalError("parseFloat expects a string")
+    try:
+        number = float(value.strip())
+        return int(number) if number.is_integer() else number
+    except ValueError as exc:
+        raise JsEvalError(f"parseFloat failed on {value!r}") from exc

@@ -1,0 +1,122 @@
+"""Seeded generator skeletons for obfuscated JavaScript samples.
+
+The JS counterpart of :mod:`repro.dataset.generator`, scoped to the
+front end's subset: a clean ``console.log``-based payload is pushed
+through a randomized stack of string concatenation, char-code
+encoding, array rotation, and ``eval`` wrapping, with the clean script
+kept as ground truth.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.frontend.js.recovery import quote_js_string
+
+_MESSAGES = (
+    "hello world",
+    "stage two payload",
+    "beacon checkin",
+    "download complete",
+    "update config",
+    "persistence installed",
+)
+
+_SINKS = ("console.log", "alert", "document.write")
+
+
+@dataclass
+class JsSample:
+    """One generated JS sample with ground truth."""
+
+    identifier: str
+    script: str
+    clean_script: str
+    techniques: Set[str] = field(default_factory=set)
+    layers: int = 0
+
+
+def _concat_split(text: str, rng: random.Random) -> str:
+    """Render *text* as a 2-4 chunk concatenation expression."""
+    if len(text) < 2:
+        return quote_js_string(text)
+    pieces = max(2, min(4, rng.randint(2, 4), len(text)))
+    cuts = sorted(rng.sample(range(1, len(text)), pieces - 1))
+    chunks, previous = [], 0
+    for cut in (*cuts, len(text)):
+        chunks.append(quote_js_string(text[previous:cut]))
+        previous = cut
+    return " + ".join(chunks)
+
+
+def _char_codes(text: str) -> str:
+    codes = ", ".join(str(ord(ch)) for ch in text)
+    return f"String.fromCharCode({codes})"
+
+
+def _rotate_table(
+    messages: List[str], sink: str, rng: random.Random
+) -> str:
+    """The array-rotation idiom: a rotated string table dereferenced by
+    constant index (pure ``slice``/``concat`` spelling)."""
+    table = f"_0x{rng.randrange(16**4):04x}"
+    rotation = rng.randint(1, len(messages) - 1) if len(messages) > 1 else 0
+    # Store the table pre-rotated; the script rotates it back.
+    stored = messages[-rotation:] + messages[:-rotation] if rotation else (
+        list(messages)
+    )
+    lines = [
+        f"var {table} = [{', '.join(quote_js_string(m) for m in stored)}];",
+    ]
+    if rotation:
+        lines.append(
+            f"{table} = {table}.slice({rotation})"
+            f".concat({table}.slice(0, {rotation}));"
+        )
+    for index in range(len(messages)):
+        lines.append(f"{sink}({table}[{index}]);")
+    return "\n".join(lines)
+
+
+def _eval_wrap(script: str) -> str:
+    return f"eval({quote_js_string(script)});"
+
+
+def generate_js_corpus(count: int = 10, seed: int = 0) -> List[JsSample]:
+    """Generate *count* obfuscated samples with clean ground truth."""
+    rng = random.Random(seed)
+    samples: List[JsSample] = []
+    for index in range(count):
+        sink = rng.choice(_SINKS)
+        techniques: Set[str] = set()
+        shape = rng.random()
+        if shape < 0.4:
+            message = rng.choice(_MESSAGES)
+            clean = f"{sink}({quote_js_string(message)});"
+            encoder = rng.random()
+            if encoder < 0.6:
+                body = f"{sink}({_concat_split(message, rng)});"
+                techniques.add("js_string_concat")
+            else:
+                body = f"{sink}({_char_codes(message)});"
+                techniques.add("js_char_codes")
+        else:
+            messages = rng.sample(_MESSAGES, rng.randint(2, 3))
+            clean = "\n".join(
+                f"{sink}({quote_js_string(m)});" for m in messages
+            )
+            body = _rotate_table(messages, sink, rng)
+            techniques.add("js_array_rotation")
+        layers = 0
+        while rng.random() < 0.5 and layers < 2:
+            body = _eval_wrap(body)
+            techniques.add("js_eval")
+            layers += 1
+        samples.append(JsSample(
+            identifier=f"js-{seed}-{index:04d}",
+            script=body,
+            clean_script=clean,
+            techniques=techniques,
+            layers=layers,
+        ))
+    return samples

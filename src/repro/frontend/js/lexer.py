@@ -1,0 +1,197 @@
+"""Tokenizer for the JavaScript subset.
+
+Flat scan with byte-precise extents, mirroring the role of
+:mod:`repro.pslang.tokenizer` for PowerShell.  Comments and whitespace
+are skipped (reformatting re-emits from tokens, so they are trivia
+here); string escapes are decoded into the token's ``value`` while the
+raw extent keeps the original spelling for in-place splicing.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.frontend.js.errors import JsLexError
+
+KEYWORDS = frozenset(
+    (
+        "var", "let", "const", "function", "return", "new", "typeof",
+        "true", "false", "null", "undefined", "if", "else", "while",
+        "for", "in", "of",
+    )
+)
+
+# Longest first so the scanner never splits '===' into '==' + '='.
+PUNCTUATORS = (
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=",
+    "(", ")", "[", "]", "{", "}", ",", ";", ".", "+", "-", "*", "/",
+    "%", "=", "<", ">", "!", "?", ":",
+)
+
+
+class JsTokenType(Enum):
+    STRING = "string"
+    NUMBER = "number"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+
+
+@dataclass(frozen=True)
+class JsToken:
+    type: JsTokenType
+    text: str          # raw source spelling
+    value: object      # decoded value (str for STRING, number for NUMBER)
+    start: int
+    end: int
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f", "v": "\v",
+    "0": "\0", "'": "'", '"': '"', "\\": "\\", "`": "`", "/": "/",
+}
+
+
+def _scan_string(source: str, pos: int) -> Tuple[str, int]:
+    """Decode a quoted string starting at *pos*; returns (value, end)."""
+    quote = source[pos]
+    index = pos + 1
+    out: List[str] = []
+    while index < len(source):
+        ch = source[index]
+        if ch == quote:
+            return "".join(out), index + 1
+        if ch == "\n":
+            break
+        if ch == "\\":
+            if index + 1 >= len(source):
+                break
+            esc = source[index + 1]
+            if esc == "x" and index + 3 < len(source):
+                try:
+                    out.append(chr(int(source[index + 2:index + 4], 16)))
+                    index += 4
+                    continue
+                except ValueError:
+                    raise JsLexError(
+                        f"bad \\x escape at offset {index}"
+                    ) from None
+            if esc == "u" and index + 5 < len(source):
+                try:
+                    out.append(chr(int(source[index + 2:index + 6], 16)))
+                    index += 6
+                    continue
+                except ValueError:
+                    raise JsLexError(
+                        f"bad \\u escape at offset {index}"
+                    ) from None
+            out.append(_ESCAPES.get(esc, esc))
+            index += 2
+            continue
+        out.append(ch)
+        index += 1
+    raise JsLexError(f"unterminated string starting at offset {pos}")
+
+
+def _scan_number(source: str, pos: int):
+    """Returns ``(value, end)`` for a numeric literal at *pos*."""
+    index = pos
+    if source.startswith(("0x", "0X"), pos):
+        index = pos + 2
+        while index < len(source) and source[index] in "0123456789abcdefABCDEF":
+            index += 1
+        if index == pos + 2:
+            raise JsLexError(f"bad hex literal at offset {pos}")
+        return int(source[pos:index], 16), index
+    seen_dot = False
+    while index < len(source):
+        ch = source[index]
+        if ch == "." and not seen_dot:
+            seen_dot = True
+        elif not ch.isdigit():
+            break
+        index += 1
+    text = source[pos:index]
+    if text in (".", ""):
+        raise JsLexError(f"bad number at offset {pos}")
+    return (float(text) if seen_dot else int(text)), index
+
+
+def _ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_$"
+
+
+def _ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch in "_$"
+
+
+def tokenize(source: str) -> List[JsToken]:
+    """The full token list; raises :class:`JsLexError` on bad input."""
+    tokens: List[JsToken] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            newline = source.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if source.startswith("/*", pos):
+            close = source.find("*/", pos + 2)
+            if close < 0:
+                raise JsLexError(f"unterminated comment at offset {pos}")
+            pos = close + 2
+            continue
+        if ch in "'\"":
+            value, end = _scan_string(source, pos)
+            tokens.append(JsToken(
+                JsTokenType.STRING, source[pos:end], value, pos, end
+            ))
+            pos = end
+            continue
+        if ch.isdigit() or (
+            ch == "." and pos + 1 < length and source[pos + 1].isdigit()
+        ):
+            value, end = _scan_number(source, pos)
+            tokens.append(JsToken(
+                JsTokenType.NUMBER, source[pos:end], value, pos, end
+            ))
+            pos = end
+            continue
+        if _ident_start(ch):
+            end = pos + 1
+            while end < length and _ident_part(source[end]):
+                end += 1
+            text = source[pos:end]
+            kind = (
+                JsTokenType.KEYWORD
+                if text in KEYWORDS
+                else JsTokenType.IDENT
+            )
+            tokens.append(JsToken(kind, text, text, pos, end))
+            pos = end
+            continue
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, pos):
+                tokens.append(JsToken(
+                    JsTokenType.PUNCT, punct, punct, pos, pos + len(punct)
+                ))
+                pos += len(punct)
+                break
+        else:
+            raise JsLexError(
+                f"unexpected character {ch!r} at offset {pos}"
+            )
+    return tokens
+
+
+def try_tokenize(source: str):
+    """``(tokens, None)`` or ``(None, error_message)``."""
+    try:
+        return tokenize(source), None
+    except JsLexError as exc:
+        return None, str(exc)

@@ -1,0 +1,435 @@
+"""Bottom-up recovery, unwrapping, and post-processing for JavaScript.
+
+The JS instantiation of the paper's Section III-B/III-C machinery,
+shaped like the PowerShell passes it mirrors:
+
+- :class:`JsAstDeobfuscator` — variable tracing plus bottom-up piece
+  recovery with in-place splicing on byte-precise extents, reporting
+  through the same :class:`~repro.obs.stats.PipelineStats` fields and
+  :class:`~repro.runtime.memo.SubtreeMemo` as the PowerShell recovery
+  engine;
+- :func:`unwrap_js_layers` — the multilayer phase: top-level
+  ``eval('<literal>')`` statements replaced by their payload;
+- :func:`rename_js_identifiers` / :func:`reformat_js` — Section III-C
+  post-processing (``_0x1a2b`` → ``var0``, canonical token spacing);
+- :func:`tag_js_techniques` — the per-language technique vocabulary.
+"""
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.js import ast_nodes as N
+from repro.frontend.js.errors import JsEvalError
+from repro.frontend.js.evaluator import JsEvaluator, js_number_text
+from repro.frontend.js.lexer import JsToken, JsTokenType, try_tokenize
+from repro.frontend.js.parser import try_parse
+from repro.runtime.errors import EvaluationError, StepLimitError
+from repro.runtime.limits import ExecutionBudget
+
+# Default per-piece budget: matches the PowerShell engine's
+# PIECE_STEP_LIMIT so one policy means one budget in both languages.
+PIECE_STEP_LIMIT = 50_000
+
+# A binding whose value recovery could not establish.  Distinct from
+# "absent": an absent name is an input we never saw assigned, a
+# poisoned one was assigned something outside the pure subset.
+_POISONED = object()
+
+
+def quote_js_string(text: str) -> str:
+    """Render *text* as a JS single-quoted literal."""
+    escaped = (
+        text.replace("\\", "\\\\")
+        .replace("'", "\\'")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+    return "'" + escaped + "'"
+
+
+def stringify_js_result(value: Any) -> Optional[str]:
+    """The string form of a recovered JS value, or None to keep.
+
+    Same contract as the PowerShell ``stringify_result``: only strings
+    and numbers have a faithful literal in replacement position.
+    Booleans, arrays, ``null``/``undefined`` keep the original piece.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return js_number_text(value)
+    if isinstance(value, str):
+        if any(ord(ch) < 9 for ch in value):
+            return None  # control garbage: likely a decode gone wrong
+        return quote_js_string(value)
+    return None
+
+
+class JsAstDeobfuscator:
+    """One bottom-up recovery pass over a JS script.
+
+    Statements are traced in order: constant ``var``/``let``/``const``
+    initializers and plain reassignments feed a symbol table (the
+    paper's Algorithm 1 for this grammar — including the pure
+    ``slice``/``concat`` rotation idiom, which is just an assignment
+    whose right-hand side folds to an array).  Within every statement,
+    *maximal* recoverable subtrees that fold to a string or number are
+    spliced in place; a failed fold recurses into the children so inner
+    constants still collapse.
+    """
+
+    def __init__(
+        self,
+        step_limit: Optional[int] = None,
+        policy: Any = None,
+        memo: Any = None,
+        audit: Any = None,
+        stats: Any = None,
+        language: str = "js",
+    ):
+        from repro.policy import resolve_policy
+
+        self.policy = resolve_policy(policy) if policy is not None else None
+        if step_limit is None:
+            piece_limit = (
+                self.policy.piece_step_limit
+                if self.policy is not None else None
+            )
+            step_limit = (
+                piece_limit if piece_limit is not None else PIECE_STEP_LIMIT
+            )
+        self.step_limit = step_limit
+        self.memo = memo
+        self.audit = audit
+        self.stats = stats
+        self.language = language
+
+    # -- entry point -------------------------------------------------------
+
+    def process(self, script: str) -> str:
+        ast, error = try_parse(script)
+        if ast is None:
+            return script
+        self.source = script
+        self.environment: Dict[str, Any] = {}
+        replacements: List[Tuple[int, int, str]] = []
+        for statement in ast.body:
+            self._process_statement(statement, replacements)
+        if not replacements:
+            return script
+        result = script
+        for start, end, text in sorted(replacements, reverse=True):
+            result = result[:start] + text + result[end:]
+        return result
+
+    # -- statement tracing -------------------------------------------------
+
+    def _process_statement(
+        self, statement: N.JsNode, replacements: List[Tuple[int, int, str]]
+    ) -> None:
+        if isinstance(statement, N.Program):
+            # A comma declaration list: trace each declarator in order.
+            for child in statement.body:
+                self._process_statement(child, replacements)
+            return
+        if isinstance(statement, N.VariableDeclaration):
+            if statement.init is None:
+                self._bind(statement.name, _POISONED)
+                return
+            self._fold(statement.init, replacements)
+            self._bind(statement.name, self._trace_value(statement.init))
+            return
+        if isinstance(statement, N.ExpressionStatement):
+            expression = statement.expression
+            if isinstance(expression, N.AssignmentExpression) and isinstance(
+                expression.target, N.Identifier
+            ):
+                self._fold(expression.value, replacements)
+                self._bind(
+                    expression.target.name,
+                    self._trace_value(expression.value),
+                )
+                return
+            self._fold(expression, replacements)
+            return
+        self._fold(statement, replacements)
+
+    def _bind(self, name: str, value: Any) -> None:
+        if value is _POISONED:
+            self.environment.pop(name, None)
+            self.environment[name] = _POISONED
+        else:
+            self.environment[name] = value
+        if self.stats is not None:
+            self.stats.variables_traced += 1
+
+    def _trace_value(self, node: N.JsNode) -> Any:
+        """The constant value of an initializer, or ``_POISONED``."""
+        evaluator = self._make_evaluator()
+        try:
+            value = evaluator.evaluate(node)
+        except (JsEvalError, EvaluationError, StepLimitError):
+            value = _POISONED
+        finally:
+            self._account(evaluator.budget)
+        return value
+
+    def _evaluation_environment(self) -> Dict[str, Any]:
+        return {
+            name: value
+            for name, value in self.environment.items()
+            if value is not _POISONED
+        }
+
+    def _make_evaluator(self) -> JsEvaluator:
+        if self.policy is not None:
+            budget = ExecutionBudget.from_policy(
+                self.policy, step_limit=self.step_limit
+            )
+        else:
+            budget = ExecutionBudget(step_limit=self.step_limit)
+        return JsEvaluator(
+            environment=self._evaluation_environment(), budget=budget
+        )
+
+    def _account(self, budget: ExecutionBudget) -> None:
+        if self.stats is not None:
+            self.stats.evaluator_steps += budget.steps
+        if self.audit is not None:
+            self.audit.add_budget(budget)
+
+    # -- piece recovery ----------------------------------------------------
+
+    def _fold(
+        self, node: N.JsNode, replacements: List[Tuple[int, int, str]]
+    ) -> None:
+        """Splice the *maximal* foldable subtree rooted at *node*, or
+        recurse into the children when the root cannot fold."""
+        if isinstance(node, N.RECOVERABLE_NODE_TYPES):
+            text = self._attempt(node)
+            if text is not None:
+                if text != self.source[node.start:node.end]:
+                    replacements.append((node.start, node.end, text))
+                return
+        for child in node.children():
+            self._fold(child, replacements)
+
+    def _attempt(self, node: N.JsNode) -> Optional[str]:
+        """Recover one piece; returns the replacement literal or None."""
+        piece = self.source[node.start:node.end]
+        memo = self.memo
+        key = None
+        if memo is not None:
+            key = memo.make_key(
+                piece,
+                self._memo_bindings(),
+                None,
+                None,
+                salt=(self._policy_token(), self.step_limit, self.language),
+            )
+            if key is not None:
+                cached = memo.get(key)
+                if cached is not None:
+                    ok, value, reason, steps = cached
+                    self._record(reason, steps)
+                    if not ok:
+                        return None
+                    return stringify_js_result(value)
+        evaluator = self._make_evaluator()
+        ok, value, reason = True, None, "recovered"
+        try:
+            value = evaluator.evaluate(node)
+        except StepLimitError:
+            ok, reason = False, "step_limit"
+        except (JsEvalError, EvaluationError):
+            ok, reason = False, "unsupported"
+        finally:
+            self._account(evaluator.budget)
+        text = stringify_js_result(value) if ok else None
+        if ok and text is None:
+            reason = "not_stringifiable"
+        if key is not None:
+            memo.put(key, ok, value, reason, evaluator.budget.steps)
+        self._record(reason, evaluator.budget.steps, fresh=True)
+        return text
+
+    def _memo_bindings(self) -> Dict[str, Any]:
+        # Non-scalar bindings (arrays) make make_key return None, which
+        # simply skips memoization for pieces referencing them.
+        return self._evaluation_environment()
+
+    def _policy_token(self) -> str:
+        return self.policy.cache_token if self.policy is not None else ""
+
+    def _record(self, reason: str, steps: int, fresh: bool = False) -> None:
+        stats = self.stats
+        if stats is None:
+            return
+        stats.recovery_outcomes[reason] = (
+            stats.recovery_outcomes.get(reason, 0) + 1
+        )
+        if not fresh:
+            # Memo replay: steps were accounted when first computed and
+            # are replayed here for per-run determinism.
+            stats.evaluator_steps += steps
+        if reason == "recovered":
+            stats.pieces_recovered += 1
+
+
+# -- multilayer -------------------------------------------------------------
+
+
+def unwrap_js_layers(script: str):
+    """Replace every top-level ``eval('<literal>')`` statement with its
+    payload.  Returns ``(script, count, kinds)`` matching the shape of
+    the PowerShell ``unwrap_layers_detailed`` result."""
+    from repro.frontend.base import UnwrapOutcome
+
+    ast, _ = try_parse(script)
+    if ast is None:
+        return UnwrapOutcome(script)
+    replacements: List[Tuple[int, int, str]] = []
+    for statement in ast.body:
+        if not isinstance(statement, N.ExpressionStatement):
+            continue
+        expression = statement.expression
+        if isinstance(expression, N.ParenExpression):
+            expression = expression.expression
+        if not isinstance(expression, N.CallExpression):
+            continue
+        callee = expression.callee
+        if not (isinstance(callee, N.Identifier) and callee.name == "eval"):
+            continue
+        if len(expression.arguments) != 1:
+            continue
+        payload = expression.arguments[0]
+        if not isinstance(payload, N.StringLiteral):
+            continue
+        replacements.append((statement.start, statement.end, payload.value))
+    if not replacements:
+        return UnwrapOutcome(script)
+    result = script
+    for start, end, text in sorted(replacements, reverse=True):
+        result = result[:start] + text + result[end:]
+    return UnwrapOutcome(
+        result, count=len(replacements), kinds={"eval": len(replacements)}
+    )
+
+
+# -- post-processing --------------------------------------------------------
+
+# The hex-name convention of javascript-obfuscator and friends.
+_OBFUSCATED_NAME = re.compile(r"^_0x[0-9a-fA-F]+$")
+
+
+def rename_js_identifiers(script: str) -> str:
+    """Rename ``_0x1a2b``-style identifiers to ``var0``, ``var1``, ...
+    in first-appearance order (the JS half of Section III-C renaming)."""
+    tokens, error = try_tokenize(script)
+    if tokens is None:
+        return script
+    mapping: Dict[str, str] = {}
+    counter = 0
+    replacements: List[Tuple[int, int, str]] = []
+    for token in tokens:
+        if token.type is not JsTokenType.IDENT:
+            continue
+        if not _OBFUSCATED_NAME.match(token.text):
+            continue
+        if token.text not in mapping:
+            while f"var{counter}" in script:
+                counter += 1
+            mapping[token.text] = f"var{counter}"
+            counter += 1
+        replacements.append((token.start, token.end, mapping[token.text]))
+    result = script
+    for start, end, text in sorted(replacements, reverse=True):
+        result = result[:start] + text + result[end:]
+    return result
+
+
+def _needs_space(previous: JsToken, current: JsToken) -> bool:
+    prev_text, text = previous.text, current.text
+    if text in (";", ",", ")", "]", "."):
+        return False
+    if prev_text in ("(", "[", "."):
+        return False
+    if text == "(":
+        # Tight after a callee (identifier/index/call result), spaced
+        # after keywords and operators.
+        return not (
+            previous.type in (JsTokenType.IDENT, JsTokenType.STRING)
+            or prev_text in (")", "]")
+        )
+    if text == "[":
+        # Tight when indexing, spaced when an array literal follows an
+        # operator or keyword.
+        return not (
+            previous.type in (JsTokenType.IDENT, JsTokenType.STRING)
+            or prev_text in (")", "]")
+        )
+    return True
+
+
+def reformat_js(script: str) -> str:
+    """Canonical layout: one statement per line, one space between
+    tokens except around brackets/terminators.  Returns the input
+    unchanged when it does not parse."""
+    ast, _ = try_parse(script)
+    if ast is None or not ast.body:
+        return script
+    tokens, error = try_tokenize(script)
+    if tokens is None:
+        return script
+    lines: List[str] = []
+    for statement in ast.body:
+        parts: List[str] = []
+        previous: Optional[JsToken] = None
+        for token in tokens:
+            if token.start < statement.start or token.end > statement.end:
+                continue
+            if previous is not None and _needs_space(previous, token):
+                parts.append(" ")
+            parts.append(token.text)
+            previous = token
+        line = "".join(parts)
+        if not line.endswith(";"):
+            line += ";"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+# -- technique telemetry ----------------------------------------------------
+
+# The JS technique vocabulary (the front end's Table I column).
+JS_DETECTORS: Dict[str, Any] = {
+    "js_string_concat": re.compile(
+        r"""['"][^'"\n]*['"]\s*\+\s*['"]"""
+    ),
+    "js_array_rotation": re.compile(
+        r"\.slice\(\s*\d+\s*\)\s*\.concat\("
+    ),
+    "js_eval": re.compile(r"\beval\s*\("),
+    "js_char_codes": re.compile(r"fromCharCode\s*\("),
+    "js_base64": re.compile(r"\batob\s*\("),
+}
+
+
+def tag_js_techniques(
+    original: str,
+    layers: Sequence[str] = (),
+    unwrap_kinds: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Tag one JS run: detector hits on the original plus every exposed
+    layer, and ``layer_*`` tags for unwrap kinds that fired — the same
+    contract as the PowerShell ``tag_techniques``."""
+    tags: Dict[str, int] = {}
+    for text in (original, *layers):
+        for name, pattern in JS_DETECTORS.items():
+            if name not in tags and pattern.search(text):
+                tags[name] = 1
+    for kind, count in (unwrap_kinds or {}).items():
+        if count > 0:
+            tags[f"layer_{kind}"] = 1
+    return tags

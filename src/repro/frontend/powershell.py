@@ -1,0 +1,151 @@
+"""The PowerShell front end — the default registry entry.
+
+This is the pre-frontend pipeline wiring, verbatim, behind the
+:class:`~repro.frontend.base.Frontend` interface: each hook delegates
+to exactly the function :mod:`repro.core.pipeline` used to call
+directly, in the same order with the same arguments, so a
+``language="powershell"`` run produces byte-identical output,
+``evaluator_steps`` and cache keys (pinned by
+``tests/frontend/test_powershell_parity.py``).
+"""
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.base import (
+    Frontend,
+    FrontendCapabilities,
+    UnwrapOutcome,
+)
+
+
+class PowerShellFrontend(Frontend):
+    """AST-based PowerShell deobfuscation (the paper's pipeline)."""
+
+    id = "powershell"
+    name = "PowerShell"
+    aliases = ("ps", "ps1", "pwsh")
+    file_extensions = (".ps1", ".psm1", ".psd1")
+    capabilities = FrontendCapabilities(
+        recovery=True,
+        verify=True,
+        generator=True,
+        rename=True,
+        reformat=True,
+        multilayer=True,
+    )
+
+    # -- parsing -----------------------------------------------------------
+
+    def try_parse(self, source: str) -> Tuple[Optional[Any], Optional[str]]:
+        from repro.pslang.parser import try_parse
+
+        return try_parse(source)
+
+    def tokenize(self, source: str) -> Sequence[Any]:
+        from repro.pslang import tokenize
+
+        return tokenize(source)
+
+    # -- pipeline phases ---------------------------------------------------
+
+    def token_pass(self, script: str, stats: Any = None) -> str:
+        from repro.core.token_deobfuscator import deobfuscate_tokens
+
+        return deobfuscate_tokens(script, stats=stats)
+
+    def ast_pass(
+        self,
+        script: str,
+        *,
+        options: Any,
+        policy: Any,
+        memo: Any = None,
+        audit: Any = None,
+        stats: Any = None,
+    ) -> str:
+        from repro.core.reconstruction import AstDeobfuscator
+        from repro.core.recovery import RecoveryEngine
+
+        engine = AstDeobfuscator(
+            recovery=RecoveryEngine(
+                step_limit=options.piece_step_limit,
+                memo=memo,
+                policy=policy,
+                audit=audit,
+                language=self.id,
+            ),
+            trace_variables=options.trace_variables,
+            trace_functions=options.trace_functions,
+            stats=stats,
+        )
+        return engine.process(script)
+
+    def unwrap_layers(self, script: str) -> UnwrapOutcome:
+        from repro.core.multilayer import unwrap_layers_detailed
+
+        unwrapped = unwrap_layers_detailed(script)
+        return UnwrapOutcome(
+            script=unwrapped.script,
+            count=unwrapped.count,
+            kinds=unwrapped.kinds,
+        )
+
+    def rename(self, script: str) -> str:
+        from repro.core.rename import rename_random_identifiers
+
+        return rename_random_identifiers(script)
+
+    def reformat(self, script: str) -> str:
+        from repro.core.reformat import reformat_script
+
+        return reformat_script(script)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def tag_techniques(
+        self,
+        original: str,
+        layers: Sequence[str] = (),
+        unwrap_kinds: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, int]:
+        from repro.obs import tag_techniques
+
+        return tag_techniques(
+            original, layers=layers, unwrap_kinds=unwrap_kinds
+        )
+
+    def begin_counters(self) -> Any:
+        # The token/AST intern table is process-wide; record this run's
+        # delta exactly as the pipeline always has.
+        from repro.pslang import interning
+
+        return interning.counters()
+
+    def finalize_counters(self, stats: Any, token: Any) -> None:
+        from repro.pslang import interning
+
+        hits_before, misses_before = token
+        hits_after, misses_after = interning.counters()
+        stats.intern_hits = hits_after - hits_before
+        stats.intern_misses = misses_after - misses_before
+
+    # -- verification ------------------------------------------------------
+
+    def verify(
+        self,
+        result: Any,
+        step_limit: Optional[int] = None,
+        policy: Any = None,
+    ) -> Any:
+        from repro.verify import DEFAULT_STEP_LIMIT, verify_result
+
+        if step_limit is None:
+            step_limit = DEFAULT_STEP_LIMIT
+        return verify_result(result, step_limit=step_limit, policy=policy)
+
+    # -- generation --------------------------------------------------------
+
+    def generate_samples(self, count: int = 10, seed: int = 0) -> List[Any]:
+        from repro.dataset.generator import generate_corpus
+
+        return list(generate_corpus(count=count, seed=seed))

@@ -1,0 +1,132 @@
+"""The front-end registry: names → :class:`~repro.frontend.base.Frontend`.
+
+One process-wide table maps language ids (and their aliases) to lazily
+constructed front-end singletons.  Every surface resolves through it:
+``PipelineOptions.language`` validates here at construction, the
+pipeline resolves its front end here, the service rejects unknown
+request languages with this module's known-name list, and
+``repro languages`` renders it.
+
+Built-in front ends are registered as *factories* (dotted paths), so
+importing the registry — which :mod:`repro.options` does on every
+options construction — never pays for a front end the process does not
+use, and never risks an import cycle through :mod:`repro.core`.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.frontend.base import Frontend
+
+DEFAULT_LANGUAGE = "powershell"
+
+
+class FrontendError(ValueError):
+    """An unknown or invalid front-end/language name."""
+
+
+# Canonical id -> zero-arg factory (or None until first resolve).
+_FACTORIES: Dict[str, Callable[[], Frontend]] = {}
+# Any accepted spelling (lowercased) -> canonical id.
+_ALIASES: Dict[str, str] = {}
+# Canonical id -> constructed singleton.
+_INSTANCES: Dict[str, Frontend] = {}
+
+
+def register_frontend(
+    factory: Callable[[], Frontend],
+    *,
+    id: str,
+    aliases: tuple = (),
+    replace: bool = False,
+) -> None:
+    """Register a front-end *factory* under its canonical *id*.
+
+    The factory runs once, on first :func:`resolve_frontend`.  Aliases
+    resolve case-insensitively.  Re-registering an id raises unless
+    *replace* (tests swap in instrumented front ends that way).
+    """
+    canonical = id.strip().lower()
+    if not canonical:
+        raise FrontendError("front-end id must be non-empty")
+    if canonical in _FACTORIES and not replace:
+        raise FrontendError(f"front end {canonical!r} already registered")
+    _FACTORIES[canonical] = factory
+    _INSTANCES.pop(canonical, None)
+    _ALIASES[canonical] = canonical
+    for alias in aliases:
+        _ALIASES[alias.strip().lower()] = canonical
+
+
+def _builtin(path: str) -> Callable[[], Frontend]:
+    """A factory importing ``module:Class`` on first use."""
+    module_name, _, attr = path.partition(":")
+
+    def make() -> Frontend:
+        import importlib
+
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)()
+
+    return make
+
+
+# Built-in front ends.  The PowerShell front end is the default entry:
+# language="powershell" resolves to exactly the pre-frontend pipeline
+# wiring, so existing behavior and cache keys are unchanged.
+register_frontend(
+    _builtin("repro.frontend.powershell:PowerShellFrontend"),
+    id="powershell",
+    aliases=("ps", "ps1", "pwsh"),
+)
+register_frontend(
+    _builtin("repro.frontend.js.frontend:JavaScriptFrontend"),
+    id="js",
+    aliases=("javascript", "ecmascript"),
+)
+
+
+def frontend_names() -> List[str]:
+    """The canonical ids of every registered front end, sorted."""
+    return sorted(_FACTORIES)
+
+
+def normalize_language(name: Optional[str]) -> str:
+    """Canonicalize a language/front-end name.
+
+    ``None``/empty means the default (``powershell``).  Unknown names
+    raise :class:`FrontendError` listing what is registered — the same
+    message shape at every boundary (options construction, CLI flag,
+    service request body).
+    """
+    if name is None:
+        return DEFAULT_LANGUAGE
+    spelled = str(name).strip().lower()
+    if not spelled:
+        return DEFAULT_LANGUAGE
+    canonical = _ALIASES.get(spelled)
+    if canonical is None:
+        raise FrontendError(
+            f"unknown language {name!r}; expected one of "
+            + ", ".join(frontend_names())
+        )
+    return canonical
+
+
+def resolve_frontend(name: Optional[str] = None) -> Frontend:
+    """The front-end singleton for *name* (default ``powershell``)."""
+    canonical = normalize_language(name)
+    instance = _INSTANCES.get(canonical)
+    if instance is None:
+        instance = _FACTORIES[canonical]()
+        if instance.id != canonical:
+            raise FrontendError(
+                f"front end registered as {canonical!r} reports "
+                f"id {instance.id!r}"
+            )
+        _INSTANCES[canonical] = instance
+    return instance
+
+
+def available_frontends() -> List[Frontend]:
+    """Every registered front end, resolved, in id order."""
+    return [resolve_frontend(name) for name in frontend_names()]

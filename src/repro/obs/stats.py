@@ -25,8 +25,9 @@ from repro.obs.spans import Span, canonical_phase_name
 # ``subtree_memo_misses`` from repro.runtime.memo, ``intern_hits`` /
 # ``intern_misses`` from repro.pslang.interning); version 5 adds the
 # sandbox-policy section (``policy`` preset name, per-capability
-# ``policy_denials``, summed ``budget_spent``) from repro.policy.
-STATS_SCHEMA_VERSION = 5
+# ``policy_denials``, summed ``budget_spent``) from repro.policy;
+# version 6 adds the ``language`` front-end id (repro.frontend).
+STATS_SCHEMA_VERSION = 6
 
 # Why a recoverable piece did / did not get replaced (Section III-B2
 # plus the failure taxonomy of Section V-C).
@@ -109,6 +110,10 @@ class PipelineStats:
         (steps/loop ticks/output chars) across every evaluation.
         ``policy`` is ``"mixed"`` after merging runs with different
         policies, and ``""`` on legacy records that predate policies.
+    language
+        The front-end id (:mod:`repro.frontend`) the run parsed and
+        recovered with (``powershell``, ``js``); ``"mixed"`` after
+        merging runs of different languages, ``""`` on legacy records.
 
     Timing
     ------
@@ -136,6 +141,7 @@ class PipelineStats:
     verify: Dict[str, int] = field(default_factory=dict)
     techniques: Dict[str, int] = field(default_factory=dict)
     policy: str = ""
+    language: str = ""
     policy_denials: Dict[str, int] = field(default_factory=dict)
     budget_spent: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -175,6 +181,8 @@ class PipelineStats:
             data["techniques"] = dict(self.techniques)
         if self.policy:
             data["policy"] = self.policy
+        if self.language:
+            data["language"] = self.language
         if self.policy_denials:
             data["policy_denials"] = dict(self.policy_denials)
         if self.budget_spent:
@@ -208,8 +216,8 @@ class PipelineStats:
             ):
                 merged = getattr(stats, item.name)
                 merged.update({str(k): int(v) for k, v in value.items()})
-            elif item.name == "policy":
-                stats.policy = str(value)
+            elif item.name in ("policy", "language"):
+                setattr(stats, item.name, str(value))
             elif item.name == "phase_seconds":
                 stats.phase_seconds = {}
                 for key, seconds in value.items():
@@ -255,6 +263,11 @@ class PipelineStats:
                 self.policy = other.policy
             elif self.policy != other.policy:
                 self.policy = "mixed"
+        if other.language:
+            if not self.language:
+                self.language = other.language
+            elif self.language != other.language:
+                self.language = "mixed"
         for capability, count in other.policy_denials.items():
             self.policy_denials[capability] = (
                 self.policy_denials.get(capability, 0) + count

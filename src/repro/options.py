@@ -58,6 +58,11 @@ class PipelineOptions:
     # Normalized and validated at construction so an invalid name fails
     # at the API boundary, not deep inside a worker.
     policy: str = "recovery-strict"
+    # The language front end (repro.frontend) the run parses and
+    # recovers with.  Defaults to the paper's language; because the
+    # default is omitted from canonical_dict(), every pre-language
+    # cache key is unchanged for PowerShell runs.
+    language: str = "powershell"
 
     def __post_init__(self):
         from repro.policy.presets import PRESETS, normalize_policy_name
@@ -71,6 +76,13 @@ class PipelineOptions:
                 + ", ".join(sorted(PRESETS))
             )
         object.__setattr__(self, "policy", name)
+        from repro.frontend.registry import normalize_language
+
+        # Raises FrontendError on an unknown name; aliases (ps1, js,
+        # javascript, ...) normalize to the canonical front-end id.
+        object.__setattr__(
+            self, "language", normalize_language(self.language)
+        )
 
     # -- construction --------------------------------------------------------
 
@@ -94,6 +106,8 @@ class PipelineOptions:
                 raise TypeError(f"unknown pipeline option {name!r}")
         if mapped.get("policy") is None:
             mapped.pop("policy", None)
+        if mapped.get("language") is None:
+            mapped.pop("language", None)
         return cls(**mapped)
 
     @classmethod
@@ -106,6 +120,7 @@ class PipelineOptions:
             reformat=not getattr(args, "no_reformat", False),
             deadline_seconds=getattr(args, "timeout", None),
             policy=getattr(args, "policy", None) or "recovery-strict",
+            language=getattr(args, "language", None) or "powershell",
         )
 
     # -- serialization -------------------------------------------------------
@@ -144,6 +159,8 @@ class PipelineOptions:
             flags.extend(["--timeout", str(self.deadline_seconds)])
         if self.policy != "recovery-strict":
             flags.extend(["--policy", self.policy])
+        if self.language != "powershell":
+            flags.extend(["--language", self.language])
         return flags
 
     # -- derivation ----------------------------------------------------------

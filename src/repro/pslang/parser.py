@@ -1297,13 +1297,15 @@ def parse(source: str) -> N.ScriptBlockAst:
 # tree (the sandbox evaluator, the technique detectors).  The pipeline's
 # reconstruction pass splices nodes in place and must keep using
 # ``parse``.
+#
+# Entries are salted with the front-end id (repro.caching): the same
+# source text handed to a different language front end can never replay
+# this cache's PowerShell ASTs.
 
-from collections import OrderedDict as _OrderedDict
+from repro.caching import SaltedLRUCache as _SaltedLRUCache
 
-_PARSE_CACHE_MAX_ENTRIES = 1024
-# Large scripts are both unlikely to repeat and expensive to retain.
-_PARSE_CACHE_MAX_CHARS = 32_768
-_parse_cache: "_OrderedDict[str, N.ScriptBlockAst]" = _OrderedDict()
+_PARSE_CACHE_SALT = "powershell"
+_parse_cache = _SaltedLRUCache()
 
 
 def parse_cached(source: str) -> N.ScriptBlockAst:
@@ -1312,16 +1314,9 @@ def parse_cached(source: str) -> N.ScriptBlockAst:
     The returned AST is shared across callers and MUST be treated as
     read-only.  Parse errors are not cached (they re-raise each call).
     """
-    cached = _parse_cache.get(source)
-    if cached is not None:
-        _parse_cache.move_to_end(source)
-        return cached
-    ast = Parser(source).parse()
-    if len(source) <= _PARSE_CACHE_MAX_CHARS:
-        _parse_cache[source] = ast
-        while len(_parse_cache) > _PARSE_CACHE_MAX_ENTRIES:
-            _parse_cache.popitem(last=False)
-    return ast
+    return _parse_cache.get_or_build(
+        _PARSE_CACHE_SALT, source, lambda text: Parser(text).parse()
+    )
 
 
 def try_parse_cached(source: str):

@@ -5,7 +5,6 @@ benches can check both directions (applied → detected, removed → clean).
 """
 
 import re
-from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.rename import names_look_random
@@ -340,23 +339,16 @@ TECHNIQUE_LEVELS: Dict[str, int] = {
 # Technique tagging re-runs on every exposed layer of every sample, and
 # service/batch workloads see the same scripts repeatedly — a bounded
 # LRU of views (tokens + AST, both read-only to detectors) removes the
-# re-tokenize/re-parse cost.
-_VIEW_CACHE_MAX_ENTRIES = 256
-_VIEW_CACHE_MAX_CHARS = 32_768
-_view_cache: "OrderedDict[str, ScriptView]" = OrderedDict()
+# re-tokenize/re-parse cost.  Salted with the front-end id so another
+# language's technique pass can never replay a PowerShell view.
+from repro.caching import SaltedLRUCache
+
+_VIEW_CACHE_SALT = "powershell"
+_view_cache = SaltedLRUCache(max_entries=256)
 
 
 def _view_for(script: str) -> ScriptView:
-    view = _view_cache.get(script)
-    if view is not None:
-        _view_cache.move_to_end(script)
-        return view
-    view = ScriptView(script)
-    if len(script) <= _VIEW_CACHE_MAX_CHARS:
-        _view_cache[script] = view
-        while len(_view_cache) > _VIEW_CACHE_MAX_ENTRIES:
-            _view_cache.popitem(last=False)
-    return view
+    return _view_cache.get_or_build(_VIEW_CACHE_SALT, script, ScriptView)
 
 
 def detect_techniques(script: str) -> Set[str]:

@@ -185,6 +185,9 @@ class DeobfuscationService:
         }
         self.pipeline_totals = PipelineStats()
         self.verify_counts: Dict[str, int] = {}
+        # Requests by resolved language front end (the /metrics
+        # language label on the request counter).
+        self.language_counts: Dict[str, int] = {}
         # Latency histograms (Prometheus buckets + worst-sample trace
         # exemplars): pipeline execution time per worker run, and
         # front-door request time across all answer paths.
@@ -345,6 +348,10 @@ class DeobfuscationService:
         pipeline_options = PipelineOptions.from_dict(merged).replace(
             deadline_seconds=budget
         )
+        with self._gate:
+            self.language_counts[pipeline_options.language] = (
+                self.language_counts.get(pipeline_options.language, 0) + 1
+            )
         opts = pipeline_options.canonical_dict()
         key_options = dict(opts)
         if verify:
@@ -571,6 +578,7 @@ class DeobfuscationService:
             queue_depth = self._admitted
             pipeline = self.pipeline_totals.to_dict()
             verify_counts = dict(self.verify_counts)
+            language_counts = dict(self.language_counts)
             pipeline_hist = self.pipeline_hist.to_dict()
             request_hist = self.request_hist.to_dict()
         persistence: Dict[str, Any] = {"enabled": False}
@@ -579,6 +587,7 @@ class DeobfuscationService:
         return {
             "counters": counters,
             "verify": verify_counts,
+            "languages": language_counts,
             "pipeline_duration_histogram": pipeline_hist,
             "request_duration_histogram": request_hist,
             "queue_depth": queue_depth,

@@ -6,9 +6,12 @@ handler threads mostly wait) over three endpoints:
 
 ``POST /deobfuscate`` (``?verify=1`` to verify)
     JSON in: ``{"script": str, "rename"?: bool, "reformat"?: bool,
-    "policy"?: str, "timeout"?: float, "stats"?: bool,
-    "verify"?: bool}``.  ``policy`` names a sandbox-policy preset
-    (:mod:`repro.policy`) and participates in the result cache key.  JSON out:
+    "policy"?: str, "language"?: str, "timeout"?: float,
+    "stats"?: bool, "verify"?: bool}``.  ``policy`` names a
+    sandbox-policy preset (:mod:`repro.policy`) and ``language`` a
+    registered front end (:mod:`repro.frontend`); both participate in
+    the result cache key, and an unknown name of either is a 400
+    listing what is registered.  JSON out:
     the batch record schema (status, script, measurements — see
     :mod:`repro.batch`) plus ``cache_key``/``cache_hit``/
     ``coalesced``/``trace_id``; ``"stats": true`` additionally embeds
@@ -112,6 +115,25 @@ def shape_request(
                 }
             ) from None
         options["policy"] = name
+    if "language" in payload:
+        language = payload["language"]
+        if not isinstance(language, str):
+            raise RequestError({"error": "language must be a string"})
+        from repro.frontend import (
+            FrontendError,
+            frontend_names,
+            normalize_language,
+        )
+
+        try:
+            options["language"] = normalize_language(language)
+        except FrontendError:
+            raise RequestError(
+                {
+                    "error": f"unknown language: {language!r}",
+                    "languages": frontend_names(),
+                }
+            ) from None
     verify = bool(payload.get("verify", default_verify))
     timeout = payload.get("timeout")
     if timeout is not None and not isinstance(timeout, (int, float)):

@@ -159,6 +159,7 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     merged: Dict[str, Any] = {
         "counters": _sum_dicts(s.get("counters") for s in snapshots),
         "verify": _sum_dicts(s.get("verify") for s in snapshots),
+        "languages": _sum_dicts(s.get("languages") for s in snapshots),
         "cache": _sum_dicts(s.get("cache") for s in snapshots),
         "persistence": _sum_dicts(
             s.get("persistence") for s in snapshots
@@ -219,6 +220,23 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
         "counter",
         "Requests accepted by the service front end.",
         [(None, counters.get("requests", 0))],
+    )
+    # The same counter broken down by resolved language front end.
+    # The unlabeled total above is kept: smoke scripts and dashboards
+    # key on it, and a request rejected before options parse (queue
+    # full while draining) counts there but under no language.
+    _metric(
+        lines,
+        "repro_service_requests_by_language_total",
+        "counter",
+        "Admitted requests by resolved language front end.",
+        [
+            ({"language": language}, count)
+            for language, count in sorted(
+                (snapshot.get("languages") or {}).items()
+            )
+        ]
+        or [(None, 0)],
     )
     _metric(
         lines,

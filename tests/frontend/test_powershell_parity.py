@@ -1,0 +1,110 @@
+"""PowerShell parity pins: the front-end redesign is invisible.
+
+``language="powershell"`` must behave byte-identically to the
+pre-frontend pipeline — same output scripts, same evaluator step
+counts, same iteration counts, and (the load-bearing one for the
+service) the exact same content-addressed cache keys.  The hex keys
+below were produced by the pre-language release; if one changes, a
+PowerShell user's warm cache has been silently invalidated.
+"""
+
+import pytest
+
+from repro import Deobfuscator, PipelineOptions
+from repro.service.cache import cache_key
+
+# (script, default-options key, verify-observing key, output, steps,
+#  iterations) — pinned from the pre-frontend pipeline.
+PINNED = [
+    (
+        "I`E`X ('wri'+'te-host hi')",
+        "4ea1719a2c5c707c1d31727b0ac81488d11f19c243b94795cf07e24a751c8c19",
+        "0de4d65edae7f1b120e45db35f8bc7560f1ee9ee3ccc30b1f0c7a123a913919a",
+        "Write-Host hi",
+        24,
+        3,
+    ),
+    (
+        "$a = 'down'; $b = 'load'; Write-Host ($a+$b)",
+        "a0f349a310ed90c790e7ba45562b9f0c49bece3f8701c24210beb1748ddaa928",
+        "da1a1a5132e7594f3155eb12e23412f697c00ead7055d07f13be6cab8c98f81c",
+        "$var0 = 'down'; $var1 = 'load'; Write-Host ('download')",
+        35,
+        2,
+    ),
+    (
+        "powershell -EncodedCommand VwByAGkAdABlAC0ASABvAHMAdAAgAGgAaQA=",
+        "f04bd215f6420642f903815c55a512064d2436fed17dec24e5ea00a5e2dcd82c",
+        "a81a17f964d3c2336433d54393be9192ca57759645ab18f4c92e860b98c5f340",
+        "Write-Host hi",
+        12,
+        2,
+    ),
+]
+
+
+class TestCacheKeyParity:
+    @pytest.mark.parametrize(
+        "script,default_key,observing_key", [p[:3] for p in PINNED]
+    )
+    def test_pre_language_keys_unchanged(
+        self, script, default_key, observing_key
+    ):
+        assert (
+            cache_key(script, PipelineOptions().canonical_dict())
+            == default_key
+        )
+        assert (
+            cache_key(
+                script,
+                PipelineOptions(
+                    policy="verify-observing"
+                ).canonical_dict(),
+            )
+            == observing_key
+        )
+
+    def test_explicit_default_language_is_the_same_key(self):
+        script = PINNED[0][0]
+        assert cache_key(
+            script,
+            PipelineOptions(language="powershell").canonical_dict(),
+        ) == cache_key(script, PipelineOptions().canonical_dict())
+        # Aliases normalize to the default too.
+        assert cache_key(
+            script, PipelineOptions(language="ps1").canonical_dict()
+        ) == cache_key(script, PipelineOptions().canonical_dict())
+
+    def test_non_default_language_differentiates(self):
+        script = "console.log('x');"
+        assert cache_key(
+            script, PipelineOptions(language="js").canonical_dict()
+        ) != cache_key(script, PipelineOptions().canonical_dict())
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize(
+        "script,output,steps,iterations",
+        [(p[0], p[3], p[4], p[5]) for p in PINNED],
+    )
+    def test_output_steps_iterations(
+        self, script, output, steps, iterations
+    ):
+        result = Deobfuscator().deobfuscate(script)
+        assert result.script == output
+        assert result.stats.evaluator_steps == steps
+        assert result.iterations == iterations
+        assert result.stats.language == "powershell"
+
+    def test_explicit_language_matches_default(self):
+        script = PINNED[1][0]
+        implicit = Deobfuscator().deobfuscate(script)
+        explicit = Deobfuscator(
+            options=PipelineOptions(language="powershell")
+        ).deobfuscate(script)
+        assert implicit.script == explicit.script
+        assert (
+            implicit.stats.evaluator_steps
+            == explicit.stats.evaluator_steps
+        )
+        assert implicit.iterations == explicit.iterations

@@ -1,0 +1,100 @@
+"""Front-end registry: resolution, aliases, errors, descriptions."""
+
+import pytest
+
+from repro.frontend import (
+    DEFAULT_LANGUAGE,
+    Frontend,
+    FrontendError,
+    available_frontends,
+    frontend_names,
+    normalize_language,
+    register_frontend,
+    resolve_frontend,
+)
+
+
+class TestNormalization:
+    def test_default_language(self):
+        assert DEFAULT_LANGUAGE == "powershell"
+        assert normalize_language(None) == "powershell"
+        assert normalize_language("") == "powershell"
+
+    @pytest.mark.parametrize(
+        "spelling,canonical",
+        [
+            ("powershell", "powershell"),
+            ("PowerShell", "powershell"),
+            ("ps", "powershell"),
+            ("PS1", "powershell"),
+            ("pwsh", "powershell"),
+            ("js", "js"),
+            ("JavaScript", "js"),
+            ("ecmascript", "js"),
+        ],
+    )
+    def test_aliases_resolve(self, spelling, canonical):
+        assert normalize_language(spelling) == canonical
+
+    def test_unknown_language_raises_with_known_list(self):
+        with pytest.raises(FrontendError) as exc:
+            normalize_language("cobol")
+        message = str(exc.value)
+        assert "cobol" in message
+        for name in frontend_names():
+            assert name in message
+
+
+class TestResolution:
+    def test_registry_round_trip(self):
+        # name -> frontend -> id -> same frontend (the singleton).
+        for name in frontend_names():
+            frontend = resolve_frontend(name)
+            assert frontend.id == name
+            assert resolve_frontend(frontend.id) is frontend
+
+    def test_alias_resolves_to_same_singleton(self):
+        assert resolve_frontend("ps1") is resolve_frontend("powershell")
+        assert resolve_frontend("javascript") is resolve_frontend("js")
+
+    def test_builtins_registered(self):
+        assert "powershell" in frontend_names()
+        assert "js" in frontend_names()
+
+    def test_available_frontends_in_id_order(self):
+        frontends = available_frontends()
+        assert [f.id for f in frontends] == frontend_names()
+
+    def test_describe_shape(self):
+        for frontend in available_frontends():
+            row = frontend.describe()
+            assert row["id"] == frontend.id
+            assert row["name"]
+            assert set(row["capabilities"]) == {
+                "recovery",
+                "verify",
+                "generator",
+                "rename",
+                "reformat",
+                "multilayer",
+            }
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(FrontendError):
+            register_frontend(lambda: Frontend(), id="powershell")
+
+    def test_replace_registration_and_id_validation(self):
+        class Mismatched(Frontend):
+            id = "not-testlang"
+
+        register_frontend(lambda: Mismatched(), id="testlang")
+        try:
+            with pytest.raises(FrontendError):
+                resolve_frontend("testlang")
+        finally:
+            # De-register so other tests see only the builtins.
+            from repro.frontend import registry
+
+            registry._FACTORIES.pop("testlang", None)
+            registry._INSTANCES.pop("testlang", None)
+            registry._ALIASES.pop("testlang", None)

@@ -397,3 +397,47 @@ class TestPolicyOption:
             url, {"script": "write-host x", "policy": 42}
         )
         assert code == 400
+
+
+class TestLanguageOption:
+    def test_js_request_end_to_end(self, served):
+        _service, url = served()
+        script = "eval('conso' + 'le.log(\\'hi\\');');"
+        code, body, _h = post(
+            url, {"script": script, "language": "javascript"}
+        )
+        assert code == 200
+        assert body["script"] == "console.log('hi');"
+        # The language partitions the cache: the same bytes under the
+        # default (PowerShell) front end are a different entry.
+        _c, as_powershell, _h = post(url, {"script": script})
+        assert body["cache_key"] != as_powershell["cache_key"]
+
+    def test_unknown_language_is_a_400(self, served):
+        _service, url = served()
+        code, body, _h = post(
+            url, {"script": "console.log(1);", "language": "cobol"}
+        )
+        assert code == 400
+        assert "unknown language" in body["error"]
+        assert "powershell" in body["languages"]
+        assert "js" in body["languages"]
+
+    def test_requests_counted_by_language(self, served):
+        _service, url = served()
+        post(url, {"script": "write-host hi"})
+        post(url, {"script": "console.log(1);", "language": "js"})
+        _code, metrics = get(url, "/metrics")
+        assert metric_value(
+            metrics,
+            'repro_service_requests_by_language_total'
+            '{language="powershell"}',
+        ) == 1
+        assert metric_value(
+            metrics,
+            'repro_service_requests_by_language_total{language="js"}',
+        ) == 1
+        # The unlabeled total is untouched by the new family.
+        assert metric_value(
+            metrics, "repro_service_requests_total"
+        ) == 2

@@ -124,6 +124,48 @@ def test_sandbox_doc_cross_linked():
             )
 
 
+def test_frontend_doc_cross_linked():
+    """The front-end doc exists, names every registered language (and
+    its aliases), and the surfaces that take ``--language`` point at
+    it."""
+    frontends = os.path.join(REPO_ROOT, "docs", "frontends.md")
+    assert os.path.exists(frontends), "docs/frontends.md is missing"
+    with open(frontends, encoding="utf-8") as handle:
+        frontends_text = handle.read()
+    from repro.frontend import available_frontends
+
+    for frontend in available_frontends():
+        assert f"`{frontend.id}`" in frontends_text, (
+            f"docs/frontends.md does not document front end "
+            f"{frontend.id}"
+        )
+        for alias in frontend.aliases:
+            assert f"`{alias}`" in frontends_text, (
+                f"docs/frontends.md omits alias {alias!r} of "
+                f"{frontend.id}"
+            )
+    with open(CLI_DOC, encoding="utf-8") as handle:
+        doc = handle.read()
+    for command in ("deobfuscate", "batch", "serve", "verify",
+                    "languages"):
+        section = _cli_doc_section(doc, command)
+        assert "frontends.md" in section, (
+            f"docs/cli.md section for 'repro {command}' must link "
+            "docs/frontends.md"
+        )
+    for command in ("deobfuscate", "batch", "serve", "verify", "fleet"):
+        section = _cli_doc_section(doc, command)
+        assert "--language" in section, (
+            f"docs/cli.md section for 'repro {command}' must document "
+            "--language"
+        )
+    arch = os.path.join(REPO_ROOT, "docs", "architecture.md")
+    with open(arch, encoding="utf-8") as handle:
+        assert "frontends.md" in handle.read(), (
+            "docs/architecture.md lost its docs/frontends.md cross-link"
+        )
+
+
 def test_performance_doc_cross_linked():
     """The performance handbook exists and the profiling surfaces
     point at it (and at the architecture hot-path map)."""
