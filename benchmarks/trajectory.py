@@ -61,6 +61,14 @@ SCHEMA_VERSION = 1
 DEFAULT_TOLERANCE = 0.10
 DEFAULT_SLACK_MS = 2.0
 
+# The event-log pin: enabling debug logging (ring sink) may cost at
+# most this much pipeline p50 over the disabled default — and the
+# disabled emit path must be far cheaper still (microseconds per run).
+LOGGING_OVERHEAD_BUDGET_PCT = 5.0
+LOGGING_OVERHEAD_SLACK_MS = 0.5
+LOGGING_MIN_ROUNDS = 3
+LOGGING_MAX_ROUNDS = 8
+
 # Suite sizing — small enough for CI, large enough for stable medians.
 PHASE_CORPUS_SIZE = 30
 BATCH_CORPUS_SIZE = 20
@@ -295,6 +303,78 @@ def _measure_service() -> Dict[str, Any]:
     }
 
 
+def _measure_logging() -> Dict[str, Any]:
+    """The event-log overhead pin, both halves.
+
+    Disabled (the default): the emit path is two attribute reads and a
+    comparison, micro-timed per call.  Enabled (debug level, ring sink
+    only — what serving configures): pipeline p50 over the Fig 6
+    corpus versus the disabled baseline, min-of-rounds like the span
+    overhead bench, sampling past the minimum rounds until the
+    estimate clears the budget so scheduler noise cannot flake CI.
+    """
+    from repro import Deobfuscator
+    from repro.obs.log import (
+        configure_logging,
+        get_logger,
+        reset_logging,
+    )
+
+    # Half 1: the disabled fast path, per call.
+    reset_logging()
+    logger = get_logger("bench.overhead")
+    calls = 200_000
+    started = time.perf_counter()
+    for _ in range(calls):
+        logger.debug("never emitted", value=1)
+    disabled_ns = (time.perf_counter() - started) / calls * 1e9
+
+    # Half 2: corpus p50 with logging off vs debug-ring on.
+    scripts = _fig6_corpus(PHASE_CORPUS_SIZE)
+    tool = Deobfuscator()
+    tool.deobfuscate(scripts[0])  # warm
+
+    def corpus_pass() -> List[float]:
+        row = []
+        for script in scripts:
+            t0 = time.perf_counter()
+            tool.deobfuscate(script)
+            row.append(time.perf_counter() - t0)
+        return row
+
+    off_rounds: List[List[float]] = []
+    on_rounds: List[List[float]] = []
+    try:
+        for round_index in range(LOGGING_MAX_ROUNDS):
+            reset_logging()
+            off_rounds.append(corpus_pass())
+            configure_logging(level="debug")
+            on_rounds.append(corpus_pass())
+            if round_index + 1 < LOGGING_MIN_ROUNDS:
+                continue
+            off_p50 = _p50(_min_rows(off_rounds)) * 1000
+            on_p50 = _p50(_min_rows(on_rounds)) * 1000
+            budget = (
+                off_p50 * (1 + LOGGING_OVERHEAD_BUDGET_PCT / 100)
+                + LOGGING_OVERHEAD_SLACK_MS
+            )
+            if on_p50 <= budget:
+                break
+    finally:
+        reset_logging()
+
+    off_p50 = _p50(_min_rows(off_rounds)) * 1000
+    on_p50 = _p50(_min_rows(on_rounds)) * 1000
+    overhead_pct = (on_p50 / off_p50 - 1) * 100 if off_p50 else 0.0
+    return {
+        "disabled_ns_per_call": round(disabled_ns, 1),
+        "disabled_p50_ms": round(off_p50, 4),
+        "enabled_ring_p50_ms": round(on_p50, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "rounds": len(off_rounds),
+    }
+
+
 def measure(
     rounds: int = DEFAULT_ROUNDS,
     with_batch: bool = True,
@@ -307,6 +387,7 @@ def measure(
         "multilayer": _measure_multilayer(rounds),
         "phases": phases["phases"],
         "counters": phases["counters"],
+        "logging": _measure_logging(),
     }
     if with_batch:
         metrics["batch"] = _measure_batch()
@@ -419,6 +500,21 @@ def check_regression(
     flaking the build on scheduler noise.
     """
     problems = []
+    logging_metrics = fresh.get("logging")
+    if logging_metrics:
+        enabled = logging_metrics["enabled_ring_p50_ms"]
+        disabled = logging_metrics["disabled_p50_ms"]
+        budget = (
+            disabled * (1 + LOGGING_OVERHEAD_BUDGET_PCT / 100)
+            + LOGGING_OVERHEAD_SLACK_MS
+        )
+        if enabled > budget:
+            problems.append(
+                f"logging.overhead: enabled p50 {enabled:.3f}ms exceeds "
+                f"{budget:.3f}ms (disabled {disabled:.3f}ms + "
+                f"{LOGGING_OVERHEAD_BUDGET_PCT:.0f}% + "
+                f"{LOGGING_OVERHEAD_SLACK_MS}ms slack)"
+            )
     fresh_gated = _gated_latencies(fresh)
     committed_gated = _gated_latencies(committed)
     for name, baseline in sorted(committed_gated.items()):
@@ -463,6 +559,15 @@ def render_entry(entry: Dict[str, Any]) -> str:
             f"warm p50 {service['warm_p50_ms']:.2f} ms, "
             f"cache speedup {service['cache_speedup']}x, "
             f"{service['requests_per_sec']} req/s"
+        )
+    logging_metrics = metrics.get("logging")
+    if logging_metrics:
+        lines.append(
+            f"  logging: disabled emit "
+            f"{logging_metrics['disabled_ns_per_call']:.0f} ns/call, "
+            f"debug-ring overhead "
+            f"{logging_metrics['overhead_pct']:+.2f}% "
+            f"(budget {LOGGING_OVERHEAD_BUDGET_PCT:.0f}%)"
         )
     counters = metrics.get("counters")
     if counters:

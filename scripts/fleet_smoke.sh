@@ -89,6 +89,18 @@ routed_total="$(echo "$metrics" \
 }
 echo "aggregated metrics confirmed"
 
+curl -sf "$base/statusz" | python -c '
+import json, sys
+status = json.load(sys.stdin)
+assert status["instances"] == 2, status
+one = status["windows"]["1m"]
+assert one["requests"] == 20, one
+assert one["exemplar"]["trace_id"], one
+assert sum(status["router"]["routed"].values()) == 20, status["router"]
+'
+python -m repro top --url "$base" --once | grep -q "instances=2"
+echo "fleet /statusz aggregation confirmed"
+
 # Kill instance 0, then restart it on the same port with the same
 # persisted cache directory.
 port0="$(cat "$workdir/fleet/port-0")"

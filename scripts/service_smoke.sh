@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for `repro serve`, run by CI and runnable
 # locally: boot the service on an ephemeral port, prove the result
-# cache works over real HTTP, scrape /metrics, then check that SIGTERM
-# drains cleanly (exit 0).
+# cache works over real HTTP, scrape /metrics and /statusz, render
+# them with `repro top --once` / `repro logs`, then check that
+# SIGTERM drains cleanly (exit 0).
 set -euo pipefail
 
 workdir="$(mktemp -d)"
 trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 python -m repro serve --port 0 --port-file "$workdir/port" \
-    --jobs 2 2>"$workdir/serve.log" &
+    --jobs 2 --log-file "$workdir/events.jsonl" --log-level debug \
+    2>"$workdir/serve.log" &
 server_pid=$!
 
 for _ in $(seq 1 100); do
@@ -57,6 +59,31 @@ echo "$metrics" | grep -q '^repro_service_requests_total 2$'
 echo "$metrics" | grep -q '^repro_service_cache_hits_total 1$'
 echo "$metrics" | grep -q '^repro_pipeline_pieces_recovered_total'
 echo "metrics scrape confirmed"
+
+curl -sf "$base/statusz" | python -c '
+import json, sys
+status = json.load(sys.stdin)
+one = status["windows"]["1m"]
+assert one["requests"] == 2, one
+assert one["latency_p50_ms"] > 0, one
+# The exemplar trace id must resolve into the event-log tail.
+exemplar = one["exemplar"]["trace_id"]
+traces = {e.get("trace_id") for e in status["log_tail"]}
+assert exemplar in traces, (exemplar, traces)
+assert status["window_raw"]["slots"], status
+'
+echo "/statusz windows + exemplar correlation confirmed"
+
+python -m repro top --url "$base" --once > "$workdir/top.out"
+grep -q "repro top — $base" "$workdir/top.out"
+grep -q "1m " "$workdir/top.out"
+echo "repro top --once confirmed"
+
+python -m repro logs "$workdir/events.jsonl" --level warning \
+    > "$workdir/logs.out"
+python -m repro logs "$workdir/events.jsonl" --logger service \
+    --tail 5 | grep -q "service"
+echo "repro logs filters confirmed"
 
 kill -TERM "$server_pid"
 wait "$server_pid"

@@ -73,8 +73,11 @@ from repro.batch.task import (
     exception_record,
     resolve_worker,
 )
+from repro.obs.log import get_logger
 
 _POLL_SECONDS = 0.05
+
+_log = get_logger("batch.pool")
 
 # Keys of :attr:`BatchPool.restarts`, the worker-lifecycle counters.
 RESTART_REASONS = ("crash", "timeout")
@@ -423,7 +426,12 @@ class BatchPool:
         # drop the parent's copy of the child end so a dead worker
         # reads as EOF on parent_conn
         child_conn.close()
-        self._workers[next(self._worker_ids)] = _Worker(proc, parent_conn)
+        worker_id = next(self._worker_ids)
+        self._workers[worker_id] = _Worker(proc, parent_conn)
+        _log.debug(
+            "spawned worker", worker=worker_id, pid=proc.pid,
+            fleet=len(self._workers),
+        )
 
     def _finalize(self, ticket: int) -> None:
         del self._tasks[ticket]
@@ -439,6 +447,13 @@ class BatchPool:
         exit_code = held.proc.exitcode
         self.restarts["crash"] += 1
         ticket = held.ticket
+        _log.warning(
+            "worker died; respawning",
+            worker=worker_id,
+            pid=held.proc.pid,
+            exit_code=exit_code,
+            held_ticket=ticket,
+        )
         if ticket is None or ticket not in self._tasks:
             return None
         if self._attempts[ticket] <= self.retries:
@@ -520,6 +535,13 @@ class BatchPool:
                 state.conn.close()
                 del self._workers[worker_id]
                 self.restarts["timeout"] += 1
+                _log.warning(
+                    "SIGKILLed worker over budget",
+                    worker=worker_id,
+                    pid=state.proc.pid,
+                    budget=self.timeout,
+                    elapsed=round(now - state.started, 3),
+                )
                 if ticket in self._tasks:
                     from repro.batch.records import RECORD_SCHEMA_VERSION
 

@@ -24,13 +24,28 @@ serve [--host H] [--port P] [--jobs N] [--timeout S] [--queue-limit N]
     cache with single-flight dedup and optional disk persistence
     (``--cache-dir`` snapshots + journal, warm-start on restart),
     backpressure (429 with jittered Retry-After) when the admission
-    queue fills, /healthz and Prometheus /metrics, graceful drain on
-    SIGTERM.
+    queue fills, /healthz, Prometheus /metrics and the live /statusz
+    rolling-window status page, graceful drain on SIGTERM;
+    ``--log-file``/``--log-level`` configure the structured event log
+    (:mod:`repro.obs.log`).
 fleet --instances N [--port P] [serve flags...]
     Run N serve instances behind a consistent-hash router: requests
     route deterministically by script SHA-256 (rendezvous fallback
-    when an instance dies), /metrics aggregates across instances,
-    /healthz reports per-instance readiness.
+    when an instance dies), /metrics and /statusz aggregate across
+    instances, /healthz reports per-instance readiness; the serve log
+    flags are forwarded (each instance logs to
+    ``LOG_FILE.instance-K``).
+top [--url URL] [--interval S] [--once] [--limit N]
+    Live console over a service or fleet ``/statusz`` endpoint:
+    rolling 1m/5m/15m request/error/divergence rates, cache-hit
+    ratio, latency p50/p95 with the slowest request's trace id,
+    pool/queue state, per-language latency and the recent event tail;
+    ``--once`` prints a single snapshot and exits.
+logs FILE [--follow] [--level L] [--logger PREFIX] [--trace ID] [--tail N]
+    Tail and filter a structured JSONL event log written by
+    ``--log-file``: by minimum level, logger-name prefix, or trace-id
+    prefix; ``--json`` re-emits the matching raw lines for tooling,
+    ``--follow`` keeps reading as the file grows.
 trace FILE [--check] [--summary] [--id PREFIX]
     Render per-request waterfalls from a span JSONL file written by
     ``--trace-out`` (``deobfuscate``/``batch``/``serve``); ``--check``
@@ -122,6 +137,21 @@ def _add_language_flag(parser) -> None:
         help="language front end to parse and recover with: "
         + ", ".join(frontend_names())
         + " (default: powershell; see `repro languages`)",
+    )
+
+
+def _add_log_flags(parser) -> None:
+    """The shared event-log flags (``serve``/``fleet``)."""
+    parser.add_argument(
+        "--log-file", metavar="FILE", default=None,
+        help="append structured JSONL events here (read them with "
+        "`repro logs FILE`); the in-memory ring behind /statusz is "
+        "always on",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="event-log threshold (default: info)",
     )
 
 
@@ -359,8 +389,12 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs.log import configure_logging
     from repro.service import ServiceConfig
 
+    # The service always runs with the event log on: the ring buffer
+    # feeds /statusz's tail, the optional file sink feeds `repro logs`.
+    configure_logging(level=args.log_level, path=args.log_file)
     default_options = {
         "rename": not args.no_rename,
         "reformat": not args.no_reformat,
@@ -396,8 +430,12 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
+    from repro.obs.log import configure_logging
     from repro.service.fleet import run_fleet
 
+    # Router-side event log (routing/failover decisions); instances
+    # get the same flags forwarded, each with its own file suffix.
+    configure_logging(level=args.log_level, path=args.log_file)
     serve_args = [
         "--jobs", str(args.jobs),
         "--timeout", str(args.timeout),
@@ -405,6 +443,7 @@ def _cmd_fleet(args) -> int:
         "--cache-entries", str(args.cache_entries),
         "--cache-bytes", str(args.cache_bytes),
         "--cache-shards", str(args.cache_shards),
+        "--log-level", args.log_level,
     ]
     if args.max_jobs:
         serve_args += ["--max-jobs", str(args.max_jobs)]
@@ -429,7 +468,202 @@ def _cmd_fleet(args) -> int:
         cache_root=args.cache_root,
         workdir=args.workdir,
         quiet=not args.access_log,
+        serve_log_file=args.log_file,
     )
+
+
+def _format_event_line(data) -> str:
+    """One human-readable line for a serialized LogEvent dict."""
+    stamp = time.strftime(
+        "%H:%M:%S", time.localtime(float(data.get("ts") or 0.0))
+    )
+    level = str(data.get("level", "info")).upper()
+    fields = data.get("fields") or {}
+    extras = " ".join(
+        f"{key}={value}" for key, value in sorted(fields.items())
+    )
+    trace = data.get("trace_id")
+    parts = [
+        stamp,
+        f"{level:<7}",
+        f"{data.get('logger', ''):<18}",
+        str(data.get("message", "")),
+    ]
+    if extras:
+        parts.append(extras)
+    if trace:
+        parts.append(f"trace={trace}")
+    return " ".join(parts)
+
+
+def _render_statusz(url: str, payload, tail_limit: int = 8) -> str:
+    """The ``repro top`` frame for one ``/statusz`` payload."""
+    lines = []
+    pool = payload.get("pool") or {}
+    queue = payload.get("queue") or {}
+    restarts = pool.get("restarts") or {}
+    restart_text = (
+        " ".join(f"{k}={v}" for k, v in sorted(restarts.items()))
+        or "none"
+    )
+    lines.append(
+        f"repro top — {url}  instances={payload.get('instances', 1)}  "
+        f"uptime={payload.get('uptime_seconds', 0):.0f}s  "
+        f"draining={'yes' if payload.get('draining') else 'no'}"
+    )
+    lines.append(
+        f"pool: workers={pool.get('workers', 0)}/"
+        f"{pool.get('size', 0)} (restarts: {restart_text})  "
+        f"queue: {queue.get('depth', 0)}/{queue.get('limit', 0)}  "
+        f"cache-hit: {payload.get('cache_hit_ratio', 0.0):.1%}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'window':<8}{'req':>7}{'rate/s':>9}{'err%':>7}{'div%':>7}"
+        f"{'cache%':>8}{'p50ms':>9}{'p95ms':>9}  slowest trace"
+    )
+    windows = payload.get("windows") or {}
+    for name in ("1m", "5m", "15m"):
+        entry = windows.get(name)
+        if not entry:
+            continue
+        exemplar = (entry.get("exemplar") or {}).get("trace_id", "-")
+        lines.append(
+            f"{name:<8}{entry.get('requests', 0):>7}"
+            f"{entry.get('request_rate', 0.0):>9.2f}"
+            f"{entry.get('error_rate', 0.0) * 100:>7.1f}"
+            f"{entry.get('divergence_rate', 0.0) * 100:>7.1f}"
+            f"{entry.get('cache_hit_ratio', 0.0) * 100:>8.1f}"
+            f"{entry.get('latency_p50_ms', 0.0):>9.1f}"
+            f"{entry.get('latency_p95_ms', 0.0):>9.1f}  {exemplar}"
+        )
+    latency_by = payload.get("latency_by") or {}
+    if latency_by:
+        lines.append("")
+        lines.append("latency by language|policy:")
+        for label, entry in sorted(latency_by.items()):
+            lines.append(
+                f"  {label:<36} n={entry.get('count', 0):<7} "
+                f"p50={entry.get('p50_ms', 0.0):.1f}ms "
+                f"p95={entry.get('p95_ms', 0.0):.1f}ms"
+            )
+    techniques = payload.get("techniques_top") or []
+    if techniques:
+        lines.append("")
+        lines.append(
+            "techniques: "
+            + " ".join(
+                f"{row['technique']}={row['count']}"
+                for row in techniques
+            )
+        )
+    tail = payload.get("log_tail") or []
+    if tail:
+        lines.append("")
+        lines.append("recent events:")
+        for event in tail[-max(1, tail_limit):]:
+            lines.append("  " + _format_event_line(event))
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = (args.url or f"http://127.0.0.1:{args.port}").rstrip("/")
+
+    def fetch():
+        with urllib.request.urlopen(
+            url + "/statusz", timeout=10.0
+        ) as response:
+            return json.loads(response.read())
+
+    while True:
+        try:
+            payload = fetch()
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            print(f"error: cannot fetch {url}/statusz: {exc}",
+                  file=sys.stderr)
+            if args.once:
+                return 1
+            time.sleep(args.interval)
+            continue
+        frame = _render_statusz(url, payload, tail_limit=args.limit)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, like top(1); one frame per interval.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
+def _cmd_logs(args) -> int:
+    import json
+
+    from repro.obs.log import LEVELS, iter_events
+
+    threshold = LEVELS[args.level] if args.level else 0
+
+    def matches(event) -> bool:
+        if LEVELS.get(event.level, 0) < threshold:
+            return False
+        if args.logger and not event.logger.startswith(args.logger):
+            return False
+        if args.trace and not (
+            event.trace_id or ""
+        ).startswith(args.trace):
+            return False
+        return True
+
+    def emit(event) -> None:
+        if args.json:
+            print(json.dumps(event.to_dict(), sort_keys=True))
+        else:
+            print(_format_event_line(event.to_dict()))
+
+    try:
+        matched = [e for e in iter_events(args.file) if matches(e)]
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if args.tail:
+        matched = matched[-args.tail:]
+    for event in matched:
+        emit(event)
+    if not args.follow:
+        return 0
+    # Follow mode: poll for appended lines (rotation aside — a rotated
+    # file keeps its old handle; restart `repro logs` to pick up the
+    # fresh one).
+    from repro.obs.log import LogEvent
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        handle.seek(0, 2)
+        try:
+            while True:
+                line = handle.readline()
+                if not line:
+                    time.sleep(0.25)
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(data, dict):
+                    continue
+                event = LogEvent.from_dict(data)
+                if matches(event):
+                    emit(event)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
 
 
 def _cmd_trace(args) -> int:
@@ -831,6 +1065,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export every request's trace spans to FILE as JSONL "
         "(requests always carry a trace_id; this enables the file)",
     )
+    _add_log_flags(p)
     _add_policy_flag(p)
     _add_language_flag(p)
     p.set_defaults(func=_cmd_serve)
@@ -909,9 +1144,73 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MODULE:FUNC",
         help="per-request worker function for every instance",
     )
+    _add_log_flags(p)
     _add_policy_flag(p)
     _add_language_flag(p)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "top",
+        help="live console over a service/fleet /statusz endpoint",
+    )
+    p.add_argument(
+        "--url", metavar="URL", default=None,
+        help="service or fleet base URL "
+        "(default: http://127.0.0.1:PORT)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8765,
+        help="port for the default URL (default: 8765)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default: 2)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit instead of refreshing",
+    )
+    p.add_argument(
+        "--limit", type=int, default=8, metavar="N",
+        help="recent log events shown per frame (default: 8)",
+    )
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "logs",
+        help="tail and filter a structured JSONL event log",
+    )
+    p.add_argument(
+        "file",
+        help="event log written by --log-file (serve/fleet)",
+    )
+    p.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep reading as the file grows (Ctrl-C to stop)",
+    )
+    p.add_argument(
+        "--level", metavar="LEVEL", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="only events at or above this level",
+    )
+    p.add_argument(
+        "--logger", metavar="PREFIX", default=None,
+        help="only events from loggers starting with PREFIX "
+        "(e.g. service.core, policy)",
+    )
+    p.add_argument(
+        "--trace", metavar="ID", default=None,
+        help="only events whose trace_id starts with ID",
+    )
+    p.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only the last N matching events (before --follow)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="re-emit matching events as raw JSON lines",
+    )
+    p.set_defaults(func=_cmd_logs)
 
     p = sub.add_parser(
         "trace",

@@ -17,10 +17,13 @@ from typing import List, Optional
 
 from repro.frontend import Frontend, resolve_frontend
 from repro.obs import PipelineStats, Tracer
+from repro.obs.log import get_logger
 from repro.obs.spans import SPAN_TECHNIQUES
 from repro.options import DEFAULT_MAX_ITERATIONS, PipelineOptions
 from repro.policy import PolicyAudit, SandboxPolicy, resolve_policy
 from repro.runtime.memo import SubtreeMemo
+
+_log = get_logger("core.pipeline")
 
 
 @dataclass
@@ -227,6 +230,11 @@ class Deobfuscator:
             result.valid_input = False
             finalize_counters()
             result.elapsed_seconds = time.perf_counter() - started
+            _log.warning(
+                "input did not parse; no phase ran",
+                language=self.options.language,
+                length=len(script),
+            )
             if pipeline_span is not None:
                 recorder.end(pipeline_span, status="error")
             return result
@@ -296,6 +304,22 @@ class Deobfuscator:
         stats.phase_seconds = tracer.phase_totals()
         finalize_counters()
         result.elapsed_seconds = time.perf_counter() - started
+        if result.timed_out:
+            _log.warning(
+                "pipeline hit its cooperative deadline",
+                iterations=result.iterations,
+                deadline_seconds=deadline_seconds,
+                elapsed_ms=round(result.elapsed_seconds * 1000, 3),
+            )
+        else:
+            _log.debug(
+                "pipeline run finished",
+                iterations=result.iterations,
+                layers_unwrapped=result.layers_unwrapped,
+                pieces_recovered=stats.pieces_recovered,
+                changed=result.changed,
+                elapsed_ms=round(result.elapsed_seconds * 1000, 3),
+            )
         if pipeline_span is not None:
             recorder.end(
                 pipeline_span,

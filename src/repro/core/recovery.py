@@ -15,6 +15,7 @@ the paper's speed-up (and the reason Fig 6's curve is flat).
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.log import get_logger
 from repro.policy import PolicyAudit, SandboxPolicy, default_policy, resolve_policy
 from repro.runtime.errors import (
     BlockedCommandError,
@@ -32,6 +33,28 @@ from repro.runtime.values import PSChar
 MAX_PIECE_LENGTH = 200_000
 
 PIECE_STEP_LIMIT = 50_000
+
+_log = get_logger("core.recovery")
+
+# Outcomes worth narrating in the event log: the piece ran (or was
+# refused) in a way an analyst reading the log would want to see,
+# unlike the routine "recovered"/"unsupported" bulk.
+_NARRATED_REASONS = ("blocked", "step_limit", "not_stringifiable")
+
+
+def _narrate_outcome(piece: str, outcome: "RecoveryOutcome") -> None:
+    """Emit one debug event for a narratable recovery outcome, with
+    the piece's extents (length + clipped head) so the log reader can
+    locate it in the script without embedding hostile content."""
+    if outcome.reason not in _NARRATED_REASONS:
+        return
+    _log.debug(
+        f"piece recovery: {outcome.reason}",
+        reason=outcome.reason,
+        piece_chars=len(piece),
+        piece_head=piece[:80],
+        steps=outcome.steps,
+    )
 
 
 def quote_single(text: str) -> str:
@@ -270,10 +293,12 @@ class RecoveryEngine:
             piece, variables, env_overrides, function_defs
         )
         if not ok:
+            _narrate_outcome(piece, outcome)
             return outcome
         text = stringify_result(value)
         if text is None:
             outcome.reason = "not_stringifiable"
+            _narrate_outcome(piece, outcome)
             return outcome
         outcome.text = text
         return outcome

@@ -27,6 +27,18 @@ dependencies:
 """
 
 from repro.obs.hist import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.obs.log import (
+    LOG_SCHEMA_VERSION,
+    LogEvent,
+    LogRing,
+    LogSink,
+    configure_logging,
+    get_logger,
+    iter_events,
+    log_tail,
+    logging_enabled,
+    reset_logging,
+)
 from repro.obs.profile import profile_lines, render_profile
 from repro.obs.spans import (
     PHASES,
@@ -52,14 +64,24 @@ from repro.obs.trace import (
     TraceSpan,
     parse_traceparent,
 )
+from repro.obs.window import (
+    WINDOW_MINUTES,
+    RollingWindow,
+    merge_window_dicts,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "LAYER_TAGS",
+    "LOG_SCHEMA_VERSION",
+    "LogEvent",
+    "LogRing",
+    "LogSink",
     "PHASES",
     "PipelineStats",
     "RECOVERY_REASONS",
+    "RollingWindow",
     "STATS_SCHEMA_VERSION",
     "Span",
     "SpanRecorder",
@@ -68,10 +90,18 @@ __all__ = [
     "TraceSpan",
     "Tracer",
     "UNWRAP_KINDS",
+    "WINDOW_MINUTES",
     "canonical_phase_name",
+    "configure_logging",
+    "get_logger",
+    "iter_events",
+    "log_tail",
+    "logging_enabled",
+    "merge_window_dicts",
     "parse_traceparent",
     "profile_lines",
     "render_prevalence",
     "render_profile",
+    "reset_logging",
     "tag_techniques",
 ]

@@ -80,6 +80,40 @@ class Histogram:
         check: the service load test asserts ≥ 2)."""
         return sum(1 for count in self.counts if count)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 < q ≤ 1) from the buckets.
+
+        Prometheus ``histogram_quantile`` semantics: find the bin the
+        rank falls in and interpolate linearly inside it.  The overflow
+        bin (> last bound) has no upper edge, so it reports the last
+        bound — an admitted underestimate, same as Prometheus.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for index, bound in enumerate(self.bounds):
+            previous = running
+            running += self.counts[index]
+            if running >= rank:
+                lower = self.bounds[index - 1] if index else 0.0
+                if self.counts[index] == 0:  # pragma: no cover
+                    return bound
+                fraction = (rank - previous) / self.counts[index]
+                return lower + (bound - lower) * fraction
+        return self.bounds[-1]
+
+    def worst_exemplar(self) -> Optional[Tuple[str, float]]:
+        """The ``(trace_id, value)`` of the slowest observation seen
+        with a trace id — what ``/statusz`` links operators to."""
+        worst: Optional[Tuple[str, float]] = None
+        for exemplar in self.exemplars:
+            if exemplar is not None and (
+                worst is None or exemplar[1] > worst[1]
+            ):
+                worst = exemplar
+        return worst
+
     def merge(self, other: "Histogram") -> None:
         """Fold *other* into this histogram (bounds must match)."""
         if other.bounds != self.bounds:

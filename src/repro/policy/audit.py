@@ -25,11 +25,14 @@ extra plumbing through the evaluator.
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
+from repro.obs.log import get_logger
 from repro.obs.trace import active_recorder
 from repro.policy.model import CAPABILITIES
 
 # Bound on stored audit events per run (counters keep counting past it).
 DEFAULT_MAX_AUDIT_EVENTS = 1_000
+
+_log = get_logger("policy.audit")
 
 AUDIT_ACTIONS = ("deny", "allow")
 
@@ -101,6 +104,18 @@ class PolicyAudit:
         """Called by the :meth:`SandboxPolicy.check` choke point."""
         if action == "deny":
             self.denials[capability] = self.denials.get(capability, 0) + 1
+            # Every counted denial also hits the structured event log
+            # (one emit per counter increment, so the
+            # repro_policy_denials_total cross-check test can assert
+            # the two never drift).  The logger captures the active
+            # trace id itself; the fields carry the decision details.
+            _log.warning(
+                "policy denied capability",
+                capability=capability,
+                name=name,
+                rule=rule,
+                policy=self.policy_name,
+            )
             if not self.audit_denials:
                 return
         elif not self.audit_allowed:

@@ -307,6 +307,13 @@ class AsyncServiceServer:
                 self.service.metrics_snapshot(),
                 keep_alive=keep_alive,
             )
+        elif method == "GET" and url.path == "/statusz":
+            await self._respond_json(
+                writer,
+                200,
+                self.service.statusz(),
+                keep_alive=keep_alive,
+            )
         elif method == "POST" and url.path == "/deobfuscate":
             await self._deobfuscate(
                 writer, url, headers, body, keep_alive

@@ -38,7 +38,9 @@ from repro.batch.pool import BatchPool
 from repro.batch.task import DEFAULT_WORKER_SPEC, Task
 from repro.obs import Histogram, PipelineStats
 from repro.obs.export import SpanExporter
+from repro.obs.log import get_logger, log_tail
 from repro.obs.trace import SpanRecorder, TraceContext
+from repro.obs.window import RollingWindow
 from repro.options import PipelineOptions
 from repro.service.cache import (
     DEFAULT_MAX_BYTES,
@@ -59,6 +61,8 @@ CACHEABLE_STATUSES = ("ok", "invalid")
 # Extra seconds a caller waits beyond the worker budget before giving
 # up on a result that the pool should already have killed.
 _WAIT_MARGIN = 5.0
+
+_log = get_logger("service.core")
 
 
 class ServiceUnavailable(Exception):
@@ -188,11 +192,18 @@ class DeobfuscationService:
         # Requests by resolved language front end (the /metrics
         # language label on the request counter).
         self.language_counts: Dict[str, int] = {}
+        # Requests by resolved sandbox-policy preset (same idea).
+        self.policy_counts: Dict[str, int] = {}
         # Latency histograms (Prometheus buckets + worst-sample trace
         # exemplars): pipeline execution time per worker run, and
         # front-door request time across all answer paths.
         self.pipeline_hist = Histogram()
         self.request_hist = Histogram()
+        # The same request latency broken down per "language|policy"
+        # pair, so per-language tails survive fleet aggregation.
+        self.request_hist_by: Dict[str, Histogram] = {}
+        # Rolling 1/5/15-minute view behind /statusz.
+        self.window = RollingWindow()
         self.exporter: Optional[SpanExporter] = (
             SpanExporter(config.trace_path, service_name="repro-serve")
             if config.trace_path
@@ -225,10 +236,24 @@ class DeobfuscationService:
             daemon=True,
         )
         self._dispatcher.start()
+        _log.info(
+            "service started",
+            jobs=self.config.jobs,
+            max_jobs=self.config.max_jobs,
+            queue_limit=self.config.queue_limit,
+            warm_start=(
+                self.persistence.warm_start
+                if self.persistence is not None else False
+            ),
+        )
         return self
 
     def begin_drain(self) -> None:
         """Stop admitting new requests; in-flight work continues."""
+        if not self._draining:
+            _log.info(
+                "drain started", queue_depth=self.queue_depth
+            )
         self._draining = True
 
     @property
@@ -267,6 +292,7 @@ class DeobfuscationService:
         if self.exporter is not None:
             self.exporter.close()
             self.exporter = None
+        _log.info("service stopped")
         self._started = False
 
     def __enter__(self) -> "DeobfuscationService":
@@ -311,16 +337,21 @@ class DeobfuscationService:
         )
         request_span = recorder.begin("request", verify=verify or None)
         started = time.perf_counter()
+        labels: Dict[str, str] = {}
         try:
             record = self._submit_traced(
-                script, options, timeout, verify, recorder
+                script, options, timeout, verify, recorder, labels
             )
         except BaseException:
             recorder.flush_open(status="error")
-            self._finish_request(recorder, time.perf_counter() - started)
+            self._finish_request(
+                recorder, time.perf_counter() - started, labels
+            )
             raise
         recorder.end(request_span)
-        self._finish_request(recorder, time.perf_counter() - started)
+        self._finish_request(
+            recorder, time.perf_counter() - started, labels
+        )
         record["trace_id"] = recorder.trace_id
         return record
 
@@ -331,13 +362,19 @@ class DeobfuscationService:
         timeout: Optional[float],
         verify: bool,
         recorder: SpanRecorder,
+        labels: Dict[str, str],
     ) -> dict:
         if self._draining:
             with self._gate:
                 self.counters["rejected"] += 1
+            _log.warning(
+                "request rejected: draining",
+                queue_depth=self._admitted,
+            )
             raise ServiceUnavailable("draining", retry_after=5.0)
         with self._gate:
             self.counters["requests"] += 1
+        self.window.incr("requests")
 
         merged = dict(self.config.default_options)
         if options:
@@ -348,9 +385,14 @@ class DeobfuscationService:
         pipeline_options = PipelineOptions.from_dict(merged).replace(
             deadline_seconds=budget
         )
+        labels["language"] = pipeline_options.language
+        labels["policy"] = pipeline_options.policy
         with self._gate:
             self.language_counts[pipeline_options.language] = (
                 self.language_counts.get(pipeline_options.language, 0) + 1
+            )
+            self.policy_counts[pipeline_options.policy] = (
+                self.policy_counts.get(pipeline_options.policy, 0) + 1
             )
         opts = pipeline_options.canonical_dict()
         key_options = dict(opts)
@@ -364,15 +406,22 @@ class DeobfuscationService:
         if outcome == HIT:
             with self._gate:
                 self.counters["cache_hits"] += 1
+            self.window.incr("cache_hits")
             return self._response(payload, key, cache_hit=True)
         if outcome == JOIN:
             with self._gate:
                 self.counters["coalesced"] += 1
+            self.window.incr("cache_hits")
             with recorder.span("execute", coalesced=True):
                 record = payload.wait(wait_budget)
             if record is None:
                 with self._gate:
                     self.counters["request_timeouts"] += 1
+                self.window.incr("errors")
+                _log.error(
+                    "coalesced request did not complete",
+                    wait_budget=round(wait_budget, 3),
+                )
                 raise ServiceUnavailable(
                     "coalesced request did not complete", retry_after=1.0
                 )
@@ -384,6 +433,11 @@ class DeobfuscationService:
                 if self._admitted >= self.config.queue_limit:
                     self.counters["rejected"] += 1
                     self.cache.abandon(key)
+                    _log.warning(
+                        "request rejected: admission queue full",
+                        queue_depth=self._admitted,
+                        queue_limit=self.config.queue_limit,
+                    )
                     raise ServiceUnavailable("admission queue full")
                 self._admitted += 1
                 self.counters["executions"] += 1
@@ -406,16 +460,42 @@ class DeobfuscationService:
             # defensively surface it as a retryable failure.
             with self._gate:
                 self.counters["request_timeouts"] += 1
+            self.window.incr("errors")
+            _log.error(
+                "execution overran its budget",
+                wait_budget=round(wait_budget, 3),
+            )
             raise ServiceUnavailable("execution overran its budget")
         recorder.end(execute_span)
         return self._response(job.record, key, cache_hit=False)
 
     def _finish_request(
-        self, recorder: SpanRecorder, elapsed: float
+        self,
+        recorder: SpanRecorder,
+        elapsed: float,
+        labels: Optional[Dict[str, str]] = None,
     ) -> None:
-        """Account one finished request: latency histogram + export."""
+        """Account one finished request: latency histograms (total and
+        per language|policy), the rolling window, span export."""
+        label_key = (
+            f"{labels['language']}|{labels['policy']}"
+            if labels and "language" in labels
+            else None
+        )
         with self._gate:
             self.request_hist.observe(elapsed, recorder.trace_id)
+            if label_key is not None:
+                hist = self.request_hist_by.get(label_key)
+                if hist is None:
+                    hist = self.request_hist_by[label_key] = Histogram()
+                hist.observe(elapsed, recorder.trace_id)
+        self.window.observe(elapsed, recorder.trace_id)
+        _log.debug(
+            "request finished",
+            elapsed_ms=round(elapsed * 1000, 3),
+            label=label_key,
+            trace_id=recorder.trace_id,
+        )
         if self.exporter is not None:
             self.exporter.export(recorder.spans)
 
@@ -500,6 +580,19 @@ class DeobfuscationService:
             self._admitted -= 1
             if status == "error":
                 self.counters["errors"] += 1
+        if status == "error":
+            self.window.incr("errors")
+            _log.warning(
+                "worker returned an error record",
+                error=record.get("error"),
+                path=record.get("path"),
+            )
+        elif status == "timeout":
+            _log.warning(
+                "request hit its worker budget",
+                path=record.get("path"),
+                elapsed=record.get("elapsed_seconds"),
+            )
         # Worker-side spans (and the run's trace identity) are for this
         # request only — export them, observe the pipeline latency
         # histogram, and strip them so cached copies stay clean.
@@ -524,6 +617,13 @@ class DeobfuscationService:
             with self._gate:
                 self.verify_counts[verdict] = (
                     self.verify_counts.get(verdict, 0) + 1
+                )
+            self.window.incr("verified")
+            if verdict == "divergent":
+                self.window.incr("divergent")
+                _log.warning(
+                    "verifier found divergent behavior",
+                    path=record.get("path"),
                 )
         cacheable = status in CACHEABLE_STATUSES
         self.cache.resolve(job.key, record, cacheable=cacheable)
@@ -579,8 +679,13 @@ class DeobfuscationService:
             pipeline = self.pipeline_totals.to_dict()
             verify_counts = dict(self.verify_counts)
             language_counts = dict(self.language_counts)
+            policy_counts = dict(self.policy_counts)
             pipeline_hist = self.pipeline_hist.to_dict()
             request_hist = self.request_hist.to_dict()
+            request_hist_by = {
+                label: hist.to_dict()
+                for label, hist in self.request_hist_by.items()
+            }
         persistence: Dict[str, Any] = {"enabled": False}
         if self.persistence is not None:
             persistence = self.persistence.snapshot_counters()
@@ -588,8 +693,10 @@ class DeobfuscationService:
             "counters": counters,
             "verify": verify_counts,
             "languages": language_counts,
+            "policies": policy_counts,
             "pipeline_duration_histogram": pipeline_hist,
             "request_duration_histogram": request_hist,
+            "request_duration_by": request_hist_by,
             "queue_depth": queue_depth,
             "queue_limit": self.config.queue_limit,
             "draining": self._draining,
@@ -603,3 +710,19 @@ class DeobfuscationService:
                 time.monotonic() - self._started_monotonic, 3
             ),
         }
+
+    def statusz(self) -> Dict[str, Any]:
+        """The operator's live view — everything ``/statusz`` serves.
+
+        Built from the metrics snapshot plus the rolling window and
+        the recent ring-buffer log tail; the fleet router rebuilds the
+        same shape from merged instance payloads
+        (:func:`repro.service.metrics.build_statusz`).
+        """
+        from repro.service.metrics import build_statusz
+
+        return build_statusz(
+            self.metrics_snapshot(),
+            window=self.window,
+            log_events=log_tail(limit=40),
+        )

@@ -30,7 +30,12 @@ aggregation
     fleet-wide Prometheus exposition plus ``repro_fleet_*`` routing
     counters; ``GET /healthz`` reports per-instance health with the
     instances' own enriched payloads (queue depth, pool size, warm-
-    start status).
+    start status); ``GET /statusz`` rebuilds the single-instance
+    status payload fleet-wide — snapshots through ``merge_snapshots``,
+    rolling windows merged minute-by-minute
+    (:func:`repro.obs.window.merge_window_dicts`, so latency exemplar
+    trace ids survive), instance log tails interleaved with the
+    router's own routing/failover events.
 
 The router is deliberately thin — no pipeline work, no cache — so a
 threaded stdlib server is plenty: handler threads spend their time in
@@ -58,8 +63,16 @@ from repro.batch.pool import (
     register_fork_unsafe_fd,
     unregister_fork_unsafe_fd,
 )
+from repro.obs.log import get_logger, log_tail
+from repro.obs.window import merge_window_dicts
 from repro.service.cache import normalize_source
-from repro.service.metrics import merge_snapshots, render_metrics
+from repro.service.metrics import (
+    build_statusz,
+    merge_snapshots,
+    render_metrics,
+)
+
+_log = get_logger("service.fleet")
 
 DEFAULT_REPLICAS = 64
 _PROBE_INTERVAL = 1.0
@@ -165,11 +178,22 @@ class FleetState:
 
     def mark_down(self, instance: str) -> None:
         with self._lock:
+            newly_down = instance not in self._unhealthy
             self._unhealthy.setdefault(instance, time.monotonic())
+        if newly_down:
+            _log.warning(
+                "instance marked down; rerouting its keys",
+                instance=instance,
+            )
 
     def mark_up(self, instance: str) -> None:
         with self._lock:
-            self._unhealthy.pop(instance, None)
+            recovered = self._unhealthy.pop(instance, None) is not None
+        if recovered:
+            _log.info(
+                "instance recovered; takes its keys back",
+                instance=instance,
+            )
 
     def is_healthy(self, instance: str) -> bool:
         with self._lock:
@@ -289,6 +313,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._healthz()
         elif self.path == "/metrics":
             self._metrics()
+        elif self.path.startswith("/statusz"):
+            self._statusz()
         else:
             self._send_json(404, {"error": f"no such path: {self.path}"})
 
@@ -365,6 +391,38 @@ class _RouterHandler(BaseHTTPRequestHandler):
             "text/plain; version=0.0.4; charset=utf-8",
         )
 
+    def _statusz(self) -> None:
+        """Fleet-wide ``/statusz``: the same payload shape as one
+        instance, rebuilt from every reachable instance's snapshot —
+        counters through ``merge_snapshots``, rolling windows merged
+        minute-by-minute (exemplars survive), log tails interleaved by
+        timestamp with the router's own events."""
+        snapshots: List[Dict[str, Any]] = []
+        window_payloads: List[Optional[Dict[str, Any]]] = []
+        tail: List[Dict[str, Any]] = []
+        for instance in self.state.instances:
+            snap = _fetch_json(instance + "/metrics.json", timeout=10.0)
+            status = _fetch_json(instance + "/statusz", timeout=10.0)
+            if snap is None or status is None:
+                self.state.mark_down(instance)
+                continue
+            snapshots.append(snap)
+            window_payloads.append(status.get("window_raw"))
+            for event in status.get("log_tail") or []:
+                event = dict(event)
+                event.setdefault("instance", instance)
+                tail.append(event)
+        tail.extend(log_tail(limit=40))
+        tail.sort(key=lambda event: event.get("ts") or 0)
+        payload = build_statusz(
+            merge_snapshots(snapshots),
+            window=merge_window_dicts(window_payloads),
+            log_events=tail[-40:],
+            instances=len(snapshots),
+        )
+        payload["router"] = self.state.counters()
+        self._send_json(200, payload)
+
     # -- routing proxy ------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
@@ -396,6 +454,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
             picked = self.state.pick(key)
             if picked is None:
                 self.state.count_rejected()
+                _log.error(
+                    "no healthy instance; rejecting request",
+                    key=key[:16],
+                )
                 self._send_json(
                     503,
                     {"error": "no healthy instance"},
@@ -405,8 +467,20 @@ class _RouterHandler(BaseHTTPRequestHandler):
             instance, fallback = picked
             forwarded = self._forward(instance, body)
             if forwarded is None:
+                _log.warning(
+                    "forward failed; marking instance down",
+                    instance=instance,
+                    attempt=attempts,
+                    fallback=fallback,
+                )
                 self.state.mark_down(instance)
                 continue
+            if fallback:
+                _log.debug(
+                    "routed via rendezvous fallback",
+                    instance=instance,
+                    key=key[:16],
+                )
             self.state.count_routed(instance, fallback)
             code, headers, response_body = forwarded
             passthrough = {
@@ -423,6 +497,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
             )
             return
         self.state.count_rejected()
+        _log.error(
+            "no healthy instance; rejecting request", key=key[:16]
+        )
         self._send_json(
             503,
             {"error": "no healthy instance"},
@@ -479,12 +556,16 @@ class FleetManager:
         cache_root: Optional[str] = None,
         workdir: Optional[str] = None,
         host: str = "127.0.0.1",
+        serve_log_file: Optional[str] = None,
     ):
         import tempfile
 
         self.count = max(1, instances)
         self.serve_args = list(serve_args or [])
         self.host = host
+        # Event-log file base forwarded to every instance, suffixed
+        # per instance so concurrent processes never share a rotation.
+        self.serve_log_file = serve_log_file
         self.workdir = workdir or tempfile.mkdtemp(prefix="repro-fleet-")
         self.cache_root = cache_root or os.path.join(
             self.workdir, "cache"
@@ -495,7 +576,7 @@ class FleetManager:
     def instance_command(self, index: int) -> List[str]:
         port_file = os.path.join(self.workdir, f"port-{index}")
         cache_dir = os.path.join(self.cache_root, f"instance-{index}")
-        return [
+        command = [
             sys.executable,
             "-m",
             "repro",
@@ -510,6 +591,12 @@ class FleetManager:
             cache_dir,
             *self.serve_args,
         ]
+        if self.serve_log_file:
+            command += [
+                "--log-file",
+                f"{self.serve_log_file}.instance-{index}",
+            ]
+        return command
 
     def start(self, startup_timeout: float = 30.0) -> List[str]:
         os.makedirs(self.workdir, exist_ok=True)
@@ -579,6 +666,7 @@ def run_fleet(
     workdir: Optional[str] = None,
     replicas: int = DEFAULT_REPLICAS,
     quiet: bool = True,
+    serve_log_file: Optional[str] = None,
 ) -> int:
     """Blocking ``repro fleet`` body: instances + router + drain."""
     manager = FleetManager(
@@ -587,6 +675,7 @@ def run_fleet(
         cache_root=cache_root,
         workdir=workdir,
         host=host,
+        serve_log_file=serve_log_file,
     )
     try:
         urls = manager.start()
@@ -610,6 +699,11 @@ def run_fleet(
         f"{len(urls)} instance(s): {', '.join(urls)}",
         file=sys.stderr,
         flush=True,
+    )
+    _log.info(
+        "fleet router started",
+        instances=len(urls),
+        port=bound_port,
     )
     prober = _HealthProber(state)
     prober.start()

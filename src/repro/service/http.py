@@ -2,7 +2,7 @@
 
 ``repro serve`` binds a :class:`ThreadingHTTPServer` (one thread per
 connection — the heavy lifting happens in worker *processes*, so
-handler threads mostly wait) over three endpoints:
+handler threads mostly wait) over these endpoints:
 
 ``POST /deobfuscate`` (``?verify=1`` to verify)
     JSON in: ``{"script": str, "rename"?: bool, "reformat"?: bool,
@@ -32,6 +32,11 @@ handler threads mostly wait) over three endpoints:
     Prometheus text format: service counters, cache gauges, worker
     restart counts, and the lifetime pipeline-telemetry aggregates
     (:mod:`repro.service.metrics`).
+``GET /statusz``
+    The operator's live JSON view: rolling 1m/5m/15m rates and latency
+    percentiles, pool size/restarts, cache shard occupancy, warm-start
+    info, per-language and per-policy breakdowns, and the recent
+    ring-buffer log tail.  ``repro top`` polls and renders it.
 
 :func:`run_server` is the blocking entry point the CLI uses; it
 installs SIGTERM/SIGINT handlers that drain gracefully — stop
@@ -228,6 +233,11 @@ class _Handler(BaseHTTPRequestHandler):
             # The machine-readable snapshot the fleet router merges
             # across instances (repro.service.fleet).
             self._send_json(200, self.service.metrics_snapshot())
+        elif self.path.startswith("/statusz"):
+            # The operator's live view: rolling windows, pool state,
+            # shard occupancy, per-language/policy breakdowns, and the
+            # recent ring-buffer log tail (repro top renders this).
+            self._send_json(200, self.service.statusz())
         else:
             self._send_json(404, {"error": f"no such path: {self.path}"})
 

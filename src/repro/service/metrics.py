@@ -29,7 +29,7 @@ both mean "a pipeline execution was avoided", which is the number a
 capacity planner wants.
 """
 
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.spans import canonical_phase_name
 
@@ -89,24 +89,41 @@ def _histogram(
     name: str,
     help_text: str,
     hist: Dict[str, Any],
+    labels: Optional[Dict[str, str]] = None,
+    emit_header: bool = True,
 ) -> None:
     """Append one histogram family from a
     :meth:`repro.obs.hist.Histogram.to_dict` payload.
 
     Non-empty buckets carry an OpenMetrics-style exemplar — the
     trace_id and value of the worst observation that landed in the
-    bucket — appended as ``# {trace_id="..."} value``.
+    bucket — appended as ``# {trace_id="..."} value``.  *labels* adds
+    constant label pairs to every sample (the per-language/per-policy
+    request-duration family); *emit_header* lets a caller render
+    several labeled series under one HELP/TYPE header.
     """
     bounds = [float(b) for b in hist.get("bounds", ())]
     counts = [int(c) for c in hist.get("counts", ())]
     exemplars = hist.get("exemplars") or {}
-    lines.append(f"# HELP {name} {help_text}")
-    lines.append(f"# TYPE {name} histogram")
+    prefix = (
+        ",".join(
+            f'{k}="{_escape_label(str(v))}"'
+            for k, v in sorted((labels or {}).items())
+        )
+    )
+    if emit_header:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} histogram")
     running = 0
     for index, bound in enumerate(bounds + [float("inf")]):
         bin_count = counts[index] if index < len(counts) else 0
         running += bin_count
-        sample = f'{name}_bucket{{le="{_format_le(bound)}"}} {running}'
+        rendered = (
+            f'{prefix},le="{_format_le(bound)}"'
+            if prefix
+            else f'le="{_format_le(bound)}"'
+        )
+        sample = f"{name}_bucket{{{rendered}}} {running}"
         exemplar = exemplars.get(str(index))
         if exemplar and bin_count:
             sample += (
@@ -114,8 +131,11 @@ def _histogram(
                 f' {exemplar["value"]}'
             )
         lines.append(sample)
-    lines.append(f"{name}_sum {round(float(hist.get('sum', 0.0)), 6)}")
-    lines.append(f"{name}_count {int(hist.get('count', 0))}")
+    suffix = f"{{{prefix}}}" if prefix else ""
+    lines.append(
+        f"{name}_sum{suffix} {round(float(hist.get('sum', 0.0)), 6)}"
+    )
+    lines.append(f"{name}_count{suffix} {int(hist.get('count', 0))}")
 
 
 def _sum_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
@@ -160,6 +180,7 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
         "counters": _sum_dicts(s.get("counters") for s in snapshots),
         "verify": _sum_dicts(s.get("verify") for s in snapshots),
         "languages": _sum_dicts(s.get("languages") for s in snapshots),
+        "policies": _sum_dicts(s.get("policies") for s in snapshots),
         "cache": _sum_dicts(s.get("cache") for s in snapshots),
         "persistence": _sum_dicts(
             s.get("persistence") for s in snapshots
@@ -203,7 +224,100 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
             if isinstance(payload, dict) and payload:
                 combined.merge(Histogram.from_dict(payload))
         merged[name] = combined.to_dict()
+    # The labeled request-duration family merges per "language|policy"
+    # key, so per-language latency (and its exemplars) survives fleet
+    # aggregation instead of collapsing into the unlabeled total.
+    by_label: Dict[str, Histogram] = {}
+    for snap in snapshots:
+        for label, payload in (snap.get("request_duration_by") or {}).items():
+            if not isinstance(payload, dict) or not payload:
+                continue
+            incoming = Histogram.from_dict(payload)
+            hist = by_label.get(label)
+            if hist is None:
+                by_label[label] = incoming
+            else:
+                hist.merge(incoming)
+    merged["request_duration_by"] = {
+        label: hist.to_dict() for label, hist in sorted(by_label.items())
+    }
     return merged
+
+
+# Bump when the /statusz payload shape changes (repro top keys on it).
+STATUSZ_SCHEMA_VERSION = 1
+
+
+def build_statusz(
+    snapshot: Dict[str, Any],
+    window,
+    log_events: List[Dict[str, Any]],
+    instances: int = 1,
+) -> Dict[str, Any]:
+    """The ``/statusz`` JSON payload for one snapshot + rolling window.
+
+    Both the single-instance endpoint (:meth:`DeobfuscationService
+    .statusz`) and the fleet router build through here, so ``repro
+    top`` renders one shape.  *window* is a
+    :class:`~repro.obs.window.RollingWindow`; its serialized form is
+    embedded as ``window_raw`` so the fleet router can re-merge
+    instance windows minute-by-minute.
+    """
+    from repro.obs import Histogram
+
+    counters = snapshot.get("counters") or {}
+    pipeline = snapshot.get("pipeline") or {}
+    techniques = sorted(
+        (pipeline.get("techniques") or {}).items(),
+        key=lambda item: (-item[1], item[0]),
+    )[:10]
+    latency_by: Dict[str, Any] = {}
+    for label, payload in sorted(
+        (snapshot.get("request_duration_by") or {}).items()
+    ):
+        hist = Histogram.from_dict(payload or {"bounds": []})
+        language, _, policy = str(label).partition("|")
+        latency_by[label] = {
+            "language": language,
+            "policy": policy,
+            "count": hist.count,
+            "p50_ms": round(hist.quantile(0.5) * 1000, 3),
+            "p95_ms": round(hist.quantile(0.95) * 1000, 3),
+        }
+    hits = counters.get("cache_hits", 0) + counters.get("coalesced", 0)
+    answered = hits + counters.get("executions", 0)
+    return {
+        "schema_version": STATUSZ_SCHEMA_VERSION,
+        "instances": instances,
+        "windows": window.snapshot(),
+        "window_raw": window.to_dict(),
+        "counters": counters,
+        "queue": {
+            "depth": snapshot.get("queue_depth", 0),
+            "limit": snapshot.get("queue_limit", 0),
+        },
+        "draining": bool(snapshot.get("draining")),
+        "pool": {
+            "size": snapshot.get("pool_size", 0),
+            "workers": snapshot.get("workers", 0),
+            "restarts": snapshot.get("worker_restarts") or {},
+        },
+        "cache": snapshot.get("cache") or {},
+        "cache_hit_ratio": (
+            round(hits / answered, 4) if answered else 0.0
+        ),
+        "persistence": snapshot.get("persistence") or {},
+        "languages": snapshot.get("languages") or {},
+        "policies": snapshot.get("policies") or {},
+        "latency_by": latency_by,
+        "verify": snapshot.get("verify") or {},
+        "techniques_top": [
+            {"technique": technique, "count": count}
+            for technique, count in techniques
+        ],
+        "log_tail": list(log_events),
+        "uptime_seconds": snapshot.get("uptime_seconds", 0),
+    }
 
 
 def render_metrics(snapshot: Dict[str, Any]) -> str:
@@ -234,6 +348,19 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
             ({"language": language}, count)
             for language, count in sorted(
                 (snapshot.get("languages") or {}).items()
+            )
+        ]
+        or [(None, 0)],
+    )
+    _metric(
+        lines,
+        "repro_service_requests_by_policy_total",
+        "counter",
+        "Admitted requests by resolved sandbox-policy preset.",
+        [
+            ({"policy": policy}, count)
+            for policy, count in sorted(
+                (snapshot.get("policies") or {}).items()
             )
         ]
         or [(None, 0)],
@@ -415,6 +542,14 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
     )
     _metric(
         lines,
+        "repro_service_cache_journal_dropped_total",
+        "counter",
+        "Corrupt journal lines dropped during warm-start load "
+        "(journal-only share of skipped records: likely data loss).",
+        [(None, persistence.get("journal_skipped_records", 0))],
+    )
+    _metric(
+        lines,
         "repro_service_cache_persist_appends_total",
         "counter",
         "Results appended to the cache journal.",
@@ -531,4 +666,19 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
         "coalesced, executed).",
         snapshot.get("request_duration_histogram") or {},
     )
+    first = True
+    for label, payload in sorted(
+        (snapshot.get("request_duration_by") or {}).items()
+    ):
+        language, _, policy = str(label).partition("|")
+        _histogram(
+            lines,
+            "repro_service_request_duration_by_seconds",
+            "Front-door request latency by language front end and "
+            "sandbox-policy preset.",
+            payload or {},
+            labels={"language": language, "policy": policy},
+            emit_header=first,
+        )
+        first = False
     return "\n".join(lines) + "\n"

@@ -36,8 +36,12 @@ import os
 import threading
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.obs.log import get_logger
+
 SNAPSHOT_NAME = "snapshot.jsonl"
 JOURNAL_NAME = "journal.jsonl"
+
+_log = get_logger("service.persist")
 
 # Journal records between automatic compactions.
 DEFAULT_COMPACT_AFTER = 4096
@@ -97,6 +101,11 @@ class CachePersistence:
         # Lifetime counters, surfaced in /healthz and /metrics.
         self.loaded_entries = 0
         self.skipped_records = 0
+        # The journal-only share of skipped_records: journal drops are
+        # data *loss* (the result existed only there), while snapshot
+        # drops usually re-derive from the journal — operators alert on
+        # the former (repro_service_cache_journal_dropped_total).
+        self.journal_skipped_records = 0
         self.appended_records = 0
         self.compactions = 0
         self.warm_start = False
@@ -104,15 +113,25 @@ class CachePersistence:
 
     # -- load ---------------------------------------------------------------
 
-    def _read_file(self, path: str) -> Iterator[Tuple[str, dict]]:
+    def _read_file(
+        self, path: str, journal: bool = False
+    ) -> Iterator[Tuple[str, dict]]:
         if not os.path.exists(path):
             return
         with open(path, "rb") as handle:
-            for raw in handle:
+            for number, raw in enumerate(handle, start=1):
                 decoded = _decode_line(raw)
                 if decoded is None:
                     if raw.strip():
                         self.skipped_records += 1
+                        if journal:
+                            self.journal_skipped_records += 1
+                        _log.warning(
+                            "dropped corrupt persisted cache record",
+                            file=os.path.basename(path),
+                            line=number,
+                            bytes=len(raw),
+                        )
                     continue
                 yield decoded
 
@@ -128,7 +147,7 @@ class CachePersistence:
             entries.pop(key, None)
             entries[key] = record
         journal_lines = 0
-        for key, record in self._read_file(self.journal_path):
+        for key, record in self._read_file(self.journal_path, journal=True):
             journal_lines += 1
             entries.pop(key, None)
             entries[key] = record
@@ -177,6 +196,10 @@ class CachePersistence:
             open(self.journal_path, "wb").close()
             self._journal_records = 0
             self.compactions += 1
+        _log.info(
+            "compacted cache snapshot", entries=written,
+            directory=self.directory,
+        )
         return written
 
     def close(self) -> None:
@@ -193,6 +216,7 @@ class CachePersistence:
             "warm_start": self.warm_start,
             "loaded_entries": self.loaded_entries,
             "skipped_records": self.skipped_records,
+            "journal_skipped_records": self.journal_skipped_records,
             "appended_records": self.appended_records,
             "compactions": self.compactions,
             "journal_records": self._journal_records,

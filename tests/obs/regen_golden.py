@@ -17,6 +17,7 @@ sys.path.insert(
     os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
 )
 
+from test_log import build_golden_log_lines  # noqa: E402
 from test_schema_golden import GOLDEN_DIR, GOLDEN_SCRIPT, normalize  # noqa: E402
 from test_trace_golden import build_golden_lines  # noqa: E402
 
@@ -48,6 +49,11 @@ def main() -> None:
     with open(trace_path, "w", encoding="utf-8") as handle:
         handle.write("\n".join(build_golden_lines()) + "\n")
     print(f"wrote {trace_path}")
+
+    log_path = os.path.join(GOLDEN_DIR, "log_events.jsonl")
+    with open(log_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(build_golden_log_lines()) + "\n")
+    print(f"wrote {log_path}")
 
 
 if __name__ == "__main__":

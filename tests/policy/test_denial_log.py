@@ -1,0 +1,90 @@
+"""Cross-check: policy denial counters vs the structured event log.
+
+The contract wired into :meth:`PolicyAudit.record` is one ``policy
+denied capability`` event per counter increment — so the
+``repro_policy_denials_total`` metric and the event log can never
+drift, whatever the policy's ``audit_denials`` setting is.
+"""
+
+import pytest
+
+from repro.core.pipeline import deobfuscate
+from repro.obs.log import configure_logging, log_tail, reset_logging
+from repro.options import PipelineOptions
+from repro.policy import PolicyAudit, resolve_policy
+from repro.service.metrics import render_metrics
+
+
+@pytest.fixture(autouse=True)
+def _logging_state():
+    configure_logging(level="debug")
+    yield
+    reset_logging()
+
+
+def denial_events():
+    return [
+        event
+        for event in log_tail(limit=1000, logger="policy.audit")
+        if event["message"] == "policy denied capability"
+    ]
+
+
+class TestUnitCrossCheck:
+    def test_one_event_per_counter_increment(self):
+        audit = PolicyAudit(resolve_policy("recovery-strict"))
+        audit.record("command", "invoke-webrequest", "deny", "blocklist")
+        audit.record("command", "invoke-webrequest", "deny", "blocklist")
+        audit.record("effect", "net.request", "deny", "deny_effects:net.")
+        events = denial_events()
+        assert len(events) == audit.denial_total() == 3
+        # The event fields carry the decision details the counter
+        # collapses away.
+        assert events[-1]["fields"]["capability"] == "effect"
+        assert events[-1]["fields"]["rule"] == "deny_effects:net."
+        assert events[-1]["fields"]["policy"] == "recovery-strict"
+
+    def test_allowed_decisions_do_not_emit_denial_events(self):
+        audit = PolicyAudit(resolve_policy("verify-observing"))
+        audit.record("command", "write-host", "allow", "default")
+        assert denial_events() == []
+        assert audit.denial_total() == 0
+
+    def test_audit_silent_policies_still_emit(self):
+        # recovery-strict does not store AuditEvents, but the counter
+        # and the log event must still both fire.
+        policy = resolve_policy("recovery-strict")
+        assert not policy.audit_denials
+        audit = PolicyAudit(policy)
+        audit.record("command", "invoke-expression", "deny", "blocklist")
+        assert audit.events == []
+        assert len(denial_events()) == audit.denial_total() == 1
+
+
+class TestEndToEndCrossCheck:
+    def test_pipeline_denials_match_metric_and_events(self):
+        script = "write-host $env:COMPUTERNAME\n"
+        result = deobfuscate(
+            script,
+            options=PipelineOptions(policy="wild-sample-paranoid"),
+        )
+        denials = result.stats.policy_denials
+        total = sum(denials.values())
+        events = denial_events()
+        assert total > 0
+        assert len(events) == total
+
+        # The same counts rendered as repro_policy_denials_total.
+        text = render_metrics({"pipeline": {"policy_denials": denials}})
+        rendered = {
+            line.split('capability="', 1)[1].split('"', 1)[0]:
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_policy_denials_total{")
+        }
+        assert rendered == {k: float(v) for k, v in denials.items()}
+        by_capability = {}
+        for event in events:
+            capability = event["fields"]["capability"]
+            by_capability[capability] = by_capability.get(capability, 0) + 1
+        assert by_capability == denials

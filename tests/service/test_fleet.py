@@ -303,3 +303,49 @@ class TestMergeSnapshots:
 
         text = render_metrics(merge_snapshots([]))
         assert "repro_service_requests_total 0" in text
+
+
+class TestRouterStatusz:
+    def test_statusz_merges_instances(self, fleet):
+        from repro.service.metrics import STATUSZ_SCHEMA_VERSION
+
+        state, url, _handles = fleet
+        traces = []
+        for index in range(4):
+            code, body, _h = post(
+                url, {"script": f"write-host z{index}"}
+            )
+            assert code == 200
+            traces.append(body["trace_id"])
+
+        status, text = get(url, "/statusz")
+        assert status == 200
+        payload = json.loads(text)
+        assert payload["schema_version"] == STATUSZ_SCHEMA_VERSION
+        assert payload["instances"] == 2
+        # The merged rolling window saw every request exactly once.
+        one = payload["windows"]["1m"]
+        assert one["requests"] == 4
+        assert one["observations"] == 4
+        # Exemplar trace ids survive the minute-by-minute merge: the
+        # fleet-wide slowest request is one of the four we just made.
+        assert one["exemplar"]["trace_id"] in traces
+        # Router-side routing state rides along.
+        assert payload["router"]["routed"]
+        assert sum(payload["router"]["routed"].values()) == 4
+
+    def test_statusz_skips_dead_instances(self, fleet):
+        state, url, handles = fleet
+        post(url, {"script": "write-host alive"})
+        victim_url = state.instances[0]
+        victim = next(
+            h for h in handles
+            if f"http://{h.server_address[0]}:{h.server_address[1]}"
+            == victim_url
+        )
+        victim.shutdown(drain=True)
+        status, text = get(url, "/statusz")
+        payload = json.loads(text)
+        assert status == 200
+        assert payload["instances"] == 1
+        assert victim_url not in state.healthy_instances()

@@ -152,3 +152,150 @@ class TestTokenizeParse:
         assert code == 0
         assert "ScriptBlockAst" in out
         assert "CommandAst" in out
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    """A small JSONL event log with known levels, loggers, traces."""
+    import json as _json
+
+    from repro.obs.log import LogEvent
+
+    events = [
+        LogEvent(
+            ts=1700000000.0, level="info", logger="service.core",
+            message="service started", fields={"workers": 2},
+        ),
+        LogEvent(
+            ts=1700000001.0, level="warning", logger="policy.audit",
+            message="policy denied capability",
+            fields={"capability": "env"},
+            trace_id="aaaa000011112222aaaa000011112222",
+        ),
+        LogEvent(
+            ts=1700000002.0, level="error", logger="batch.pool",
+            message="worker died", fields={"pid": 41},
+            trace_id="bbbb000011112222bbbb000011112222",
+        ),
+    ]
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        "".join(
+            _json.dumps(e.to_dict(), sort_keys=True) + "\n"
+            for e in events
+        )
+        + "this line is torn garbage\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestLogsCommand:
+    def test_renders_all_events(self, events_file, capsys):
+        code, out, _err = run_cli(["logs", events_file], capsys)
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 3  # garbage line skipped
+        assert "service started" in lines[0]
+        assert "workers=2" in lines[0]
+        assert "trace=bbbb" in lines[2]
+
+    def test_level_filter(self, events_file, capsys):
+        code, out, _ = run_cli(
+            ["logs", events_file, "--level", "warning"], capsys
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert "WARNING" in lines[0]
+        assert "ERROR" in lines[1]
+
+    def test_logger_and_trace_filters(self, events_file, capsys):
+        code, out, _ = run_cli(
+            ["logs", events_file, "--logger", "policy"], capsys
+        )
+        assert code == 0
+        assert out.count("\n") == 1
+        assert "policy denied capability" in out
+
+        code, out, _ = run_cli(
+            ["logs", events_file, "--trace", "bbbb"], capsys
+        )
+        assert code == 0
+        assert out.count("\n") == 1
+        assert "worker died" in out
+
+    def test_tail_keeps_the_newest(self, events_file, capsys):
+        code, out, _ = run_cli(
+            ["logs", events_file, "--tail", "1"], capsys
+        )
+        assert code == 0
+        assert out.count("\n") == 1
+        assert "worker died" in out
+
+    def test_json_reemits_parseable_lines(self, events_file, capsys):
+        import json as _json
+
+        code, out, _ = run_cli(["logs", events_file, "--json"], capsys)
+        assert code == 0
+        parsed = [
+            _json.loads(line) for line in out.strip().splitlines()
+        ]
+        assert len(parsed) == 3
+        assert parsed[1]["fields"]["capability"] == "env"
+        assert parsed[1]["schema_version"] == 1
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            ["logs", str(tmp_path / "nope.jsonl")], capsys
+        )
+        assert code == 1
+        assert "cannot read" in err
+
+
+class TestTopCommand:
+    def test_once_renders_a_live_service(self, capsys):
+        import json as _json
+        import urllib.request
+
+        from repro.service import (
+            DeobfuscationService,
+            ServiceConfig,
+            start_server,
+        )
+
+        service = DeobfuscationService(
+            ServiceConfig(jobs=1, timeout=15.0, queue_limit=8)
+        )
+        server, thread = start_server(service)
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            body = _json.dumps({"script": "write-host top"}).encode()
+            request = urllib.request.Request(
+                url + "/deobfuscate", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=15.0) as resp:
+                trace = _json.loads(resp.read())["trace_id"]
+
+            code, out, _err = run_cli(
+                ["top", "--url", url, "--once"], capsys
+            )
+            assert code == 0
+            assert f"repro top — {url}" in out
+            assert "window" in out and "p95ms" in out
+            # The request we just made shows up as the 1m exemplar.
+            assert trace in out
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+            service.close()
+
+    def test_once_unreachable_is_exit_1(self, capsys):
+        code, _out, err = run_cli(
+            ["top", "--url", "http://127.0.0.1:1", "--once"], capsys
+        )
+        assert code == 1
+        assert "cannot fetch" in err

@@ -166,6 +166,47 @@ def test_frontend_doc_cross_linked():
         )
 
 
+def test_observability_doc_cross_linked():
+    """The telemetry surfaces stay documented and cross-linked: the
+    event-log schema and /statusz sections in observability.md, the
+    `repro top` / `repro logs` sections in cli.md, and the journal
+    drop counter in service.md."""
+    obs = os.path.join(REPO_ROOT, "docs", "observability.md")
+    with open(obs, encoding="utf-8") as handle:
+        obs_text = handle.read()
+    assert "## Structured event log" in obs_text
+    assert "## Rolling windows and `/statusz`" in obs_text
+    assert "schema_version" in obs_text
+    assert "tests/obs/golden/log_events.jsonl" in obs_text
+    for name in ("repro top", "repro logs"):
+        assert name in obs_text, (
+            f"docs/observability.md never mentions '{name}'"
+        )
+    with open(CLI_DOC, encoding="utf-8") as handle:
+        doc = handle.read()
+    top = _cli_doc_section(doc, "top")
+    assert "--once" in top and "/statusz" in top
+    assert "observability.md" in top
+    logs = _cli_doc_section(doc, "logs")
+    for flag in ("--level", "--logger", "--trace", "--follow"):
+        assert flag in logs, (
+            f"docs/cli.md 'repro logs' section lost {flag}"
+        )
+    assert "observability.md" in logs
+    for command in ("serve", "fleet"):
+        section = _cli_doc_section(doc, command)
+        assert "--log-file" in section and "/statusz" in section, (
+            f"docs/cli.md 'repro {command}' must document --log-file "
+            "and /statusz"
+        )
+    service = os.path.join(REPO_ROOT, "docs", "service.md")
+    with open(service, encoding="utf-8") as handle:
+        assert (
+            "repro_service_cache_journal_dropped_total"
+            in handle.read()
+        )
+
+
 def test_performance_doc_cross_linked():
     """The performance handbook exists and the profiling surfaces
     point at it (and at the architecture hot-path map)."""
